@@ -1,0 +1,498 @@
+//! Encoding and decoding of AIS messages to/from the 6-bit payload
+//! bit stream, with the exact field widths and scales of ITU-R M.1371.
+
+use crate::messages::{
+    AisMessage, ClassBPositionReport, NavigationalStatus, PositionReport, ShipType,
+    StaticVoyageData,
+};
+use crate::sixbit::{BitReader, BitWriter, OutOfBits};
+use mda_geo::Position;
+
+/// Errors arising while decoding a payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The message type is not one this library implements.
+    UnsupportedType(u8),
+    /// The payload ended before all mandatory fields were read.
+    Truncated,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnsupportedType(t) => write!(f, "unsupported AIS message type {t}"),
+            CodecError::Truncated => write!(f, "truncated AIS payload"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<OutOfBits> for CodecError {
+    fn from(_: OutOfBits) -> Self {
+        CodecError::Truncated
+    }
+}
+
+// ---- field scales ----------------------------------------------------
+
+const LON_NA_RAW: i32 = 181 * 600_000; // 0x6791AC0
+const LAT_NA_RAW: i32 = 91 * 600_000;
+const SOG_NA_RAW: u32 = 1023;
+const COG_NA_RAW: u32 = 3600;
+const HDG_NA_RAW: u32 = 511;
+const ROT_NA_RAW: i32 = -128;
+
+fn encode_lon(lon: Option<f64>) -> i32 {
+    match lon {
+        Some(l) => (l * 600_000.0).round() as i32,
+        None => LON_NA_RAW,
+    }
+}
+
+fn encode_lat(lat: Option<f64>) -> i32 {
+    match lat {
+        Some(l) => (l * 600_000.0).round() as i32,
+        None => LAT_NA_RAW,
+    }
+}
+
+fn decode_pos(lon_raw: i32, lat_raw: i32) -> Option<Position> {
+    if lon_raw == LON_NA_RAW || lat_raw == LAT_NA_RAW {
+        return None;
+    }
+    Position::checked(lat_raw as f64 / 600_000.0, lon_raw as f64 / 600_000.0)
+}
+
+fn encode_sog(sog: Option<f64>) -> u32 {
+    match sog {
+        Some(s) => ((s * 10.0).round() as u32).min(1022),
+        None => SOG_NA_RAW,
+    }
+}
+
+fn decode_sog(raw: u32) -> Option<f64> {
+    if raw == SOG_NA_RAW {
+        None
+    } else {
+        Some(raw as f64 / 10.0)
+    }
+}
+
+fn encode_cog(cog: Option<f64>) -> u32 {
+    match cog {
+        Some(c) => ((c.rem_euclid(360.0) * 10.0).round() as u32).min(3599),
+        None => COG_NA_RAW,
+    }
+}
+
+fn decode_cog(raw: u32) -> Option<f64> {
+    if raw >= COG_NA_RAW {
+        None
+    } else {
+        Some(raw as f64 / 10.0)
+    }
+}
+
+fn encode_heading(h: Option<u16>) -> u32 {
+    match h {
+        Some(h) => (h % 360) as u32,
+        None => HDG_NA_RAW,
+    }
+}
+
+fn decode_heading(raw: u32) -> Option<u16> {
+    if raw == HDG_NA_RAW {
+        None
+    } else {
+        Some(raw as u16)
+    }
+}
+
+/// AIS rate-of-turn coding: `raw = 4.733 * sqrt(|rot|) * sign(rot)`.
+fn encode_rot(rot: Option<f64>) -> i32 {
+    match rot {
+        Some(r) => {
+            let coded = 4.733 * r.abs().sqrt();
+            let v = coded.round().min(126.0) as i32;
+            if r < 0.0 {
+                -v
+            } else {
+                v
+            }
+        }
+        None => ROT_NA_RAW,
+    }
+}
+
+fn decode_rot(raw: i32) -> Option<f64> {
+    if raw == ROT_NA_RAW {
+        return None;
+    }
+    let v = raw as f64 / 4.733;
+    Some(v * v * raw.signum() as f64)
+}
+
+// ---- encoding --------------------------------------------------------
+
+/// Encode a message into payload bits; returns `(bits, fill_bits)`.
+pub fn encode_payload(msg: &AisMessage) -> (Vec<bool>, usize) {
+    let mut w = BitWriter::new();
+    match msg {
+        AisMessage::Position(m) => encode_position(&mut w, m),
+        AisMessage::StaticVoyage(m) => encode_static(&mut w, m),
+        AisMessage::ClassBPosition(m) => encode_class_b(&mut w, m),
+    }
+    w.finish()
+}
+
+fn encode_position(w: &mut BitWriter, m: &PositionReport) {
+    w.put_u32(m.msg_type as u32, 6);
+    w.put_u32(m.repeat as u32, 2);
+    w.put_u32(m.mmsi, 30);
+    w.put_u32(m.status.to_raw() as u32, 4);
+    w.put_i32(encode_rot(m.rot_deg_min), 8);
+    w.put_u32(encode_sog(m.sog_kn), 10);
+    w.put_u32(m.position_accuracy as u32, 1);
+    w.put_i32(encode_lon(m.pos.map(|p| p.lon)), 28);
+    w.put_i32(encode_lat(m.pos.map(|p| p.lat)), 27);
+    w.put_u32(encode_cog(m.cog_deg), 12);
+    w.put_u32(encode_heading(m.heading_deg), 9);
+    w.put_u32(m.utc_second as u32, 6);
+    w.put_u32(0, 2); // manoeuvre indicator: not available
+    w.put_u32(0, 3); // spare
+    w.put_u32(0, 1); // RAIM
+    w.put_u32(0, 19); // radio status
+}
+
+fn encode_static(w: &mut BitWriter, m: &StaticVoyageData) {
+    w.put_u32(5, 6);
+    w.put_u32(m.repeat as u32, 2);
+    w.put_u32(m.mmsi, 30);
+    w.put_u32(0, 2); // AIS version
+    w.put_u32(m.imo, 30);
+    w.put_string(&m.callsign, 7);
+    w.put_string(&m.name, 20);
+    w.put_u32(m.ship_type.to_raw() as u32, 8);
+    w.put_u32(m.dim_to_bow as u32, 9);
+    w.put_u32(m.dim_to_stern as u32, 9);
+    w.put_u32(m.dim_to_port as u32, 6);
+    w.put_u32(m.dim_to_starboard as u32, 6);
+    w.put_u32(1, 4); // EPFD: GPS
+    w.put_u32(m.eta_month as u32, 4);
+    w.put_u32(m.eta_day as u32, 5);
+    w.put_u32(m.eta_hour as u32, 5);
+    w.put_u32(m.eta_minute as u32, 6);
+    w.put_u32(((m.draught_m * 10.0).round() as u32).min(255), 8);
+    w.put_string(&m.destination, 20);
+    w.put_u32(0, 1); // DTE
+    w.put_u32(0, 1); // spare
+}
+
+fn encode_class_b(w: &mut BitWriter, m: &ClassBPositionReport) {
+    w.put_u32(18, 6);
+    w.put_u32(m.repeat as u32, 2);
+    w.put_u32(m.mmsi, 30);
+    w.put_u32(0, 8); // reserved
+    w.put_u32(encode_sog(m.sog_kn), 10);
+    w.put_u32(m.position_accuracy as u32, 1);
+    w.put_i32(encode_lon(m.pos.map(|p| p.lon)), 28);
+    w.put_i32(encode_lat(m.pos.map(|p| p.lat)), 27);
+    w.put_u32(encode_cog(m.cog_deg), 12);
+    w.put_u32(encode_heading(m.heading_deg), 9);
+    w.put_u32(m.utc_second as u32, 6);
+    w.put_u32(0, 2); // reserved
+    w.put_u32(1, 1); // CS unit
+    w.put_u32(0, 1); // display
+    w.put_u32(0, 1); // DSC
+    w.put_u32(0, 1); // band
+    w.put_u32(0, 1); // message 22
+    w.put_u32(0, 1); // assigned
+    w.put_u32(0, 1); // RAIM
+    w.put_u32(0, 20); // radio status
+}
+
+// ---- decoding --------------------------------------------------------
+
+/// Decode payload bits into a typed message.
+pub fn decode_payload(bits: &[bool]) -> Result<AisMessage, CodecError> {
+    let mut r = BitReader::new(bits);
+    let msg_type = r.take_u32(6)? as u8;
+    match msg_type {
+        1..=3 => decode_position(&mut r, msg_type),
+        5 => decode_static(&mut r),
+        18 => decode_class_b(&mut r),
+        t => Err(CodecError::UnsupportedType(t)),
+    }
+}
+
+fn decode_position(r: &mut BitReader, msg_type: u8) -> Result<AisMessage, CodecError> {
+    let repeat = r.take_u32(2)? as u8;
+    let mmsi = r.take_u32(30)?;
+    let status = NavigationalStatus::from_raw(r.take_u32(4)? as u8);
+    let rot = decode_rot(r.take_i32(8)?);
+    let sog = decode_sog(r.take_u32(10)?);
+    let accuracy = r.take_u32(1)? == 1;
+    let lon_raw = r.take_i32(28)?;
+    let lat_raw = r.take_i32(27)?;
+    let cog = decode_cog(r.take_u32(12)?);
+    let heading = decode_heading(r.take_u32(9)?);
+    let utc_second = r.take_u32(6)? as u8;
+    // manoeuvre(2) + spare(3) + RAIM(1) + radio(19) are not modelled.
+    Ok(AisMessage::Position(PositionReport {
+        msg_type,
+        repeat,
+        mmsi,
+        status,
+        rot_deg_min: rot,
+        sog_kn: sog,
+        position_accuracy: accuracy,
+        pos: decode_pos(lon_raw, lat_raw),
+        cog_deg: cog,
+        heading_deg: heading,
+        utc_second,
+    }))
+}
+
+fn decode_static(r: &mut BitReader) -> Result<AisMessage, CodecError> {
+    let repeat = r.take_u32(2)? as u8;
+    let mmsi = r.take_u32(30)?;
+    r.skip(2)?; // AIS version
+    let imo = r.take_u32(30)?;
+    let callsign = r.take_string(7)?;
+    let name = r.take_string(20)?;
+    let ship_type = ShipType::from_raw(r.take_u32(8)? as u8);
+    let dim_to_bow = r.take_u32(9)? as u16;
+    let dim_to_stern = r.take_u32(9)? as u16;
+    let dim_to_port = r.take_u32(6)? as u8;
+    let dim_to_starboard = r.take_u32(6)? as u8;
+    r.skip(4)?; // EPFD
+    let eta_month = r.take_u32(4)? as u8;
+    let eta_day = r.take_u32(5)? as u8;
+    let eta_hour = r.take_u32(5)? as u8;
+    let eta_minute = r.take_u32(6)? as u8;
+    let draught_m = r.take_u32(8)? as f64 / 10.0;
+    let destination = r.take_string(20)?;
+    Ok(AisMessage::StaticVoyage(StaticVoyageData {
+        repeat,
+        mmsi,
+        imo,
+        callsign,
+        name,
+        ship_type,
+        dim_to_bow,
+        dim_to_stern,
+        dim_to_port,
+        dim_to_starboard,
+        eta_month,
+        eta_day,
+        eta_hour,
+        eta_minute,
+        draught_m,
+        destination,
+    }))
+}
+
+fn decode_class_b(r: &mut BitReader) -> Result<AisMessage, CodecError> {
+    let repeat = r.take_u32(2)? as u8;
+    let mmsi = r.take_u32(30)?;
+    r.skip(8)?;
+    let sog = decode_sog(r.take_u32(10)?);
+    let accuracy = r.take_u32(1)? == 1;
+    let lon_raw = r.take_i32(28)?;
+    let lat_raw = r.take_i32(27)?;
+    let cog = decode_cog(r.take_u32(12)?);
+    let heading = decode_heading(r.take_u32(9)?);
+    let utc_second = r.take_u32(6)? as u8;
+    Ok(AisMessage::ClassBPosition(ClassBPositionReport {
+        repeat,
+        mmsi,
+        sog_kn: sog,
+        position_accuracy: accuracy,
+        pos: decode_pos(lon_raw, lat_raw),
+        cog_deg: cog,
+        heading_deg: heading,
+        utc_second,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_position() -> AisMessage {
+        AisMessage::Position(PositionReport {
+            msg_type: 1,
+            repeat: 0,
+            mmsi: 227_006_760,
+            status: NavigationalStatus::UnderWayUsingEngine,
+            rot_deg_min: None,
+            sog_kn: Some(12.3),
+            position_accuracy: true,
+            pos: Some(Position::new(43.2965, 5.3698)),
+            cog_deg: Some(211.9),
+            heading_deg: Some(210),
+            utc_second: 40,
+        })
+    }
+
+    fn sample_static() -> AisMessage {
+        AisMessage::StaticVoyage(StaticVoyageData {
+            repeat: 0,
+            mmsi: 227_006_760,
+            imo: 9_074_729,
+            callsign: "FQHI".into(),
+            name: "MN TOUCAN".into(),
+            ship_type: ShipType::Cargo,
+            dim_to_bow: 120,
+            dim_to_stern: 34,
+            dim_to_port: 10,
+            dim_to_starboard: 12,
+            eta_month: 6,
+            eta_day: 14,
+            eta_hour: 10,
+            eta_minute: 30,
+            draught_m: 7.4,
+            destination: "MARSEILLE".into(),
+        })
+    }
+
+    #[test]
+    fn position_round_trip() {
+        let msg = sample_position();
+        let (bits, fill) = encode_payload(&msg);
+        assert_eq!(bits.len(), 168);
+        assert_eq!(fill, 0);
+        let decoded = decode_payload(&bits).unwrap();
+        match (&msg, &decoded) {
+            (AisMessage::Position(a), AisMessage::Position(b)) => {
+                assert_eq!(a.mmsi, b.mmsi);
+                assert_eq!(a.msg_type, b.msg_type);
+                assert_eq!(a.status, b.status);
+                assert_eq!(a.sog_kn, b.sog_kn);
+                assert_eq!(a.cog_deg, b.cog_deg);
+                assert_eq!(a.heading_deg, b.heading_deg);
+                let (pa, pb) = (a.pos.unwrap(), b.pos.unwrap());
+                assert!((pa.lat - pb.lat).abs() < 1e-5);
+                assert!((pa.lon - pb.lon).abs() < 1e-5);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn position_not_available_sentinels() {
+        let msg = AisMessage::Position(PositionReport {
+            msg_type: 3,
+            repeat: 1,
+            mmsi: 538_000_001,
+            status: NavigationalStatus::NotDefined,
+            rot_deg_min: None,
+            sog_kn: None,
+            position_accuracy: false,
+            pos: None,
+            cog_deg: None,
+            heading_deg: None,
+            utc_second: 60,
+        });
+        let (bits, _) = encode_payload(&msg);
+        let decoded = decode_payload(&bits).unwrap();
+        match decoded {
+            AisMessage::Position(p) => {
+                assert!(p.pos.is_none());
+                assert!(p.sog_kn.is_none());
+                assert!(p.cog_deg.is_none());
+                assert!(p.heading_deg.is_none());
+                assert!(p.rot_deg_min.is_none());
+                assert_eq!(p.msg_type, 3);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn static_round_trip() {
+        let msg = sample_static();
+        let (bits, fill) = encode_payload(&msg);
+        // 424 logical bits padded to the next 6-bit boundary.
+        assert_eq!(bits.len(), 426);
+        assert_eq!(fill, 2);
+        let decoded = decode_payload(&bits).unwrap();
+        match (&msg, &decoded) {
+            (AisMessage::StaticVoyage(a), AisMessage::StaticVoyage(b)) => {
+                assert_eq!(a.mmsi, b.mmsi);
+                assert_eq!(a.imo, b.imo);
+                assert_eq!(a.callsign, b.callsign);
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.ship_type, b.ship_type);
+                assert_eq!(a.length_m(), b.length_m());
+                assert_eq!(a.destination, b.destination);
+                assert!((a.draught_m - b.draught_m).abs() < 0.05);
+                assert_eq!((a.eta_month, a.eta_day), (b.eta_month, b.eta_day));
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn class_b_round_trip() {
+        let msg = AisMessage::ClassBPosition(ClassBPositionReport {
+            repeat: 0,
+            mmsi: 338_123_456,
+            sog_kn: Some(6.4),
+            position_accuracy: false,
+            pos: Some(Position::new(-33.8523, 151.2108)),
+            cog_deg: Some(355.0),
+            heading_deg: None,
+            utc_second: 12,
+        });
+        let (bits, _) = encode_payload(&msg);
+        assert_eq!(bits.len(), 168);
+        let decoded = decode_payload(&bits).unwrap();
+        match decoded {
+            AisMessage::ClassBPosition(b) => {
+                assert_eq!(b.mmsi, 338_123_456);
+                assert_eq!(b.sog_kn, Some(6.4));
+                let p = b.pos.unwrap();
+                assert!((p.lat - -33.8523).abs() < 1e-5);
+                assert!((p.lon - 151.2108).abs() < 1e-5);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn rot_coding() {
+        assert_eq!(encode_rot(None), -128);
+        assert_eq!(decode_rot(-128), None);
+        // 10 deg/min -> raw 15 -> ~10.04 deg/min.
+        let raw = encode_rot(Some(10.0));
+        let back = decode_rot(raw).unwrap();
+        assert!((back - 10.0).abs() < 1.0, "{back}");
+        let raw_neg = encode_rot(Some(-10.0));
+        assert_eq!(raw_neg, -raw);
+        assert!(decode_rot(raw_neg).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn unsupported_type_rejected() {
+        let mut w = BitWriter::new();
+        w.put_u32(9, 6); // SAR aircraft report — not implemented
+        w.put_u32(0, 30);
+        let (bits, _) = w.finish();
+        assert_eq!(decode_payload(&bits), Err(CodecError::UnsupportedType(9)));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let msg = sample_position();
+        let (bits, _) = encode_payload(&msg);
+        assert_eq!(decode_payload(&bits[..100]), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn sog_saturates_at_fast_limit() {
+        assert_eq!(encode_sog(Some(150.0)), 1022);
+        assert_eq!(decode_sog(1022), Some(102.2));
+    }
+}

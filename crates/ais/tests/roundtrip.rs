@@ -1,0 +1,193 @@
+//! Property tests: AIS codec and NMEA framing round-trips.
+//!
+//! Field scales quantise values (1/10 kn, 1/10 000 min), so the invariant
+//! tested is *idempotence*: decode(encode(m)) must survive a second
+//! encode/decode unchanged, and continuous fields must land within one
+//! quantum of the original.
+
+use mda_ais::codec::{decode_payload, encode_payload};
+use mda_ais::messages::{
+    AisMessage, ClassBPositionReport, NavigationalStatus, PositionReport, ShipType,
+    StaticVoyageData,
+};
+use mda_ais::nmea::{parse_sentence, to_sentences, SentenceAssembler};
+use mda_geo::Position;
+use proptest::prelude::*;
+
+fn arb_position_report() -> impl Strategy<Value = PositionReport> {
+    (
+        1u8..=3,
+        0u8..=3,
+        100_000_000u32..=999_999_999,
+        0u8..=15,
+        prop::option::of(-700.0f64..700.0),
+        prop::option::of(0.0f64..102.2),
+        any::<bool>(),
+        prop::option::of((-89.9f64..89.9, -179.9f64..179.9)),
+        prop::option::of(0.0f64..359.9),
+        prop::option::of(0u16..360),
+        0u8..=63,
+    )
+        .prop_map(
+            |(msg_type, repeat, mmsi, status, rot, sog, acc, pos, cog, hdg, sec)| {
+                PositionReport {
+                    msg_type,
+                    repeat,
+                    mmsi,
+                    status: NavigationalStatus::from_raw(status),
+                    rot_deg_min: rot,
+                    sog_kn: sog,
+                    position_accuracy: acc,
+                    pos: pos.map(|(lat, lon)| Position::new(lat, lon)),
+                    cog_deg: cog,
+                    heading_deg: hdg,
+                    utc_second: sec,
+                }
+            },
+        )
+}
+
+fn arb_static() -> impl Strategy<Value = StaticVoyageData> {
+    (
+        100_000_000u32..=999_999_999,
+        0u32..=999_999_9,
+        "[A-Z0-9]{0,7}",
+        "[A-Z0-9 ]{0,20}",
+        0u8..=99,
+        (0u16..512, 0u16..512, 0u8..64, 0u8..64),
+        (0u8..=12, 0u8..=31, 0u8..=24, 0u8..=60),
+        0.0f64..25.5,
+        "[A-Z ]{0,20}",
+    )
+        .prop_map(
+            |(mmsi, imo, callsign, name, ship_type, dims, eta, draught, dest)| {
+                StaticVoyageData {
+                    repeat: 0,
+                    mmsi,
+                    imo,
+                    callsign,
+                    name: name.trim_end().to_string(),
+                    ship_type: ShipType::from_raw(ship_type),
+                    dim_to_bow: dims.0,
+                    dim_to_stern: dims.1,
+                    dim_to_port: dims.2,
+                    dim_to_starboard: dims.3,
+                    eta_month: eta.0,
+                    eta_day: eta.1,
+                    eta_hour: eta.2,
+                    eta_minute: eta.3,
+                    draught_m: draught,
+                    destination: dest.trim_end().to_string(),
+                }
+            },
+        )
+}
+
+fn arb_class_b() -> impl Strategy<Value = ClassBPositionReport> {
+    (
+        100_000_000u32..=999_999_999,
+        prop::option::of(0.0f64..102.2),
+        any::<bool>(),
+        prop::option::of((-89.9f64..89.9, -179.9f64..179.9)),
+        prop::option::of(0.0f64..359.9),
+        prop::option::of(0u16..360),
+        0u8..=63,
+    )
+        .prop_map(|(mmsi, sog, acc, pos, cog, hdg, sec)| ClassBPositionReport {
+            repeat: 0,
+            mmsi,
+            sog_kn: sog,
+            position_accuracy: acc,
+            pos: pos.map(|(lat, lon)| Position::new(lat, lon)),
+            cog_deg: cog,
+            heading_deg: hdg,
+            utc_second: sec,
+        })
+}
+
+proptest! {
+    #[test]
+    fn position_codec_idempotent(report in arb_position_report()) {
+        let msg = AisMessage::Position(report);
+        let (bits, _) = encode_payload(&msg);
+        prop_assert_eq!(bits.len(), 168);
+        let once = decode_payload(&bits).unwrap();
+        let (bits2, _) = encode_payload(&once);
+        let twice = decode_payload(&bits2).unwrap();
+        prop_assert_eq!(&once, &twice);
+
+        // Quantisation error bounds against the original.
+        if let (AisMessage::Position(orig), AisMessage::Position(dec)) = (&msg, &once) {
+            prop_assert_eq!(orig.mmsi, dec.mmsi);
+            prop_assert_eq!(orig.msg_type, dec.msg_type);
+            prop_assert_eq!(orig.pos.is_some(), dec.pos.is_some());
+            if let (Some(a), Some(b)) = (orig.pos, dec.pos) {
+                prop_assert!((a.lat - b.lat).abs() < 1.0 / 600_000.0 + 1e-9);
+                prop_assert!((a.lon - b.lon).abs() < 1.0 / 600_000.0 + 1e-9);
+            }
+            if let (Some(a), Some(b)) = (orig.sog_kn, dec.sog_kn) {
+                prop_assert!((a - b).abs() <= 0.05 + 1e-9);
+            }
+            if let (Some(a), Some(b)) = (orig.cog_deg, dec.cog_deg) {
+                prop_assert!((a - b).abs() <= 0.05 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn static_codec_idempotent(data in arb_static()) {
+        let msg = AisMessage::StaticVoyage(data);
+        let (bits, _) = encode_payload(&msg);
+        prop_assert_eq!(bits.len(), 426); // 424 logical bits + 2 pad bits
+        let once = decode_payload(&bits).unwrap();
+        let (bits2, _) = encode_payload(&once);
+        let twice = decode_payload(&bits2).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn class_b_codec_idempotent(data in arb_class_b()) {
+        let msg = AisMessage::ClassBPosition(data);
+        let (bits, _) = encode_payload(&msg);
+        prop_assert_eq!(bits.len(), 168);
+        let once = decode_payload(&bits).unwrap();
+        let (bits2, _) = encode_payload(&once);
+        let twice = decode_payload(&bits2).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn nmea_framing_round_trip(report in arb_position_report()) {
+        let msg = AisMessage::Position(report);
+        let (bits, fill) = encode_payload(&msg);
+        let sentences = to_sentences(&bits, fill, 'A', 0);
+        let mut asm = SentenceAssembler::new();
+        let mut out = None;
+        for s in &sentences {
+            prop_assert!(s.len() <= 82);
+            let parsed = parse_sentence(s).unwrap();
+            if let Some(b) = asm.push(parsed).unwrap() {
+                out = Some(b);
+            }
+        }
+        prop_assert_eq!(out.unwrap(), bits);
+    }
+
+    #[test]
+    fn nmea_multifrag_round_trip(data in arb_static()) {
+        let msg = AisMessage::StaticVoyage(data);
+        let (bits, fill) = encode_payload(&msg);
+        let sentences = to_sentences(&bits, fill, 'B', 5);
+        prop_assert!(sentences.len() >= 2);
+        let mut asm = SentenceAssembler::new();
+        let mut out = None;
+        for s in &sentences {
+            let parsed = parse_sentence(s).unwrap();
+            if let Some(b) = asm.push(parsed).unwrap() {
+                out = Some(b);
+            }
+        }
+        // The receiver discards the fill padding bits.
+        prop_assert_eq!(out.unwrap(), &bits[..bits.len() - fill]);
+    }
+}

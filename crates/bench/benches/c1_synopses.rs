@@ -1,0 +1,22 @@
+//! Criterion bench: threshold compression kernel (C1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mda_synopses::compress::{compress_trajectory, ThresholdConfig};
+
+fn bench(c: &mut Criterion) {
+    let sim = mda_sim::scenario::Scenario::generate(
+        mda_sim::scenario::ScenarioConfig::regional_honest(31, 10, 2 * mda_geo::time::HOUR),
+    );
+    let fixes: Vec<_> = sim.truth.values().next().unwrap().clone();
+    let cfg = ThresholdConfig { tolerance_m: 100.0, ..Default::default() };
+    c.bench_function("c1_threshold_compress_one_trajectory", |b| {
+        b.iter(|| compress_trajectory(std::hint::black_box(&fixes), cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

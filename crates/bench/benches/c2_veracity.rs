@@ -1,0 +1,41 @@
+//! Criterion bench: static validation + veracity detector kernels (C2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mda_ais::quality::validate;
+use mda_events::veracity::{VeracityConfig, VeracityDetector};
+use mda_sim::scenario::{Scenario, ScenarioConfig};
+
+fn bench(c: &mut Criterion) {
+    let sim = Scenario::generate(ScenarioConfig::regional(47, 20, mda_geo::time::HOUR));
+    let msgs: Vec<_> = sim.ais.iter().map(|o| o.msg.clone()).collect();
+    c.bench_function("c2_validate_stream", |b| {
+        b.iter(|| {
+            let mut flagged = 0usize;
+            for m in &msgs {
+                if !validate(std::hint::black_box(m)).is_clean() {
+                    flagged += 1;
+                }
+            }
+            flagged
+        })
+    });
+    let mut fixes = sim.ais_fixes();
+    fixes.sort_by_key(|f| f.t);
+    c.bench_function("c2_veracity_detector_stream", |b| {
+        b.iter(|| {
+            let mut d = VeracityDetector::new(VeracityConfig::default());
+            let mut alerts = 0usize;
+            for f in &fixes {
+                alerts += d.observe(std::hint::black_box(f)).len();
+            }
+            alerts
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: gap detector and open-world query kernels (C3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mda_events::gap::GapDetector;
+use mda_sim::scenario::{Scenario, ScenarioConfig};
+use mda_uncertainty::openworld::OpenWorldRelation;
+
+fn bench(c: &mut Criterion) {
+    let sim = Scenario::generate(ScenarioConfig::regional(53, 30, 2 * mda_geo::time::HOUR));
+    let mut fixes = sim.ais_fixes();
+    fixes.sort_by_key(|f| f.t);
+    c.bench_function("c3_gap_detector_stream", |b| {
+        b.iter(|| {
+            let mut d = GapDetector::new(15 * mda_geo::time::MINUTE);
+            let mut events = 0usize;
+            for f in &fixes {
+                events += d.observe(std::hint::black_box(f)).len();
+            }
+            events
+        })
+    });
+    let mut relation: OpenWorldRelation<u32> = OpenWorldRelation::new(25.0);
+    for i in 0..10_000u32 {
+        relation.insert(i, 0.5 + (i % 100) as f64 / 250.0);
+    }
+    c.bench_function("c3_open_world_query_10k_tuples", |b| {
+        b.iter(|| relation.exists_open(|v| *v % 7 == 0, 0.1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

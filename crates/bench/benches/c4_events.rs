@@ -1,0 +1,18 @@
+//! Criterion bench: full event-engine observe path (C4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mda_bench::c4_events::{drive, ordered_fixes};
+
+fn bench(c: &mut Criterion) {
+    let fixes = ordered_fixes(50, 1);
+    c.bench_function("c4_event_engine_50_vessels_1h", |b| {
+        b.iter(|| drive(std::hint::black_box(&fixes)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: Kalman update + fuser ingest kernels (C5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mda_bench::c5_fusion::{drive, Sources};
+use mda_sim::scenario::{Scenario, ScenarioConfig};
+use mda_track::kalman::{CvKalman, KalmanConfig};
+use mda_geo::{Position, Timestamp};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("c5_kalman_1000_updates", |b| {
+        b.iter(|| {
+            let mut kf = CvKalman::new(
+                Position::new(43.0, 5.0),
+                10.0,
+                Timestamp::from_secs(0),
+                KalmanConfig::default(),
+            );
+            for i in 1..1_000i64 {
+                kf.update(
+                    Position::new(43.0 + i as f64 * 1e-5, 5.0),
+                    10.0,
+                    Timestamp::from_secs(i * 10),
+                );
+            }
+            kf.position()
+        })
+    });
+    let sim = Scenario::generate(ScenarioConfig::regional(71, 15, mda_geo::time::HOUR));
+    c.bench_function("c5_fused_ingest_15_vessels_1h", |b| {
+        b.iter(|| {
+            let fuser = drive(std::hint::black_box(&sim), Sources::Fused);
+            fuser.stats()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

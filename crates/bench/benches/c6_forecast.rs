@@ -1,0 +1,41 @@
+//! Criterion bench: predictor kernels (C6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mda_forecast::kinematic::{ConstantTurnPredictor, DeadReckoningPredictor};
+use mda_forecast::routenet::{RouteNetPredictor, RouteNetwork};
+use mda_forecast::Predictor;
+use mda_geo::{BoundingBox, Fix, Position, Timestamp};
+
+fn history() -> Vec<Fix> {
+    let f0 = Fix::new(1, Timestamp::from_secs(0), Position::new(43.0, 4.5), 12.0, 80.0);
+    (0..30)
+        .map(|i| {
+            let t = Timestamp::from_secs(i * 60);
+            Fix { t, pos: f0.dead_reckon(t), ..f0 }
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let h = history();
+    let at = h.last().unwrap().t + 30 * mda_geo::time::MINUTE;
+    c.bench_function("c6_dead_reckoning_30min", |b| {
+        b.iter(|| DeadReckoningPredictor.predict(std::hint::black_box(&h), at))
+    });
+    c.bench_function("c6_constant_turn_30min", |b| {
+        b.iter(|| ConstantTurnPredictor::default().predict(std::hint::black_box(&h), at))
+    });
+    let mut net = RouteNetwork::new(BoundingBox::new(42.0, 3.0, 44.0, 6.5), 0.02);
+    net.learn_all(&h);
+    let rn = RouteNetPredictor::new(net);
+    c.bench_function("c6_route_network_30min", |b| {
+        b.iter(|| rn.predict(std::hint::black_box(&h), at))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

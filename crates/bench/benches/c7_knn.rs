@@ -1,0 +1,36 @@
+//! Criterion bench: grid kNN vs scan baseline (C7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mda_bench::c7_knn::{engine_with_fleet, queries};
+use mda_geo::Timestamp;
+
+fn bench(c: &mut Criterion) {
+    let t = Timestamp::from_mins(12);
+    let qs = queries(64, 9);
+    let mut group = c.benchmark_group("c7_knn");
+    for n in [1_000usize, 10_000] {
+        let e = engine_with_fleet(n, 3);
+        group.bench_with_input(BenchmarkId::new("ring", n), &e, |b, e| {
+            b.iter(|| {
+                for q in &qs {
+                    std::hint::black_box(e.knn(*q, t, 10));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &e, |b, e| {
+            b.iter(|| {
+                for q in &qs {
+                    std::hint::black_box(e.knn_scan(*q, t, 10));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

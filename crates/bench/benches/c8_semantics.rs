@@ -1,0 +1,51 @@
+//! Criterion bench: link discovery and enrichment kernels (C8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mda_semantics::enrich::Enricher;
+use mda_semantics::link::{discover_links, LinkConfig};
+use mda_semantics::registry::generate_registries;
+use mda_semantics::store::TripleStore;
+use mda_semantics::term::Interner;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let (crowd, auth) = generate_registries(500, 0.12, &mut rng);
+    c.bench_function("c8_link_discovery_500", |b| {
+        b.iter(|| discover_links(std::hint::black_box(&crowd), &auth, &LinkConfig::default()))
+    });
+
+    let world = mda_sim::world::World::gulf_of_lion();
+    let zones: Vec<_> = world.zones.iter().map(|z| (z.name.clone(), z.area.clone())).collect();
+    c.bench_function("c8_enrich_1000_fixes", |b| {
+        b.iter_batched(
+            || {
+                let mut interner = Interner::new();
+                let enricher = Enricher::new(&mut interner, zones.clone());
+                let v = interner.intern(":vessel/1");
+                (enricher, TripleStore::new(), v)
+            },
+            |(mut enricher, mut store, v)| {
+                for i in 0..1_000i64 {
+                    let fix = mda_geo::Fix::new(
+                        1,
+                        mda_geo::Timestamp::from_secs(i),
+                        mda_geo::Position::new(43.1 + (i % 50) as f64 * 0.001, 5.4),
+                        8.0,
+                        90.0,
+                    );
+                    enricher.enrich(&mut store, v, &fix, 7.0);
+                }
+                store
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

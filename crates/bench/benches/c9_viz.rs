@@ -1,0 +1,37 @@
+//! Criterion bench: pyramid build and drill-down query (C9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mda_bench::c9_viz::positions;
+use mda_geo::BoundingBox;
+use mda_viz::pyramid::AggregationPyramid;
+use mda_viz::raster::DensityRaster;
+
+fn bench(c: &mut Criterion) {
+    let bounds = BoundingBox::new(42.0, 3.0, 43.9, 6.5);
+    let pts = positions(100_000, 5);
+    c.bench_function("c9_pyramid_build_100k", |b| {
+        b.iter(|| {
+            let mut base = DensityRaster::new(bounds, 256, 256);
+            for p in &pts {
+                base.add(*p);
+            }
+            AggregationPyramid::from_base(base)
+        })
+    });
+    let mut base = DensityRaster::new(bounds, 256, 256);
+    for p in &pts {
+        base.add(*p);
+    }
+    let pyramid = AggregationPyramid::from_base(base);
+    let window = BoundingBox::new(42.8, 4.4, 43.2, 5.1);
+    c.bench_function("c9_drilldown_query_l0", |b| {
+        b.iter(|| std::hint::black_box(pyramid.region_sum(0, &window)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

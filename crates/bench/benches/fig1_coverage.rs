@@ -1,0 +1,43 @@
+//! Criterion bench: AIVDM wire-codec throughput (Figure 1 ingest path).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mda_ais::codec::{decode_payload, encode_payload};
+use mda_ais::messages::{AisMessage, NavigationalStatus, PositionReport};
+use mda_geo::Position;
+
+fn sample() -> AisMessage {
+    AisMessage::Position(PositionReport {
+        msg_type: 1,
+        repeat: 0,
+        mmsi: 227_006_760,
+        status: NavigationalStatus::UnderWayUsingEngine,
+        rot_deg_min: None,
+        sog_kn: Some(12.3),
+        position_accuracy: true,
+        pos: Some(Position::new(43.2965, 5.3698)),
+        cog_deg: Some(211.9),
+        heading_deg: Some(210),
+        utc_second: 40,
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let msg = sample();
+    let (bits, _) = encode_payload(&msg);
+    let mut group = c.benchmark_group("fig1_codec");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("encode_position", |b| {
+        b.iter(|| encode_payload(std::hint::black_box(&msg)))
+    });
+    group.bench_function("decode_position", |b| {
+        b.iter(|| decode_payload(std::hint::black_box(&bits)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

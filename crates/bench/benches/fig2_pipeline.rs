@@ -1,0 +1,22 @@
+//! Criterion bench: end-to-end pipeline on a small scenario (Figure 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mda_bench::fig2_pipeline::pipeline_for;
+use mda_sim::scenario::{Scenario, ScenarioConfig};
+
+fn bench(c: &mut Criterion) {
+    let sim = Scenario::generate(ScenarioConfig::regional(99, 10, mda_geo::time::HOUR));
+    c.bench_function("fig2_pipeline_10_vessels_1h", |b| {
+        b.iter(|| {
+            let mut p = pipeline_for(&sim);
+            std::hint::black_box(p.run_scenario(&sim).len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! C5 — multi-source fusion vs single sources (§2.4).
+//!
+//! The paper: fusion "can overcome some of the single source processing
+//! issues (e.g., compensating for the lack of coverage and increasing
+//! accuracy)". Measured: track coverage and position error against
+//! ground truth for AIS-only, radar-only, and fused configurations on a
+//! scenario with dark ships (where AIS-only must lose coverage) and
+//! coarse radar (where radar-only must lose accuracy). Evaluation runs
+//! *online*: the fuser is scored at each checkpoint with exactly the
+//! state it had at that moment.
+
+use crate::util::{f, pct, table};
+use mda_geo::distance::haversine_m;
+use mda_geo::projection::{LocalFrame, LocalPoint};
+use mda_geo::{Position, Timestamp};
+use mda_sim::scenario::{Scenario, ScenarioConfig, SimOutput};
+use mda_track::fusion::{Fuser, FuserConfig};
+use mda_track::sensor::{SensorKind, SensorReport};
+
+/// Which streams a configuration consumes.
+#[derive(Clone, Copy, PartialEq)]
+pub enum Sources {
+    /// Cooperative AIS only.
+    AisOnly,
+    /// Non-cooperative radar only.
+    RadarOnly,
+    /// Everything.
+    Fused,
+}
+
+fn stream(sim: &SimOutput, sources: Sources) -> Vec<(Timestamp, SensorReport)> {
+    let mut items: Vec<(Timestamp, SensorReport)> = Vec::new();
+    if sources != Sources::RadarOnly {
+        for obs in &sim.ais {
+            if let Some(fix) = obs.msg.to_fix(obs.t_sent) {
+                items.push((
+                    obs.t_received,
+                    SensorReport::from_fix(SensorKind::AisTerrestrial, &fix),
+                ));
+            }
+        }
+        for v in &sim.vms {
+            items.push((
+                v.t,
+                SensorReport {
+                    kind: SensorKind::Vms,
+                    t: v.t,
+                    pos: v.pos,
+                    claimed_id: Some(v.id),
+                    sog_kn: None,
+                    cog_deg: None,
+                    accuracy_m: None,
+                },
+            ));
+        }
+    }
+    if sources != Sources::AisOnly {
+        for plot in &sim.radar {
+            items.push((
+                plot.t,
+                SensorReport {
+                    kind: SensorKind::Radar,
+                    t: plot.t,
+                    pos: plot.pos,
+                    claimed_id: None,
+                    sog_kn: None,
+                    cog_deg: None,
+                    accuracy_m: None,
+                },
+            ));
+        }
+    }
+    items.sort_by_key(|(t, _)| *t);
+    items
+}
+
+/// Feed a fuser the selected streams (no evaluation) — used by the
+/// criterion bench.
+pub fn drive(sim: &SimOutput, sources: Sources) -> Fuser {
+    let mut fuser = Fuser::new(FuserConfig::default());
+    for (_, report) in stream(sim, sources) {
+        fuser.ingest(&report);
+    }
+    fuser
+}
+
+/// Extrapolate a track to `t` without mutating the fuser.
+fn track_pos_at(track: &mda_track::fusion::Track, t: Timestamp) -> Position {
+    let dt_s = (t - track.filter.time()) as f64 / 1_000.0;
+    let v = track.filter.velocity();
+    let frame = LocalFrame::new(track.filter.position());
+    frame.unproject(LocalPoint { x: v.x * dt_s, y: v.y * dt_s })
+}
+
+/// Truth position of a vessel at `t` (nearest earlier fix).
+fn truth_at(sim: &SimOutput, id: u32, t: Timestamp) -> Option<Position> {
+    let fixes = sim.truth.get(&id)?;
+    let idx = fixes.partition_point(|f| f.t <= t);
+    idx.checked_sub(1).map(|i| fixes[i].pos)
+}
+
+/// Drive the stream and evaluate coverage/accuracy at checkpoints as
+/// they pass. A vessel is covered when a recently-updated track lies
+/// within `gate_m` of its true position.
+pub fn drive_and_evaluate(
+    sim: &SimOutput,
+    sources: Sources,
+    gate_m: f64,
+) -> (Fuser, f64, f64, f64) {
+    let mut fuser = Fuser::new(FuserConfig::default());
+    let duration = sim.config.duration;
+    let mut checkpoints: Vec<Timestamp> =
+        (1..=24).map(|i| Timestamp(duration * i / 25)).collect();
+    checkpoints.reverse(); // pop() takes the earliest
+
+    let mut covered = 0usize;
+    let mut total = 0usize;
+    let mut err_sq = 0.0;
+    let mut dark_covered = 0usize;
+    let mut dark_total = 0usize;
+    let mut evaluate_now = |fuser: &Fuser, t: Timestamp| {
+        for id in sim.truth.keys() {
+            let Some(truth_pos) = truth_at(sim, *id, t) else { continue };
+            let is_dark = sim
+                .dark_episodes
+                .get(id)
+                .map(|eps| eps.iter().any(|e| e.contains(t)))
+                .unwrap_or(false);
+            total += 1;
+            if is_dark {
+                dark_total += 1;
+            }
+            let mut best = f64::INFINITY;
+            for track in fuser.tracks() {
+                if (t - track.last_update).abs() > 5 * mda_geo::time::MINUTE {
+                    continue; // stale track: not current coverage
+                }
+                let d = haversine_m(track_pos_at(track, t), truth_pos);
+                if d < best {
+                    best = d;
+                }
+            }
+            if best <= gate_m {
+                covered += 1;
+                err_sq += best * best;
+                if is_dark {
+                    dark_covered += 1;
+                }
+            }
+        }
+    };
+
+    for (arrival, report) in stream(sim, sources) {
+        while let Some(&cp) = checkpoints.last() {
+            if arrival >= cp {
+                evaluate_now(&fuser, cp);
+                checkpoints.pop();
+            } else {
+                break;
+            }
+        }
+        fuser.ingest(&report);
+    }
+    for cp in checkpoints.into_iter().rev() {
+        evaluate_now(&fuser, cp);
+    }
+    let coverage = covered as f64 / total.max(1) as f64;
+    let dark_coverage = dark_covered as f64 / dark_total.max(1) as f64;
+    let rmse = if covered > 0 { (err_sq / covered as f64).sqrt() } else { f64::NAN };
+    (fuser, coverage, dark_coverage, rmse)
+}
+
+/// Run the experiment and return the report text.
+pub fn run() -> String {
+    let sim = Scenario::generate(ScenarioConfig::regional(71, 60, 4 * mda_geo::time::HOUR));
+    let gate = 2_000.0;
+    let mut rows = Vec::new();
+    for (name, sources) in [
+        ("AIS only", Sources::AisOnly),
+        ("radar only", Sources::RadarOnly),
+        ("fused (AIS+radar+VMS)", Sources::Fused),
+    ] {
+        let (fuser, coverage, dark_coverage, rmse) = drive_and_evaluate(&sim, sources, gate);
+        let (live, confirmed, _) = fuser.stats();
+        rows.push(vec![
+            name.to_string(),
+            format!("{live}/{confirmed}"),
+            pct(coverage),
+            pct(dark_coverage),
+            format!("{} m", f(rmse, 0)),
+        ]);
+    }
+    let mut out = String::new();
+    out.push_str(&table(
+        "C5 — coverage and accuracy by source configuration",
+        &["configuration", "tracks (live/conf)", "coverage", "dark-episode coverage", "RMSE (covered)"],
+        &rows,
+    ));
+    out.push_str(
+        "\n(expected shape: AIS-only is accurate but loses dark vessels;\n\
+         radar-only keeps contacts but is coarse and coastal; fusion wins\n\
+         on coverage while keeping near-AIS accuracy — §2.4's claim)\n",
+    );
+    out
+}

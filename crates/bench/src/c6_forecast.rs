@@ -1,0 +1,116 @@
+//! C6 — trajectory prediction at different time scales (§3.1).
+//!
+//! Dead reckoning, constant turn and the learned route network are
+//! evaluated at horizons from 5 to 60 minutes. The expected shape: the
+//! kinematic predictors win at short horizons; the route network wins
+//! once lanes turn — the crossover is the experiment's point.
+
+use crate::util::{f, table};
+use mda_forecast::kinematic::{ConstantTurnPredictor, DeadReckoningPredictor};
+use mda_forecast::routenet::{RouteNetPredictor, RouteNetwork};
+use mda_forecast::Predictor;
+use mda_geo::distance::haversine_m;
+use mda_geo::time::MINUTE;
+use mda_geo::Fix;
+use mda_sim::scenario::{Scenario, ScenarioConfig, SimOutput};
+
+/// Train/test split: learn the network from even vessels, test on odd.
+pub fn setup() -> (SimOutput, RouteNetwork) {
+    let sim = Scenario::generate(ScenarioConfig::regional_honest(83, 60, 10 * mda_geo::time::HOUR));
+    let mut net = RouteNetwork::new(sim.world.bounds, 0.02);
+    for (id, fixes) in &sim.truth {
+        if id % 2 == 0 {
+            net.learn_all(fixes);
+        }
+    }
+    (sim, net)
+}
+
+/// Mean prediction error at one horizon over the test vessels.
+pub fn horizon_errors(
+    sim: &SimOutput,
+    net: &RouteNetwork,
+    horizon_min: i64,
+) -> (f64, f64, f64, usize) {
+    let dr = DeadReckoningPredictor;
+    let ct = ConstantTurnPredictor::default();
+    let rn = RouteNetPredictor::new(net.clone());
+    let (mut e_dr, mut e_ct, mut e_rn) = (0.0, 0.0, 0.0);
+    let mut n = 0usize;
+    for (id, fixes) in &sim.truth {
+        if id % 2 == 0 || fixes.len() < 100 {
+            continue; // training vessel or too short
+        }
+        // Several cut points per vessel, avoiding the trailing horizon.
+        let horizon = horizon_min * MINUTE;
+        for cut_frac in [0.3, 0.5, 0.7] {
+            let cut = (fixes.len() as f64 * cut_frac) as usize;
+            let history = &fixes[..cut];
+            let Some(last) = history.last() else { continue };
+            if last.sog_kn < 6.0 {
+                continue; // moored/fishing walk: transit prediction only
+            }
+            let at = last.t + horizon;
+            // Ground truth at `at`.
+            let idx = fixes.partition_point(|f| f.t <= at);
+            if idx >= fixes.len() {
+                continue;
+            }
+            let truth: &Fix = &fixes[idx];
+            if (truth.t - at).abs() > MINUTE {
+                continue;
+            }
+            let p_dr = dr.predict(history, at).expect("history non-empty");
+            let p_ct = ct.predict(history, at).expect("history non-empty");
+            let p_rn = rn.predict(history, at).expect("history non-empty");
+            e_dr += haversine_m(p_dr, truth.pos);
+            e_ct += haversine_m(p_ct, truth.pos);
+            e_rn += haversine_m(p_rn, truth.pos);
+            n += 1;
+        }
+    }
+    let n_f = n.max(1) as f64;
+    (e_dr / n_f, e_ct / n_f, e_rn / n_f, n)
+}
+
+/// Run the experiment and return the report text.
+pub fn run() -> String {
+    let (sim, net) = setup();
+    let mut rows = Vec::new();
+    let mut crossover: Option<i64> = None;
+    for h in [5i64, 10, 20, 30, 45, 60] {
+        let (dr, ct, rn, n) = horizon_errors(&sim, &net, h);
+        if crossover.is_none() && rn < dr {
+            crossover = Some(h);
+        }
+        let winner = if rn < dr.min(ct) {
+            "route-net"
+        } else if ct < dr {
+            "const-turn"
+        } else {
+            "dead-reck"
+        };
+        rows.push(vec![
+            format!("{h} min"),
+            format!("{} m", f(dr, 0)),
+            format!("{} m", f(ct, 0)),
+            format!("{} m", f(rn, 0)),
+            winner.to_string(),
+            n.to_string(),
+        ]);
+    }
+    let mut out = String::new();
+    out.push_str(&table(
+        "C6 — mean prediction error vs horizon",
+        &["horizon", "dead-reckoning", "constant-turn", "route-network", "winner", "samples"],
+        &rows,
+    ));
+    out.push_str(&match crossover {
+        Some(h) => format!(
+            "\ncrossover: the learned route network overtakes dead reckoning at ~{h} min\n\
+             (paper: prediction needed \"at different time scales\" — no single model wins)\n"
+        ),
+        None => "\nno crossover observed in this run (traffic too straight)\n".to_string(),
+    });
+    out
+}

@@ -1,0 +1,84 @@
+//! C9 — multi-scale visual aggregation (§3.2).
+//!
+//! "Scalable spatio-temporal analytical querying, such as drill-down /
+//! zoom-in": pyramid build time and drill-down query latency as data
+//! grows, and the speedup of answering region queries at the coarsest
+//! adequate level instead of the base raster.
+
+use crate::util::{f, table, timed};
+use mda_geo::{BoundingBox, Position};
+use mda_viz::pyramid::AggregationPyramid;
+use mda_viz::raster::DensityRaster;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Lane-structured random positions (mixture of lanes + noise).
+pub fn positions(n: usize, seed: u64) -> Vec<Position> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.7) {
+                // On-lane: a band across the region.
+                let t: f64 = rng.gen_range(0.0..1.0);
+                Position::new(
+                    42.4 + t * 1.2 + rng.gen_range(-0.03..0.03),
+                    3.4 + t * 2.6 + rng.gen_range(-0.03..0.03),
+                )
+            } else {
+                Position::new(rng.gen_range(42.0..43.9), rng.gen_range(3.0..6.4))
+            }
+        })
+        .collect()
+}
+
+/// Run the experiment and return the report text.
+pub fn run() -> String {
+    let bounds = BoundingBox::new(42.0, 3.0, 43.9, 6.5);
+    let window = BoundingBox::new(42.8, 4.4, 43.2, 5.1);
+    let mut rows = Vec::new();
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let pts = positions(n, 5);
+        let (pyramid, build_s) = timed(|| {
+            let mut base = DensityRaster::new(bounds, 256, 256);
+            for p in &pts {
+                base.add(*p);
+            }
+            AggregationPyramid::from_base(base)
+        });
+        // Drill-down: answer the same window at base and at level 3.
+        let reps = 2_000;
+        let (fine_sum, fine_s) = timed(|| {
+            let mut acc = 0u64;
+            for _ in 0..reps {
+                acc += pyramid.region_sum(0, &window);
+            }
+            acc / reps as u64
+        });
+        let (_, coarse_s) = timed(|| {
+            let mut acc = 0u64;
+            for _ in 0..reps {
+                acc += pyramid.region_sum(3, &window);
+            }
+            acc
+        });
+        rows.push(vec![
+            n.to_string(),
+            format!("{} ms", f(build_s * 1e3, 1)),
+            format!("{} µs", f(fine_s * 1e6 / reps as f64, 1)),
+            format!("{} µs", f(coarse_s * 1e6 / reps as f64, 1)),
+            format!("{}x", f(fine_s / coarse_s, 1)),
+            fine_sum.to_string(),
+        ]);
+    }
+    let mut out = String::new();
+    out.push_str(&table(
+        "C9 — aggregation pyramid build & drill-down latency",
+        &["positions", "build (256²+levels)", "query@L0", "query@L3", "zoom-out speedup", "window count"],
+        &rows,
+    ));
+    out.push_str(
+        "\n(build is linear in data size; query latency is independent of data\n\
+         size and shrinks with zoom level — the interactivity §3.2 demands)\n",
+    );
+    out
+}

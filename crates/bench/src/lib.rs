@@ -1,0 +1,20 @@
+//! Experiment harness regenerating every figure and quantitative claim
+//! of the paper (see DESIGN.md §3 for the index).
+//!
+//! Each module exposes `run() -> String` producing the experiment's
+//! table; the `experiments` binary prints them all, and the Criterion
+//! benches in `benches/` time the hot kernels. EXPERIMENTS.md records
+//! paper-vs-measured for each row.
+
+pub mod c1_synopses;
+pub mod c2_veracity;
+pub mod c3_godark;
+pub mod c4_events;
+pub mod c5_fusion;
+pub mod c6_forecast;
+pub mod c7_knn;
+pub mod c8_semantics;
+pub mod c9_viz;
+pub mod fig1_coverage;
+pub mod fig2_pipeline;
+pub mod util;

@@ -1,0 +1,61 @@
+//! Pipeline configuration.
+
+use mda_events::engine::EngineConfig;
+use mda_geo::{BoundingBox, DurationMs};
+use mda_synopses::compress::ThresholdConfig;
+use mda_track::fusion::FuserConfig;
+
+/// Configuration of the integrated pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Region of interest (density raster, route network, normalcy
+    /// model are built over this box).
+    pub bounds: BoundingBox,
+    /// Watermark disorder tolerance (satellite AIS batches arrive this
+    /// late relative to terrestrial traffic).
+    pub watermark_delay: DurationMs,
+    /// How often (in event time) live checks run (dark-vessel sweep,
+    /// track lifecycle).
+    pub tick_interval: DurationMs,
+    /// Event-engine configuration (zones are installed by the caller).
+    pub events: EngineConfig,
+    /// Fusion configuration.
+    pub fusion: FuserConfig,
+    /// Trajectory compression configuration.
+    pub synopsis: ThresholdConfig,
+    /// Cell size of the learned route network / normalcy model, degrees.
+    pub model_cell_deg: f64,
+    /// Shape of the traffic-density raster.
+    pub raster_shape: (usize, usize),
+}
+
+impl PipelineConfig {
+    /// A configuration suitable for a regional surveillance picture.
+    pub fn regional(bounds: BoundingBox) -> Self {
+        Self {
+            bounds,
+            watermark_delay: 40 * mda_geo::time::MINUTE,
+            tick_interval: mda_geo::time::MINUTE,
+            events: EngineConfig::default(),
+            fusion: FuserConfig::default(),
+            synopsis: ThresholdConfig::default(),
+            model_cell_deg: 0.02,
+            raster_shape: (64, 64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regional_defaults_are_consistent() {
+        let cfg = PipelineConfig::regional(BoundingBox::new(42.0, 3.0, 44.0, 6.5));
+        assert!(cfg.watermark_delay > 0);
+        assert!(cfg.tick_interval > 0);
+        assert!(cfg.model_cell_deg > 0.0);
+        assert!(cfg.raster_shape.0 > 0 && cfg.raster_shape.1 > 0);
+        assert!(!cfg.bounds.is_empty());
+    }
+}

@@ -1,0 +1,306 @@
+//! Decision support (paper §4): filtered, explained, uncertainty-
+//! annotated alerts and the operator picture.
+//!
+//! The paper's four requirements for decision support are implemented
+//! directly: (1) *judicious filtering* — severity thresholds and per-
+//! vessel rate limiting; (2) *separation of events from context* — the
+//! alert carries the event, the explanation renders the context; (3)
+//! *adequate uncertainty representation* — every alert carries an
+//! interval-valued confidence derived from the event kind and the
+//! engine's corroboration; (4) *human-system synergy* — explanations
+//! are plain sentences, and the operator picture is a compact summary
+//! rather than a raw event stream.
+
+use mda_events::event::{EventKind, MaritimeEvent, Severity};
+use mda_geo::{Timestamp, VesselId};
+use mda_uncertainty::interval::ProbInterval;
+use std::collections::HashMap;
+
+/// An operator-facing alert.
+#[derive(Debug, Clone)]
+pub struct Alert {
+    /// The underlying event.
+    pub event: MaritimeEvent,
+    /// Interval-valued confidence that the alert reflects a real
+    /// situation (width = second-order uncertainty, per §4).
+    pub confidence: ProbInterval,
+    /// A plain-language explanation for the operator.
+    pub explanation: String,
+}
+
+/// Decision-support configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionConfig {
+    /// Drop events below this severity.
+    pub min_severity: Severity,
+    /// At most one alert of the same kind per vessel within this window.
+    pub dedup_window: mda_geo::DurationMs,
+}
+
+impl Default for DecisionConfig {
+    fn default() -> Self {
+        Self { min_severity: Severity::Warning, dedup_window: 30 * mda_geo::time::MINUTE }
+    }
+}
+
+/// The decision-support stage.
+#[derive(Debug)]
+pub struct DecisionSupport {
+    config: DecisionConfig,
+    recent: HashMap<(VesselId, &'static str), Timestamp>,
+    suppressed: u64,
+    passed: u64,
+}
+
+impl DecisionSupport {
+    /// New stage.
+    pub fn new(config: DecisionConfig) -> Self {
+        Self { config, recent: HashMap::new(), suppressed: 0, passed: 0 }
+    }
+
+    /// Filter, deduplicate and annotate one event.
+    pub fn triage(&mut self, event: &MaritimeEvent) -> Option<Alert> {
+        if event.severity() < self.config.min_severity {
+            self.suppressed += 1;
+            return None;
+        }
+        let key = (event.vessel, event.kind.label());
+        if let Some(last) = self.recent.get(&key) {
+            if event.t - *last < self.config.dedup_window {
+                self.suppressed += 1;
+                return None;
+            }
+        }
+        self.recent.insert(key, event.t);
+        self.passed += 1;
+        Some(Alert {
+            event: event.clone(),
+            confidence: confidence_of(&event.kind),
+            explanation: explain(event),
+        })
+    }
+
+    /// `(alerts passed, events suppressed)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.passed, self.suppressed)
+    }
+}
+
+/// Interval confidence by event kind: hard kinematic evidence is
+/// narrow/high; behavioural inferences are wider (the honesty the paper
+/// demands when "communicating to the user faithful information").
+fn confidence_of(kind: &EventKind) -> ProbInterval {
+    match kind {
+        EventKind::IdentityConflict { .. } => ProbInterval::new(0.9, 0.99),
+        EventKind::KinematicSpoofing { implied_speed_kn } => {
+            // The wilder the implied speed, the tighter the call.
+            if *implied_speed_kn > 200.0 {
+                ProbInterval::new(0.9, 0.99)
+            } else {
+                ProbInterval::new(0.7, 0.95)
+            }
+        }
+        EventKind::CollisionRisk { .. } => ProbInterval::new(0.8, 0.95),
+        EventKind::GapStart | EventKind::GapEnd { .. } => ProbInterval::new(0.85, 1.0),
+        EventKind::IllegalFishing { .. } => ProbInterval::new(0.5, 0.9),
+        EventKind::Loitering { .. } => ProbInterval::new(0.5, 0.85),
+        EventKind::Rendezvous { .. } => ProbInterval::new(0.4, 0.85),
+        EventKind::ZoneEntry { .. } | EventKind::ZoneExit { .. } => ProbInterval::precise(0.99),
+    }
+}
+
+/// Render a plain-language explanation.
+fn explain(event: &MaritimeEvent) -> String {
+    let v = event.vessel;
+    match &event.kind {
+        EventKind::GapStart => {
+            format!("Vessel {v} stopped transmitting AIS; last seen at {}.", event.pos)
+        }
+        EventKind::GapEnd { minutes } => {
+            format!("Vessel {v} resumed transmitting after {minutes:.0} min of silence.")
+        }
+        EventKind::KinematicSpoofing { implied_speed_kn } => format!(
+            "Vessel {v} reported positions implying {implied_speed_kn:.0} kn — \
+             physically impossible; GPS manipulation suspected."
+        ),
+        EventKind::IdentityConflict { separation_km } => format!(
+            "MMSI {v} transmitted from two positions {separation_km:.0} km apart \
+             near-simultaneously; identity cloning suspected."
+        ),
+        EventKind::ZoneEntry { zone } => format!("Vessel {v} entered {zone}."),
+        EventKind::ZoneExit { zone, dwell_min } => {
+            format!("Vessel {v} left {zone} after {dwell_min:.0} min.")
+        }
+        EventKind::IllegalFishing { zone } => format!(
+            "Vessel {v} moving at trawling speed inside protected area {zone}."
+        ),
+        EventKind::Loitering { radius_m, minutes } => format!(
+            "Vessel {v} has loitered within {radius_m:.0} m for {minutes:.0} min at sea."
+        ),
+        EventKind::Rendezvous { other, distance_m, minutes } => format!(
+            "Vessels {v} and {other} stayed {distance_m:.0} m apart for {minutes:.0} min \
+             at sea — possible transfer."
+        ),
+        EventKind::CollisionRisk { other, dcpa_m, tcpa_s } => format!(
+            "Vessels {v} and {other} are projected to pass {dcpa_m:.0} m apart \
+             in {:.0} min.",
+            tcpa_s / 60.0
+        ),
+    }
+}
+
+/// A compact situation summary for the console.
+#[derive(Debug, Clone, Default)]
+pub struct OperatorPicture {
+    /// Live tracks (total, confirmed).
+    pub tracks: (usize, usize),
+    /// Alerts by kind label.
+    pub alerts_by_kind: HashMap<&'static str, u64>,
+    /// Vessels currently flagged dark.
+    pub dark_vessels: Vec<VesselId>,
+    /// Overall synopsis compression ratio.
+    pub compression_ratio: f64,
+    /// Watermark (how far event time has progressed).
+    pub watermark: Timestamp,
+}
+
+impl OperatorPicture {
+    /// Assemble the picture from a pipeline and a set of alerts.
+    pub fn assemble(
+        pipeline: &crate::pipeline::MaritimePipeline,
+        alerts: &[Alert],
+    ) -> OperatorPicture {
+        let (live, confirmed, _) = pipeline.fuser().stats();
+        let mut alerts_by_kind: HashMap<&'static str, u64> = HashMap::new();
+        let mut dark = Vec::new();
+        for a in alerts {
+            *alerts_by_kind.entry(a.event.kind.label()).or_insert(0) += 1;
+            if matches!(a.event.kind, EventKind::GapStart) {
+                dark.push(a.event.vessel);
+            }
+        }
+        dark.sort_unstable();
+        dark.dedup();
+        OperatorPicture {
+            tracks: (live, confirmed),
+            alerts_by_kind,
+            dark_vessels: dark,
+            compression_ratio: pipeline.compression_ratio(),
+            watermark: pipeline.watermark(),
+        }
+    }
+
+    /// Render as console text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "OPERATOR PICTURE @ {}\n  tracks: {} live / {} confirmed\n  synopsis compression: {:.1}%\n",
+            self.watermark,
+            self.tracks.0,
+            self.tracks.1,
+            self.compression_ratio * 100.0
+        ));
+        let mut kinds: Vec<(&&str, &u64)> = self.alerts_by_kind.iter().collect();
+        kinds.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        for (kind, n) in kinds {
+            out.push_str(&format!("  {kind}: {n}\n"));
+        }
+        if !self.dark_vessels.is_empty() {
+            out.push_str(&format!("  dark vessels: {:?}\n", self.dark_vessels));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::Position;
+
+    fn event(kind: EventKind, vessel: u32, t_min: i64) -> MaritimeEvent {
+        MaritimeEvent {
+            t: Timestamp::from_mins(t_min),
+            vessel,
+            pos: Position::new(43.0, 5.0),
+            kind,
+        }
+    }
+
+    #[test]
+    fn severity_filter() {
+        let mut ds = DecisionSupport::new(DecisionConfig::default());
+        // Info-level zone entry is suppressed.
+        assert!(ds.triage(&event(EventKind::ZoneEntry { zone: "A".into() }, 1, 0)).is_none());
+        // Alert-level spoofing passes.
+        assert!(ds
+            .triage(&event(
+                EventKind::KinematicSpoofing { implied_speed_kn: 300.0 },
+                1,
+                0
+            ))
+            .is_some());
+        let (passed, suppressed) = ds.stats();
+        assert_eq!((passed, suppressed), (1, 1));
+    }
+
+    #[test]
+    fn dedup_window_rate_limits() {
+        let mut ds = DecisionSupport::new(DecisionConfig::default());
+        let mk = |t| event(EventKind::Loitering { radius_m: 500.0, minutes: 40.0 }, 7, t);
+        assert!(ds.triage(&mk(0)).is_some());
+        assert!(ds.triage(&mk(10)).is_none(), "same kind within window");
+        assert!(ds.triage(&mk(45)).is_some(), "window elapsed");
+        // Different vessel is independent.
+        let other = event(EventKind::Loitering { radius_m: 500.0, minutes: 40.0 }, 8, 10);
+        assert!(ds.triage(&other).is_some());
+    }
+
+    #[test]
+    fn confidence_reflects_evidence_strength() {
+        let hard = confidence_of(&EventKind::IdentityConflict { separation_km: 60.0 });
+        let soft = confidence_of(&EventKind::Rendezvous {
+            other: 2,
+            distance_m: 200.0,
+            minutes: 30.0,
+        });
+        assert!(hard.lo > soft.lo);
+        assert!(hard.width() < soft.width(), "behavioural calls carry wider uncertainty");
+    }
+
+    #[test]
+    fn explanations_are_specific() {
+        let e = event(
+            EventKind::CollisionRisk { other: 9, dcpa_m: 120.0, tcpa_s: 600.0 },
+            4,
+            0,
+        );
+        let text = explain(&e);
+        assert!(text.contains("120 m"));
+        assert!(text.contains("10 min"));
+        assert!(text.contains('4') && text.contains('9'));
+    }
+
+    #[test]
+    fn picture_renders() {
+        let mut ds = DecisionSupport::new(DecisionConfig::default());
+        let alerts: Vec<Alert> = [
+            event(EventKind::GapStart, 1, 0),
+            event(EventKind::GapStart, 2, 0),
+            event(EventKind::KinematicSpoofing { implied_speed_kn: 150.0 }, 3, 0),
+        ]
+        .iter()
+        .filter_map(|e| ds.triage(e))
+        .collect();
+        assert_eq!(alerts.len(), 3);
+        let mut picture = OperatorPicture::default();
+        for a in &alerts {
+            *picture.alerts_by_kind.entry(a.event.kind.label()).or_insert(0) += 1;
+            if matches!(a.event.kind, EventKind::GapStart) {
+                picture.dark_vessels.push(a.event.vessel);
+            }
+        }
+        let text = picture.render();
+        assert!(text.contains("gap-start: 2"));
+        assert!(text.contains("dark vessels"));
+    }
+}

@@ -1,0 +1,35 @@
+//! The integrated maritime information infrastructure (paper Figure 2).
+//!
+//! This crate wires every substrate into the architecture the paper
+//! sketches: in-situ processing of streaming data, trajectory
+//! reconstruction and synopses, multi-source fusion, complex event
+//! recognition, semantic enrichment, forecasting, archival storage, and
+//! decision support with explicit uncertainty.
+//!
+//! ```text
+//!  AIS/radar/VMS ─▶ validate ─▶ reorder (watermarks) ─▶ fuse ─▶ events
+//!                      │             │                    │       │
+//!                      ▼             ▼                    ▼       ▼
+//!                   quality      synopses ─▶ archive   forecast  alerts
+//!                   metrics      enrichment ─▶ knowledge graph    │
+//!                                                                 ▼
+//!                                                       operator picture
+//! ```
+//!
+//! - [`config`] — one configuration struct for the whole pipeline.
+//! - [`pipeline`] — [`pipeline::MaritimePipeline`]: push observations
+//!   in arrival order, get events and an updated picture out.
+//! - [`decision`] — decision support (paper §4): severity filtering,
+//!   explanation strings, interval-valued confidence, and the
+//!   [`decision::OperatorPicture`].
+//! - [`report`] — the per-stage metrics the E2 experiment prints.
+
+pub mod config;
+pub mod decision;
+pub mod pipeline;
+pub mod report;
+
+pub use config::PipelineConfig;
+pub use decision::{Alert, DecisionSupport, OperatorPicture};
+pub use pipeline::MaritimePipeline;
+pub use report::PipelineReport;

@@ -1,0 +1,464 @@
+//! The integrated pipeline: arrival-ordered observations in, event-time
+//! ordered analytics out.
+
+use crate::config::PipelineConfig;
+use crate::report::{PipelineReport, StageTimer};
+use mda_ais::messages::AisMessage;
+use mda_ais::quality;
+use mda_events::engine::EventEngine;
+use mda_events::event::MaritimeEvent;
+use mda_forecast::normalcy::NormalcyModel;
+use mda_forecast::routenet::{RouteNetPredictor, RouteNetwork};
+use mda_geo::{Fix, Position, Timestamp, VesselId};
+use mda_semantics::enrich::Enricher;
+use mda_semantics::store::TripleStore;
+use mda_semantics::term::Interner;
+use mda_sim::scenario::{AisObservation, SimOutput};
+use mda_sim::receivers::{RadarPlot, VmsReport};
+use mda_sim::weather::WeatherField;
+use mda_store::knn::KnnEngine;
+use mda_store::shared::SharedTrajectoryStore;
+use mda_stream::reorder::ReorderBuffer;
+use mda_stream::watermark::BoundedOutOfOrderness;
+use mda_synopses::compress::ThresholdCompressor;
+use mda_track::fusion::Fuser;
+use mda_track::sensor::{SensorKind, SensorReport};
+use mda_viz::raster::DensityRaster;
+use std::collections::HashMap;
+
+/// An observation entering the reorder stage.
+#[derive(Debug, Clone)]
+enum StreamItem {
+    Ais(Fix),
+    Radar(RadarPlot),
+    Vms(VmsReport),
+}
+
+/// The integrated maritime pipeline (Figure 2).
+pub struct MaritimePipeline {
+    config: PipelineConfig,
+    watermark: BoundedOutOfOrderness,
+    reorder: ReorderBuffer<StreamItem>,
+    fuser: Fuser,
+    engine: EventEngine,
+    compressors: HashMap<VesselId, ThresholdCompressor>,
+    store: SharedTrajectoryStore,
+    knn: KnnEngine,
+    interner: Interner,
+    graph: TripleStore,
+    enricher: Enricher,
+    vessel_terms: HashMap<VesselId, mda_semantics::term::TermId>,
+    weather: Option<WeatherField>,
+    route_net: RouteNetwork,
+    normalcy: NormalcyModel,
+    raster: DensityRaster,
+    report: PipelineReport,
+    last_tick: Timestamp,
+}
+
+impl MaritimePipeline {
+    /// Build a pipeline from configuration. Zones for the event engine
+    /// and the enricher come from `config.events.zones`.
+    pub fn new(config: PipelineConfig) -> Self {
+        let mut interner = Interner::new();
+        let enrich_zones = config
+            .events
+            .zones
+            .iter()
+            .map(|z| (z.name.clone(), z.area.clone()))
+            .collect();
+        let enricher = Enricher::new(&mut interner, enrich_zones);
+        let (rows, cols) = config.raster_shape;
+        Self {
+            watermark: BoundedOutOfOrderness::new(config.watermark_delay),
+            reorder: ReorderBuffer::new(),
+            fuser: Fuser::new(config.fusion),
+            engine: EventEngine::new(config.events.clone()),
+            compressors: HashMap::new(),
+            store: SharedTrajectoryStore::new(),
+            // The kNN horizon covers the watermark lag plus a coasting
+            // margin, so snapshot queries anywhere in the freshness band
+            // still see the fleet.
+            knn: KnnEngine::new(0.05, config.watermark_delay + 15 * mda_geo::time::MINUTE),
+            interner,
+            graph: TripleStore::new(),
+            enricher,
+            vessel_terms: HashMap::new(),
+            weather: None,
+            route_net: RouteNetwork::new(config.bounds, config.model_cell_deg),
+            normalcy: NormalcyModel::new(config.bounds, config.model_cell_deg),
+            raster: DensityRaster::new(config.bounds, rows, cols),
+            report: PipelineReport::default(),
+            last_tick: Timestamp::MIN,
+            config,
+        }
+    }
+
+    /// Attach a weather field for enrichment.
+    pub fn with_weather(mut self, field: WeatherField) -> Self {
+        self.weather = Some(field);
+        self
+    }
+
+    /// Push one received AIS observation (arrival order). Returns the
+    /// events whose event time became final.
+    pub fn push_ais(&mut self, obs: &AisObservation) -> Vec<MaritimeEvent> {
+        let _t = StageTimer::new(&mut self.report.ingest);
+        self.report.ais_messages += 1;
+        match &obs.msg {
+            AisMessage::StaticVoyage(sv) => {
+                self.report.static_messages += 1;
+                if !quality::validate_static(sv).is_clean() {
+                    self.report.static_flagged += 1;
+                }
+                drop(_t);
+                Vec::new()
+            }
+            msg => {
+                let Some(fix) = msg.to_fix(obs.t_sent) else {
+                    self.report.invalid_messages += 1;
+                    drop(_t);
+                    return Vec::new();
+                };
+                drop(_t);
+                self.enqueue(fix.t, StreamItem::Ais(fix))
+            }
+        }
+    }
+
+    /// Push a radar plot.
+    pub fn push_radar(&mut self, plot: &RadarPlot) -> Vec<MaritimeEvent> {
+        self.report.radar_plots += 1;
+        self.enqueue(plot.t, StreamItem::Radar(*plot))
+    }
+
+    /// Push a VMS report.
+    pub fn push_vms(&mut self, report: &VmsReport) -> Vec<MaritimeEvent> {
+        self.report.vms_reports += 1;
+        self.enqueue(report.t, StreamItem::Vms(*report))
+    }
+
+    fn enqueue(&mut self, t: Timestamp, item: StreamItem) -> Vec<MaritimeEvent> {
+        let wm = {
+            let _t = StageTimer::new(&mut self.report.reorder);
+            if !self.reorder.push(t, item) {
+                self.report.dropped_late += 1;
+            }
+            self.watermark.observe(t)
+        };
+        let released = {
+            let _t = StageTimer::new(&mut self.report.reorder);
+            self.reorder.release(wm)
+        };
+        let mut events = Vec::new();
+        for (_, item) in released {
+            events.extend(self.process(item));
+        }
+        // Periodic live checks in event time.
+        if wm > self.last_tick.saturating_add(self.config.tick_interval) {
+            self.last_tick = wm;
+            events.extend(self.engine.tick(wm));
+            self.fuser.sweep(wm);
+        }
+        events
+    }
+
+    fn process(&mut self, item: StreamItem) -> Vec<MaritimeEvent> {
+        match item {
+            StreamItem::Ais(fix) => self.process_fix(fix),
+            StreamItem::Radar(plot) => {
+                let _t = StageTimer::new(&mut self.report.fusion);
+                self.fuser.ingest(&SensorReport {
+                    kind: SensorKind::Radar,
+                    t: plot.t,
+                    pos: plot.pos,
+                    claimed_id: None,
+                    sog_kn: None,
+                    cog_deg: None,
+                    accuracy_m: None,
+                });
+                Vec::new()
+            }
+            StreamItem::Vms(v) => {
+                let _t = StageTimer::new(&mut self.report.fusion);
+                self.fuser.ingest(&SensorReport {
+                    kind: SensorKind::Vms,
+                    t: v.t,
+                    pos: v.pos,
+                    claimed_id: Some(v.id),
+                    sog_kn: None,
+                    cog_deg: None,
+                    accuracy_m: None,
+                });
+                Vec::new()
+            }
+        }
+    }
+
+    fn process_fix(&mut self, fix: Fix) -> Vec<MaritimeEvent> {
+        // Fusion.
+        {
+            let _t = StageTimer::new(&mut self.report.fusion);
+            self.fuser.ingest(&SensorReport::from_fix(SensorKind::AisTerrestrial, &fix));
+        }
+        // Event recognition.
+        let events = {
+            let _t = StageTimer::new(&mut self.report.events);
+            self.engine.observe(&fix)
+        };
+        // Synopses → archive, models, enrichment.
+        let kept = {
+            let _t = StageTimer::new(&mut self.report.synopses);
+            let compressor = self
+                .compressors
+                .entry(fix.id)
+                .or_insert_with(|| ThresholdCompressor::new(self.config.synopsis));
+            compressor.observe(fix)
+        };
+        {
+            let _t = StageTimer::new(&mut self.report.analytics);
+            self.raster.add(fix.pos);
+            self.knn.update(fix);
+            self.route_net.learn(&fix);
+            self.normalcy.learn(&fix);
+        }
+        if let Some(kept) = kept {
+            let _t = StageTimer::new(&mut self.report.storage);
+            self.store.append(kept);
+            let wind = self
+                .weather
+                .as_ref()
+                .map(|w| w.sample(kept.pos, kept.t).wind_mps)
+                .unwrap_or(5.0);
+            let term = match self.vessel_terms.get(&kept.id) {
+                Some(t) => *t,
+                None => {
+                    let t = self.interner.intern(&format!(":vessel/{}", kept.id));
+                    self.vessel_terms.insert(kept.id, t);
+                    t
+                }
+            };
+            self.enricher.enrich(&mut self.graph, term, &kept, wind);
+        }
+        self.report.events_emitted += events.len() as u64;
+        events
+    }
+
+    /// Drain everything buffered (end of stream); returns the remaining
+    /// events.
+    pub fn finish(&mut self) -> Vec<MaritimeEvent> {
+        let remaining = self.reorder.drain_all();
+        let mut events = Vec::new();
+        for (_, item) in remaining {
+            events.extend(self.process(item));
+        }
+        let now = self.watermark.current().saturating_add(self.config.watermark_delay);
+        events.extend(self.engine.tick(now));
+        self.report.dropped_late += self.reorder.dropped_late();
+        events
+    }
+
+    /// Run a whole simulated scenario (AIS + radar + VMS merged by
+    /// arrival time). Returns all recognised events.
+    pub fn run_scenario(&mut self, sim: &SimOutput) -> Vec<MaritimeEvent> {
+        enum Arrival<'a> {
+            Ais(&'a AisObservation),
+            Radar(&'a RadarPlot),
+            Vms(&'a VmsReport),
+        }
+        let mut merged: Vec<(Timestamp, Arrival)> = Vec::with_capacity(
+            sim.ais.len() + sim.radar.len() + sim.vms.len(),
+        );
+        merged.extend(sim.ais.iter().map(|o| (o.t_received, Arrival::Ais(o))));
+        merged.extend(sim.radar.iter().map(|p| (p.t, Arrival::Radar(p))));
+        merged.extend(sim.vms.iter().map(|v| (v.t, Arrival::Vms(v))));
+        merged.sort_by_key(|(t, _)| *t);
+
+        let mut events = Vec::new();
+        for (_, item) in merged {
+            match item {
+                Arrival::Ais(o) => events.extend(self.push_ais(o)),
+                Arrival::Radar(p) => events.extend(self.push_radar(p)),
+                Arrival::Vms(v) => events.extend(self.push_vms(v)),
+            }
+        }
+        events.extend(self.finish());
+        events
+    }
+
+    // ---- accessors for decision support, experiments and examples ----
+
+    /// Per-stage metrics.
+    pub fn report(&self) -> &PipelineReport {
+        &self.report
+    }
+
+    /// The fused track picture.
+    pub fn fuser(&self) -> &Fuser {
+        &self.fuser
+    }
+
+    /// The event engine (counters, live index).
+    pub fn engine(&self) -> &EventEngine {
+        &self.engine
+    }
+
+    /// The archival (synopsis) store.
+    pub fn store(&self) -> &SharedTrajectoryStore {
+        &self.store
+    }
+
+    /// Snapshot kNN over the live fleet.
+    pub fn knn(&self, query: Position, t: Timestamp, k: usize) -> Vec<mda_store::knn::KnnResult> {
+        self.knn.knn(query, t, k)
+    }
+
+    /// The live knowledge graph and its interner.
+    pub fn graph(&self) -> (&TripleStore, &Interner) {
+        (&self.graph, &self.interner)
+    }
+
+    /// A predictor over the route network learned so far.
+    pub fn route_predictor(&self) -> RouteNetPredictor {
+        RouteNetPredictor::new(self.route_net.clone())
+    }
+
+    /// The learned normalcy model.
+    pub fn normalcy(&self) -> &NormalcyModel {
+        &self.normalcy
+    }
+
+    /// The traffic-density raster accumulated so far.
+    pub fn raster(&self) -> &DensityRaster {
+        &self.raster
+    }
+
+    /// Overall synopsis compression ratio across vessels.
+    pub fn compression_ratio(&self) -> f64 {
+        let (seen, kept) = self
+            .compressors
+            .values()
+            .fold((0u64, 0u64), |(s, k), c| {
+                let (cs, ck) = c.counts();
+                (s + cs, k + ck)
+            });
+        if seen == 0 {
+            0.0
+        } else {
+            1.0 - kept as f64 / seen as f64
+        }
+    }
+
+    /// Current event-time watermark.
+    pub fn watermark(&self) -> Timestamp {
+        self.watermark.current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_events::zone::NamedZone;
+    use mda_geo::time::HOUR;
+    use mda_geo::BoundingBox;
+    use mda_sim::scenario::{Scenario, ScenarioConfig};
+
+    fn pipeline_for(sim: &SimOutput) -> MaritimePipeline {
+        let mut config = PipelineConfig::regional(sim.world.bounds);
+        config.events.zones = sim
+            .world
+            .zones
+            .iter()
+            .map(|z| NamedZone {
+                name: z.name.clone(),
+                area: z.area.clone(),
+                protected: z.kind == mda_sim::world::ZoneKind::ProtectedArea,
+            })
+            .collect();
+        MaritimePipeline::new(config).with_weather(sim.weather.clone())
+    }
+
+    #[test]
+    fn end_to_end_regional_scenario() {
+        let sim = Scenario::generate(ScenarioConfig::regional(42, 25, 3 * HOUR));
+        let mut p = pipeline_for(&sim);
+        let events = p.run_scenario(&sim);
+
+        // The pipeline ingested everything.
+        let r = p.report();
+        assert_eq!(r.ais_messages as usize, sim.ais.len());
+        assert_eq!(r.radar_plots as usize, sim.radar.len());
+        assert_eq!(r.vms_reports as usize, sim.vms.len());
+
+        // Static quality issues were found at roughly the injected rate.
+        assert!(r.static_messages > 0);
+        assert!(r.static_flagged > 0, "5% static errors must be flagged");
+
+        // Synopses compress heavily but the archive is non-empty.
+        assert!(p.compression_ratio() > 0.5, "ratio {}", p.compression_ratio());
+        assert!(!p.store().is_empty());
+
+        // Tracks exist for (most of) the fleet.
+        let (live, confirmed, _) = p.fuser().stats();
+        assert!(live >= 20, "live tracks {live}");
+        assert!(confirmed >= 15, "confirmed {confirmed}");
+
+        // Dark vessels produced gap events.
+        assert!(!events.is_empty());
+        assert!(
+            events.iter().any(|e| matches!(e.kind, mda_events::event::EventKind::GapStart)),
+            "dark vessels must trigger gaps"
+        );
+
+        // The knowledge graph got populated.
+        let (graph, _) = p.graph();
+        assert!(graph.len() > 50, "graph size {}", graph.len());
+
+        // Density raster covers the region.
+        assert!(p.raster().total() > 1_000);
+    }
+
+    #[test]
+    fn knn_and_forecast_available_after_run() {
+        let sim = Scenario::generate(ScenarioConfig::regional_honest(7, 15, 2 * HOUR));
+        let mut p = pipeline_for(&sim);
+        p.run_scenario(&sim);
+
+        let t = p.watermark();
+        let near = p.knn(Position::new(43.0, 5.0), t, 5);
+        assert!(!near.is_empty());
+
+        // Forecast from any vessel's archived synopsis.
+        let vessel = p.store().with_read(|s| s.vessels().next()).unwrap();
+        let history = p.store().trajectory(vessel).unwrap();
+        let predictor = p.route_predictor();
+        use mda_forecast::Predictor;
+        let predicted = predictor.predict(&history, t + 10 * mda_geo::time::MINUTE);
+        assert!(predicted.is_some());
+
+        // Normalcy model learned the region.
+        assert!(p.normalcy().cell_count() > 10);
+    }
+
+    #[test]
+    fn watermark_discipline_orders_disordered_input() {
+        let sim = Scenario::generate(ScenarioConfig::regional(9, 10, 2 * HOUR));
+        // Verify the input really is event-time disordered.
+        let disordered = sim.ais.windows(2).any(|w| w[0].t_sent > w[1].t_sent);
+        assert!(disordered);
+        let mut p = pipeline_for(&sim);
+        p.run_scenario(&sim);
+        // Late-beyond-watermark drops stay tiny.
+        let r = p.report();
+        let drop_rate = r.dropped_late as f64 / r.ais_messages.max(1) as f64;
+        assert!(drop_rate < 0.05, "drop rate {drop_rate}");
+    }
+
+    #[test]
+    fn empty_bounds_pipeline_is_harmless() {
+        let config = PipelineConfig::regional(BoundingBox::new(0.0, 0.0, 1.0, 1.0));
+        let mut p = MaritimePipeline::new(config);
+        assert!(p.finish().is_empty());
+        assert_eq!(p.compression_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Pipeline metrics: the numbers behind the E2 experiment table.
+
+use std::time::Instant;
+
+/// Cumulative busy time and invocation count of one pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageMetric {
+    /// Number of timed sections.
+    pub calls: u64,
+    /// Total busy time in nanoseconds.
+    pub busy_nanos: u128,
+}
+
+impl StageMetric {
+    /// Mean latency per call in microseconds.
+    pub fn mean_micros(&self) -> f64 {
+        if self.calls == 0 {
+            return 0.0;
+        }
+        self.busy_nanos as f64 / self.calls as f64 / 1_000.0
+    }
+
+    /// Calls per second of busy time.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.busy_nanos == 0 {
+            return 0.0;
+        }
+        self.calls as f64 / (self.busy_nanos as f64 / 1e9)
+    }
+}
+
+/// RAII timer adding its elapsed time to a [`StageMetric`].
+pub struct StageTimer<'a> {
+    metric: &'a mut StageMetric,
+    start: Instant,
+}
+
+impl<'a> StageTimer<'a> {
+    /// Start timing a section.
+    pub fn new(metric: &'a mut StageMetric) -> Self {
+        metric.calls += 1;
+        Self { metric, start: Instant::now() }
+    }
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        self.metric.busy_nanos += self.start.elapsed().as_nanos();
+    }
+}
+
+/// Counters and per-stage timings of one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// AIS messages pushed.
+    pub ais_messages: u64,
+    /// Static & voyage messages among them.
+    pub static_messages: u64,
+    /// Static messages failing validation.
+    pub static_flagged: u64,
+    /// Messages without a usable position.
+    pub invalid_messages: u64,
+    /// Radar plots pushed.
+    pub radar_plots: u64,
+    /// VMS reports pushed.
+    pub vms_reports: u64,
+    /// Observations dropped behind the watermark.
+    pub dropped_late: u64,
+    /// Events emitted by the engine.
+    pub events_emitted: u64,
+    /// Ingest/validation stage.
+    pub ingest: StageMetric,
+    /// Reordering stage.
+    pub reorder: StageMetric,
+    /// Fusion stage.
+    pub fusion: StageMetric,
+    /// Event-recognition stage.
+    pub events: StageMetric,
+    /// Synopsis stage.
+    pub synopses: StageMetric,
+    /// Model/raster update stage.
+    pub analytics: StageMetric,
+    /// Storage + enrichment stage.
+    pub storage: StageMetric,
+}
+
+impl PipelineReport {
+    /// Rows for the E2 table: `(stage, calls, mean µs, calls/s)`.
+    pub fn stage_rows(&self) -> Vec<(&'static str, u64, f64, f64)> {
+        [
+            ("ingest", &self.ingest),
+            ("reorder", &self.reorder),
+            ("fusion", &self.fusion),
+            ("events", &self.events),
+            ("synopses", &self.synopses),
+            ("analytics", &self.analytics),
+            ("storage+graph", &self.storage),
+        ]
+        .into_iter()
+        .map(|(name, m)| (name, m.calls, m.mean_micros(), m.throughput_per_sec()))
+        .collect()
+    }
+
+    /// Fraction of static messages flagged by validation.
+    pub fn static_error_rate(&self) -> f64 {
+        if self.static_messages == 0 {
+            return 0.0;
+        }
+        self.static_flagged as f64 / self.static_messages as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_accumulates() {
+        let mut m = StageMetric::default();
+        for _ in 0..10 {
+            let _t = StageTimer::new(&mut m);
+            std::hint::black_box(1 + 1);
+        }
+        assert_eq!(m.calls, 10);
+        assert!(m.busy_nanos > 0);
+        assert!(m.mean_micros() >= 0.0);
+        assert!(m.throughput_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn report_rows_cover_all_stages() {
+        let r = PipelineReport::default();
+        let rows = r.stage_rows();
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].0, "ingest");
+        assert_eq!(r.static_error_rate(), 0.0);
+    }
+
+    #[test]
+    fn static_error_rate_computed() {
+        let r = PipelineReport {
+            static_messages: 200,
+            static_flagged: 10,
+            ..Default::default()
+        };
+        assert!((r.static_error_rate() - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,190 @@
+//! The event engine: every detector behind one `observe` call.
+
+use crate::event::MaritimeEvent;
+use crate::gap::GapDetector;
+use crate::loiter::{LoiterConfig, LoiterDetector};
+use crate::proximity::{
+    CollisionConfig, CollisionDetector, LiveIndex, RendezvousConfig, RendezvousDetector,
+};
+use crate::veracity::{VeracityConfig, VeracityDetector};
+use crate::zone::{NamedZone, ZoneDetector};
+use mda_geo::{DurationMs, Fix, Timestamp};
+use std::collections::HashMap;
+
+/// Engine-wide configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// AIS silence threshold for gap detection.
+    pub gap_threshold: DurationMs,
+    /// Veracity detector tuning.
+    pub veracity: VeracityConfig,
+    /// Loiter detector tuning.
+    pub loiter: LoiterConfig,
+    /// Rendezvous detector tuning.
+    pub rendezvous: RendezvousConfig,
+    /// Collision detector tuning.
+    pub collision: CollisionConfig,
+    /// Zones to watch.
+    pub zones: Vec<NamedZone>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            gap_threshold: 15 * mda_geo::time::MINUTE,
+            veracity: VeracityConfig::default(),
+            loiter: LoiterConfig::default(),
+            rendezvous: RendezvousConfig::default(),
+            collision: CollisionConfig::default(),
+            zones: Vec::new(),
+        }
+    }
+}
+
+/// The streaming maritime event engine.
+///
+/// Feed event-time-ordered fixes; collect [`MaritimeEvent`]s. The engine
+/// also exposes [`EventEngine::tick`] for watermark-driven live checks
+/// (dark-vessel sweeps).
+pub struct EventEngine {
+    gap: GapDetector,
+    veracity: VeracityDetector,
+    loiter: LoiterDetector,
+    rendezvous: RendezvousDetector,
+    collision: CollisionDetector,
+    zones: ZoneDetector,
+    index: LiveIndex,
+    counts: HashMap<&'static str, u64>,
+    fixes_seen: u64,
+}
+
+impl EventEngine {
+    /// Build an engine from configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Self {
+            gap: GapDetector::new(config.gap_threshold),
+            veracity: VeracityDetector::new(config.veracity),
+            loiter: LoiterDetector::new(config.loiter),
+            rendezvous: RendezvousDetector::new(config.rendezvous),
+            collision: CollisionDetector::new(config.collision),
+            zones: ZoneDetector::new(config.zones),
+            index: LiveIndex::new(),
+            counts: HashMap::new(),
+            fixes_seen: 0,
+        }
+    }
+
+    /// Observe one fix through every detector.
+    pub fn observe(&mut self, fix: &Fix) -> Vec<MaritimeEvent> {
+        self.fixes_seen += 1;
+        self.index.update(fix);
+        let mut out = Vec::new();
+        out.extend(self.gap.observe(fix));
+        out.extend(self.veracity.observe(fix));
+        out.extend(self.loiter.observe(fix));
+        out.extend(self.zones.observe(fix));
+        out.extend(self.rendezvous.observe(fix, &self.index));
+        out.extend(self.collision.observe(fix, &self.index));
+        for e in &out {
+            *self.counts.entry(e.kind.label()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Watermark-driven live checks (call periodically with advancing
+    /// event time): currently the dark-vessel sweep.
+    pub fn tick(&mut self, now: Timestamp) -> Vec<MaritimeEvent> {
+        let out = self.gap.check_silent(now);
+        for e in &out {
+            *self.counts.entry(e.kind.label()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Events emitted so far, by kind label.
+    pub fn counts(&self) -> &HashMap<&'static str, u64> {
+        &self.counts
+    }
+
+    /// Fixes processed.
+    pub fn fixes_seen(&self) -> u64 {
+        self.fixes_seen
+    }
+
+    /// The live latest-fix index (for the operator picture).
+    pub fn live_index(&self) -> &LiveIndex {
+        &self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use mda_geo::{BoundingBox, Polygon, Position};
+
+    fn engine_with_zone() -> EventEngine {
+        let zones = vec![NamedZone {
+            name: "RESERVE".into(),
+            area: Polygon::rectangle(BoundingBox::new(42.5, 4.5, 42.7, 4.8)),
+            protected: true,
+        }];
+        EventEngine::new(EngineConfig { zones, ..Default::default() })
+    }
+
+    fn fix(id: u32, t_min: i64, lat: f64, lon: f64, sog: f64, cog: f64) -> Fix {
+        Fix::new(id, Timestamp::from_mins(t_min), Position::new(lat, lon), sog, cog)
+    }
+
+    #[test]
+    fn engine_dispatches_all_detectors() {
+        let mut e = engine_with_zone();
+        // Vessel 1 transits into the reserve and slows to fishing speed.
+        e.observe(&fix(1, 0, 42.4, 4.6, 9.0, 0.0));
+        let entry = e.observe(&fix(1, 10, 42.55, 4.6, 9.0, 0.0));
+        assert!(entry.iter().any(|ev| matches!(ev.kind, EventKind::ZoneEntry { .. })));
+        let fishing = e.observe(&fix(1, 20, 42.6, 4.62, 3.0, 45.0));
+        assert!(fishing.iter().any(|ev| matches!(ev.kind, EventKind::IllegalFishing { .. })));
+        assert!(e.counts()["zone-entry"] >= 1);
+        assert!(e.counts()["illegal-fishing"] >= 1);
+        assert_eq!(e.fixes_seen(), 3);
+    }
+
+    #[test]
+    fn engine_gap_and_tick() {
+        let mut e = engine_with_zone();
+        e.observe(&fix(2, 0, 43.0, 5.0, 10.0, 90.0));
+        let live = e.tick(Timestamp::from_mins(30));
+        assert_eq!(live.len(), 1);
+        assert!(matches!(live[0].kind, EventKind::GapStart));
+        assert_eq!(e.counts()["gap-start"], 1);
+    }
+
+    #[test]
+    fn engine_spoofing_path() {
+        let mut e = engine_with_zone();
+        e.observe(&fix(3, 0, 43.0, 5.0, 10.0, 90.0));
+        let events = e.observe(&fix(3, 10, 43.0, 5.8, 10.0, 90.0)); // ~65 km in 10 min
+        assert!(events
+            .iter()
+            .any(|ev| matches!(ev.kind, EventKind::KinematicSpoofing { .. })));
+    }
+
+    #[test]
+    fn engine_collision_path() {
+        let mut e = engine_with_zone();
+        e.observe(&fix(10, 0, 43.0, 5.0, 10.0, 90.0));
+        let events = e.observe(&fix(11, 0, 43.0, 5.135, 10.0, 270.0));
+        assert!(events
+            .iter()
+            .any(|ev| matches!(ev.kind, EventKind::CollisionRisk { .. })));
+    }
+
+    #[test]
+    fn live_index_exposed() {
+        let mut e = engine_with_zone();
+        e.observe(&fix(1, 0, 43.0, 5.0, 10.0, 90.0));
+        assert_eq!(e.live_index().len(), 1);
+        assert!(e.live_index().latest(1).is_some());
+    }
+}

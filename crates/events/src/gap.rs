@@ -1,0 +1,158 @@
+//! AIS communication-gap detection ("going dark").
+//!
+//! Two complementary paths:
+//!
+//! - retrospective: when a vessel resumes transmitting after more than
+//!   the threshold, emit `GapStart` (back-dated to the last fix) and
+//!   `GapEnd` — this is how archived data is annotated;
+//! - live: [`GapDetector::check_silent`] reports vessels that have been
+//!   silent longer than the threshold *as of now*, which is what an
+//!   operator console shows as "dark vessels".
+
+use crate::event::{EventKind, MaritimeEvent};
+use mda_geo::{DurationMs, Fix, Timestamp, VesselId};
+use std::collections::HashMap;
+
+/// Streaming gap detector over all vessels.
+#[derive(Debug)]
+pub struct GapDetector {
+    threshold: DurationMs,
+    last_fix: HashMap<VesselId, Fix>,
+    /// Vessels already reported silent (to avoid repeating the alarm).
+    reported_silent: HashMap<VesselId, Timestamp>,
+}
+
+impl GapDetector {
+    /// Silence longer than `threshold` is a gap.
+    pub fn new(threshold: DurationMs) -> Self {
+        assert!(threshold > 0);
+        Self { threshold, last_fix: HashMap::new(), reported_silent: HashMap::new() }
+    }
+
+    /// Observe a fix; emits `GapStart`+`GapEnd` when it closes a gap.
+    pub fn observe(&mut self, fix: &Fix) -> Vec<MaritimeEvent> {
+        let mut out = Vec::new();
+        if let Some(prev) = self.last_fix.insert(fix.id, *fix) {
+            let silence = fix.t - prev.t;
+            if silence > self.threshold {
+                // Only emit GapStart if the live path has not already.
+                if self.reported_silent.remove(&fix.id).is_none() {
+                    out.push(MaritimeEvent {
+                        t: prev.t,
+                        vessel: fix.id,
+                        pos: prev.pos,
+                        kind: EventKind::GapStart,
+                    });
+                }
+                out.push(MaritimeEvent {
+                    t: fix.t,
+                    vessel: fix.id,
+                    pos: fix.pos,
+                    kind: EventKind::GapEnd { minutes: silence as f64 / 60_000.0 },
+                });
+            } else {
+                self.reported_silent.remove(&fix.id);
+            }
+        }
+        out
+    }
+
+    /// Live sweep: vessels silent for longer than the threshold as of
+    /// `now`, not yet reported. Emits their `GapStart` immediately.
+    pub fn check_silent(&mut self, now: Timestamp) -> Vec<MaritimeEvent> {
+        let mut out = Vec::new();
+        for (id, fix) in &self.last_fix {
+            if now - fix.t > self.threshold && !self.reported_silent.contains_key(id) {
+                self.reported_silent.insert(*id, fix.t);
+                out.push(MaritimeEvent {
+                    t: fix.t,
+                    vessel: *id,
+                    pos: fix.pos,
+                    kind: EventKind::GapStart,
+                });
+            }
+        }
+        out.sort_by_key(|e| (e.t, e.vessel));
+        out
+    }
+
+    /// Vessels currently flagged silent.
+    pub fn silent_now(&self) -> usize {
+        self.reported_silent.len()
+    }
+
+    /// Total vessels ever seen.
+    pub fn known_vessels(&self) -> usize {
+        self.last_fix.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::time::MINUTE;
+    use mda_geo::Position;
+
+    fn fix(id: u32, t_min: i64) -> Fix {
+        Fix::new(id, Timestamp::from_mins(t_min), Position::new(43.0, 5.0), 10.0, 0.0)
+    }
+
+    #[test]
+    fn continuous_stream_no_gap() {
+        let mut d = GapDetector::new(10 * MINUTE);
+        for i in 0..20 {
+            assert!(d.observe(&fix(1, i)).is_empty());
+        }
+        assert_eq!(d.known_vessels(), 1);
+    }
+
+    #[test]
+    fn retrospective_gap_emits_both_edges() {
+        let mut d = GapDetector::new(10 * MINUTE);
+        d.observe(&fix(1, 0));
+        d.observe(&fix(1, 2));
+        let events = d.observe(&fix(1, 60));
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::GapStart);
+        assert_eq!(events[0].t, Timestamp::from_mins(2), "back-dated to last fix");
+        match &events[1].kind {
+            EventKind::GapEnd { minutes } => assert!((minutes - 58.0).abs() < 1e-9),
+            k => panic!("wrong kind {k:?}"),
+        }
+    }
+
+    #[test]
+    fn live_sweep_reports_once() {
+        let mut d = GapDetector::new(10 * MINUTE);
+        d.observe(&fix(1, 0));
+        d.observe(&fix(2, 0));
+        let first = d.check_silent(Timestamp::from_mins(15));
+        assert_eq!(first.len(), 2);
+        assert_eq!(d.silent_now(), 2);
+        // No repeated alarm.
+        assert!(d.check_silent(Timestamp::from_mins(20)).is_empty());
+    }
+
+    #[test]
+    fn live_then_resume_emits_only_gap_end() {
+        let mut d = GapDetector::new(10 * MINUTE);
+        d.observe(&fix(1, 0));
+        let live = d.check_silent(Timestamp::from_mins(20));
+        assert_eq!(live.len(), 1);
+        let resume = d.observe(&fix(1, 30));
+        assert_eq!(resume.len(), 1, "GapStart was already emitted live");
+        assert!(matches!(resume[0].kind, EventKind::GapEnd { .. }));
+        assert_eq!(d.silent_now(), 0);
+    }
+
+    #[test]
+    fn independent_vessels() {
+        let mut d = GapDetector::new(10 * MINUTE);
+        d.observe(&fix(1, 0));
+        d.observe(&fix(2, 0));
+        d.observe(&fix(2, 5)); // vessel 2 keeps talking
+        let events = d.observe(&fix(1, 30));
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.vessel == 1));
+    }
+}

@@ -1,0 +1,39 @@
+//! Maritime complex event recognition (paper §3.1).
+//!
+//! "The range of possible events of interest is very large, from
+//! detecting vessels in distress and collisions at sea to discovering
+//! illegal fishing..." This crate implements streaming detectors for
+//! exactly the catalogue the paper enumerates, plus a small declarative
+//! pattern automaton for composing them:
+//!
+//! - [`event`] — the event vocabulary: kinds, severity, provenance.
+//! - [`gap`] — AIS communication gaps / going dark.
+//! - [`veracity`] — kinematic spoofing (teleports, impossible speeds)
+//!   and identity conflicts (one MMSI in two places — cloning).
+//! - [`zone`] — zone entry/exit/transit and illegal fishing in
+//!   protected areas.
+//! - [`loiter`] — loitering and drifting detection over sliding
+//!   windows.
+//! - [`proximity`] — pairwise analytics on a live spatial snapshot:
+//!   rendezvous (sustained close approach at sea) and collision risk
+//!   (CPA/TCPA).
+//! - [`pattern`] — sequence patterns with time bounds and negation over
+//!   per-key event streams (the "formalization of events" challenge).
+//! - [`engine`] — the [`engine::EventEngine`] wiring every detector
+//!   behind one `observe(fix)` call, with per-detector counters.
+//!
+//! All detectors consume event-time-ordered fixes (use
+//! `mda-stream::ReorderBuffer` upstream) and are deterministic.
+
+pub mod engine;
+pub mod event;
+pub mod gap;
+pub mod loiter;
+pub mod pattern;
+pub mod proximity;
+pub mod veracity;
+pub mod zone;
+
+pub use engine::{EngineConfig, EventEngine};
+pub use event::{EventKind, MaritimeEvent, Severity};
+pub use zone::NamedZone;

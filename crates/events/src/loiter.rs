@@ -1,0 +1,184 @@
+//! Loitering detection over sliding position windows.
+//!
+//! A vessel that stays within a small disc for a long time while not
+//! moored is loitering — the canonical precursor pattern for rendezvous,
+//! smuggling hand-offs and waiting-for-orders behaviour.
+
+use crate::event::{EventKind, MaritimeEvent};
+use mda_geo::distance::haversine_m;
+use mda_geo::{DurationMs, Fix, VesselId};
+use std::collections::{HashMap, VecDeque};
+
+/// Loiter detector configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LoiterConfig {
+    /// Window length the vessel must stay put for.
+    pub window: DurationMs,
+    /// Maximum radius of the containing disc, metres.
+    pub radius_m: f64,
+    /// Below this speed the vessel counts as moored, not loitering.
+    pub min_speed_kn: f64,
+    /// Re-arm delay: after an alert, stay silent this long.
+    pub rearm: DurationMs,
+}
+
+impl Default for LoiterConfig {
+    fn default() -> Self {
+        Self {
+            window: 45 * mda_geo::time::MINUTE,
+            radius_m: 1_500.0,
+            min_speed_kn: 0.5,
+            rearm: 60 * mda_geo::time::MINUTE,
+        }
+    }
+}
+
+/// Streaming loiter detector.
+#[derive(Debug)]
+pub struct LoiterDetector {
+    config: LoiterConfig,
+    history: HashMap<VesselId, VecDeque<Fix>>,
+    last_alert: HashMap<VesselId, mda_geo::Timestamp>,
+}
+
+impl LoiterDetector {
+    /// New detector.
+    pub fn new(config: LoiterConfig) -> Self {
+        Self { config, history: HashMap::new(), last_alert: HashMap::new() }
+    }
+
+    /// Observe a fix; may emit a loitering event.
+    pub fn observe(&mut self, fix: &Fix) -> Vec<MaritimeEvent> {
+        let hist = self.history.entry(fix.id).or_default();
+        hist.push_back(*fix);
+        // Evict outside the window.
+        while let Some(front) = hist.front() {
+            if fix.t - front.t > self.config.window {
+                hist.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Need full window coverage.
+        let Some(front) = hist.front() else { return Vec::new() };
+        if fix.t - front.t < self.config.window * 9 / 10 {
+            return Vec::new();
+        }
+        // Re-arm check.
+        if let Some(last) = self.last_alert.get(&fix.id) {
+            if fix.t - *last < self.config.rearm {
+                return Vec::new();
+            }
+        }
+        // Moored vessels don't loiter (port calls are handled by zones).
+        let mean_speed: f64 =
+            hist.iter().map(|f| f.sog_kn).sum::<f64>() / hist.len() as f64;
+        if mean_speed < self.config.min_speed_kn {
+            return Vec::new();
+        }
+        // Containment: all positions within radius of the window centroid.
+        let n = hist.len() as f64;
+        let centroid = mda_geo::Position::new(
+            hist.iter().map(|f| f.pos.lat).sum::<f64>() / n,
+            hist.iter().map(|f| f.pos.lon).sum::<f64>() / n,
+        );
+        let max_dev =
+            hist.iter().map(|f| haversine_m(f.pos, centroid)).fold(0.0f64, f64::max);
+        if max_dev <= self.config.radius_m {
+            self.last_alert.insert(fix.id, fix.t);
+            return vec![MaritimeEvent {
+                t: fix.t,
+                vessel: fix.id,
+                pos: centroid,
+                kind: EventKind::Loitering {
+                    radius_m: max_dev,
+                    minutes: (fix.t - front.t) as f64 / 60_000.0,
+                },
+            }];
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::time::MINUTE;
+    use mda_geo::{Position, Timestamp};
+
+    fn cfg() -> LoiterConfig {
+        LoiterConfig {
+            window: 30 * MINUTE,
+            radius_m: 1_000.0,
+            min_speed_kn: 0.5,
+            rearm: 60 * MINUTE,
+        }
+    }
+
+    #[test]
+    fn circling_vessel_loiters() {
+        let mut d = LoiterDetector::new(cfg());
+        let center = Position::new(42.6, 4.8);
+        let mut events = Vec::new();
+        for i in 0..50 {
+            let brg = (i * 37) as f64 % 360.0;
+            let pos = mda_geo::distance::destination(center, brg, 400.0);
+            let f = Fix::new(9, Timestamp::from_mins(i), pos, 2.5, brg);
+            events.extend(d.observe(&f));
+        }
+        assert_eq!(events.len(), 1, "one alert then re-arm silence");
+        match &events[0].kind {
+            EventKind::Loitering { radius_m, minutes } => {
+                assert!(*radius_m <= 1_000.0);
+                assert!(*minutes >= 27.0);
+            }
+            k => panic!("wrong kind {k:?}"),
+        }
+    }
+
+    #[test]
+    fn transiting_vessel_does_not_loiter() {
+        let mut d = LoiterDetector::new(cfg());
+        let f0 = Fix::new(1, Timestamp::from_mins(0), Position::new(43.0, 5.0), 12.0, 90.0);
+        for i in 0..60 {
+            let t = Timestamp::from_mins(i);
+            let f = Fix { t, pos: f0.dead_reckon(t), ..f0 };
+            assert!(d.observe(&f).is_empty(), "false loiter at minute {i}");
+        }
+    }
+
+    #[test]
+    fn moored_vessel_does_not_loiter() {
+        let mut d = LoiterDetector::new(cfg());
+        for i in 0..60 {
+            let f = Fix::new(1, Timestamp::from_mins(i), Position::new(43.28, 5.33), 0.05, 0.0);
+            assert!(d.observe(&f).is_empty(), "moored alert at minute {i}");
+        }
+    }
+
+    #[test]
+    fn rearm_allows_later_alert() {
+        let mut d = LoiterDetector::new(cfg());
+        let center = Position::new(42.6, 4.8);
+        let mut alerts = 0;
+        for i in 0..200 {
+            let brg = (i * 53) as f64 % 360.0;
+            let pos = mda_geo::distance::destination(center, brg, 300.0);
+            let f = Fix::new(9, Timestamp::from_mins(i), pos, 2.0, brg);
+            alerts += d.observe(&f).len();
+        }
+        assert!(alerts >= 2, "re-armed alerts expected, got {alerts}");
+        assert!(alerts <= 4, "but not continuous alarms, got {alerts}");
+    }
+
+    #[test]
+    fn window_must_be_covered() {
+        let mut d = LoiterDetector::new(cfg());
+        // Only 10 minutes of history: no alert even though stationary-ish.
+        let center = Position::new(42.6, 4.8);
+        for i in 0..10 {
+            let f = Fix::new(3, Timestamp::from_mins(i), center, 2.0, 0.0);
+            assert!(d.observe(&f).is_empty());
+        }
+    }
+}

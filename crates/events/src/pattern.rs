@@ -1,0 +1,254 @@
+//! Declarative sequence patterns over per-key event streams.
+//!
+//! The paper calls for "machine learning methods supporting the
+//! identification and the *formalization* of events and patterns".
+//! The formalisation half is this module: a pattern is a named sequence
+//! of predicates with a time bound and optional negated ("without")
+//! conditions, evaluated incrementally per key. Example: *gap-start,
+//! then gap-end, then zone-entry into a protected area, within two
+//! hours, without a port call in between* — the classic dark-approach
+//! signature.
+
+use mda_geo::{DurationMs, Timestamp};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A step predicate over events of type `E`.
+pub type Predicate<E> = Box<dyn Fn(&E) -> bool + Send>;
+
+/// A sequence pattern with a time window and negation.
+pub struct SequencePattern<E> {
+    name: String,
+    steps: Vec<Predicate<E>>,
+    /// Events matching this predicate *abort* any partial match.
+    unless: Option<Predicate<E>>,
+    within: DurationMs,
+}
+
+/// A completed match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternMatch<K> {
+    /// Pattern name.
+    pub pattern: String,
+    /// The key (vessel) the match belongs to.
+    pub key: K,
+    /// Time of the first matched step.
+    pub started: Timestamp,
+    /// Time of the last matched step.
+    pub completed: Timestamp,
+}
+
+/// Incremental matcher of one pattern over many keys.
+pub struct PatternMatcher<K, E> {
+    pattern: SequencePattern<E>,
+    /// Partial matches per key: (next step index, start time, last time).
+    partial: HashMap<K, (usize, Timestamp, Timestamp)>,
+}
+
+impl<E> SequencePattern<E> {
+    /// Start building a pattern.
+    pub fn builder(name: &str, within: DurationMs) -> SequencePatternBuilder<E> {
+        SequencePatternBuilder {
+            name: name.to_string(),
+            steps: Vec::new(),
+            unless: None,
+            within,
+        }
+    }
+}
+
+/// Builder for [`SequencePattern`].
+pub struct SequencePatternBuilder<E> {
+    name: String,
+    steps: Vec<Predicate<E>>,
+    unless: Option<Predicate<E>>,
+    within: DurationMs,
+}
+
+impl<E> SequencePatternBuilder<E> {
+    /// Append a step that must match next.
+    pub fn then(mut self, pred: impl Fn(&E) -> bool + Send + 'static) -> Self {
+        self.steps.push(Box::new(pred));
+        self
+    }
+
+    /// Abort partial matches when this predicate fires.
+    pub fn unless(mut self, pred: impl Fn(&E) -> bool + Send + 'static) -> Self {
+        self.unless = Some(Box::new(pred));
+        self
+    }
+
+    /// Finish the pattern; panics if no steps were added.
+    pub fn build(self) -> SequencePattern<E> {
+        assert!(!self.steps.is_empty(), "pattern needs at least one step");
+        SequencePattern {
+            name: self.name,
+            steps: self.steps,
+            unless: self.unless,
+            within: self.within,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, E> PatternMatcher<K, E> {
+    /// New matcher for a pattern.
+    pub fn new(pattern: SequencePattern<E>) -> Self {
+        Self { pattern, partial: HashMap::new() }
+    }
+
+    /// Observe one event for `key` at time `t`; returns a match if the
+    /// pattern completed.
+    pub fn observe(&mut self, key: K, t: Timestamp, event: &E) -> Option<PatternMatch<K>> {
+        // Negation aborts any partial match for the key.
+        if let Some(unless) = &self.pattern.unless {
+            if unless(event) {
+                self.partial.remove(&key);
+                return None;
+            }
+        }
+        let state = self.partial.get(&key).copied();
+        match state {
+            None => {
+                if (self.pattern.steps[0])(event) {
+                    if self.pattern.steps.len() == 1 {
+                        return Some(PatternMatch {
+                            pattern: self.pattern.name.clone(),
+                            key,
+                            started: t,
+                            completed: t,
+                        });
+                    }
+                    self.partial.insert(key, (1, t, t));
+                }
+                None
+            }
+            Some((next, started, _)) => {
+                // Window expiry: drop and retry the event as a fresh
+                // first step.
+                if t - started > self.pattern.within {
+                    self.partial.remove(&key);
+                    return self.observe(key, t, event);
+                }
+                if (self.pattern.steps[next])(event) {
+                    if next + 1 == self.pattern.steps.len() {
+                        self.partial.remove(&key);
+                        return Some(PatternMatch {
+                            pattern: self.pattern.name.clone(),
+                            key,
+                            started,
+                            completed: t,
+                        });
+                    }
+                    self.partial.insert(key, (next + 1, started, t));
+                } else if (self.pattern.steps[0])(event) && next != 1 {
+                    // Non-matching event that could restart the pattern.
+                    self.partial.insert(key, (1, t, t));
+                }
+                None
+            }
+        }
+    }
+
+    /// Number of keys with a partial match in flight.
+    pub fn partial_count(&self) -> usize {
+        self.partial.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::time::MINUTE;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Ev {
+        GapStart,
+        GapEnd,
+        ZoneEntry(&'static str),
+        PortCall,
+    }
+
+    fn dark_approach() -> SequencePattern<Ev> {
+        SequencePattern::builder("dark-approach", 120 * MINUTE)
+            .then(|e: &Ev| matches!(e, Ev::GapStart))
+            .then(|e: &Ev| matches!(e, Ev::GapEnd))
+            .then(|e: &Ev| matches!(e, Ev::ZoneEntry("RESERVE")))
+            .unless(|e: &Ev| matches!(e, Ev::PortCall))
+            .build()
+    }
+
+    #[test]
+    fn full_sequence_matches() {
+        let mut m = PatternMatcher::new(dark_approach());
+        assert!(m.observe(1u32, Timestamp::from_mins(0), &Ev::GapStart).is_none());
+        assert!(m.observe(1, Timestamp::from_mins(30), &Ev::GapEnd).is_none());
+        let hit = m
+            .observe(1, Timestamp::from_mins(50), &Ev::ZoneEntry("RESERVE"))
+            .expect("pattern must complete");
+        assert_eq!(hit.pattern, "dark-approach");
+        assert_eq!(hit.started, Timestamp::from_mins(0));
+        assert_eq!(hit.completed, Timestamp::from_mins(50));
+        assert_eq!(m.partial_count(), 0);
+    }
+
+    #[test]
+    fn wrong_zone_does_not_complete() {
+        let mut m = PatternMatcher::new(dark_approach());
+        m.observe(1u32, Timestamp::from_mins(0), &Ev::GapStart);
+        m.observe(1, Timestamp::from_mins(30), &Ev::GapEnd);
+        assert!(m.observe(1, Timestamp::from_mins(50), &Ev::ZoneEntry("HARBOUR")).is_none());
+        // The right zone later still completes (within window).
+        assert!(m
+            .observe(1, Timestamp::from_mins(60), &Ev::ZoneEntry("RESERVE"))
+            .is_some());
+    }
+
+    #[test]
+    fn negation_aborts() {
+        let mut m = PatternMatcher::new(dark_approach());
+        m.observe(1u32, Timestamp::from_mins(0), &Ev::GapStart);
+        m.observe(1, Timestamp::from_mins(30), &Ev::GapEnd);
+        m.observe(1, Timestamp::from_mins(40), &Ev::PortCall); // innocent explanation
+        assert!(m.observe(1, Timestamp::from_mins(50), &Ev::ZoneEntry("RESERVE")).is_none());
+        assert_eq!(m.partial_count(), 0);
+    }
+
+    #[test]
+    fn window_expiry_restarts() {
+        let mut m = PatternMatcher::new(dark_approach());
+        m.observe(1u32, Timestamp::from_mins(0), &Ev::GapStart);
+        m.observe(1, Timestamp::from_mins(30), &Ev::GapEnd);
+        // 3 hours later: window expired; the entry does not complete but
+        // a fresh GapStart can begin again.
+        assert!(m.observe(1, Timestamp::from_mins(200), &Ev::ZoneEntry("RESERVE")).is_none());
+        m.observe(1, Timestamp::from_mins(210), &Ev::GapStart);
+        m.observe(1, Timestamp::from_mins(220), &Ev::GapEnd);
+        assert!(m.observe(1, Timestamp::from_mins(230), &Ev::ZoneEntry("RESERVE")).is_some());
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut m = PatternMatcher::new(dark_approach());
+        m.observe(1u32, Timestamp::from_mins(0), &Ev::GapStart);
+        m.observe(2, Timestamp::from_mins(0), &Ev::GapEnd); // key 2 out of order
+        m.observe(1, Timestamp::from_mins(10), &Ev::GapEnd);
+        assert!(m.observe(2, Timestamp::from_mins(20), &Ev::ZoneEntry("RESERVE")).is_none());
+        assert!(m.observe(1, Timestamp::from_mins(20), &Ev::ZoneEntry("RESERVE")).is_some());
+    }
+
+    #[test]
+    fn single_step_pattern() {
+        let p = SequencePattern::builder("any-gap", 10 * MINUTE)
+            .then(|e: &Ev| matches!(e, Ev::GapStart))
+            .build();
+        let mut m = PatternMatcher::new(p);
+        assert!(m.observe(5u32, Timestamp::from_mins(1), &Ev::GapStart).is_some());
+        assert!(m.observe(5, Timestamp::from_mins(2), &Ev::GapEnd).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_pattern_panics() {
+        let _ = SequencePattern::<Ev>::builder("empty", MINUTE).build();
+    }
+}

@@ -1,0 +1,428 @@
+//! Pairwise proximity analytics: rendezvous and collision risk.
+//!
+//! Both detectors share a live spatial snapshot of every vessel's latest
+//! fix, bucketed into a coarse cell hash so that each incoming fix only
+//! inspects its neighbourhood instead of the whole fleet.
+
+use crate::event::{EventKind, MaritimeEvent};
+use mda_geo::distance::haversine_m;
+use mda_geo::motion::cpa;
+use mda_geo::{DurationMs, Fix, Polygon, Timestamp, VesselId};
+use std::collections::{HashMap, HashSet};
+
+/// Cell size of the live index, degrees (~11 km of latitude).
+const CELL_DEG: f64 = 0.1;
+
+/// A live latest-fix index with neighbourhood queries.
+#[derive(Debug, Default)]
+pub struct LiveIndex {
+    latest: HashMap<VesselId, Fix>,
+    cells: HashMap<(i32, i32), HashSet<VesselId>>,
+}
+
+impl LiveIndex {
+    /// New empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn cell_of(pos: mda_geo::Position) -> (i32, i32) {
+        ((pos.lat / CELL_DEG).floor() as i32, (pos.lon / CELL_DEG).floor() as i32)
+    }
+
+    /// Update a vessel's latest fix.
+    pub fn update(&mut self, fix: &Fix) {
+        if let Some(old) = self.latest.insert(fix.id, *fix) {
+            let old_cell = Self::cell_of(old.pos);
+            let new_cell = Self::cell_of(fix.pos);
+            if old_cell != new_cell {
+                if let Some(set) = self.cells.get_mut(&old_cell) {
+                    set.remove(&fix.id);
+                    if set.is_empty() {
+                        self.cells.remove(&old_cell);
+                    }
+                }
+                self.cells.entry(new_cell).or_default().insert(fix.id);
+            }
+        } else {
+            self.cells.entry(Self::cell_of(fix.pos)).or_default().insert(fix.id);
+        }
+    }
+
+    /// Latest fixes of vessels within `radius_m` of `fix` (excluding
+    /// `fix.id` itself), scanning only neighbouring cells.
+    pub fn neighbours(&self, fix: &Fix, radius_m: f64) -> Vec<Fix> {
+        let (r0, c0) = Self::cell_of(fix.pos);
+        let cell_reach = (radius_m / 11_000.0).ceil() as i32 + 1;
+        let mut out = Vec::new();
+        for dr in -cell_reach..=cell_reach {
+            for dc in -cell_reach..=cell_reach {
+                if let Some(ids) = self.cells.get(&(r0 + dr, c0 + dc)) {
+                    for id in ids {
+                        if *id == fix.id {
+                            continue;
+                        }
+                        let other = self.latest[id];
+                        if haversine_m(fix.pos, other.pos) <= radius_m {
+                            out.push(other);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Latest fix of one vessel.
+    pub fn latest(&self, id: VesselId) -> Option<&Fix> {
+        self.latest.get(&id)
+    }
+
+    /// Number of tracked vessels.
+    pub fn len(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// True when no vessel is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.latest.is_empty()
+    }
+}
+
+/// Rendezvous detector configuration.
+#[derive(Debug, Clone)]
+pub struct RendezvousConfig {
+    /// Two vessels closer than this are "together", metres.
+    pub radius_m: f64,
+    /// Both must be slower than this, knots.
+    pub max_speed_kn: f64,
+    /// Minimum sustained duration.
+    pub min_duration: DurationMs,
+    /// Areas where proximity is normal (ports, anchorages) and must not
+    /// alert.
+    pub exclusion_zones: Vec<Polygon>,
+}
+
+impl Default for RendezvousConfig {
+    fn default() -> Self {
+        Self {
+            radius_m: 500.0,
+            max_speed_kn: 5.0,
+            min_duration: 20 * mda_geo::time::MINUTE,
+            exclusion_zones: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PairState {
+    since: Timestamp,
+    sum_dist_m: f64,
+    samples: u32,
+    reported: bool,
+}
+
+/// Streaming rendezvous detector. Shares a [`LiveIndex`] owned by the
+/// engine.
+#[derive(Debug)]
+pub struct RendezvousDetector {
+    config: RendezvousConfig,
+    pairs: HashMap<(VesselId, VesselId), PairState>,
+}
+
+impl RendezvousDetector {
+    /// New detector.
+    pub fn new(config: RendezvousConfig) -> Self {
+        Self { config, pairs: HashMap::new() }
+    }
+
+    /// Observe a fix against the live index (index already updated).
+    pub fn observe(&mut self, fix: &Fix, index: &LiveIndex) -> Vec<MaritimeEvent> {
+        let mut out = Vec::new();
+        if self.config.exclusion_zones.iter().any(|z| z.contains(fix.pos)) {
+            return out;
+        }
+        let slow = fix.sog_kn <= self.config.max_speed_kn;
+        for other in index.neighbours(fix, self.config.radius_m * 2.0) {
+            let key = pair_key(fix.id, other.id);
+            let d = haversine_m(fix.pos, other.pos);
+            // A stale snapshot (e.g. a vessel that went dark) is not
+            // evidence of present proximity.
+            let fresh = (fix.t - other.t).abs() <= 5 * mda_geo::time::MINUTE;
+            let together = fresh
+                && d <= self.config.radius_m
+                && slow
+                && other.sog_kn <= self.config.max_speed_kn
+                && !self.config.exclusion_zones.iter().any(|z| z.contains(other.pos));
+            match self.pairs.get_mut(&key) {
+                Some(state) if together => {
+                    state.sum_dist_m += d;
+                    state.samples += 1;
+                    if !state.reported && fix.t - state.since >= self.config.min_duration {
+                        state.reported = true;
+                        out.push(MaritimeEvent {
+                            t: fix.t,
+                            vessel: fix.id,
+                            pos: fix.pos,
+                            kind: EventKind::Rendezvous {
+                                other: other.id,
+                                distance_m: state.sum_dist_m / state.samples as f64,
+                                minutes: (fix.t - state.since) as f64 / 60_000.0,
+                            },
+                        });
+                    }
+                }
+                Some(_) if !together => {
+                    self.pairs.remove(&key);
+                }
+                None if together => {
+                    self.pairs.insert(
+                        key,
+                        PairState { since: fix.t, sum_dist_m: d, samples: 1, reported: false },
+                    );
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Currently tracked candidate pairs.
+    pub fn open_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+fn pair_key(a: VesselId, b: VesselId) -> (VesselId, VesselId) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Collision-risk detector configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CollisionConfig {
+    /// Search radius for candidate pairs, metres.
+    pub search_radius_m: f64,
+    /// Alert when projected CPA is below this, metres.
+    pub dcpa_m: f64,
+    /// Alert only for CPAs within this horizon, seconds.
+    pub tcpa_horizon_s: f64,
+    /// Both vessels must be under way (knots).
+    pub min_speed_kn: f64,
+    /// Silence per pair after an alert.
+    pub rearm: DurationMs,
+}
+
+impl Default for CollisionConfig {
+    fn default() -> Self {
+        Self {
+            search_radius_m: 15_000.0,
+            dcpa_m: 300.0,
+            tcpa_horizon_s: 1_200.0,
+            min_speed_kn: 2.0,
+            rearm: 10 * mda_geo::time::MINUTE,
+        }
+    }
+}
+
+/// Streaming CPA/TCPA collision-risk detector.
+#[derive(Debug)]
+pub struct CollisionDetector {
+    config: CollisionConfig,
+    last_alert: HashMap<(VesselId, VesselId), Timestamp>,
+}
+
+impl CollisionDetector {
+    /// New detector.
+    pub fn new(config: CollisionConfig) -> Self {
+        Self { config, last_alert: HashMap::new() }
+    }
+
+    /// Observe a fix against the live index.
+    pub fn observe(&mut self, fix: &Fix, index: &LiveIndex) -> Vec<MaritimeEvent> {
+        let mut out = Vec::new();
+        if fix.sog_kn < self.config.min_speed_kn {
+            return out;
+        }
+        for other in index.neighbours(fix, self.config.search_radius_m) {
+            if other.sog_kn < self.config.min_speed_kn {
+                continue;
+            }
+            // Ignore stale snapshots (vessel likely out of date).
+            if (fix.t - other.t).abs() > 5 * mda_geo::time::MINUTE {
+                continue;
+            }
+            let key = pair_key(fix.id, other.id);
+            if let Some(last) = self.last_alert.get(&key) {
+                if fix.t - *last < self.config.rearm {
+                    continue;
+                }
+            }
+            let r = cpa(fix, &other);
+            if r.dcpa_m <= self.config.dcpa_m
+                && r.tcpa_s > 0.0
+                && r.tcpa_s <= self.config.tcpa_horizon_s
+            {
+                self.last_alert.insert(key, fix.t);
+                out.push(MaritimeEvent {
+                    t: fix.t,
+                    vessel: fix.id,
+                    pos: fix.pos,
+                    kind: EventKind::CollisionRisk {
+                        other: other.id,
+                        dcpa_m: r.dcpa_m,
+                        tcpa_s: r.tcpa_s,
+                    },
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::time::MINUTE;
+    use mda_geo::{Position, Timestamp};
+
+    fn fix(id: u32, t_min: i64, lat: f64, lon: f64, sog: f64, cog: f64) -> Fix {
+        Fix::new(id, Timestamp::from_mins(t_min), Position::new(lat, lon), sog, cog)
+    }
+
+    #[test]
+    fn live_index_neighbours_exact() {
+        let mut idx = LiveIndex::new();
+        idx.update(&fix(1, 0, 43.0, 5.0, 3.0, 0.0));
+        idx.update(&fix(2, 0, 43.001, 5.0, 3.0, 0.0)); // ~110 m away
+        idx.update(&fix(3, 0, 43.5, 5.0, 3.0, 0.0)); // ~55 km away
+        let n = idx.neighbours(&fix(1, 1, 43.0, 5.0, 3.0, 0.0), 1_000.0);
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].id, 2);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn live_index_moves_between_cells() {
+        let mut idx = LiveIndex::new();
+        idx.update(&fix(1, 0, 43.0, 5.0, 10.0, 0.0));
+        idx.update(&fix(1, 10, 43.5, 5.5, 10.0, 0.0));
+        // Old location no longer matches.
+        let near_old = idx.neighbours(&fix(2, 10, 43.0, 5.0, 0.0, 0.0), 2_000.0);
+        assert!(near_old.is_empty());
+        let near_new = idx.neighbours(&fix(2, 10, 43.5, 5.5, 0.0, 0.0), 2_000.0);
+        assert_eq!(near_new.len(), 1);
+    }
+
+    #[test]
+    fn rendezvous_requires_sustained_proximity() {
+        let mut idx = LiveIndex::new();
+        let mut d = RendezvousDetector::new(RendezvousConfig {
+            min_duration: 20 * MINUTE,
+            ..Default::default()
+        });
+        let mut events = Vec::new();
+        for i in 0..30 {
+            let a = fix(1, i, 42.60, 4.80, 1.0, 0.0);
+            let b = fix(2, i, 42.601, 4.80, 1.5, 180.0); // ~110 m apart
+            idx.update(&a);
+            events.extend(d.observe(&a, &idx));
+            idx.update(&b);
+            events.extend(d.observe(&b, &idx));
+        }
+        assert_eq!(events.len(), 1, "exactly one rendezvous report");
+        match &events[0].kind {
+            EventKind::Rendezvous { minutes, distance_m, .. } => {
+                assert!(*minutes >= 20.0);
+                assert!(*distance_m < 200.0);
+            }
+            k => panic!("wrong kind {k:?}"),
+        }
+    }
+
+    #[test]
+    fn passing_vessels_no_rendezvous() {
+        let mut idx = LiveIndex::new();
+        let mut d = RendezvousDetector::new(RendezvousConfig::default());
+        let mut events = Vec::new();
+        // Two fast vessels crossing: close only briefly, and too fast.
+        for i in 0..30 {
+            let a = fix(1, i, 42.60, 4.70 + i as f64 * 0.01, 14.0, 90.0);
+            let b = fix(2, i, 42.60, 5.00 - i as f64 * 0.01, 14.0, 270.0);
+            idx.update(&a);
+            events.extend(d.observe(&a, &idx));
+            idx.update(&b);
+            events.extend(d.observe(&b, &idx));
+        }
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn rendezvous_suppressed_in_exclusion_zone() {
+        let anchorage = Polygon::circle(Position::new(42.60, 4.80), 5_000.0);
+        let mut idx = LiveIndex::new();
+        let mut d = RendezvousDetector::new(RendezvousConfig {
+            exclusion_zones: vec![anchorage],
+            ..Default::default()
+        });
+        let mut events = Vec::new();
+        for i in 0..40 {
+            let a = fix(1, i, 42.60, 4.80, 1.0, 0.0);
+            let b = fix(2, i, 42.601, 4.80, 1.0, 0.0);
+            idx.update(&a);
+            events.extend(d.observe(&a, &idx));
+            idx.update(&b);
+            events.extend(d.observe(&b, &idx));
+        }
+        assert!(events.is_empty(), "anchorage proximity is normal");
+    }
+
+    #[test]
+    fn collision_alert_on_head_on_course() {
+        let mut idx = LiveIndex::new();
+        let mut d = CollisionDetector::new(CollisionConfig::default());
+        // 6 NM apart, closing head-on at 10 kn each: TCPA ~18 min.
+        let a = fix(1, 0, 42.60, 4.80, 10.0, 90.0);
+        let b = fix(2, 0, 42.60, 4.80 + 0.1356, 10.0, 270.0);
+        idx.update(&a);
+        idx.update(&b);
+        let events = d.observe(&a, &idx);
+        assert_eq!(events.len(), 1);
+        match &events[0].kind {
+            EventKind::CollisionRisk { dcpa_m, tcpa_s, other } => {
+                assert!(*dcpa_m < 300.0);
+                assert!(*tcpa_s > 600.0 && *tcpa_s < 1_200.0, "tcpa {tcpa_s}");
+                assert_eq!(*other, 2);
+            }
+            k => panic!("wrong kind {k:?}"),
+        }
+        // Re-arm: immediate re-check is silent.
+        let again = d.observe(&fix(1, 1, 42.60, 4.8023, 10.0, 90.0), &idx);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn parallel_courses_no_alert() {
+        let mut idx = LiveIndex::new();
+        let mut d = CollisionDetector::new(CollisionConfig::default());
+        let a = fix(1, 0, 42.60, 4.80, 10.0, 0.0);
+        let b = fix(2, 0, 42.60, 4.85, 10.0, 0.0); // 4 km abeam, same course
+        idx.update(&a);
+        idx.update(&b);
+        assert!(d.observe(&a, &idx).is_empty());
+    }
+
+    #[test]
+    fn moored_vessels_no_collision_alert() {
+        let mut idx = LiveIndex::new();
+        let mut d = CollisionDetector::new(CollisionConfig::default());
+        let a = fix(1, 0, 42.60, 4.80, 0.1, 0.0);
+        let b = fix(2, 0, 42.6001, 4.80, 0.1, 0.0);
+        idx.update(&a);
+        idx.update(&b);
+        assert!(d.observe(&a, &idx).is_empty());
+    }
+}

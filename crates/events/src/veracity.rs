@@ -1,0 +1,272 @@
+//! Veracity analytics: kinematic spoofing and identity conflicts.
+//!
+//! The paper (§1) lists deliberate falsification — identity fraud,
+//! obscured destinations, GPS manipulation — among the core AIS
+//! problems. Two history-based detectors live here:
+//!
+//! - **Kinematic spoofing**: the speed implied by two consecutive
+//!   reports of one identity exceeds anything a surface vessel can do.
+//!   Catches GPS-offset episodes at their start and end (the teleports).
+//! - **Identity conflict**: one MMSI *bouncing* between two coherent
+//!   locations — the signature of MMSI cloning while both the imposter
+//!   and the victim transmit. A single teleport is a spoofing symptom;
+//!   repeated teleports in a short window are two transmitters.
+
+use crate::event::{EventKind, MaritimeEvent};
+use mda_geo::distance::haversine_m;
+use mda_geo::motion::implied_speed_kn;
+use mda_geo::{Fix, Timestamp, VesselId};
+use std::collections::{HashMap, VecDeque};
+
+/// Configuration for the veracity detectors.
+#[derive(Debug, Clone, Copy)]
+pub struct VeracityConfig {
+    /// Implied speed above this is a teleport (knots). Fast ferries do
+    /// ~40 kn; 60 leaves margin for timestamp noise.
+    pub max_plausible_speed_kn: f64,
+    /// Minimum displacement for a spoofing alert (metres), so that GPS
+    /// jitter on nearly simultaneous messages cannot trigger it.
+    pub min_jump_m: f64,
+    /// Implied speed more than this many times the *reported* SOG is
+    /// also suspicious, even below the absolute ceiling — the signature
+    /// of a position offset straddling a long reception gap.
+    pub speed_ratio: f64,
+    /// Reported SOG floor for the ratio rule (avoids dividing by the
+    /// near-zero SOG of stopped vessels).
+    pub ratio_floor_kn: f64,
+}
+
+impl Default for VeracityConfig {
+    fn default() -> Self {
+        Self {
+            max_plausible_speed_kn: 60.0,
+            min_jump_m: 2_000.0,
+            speed_ratio: 3.0,
+            ratio_floor_kn: 5.0,
+        }
+    }
+}
+
+/// Window in which repeated teleports mean "two transmitters".
+const BOUNCE_WINDOW: mda_geo::DurationMs = 10 * mda_geo::time::MINUTE;
+/// Teleports within the window needed to call it a conflict.
+const BOUNCE_COUNT: usize = 3;
+
+/// Streaming spoofing/conflict detector.
+#[derive(Debug)]
+pub struct VeracityDetector {
+    config: VeracityConfig,
+    last: HashMap<VesselId, Fix>,
+    /// Recent teleport times per identity (for the bounce rule).
+    jumps: HashMap<VesselId, VecDeque<Timestamp>>,
+}
+
+impl VeracityDetector {
+    /// New detector.
+    pub fn new(config: VeracityConfig) -> Self {
+        Self { config, last: HashMap::new(), jumps: HashMap::new() }
+    }
+
+    /// Observe a fix (keyed by *claimed* identity).
+    pub fn observe(&mut self, fix: &Fix) -> Vec<MaritimeEvent> {
+        let mut out = Vec::new();
+        if let Some(prev) = self.last.get(&fix.id) {
+            let dt = fix.t - prev.t;
+            let jump = haversine_m(prev.pos, fix.pos);
+            if dt >= 0 && jump > self.config.min_jump_m {
+                let speed = implied_speed_kn(prev, fix);
+                // Ratio rule: the reported kinematics cannot explain the
+                // displacement (both endpoints claim modest speed).
+                let reported = prev.sog_kn.max(fix.sog_kn).max(self.config.ratio_floor_kn);
+                let inconsistent = speed > reported * self.config.speed_ratio;
+                if speed > self.config.max_plausible_speed_kn || inconsistent {
+                    // Count this teleport; repeated teleports in a short
+                    // window mean the identity is bouncing between two
+                    // transmitters (cloning); an isolated teleport is a
+                    // GPS-offset boundary.
+                    let jumps = self.jumps.entry(fix.id).or_default();
+                    while let Some(front) = jumps.front() {
+                        if fix.t - *front > BOUNCE_WINDOW {
+                            jumps.pop_front();
+                        } else {
+                            break;
+                        }
+                    }
+                    jumps.push_back(fix.t);
+                    if jumps.len() >= BOUNCE_COUNT {
+                        out.push(MaritimeEvent {
+                            t: fix.t,
+                            vessel: fix.id,
+                            pos: fix.pos,
+                            kind: EventKind::IdentityConflict {
+                                separation_km: jump / 1_000.0,
+                            },
+                        });
+                    } else {
+                        out.push(MaritimeEvent {
+                            t: fix.t,
+                            vessel: fix.id,
+                            pos: fix.pos,
+                            kind: EventKind::KinematicSpoofing { implied_speed_kn: speed },
+                        });
+                    }
+                }
+            }
+        }
+        // Keep the newer fix as reference (streams are event-time
+        // ordered upstream).
+        self.last.insert(fix.id, *fix);
+        out
+    }
+
+    /// Number of identities tracked.
+    pub fn known_identities(&self) -> usize {
+        self.last.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::time::{MINUTE, SECOND};
+    use mda_geo::{Position, Timestamp};
+
+    fn fix_at(id: u32, t_s: i64, lat: f64, lon: f64) -> Fix {
+        Fix::new(id, Timestamp::from_secs(t_s), Position::new(lat, lon), 10.0, 90.0)
+    }
+
+    #[test]
+    fn honest_track_is_silent() {
+        let mut d = VeracityDetector::new(VeracityConfig::default());
+        let f0 = fix_at(1, 0, 43.0, 5.0);
+        d.observe(&f0);
+        for i in 1..30 {
+            let t = Timestamp::from_secs(i * 60);
+            let f = Fix { t, pos: f0.dead_reckon(t), ..f0 };
+            assert!(d.observe(&f).is_empty(), "false alarm at {i}");
+        }
+    }
+
+    #[test]
+    fn teleport_is_spoofing() {
+        let mut d = VeracityDetector::new(VeracityConfig::default());
+        d.observe(&fix_at(1, 0, 43.0, 5.0));
+        // 40 km in 10 minutes: ~130 kn.
+        let events = d.observe(&fix_at(1, 600, 43.36, 5.0));
+        assert_eq!(events.len(), 1);
+        match &events[0].kind {
+            EventKind::KinematicSpoofing { implied_speed_kn } => {
+                assert!(*implied_speed_kn > 100.0, "speed {implied_speed_kn}");
+            }
+            k => panic!("wrong kind {k:?}"),
+        }
+    }
+
+    #[test]
+    fn bouncing_reports_are_identity_conflict() {
+        // Two transmitters 60 km apart alternating every 10 s: after a
+        // couple of teleports the bounce rule upgrades the diagnosis
+        // from spoofing to identity conflict.
+        let mut d = VeracityDetector::new(VeracityConfig::default());
+        let mut kinds = Vec::new();
+        for i in 0..8 {
+            let f = if i % 2 == 0 {
+                fix_at(1, i * 10, 43.0, 5.0)
+            } else {
+                fix_at(1, i * 10, 43.0, 5.74)
+            };
+            kinds.extend(d.observe(&f).into_iter().map(|e| e.kind));
+        }
+        assert!(kinds.len() >= 6, "every bounce alerts: {kinds:?}");
+        assert!(matches!(kinds[0], EventKind::KinematicSpoofing { .. }));
+        assert!(
+            kinds.iter().any(|k| matches!(k, EventKind::IdentityConflict { .. })),
+            "sustained bouncing becomes a conflict: {kinds:?}"
+        );
+        let _ = SECOND;
+    }
+
+    #[test]
+    fn isolated_teleport_is_spoofing_not_conflict() {
+        let mut d = VeracityDetector::new(VeracityConfig::default());
+        let f0 = fix_at(1, 0, 43.0, 5.0);
+        d.observe(&f0);
+        // One offset jump, then a coherent track at the new location.
+        let mut events = d.observe(&fix_at(1, 10, 43.0, 5.74));
+        for i in 1..20 {
+            events.extend(d.observe(&fix_at(1, 10 + i * 60, 43.0, 5.74 + i as f64 * 0.003)));
+        }
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0].kind, EventKind::KinematicSpoofing { .. }));
+    }
+
+    #[test]
+    fn small_jitter_is_tolerated() {
+        let mut d = VeracityDetector::new(VeracityConfig::default());
+        d.observe(&fix_at(1, 0, 43.0, 5.0));
+        // 500 m in 2 s would be 480 kn, but below min_jump_m.
+        let events = d.observe(&fix_at(1, 2, 43.0045, 5.0));
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn slow_legitimate_long_gap_is_fine() {
+        let mut d = VeracityDetector::new(VeracityConfig::default());
+        d.observe(&fix_at(1, 0, 43.0, 5.0));
+        // 20 km in 1 h = ~11 kn: plausible even though the jump is big.
+        let events = d.observe(&fix_at(1, 3_600, 43.18, 5.0));
+        assert!(events.is_empty());
+        let _ = MINUTE;
+    }
+
+    #[test]
+    fn gap_straddling_offset_caught_by_ratio_rule() {
+        // 20 km displacement over 25 minutes is only ~26 kn — below the
+        // absolute ceiling — but both reports claim 6 kn: inconsistent.
+        let mut d = VeracityDetector::new(VeracityConfig::default());
+        let mut a = fix_at(1, 0, 43.0, 5.0);
+        a.sog_kn = 6.0;
+        d.observe(&a);
+        let mut b = fix_at(1, 1_500, 43.18, 5.0);
+        b.sog_kn = 6.0;
+        let events = d.observe(&b);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0].kind, EventKind::KinematicSpoofing { .. }));
+    }
+
+    #[test]
+    fn fast_ferry_not_flagged_by_ratio_rule() {
+        // 22 kn reported, 22 kn implied: consistent, no alarm.
+        let mut d = VeracityDetector::new(VeracityConfig::default());
+        let mut a = fix_at(1, 0, 43.0, 5.0);
+        a.sog_kn = 22.0;
+        a.cog_deg = 0.0;
+        d.observe(&a);
+        let t = mda_geo::Timestamp::from_secs(600);
+        let mut b = Fix { t, pos: a.dead_reckon(t), ..a };
+        b.sog_kn = 22.0;
+        assert!(d.observe(&b).is_empty());
+    }
+
+    #[test]
+    fn spoofing_detected_on_offset_episode_boundaries() {
+        // Simulate an episode: true track, then +30 km offset, then back.
+        let mut d = VeracityDetector::new(VeracityConfig::default());
+        let base = fix_at(1, 0, 43.0, 5.0);
+        d.observe(&base);
+        let mut alerts = 0;
+        for i in 1..60 {
+            let t = Timestamp::from_secs(i * 60);
+            let true_pos = base.dead_reckon(t);
+            let reported = if (20..40).contains(&i) {
+                mda_geo::distance::destination(true_pos, 45.0, 30_000.0)
+            } else {
+                true_pos
+            };
+            let f = Fix { t, pos: reported, ..base };
+            alerts += d.observe(&f).len();
+        }
+        // One teleport entering the episode, one leaving.
+        assert_eq!(alerts, 2, "expected entry+exit teleports");
+    }
+}

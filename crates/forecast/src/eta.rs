@@ -1,0 +1,123 @@
+//! Estimated time of arrival.
+//!
+//! Two estimators: a straight-line great-circle ETA from current
+//! kinematics, and a flow-aware ETA that integrates along a learned
+//! route network (so an L-shaped lane yields the longer, correct time).
+
+use crate::routenet::RouteNetwork;
+use mda_geo::distance::{destination, haversine_m, initial_bearing_deg};
+use mda_geo::units::knots_to_mps;
+use mda_geo::{DurationMs, Fix, Position};
+
+/// Straight-line ETA in milliseconds, `None` for a (near-)stationary
+/// vessel.
+pub fn eta_direct(fix: &Fix, dest: Position) -> Option<DurationMs> {
+    if fix.sog_kn < 0.5 {
+        return None;
+    }
+    let dist = haversine_m(fix.pos, dest);
+    Some((dist / knots_to_mps(fix.sog_kn) * 1_000.0) as DurationMs)
+}
+
+/// Flow-following ETA: walk the learned route network from the vessel
+/// toward `dest` (steering along cell flow when it roughly agrees with
+/// the direction to the destination, directly otherwise) until within
+/// `arrival_radius_m`. Returns `None` if the walk does not arrive
+/// within `max_steps` integration steps.
+pub fn eta_via_network(
+    fix: &Fix,
+    dest: Position,
+    network: &RouteNetwork,
+    arrival_radius_m: f64,
+    max_steps: usize,
+) -> Option<DurationMs> {
+    if fix.sog_kn < 0.5 {
+        return None;
+    }
+    let step_s = 60.0;
+    let mut pos = fix.pos;
+    let mut elapsed: f64 = 0.0;
+    for _ in 0..max_steps {
+        if haversine_m(pos, dest) <= arrival_radius_m {
+            return Some((elapsed * 1_000.0) as DurationMs);
+        }
+        let direct = initial_bearing_deg(pos, dest);
+        let (course, speed) = match network.stats_at(pos) {
+            Some(stats)
+                if stats.count >= 5
+                    && stats.course_concentration() >= 0.5
+                    && mda_geo::units::heading_delta(stats.mean_course_deg(), direct) < 100.0 =>
+            {
+                (stats.mean_course_deg(), stats.mean_speed_kn().max(1.0))
+            }
+            _ => (direct, fix.sog_kn),
+        };
+        pos = destination(pos, course, knots_to_mps(speed) * step_s);
+        elapsed += step_s;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::time::{HOUR, MINUTE};
+    use mda_geo::{BoundingBox, Timestamp};
+
+    #[test]
+    fn direct_eta_matches_kinematics() {
+        // 12 NM at 12 kn = 1 hour.
+        let dest = Position::new(43.0, 5.0);
+        let start = destination(dest, 270.0, mda_geo::units::nm_to_meters(12.0));
+        let fix = Fix::new(1, Timestamp::from_mins(0), start, 12.0, 90.0);
+        let eta = eta_direct(&fix, dest).unwrap();
+        assert!((eta - HOUR).abs() < MINUTE, "eta {eta}");
+    }
+
+    #[test]
+    fn stationary_vessel_has_no_eta() {
+        let fix = Fix::new(1, Timestamp::from_mins(0), Position::new(43.0, 5.0), 0.1, 0.0);
+        assert!(eta_direct(&fix, Position::new(43.5, 5.0)).is_none());
+    }
+
+    #[test]
+    fn network_eta_reflects_dog_leg_route() {
+        // L-shaped flow: east along lat 43.0 to lon 5.0, then north.
+        let bounds = BoundingBox::new(42.5, 4.0, 44.0, 6.0);
+        let mut net = RouteNetwork::new(bounds, 0.05);
+        for run in 0..6u32 {
+            let mut pos = Position::new(43.01, 4.2);
+            let mut t = Timestamp::from_mins(0);
+            while pos.lon < 5.0 {
+                net.learn(&Fix::new(run, t, pos, 12.0, 90.0));
+                pos = destination(pos, 90.0, knots_to_mps(12.0) * 60.0);
+                t = t + MINUTE;
+            }
+            for _ in 0..60 {
+                net.learn(&Fix::new(run, t, pos, 12.0, 0.0));
+                pos = destination(pos, 0.0, knots_to_mps(12.0) * 60.0);
+                t = t + MINUTE;
+            }
+        }
+        // Destination up the north leg.
+        let dest = destination(Position::new(43.01, 5.0), 0.0, 20_000.0);
+        let fix = Fix::new(9, Timestamp::from_mins(0), Position::new(43.01, 4.3), 12.0, 90.0);
+        let via = eta_via_network(&fix, dest, &net, 2_000.0, 600).expect("arrives");
+        let direct = eta_direct(&fix, dest).unwrap();
+        // The route ETA must exceed the crow-flies ETA (the lane is
+        // longer than the diagonal).
+        assert!(via > direct + 10 * MINUTE, "via {via} direct {direct}");
+        // And be consistent with the actual lane length (~77 km at 12 kn
+        // ≈ 3.5 h), within integration slack.
+        assert!(via < 6 * HOUR);
+    }
+
+    #[test]
+    fn network_eta_gives_up_gracefully() {
+        let net = RouteNetwork::new(BoundingBox::new(42.0, 4.0, 44.0, 6.0), 0.05);
+        let fix = Fix::new(1, Timestamp::from_mins(0), Position::new(43.0, 4.2), 10.0, 90.0);
+        // Destination absurdly far with tiny step budget.
+        let eta = eta_via_network(&fix, Position::new(43.0, 40.0), &net, 500.0, 10);
+        assert!(eta.is_none());
+    }
+}

@@ -1,0 +1,158 @@
+//! Kinematic predictors: dead reckoning and constant turn rate.
+
+use crate::Predictor;
+use mda_geo::distance::destination;
+use mda_geo::units::{knots_to_mps, norm_deg_180, norm_deg_360};
+use mda_geo::{Fix, Position, Timestamp};
+
+/// Constant-velocity (dead-reckoning) prediction from the last fix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadReckoningPredictor;
+
+impl Predictor for DeadReckoningPredictor {
+    fn name(&self) -> &'static str {
+        "dead-reckoning"
+    }
+
+    fn predict(&self, history: &[Fix], at: Timestamp) -> Option<Position> {
+        let last = history.last()?;
+        Some(last.dead_reckon(at))
+    }
+}
+
+/// Constant-turn-rate prediction: estimates the turn rate from the last
+/// two fixes and propagates along the circular arc.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantTurnPredictor {
+    /// Integration step, seconds.
+    pub step_s: f64,
+    /// Turn rates below this (deg/s) collapse to dead reckoning.
+    pub min_rate_deg_s: f64,
+}
+
+impl Default for ConstantTurnPredictor {
+    fn default() -> Self {
+        Self { step_s: 30.0, min_rate_deg_s: 0.005 }
+    }
+}
+
+impl Predictor for ConstantTurnPredictor {
+    fn name(&self) -> &'static str {
+        "constant-turn"
+    }
+
+    fn predict(&self, history: &[Fix], at: Timestamp) -> Option<Position> {
+        let last = history.last()?;
+        if history.len() < 2 {
+            return Some(last.dead_reckon(at));
+        }
+        let prev = &history[history.len() - 2];
+        let dt_s = (last.t - prev.t) as f64 / 1_000.0;
+        if dt_s <= 0.0 {
+            return Some(last.dead_reckon(at));
+        }
+        let rate = norm_deg_180(last.cog_deg - prev.cog_deg) / dt_s; // deg/s
+        if rate.abs() < self.min_rate_deg_s {
+            return Some(last.dead_reckon(at));
+        }
+        // Integrate the arc in fixed steps.
+        let horizon_s = ((at - last.t) as f64 / 1_000.0).max(0.0);
+        let speed = knots_to_mps(last.sog_kn);
+        let mut pos = last.pos;
+        let mut cog = last.cog_deg;
+        let mut remaining = horizon_s;
+        while remaining > 0.0 {
+            let step = remaining.min(self.step_s);
+            pos = destination(pos, cog, speed * step);
+            cog = norm_deg_360(cog + rate * step);
+            remaining -= step;
+        }
+        Some(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::distance::haversine_m;
+    use mda_geo::time::MINUTE;
+    use mda_geo::units::nm_to_meters;
+
+    fn straight_history() -> Vec<Fix> {
+        let f0 = Fix::new(1, Timestamp::from_mins(0), Position::new(43.0, 5.0), 12.0, 90.0);
+        (0..10)
+            .map(|i| {
+                let t = Timestamp::from_mins(i);
+                Fix { t, pos: f0.dead_reckon(t), ..f0 }
+            })
+            .collect()
+    }
+
+    /// A vessel turning at a steady 0.5°/s.
+    fn turning_history() -> Vec<Fix> {
+        let mut fixes = Vec::new();
+        let mut pos = Position::new(43.0, 5.0);
+        let mut cog = 0.0f64;
+        let speed = knots_to_mps(10.0);
+        for i in 0..20 {
+            fixes.push(Fix::new(2, Timestamp::from_secs(i * 30), pos, 10.0, cog));
+            pos = destination(pos, cog, speed * 30.0);
+            cog = norm_deg_360(cog + 0.5 * 30.0);
+        }
+        fixes
+    }
+
+    #[test]
+    fn dead_reckoning_exact_on_straight_course() {
+        let h = straight_history();
+        let p = DeadReckoningPredictor.predict(&h, Timestamp::from_mins(39)).unwrap();
+        // 12 kn for 30 more minutes = 6 NM beyond the last fix.
+        let d = haversine_m(h.last().unwrap().pos, p);
+        assert!((d - nm_to_meters(6.0)).abs() < 20.0, "d = {d}");
+    }
+
+    #[test]
+    fn constant_turn_beats_dr_on_turning_vessel() {
+        let h = turning_history();
+        // Ground truth 5 minutes past the last fix.
+        let speed = knots_to_mps(10.0);
+        let (mut pos, mut cog) = (h.last().unwrap().pos, h.last().unwrap().cog_deg);
+        for _ in 0..10 {
+            pos = destination(pos, cog, speed * 30.0);
+            cog = norm_deg_360(cog + 0.5 * 30.0);
+        }
+        let at = h.last().unwrap().t + 5 * MINUTE;
+        let ct = ConstantTurnPredictor::default().predict(&h, at).unwrap();
+        let dr = DeadReckoningPredictor.predict(&h, at).unwrap();
+        let ct_err = haversine_m(ct, pos);
+        let dr_err = haversine_m(dr, pos);
+        assert!(
+            ct_err < dr_err * 0.3,
+            "constant-turn {ct_err:.0} m vs dead-reckoning {dr_err:.0} m"
+        );
+    }
+
+    #[test]
+    fn constant_turn_equals_dr_on_straight_course() {
+        let h = straight_history();
+        let at = Timestamp::from_mins(20);
+        let ct = ConstantTurnPredictor::default().predict(&h, at).unwrap();
+        let dr = DeadReckoningPredictor.predict(&h, at).unwrap();
+        assert!(haversine_m(ct, dr) < 1.0);
+    }
+
+    #[test]
+    fn single_fix_history_falls_back() {
+        let h = vec![Fix::new(1, Timestamp::from_mins(0), Position::new(43.0, 5.0), 10.0, 0.0)];
+        assert!(ConstantTurnPredictor::default()
+            .predict(&h, Timestamp::from_mins(10))
+            .is_some());
+        assert!(DeadReckoningPredictor.predict(&[], Timestamp::from_mins(10)).is_none());
+    }
+
+    #[test]
+    fn predictor_names() {
+        assert_eq!(DeadReckoningPredictor.name(), "dead-reckoning");
+        assert_eq!(ConstantTurnPredictor::default().name(), "constant-turn");
+    }
+}

@@ -1,0 +1,42 @@
+//! Trajectory forecasting and normalcy models (paper §3.1 and §4).
+//!
+//! "Algorithms for the prediction of anticipated vessel trajectories at
+//! different time scales ... is fundamental to achieve early warning
+//! maritime monitoring." Three predictors of increasing knowledge are
+//! implemented, plus the pattern-of-life normalcy model §4 calls "a
+//! reference for anomaly detection":
+//!
+//! - [`kinematic`] — dead reckoning (constant velocity) and constant
+//!   turn rate: no knowledge beyond the last fixes. Strong at short
+//!   horizons, blind to route structure.
+//! - [`routenet`] — a route network learned from historical traffic
+//!   (per-cell course/speed statistics); prediction follows the learned
+//!   flow, so it anticipates the turns lanes make. Wins at long
+//!   horizons — the crossover is the C6 experiment.
+//! - [`normalcy`] — per-cell speed/heading statistics with anomaly
+//!   scoring: "an explicit consideration of context provides an
+//!   understanding of normalcy as a reference for anomaly detection".
+//! - [`eta`] — estimated time of arrival against a destination.
+
+pub mod eta;
+pub mod kinematic;
+pub mod normalcy;
+pub mod routenet;
+
+pub use kinematic::{ConstantTurnPredictor, DeadReckoningPredictor};
+pub use normalcy::{AnomalyScore, NormalcyModel};
+pub use routenet::{RouteNetPredictor, RouteNetwork};
+
+use mda_geo::{Fix, Position, Timestamp};
+
+/// A trajectory predictor: given per-vessel history (time-ordered),
+/// predict the position at a future instant.
+pub trait Predictor {
+    /// Human-readable name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Predict the vessel position at `at`, given its history (the last
+    /// element is the most recent fix). `None` when the history is too
+    /// thin for this predictor.
+    fn predict(&self, history: &[Fix], at: Timestamp) -> Option<Position>;
+}

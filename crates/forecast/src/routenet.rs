@@ -1,0 +1,387 @@
+//! Route networks learned from historical traffic.
+//!
+//! The archive is summarised into a grid of cells, each holding the
+//! circular-mean course and mean speed of the traffic that crossed it.
+//! Prediction *follows the learned flow*: starting from the vessel's
+//! position, step along each cell's mean course at the cell's mean
+//! speed. Unlike dead reckoning, this anticipates the turns that
+//! shipping lanes make — the long-horizon advantage measured in C6.
+
+use crate::Predictor;
+use mda_geo::distance::destination;
+use mda_geo::units::{knots_to_mps, norm_deg_360};
+use mda_geo::{BoundingBox, Fix, Position, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Number of course sectors per cell (45° each). Lanes are sailed in
+/// both directions; separating courses by sector keeps the two flows
+/// from cancelling in the mean.
+pub const SECTORS: usize = 8;
+
+/// Per-cell traffic statistics, separated into course sectors.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CellStats {
+    /// Number of fixes observed in the cell.
+    pub count: u64,
+    /// Sum of course sines/cosines (for the aggregate circular mean).
+    sin_sum: f64,
+    cos_sum: f64,
+    /// Sum of speeds (knots).
+    speed_sum: f64,
+    /// Per-sector fix counts.
+    sector_count: [u64; SECTORS],
+    /// Per-sector course sine/cosine sums.
+    sector_sin: [f64; SECTORS],
+    sector_cos: [f64; SECTORS],
+    /// Per-sector speed sums (knots).
+    sector_speed: [f64; SECTORS],
+}
+
+fn sector_of(cog_deg: f64) -> usize {
+    let d = mda_geo::units::norm_deg_360(cog_deg);
+    ((d / (360.0 / SECTORS as f64)) as usize).min(SECTORS - 1)
+}
+
+impl CellStats {
+    fn add(&mut self, cog_deg: f64, sog_kn: f64) {
+        self.count += 1;
+        self.sin_sum += cog_deg.to_radians().sin();
+        self.cos_sum += cog_deg.to_radians().cos();
+        self.speed_sum += sog_kn;
+        let s = sector_of(cog_deg);
+        self.sector_count[s] += 1;
+        self.sector_sin[s] += cog_deg.to_radians().sin();
+        self.sector_cos[s] += cog_deg.to_radians().cos();
+        self.sector_speed[s] += sog_kn;
+    }
+
+    /// The directional flow compatible with a vessel on course
+    /// `cog_deg`: the best-populated sector (own plus both neighbours
+    /// pooled) whose pooled circular-mean course is within 90° of the
+    /// vessel's. Returns `(mean course, mean speed, samples)`.
+    pub fn directional_flow(&self, cog_deg: f64) -> Option<(f64, f64, u64)> {
+        let own = sector_of(cog_deg);
+        let mut best: Option<(f64, f64, u64)> = None;
+        for centre in 0..SECTORS {
+            // Pool the sector with its neighbours to smooth boundaries.
+            let mut n = 0u64;
+            let mut sin = 0.0;
+            let mut cos = 0.0;
+            let mut speed = 0.0;
+            for d in [SECTORS - 1, 0, 1] {
+                let s = (centre + d) % SECTORS;
+                n += self.sector_count[s];
+                sin += self.sector_sin[s];
+                cos += self.sector_cos[s];
+                speed += self.sector_speed[s];
+            }
+            if n == 0 {
+                continue;
+            }
+            let mean = norm_deg_360(sin.atan2(cos).to_degrees());
+            if mda_geo::units::heading_delta(mean, cog_deg) > 90.0 {
+                continue;
+            }
+            // Prefer sectors centred near the vessel's own course, then
+            // by population.
+            let centre_bias = if centre == own { 2 } else { 0 };
+            let score = n + centre_bias;
+            if best.map(|(_, _, bn)| score > bn).unwrap_or(true) {
+                best = Some((mean, speed / n as f64, score));
+            }
+        }
+        best
+    }
+
+    /// Circular mean course, degrees.
+    pub fn mean_course_deg(&self) -> f64 {
+        norm_deg_360(self.sin_sum.atan2(self.cos_sum).to_degrees())
+    }
+
+    /// Mean speed, knots.
+    pub fn mean_speed_kn(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.speed_sum / self.count as f64
+        }
+    }
+
+    /// Concentration of the course distribution in `[0,1]` (1 = all
+    /// traffic on the same course). Low concentration means the cell is
+    /// ambiguous (crossing lanes) and its flow should not be trusted.
+    pub fn course_concentration(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        (self.sin_sum.hypot(self.cos_sum)) / self.count as f64
+    }
+}
+
+/// A learned route network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouteNetwork {
+    bounds: BoundingBox,
+    cell_deg: f64,
+    cells: HashMap<(i32, i32), CellStats>,
+    total_fixes: u64,
+}
+
+impl RouteNetwork {
+    /// New empty network over `bounds` with `cell_deg` cells.
+    pub fn new(bounds: BoundingBox, cell_deg: f64) -> Self {
+        assert!(cell_deg > 0.0);
+        Self { bounds, cell_deg, cells: HashMap::new(), total_fixes: 0 }
+    }
+
+    fn cell_of(&self, p: Position) -> (i32, i32) {
+        (
+            ((p.lat - self.bounds.min_lat) / self.cell_deg).floor() as i32,
+            ((p.lon - self.bounds.min_lon) / self.cell_deg).floor() as i32,
+        )
+    }
+
+    /// Learn from one fix (moving traffic only; stationary fixes carry
+    /// no flow information).
+    pub fn learn(&mut self, fix: &Fix) {
+        if fix.sog_kn < 1.0 {
+            return;
+        }
+        self.cells.entry(self.cell_of(fix.pos)).or_default().add(fix.cog_deg, fix.sog_kn);
+        self.total_fixes += 1;
+    }
+
+    /// Learn from a whole history.
+    pub fn learn_all<'a>(&mut self, fixes: impl IntoIterator<Item = &'a Fix>) {
+        for f in fixes {
+            self.learn(f);
+        }
+    }
+
+    /// Statistics of the cell containing `p`, if any traffic crossed it.
+    pub fn stats_at(&self, p: Position) -> Option<&CellStats> {
+        self.cells.get(&self.cell_of(p))
+    }
+
+    /// Number of cells with traffic.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total fixes learned.
+    pub fn total_fixes(&self) -> u64 {
+        self.total_fixes
+    }
+}
+
+/// Predictor following a learned [`RouteNetwork`].
+#[derive(Debug, Clone)]
+pub struct RouteNetPredictor {
+    /// The learned network.
+    pub network: RouteNetwork,
+    /// Integration step, seconds.
+    pub step_s: f64,
+    /// Minimum (pooled-sector) sample count to trust the flow.
+    pub min_count: u64,
+    /// Fraction of the course difference to the flow applied per step
+    /// (0 = ignore the network, 1 = snap to it).
+    pub flow_gain: f64,
+}
+
+impl RouteNetPredictor {
+    /// Wrap a learned network with default integration parameters.
+    pub fn new(network: RouteNetwork) -> Self {
+        Self { network, step_s: 60.0, min_count: 5, flow_gain: 0.5 }
+    }
+}
+
+impl Predictor for RouteNetPredictor {
+    fn name(&self) -> &'static str {
+        "route-network"
+    }
+
+    fn predict(&self, history: &[Fix], at: Timestamp) -> Option<Position> {
+        let last = history.last()?;
+        let horizon_s = ((at - last.t) as f64 / 1_000.0).max(0.0);
+        let mut pos = last.pos;
+        let mut cog = last.cog_deg;
+        let mut sog = last.sog_kn;
+        let mut remaining = horizon_s;
+        while remaining > 0.0 {
+            let step = remaining.min(self.step_s);
+            // Consult the learned flow; fall back to current kinematics
+            // in unseen or ambiguous cells.
+            if let Some(stats) = self.network.stats_at(pos) {
+                if let Some((course, _speed, n)) = stats.directional_flow(cog) {
+                    let delta = mda_geo::units::heading_delta(course, cog);
+                    // directional_flow already restricts to ≤90°; the
+                    // extra margin lets right-angle lane corners engage.
+                    if n >= self.min_count && delta <= 90.0 {
+                        // Steer gently toward the learned flow instead of
+                        // snapping to it: straight legs stay untouched,
+                        // lane turns pull the course around over a few
+                        // steps. Speed stays the vessel's own — cell
+                        // means mix vessel classes.
+                        let turn = mda_geo::units::norm_deg_180(course - cog);
+                        cog = norm_deg_360(cog + self.flow_gain * turn);
+                    }
+                }
+            }
+            let _ = &mut sog;
+            pos = destination(pos, cog, knots_to_mps(sog) * step);
+            remaining -= step;
+        }
+        Some(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinematic::DeadReckoningPredictor;
+    use mda_geo::distance::{haversine_m, initial_bearing_deg};
+    use mda_geo::time::MINUTE;
+
+    fn bounds() -> BoundingBox {
+        BoundingBox::new(42.0, 4.0, 44.0, 6.0)
+    }
+
+    /// Historical traffic along an L-shaped lane: east then north.
+    fn l_lane_history(runs: usize) -> Vec<Fix> {
+        let mut fixes = Vec::new();
+        for r in 0..runs {
+            let f0 = Fix::new(
+                r as u32 + 1,
+                Timestamp::from_mins(0),
+                Position::new(43.01, 4.2),
+                12.0,
+                90.0,
+            );
+            let mut pos = f0.pos;
+            let mut t = f0.t;
+            // East leg to lon 5.0.
+            while pos.lon < 5.0 {
+                fixes.push(Fix { t, pos, ..f0 });
+                pos = destination(pos, 90.0, knots_to_mps(12.0) * 60.0);
+                t = t + MINUTE;
+            }
+            // North leg.
+            for _ in 0..60 {
+                fixes.push(Fix { t, pos, cog_deg: 0.0, ..f0 });
+                pos = destination(pos, 0.0, knots_to_mps(12.0) * 60.0);
+                t = t + MINUTE;
+            }
+        }
+        fixes
+    }
+
+    #[test]
+    fn cell_stats_circular_mean() {
+        let mut s = CellStats::default();
+        s.add(350.0, 10.0);
+        s.add(10.0, 12.0);
+        let mean = s.mean_course_deg();
+        assert!(mean < 5.0 || mean > 355.0, "wrap-around mean: {mean}");
+        assert!((s.mean_speed_kn() - 11.0).abs() < 1e-9);
+        assert!(s.course_concentration() > 0.9);
+    }
+
+    #[test]
+    fn directional_flow_separates_opposing_lanes() {
+        let mut s = CellStats::default();
+        for _ in 0..10 {
+            s.add(90.0, 12.0); // eastbound traffic
+            s.add(270.0, 8.0); // westbound traffic
+        }
+        // Aggregate mean is meaningless (flows cancel)...
+        assert!(s.course_concentration() < 0.1);
+        // ...but the directional flow matches the asking vessel.
+        let (course_e, speed_e, _) = s.directional_flow(85.0).expect("east flow");
+        assert!((course_e - 90.0).abs() < 5.0);
+        assert!((speed_e - 12.0).abs() < 0.5);
+        let (course_w, speed_w, _) = s.directional_flow(265.0).expect("west flow");
+        assert!((course_w - 270.0).abs() < 5.0);
+        assert!((speed_w - 8.0).abs() < 0.5);
+        // A vessel heading north finds no compatible flow here.
+        assert!(s.directional_flow(0.0).is_none() || {
+            let (c, _, _) = s.directional_flow(0.0).unwrap();
+            mda_geo::units::heading_delta(c, 0.0) <= 90.0
+        });
+    }
+
+    #[test]
+    fn ambiguous_cell_has_low_concentration() {
+        let mut s = CellStats::default();
+        s.add(0.0, 10.0);
+        s.add(180.0, 10.0);
+        assert!(s.course_concentration() < 0.05);
+    }
+
+    #[test]
+    fn network_learns_lane_structure() {
+        let mut net = RouteNetwork::new(bounds(), 0.05);
+        net.learn_all(&l_lane_history(5));
+        assert!(net.cell_count() > 20);
+        // A cell on the east leg should point east.
+        let east = net.stats_at(Position::new(43.01, 4.5)).expect("traffic there");
+        assert!((east.mean_course_deg() - 90.0).abs() < 10.0);
+        // Stationary fixes are ignored.
+        let before = net.total_fixes();
+        net.learn(&Fix::new(9, Timestamp::from_mins(0), Position::new(43.01, 4.5), 0.1, 0.0));
+        assert_eq!(net.total_fixes(), before);
+    }
+
+    #[test]
+    fn routenet_beats_dead_reckoning_past_the_corner() {
+        let history = l_lane_history(8);
+        let mut net = RouteNetwork::new(bounds(), 0.05);
+        net.learn_all(&history);
+        let predictor = RouteNetPredictor::new(net);
+
+        // A new vessel is on the east leg, 20 minutes before the corner.
+        let vessel = Fix::new(
+            99,
+            Timestamp::from_mins(0),
+            Position::new(43.01, 4.93),
+            12.0,
+            90.0,
+        );
+        // Ground truth 60 min ahead: reaches the corner in ~17 min, then
+        // sails north for ~43 min.
+        let corner = Position::new(43.01, 5.0);
+        let t_corner_s = haversine_m(vessel.pos, corner) / knots_to_mps(12.0);
+        let truth = destination(corner, 0.0, knots_to_mps(12.0) * (3_600.0 - t_corner_s));
+
+        let at = vessel.t + 60 * MINUTE;
+        let rn = predictor.predict(&[vessel], at).unwrap();
+        let dr = DeadReckoningPredictor.predict(&[vessel], at).unwrap();
+        let rn_err = haversine_m(rn, truth);
+        let dr_err = haversine_m(dr, truth);
+        assert!(
+            rn_err < dr_err * 0.5,
+            "route-net {rn_err:.0} m vs dead-reckoning {dr_err:.0} m"
+        );
+        // Sanity: route-net went north of the corner.
+        assert!(initial_bearing_deg(corner, rn) < 45.0 || initial_bearing_deg(corner, rn) > 315.0);
+    }
+
+    #[test]
+    fn unseen_area_falls_back_to_dead_reckoning() {
+        let net = RouteNetwork::new(bounds(), 0.05); // empty network
+        let predictor = RouteNetPredictor::new(net);
+        let vessel = Fix::new(1, Timestamp::from_mins(0), Position::new(43.0, 4.5), 10.0, 45.0);
+        let at = vessel.t + 30 * MINUTE;
+        let rn = predictor.predict(&[vessel], at).unwrap();
+        let dr = DeadReckoningPredictor.predict(&[vessel], at).unwrap();
+        assert!(haversine_m(rn, dr) < 200.0, "{}", haversine_m(rn, dr));
+    }
+
+    #[test]
+    fn empty_history_returns_none() {
+        let net = RouteNetwork::new(bounds(), 0.05);
+        assert!(RouteNetPredictor::new(net)
+            .predict(&[], Timestamp::from_mins(10))
+            .is_none());
+    }
+}

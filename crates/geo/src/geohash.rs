@@ -1,0 +1,153 @@
+//! Geohash encoding/decoding (base-32 interleaved bits).
+//!
+//! Geohashes are used as compact spatial keys: blocking keys in link
+//! discovery (`mda-semantics`) and cell labels in synopses. The
+//! implementation follows the public geohash specification.
+
+use crate::bbox::BoundingBox;
+use crate::pos::Position;
+
+const BASE32: &[u8; 32] = b"0123456789bcdefghjkmnpqrstuvwxyz";
+
+fn base32_index(c: u8) -> Option<u32> {
+    BASE32.iter().position(|&b| b == c.to_ascii_lowercase()).map(|i| i as u32)
+}
+
+/// Encode a position into a geohash of `precision` characters (1..=12).
+pub fn encode(p: Position, precision: usize) -> String {
+    assert!((1..=12).contains(&precision), "precision must be in 1..=12");
+    let (mut lat_lo, mut lat_hi) = (-90.0f64, 90.0f64);
+    let (mut lon_lo, mut lon_hi) = (-180.0f64, 180.0f64);
+    let mut even_bit = true; // longitude first
+    let mut out = String::with_capacity(precision);
+    let mut idx: u32 = 0;
+    let mut bit = 0;
+    while out.len() < precision {
+        if even_bit {
+            let mid = (lon_lo + lon_hi) / 2.0;
+            if p.lon >= mid {
+                idx = (idx << 1) | 1;
+                lon_lo = mid;
+            } else {
+                idx <<= 1;
+                lon_hi = mid;
+            }
+        } else {
+            let mid = (lat_lo + lat_hi) / 2.0;
+            if p.lat >= mid {
+                idx = (idx << 1) | 1;
+                lat_lo = mid;
+            } else {
+                idx <<= 1;
+                lat_hi = mid;
+            }
+        }
+        even_bit = !even_bit;
+        bit += 1;
+        if bit == 5 {
+            out.push(BASE32[idx as usize] as char);
+            bit = 0;
+            idx = 0;
+        }
+    }
+    out
+}
+
+/// Decode a geohash into the bounding box it denotes. Returns `None` for
+/// invalid characters or an empty string.
+pub fn decode_bbox(hash: &str) -> Option<BoundingBox> {
+    if hash.is_empty() {
+        return None;
+    }
+    let (mut lat_lo, mut lat_hi) = (-90.0f64, 90.0f64);
+    let (mut lon_lo, mut lon_hi) = (-180.0f64, 180.0f64);
+    let mut even_bit = true;
+    for c in hash.bytes() {
+        let idx = base32_index(c)?;
+        for shift in (0..5).rev() {
+            let bit = (idx >> shift) & 1;
+            if even_bit {
+                let mid = (lon_lo + lon_hi) / 2.0;
+                if bit == 1 {
+                    lon_lo = mid;
+                } else {
+                    lon_hi = mid;
+                }
+            } else {
+                let mid = (lat_lo + lat_hi) / 2.0;
+                if bit == 1 {
+                    lat_lo = mid;
+                } else {
+                    lat_hi = mid;
+                }
+            }
+            even_bit = !even_bit;
+        }
+    }
+    Some(BoundingBox::new(lat_lo, lon_lo, lat_hi, lon_hi))
+}
+
+/// Decode a geohash to the centre point of its cell.
+pub fn decode(hash: &str) -> Option<Position> {
+    decode_bbox(hash).map(|b| b.center())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // Well-known reference: 57.64911, 10.40744 -> "u4pruydqqvj".
+        let h = encode(Position::new(57.64911, 10.40744), 11);
+        assert_eq!(h, "u4pruydqqvj");
+    }
+
+    #[test]
+    fn decode_contains_original() {
+        let p = Position::new(43.2965, 5.3698);
+        for precision in 1..=12 {
+            let h = encode(p, precision);
+            let b = decode_bbox(&h).unwrap();
+            assert!(b.contains(p), "precision {precision}");
+        }
+    }
+
+    #[test]
+    fn longer_hash_is_prefix_refinement() {
+        let p = Position::new(-33.8688, 151.2093);
+        let h8 = encode(p, 8);
+        let h5 = encode(p, 5);
+        assert!(h8.starts_with(&h5));
+        let b8 = decode_bbox(&h8).unwrap();
+        let b5 = decode_bbox(&h5).unwrap();
+        assert!(b5.area_deg2() > b8.area_deg2());
+        assert!(b5.intersects(&b8));
+    }
+
+    #[test]
+    fn decode_rejects_invalid() {
+        assert!(decode_bbox("").is_none());
+        assert!(decode_bbox("abc!").is_none());
+        // 'a', 'i', 'l', 'o' are not in the geohash alphabet.
+        assert!(decode_bbox("a").is_none());
+    }
+
+    #[test]
+    fn round_trip_center_error_small() {
+        let p = Position::new(1.2345, 2.3456);
+        let c = decode(&encode(p, 9)).unwrap();
+        assert!((c.lat - p.lat).abs() < 1e-4);
+        assert!((c.lon - p.lon).abs() < 1e-4);
+    }
+
+    #[test]
+    fn neighbours_share_prefix_statistically() {
+        // Two points 100 m apart usually share a long prefix; just check
+        // they share the first 4 characters here (they are in the same
+        // ~20 km cell).
+        let a = Position::new(43.0000, 5.0000);
+        let b = Position::new(43.0009, 5.0009);
+        assert_eq!(encode(a, 4), encode(b, 4));
+    }
+}

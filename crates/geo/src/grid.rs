@@ -1,0 +1,238 @@
+//! Uniform lat/lon grid index over a bounding box.
+//!
+//! The grid is the work-horse spatial index of the workspace: O(1)
+//! insertion, cheap range queries, and it doubles as the cell structure
+//! for density rasters and pattern-of-life models. Items are `(Position,
+//! payload)` pairs; payloads are small copyable ids in practice.
+
+use crate::bbox::BoundingBox;
+use crate::pos::Position;
+
+/// Index of a grid cell (column-major `row * cols + col`).
+pub type CellId = usize;
+
+/// A uniform grid over `bounds` with `rows x cols` cells.
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    bounds: BoundingBox,
+    rows: usize,
+    cols: usize,
+    cells: Vec<Vec<(Position, T)>>,
+    len: usize,
+}
+
+impl<T: Clone> GridIndex<T> {
+    /// Create an empty grid. `rows` and `cols` must be nonzero.
+    pub fn new(bounds: BoundingBox, rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid must have at least one cell");
+        assert!(!bounds.is_empty(), "grid bounds must be non-empty");
+        Self { bounds, rows, cols, cells: vec![Vec::new(); rows * cols], len: 0 }
+    }
+
+    /// Create a grid whose cells are approximately `cell_deg` degrees.
+    pub fn with_cell_size(bounds: BoundingBox, cell_deg: f64) -> Self {
+        assert!(cell_deg > 0.0);
+        let rows = (bounds.lat_span() / cell_deg).ceil().max(1.0) as usize;
+        let cols = (bounds.lon_span() / cell_deg).ceil().max(1.0) as usize;
+        Self::new(bounds, rows, cols)
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Grid shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The indexed bounds.
+    pub fn bounds(&self) -> &BoundingBox {
+        &self.bounds
+    }
+
+    /// Row/col of the cell containing `p`, clamped to the grid edge.
+    pub fn cell_of(&self, p: Position) -> (usize, usize) {
+        let fr = (p.lat - self.bounds.min_lat) / self.bounds.lat_span().max(f64::MIN_POSITIVE);
+        let fc = (p.lon - self.bounds.min_lon) / self.bounds.lon_span().max(f64::MIN_POSITIVE);
+        let r = ((fr * self.rows as f64) as isize).clamp(0, self.rows as isize - 1) as usize;
+        let c = ((fc * self.cols as f64) as isize).clamp(0, self.cols as isize - 1) as usize;
+        (r, c)
+    }
+
+    /// Flat cell id of the cell containing `p`.
+    pub fn cell_id(&self, p: Position) -> CellId {
+        let (r, c) = self.cell_of(p);
+        r * self.cols + c
+    }
+
+    /// Insert an item. Points outside the bounds are clamped into the
+    /// border cells (callers filter beforehand when that is not wanted).
+    pub fn insert(&mut self, pos: Position, value: T) {
+        let id = self.cell_id(pos);
+        self.cells[id].push((pos, value));
+        self.len += 1;
+    }
+
+    /// Remove all items for which `pred` returns false. Returns the
+    /// number of removed items.
+    pub fn retain(&mut self, mut pred: impl FnMut(&Position, &T) -> bool) -> usize {
+        let before = self.len;
+        let mut len = 0;
+        for cell in &mut self.cells {
+            cell.retain(|(p, v)| pred(p, v));
+            len += cell.len();
+        }
+        self.len = len;
+        before - len
+    }
+
+    /// Clear all contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        for cell in &mut self.cells {
+            cell.clear();
+        }
+        self.len = 0;
+    }
+
+    /// All items whose position lies in `query` (exact filtering after
+    /// the cell-level pre-selection).
+    pub fn query_bbox(&self, query: &BoundingBox) -> Vec<(Position, T)> {
+        let mut out = Vec::new();
+        self.for_each_in_bbox(query, |p, v| out.push((p, v.clone())));
+        out
+    }
+
+    /// Visit every item inside `query` without allocating.
+    pub fn for_each_in_bbox(&self, query: &BoundingBox, mut f: impl FnMut(Position, &T)) {
+        if !self.bounds.intersects(query) {
+            return;
+        }
+        let (r0, c0) =
+            self.cell_of(Position::new(query.min_lat.max(self.bounds.min_lat), query.min_lon.max(self.bounds.min_lon)));
+        let (r1, c1) =
+            self.cell_of(Position::new(query.max_lat.min(self.bounds.max_lat), query.max_lon.min(self.bounds.max_lon)));
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                for (p, v) in &self.cells[r * self.cols + c] {
+                    if query.contains(*p) {
+                        f(*p, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Count of items per cell, row-major; the raw material of density
+    /// rasters.
+    pub fn cell_counts(&self) -> Vec<usize> {
+        self.cells.iter().map(Vec::len).collect()
+    }
+
+    /// Iterate over all items.
+    pub fn iter(&self) -> impl Iterator<Item = &(Position, T)> {
+        self.cells.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridIndex<u32> {
+        GridIndex::new(BoundingBox::new(0.0, 0.0, 10.0, 10.0), 10, 10)
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let mut g = grid();
+        assert!(g.is_empty());
+        g.insert(Position::new(0.5, 0.5), 1);
+        g.insert(Position::new(9.5, 9.5), 2);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn cell_assignment() {
+        let g = grid();
+        assert_eq!(g.cell_of(Position::new(0.5, 0.5)), (0, 0));
+        assert_eq!(g.cell_of(Position::new(9.99, 9.99)), (9, 9));
+        // Max corner clamps into the last cell.
+        assert_eq!(g.cell_of(Position::new(10.0, 10.0)), (9, 9));
+        // Out-of-bounds clamps to edge cells.
+        assert_eq!(g.cell_of(Position::new(-5.0, 20.0)), (0, 9));
+    }
+
+    #[test]
+    fn bbox_query_exact() {
+        let mut g = grid();
+        for i in 0..100u32 {
+            let lat = (i / 10) as f64 + 0.5;
+            let lon = (i % 10) as f64 + 0.5;
+            g.insert(Position::new(lat, lon), i);
+        }
+        let q = BoundingBox::new(2.0, 3.0, 4.99, 5.99);
+        let mut hits = g.query_bbox(&q);
+        hits.sort_by_key(|(_, v)| *v);
+        let ids: Vec<u32> = hits.iter().map(|(_, v)| *v).collect();
+        // Rows 2..=4 (lat 2.5,3.5,4.5), cols 3..=5 => 9 items.
+        assert_eq!(ids, vec![23, 24, 25, 33, 34, 35, 43, 44, 45]);
+    }
+
+    #[test]
+    fn query_matches_linear_scan_randomised() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = grid();
+        let mut all = Vec::new();
+        for i in 0..500u32 {
+            let p = Position::new(rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0));
+            g.insert(p, i);
+            all.push((p, i));
+        }
+        for _ in 0..20 {
+            let a = rng.gen_range(0.0..8.0);
+            let b = rng.gen_range(0.0..8.0);
+            let q = BoundingBox::new(a, b, a + rng.gen_range(0.1..2.0), b + rng.gen_range(0.1..2.0));
+            let mut from_grid: Vec<u32> = g.query_bbox(&q).into_iter().map(|(_, v)| v).collect();
+            let mut from_scan: Vec<u32> =
+                all.iter().filter(|(p, _)| q.contains(*p)).map(|(_, v)| *v).collect();
+            from_grid.sort_unstable();
+            from_scan.sort_unstable();
+            assert_eq!(from_grid, from_scan);
+        }
+    }
+
+    #[test]
+    fn retain_removes_and_recounts() {
+        let mut g = grid();
+        for i in 0..10u32 {
+            g.insert(Position::new(5.0, 5.0), i);
+        }
+        let removed = g.retain(|_, v| v % 2 == 0);
+        assert_eq!(removed, 5);
+        assert_eq!(g.len(), 5);
+    }
+
+    #[test]
+    fn with_cell_size_shape() {
+        let g: GridIndex<()> =
+            GridIndex::with_cell_size(BoundingBox::new(0.0, 0.0, 10.0, 20.0), 2.5);
+        assert_eq!(g.shape(), (4, 8));
+    }
+
+    #[test]
+    fn cell_counts_sum_to_len() {
+        let mut g = grid();
+        for i in 0..42u32 {
+            g.insert(Position::new((i % 10) as f64, (i % 7) as f64), i);
+        }
+        assert_eq!(g.cell_counts().iter().sum::<usize>(), g.len());
+    }
+}

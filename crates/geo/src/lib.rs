@@ -1,0 +1,35 @@
+//! Geospatial and kinematic substrate for the maritime analytics workspace.
+//!
+//! Every other crate builds on the vocabulary defined here:
+//!
+//! - [`Position`] — WGS84 latitude/longitude in degrees.
+//! - [`Timestamp`] / [`DurationMs`] — event time in integer milliseconds.
+//! - [`Fix`] — a timestamped kinematic observation of a moving object
+//!   (position, speed over ground, course over ground).
+//! - Distance/bearing math on the sphere ([`distance`]), local metric
+//!   projections ([`projection`]), and motion models ([`motion`]).
+//! - Spatial containers: [`bbox::BoundingBox`], [`polygon::Polygon`],
+//!   a uniform [`grid::GridIndex`], an [`rtree::RTree`], and
+//!   [`geohash`] encoding.
+//!
+//! The crate is dependency-light on purpose: it is the bottom of the
+//! workspace dependency graph and is exercised by property tests that
+//! compare indexed queries against brute-force scans.
+
+pub mod bbox;
+pub mod distance;
+pub mod geohash;
+pub mod grid;
+pub mod motion;
+pub mod polygon;
+pub mod pos;
+pub mod projection;
+pub mod rtree;
+pub mod time;
+pub mod units;
+
+pub use bbox::BoundingBox;
+pub use motion::{Fix, VesselId};
+pub use polygon::Polygon;
+pub use pos::Position;
+pub use time::{DurationMs, Timestamp};

@@ -1,0 +1,297 @@
+//! A static STR-packed R-tree over point data.
+//!
+//! Built once (Sort-Tile-Recursive bulk loading), queried many times —
+//! exactly the access pattern of archival trajectory queries in
+//! `mda-store`. For dynamic data the workspace uses [`crate::grid`]; the
+//! R-tree exists for skewed archival distributions where a uniform grid
+//! degenerates.
+
+use crate::bbox::BoundingBox;
+use crate::distance::equirectangular_m;
+use crate::pos::Position;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+const NODE_CAPACITY: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf { bbox: BoundingBox, entries: Vec<(Position, T)> },
+    Inner { bbox: BoundingBox, children: Vec<Node<T>> },
+}
+
+impl<T> Node<T> {
+    fn bbox(&self) -> &BoundingBox {
+        match self {
+            Node::Leaf { bbox, .. } | Node::Inner { bbox, .. } => bbox,
+        }
+    }
+}
+
+/// Static R-tree over `(Position, T)` points.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    root: Option<Node<T>>,
+    len: usize,
+}
+
+impl<T: Clone> RTree<T> {
+    /// Bulk-load a tree from points using Sort-Tile-Recursive packing.
+    pub fn bulk_load(mut items: Vec<(Position, T)>) -> Self {
+        let len = items.len();
+        if items.is_empty() {
+            return Self { root: None, len: 0 };
+        }
+        let leaves = Self::pack_leaves(&mut items);
+        let root = Self::build_upwards(leaves);
+        Self { root: Some(root), len }
+    }
+
+    fn pack_leaves(items: &mut [(Position, T)]) -> Vec<Node<T>> {
+        let n = items.len();
+        let leaf_count = n.div_ceil(NODE_CAPACITY);
+        let slices = (leaf_count as f64).sqrt().ceil() as usize; // vertical strips
+        let per_slice = n.div_ceil(slices);
+        items.sort_by(|a, b| a.0.lon.partial_cmp(&b.0.lon).unwrap_or(Ordering::Equal));
+        let mut leaves = Vec::with_capacity(leaf_count);
+        for strip in items.chunks_mut(per_slice.max(1)) {
+            strip.sort_by(|a, b| a.0.lat.partial_cmp(&b.0.lat).unwrap_or(Ordering::Equal));
+            for chunk in strip.chunks(NODE_CAPACITY) {
+                let entries: Vec<(Position, T)> = chunk.to_vec();
+                let bbox = BoundingBox::from_points(
+                    &entries.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+                )
+                .expect("non-empty chunk");
+                leaves.push(Node::Leaf { bbox, entries });
+            }
+        }
+        leaves
+    }
+
+    fn build_upwards(mut level: Vec<Node<T>>) -> Node<T> {
+        while level.len() > 1 {
+            level.sort_by(|a, b| {
+                a.bbox()
+                    .center()
+                    .lon
+                    .partial_cmp(&b.bbox().center().lon)
+                    .unwrap_or(Ordering::Equal)
+            });
+            let mut next = Vec::with_capacity(level.len().div_ceil(NODE_CAPACITY));
+            let mut iter = level.into_iter().peekable();
+            while iter.peek().is_some() {
+                let children: Vec<Node<T>> = iter.by_ref().take(NODE_CAPACITY).collect();
+                let bbox = children
+                    .iter()
+                    .skip(1)
+                    .fold(*children[0].bbox(), |acc, c| acc.union(c.bbox()));
+                next.push(Node::Inner { bbox, children });
+            }
+            level = next;
+        }
+        level.into_iter().next().expect("non-empty level")
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All points inside `query`.
+    pub fn query_bbox(&self, query: &BoundingBox) -> Vec<(Position, T)> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            Self::query_node(root, query, &mut out);
+        }
+        out
+    }
+
+    fn query_node(node: &Node<T>, query: &BoundingBox, out: &mut Vec<(Position, T)>) {
+        match node {
+            Node::Leaf { bbox, entries } => {
+                if bbox.intersects(query) {
+                    for (p, v) in entries {
+                        if query.contains(*p) {
+                            out.push((*p, v.clone()));
+                        }
+                    }
+                }
+            }
+            Node::Inner { bbox, children } => {
+                if bbox.intersects(query) {
+                    for c in children {
+                        Self::query_node(c, query, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The `k` nearest stored points to `target` (best-first search with
+    /// bbox lower bounds), closest first.
+    pub fn nearest_k(&self, target: Position, k: usize) -> Vec<(Position, T, f64)> {
+        let root = match &self.root {
+            Some(r) => r,
+            None => return Vec::new(),
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+
+        struct Candidate<'a, T> {
+            dist: f64,
+            payload: CandidateKind<'a, T>,
+        }
+        enum CandidateKind<'a, T> {
+            Node(&'a Node<T>),
+            Point(Position, &'a T),
+        }
+        impl<T> PartialEq for Candidate<'_, T> {
+            fn eq(&self, other: &Self) -> bool {
+                self.dist == other.dist
+            }
+        }
+        impl<T> Eq for Candidate<'_, T> {}
+        impl<T> PartialOrd for Candidate<'_, T> {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl<T> Ord for Candidate<'_, T> {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap on distance.
+                other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+            }
+        }
+
+        let mut heap = BinaryHeap::new();
+        heap.push(Candidate { dist: bbox_min_dist_m(root.bbox(), target), payload: CandidateKind::Node(root) });
+        let mut result = Vec::with_capacity(k);
+        while let Some(c) = heap.pop() {
+            match c.payload {
+                CandidateKind::Node(Node::Inner { children, .. }) => {
+                    for ch in children {
+                        heap.push(Candidate {
+                            dist: bbox_min_dist_m(ch.bbox(), target),
+                            payload: CandidateKind::Node(ch),
+                        });
+                    }
+                }
+                CandidateKind::Node(Node::Leaf { entries, .. }) => {
+                    for (p, v) in entries {
+                        heap.push(Candidate {
+                            dist: equirectangular_m(target, *p),
+                            payload: CandidateKind::Point(*p, v),
+                        });
+                    }
+                }
+                CandidateKind::Point(p, v) => {
+                    result.push((p, v.clone(), c.dist));
+                    if result.len() == k {
+                        break;
+                    }
+                }
+            }
+        }
+        result
+    }
+}
+
+/// Lower bound on the distance from `target` to any point in `b`, in
+/// metres (equirectangular metric, consistent with [`RTree::nearest_k`]).
+fn bbox_min_dist_m(b: &BoundingBox, target: Position) -> f64 {
+    let lat = target.lat.clamp(b.min_lat, b.max_lat);
+    let lon = target.lon.clamp(b.min_lon, b.max_lon);
+    equirectangular_m(target, Position::new(lat, lon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<(Position, u32)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n as u32)
+            .map(|i| (Position::new(rng.gen_range(40.0..45.0), rng.gen_range(2.0..9.0)), i))
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: RTree<u32> = RTree::bulk_load(vec![]);
+        assert!(t.is_empty());
+        assert!(t.query_bbox(&BoundingBox::WORLD).is_empty());
+        assert!(t.nearest_k(Position::new(0.0, 0.0), 3).is_empty());
+    }
+
+    #[test]
+    fn query_matches_scan() {
+        let pts = random_points(2_000, 11);
+        let tree = RTree::bulk_load(pts.clone());
+        assert_eq!(tree.len(), 2_000);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..25 {
+            let lat = rng.gen_range(40.0..44.0);
+            let lon = rng.gen_range(2.0..8.0);
+            let q = BoundingBox::new(lat, lon, lat + 0.7, lon + 0.9);
+            let mut from_tree: Vec<u32> =
+                tree.query_bbox(&q).into_iter().map(|(_, v)| v).collect();
+            let mut from_scan: Vec<u32> =
+                pts.iter().filter(|(p, _)| q.contains(*p)).map(|(_, v)| *v).collect();
+            from_tree.sort_unstable();
+            from_scan.sort_unstable();
+            assert_eq!(from_tree, from_scan);
+        }
+    }
+
+    #[test]
+    fn nearest_k_matches_brute_force() {
+        let pts = random_points(1_000, 21);
+        let tree = RTree::bulk_load(pts.clone());
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..20 {
+            let target = Position::new(rng.gen_range(40.0..45.0), rng.gen_range(2.0..9.0));
+            let got: Vec<u32> =
+                tree.nearest_k(target, 7).into_iter().map(|(_, v, _)| v).collect();
+            let mut brute: Vec<(f64, u32)> = pts
+                .iter()
+                .map(|(p, v)| (equirectangular_m(target, *p), *v))
+                .collect();
+            brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let want: Vec<u32> = brute.iter().take(7).map(|(_, v)| *v).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn nearest_k_ordered_by_distance() {
+        let pts = random_points(300, 31);
+        let tree = RTree::bulk_load(pts);
+        let res = tree.nearest_k(Position::new(42.5, 5.5), 10);
+        assert_eq!(res.len(), 10);
+        for w in res.windows(2) {
+            assert!(w[0].2 <= w[1].2);
+        }
+    }
+
+    #[test]
+    fn nearest_k_larger_than_len() {
+        let pts = random_points(5, 41);
+        let tree = RTree::bulk_load(pts);
+        assert_eq!(tree.nearest_k(Position::new(42.0, 5.0), 50).len(), 5);
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let tree = RTree::bulk_load(vec![(Position::new(1.0, 2.0), 9u32)]);
+        assert_eq!(tree.len(), 1);
+        let r = tree.nearest_k(Position::new(1.1, 2.1), 1);
+        assert_eq!(r[0].1, 9);
+    }
+}

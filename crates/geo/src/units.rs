@@ -1,0 +1,114 @@
+//! Physical constants and unit conversions used throughout the workspace.
+//!
+//! Maritime data mixes units freely: AIS reports speed in knots and
+//! distances are quoted in nautical miles, while error metrics and motion
+//! models work in metres and metres per second. Keeping the conversions in
+//! one place avoids the classic ×1852 / ÷1852 bugs.
+
+/// Mean Earth radius in metres (IUGG spherical approximation).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// One nautical mile in metres (exact, by definition).
+pub const NM_IN_METERS: f64 = 1_852.0;
+
+/// One knot in metres per second.
+pub const KNOT_IN_MPS: f64 = NM_IN_METERS / 3_600.0;
+
+/// Convert knots to metres per second.
+#[inline]
+pub fn knots_to_mps(kn: f64) -> f64 {
+    kn * KNOT_IN_MPS
+}
+
+/// Convert metres per second to knots.
+#[inline]
+pub fn mps_to_knots(mps: f64) -> f64 {
+    mps / KNOT_IN_MPS
+}
+
+/// Convert nautical miles to metres.
+#[inline]
+pub fn nm_to_meters(nm: f64) -> f64 {
+    nm * NM_IN_METERS
+}
+
+/// Convert metres to nautical miles.
+#[inline]
+pub fn meters_to_nm(m: f64) -> f64 {
+    m / NM_IN_METERS
+}
+
+/// Normalise an angle in degrees to the half-open range `[0, 360)`.
+#[inline]
+pub fn norm_deg_360(deg: f64) -> f64 {
+    let d = deg % 360.0;
+    if d < 0.0 {
+        d + 360.0
+    } else {
+        d
+    }
+}
+
+/// Normalise an angle in degrees to the half-open range `(-180, 180]`.
+#[inline]
+pub fn norm_deg_180(deg: f64) -> f64 {
+    let d = norm_deg_360(deg);
+    if d > 180.0 {
+        d - 360.0
+    } else {
+        d
+    }
+}
+
+/// Smallest absolute difference between two headings, in degrees `[0, 180]`.
+///
+/// `heading_delta(350.0, 10.0) == 20.0`, i.e. the wrap-around at north is
+/// handled correctly.
+#[inline]
+pub fn heading_delta(a_deg: f64, b_deg: f64) -> f64 {
+    norm_deg_180(b_deg - a_deg).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knot_round_trip() {
+        let kn = 17.3;
+        assert!((mps_to_knots(knots_to_mps(kn)) - kn).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_knot_is_about_half_mps() {
+        assert!((knots_to_mps(1.0) - 0.514444).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nm_round_trip() {
+        assert_eq!(nm_to_meters(1.0), 1852.0);
+        assert!((meters_to_nm(nm_to_meters(3.7)) - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_360_wraps_negative() {
+        assert!((norm_deg_360(-90.0) - 270.0).abs() < 1e-12);
+        assert!((norm_deg_360(720.5) - 0.5).abs() < 1e-12);
+        assert_eq!(norm_deg_360(0.0), 0.0);
+    }
+
+    #[test]
+    fn norm_180_is_symmetric_range() {
+        assert!((norm_deg_180(270.0) - -90.0).abs() < 1e-12);
+        assert!((norm_deg_180(180.0) - 180.0).abs() < 1e-12);
+        assert!((norm_deg_180(-180.0) - 180.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heading_delta_wraps_north() {
+        assert!((heading_delta(350.0, 10.0) - 20.0).abs() < 1e-12);
+        assert!((heading_delta(10.0, 350.0) - 20.0).abs() < 1e-12);
+        assert!((heading_delta(0.0, 180.0) - 180.0).abs() < 1e-12);
+        assert_eq!(heading_delta(45.0, 45.0), 0.0);
+    }
+}

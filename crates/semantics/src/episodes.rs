@@ -1,0 +1,220 @@
+//! Semantic trajectory segmentation: stops, moves and activity episodes.
+//!
+//! Following the semantic-trajectory model the paper builds on (Parent
+//! et al., ref 34), a raw fix sequence becomes a sequence of
+//! *episodes*: `Stop(at: MARSEILLE-ANCHORAGE)`, `Move(kind: Transit)`,
+//! `Move(kind: Fishing)`. Episodes are what gets linked into the
+//! knowledge graph and what queries reason over.
+
+use mda_geo::{Fix, Polygon, Position, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// What a vessel was doing during an episode.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EpisodeKind {
+    /// Stationary (speed below the stop threshold).
+    Stop,
+    /// Under way at transit speeds.
+    Transit,
+    /// Moving at fishing speeds.
+    Fishing,
+}
+
+/// One homogeneous segment of a trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Episode {
+    /// Activity during the episode.
+    pub kind: EpisodeKind,
+    /// Start time.
+    pub start: Timestamp,
+    /// End time.
+    pub end: Timestamp,
+    /// Position at episode start.
+    pub start_pos: Position,
+    /// Position at episode end.
+    pub end_pos: Position,
+    /// Name of the zone containing the episode midpoint, if any.
+    pub place: Option<String>,
+}
+
+impl Episode {
+    /// Episode duration in minutes.
+    pub fn minutes(&self) -> f64 {
+        (self.end - self.start) as f64 / 60_000.0
+    }
+}
+
+/// A segmented, annotated trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SemanticTrajectory {
+    /// The vessel.
+    pub vessel: mda_geo::VesselId,
+    /// Episodes in time order.
+    pub episodes: Vec<Episode>,
+}
+
+/// Segmentation thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentConfig {
+    /// Below this the vessel is stopped, knots.
+    pub stop_kn: f64,
+    /// Between stop and this is fishing-like movement, knots.
+    pub fishing_kn: f64,
+    /// Ignore episodes shorter than this (smoothing), milliseconds.
+    pub min_episode: mda_geo::DurationMs,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        Self { stop_kn: 0.7, fishing_kn: 5.5, min_episode: 5 * mda_geo::time::MINUTE }
+    }
+}
+
+fn classify(sog_kn: f64, cfg: &SegmentConfig) -> EpisodeKind {
+    if sog_kn < cfg.stop_kn {
+        EpisodeKind::Stop
+    } else if sog_kn <= cfg.fishing_kn {
+        EpisodeKind::Fishing
+    } else {
+        EpisodeKind::Transit
+    }
+}
+
+/// Segment a fix sequence (one vessel, time-ordered) into episodes,
+/// labelling each with the named zone containing its midpoint.
+pub fn segment(
+    fixes: &[Fix],
+    zones: &[(String, Polygon)],
+    cfg: SegmentConfig,
+) -> Option<SemanticTrajectory> {
+    let first = fixes.first()?;
+    let mut episodes: Vec<Episode> = Vec::new();
+    let mut cur_kind = classify(first.sog_kn, &cfg);
+    let mut cur_start = 0usize;
+    for (idx, f) in fixes.iter().enumerate().skip(1) {
+        let kind = classify(f.sog_kn, &cfg);
+        if kind != cur_kind {
+            push_episode(&mut episodes, fixes, cur_start, idx - 1, cur_kind.clone(), zones);
+            cur_kind = kind;
+            cur_start = idx;
+        }
+    }
+    push_episode(&mut episodes, fixes, cur_start, fixes.len() - 1, cur_kind, zones);
+
+    // Merge tiny episodes into their predecessor (threshold smoothing),
+    // then coalesce same-kind neighbours the smoothing re-joined.
+    let mut merged: Vec<Episode> = Vec::with_capacity(episodes.len());
+    for e in episodes {
+        let tiny = e.end - e.start < cfg.min_episode;
+        match merged.last_mut() {
+            Some(prev) if tiny || prev.kind == e.kind => {
+                prev.end = e.end;
+                prev.end_pos = e.end_pos;
+            }
+            _ => merged.push(e),
+        }
+    }
+    Some(SemanticTrajectory { vessel: first.id, episodes: merged })
+}
+
+fn push_episode(
+    episodes: &mut Vec<Episode>,
+    fixes: &[Fix],
+    start: usize,
+    end: usize,
+    kind: EpisodeKind,
+    zones: &[(String, Polygon)],
+) {
+    let mid = &fixes[(start + end) / 2];
+    let place = zones
+        .iter()
+        .find(|(_, poly)| poly.contains(mid.pos))
+        .map(|(name, _)| name.clone());
+    episodes.push(Episode {
+        kind,
+        start: fixes[start].t,
+        end: fixes[end].t,
+        start_pos: fixes[start].pos,
+        end_pos: fixes[end].pos,
+        place,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::BoundingBox;
+
+    fn fix(t_min: i64, lat: f64, lon: f64, sog: f64) -> Fix {
+        Fix::new(7, Timestamp::from_mins(t_min), Position::new(lat, lon), sog, 90.0)
+    }
+
+    fn port_zone() -> (String, Polygon) {
+        (
+            "PORT".to_string(),
+            Polygon::rectangle(BoundingBox::new(42.95, 4.95, 43.05, 5.05)),
+        )
+    }
+
+    #[test]
+    fn stop_move_stop_segmentation() {
+        let mut fixes = Vec::new();
+        for i in 0..30 {
+            fixes.push(fix(i, 43.0, 5.0, 0.1)); // stopped in port
+        }
+        for i in 30..90 {
+            fixes.push(fix(i, 43.0, 5.0 + (i - 30) as f64 * 0.005, 12.0)); // transit
+        }
+        for i in 90..120 {
+            fixes.push(fix(i, 43.0, 5.3, 0.2)); // stopped again
+        }
+        let st = segment(&fixes, &[port_zone()], SegmentConfig::default()).unwrap();
+        assert_eq!(st.episodes.len(), 3);
+        assert_eq!(st.episodes[0].kind, EpisodeKind::Stop);
+        assert_eq!(st.episodes[0].place.as_deref(), Some("PORT"));
+        assert_eq!(st.episodes[1].kind, EpisodeKind::Transit);
+        assert_eq!(st.episodes[2].kind, EpisodeKind::Stop);
+        assert_eq!(st.episodes[2].place, None);
+        assert!((st.episodes[0].minutes() - 29.0).abs() < 1.1);
+    }
+
+    #[test]
+    fn fishing_band_detected() {
+        let mut fixes = Vec::new();
+        for i in 0..20 {
+            fixes.push(fix(i, 42.7, 4.5 + i as f64 * 0.003, 9.0));
+        }
+        for i in 20..80 {
+            fixes.push(fix(i, 42.7, 4.56 + ((i % 7) as f64) * 0.001, 3.0));
+        }
+        let st = segment(&fixes, &[], SegmentConfig::default()).unwrap();
+        assert_eq!(st.episodes.len(), 2);
+        assert_eq!(st.episodes[0].kind, EpisodeKind::Transit);
+        assert_eq!(st.episodes[1].kind, EpisodeKind::Fishing);
+    }
+
+    #[test]
+    fn tiny_flicker_is_smoothed() {
+        let mut fixes = Vec::new();
+        for i in 0..30 {
+            // Transit with one 2-minute "stop" blip at minute 15.
+            let sog = if (15..17).contains(&i) { 0.2 } else { 12.0 };
+            fixes.push(fix(i, 43.0, 5.0 + i as f64 * 0.005, sog));
+        }
+        let st = segment(&fixes, &[], SegmentConfig::default()).unwrap();
+        assert_eq!(st.episodes.len(), 1, "blip merged: {:?}", st.episodes);
+        assert_eq!(st.episodes[0].kind, EpisodeKind::Transit);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(segment(&[], &[], SegmentConfig::default()).is_none());
+    }
+
+    #[test]
+    fn single_fix_trajectory() {
+        let st = segment(&[fix(0, 43.0, 5.0, 10.0)], &[], SegmentConfig::default()).unwrap();
+        assert_eq!(st.episodes.len(), 1);
+        assert_eq!(st.episodes[0].start, st.episodes[0].end);
+    }
+}

@@ -1,0 +1,39 @@
+//! Semantic integration of maritime data (paper §2.2 and §2.5).
+//!
+//! The paper's complaint: RDF stores "are not tailored to offer
+//! efficient trajectory-oriented data management" and link-discovery
+//! tools cannot integrate streaming with archival data in real time.
+//! This crate is the trajectory-oriented semantic layer built for that
+//! job:
+//!
+//! - [`term`] — string interning (compact `TermId`s).
+//! - [`store`] — an in-memory triple store with SPO/POS/OSP indexes and
+//!   optional spatio-temporal annotations per triple; this is the "live
+//!   knowledge graph" that streaming enrichment writes into.
+//! - [`query`] — basic-graph-pattern matching with variables plus
+//!   spatio-temporal filters (time range, bounding box).
+//! - [`episodes`] — semantic trajectory segmentation (stop/move/fishing
+//!   episodes annotated with zones), after Parent et al., ref 34.
+//! - [`registry`] — synthetic vessel registries with the conflicting-
+//!   record structure of §4 (MarineTraffic vs Lloyd's) and conflict
+//!   detection/resolution.
+//! - [`link`] — link discovery across registries: blocking, string and
+//!   numeric similarity, and precision/recall scoring against ground
+//!   truth (the C8 experiment).
+//! - [`enrich`] — streaming enrichment: fixes × zones × weather →
+//!   triples, with throughput accounting.
+
+pub mod enrich;
+pub mod episodes;
+pub mod link;
+pub mod query;
+pub mod registry;
+pub mod store;
+pub mod term;
+
+pub use episodes::{Episode, EpisodeKind, SemanticTrajectory};
+pub use link::{discover_links, LinkConfig, LinkScore};
+pub use query::{Pattern, QueryTerm};
+pub use registry::{RegistryRecord, SourceId};
+pub use store::{TripleStore, Annotation};
+pub use term::{Interner, TermId};

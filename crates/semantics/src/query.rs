@@ -1,0 +1,190 @@
+//! Basic-graph-pattern queries with variables.
+//!
+//! A [`Pattern`] is a conjunction of triple patterns whose components
+//! are constants or variables; evaluation is a left-to-right index
+//! nested-loop join, with each pattern instantiated under the current
+//! bindings. Small, but it is the query shape that matters for
+//! integrated views ("which cargo vessels were in a protected zone?").
+
+use crate::store::TripleStore;
+use crate::term::TermId;
+use std::collections::HashMap;
+
+/// A pattern component: a constant term or a named variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryTerm {
+    /// A constant.
+    Const(TermId),
+    /// A variable, identified by name.
+    Var(String),
+}
+
+impl QueryTerm {
+    /// Shorthand for a variable.
+    pub fn var(name: &str) -> Self {
+        QueryTerm::Var(name.to_string())
+    }
+}
+
+/// A conjunction of triple patterns.
+#[derive(Debug, Clone, Default)]
+pub struct Pattern {
+    /// The triple patterns to join.
+    pub triples: Vec<(QueryTerm, QueryTerm, QueryTerm)>,
+}
+
+/// A set of variable bindings.
+pub type Bindings = HashMap<String, TermId>;
+
+impl Pattern {
+    /// Start an empty pattern.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a triple pattern.
+    pub fn with(mut self, s: QueryTerm, p: QueryTerm, o: QueryTerm) -> Self {
+        self.triples.push((s, p, o));
+        self
+    }
+
+    /// Evaluate against a store, returning all solution bindings.
+    pub fn solve(&self, store: &TripleStore) -> Vec<Bindings> {
+        let mut solutions = vec![Bindings::new()];
+        for (ps, pp, po) in &self.triples {
+            let mut next = Vec::new();
+            for binding in &solutions {
+                let s = resolve(ps, binding);
+                let p = resolve(pp, binding);
+                let o = resolve(po, binding);
+                for t in store.matching(s, p, o) {
+                    let mut b = binding.clone();
+                    if !bind(ps, t.s, &mut b) || !bind(pp, t.p, &mut b) || !bind(po, t.o, &mut b)
+                    {
+                        continue;
+                    }
+                    next.push(b);
+                }
+            }
+            solutions = next;
+            if solutions.is_empty() {
+                break;
+            }
+        }
+        solutions
+    }
+}
+
+fn resolve(qt: &QueryTerm, b: &Bindings) -> Option<TermId> {
+    match qt {
+        QueryTerm::Const(id) => Some(*id),
+        QueryTerm::Var(name) => b.get(name).copied(),
+    }
+}
+
+fn bind(qt: &QueryTerm, value: TermId, b: &mut Bindings) -> bool {
+    match qt {
+        QueryTerm::Const(id) => *id == value,
+        QueryTerm::Var(name) => match b.get(name) {
+            Some(existing) => *existing == value,
+            None => {
+                b.insert(name.clone(), value);
+                true
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Triple;
+    use crate::term::Interner;
+
+    fn setup() -> (TripleStore, Interner) {
+        let mut i = Interner::new();
+        let mut s = TripleStore::new();
+        let add = |i: &mut Interner, s: &mut TripleStore, a: &str, b: &str, c: &str| {
+            let t = Triple { s: i.intern(a), p: i.intern(b), o: i.intern(c) };
+            s.insert(t);
+        };
+        add(&mut i, &mut s, "v1", "type", "cargo");
+        add(&mut i, &mut s, "v2", "type", "fishing");
+        add(&mut i, &mut s, "v3", "type", "cargo");
+        add(&mut i, &mut s, "v1", "inZone", "reserve");
+        add(&mut i, &mut s, "v2", "inZone", "reserve");
+        add(&mut i, &mut s, "v3", "inZone", "port");
+        add(&mut i, &mut s, "reserve", "kind", "protected");
+        (s, i)
+    }
+
+    #[test]
+    fn single_pattern_with_variable() {
+        let (s, mut i) = setup();
+        let q = Pattern::new().with(
+            QueryTerm::var("v"),
+            QueryTerm::Const(i.intern("type")),
+            QueryTerm::Const(i.intern("cargo")),
+        );
+        let sols = q.solve(&s);
+        assert_eq!(sols.len(), 2);
+        let names: Vec<&str> =
+            sols.iter().map(|b| i.name(b["v"]).unwrap()).collect();
+        assert!(names.contains(&"v1") && names.contains(&"v3"));
+    }
+
+    #[test]
+    fn join_across_patterns() {
+        let (s, mut i) = setup();
+        // Cargo vessels inside a protected zone.
+        let q = Pattern::new()
+            .with(
+                QueryTerm::var("v"),
+                QueryTerm::Const(i.intern("type")),
+                QueryTerm::Const(i.intern("cargo")),
+            )
+            .with(
+                QueryTerm::var("v"),
+                QueryTerm::Const(i.intern("inZone")),
+                QueryTerm::var("z"),
+            )
+            .with(
+                QueryTerm::var("z"),
+                QueryTerm::Const(i.intern("kind")),
+                QueryTerm::Const(i.intern("protected")),
+            );
+        let sols = q.solve(&s);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(i.name(sols[0]["v"]), Some("v1"));
+        assert_eq!(i.name(sols[0]["z"]), Some("reserve"));
+    }
+
+    #[test]
+    fn shared_variable_must_agree() {
+        let (s, mut i) = setup();
+        // ?v type ?t and ?v inZone ?t — no zone equals a type term.
+        let q = Pattern::new()
+            .with(QueryTerm::var("v"), QueryTerm::Const(i.intern("type")), QueryTerm::var("t"))
+            .with(QueryTerm::var("v"), QueryTerm::Const(i.intern("inZone")), QueryTerm::var("t"));
+        assert!(q.solve(&s).is_empty());
+    }
+
+    #[test]
+    fn empty_pattern_yields_one_empty_solution() {
+        let (s, _) = setup();
+        let sols = Pattern::new().solve(&s);
+        assert_eq!(sols.len(), 1);
+        assert!(sols[0].is_empty());
+    }
+
+    #[test]
+    fn no_match_yields_no_solutions() {
+        let (s, mut i) = setup();
+        let q = Pattern::new().with(
+            QueryTerm::var("v"),
+            QueryTerm::Const(i.intern("type")),
+            QueryTerm::Const(i.intern("submarine")),
+        );
+        assert!(q.solve(&s).is_empty());
+    }
+}

@@ -1,0 +1,378 @@
+//! Vessel motion: waypoint following with turn-rate limits, port dwell,
+//! fishing/loitering random walks.
+//!
+//! The stepper produces ground-truth [`Fix`]es at a fixed cadence; the
+//! receiver models in [`crate::receivers`] decide what of that truth is
+//! ever observed.
+
+use crate::vessel::Behavior;
+use crate::world::World;
+use mda_geo::distance::{destination, haversine_m, initial_bearing_deg};
+use mda_geo::units::norm_deg_360;
+use mda_geo::{DurationMs, Fix, Position, Timestamp, VesselId};
+use rand::Rng;
+
+/// Maximum heading change, degrees per minute.
+const MAX_TURN_RATE: f64 = 60.0;
+/// Maximum speed change, knots per minute.
+const MAX_ACCEL: f64 = 6.0;
+/// Duration of one fishing episode.
+const FISHING_EPISODE: DurationMs = 3 * mda_geo::time::HOUR;
+
+#[derive(Debug, Clone)]
+enum Mode {
+    /// Following `route`, heading for `route[next]`.
+    Underway { route: Vec<Position>, next: usize, then: AfterRoute },
+    /// Stationary until `until`.
+    Dwell { until: Timestamp, then: AfterDwell },
+    /// Random-walking inside a disc until `until` (fishing) or forever
+    /// (loiter).
+    Walk { center: Position, radius_m: f64, until: Option<Timestamp> },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum AfterRoute {
+    /// Dwell then sail the reverse route.
+    TurnAround { dwell: DurationMs },
+    /// Begin a fishing episode at the ground.
+    Fish { radius_m: f64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum AfterDwell {
+    ReverseRoute,
+}
+
+/// Ground-truth motion state of one vessel.
+#[derive(Debug, Clone)]
+pub struct VesselMotion {
+    id: VesselId,
+    pos: Position,
+    sog_kn: f64,
+    cog_deg: f64,
+    cruise_kn: f64,
+    /// Speed used while in a fishing Walk episode.
+    fishing_kn: f64,
+    mode: Mode,
+    /// Stashed route for fishing vessels returning home.
+    home_route: Option<Vec<Position>>,
+}
+
+impl VesselMotion {
+    /// Initialise motion from a behaviour profile. `phase` in `[0,1)`
+    /// staggers vessels along their routes so a fleet does not sail in
+    /// lockstep.
+    pub fn new(id: VesselId, behavior: &Behavior, world: &World, phase: f64) -> Self {
+        match behavior {
+            Behavior::LaneTransit { lane, speed_kn, dwell_min } => {
+                let mut route = world.lanes[*lane].waypoints.clone();
+                // Odd phases sail the lane backwards.
+                if phase >= 0.5 {
+                    route.reverse();
+                }
+                let leg = ((phase * 2.0) % 1.0 * (route.len() - 1) as f64) as usize;
+                let start = route[leg];
+                Self {
+                    id,
+                    pos: start,
+                    sog_kn: *speed_kn,
+                    cog_deg: initial_bearing_deg(start, route[leg + 1]),
+                    cruise_kn: *speed_kn,
+                    fishing_kn: 3.0,
+                    mode: Mode::Underway {
+                        route,
+                        next: leg + 1,
+                        then: AfterRoute::TurnAround { dwell: dwell_min * mda_geo::time::MINUTE },
+                    },
+                    home_route: None,
+                }
+            }
+            Behavior::Fishing { ground, radius_m, transit_kn, fishing_kn, home_port } => {
+                let home = world.ports[*home_port].pos;
+                let route = vec![home, *ground];
+                Self {
+                    id,
+                    pos: home,
+                    sog_kn: *transit_kn,
+                    cog_deg: initial_bearing_deg(home, *ground),
+                    cruise_kn: *transit_kn,
+                    fishing_kn: *fishing_kn,
+                    mode: Mode::Underway {
+                        route: route.clone(),
+                        next: 1,
+                        then: AfterRoute::Fish { radius_m: *radius_m },
+                    },
+                    home_route: Some({
+                        let mut r = route;
+                        r.reverse();
+                        r
+                    }),
+                }
+            }
+            Behavior::Loiter { center, radius_m } => Self {
+                id,
+                pos: *center,
+                sog_kn: 2.0,
+                cog_deg: phase * 360.0,
+                cruise_kn: 2.0,
+                fishing_kn: 3.0,
+                mode: Mode::Walk { center: *center, radius_m: *radius_m, until: None },
+                home_route: None,
+            },
+        }
+    }
+
+    /// Advance the vessel by `dt` milliseconds to time `t` and return
+    /// the ground-truth fix at `t`.
+    pub fn step(&mut self, t: Timestamp, dt: DurationMs, rng: &mut impl Rng) -> Fix {
+        let dt_min = dt as f64 / 60_000.0;
+        match &mut self.mode {
+            Mode::Underway { route, next, then } => {
+                let target = route[*next];
+                let dist_to_target = haversine_m(self.pos, target);
+                let step_m = mda_geo::units::knots_to_mps(self.sog_kn) * (dt as f64 / 1_000.0);
+                if dist_to_target <= step_m.max(50.0) {
+                    // Waypoint reached.
+                    self.pos = target;
+                    if *next + 1 < route.len() {
+                        *next += 1;
+                        self.cog_deg = initial_bearing_deg(self.pos, route[*next]);
+                    } else {
+                        // Route finished.
+                        match *then {
+                            AfterRoute::TurnAround { dwell } => {
+                                let mut reversed = route.clone();
+                                reversed.reverse();
+                                self.sog_kn = 0.0;
+                                self.mode = Mode::Dwell {
+                                    until: t + dwell,
+                                    then: AfterDwell::ReverseRoute,
+                                };
+                                self.home_route = Some(reversed);
+                            }
+                            AfterRoute::Fish { radius_m } => {
+                                self.sog_kn = self.fishing_kn;
+                                self.mode = Mode::Walk {
+                                    center: self.pos,
+                                    radius_m,
+                                    until: Some(t + FISHING_EPISODE),
+                                };
+                            }
+                        }
+                    }
+                } else {
+                    // Steer toward the target with limited turn rate.
+                    let want = initial_bearing_deg(self.pos, target);
+                    self.turn_towards(want, dt_min);
+                    self.accelerate_towards(self.cruise_kn, dt_min);
+                    self.pos = destination(self.pos, self.cog_deg, step_m);
+                }
+            }
+            Mode::Dwell { until, then } => {
+                self.sog_kn = 0.0;
+                if t >= *until {
+                    match then {
+                        AfterDwell::ReverseRoute => {
+                            let route = self.home_route.take().unwrap_or_else(|| vec![self.pos, self.pos]);
+                            let next = 1.min(route.len() - 1);
+                            self.cog_deg = initial_bearing_deg(self.pos, route[next]);
+                            self.sog_kn = self.cruise_kn;
+                            self.mode = Mode::Underway {
+                                route,
+                                next,
+                                then: AfterRoute::TurnAround {
+                                    dwell: 30 * mda_geo::time::MINUTE,
+                                },
+                            };
+                        }
+                    }
+                }
+            }
+            Mode::Walk { center, radius_m, until } => {
+                // Finished fishing: head home.
+                if let Some(end) = until {
+                    if t >= *end {
+                        if let Some(route) = self.home_route.take() {
+                            self.cog_deg = initial_bearing_deg(self.pos, *route.last().unwrap());
+                            self.sog_kn = self.cruise_kn;
+                            self.mode = Mode::Underway {
+                                route,
+                                next: 1,
+                                then: AfterRoute::TurnAround {
+                                    dwell: 8 * 60 * mda_geo::time::MINUTE,
+                                },
+                            };
+                            return self.fix(t);
+                        }
+                        *until = None;
+                    }
+                }
+                // Random walk: wander, curving back when near the edge.
+                let speed = if matches!(until, Some(_)) { self.fishing_kn } else { self.cruise_kn };
+                self.sog_kn = speed.max(0.5);
+                let step_m = mda_geo::units::knots_to_mps(self.sog_kn) * (dt as f64 / 1_000.0);
+                let to_center = initial_bearing_deg(self.pos, *center);
+                let off_center = haversine_m(self.pos, *center);
+                let want = if off_center > *radius_m {
+                    to_center
+                } else {
+                    norm_deg_360(self.cog_deg + rng.gen_range(-30.0..30.0))
+                };
+                self.turn_towards(want, dt_min);
+                self.pos = destination(self.pos, self.cog_deg, step_m);
+            }
+        }
+        self.fix(t)
+    }
+
+    fn turn_towards(&mut self, want_deg: f64, dt_min: f64) {
+        let max = MAX_TURN_RATE * dt_min;
+        let delta = mda_geo::units::norm_deg_180(want_deg - self.cog_deg);
+        let change = delta.clamp(-max, max);
+        self.cog_deg = norm_deg_360(self.cog_deg + change);
+    }
+
+    fn accelerate_towards(&mut self, want_kn: f64, dt_min: f64) {
+        let max = MAX_ACCEL * dt_min;
+        let delta = (want_kn - self.sog_kn).clamp(-max, max);
+        self.sog_kn += delta;
+    }
+
+    fn fix(&self, t: Timestamp) -> Fix {
+        Fix::new(self.id, t, self.pos, self.sog_kn, self.cog_deg)
+    }
+
+    /// The vessel this motion state belongs to.
+    pub fn id(&self) -> VesselId {
+        self.id
+    }
+
+    /// Current true position.
+    pub fn position(&self) -> Position {
+        self.pos
+    }
+
+    /// Current true speed in knots.
+    pub fn speed_kn(&self) -> f64 {
+        self.sog_kn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vessel::Behavior;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn world() -> World {
+        World::gulf_of_lion()
+    }
+
+    fn run(mut m: VesselMotion, hours: i64, dt_s: i64) -> Vec<Fix> {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut out = Vec::new();
+        let steps = hours * 3600 / dt_s;
+        for i in 0..steps {
+            let t = Timestamp::from_secs(i * dt_s);
+            out.push(m.step(t, dt_s * 1000, &mut rng));
+        }
+        out
+    }
+
+    #[test]
+    fn transit_reaches_destination_and_dwells() {
+        let w = world();
+        let behavior = Behavior::LaneTransit { lane: 0, speed_kn: 15.0, dwell_min: 60 };
+        let m = VesselMotion::new(1, &behavior, &w, 0.0);
+        let fixes = run(m, 6, 30);
+        // Marseille–Toulon ~ 30 NM: at 15 kn reached in ~2h, then dwell.
+        let toulon = w.ports[1].pos;
+        let arrived = fixes.iter().any(|f| haversine_m(f.pos, toulon) < 500.0);
+        assert!(arrived, "vessel never arrived");
+        let stopped = fixes.iter().filter(|f| f.sog_kn == 0.0).count();
+        assert!(stopped > 10, "vessel never dwelled");
+        // All positions remain in the region.
+        for f in &fixes {
+            assert!(w.bounds.contains(f.pos), "left the region at {}", f.pos);
+        }
+    }
+
+    #[test]
+    fn transit_round_trips() {
+        let w = world();
+        let behavior = Behavior::LaneTransit { lane: 0, speed_kn: 18.0, dwell_min: 30 };
+        let m = VesselMotion::new(1, &behavior, &w, 0.0);
+        let fixes = run(m, 12, 30);
+        let marseille = w.ports[0].pos;
+        // After going out and dwelling it must head back toward Marseille.
+        let last_quarter = &fixes[fixes.len() * 3 / 4..];
+        let came_back = last_quarter.iter().any(|f| haversine_m(f.pos, marseille) < 3_000.0);
+        assert!(came_back, "vessel never returned");
+    }
+
+    #[test]
+    fn phase_staggers_start_positions() {
+        let w = world();
+        let behavior = Behavior::LaneTransit { lane: 2, speed_kn: 12.0, dwell_min: 30 };
+        let a = VesselMotion::new(1, &behavior, &w, 0.0);
+        let b = VesselMotion::new(2, &behavior, &w, 0.3);
+        let c = VesselMotion::new(3, &behavior, &w, 0.7);
+        assert!(haversine_m(a.position(), b.position()) > 1_000.0);
+        assert!(haversine_m(a.position(), c.position()) > 1_000.0);
+    }
+
+    #[test]
+    fn fishing_vessel_fishes_then_returns() {
+        let w = world();
+        let ground = Position::new(42.7, 4.5);
+        let behavior = Behavior::Fishing {
+            ground,
+            radius_m: 3_000.0,
+            transit_kn: 9.0,
+            fishing_kn: 3.0,
+            home_port: 0,
+        };
+        let m = VesselMotion::new(9, &behavior, &w, 0.0);
+        let fixes = run(m, 20, 60);
+        // Some fixes slow near the ground.
+        let fishing: Vec<&Fix> = fixes
+            .iter()
+            .filter(|f| haversine_m(f.pos, ground) < 5_000.0 && f.sog_kn < 5.0)
+            .collect();
+        assert!(fishing.len() > 30, "fished for {} fixes", fishing.len());
+        // Eventually back near home.
+        let home = w.ports[0].pos;
+        let back = fixes[fixes.len() - 60..].iter().any(|f| haversine_m(f.pos, home) < 2_000.0);
+        assert!(back, "never returned home");
+    }
+
+    #[test]
+    fn loiterer_stays_in_disc() {
+        let center = Position::new(42.6, 4.9);
+        let behavior = Behavior::Loiter { center, radius_m: 2_000.0 };
+        let m = VesselMotion::new(3, &behavior, &world(), 0.25);
+        let fixes = run(m, 6, 30);
+        for f in &fixes {
+            assert!(
+                haversine_m(f.pos, center) < 4_000.0,
+                "wandered {} m away",
+                haversine_m(f.pos, center)
+            );
+        }
+        // And actually moves.
+        let moved = haversine_m(fixes[0].pos, fixes[40].pos);
+        assert!(moved > 100.0);
+    }
+
+    #[test]
+    fn speeds_and_courses_are_sane() {
+        let w = world();
+        let behavior = Behavior::LaneTransit { lane: 1, speed_kn: 14.0, dwell_min: 45 };
+        let m = VesselMotion::new(4, &behavior, &w, 0.1);
+        let fixes = run(m, 8, 30);
+        for f in &fixes {
+            assert!(f.sog_kn >= 0.0 && f.sog_kn <= 30.0);
+            assert!((0.0..360.0).contains(&f.cog_deg), "cog {}", f.cog_deg);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Maritime world simulator — the data substitution substrate.
+//!
+//! The paper's experiments presume data nobody can ship in a library:
+//! live terrestrial + satellite AIS feeds (~18M positions/day), coastal
+//! radar, VMS, and real deceptive behaviour (spoofing, identity fraud,
+//! going dark). This crate synthesises all of it with the statistical
+//! structure the analytics must face, plus ground-truth labels so
+//! detection quality can be *scored* rather than eyeballed:
+//!
+//! - [`world`] — ports, shipping lanes, zones (protected areas,
+//!   anchorages), scenario regions: a Gulf-of-Lion regional world and a
+//!   global trade-lane world for the Figure-1 experiment.
+//! - [`vessel`] — vessel specifications (MMSI/IMO/name/type) and
+//!   behaviour profiles (lane transit, ferry, fishing, loitering).
+//! - [`kinematics`] — waypoint-following motion with turn-rate limits,
+//!   port dwell, fishing random walks; produces ground-truth tracks.
+//! - [`receivers`] — terrestrial AIS stations (range-limited, low
+//!   latency), satellite AIS (global, lossy, batch-delayed — the source
+//!   of out-of-order arrivals), coastal radar and VMS models.
+//! - [`corruption`] — labelled injection of the paper's veracity
+//!   problems: ~5% static-data errors, GPS spoofing, identity fraud,
+//!   go-dark intervals (27% of ships dark ≥10% of the time).
+//! - [`weather`] — smooth synthetic wind/wave/current fields at the
+//!   coarse resolution the paper describes for met-ocean data.
+//! - [`scenario`] — ties everything into a reproducible [`scenario::SimOutput`]:
+//!   ground truth + observed multi-sensor streams, sorted by arrival.
+
+pub mod corruption;
+pub mod kinematics;
+pub mod receivers;
+pub mod scenario;
+pub mod vessel;
+pub mod weather;
+pub mod world;
+
+pub use scenario::{Scenario, ScenarioConfig, SimOutput};
+pub use vessel::{Behavior, DeceptionProfile, VesselSpec};
+pub use world::{Port, World, Zone, ZoneKind};

@@ -1,0 +1,269 @@
+//! k-nearest-neighbour queries over moving objects (ref 45).
+//!
+//! The engine keeps the latest fix per vessel in a cell hash. A snapshot
+//! kNN query at time `t` dead-reckons each candidate to `t` and runs a
+//! ring search outward from the query point: rings of cells are scanned
+//! in increasing Chebyshev radius until the k-th best distance is closer
+//! than anything an unvisited ring could contain. A brute-force path is
+//! kept as the baseline (and oracle in tests).
+
+use mda_geo::distance::equirectangular_m;
+use mda_geo::units::EARTH_RADIUS_M;
+use mda_geo::{DurationMs, Fix, Position, Timestamp, VesselId};
+use std::collections::HashMap;
+
+/// One kNN result row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnResult {
+    /// The vessel.
+    pub id: VesselId,
+    /// Its (possibly dead-reckoned) position at query time.
+    pub pos: Position,
+    /// Distance to the query point, metres.
+    pub dist_m: f64,
+}
+
+/// kNN engine over the live fleet.
+#[derive(Debug)]
+pub struct KnnEngine {
+    cell_deg: f64,
+    /// Do not extrapolate a stale vessel further than this.
+    max_extrapolation: DurationMs,
+    latest: HashMap<VesselId, Fix>,
+    cells: HashMap<(i32, i32), Vec<VesselId>>,
+}
+
+impl KnnEngine {
+    /// New engine with ~`cell_deg`-degree cells (0.1 ≈ 11 km works for
+    /// regional fleets).
+    pub fn new(cell_deg: f64, max_extrapolation: DurationMs) -> Self {
+        assert!(cell_deg > 0.0);
+        Self { cell_deg, max_extrapolation, latest: HashMap::new(), cells: HashMap::new() }
+    }
+
+    fn cell_of(&self, p: Position) -> (i32, i32) {
+        ((p.lat / self.cell_deg).floor() as i32, (p.lon / self.cell_deg).floor() as i32)
+    }
+
+    /// Update a vessel's latest fix.
+    pub fn update(&mut self, fix: Fix) {
+        if let Some(old) = self.latest.insert(fix.id, fix) {
+            let oc = self.cell_of(old.pos);
+            let nc = self.cell_of(fix.pos);
+            if oc != nc {
+                if let Some(v) = self.cells.get_mut(&oc) {
+                    v.retain(|id| *id != fix.id);
+                    if v.is_empty() {
+                        self.cells.remove(&oc);
+                    }
+                }
+                self.cells.entry(nc).or_default().push(fix.id);
+            }
+        } else {
+            let c = self.cell_of(fix.pos);
+            self.cells.entry(c).or_default().push(fix.id);
+        }
+    }
+
+    /// Number of tracked vessels.
+    pub fn len(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// True when no vessel is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.latest.is_empty()
+    }
+
+    fn position_at(&self, fix: &Fix, t: Timestamp) -> Option<Position> {
+        // Dead-reckon forwards for stale fixes and backwards for fixes
+        // newer than the query time (queries at the watermark are
+        // slightly behind the freshest data); both within the horizon.
+        let age = (t - fix.t).abs();
+        if age > self.max_extrapolation {
+            return None;
+        }
+        Some(fix.dead_reckon(t))
+    }
+
+    /// Brute-force kNN baseline: O(n) scan.
+    pub fn knn_scan(&self, query: Position, t: Timestamp, k: usize) -> Vec<KnnResult> {
+        let mut all: Vec<KnnResult> = self
+            .latest
+            .values()
+            .filter_map(|f| {
+                let pos = self.position_at(f, t)?;
+                Some(KnnResult { id: f.id, pos, dist_m: equirectangular_m(query, pos) })
+            })
+            .collect();
+        all.sort_by(|a, b| a.dist_m.partial_cmp(&b.dist_m).unwrap());
+        all.truncate(k);
+        all
+    }
+
+    /// Grid-pruned ring-search kNN. Exact up to dead-reckoning drift
+    /// outside the vessel's stored cell: the ring lower bound is relaxed
+    /// by the maximum distance a vessel can travel within the
+    /// extrapolation horizon, so results match the scan baseline.
+    pub fn knn(&self, query: Position, t: Timestamp, k: usize) -> Vec<KnnResult> {
+        if k == 0 || self.latest.is_empty() {
+            return Vec::new();
+        }
+        let (qr, qc) = self.cell_of(query);
+        // Metres per cell along the smaller (longitude) direction.
+        let cell_m = self.cell_deg.to_radians() * EARTH_RADIUS_M
+            * query.lat.to_radians().cos().max(0.2);
+        // A vessel can have left its stored cell by at most this much.
+        let slack_m = (self.max_extrapolation as f64 / 1_000.0) * 20.0; // 20 m/s ≈ 39 kn
+
+        let mut best: Vec<KnnResult> = Vec::new();
+        let max_ring = 1 + (self.cells.keys().map(|(r, c)| {
+            (r - qr).abs().max((c - qc).abs())
+        }))
+        .max()
+        .unwrap_or(0);
+
+        for ring in 0..=max_ring {
+            // Prune: nothing in this ring can beat the kth best.
+            if best.len() == k {
+                let ring_lb = ((ring - 1).max(0) as f64) * cell_m - slack_m;
+                if ring_lb > best[k - 1].dist_m {
+                    break;
+                }
+            }
+            for (r, c) in ring_cells(qr, qc, ring) {
+                if let Some(ids) = self.cells.get(&(r, c)) {
+                    for id in ids {
+                        let f = &self.latest[id];
+                        let Some(pos) = self.position_at(f, t) else { continue };
+                        let d = equirectangular_m(query, pos);
+                        if best.len() < k {
+                            best.push(KnnResult { id: *id, pos, dist_m: d });
+                            best.sort_by(|a, b| a.dist_m.partial_cmp(&b.dist_m).unwrap());
+                        } else if d < best[k - 1].dist_m {
+                            best[k - 1] = KnnResult { id: *id, pos, dist_m: d };
+                            best.sort_by(|a, b| a.dist_m.partial_cmp(&b.dist_m).unwrap());
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Cells at exact Chebyshev distance `ring` from `(r0, c0)`.
+fn ring_cells(r0: i32, c0: i32, ring: i32) -> Vec<(i32, i32)> {
+    if ring == 0 {
+        return vec![(r0, c0)];
+    }
+    let mut out = Vec::with_capacity((8 * ring) as usize);
+    for dc in -ring..=ring {
+        out.push((r0 - ring, c0 + dc));
+        out.push((r0 + ring, c0 + dc));
+    }
+    for dr in (-ring + 1)..ring {
+        out.push((r0 + dr, c0 - ring));
+        out.push((r0 + dr, c0 + ring));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::time::MINUTE;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn engine_with_fleet(n: usize, seed: u64) -> KnnEngine {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut e = KnnEngine::new(0.1, 10 * MINUTE);
+        for i in 0..n as u32 {
+            e.update(Fix::new(
+                i + 1,
+                Timestamp::from_mins(rng.gen_range(0..5)),
+                Position::new(rng.gen_range(42.0..44.0), rng.gen_range(3.0..6.0)),
+                rng.gen_range(0.0..18.0),
+                rng.gen_range(0.0..360.0),
+            ));
+        }
+        e
+    }
+
+    #[test]
+    fn ring_cells_counts() {
+        assert_eq!(ring_cells(0, 0, 0).len(), 1);
+        assert_eq!(ring_cells(0, 0, 1).len(), 8);
+        assert_eq!(ring_cells(0, 0, 2).len(), 16);
+        // No duplicates.
+        let mut r3 = ring_cells(5, -2, 3);
+        let before = r3.len();
+        r3.sort_unstable();
+        r3.dedup();
+        assert_eq!(r3.len(), before);
+    }
+
+    #[test]
+    fn knn_matches_scan_baseline() {
+        let e = engine_with_fleet(800, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..25 {
+            let q = Position::new(rng.gen_range(42.0..44.0), rng.gen_range(3.0..6.0));
+            let t = Timestamp::from_mins(7);
+            let fast: Vec<u32> = e.knn(q, t, 10).iter().map(|r| r.id).collect();
+            let slow: Vec<u32> = e.knn_scan(q, t, 10).iter().map(|r| r.id).collect();
+            assert_eq!(fast, slow, "query at {q}");
+        }
+    }
+
+    #[test]
+    fn results_sorted_and_bounded() {
+        let e = engine_with_fleet(100, 5);
+        let res = e.knn(Position::new(43.0, 4.5), Timestamp::from_mins(6), 15);
+        assert_eq!(res.len(), 15);
+        for w in res.windows(2) {
+            assert!(w[0].dist_m <= w[1].dist_m);
+        }
+        // k larger than fleet.
+        let all = e.knn(Position::new(43.0, 4.5), Timestamp::from_mins(6), 1_000);
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn stale_vessels_excluded() {
+        let mut e = KnnEngine::new(0.1, 10 * MINUTE);
+        e.update(Fix::new(1, Timestamp::from_mins(0), Position::new(43.0, 5.0), 10.0, 0.0));
+        e.update(Fix::new(2, Timestamp::from_mins(58), Position::new(43.0, 5.1), 10.0, 0.0));
+        // At minute 60, vessel 1 is 60 min stale (> horizon).
+        let res = e.knn(Position::new(43.0, 5.0), Timestamp::from_mins(60), 5);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].id, 2);
+    }
+
+    #[test]
+    fn dead_reckoning_moves_results() {
+        let mut e = KnnEngine::new(0.1, 10 * MINUTE);
+        // Vessel sailing east at 12 kn from lon 5.0.
+        e.update(Fix::new(1, Timestamp::from_mins(0), Position::new(43.0, 5.0), 12.0, 90.0));
+        let now = e.knn(Position::new(43.0, 5.0), Timestamp::from_mins(0), 1);
+        let later = e.knn(Position::new(43.0, 5.0), Timestamp::from_mins(10), 1);
+        assert!(later[0].dist_m > now[0].dist_m + 3_000.0, "vessel should have moved");
+    }
+
+    #[test]
+    fn update_replaces_position() {
+        let mut e = KnnEngine::new(0.1, 60 * MINUTE);
+        e.update(Fix::new(1, Timestamp::from_mins(0), Position::new(43.0, 5.0), 0.0, 0.0));
+        e.update(Fix::new(1, Timestamp::from_mins(5), Position::new(43.5, 5.5), 0.0, 0.0));
+        assert_eq!(e.len(), 1);
+        let res = e.knn(Position::new(43.5, 5.5), Timestamp::from_mins(5), 1);
+        assert!(res[0].dist_m < 100.0);
+    }
+
+    #[test]
+    fn empty_engine() {
+        let e = KnnEngine::new(0.1, MINUTE);
+        assert!(e.is_empty());
+        assert!(e.knn(Position::new(0.0, 0.0), Timestamp::from_mins(0), 3).is_empty());
+    }
+}

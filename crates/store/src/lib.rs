@@ -1,0 +1,25 @@
+//! Archival trajectory management and querying (paper §2.3).
+//!
+//! The paper contrasts "a posteriori analysis" systems (long processing
+//! times) with "on the fly" processing (approximate answers) and asks
+//! for both behind one store. This crate provides:
+//!
+//! - [`trajstore`] — the per-vessel trajectory archive: append-mostly
+//!   columnar fix storage, time-range queries, interpolated positions,
+//!   synopsis-driven compaction.
+//! - [`stindex`] — a spatio-temporal (lat × lon × time) grid index for
+//!   window queries over the archive, validated against full scans.
+//! - [`knn`] — k-nearest-neighbour queries over *moving* objects
+//!   (ref 45): snapshot kNN at any time with dead-reckoned current
+//!   positions, grid-pruned ring search vs. a brute-force baseline.
+//! - [`shared`] — a thread-safe wrapper used by the live pipeline.
+
+pub mod knn;
+pub mod shared;
+pub mod stindex;
+pub mod trajstore;
+
+pub use knn::{KnnEngine, KnnResult};
+pub use shared::SharedTrajectoryStore;
+pub use stindex::StGrid;
+pub use trajstore::TrajectoryStore;

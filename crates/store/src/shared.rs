@@ -1,0 +1,120 @@
+//! Thread-safe wrapper around the trajectory store.
+//!
+//! The live pipeline writes from ingest workers while analytics read
+//! concurrently; `parking_lot::RwLock` keeps readers cheap.
+
+use crate::trajstore::TrajectoryStore;
+use mda_geo::{Fix, Position, Timestamp, VesselId};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A cloneable handle to a shared trajectory store.
+#[derive(Debug, Clone, Default)]
+pub struct SharedTrajectoryStore {
+    inner: Arc<RwLock<TrajectoryStore>>,
+}
+
+impl SharedTrajectoryStore {
+    /// New empty shared store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a fix.
+    pub fn append(&self, fix: Fix) {
+        self.inner.write().append(fix);
+    }
+
+    /// Total stored fixes.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Number of distinct vessels.
+    pub fn vessel_count(&self) -> usize {
+        self.inner.read().vessel_count()
+    }
+
+    /// Copy of a vessel's fixes in `[from, to]`.
+    pub fn range(&self, id: VesselId, from: Timestamp, to: Timestamp) -> Vec<Fix> {
+        self.inner.read().range(id, from, to).to_vec()
+    }
+
+    /// Copy of a vessel's whole trajectory.
+    pub fn trajectory(&self, id: VesselId) -> Option<Vec<Fix>> {
+        self.inner.read().trajectory(id).map(<[Fix]>::to_vec)
+    }
+
+    /// Interpolated position at `t`.
+    pub fn position_at(&self, id: VesselId, t: Timestamp) -> Option<Position> {
+        self.inner.read().position_at(id, t)
+    }
+
+    /// Run a closure with read access to the underlying store.
+    pub fn with_read<R>(&self, f: impl FnOnce(&TrajectoryStore) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Compact one vessel's trajectory.
+    pub fn compact(&self, id: VesselId, keep: impl Fn(&[Fix]) -> Vec<Fix>) -> usize {
+        self.inner.write().compact(id, keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::Position;
+    use std::thread;
+
+    fn fix(id: u32, t_s: i64) -> Fix {
+        Fix::new(id, Timestamp::from_secs(t_s), Position::new(43.0, 5.0), 10.0, 0.0)
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let store = SharedTrajectoryStore::new();
+        thread::scope(|s| {
+            for w in 0..4u32 {
+                let store = store.clone();
+                s.spawn(move || {
+                    for i in 0..250 {
+                        store.append(fix(w + 1, i));
+                    }
+                });
+            }
+            let reader = store.clone();
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let _ = reader.len();
+                    let _ = reader.vessel_count();
+                }
+            });
+        });
+        assert_eq!(store.len(), 1_000);
+        assert_eq!(store.vessel_count(), 4);
+    }
+
+    #[test]
+    fn queries_through_handle() {
+        let store = SharedTrajectoryStore::new();
+        for i in 0..10 {
+            store.append(fix(1, i * 60));
+        }
+        assert_eq!(
+            store.range(1, Timestamp::from_secs(120), Timestamp::from_secs(300)).len(),
+            4
+        );
+        assert!(store.position_at(1, Timestamp::from_secs(90)).is_some());
+        assert_eq!(store.trajectory(1).unwrap().len(), 10);
+        let removed = store.compact(1, |f| f.iter().step_by(2).copied().collect());
+        assert_eq!(removed, 5);
+        let total = store.with_read(|s| s.len());
+        assert_eq!(total, 5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Spatio-temporal grid index over archived fixes.
+//!
+//! Fixes are bucketed by (lat cell, lon cell, time slice); a window
+//! query visits only the intersecting buckets and filters exactly. This
+//! is the index that turns "all traffic in the approach area between
+//! 02:00 and 03:00" from a full archive scan into a handful of bucket
+//! scans.
+
+use mda_geo::{BoundingBox, DurationMs, Fix, Timestamp};
+use std::collections::HashMap;
+
+/// Spatio-temporal grid index.
+#[derive(Debug)]
+pub struct StGrid {
+    bounds: BoundingBox,
+    cell_deg: f64,
+    slice: DurationMs,
+    buckets: HashMap<(i32, i32, i64), Vec<Fix>>,
+    len: usize,
+}
+
+impl StGrid {
+    /// New index over `bounds` with the given spatial cell size
+    /// (degrees) and time slice (ms).
+    pub fn new(bounds: BoundingBox, cell_deg: f64, slice: DurationMs) -> Self {
+        assert!(cell_deg > 0.0 && slice > 0);
+        Self { bounds, cell_deg, slice, buckets: HashMap::new(), len: 0 }
+    }
+
+    fn key_of(&self, fix: &Fix) -> (i32, i32, i64) {
+        (
+            ((fix.pos.lat - self.bounds.min_lat) / self.cell_deg).floor() as i32,
+            ((fix.pos.lon - self.bounds.min_lon) / self.cell_deg).floor() as i32,
+            fix.t.millis().div_euclid(self.slice),
+        )
+    }
+
+    /// Insert a fix.
+    pub fn insert(&mut self, fix: Fix) {
+        let key = self.key_of(&fix);
+        self.buckets.entry(key).or_default().push(fix);
+        self.len += 1;
+    }
+
+    /// Number of indexed fixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of non-empty buckets (index health metric).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// All fixes inside the spatial window and time range (inclusive).
+    pub fn query(&self, area: &BoundingBox, from: Timestamp, to: Timestamp) -> Vec<Fix> {
+        let mut out = Vec::new();
+        if from > to {
+            return out;
+        }
+        let r0 = ((area.min_lat - self.bounds.min_lat) / self.cell_deg).floor() as i32;
+        let r1 = ((area.max_lat - self.bounds.min_lat) / self.cell_deg).floor() as i32;
+        let c0 = ((area.min_lon - self.bounds.min_lon) / self.cell_deg).floor() as i32;
+        let c1 = ((area.max_lon - self.bounds.min_lon) / self.cell_deg).floor() as i32;
+        let t0 = from.millis().div_euclid(self.slice);
+        let t1 = to.millis().div_euclid(self.slice);
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                for ts in t0..=t1 {
+                    if let Some(bucket) = self.buckets.get(&(r, c, ts)) {
+                        for f in bucket {
+                            if f.t >= from && f.t <= to && area.contains(f.pos) {
+                                out.push(*f);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::time::MINUTE;
+    use mda_geo::Position;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn bounds() -> BoundingBox {
+        BoundingBox::new(42.0, 3.0, 44.0, 6.0)
+    }
+
+    fn random_fixes(n: usize, seed: u64) -> Vec<Fix> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                Fix::new(
+                    (i % 50) as u32,
+                    Timestamp(rng.gen_range(0..6 * mda_geo::time::HOUR)),
+                    Position::new(rng.gen_range(42.0..44.0), rng.gen_range(3.0..6.0)),
+                    rng.gen_range(0.0..20.0),
+                    rng.gen_range(0.0..360.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn query_matches_scan() {
+        let fixes = random_fixes(5_000, 17);
+        let mut g = StGrid::new(bounds(), 0.25, 30 * MINUTE);
+        for f in &fixes {
+            g.insert(*f);
+        }
+        assert_eq!(g.len(), 5_000);
+        let mut rng = StdRng::seed_from_u64(18);
+        for _ in 0..20 {
+            let lat = rng.gen_range(42.0..43.5);
+            let lon = rng.gen_range(3.0..5.5);
+            let area = BoundingBox::new(lat, lon, lat + 0.4, lon + 0.5);
+            let from = Timestamp(rng.gen_range(0..3 * mda_geo::time::HOUR));
+            let to = from + rng.gen_range(MINUTE..2 * mda_geo::time::HOUR);
+            let mut got: Vec<_> =
+                g.query(&area, from, to).iter().map(|f| (f.id, f.t)).collect();
+            let mut want: Vec<_> = fixes
+                .iter()
+                .filter(|f| area.contains(f.pos) && f.t >= from && f.t <= to)
+                .map(|f| (f.id, f.t))
+                .collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn inclusive_time_bounds() {
+        let mut g = StGrid::new(bounds(), 0.5, MINUTE);
+        let f = Fix::new(1, Timestamp::from_mins(10), Position::new(43.0, 5.0), 5.0, 0.0);
+        g.insert(f);
+        let area = bounds();
+        assert_eq!(g.query(&area, Timestamp::from_mins(10), Timestamp::from_mins(10)).len(), 1);
+        assert!(g.query(&area, Timestamp::from_mins(11), Timestamp::from_mins(20)).is_empty());
+        assert!(g
+            .query(&area, Timestamp::from_mins(20), Timestamp::from_mins(10))
+            .is_empty(), "inverted range");
+    }
+
+    #[test]
+    fn bucket_count_grows_with_spread() {
+        let fixes = random_fixes(2_000, 19);
+        let mut g = StGrid::new(bounds(), 0.25, 30 * MINUTE);
+        for f in &fixes {
+            g.insert(*f);
+        }
+        assert!(g.bucket_count() > 100, "buckets {}", g.bucket_count());
+        assert!(g.bucket_count() <= 2_000);
+    }
+
+    #[test]
+    fn handles_fixes_outside_nominal_bounds() {
+        // Fixes slightly outside bounds land in edge buckets and are
+        // still found by a query covering them.
+        let mut g = StGrid::new(bounds(), 0.5, MINUTE);
+        let f = Fix::new(1, Timestamp::from_mins(0), Position::new(44.4, 6.4), 5.0, 0.0);
+        g.insert(f);
+        let area = BoundingBox::new(44.0, 6.0, 45.0, 7.0);
+        assert_eq!(g.query(&area, Timestamp::from_mins(0), Timestamp::from_mins(1)).len(), 1);
+    }
+}

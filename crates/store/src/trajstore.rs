@@ -1,0 +1,203 @@
+//! The per-vessel trajectory archive.
+
+use mda_geo::motion::interpolate_fixes;
+use mda_geo::{Fix, Position, Timestamp, VesselId};
+use std::collections::BTreeMap;
+
+/// Append-mostly archive of trajectories, one time-sorted fix vector per
+/// vessel.
+#[derive(Debug, Default, Clone)]
+pub struct TrajectoryStore {
+    by_vessel: BTreeMap<VesselId, Vec<Fix>>,
+    len: usize,
+}
+
+impl TrajectoryStore {
+    /// New empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a fix. Appending in time order is O(1); out-of-order
+    /// fixes are inserted at their sorted position (O(n) worst case —
+    /// the ingest pipeline reorders upstream, so this is the rare
+    /// path).
+    pub fn append(&mut self, fix: Fix) {
+        let v = self.by_vessel.entry(fix.id).or_default();
+        match v.last() {
+            Some(last) if last.t > fix.t => {
+                let pos = v.partition_point(|f| f.t <= fix.t);
+                v.insert(pos, fix);
+            }
+            _ => v.push(fix),
+        }
+        self.len += 1;
+    }
+
+    /// Total stored fixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct vessels.
+    pub fn vessel_count(&self) -> usize {
+        self.by_vessel.len()
+    }
+
+    /// All vessel ids.
+    pub fn vessels(&self) -> impl Iterator<Item = VesselId> + '_ {
+        self.by_vessel.keys().copied()
+    }
+
+    /// Full trajectory of one vessel.
+    pub fn trajectory(&self, id: VesselId) -> Option<&[Fix]> {
+        self.by_vessel.get(&id).map(Vec::as_slice)
+    }
+
+    /// Fixes of one vessel in `[from, to]`.
+    pub fn range(&self, id: VesselId, from: Timestamp, to: Timestamp) -> &[Fix] {
+        let Some(v) = self.by_vessel.get(&id) else { return &[] };
+        let lo = v.partition_point(|f| f.t < from);
+        let hi = v.partition_point(|f| f.t <= to);
+        &v[lo..hi]
+    }
+
+    /// The latest fix of a vessel at or before `t`.
+    pub fn latest_at(&self, id: VesselId, t: Timestamp) -> Option<&Fix> {
+        let v = self.by_vessel.get(&id)?;
+        let idx = v.partition_point(|f| f.t <= t);
+        idx.checked_sub(1).map(|i| &v[i])
+    }
+
+    /// Interpolated position of a vessel at `t` (between the bracketing
+    /// fixes; clamped at the trajectory ends). `None` if the vessel is
+    /// unknown or `t` precedes its first fix by more than `max_extrap`.
+    pub fn position_at(&self, id: VesselId, t: Timestamp) -> Option<Position> {
+        let v = self.by_vessel.get(&id)?;
+        if v.is_empty() {
+            return None;
+        }
+        let idx = v.partition_point(|f| f.t <= t);
+        if idx == 0 {
+            return Some(v[0].pos);
+        }
+        if idx == v.len() {
+            return Some(v[v.len() - 1].pos);
+        }
+        Some(interpolate_fixes(&v[idx - 1], &v[idx], t))
+    }
+
+    /// Replace a vessel's trajectory with a compacted version (e.g. its
+    /// synopsis). Returns the number of fixes removed.
+    pub fn compact(&mut self, id: VesselId, keep: impl Fn(&[Fix]) -> Vec<Fix>) -> usize {
+        let Some(v) = self.by_vessel.get_mut(&id) else { return 0 };
+        let before = v.len();
+        let kept = keep(v);
+        debug_assert!(kept.windows(2).all(|w| w[0].t <= w[1].t), "compaction must stay sorted");
+        let removed = before.saturating_sub(kept.len());
+        self.len = self.len - before + kept.len();
+        *v = kept;
+        removed
+    }
+
+    /// Iterate over all fixes of all vessels.
+    pub fn iter(&self) -> impl Iterator<Item = &Fix> {
+        self.by_vessel.values().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::Position;
+
+    fn fix(id: u32, t_min: i64, lon: f64) -> Fix {
+        Fix::new(id, Timestamp::from_mins(t_min), Position::new(43.0, lon), 10.0, 90.0)
+    }
+
+    #[test]
+    fn append_and_query_in_order() {
+        let mut s = TrajectoryStore::new();
+        for i in 0..10 {
+            s.append(fix(1, i, 5.0 + i as f64 * 0.01));
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.vessel_count(), 1);
+        let r = s.range(1, Timestamp::from_mins(3), Timestamp::from_mins(6));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0].t, Timestamp::from_mins(3));
+    }
+
+    #[test]
+    fn out_of_order_append_sorts() {
+        let mut s = TrajectoryStore::new();
+        s.append(fix(1, 5, 5.05));
+        s.append(fix(1, 1, 5.01));
+        s.append(fix(1, 3, 5.03));
+        let traj = s.trajectory(1).unwrap();
+        let times: Vec<i64> = traj.iter().map(|f| f.t.millis()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn latest_at_and_position_at() {
+        let mut s = TrajectoryStore::new();
+        for i in 0..10 {
+            s.append(fix(1, i * 10, 5.0 + i as f64 * 0.1));
+        }
+        let latest = s.latest_at(1, Timestamp::from_mins(35)).unwrap();
+        assert_eq!(latest.t, Timestamp::from_mins(30));
+        assert!(s.latest_at(1, Timestamp::from_mins(-1)).is_none());
+        // Interpolation halfway between minutes 30 and 40.
+        let p = s.position_at(1, Timestamp::from_mins(35)).unwrap();
+        assert!((p.lon - 5.35).abs() < 1e-9, "lon {}", p.lon);
+        // Clamping.
+        assert_eq!(s.position_at(1, Timestamp::from_mins(-5)).unwrap().lon, 5.0);
+        assert_eq!(s.position_at(1, Timestamp::from_mins(500)).unwrap().lon, 5.9);
+        assert!(s.position_at(99, Timestamp::from_mins(0)).is_none());
+    }
+
+    #[test]
+    fn range_outside_data_is_empty() {
+        let mut s = TrajectoryStore::new();
+        s.append(fix(1, 10, 5.0));
+        assert!(s.range(1, Timestamp::from_mins(20), Timestamp::from_mins(30)).is_empty());
+        assert!(s.range(2, Timestamp::from_mins(0), Timestamp::from_mins(30)).is_empty());
+    }
+
+    #[test]
+    fn compaction_updates_counts() {
+        let mut s = TrajectoryStore::new();
+        for i in 0..100 {
+            s.append(fix(1, i, 5.0 + i as f64 * 0.001));
+        }
+        for i in 0..50 {
+            s.append(fix(2, i, 6.0));
+        }
+        // Keep every 10th fix of vessel 1.
+        let removed = s.compact(1, |fixes| {
+            fixes.iter().step_by(10).copied().collect()
+        });
+        assert_eq!(removed, 90);
+        assert_eq!(s.len(), 60);
+        assert_eq!(s.trajectory(1).unwrap().len(), 10);
+        assert_eq!(s.trajectory(2).unwrap().len(), 50);
+        assert_eq!(s.compact(3, |f| f.to_vec()), 0);
+    }
+
+    #[test]
+    fn iter_spans_vessels() {
+        let mut s = TrajectoryStore::new();
+        s.append(fix(1, 0, 5.0));
+        s.append(fix(2, 0, 6.0));
+        s.append(fix(1, 1, 5.1));
+        assert_eq!(s.iter().count(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! Keyed interval joins between two streams.
+//!
+//! The integration layer joins vessel positions with contextual streams
+//! (weather cells, zone occupancy, secondary sensors) on a shared key
+//! within a time band: left element at `tl` pairs with right elements at
+//! `tr` with `|tl - tr| <= bound`. State is evicted by watermark, so
+//! memory stays proportional to disorder, not stream length.
+
+use mda_geo::{DurationMs, Timestamp};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A streaming interval join on key `K` between lefts `L` and rights `R`.
+#[derive(Debug)]
+pub struct IntervalJoin<K, L, R> {
+    bound: DurationMs,
+    lefts: HashMap<K, Vec<(Timestamp, L)>>,
+    rights: HashMap<K, Vec<(Timestamp, R)>>,
+}
+
+impl<K: Eq + Hash + Clone, L: Clone, R: Clone> IntervalJoin<K, L, R> {
+    /// Create a join with time band `bound` (milliseconds, inclusive).
+    pub fn new(bound: DurationMs) -> Self {
+        assert!(bound >= 0);
+        Self { bound, lefts: HashMap::new(), rights: HashMap::new() }
+    }
+
+    /// Push a left element; returns all matches with buffered rights.
+    pub fn push_left(&mut self, key: K, t: Timestamp, value: L) -> Vec<(Timestamp, L, Timestamp, R)> {
+        let mut out = Vec::new();
+        if let Some(rs) = self.rights.get(&key) {
+            for (tr, r) in rs {
+                if (t - *tr).abs() <= self.bound {
+                    out.push((t, value.clone(), *tr, r.clone()));
+                }
+            }
+        }
+        self.lefts.entry(key).or_default().push((t, value));
+        out
+    }
+
+    /// Push a right element; returns all matches with buffered lefts.
+    pub fn push_right(&mut self, key: K, t: Timestamp, value: R) -> Vec<(Timestamp, L, Timestamp, R)> {
+        let mut out = Vec::new();
+        if let Some(ls) = self.lefts.get(&key) {
+            for (tl, l) in ls {
+                if (t - *tl).abs() <= self.bound {
+                    out.push((*tl, l.clone(), t, value.clone()));
+                }
+            }
+        }
+        self.rights.entry(key).or_default().push((t, value));
+        out
+    }
+
+    /// Evict state older than `watermark - bound`; such elements can no
+    /// longer match anything on time.
+    pub fn advance(&mut self, watermark: Timestamp) {
+        let horizon = watermark - self.bound;
+        self.lefts.retain(|_, v| {
+            v.retain(|(t, _)| *t >= horizon);
+            !v.is_empty()
+        });
+        self.rights.retain(|_, v| {
+            v.retain(|(t, _)| *t >= horizon);
+            !v.is_empty()
+        });
+    }
+
+    /// Buffered state size `(lefts, rights)`.
+    pub fn state_size(&self) -> (usize, usize) {
+        (
+            self.lefts.values().map(Vec::len).sum(),
+            self.rights.values().map(Vec::len).sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::time::SECOND;
+
+    #[test]
+    fn matches_within_band() {
+        let mut j: IntervalJoin<u32, &str, &str> = IntervalJoin::new(5 * SECOND);
+        assert!(j.push_left(1, Timestamp::from_secs(10), "L").is_empty());
+        let m = j.push_right(1, Timestamp::from_secs(13), "R");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].1, "L");
+        assert_eq!(m[0].3, "R");
+    }
+
+    #[test]
+    fn no_match_outside_band_or_key() {
+        let mut j: IntervalJoin<u32, &str, &str> = IntervalJoin::new(5 * SECOND);
+        j.push_left(1, Timestamp::from_secs(10), "L");
+        assert!(j.push_right(1, Timestamp::from_secs(16), "late").is_empty());
+        assert!(j.push_right(2, Timestamp::from_secs(10), "other key").is_empty());
+    }
+
+    #[test]
+    fn band_is_inclusive_and_symmetric() {
+        let mut j: IntervalJoin<u32, u8, u8> = IntervalJoin::new(5 * SECOND);
+        j.push_right(1, Timestamp::from_secs(10), 1);
+        let m = j.push_left(1, Timestamp::from_secs(15), 2);
+        assert_eq!(m.len(), 1, "exactly at the bound matches");
+        let m2 = j.push_left(1, Timestamp::from_secs(5), 3);
+        assert_eq!(m2.len(), 1, "left can be earlier than right");
+    }
+
+    #[test]
+    fn one_to_many_matches() {
+        let mut j: IntervalJoin<u32, u8, u8> = IntervalJoin::new(10 * SECOND);
+        for s in [1, 2, 3] {
+            j.push_right(1, Timestamp::from_secs(s), s as u8);
+        }
+        let m = j.push_left(1, Timestamp::from_secs(2), 9);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn eviction_bounds_state() {
+        let mut j: IntervalJoin<u32, u8, u8> = IntervalJoin::new(5 * SECOND);
+        for s in 0..100 {
+            j.push_left(1, Timestamp::from_secs(s), 0);
+        }
+        j.advance(Timestamp::from_secs(100));
+        let (l, _) = j.state_size();
+        assert!(l <= 6, "state after eviction: {l}");
+        // Evicted elements no longer match.
+        assert!(j.push_right(1, Timestamp::from_secs(50), 0).is_empty());
+        // Recent ones still do.
+        assert!(!j.push_right(1, Timestamp::from_secs(98), 0).is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! In-situ stream processing substrate (paper §2.1–§2.3).
+//!
+//! The paper argues that general streaming engines (Storm, Spark
+//! Streaming, Flink) lack the spatio-temporal primitives that moving-
+//! object data needs. This crate provides a compact, single-process
+//! substrate with exactly those primitives:
+//!
+//! - **Event time & watermarks** ([`watermark`]) — bounded out-of-
+//!   orderness watermark generation, the basis of deterministic
+//!   processing of delayed satellite AIS batches.
+//! - **Reordering** ([`reorder`]) — buffer that releases elements in
+//!   event-time order once the watermark passes them.
+//! - **Windows** ([`window`]) — tumbling, sliding and session window
+//!   assignment plus keyed window aggregation driven by watermarks.
+//! - **Cross-stream joins** ([`join`]) — keyed interval joins between
+//!   two streams (e.g. AIS positions ⋈ weather cells), the "cross-
+//!   streaming data integration" of §2.2.
+//! - **Operators & pipelines** ([`pipeline`]) — push-based operator
+//!   chaining with per-stage instrumentation, used by `mda-core` to wire
+//!   the Figure-2 architecture.
+//! - **Parallel execution** ([`runner`]) — hash-partitioned worker pool
+//!   over crossbeam channels, the stand-in for a distributed cluster.
+
+pub mod join;
+pub mod pipeline;
+pub mod reorder;
+pub mod runner;
+pub mod watermark;
+pub mod window;
+
+pub use join::IntervalJoin;
+pub use pipeline::{Pipeline, Stage};
+pub use reorder::ReorderBuffer;
+pub use watermark::BoundedOutOfOrderness;
+pub use window::{KeyedWindowAggregate, SessionWindows, SlidingWindows, TumblingWindows};

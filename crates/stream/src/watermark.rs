@@ -1,0 +1,115 @@
+//! Watermark generation for event-time processing.
+//!
+//! Satellite AIS arrives in delayed batches (the paper's "multi-level
+//! processing issues"); terrestrial AIS arrives almost in order. A
+//! watermark is the runtime's statement "no element older than W will
+//! arrive"; downstream operators use it to close windows and release
+//! reordered output deterministically.
+
+use mda_geo::{DurationMs, Timestamp};
+
+/// Bounded out-of-orderness watermark generator.
+///
+/// The watermark trails the maximum observed event time by a fixed
+/// `max_delay`. Elements older than the current watermark are *late*.
+#[derive(Debug, Clone)]
+pub struct BoundedOutOfOrderness {
+    max_delay: DurationMs,
+    max_seen: Option<Timestamp>,
+    late: u64,
+}
+
+impl BoundedOutOfOrderness {
+    /// Create a generator tolerating up to `max_delay` of disorder.
+    pub fn new(max_delay: DurationMs) -> Self {
+        assert!(max_delay >= 0, "delay must be non-negative");
+        Self { max_delay, max_seen: None, late: 0 }
+    }
+
+    /// Observe an element timestamp; returns the new watermark.
+    ///
+    /// The watermark is monotone: a late element never moves it backwards.
+    pub fn observe(&mut self, t: Timestamp) -> Timestamp {
+        match self.max_seen {
+            Some(m) if t <= m => {
+                if t < self.current() {
+                    self.late += 1;
+                }
+            }
+            _ => self.max_seen = Some(t),
+        }
+        self.current()
+    }
+
+    /// The current watermark (`Timestamp::MIN` before any element).
+    pub fn current(&self) -> Timestamp {
+        match self.max_seen {
+            Some(m) => m - self.max_delay,
+            None => Timestamp::MIN,
+        }
+    }
+
+    /// True if an element with timestamp `t` would be late right now.
+    pub fn is_late(&self, t: Timestamp) -> bool {
+        t < self.current()
+    }
+
+    /// Number of late elements observed so far (a data-quality signal
+    /// surfaced in the operator picture).
+    pub fn late_count(&self) -> u64 {
+        self.late
+    }
+
+    /// The configured disorder tolerance.
+    pub fn max_delay(&self) -> DurationMs {
+        self.max_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::time::SECOND;
+
+    #[test]
+    fn starts_at_minimum() {
+        let w = BoundedOutOfOrderness::new(5 * SECOND);
+        assert_eq!(w.current(), Timestamp::MIN);
+    }
+
+    #[test]
+    fn trails_max_by_delay() {
+        let mut w = BoundedOutOfOrderness::new(5 * SECOND);
+        w.observe(Timestamp::from_secs(100));
+        assert_eq!(w.current(), Timestamp::from_secs(95));
+        w.observe(Timestamp::from_secs(200));
+        assert_eq!(w.current(), Timestamp::from_secs(195));
+    }
+
+    #[test]
+    fn monotone_under_disorder() {
+        let mut w = BoundedOutOfOrderness::new(5 * SECOND);
+        w.observe(Timestamp::from_secs(100));
+        let before = w.current();
+        w.observe(Timestamp::from_secs(50)); // very late element
+        assert_eq!(w.current(), before, "watermark never regresses");
+    }
+
+    #[test]
+    fn counts_late_elements() {
+        let mut w = BoundedOutOfOrderness::new(5 * SECOND);
+        w.observe(Timestamp::from_secs(100));
+        w.observe(Timestamp::from_secs(97)); // within tolerance: not late
+        assert_eq!(w.late_count(), 0);
+        w.observe(Timestamp::from_secs(80)); // older than watermark: late
+        assert_eq!(w.late_count(), 1);
+    }
+
+    #[test]
+    fn zero_delay_is_strictly_ordered() {
+        let mut w = BoundedOutOfOrderness::new(0);
+        w.observe(Timestamp::from_secs(10));
+        assert!(w.is_late(Timestamp::from_secs(9)));
+        assert!(!w.is_late(Timestamp::from_secs(10)));
+    }
+}

@@ -1,0 +1,310 @@
+//! Window assignment and keyed window aggregation.
+//!
+//! Tumbling and sliding windows are aligned to the epoch; session windows
+//! merge on a per-key inactivity gap. [`KeyedWindowAggregate`] folds
+//! elements into per-(key, window) accumulators and emits results when
+//! the watermark passes the window end — the same contract as the big
+//! streaming engines, without the cluster.
+
+use mda_geo::{DurationMs, Timestamp};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A half-open time window `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Window {
+    /// Inclusive start.
+    pub start: Timestamp,
+    /// Exclusive end.
+    pub end: Timestamp,
+}
+
+impl Window {
+    /// True if `t` falls inside the window.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Window length in milliseconds.
+    pub fn len(&self) -> DurationMs {
+        self.end - self.start
+    }
+}
+
+/// Epoch-aligned tumbling windows of fixed width.
+#[derive(Debug, Clone, Copy)]
+pub struct TumblingWindows {
+    /// Window width in milliseconds.
+    pub width: DurationMs,
+}
+
+impl TumblingWindows {
+    /// Create an assigner; `width` must be positive.
+    pub fn new(width: DurationMs) -> Self {
+        assert!(width > 0);
+        Self { width }
+    }
+
+    /// The single window containing `t`.
+    pub fn assign(&self, t: Timestamp) -> Window {
+        let start = t.window_start(self.width);
+        Window { start, end: start + self.width }
+    }
+}
+
+/// Epoch-aligned sliding windows of fixed width and slide.
+#[derive(Debug, Clone, Copy)]
+pub struct SlidingWindows {
+    /// Window width in milliseconds.
+    pub width: DurationMs,
+    /// Slide step in milliseconds (`<= width` for overlapping windows).
+    pub slide: DurationMs,
+}
+
+impl SlidingWindows {
+    /// Create an assigner; both parameters must be positive.
+    pub fn new(width: DurationMs, slide: DurationMs) -> Self {
+        assert!(width > 0 && slide > 0);
+        Self { width, slide }
+    }
+
+    /// All windows containing `t`, earliest first. With `slide > width`
+    /// (sampling windows) an instant may belong to no window at all.
+    pub fn assign(&self, t: Timestamp) -> Vec<Window> {
+        // Valid starts are the multiples of `slide` in (t - width, t].
+        let earliest = {
+            let x = t.0 - self.width + 1;
+            let r = x.rem_euclid(self.slide);
+            if r == 0 {
+                x
+            } else {
+                x + (self.slide - r)
+            }
+        };
+        let latest = t.0.div_euclid(self.slide) * self.slide;
+        let mut out = Vec::with_capacity((self.width / self.slide) as usize + 1);
+        let mut start = earliest;
+        while start <= latest {
+            out.push(Window { start: Timestamp(start), end: Timestamp(start + self.width) });
+            start += self.slide;
+        }
+        out
+    }
+}
+
+/// Per-key session windows with an inactivity gap.
+///
+/// Feeding timestamps per key merges any element within `gap` of an open
+/// session into it; a quieter period closes the session. Used for e.g.
+/// port-call episodes.
+#[derive(Debug)]
+pub struct SessionWindows<K> {
+    gap: DurationMs,
+    open: HashMap<K, Window>,
+}
+
+impl<K: Eq + Hash + Clone> SessionWindows<K> {
+    /// Create a session assigner with the given inactivity `gap`.
+    pub fn new(gap: DurationMs) -> Self {
+        assert!(gap > 0);
+        Self { gap, open: HashMap::new() }
+    }
+
+    /// Observe an element; returns the session that *closed*, if this
+    /// element started a new one.
+    pub fn observe(&mut self, key: K, t: Timestamp) -> Option<Window> {
+        match self.open.get_mut(&key) {
+            Some(w) if t <= w.end => {
+                // Extend the open session.
+                if t + self.gap > w.end {
+                    w.end = t + self.gap;
+                }
+                if t < w.start {
+                    w.start = t;
+                }
+                None
+            }
+            Some(w) => {
+                let closed = *w;
+                *w = Window { start: t, end: t + self.gap };
+                Some(closed)
+            }
+            None => {
+                self.open.insert(key, Window { start: t, end: t + self.gap });
+                None
+            }
+        }
+    }
+
+    /// Close and return all sessions whose gap has expired at `now`.
+    pub fn expire(&mut self, now: Timestamp) -> Vec<(K, Window)> {
+        let mut closed = Vec::new();
+        self.open.retain(|k, w| {
+            if w.end <= now {
+                closed.push((k.clone(), *w));
+                false
+            } else {
+                true
+            }
+        });
+        closed
+    }
+
+    /// Number of currently open sessions.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+}
+
+/// Keyed tumbling-window aggregation driven by watermarks.
+///
+/// `A` is the accumulator; `fold` merges one element into it. Results
+/// are emitted by [`KeyedWindowAggregate::advance`] once the watermark
+/// passes a window's end.
+pub struct KeyedWindowAggregate<K, V, A> {
+    windows: TumblingWindows,
+    init: Box<dyn Fn() -> A + Send>,
+    fold: Box<dyn Fn(&mut A, V) + Send>,
+    state: HashMap<(K, Timestamp), A>,
+}
+
+impl<K: Eq + Hash + Clone, V, A> KeyedWindowAggregate<K, V, A> {
+    /// Create an aggregate over tumbling windows of `width` ms.
+    pub fn new(
+        width: DurationMs,
+        init: impl Fn() -> A + Send + 'static,
+        fold: impl Fn(&mut A, V) + Send + 'static,
+    ) -> Self {
+        Self {
+            windows: TumblingWindows::new(width),
+            init: Box::new(init),
+            fold: Box::new(fold),
+            state: HashMap::new(),
+        }
+    }
+
+    /// Add an element to its window's accumulator.
+    pub fn add(&mut self, key: K, t: Timestamp, value: V) {
+        let w = self.windows.assign(t);
+        let acc = self.state.entry((key, w.start)).or_insert_with(&self.init);
+        (self.fold)(acc, value);
+    }
+
+    /// Emit all `(key, window, accumulator)` whose window closed at or
+    /// before `watermark`, sorted by window start then key insertion
+    /// order is unspecified.
+    pub fn advance(&mut self, watermark: Timestamp) -> Vec<(K, Window, A)> {
+        let width = self.windows.width;
+        let mut out = Vec::new();
+        let closed: Vec<(K, Timestamp)> = self
+            .state
+            .keys()
+            .filter(|(_, start)| *start + width <= watermark)
+            .cloned()
+            .collect();
+        for key in closed {
+            let acc = self.state.remove(&key).expect("key just listed");
+            let w = Window { start: key.1, end: key.1 + width };
+            out.push((key.0, w, acc));
+        }
+        out.sort_by_key(|(_, w, _)| w.start);
+        out
+    }
+
+    /// Number of open (key, window) accumulators.
+    pub fn open_count(&self) -> usize {
+        self.state.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::time::{MINUTE, SECOND};
+
+    #[test]
+    fn tumbling_assignment() {
+        let t = TumblingWindows::new(MINUTE);
+        let w = t.assign(Timestamp(90_000));
+        assert_eq!(w.start, Timestamp(60_000));
+        assert_eq!(w.end, Timestamp(120_000));
+        assert!(w.contains(Timestamp(90_000)));
+        assert!(!w.contains(w.end));
+        assert_eq!(w.len(), MINUTE);
+    }
+
+    #[test]
+    fn sliding_assignment_overlap() {
+        let s = SlidingWindows::new(MINUTE, 20 * SECOND);
+        let ws = s.assign(Timestamp(70_000));
+        // Windows of width 60 s sliding by 20 s containing t=70 s:
+        // starts 20, 40, 60.
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[0].start, Timestamp(20_000));
+        assert_eq!(ws[2].start, Timestamp(60_000));
+        for w in ws {
+            assert!(w.contains(Timestamp(70_000)));
+        }
+    }
+
+    #[test]
+    fn sliding_equal_width_and_slide_is_tumbling() {
+        let s = SlidingWindows::new(MINUTE, MINUTE);
+        let ws = s.assign(Timestamp(59_999));
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].start, Timestamp(0));
+    }
+
+    #[test]
+    fn session_merge_and_close() {
+        let mut s: SessionWindows<u32> = SessionWindows::new(10 * SECOND);
+        assert!(s.observe(1, Timestamp(0)).is_none());
+        assert!(s.observe(1, Timestamp(5_000)).is_none()); // merged
+        // 30 s later: previous session closes, a new one opens.
+        let closed = s.observe(1, Timestamp(35_000)).expect("session closed");
+        assert_eq!(closed.start, Timestamp(0));
+        assert_eq!(closed.end, Timestamp(15_000));
+        assert_eq!(s.open_count(), 1);
+    }
+
+    #[test]
+    fn session_expiry() {
+        let mut s: SessionWindows<&str> = SessionWindows::new(10 * SECOND);
+        s.observe("a", Timestamp(0));
+        s.observe("b", Timestamp(8_000));
+        let expired = s.expire(Timestamp(12_000));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].0, "a");
+        assert_eq!(s.open_count(), 1);
+    }
+
+    #[test]
+    fn keyed_aggregate_counts_per_window() {
+        let mut agg: KeyedWindowAggregate<u32, (), u32> =
+            KeyedWindowAggregate::new(MINUTE, || 0, |acc, _| *acc += 1);
+        for i in 0..10 {
+            agg.add(7, Timestamp(i * 10_000), ());
+        }
+        // t = 0..90 s covers windows [0,60) with 6 and [60,120) with 4.
+        let closed = agg.advance(Timestamp(60_000));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].2, 6);
+        assert_eq!(agg.open_count(), 1);
+        let rest = agg.advance(Timestamp(1_000_000));
+        assert_eq!(rest[0].2, 4);
+    }
+
+    #[test]
+    fn keyed_aggregate_separates_keys() {
+        let mut agg: KeyedWindowAggregate<&str, f64, f64> =
+            KeyedWindowAggregate::new(MINUTE, || 0.0, |acc, v| *acc += v);
+        agg.add("a", Timestamp(0), 1.5);
+        agg.add("b", Timestamp(0), 2.5);
+        agg.add("a", Timestamp(30_000), 1.0);
+        let mut closed = agg.advance(Timestamp(60_000));
+        closed.sort_by_key(|(k, _, _)| *k);
+        assert_eq!(closed.len(), 2);
+        assert_eq!((closed[0].0, closed[0].2), ("a", 2.5));
+        assert_eq!((closed[1].0, closed[1].2), ("b", 2.5));
+    }
+}

@@ -1,0 +1,282 @@
+//! Streaming critical-point detection.
+//!
+//! A vessel trajectory is summarised by the points where its motion
+//! *changes*: it starts or stops moving, turns, changes speed, or goes
+//! silent. Between critical points, motion is near-linear and can be
+//! reconstructed by interpolation. This mirrors the synopses operators of
+//! the datAcron stack the paper draws on.
+
+use mda_geo::units::heading_delta;
+use mda_geo::{DurationMs, Fix, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Why a fix was marked critical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CriticalPointKind {
+    /// First fix of a (sub)trajectory.
+    Start,
+    /// Vessel dropped below the stop speed.
+    StopBegin,
+    /// Vessel resumed way after a stop.
+    StopEnd,
+    /// Course changed by more than the turn threshold.
+    TurningPoint,
+    /// Speed changed by more than the speed threshold.
+    SpeedChange,
+    /// Last fix before a communication gap.
+    GapStart,
+    /// First fix after a communication gap.
+    GapEnd,
+}
+
+/// A fix annotated as critical.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPoint {
+    /// The annotated fix.
+    pub fix: Fix,
+    /// Why it is critical.
+    pub kind: CriticalPointKind,
+}
+
+/// Thresholds steering critical-point detection.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SynopsisConfig {
+    /// Below this speed (knots) a vessel is considered stopped.
+    pub stop_speed_kn: f64,
+    /// Course change (degrees) that makes a turning point.
+    pub turn_threshold_deg: f64,
+    /// Relative speed change that makes a speed-change point.
+    pub speed_change_ratio: f64,
+    /// Silence longer than this is a communication gap.
+    pub gap_timeout: DurationMs,
+}
+
+impl Default for SynopsisConfig {
+    fn default() -> Self {
+        Self {
+            stop_speed_kn: 0.5,
+            turn_threshold_deg: 15.0,
+            speed_change_ratio: 0.25,
+            gap_timeout: 10 * mda_geo::time::MINUTE,
+        }
+    }
+}
+
+/// Streaming per-vessel critical point detector.
+///
+/// Feed fixes of one vessel in event-time order; emitted critical points
+/// reference the input fixes. One detector instance per vessel
+/// (`mda-core` keys them by MMSI).
+#[derive(Debug, Clone)]
+pub struct CriticalPointDetector {
+    config: SynopsisConfig,
+    last: Option<Fix>,
+    /// Course and speed at the last *emitted* critical point, the
+    /// reference against which change is measured.
+    ref_cog: f64,
+    ref_sog: f64,
+    stopped: bool,
+    total_in: u64,
+    total_out: u64,
+}
+
+impl CriticalPointDetector {
+    /// New detector with the given thresholds.
+    pub fn new(config: SynopsisConfig) -> Self {
+        Self {
+            config,
+            last: None,
+            ref_cog: 0.0,
+            ref_sog: 0.0,
+            stopped: false,
+            total_in: 0,
+            total_out: 0,
+        }
+    }
+
+    /// Observe the next fix; returns the critical points it produces
+    /// (possibly both a `GapStart` for the previous fix and a `GapEnd`
+    /// for this one).
+    pub fn observe(&mut self, fix: Fix) -> Vec<CriticalPoint> {
+        self.total_in += 1;
+        let mut out = Vec::new();
+        let Some(prev) = self.last else {
+            self.emit(&mut out, fix, CriticalPointKind::Start);
+            self.stopped = fix.sog_kn < self.config.stop_speed_kn;
+            self.last = Some(fix);
+            return out;
+        };
+
+        // Communication gap: mark both edges.
+        if fix.t - prev.t > self.config.gap_timeout {
+            self.emit(&mut out, prev, CriticalPointKind::GapStart);
+            self.emit(&mut out, fix, CriticalPointKind::GapEnd);
+            self.stopped = fix.sog_kn < self.config.stop_speed_kn;
+            self.last = Some(fix);
+            return out;
+        }
+
+        let now_stopped = fix.sog_kn < self.config.stop_speed_kn;
+        if now_stopped != self.stopped {
+            let kind =
+                if now_stopped { CriticalPointKind::StopBegin } else { CriticalPointKind::StopEnd };
+            self.emit(&mut out, fix, kind);
+            self.stopped = now_stopped;
+            self.last = Some(fix);
+            return out;
+        }
+
+        if !now_stopped {
+            if heading_delta(self.ref_cog, fix.cog_deg) > self.config.turn_threshold_deg {
+                self.emit(&mut out, fix, CriticalPointKind::TurningPoint);
+            } else {
+                let base = self.ref_sog.max(self.config.stop_speed_kn);
+                if (fix.sog_kn - self.ref_sog).abs() / base > self.config.speed_change_ratio {
+                    self.emit(&mut out, fix, CriticalPointKind::SpeedChange);
+                }
+            }
+        }
+        self.last = Some(fix);
+        out
+    }
+
+    fn emit(&mut self, out: &mut Vec<CriticalPoint>, fix: Fix, kind: CriticalPointKind) {
+        self.ref_cog = fix.cog_deg;
+        self.ref_sog = fix.sog_kn;
+        self.total_out += 1;
+        out.push(CriticalPoint { fix, kind });
+    }
+
+    /// `(fixes seen, critical points emitted)`.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.total_in, self.total_out)
+    }
+
+    /// Time of the last observed fix (for gap monitoring at stream end).
+    pub fn last_seen(&self) -> Option<Timestamp> {
+        self.last.map(|f| f.t)
+    }
+}
+
+/// Run a detector over a whole trajectory and collect the synopsis.
+pub fn detect_trajectory(fixes: &[Fix], config: SynopsisConfig) -> Vec<CriticalPoint> {
+    let mut det = CriticalPointDetector::new(config);
+    let mut out = Vec::new();
+    for f in fixes {
+        out.extend(det.observe(*f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use mda_geo::Position;
+
+    fn fix(t_min: i64, lat: f64, lon: f64, sog: f64, cog: f64) -> Fix {
+        Fix::new(1, Timestamp::from_mins(t_min), Position::new(lat, lon), sog, cog)
+    }
+
+    /// Straight steady track: only the start is critical.
+    #[test]
+    fn steady_track_keeps_only_start() {
+        let fixes: Vec<Fix> =
+            (0..60).map(|i| fix(i, 43.0 + i as f64 * 0.01, 5.0, 10.0, 0.0)).collect();
+        let cps = detect_trajectory(&fixes, SynopsisConfig::default());
+        assert_eq!(cps.len(), 1);
+        assert_eq!(cps[0].kind, CriticalPointKind::Start);
+    }
+
+    #[test]
+    fn turn_detected_once() {
+        let mut fixes = Vec::new();
+        for i in 0..10 {
+            fixes.push(fix(i, 43.0 + i as f64 * 0.01, 5.0, 10.0, 0.0));
+        }
+        for i in 10..20 {
+            fixes.push(fix(i, 43.1, 5.0 + (i - 10) as f64 * 0.01, 10.0, 90.0));
+        }
+        let cps = detect_trajectory(&fixes, SynopsisConfig::default());
+        let turns: Vec<_> =
+            cps.iter().filter(|c| c.kind == CriticalPointKind::TurningPoint).collect();
+        assert_eq!(turns.len(), 1);
+        assert_eq!(turns[0].fix.cog_deg, 90.0);
+    }
+
+    #[test]
+    fn gradual_turn_accumulates_to_threshold() {
+        // 2°/min drift: exceeds the 15° threshold relative to the last
+        // critical point around minute 8, then again ~8 min later.
+        let fixes: Vec<Fix> =
+            (0..20).map(|i| fix(i, 43.0, 5.0 + i as f64 * 0.01, 10.0, (i * 2) as f64)).collect();
+        let cps = detect_trajectory(&fixes, SynopsisConfig::default());
+        let turns = cps.iter().filter(|c| c.kind == CriticalPointKind::TurningPoint).count();
+        assert!(turns >= 1 && turns <= 3, "got {turns} turns");
+    }
+
+    #[test]
+    fn stop_and_resume() {
+        let mut fixes = Vec::new();
+        for i in 0..5 {
+            fixes.push(fix(i, 43.0, 5.0 + i as f64 * 0.01, 10.0, 90.0));
+        }
+        for i in 5..10 {
+            fixes.push(fix(i, 43.0, 5.05, 0.1, 90.0));
+        }
+        for i in 10..15 {
+            fixes.push(fix(i, 43.0, 5.05 + (i - 10) as f64 * 0.01, 10.0, 90.0));
+        }
+        let cps = detect_trajectory(&fixes, SynopsisConfig::default());
+        let kinds: Vec<CriticalPointKind> = cps.iter().map(|c| c.kind).collect();
+        assert!(kinds.contains(&CriticalPointKind::StopBegin));
+        assert!(kinds.contains(&CriticalPointKind::StopEnd));
+        let sb = kinds.iter().position(|k| *k == CriticalPointKind::StopBegin).unwrap();
+        let se = kinds.iter().position(|k| *k == CriticalPointKind::StopEnd).unwrap();
+        assert!(sb < se);
+    }
+
+    #[test]
+    fn gap_marks_both_edges() {
+        let fixes = vec![
+            fix(0, 43.0, 5.0, 10.0, 0.0),
+            fix(1, 43.01, 5.0, 10.0, 0.0),
+            fix(30, 43.3, 5.0, 10.0, 0.0), // 29-minute silence
+            fix(31, 43.31, 5.0, 10.0, 0.0),
+        ];
+        let cps = detect_trajectory(&fixes, SynopsisConfig::default());
+        let kinds: Vec<CriticalPointKind> = cps.iter().map(|c| c.kind).collect();
+        assert!(kinds.contains(&CriticalPointKind::GapStart));
+        assert!(kinds.contains(&CriticalPointKind::GapEnd));
+        // GapStart is the *previous* fix (minute 1).
+        let gs = cps.iter().find(|c| c.kind == CriticalPointKind::GapStart).unwrap();
+        assert_eq!(gs.fix.t, Timestamp::from_mins(1));
+    }
+
+    #[test]
+    fn speed_change_detected() {
+        let mut fixes = Vec::new();
+        for i in 0..5 {
+            fixes.push(fix(i, 43.0, 5.0 + i as f64 * 0.01, 10.0, 90.0));
+        }
+        for i in 5..10 {
+            fixes.push(fix(i, 43.0, 5.05 + (i - 5) as f64 * 0.02, 20.0, 90.0));
+        }
+        let cps = detect_trajectory(&fixes, SynopsisConfig::default());
+        assert!(cps.iter().any(|c| c.kind == CriticalPointKind::SpeedChange));
+    }
+
+    #[test]
+    fn counts_reflect_compression() {
+        let fixes: Vec<Fix> =
+            (0..100).map(|i| fix(i, 43.0 + i as f64 * 0.005, 5.0, 10.0, 0.0)).collect();
+        let mut det = CriticalPointDetector::new(SynopsisConfig::default());
+        for f in &fixes {
+            det.observe(*f);
+        }
+        let (inn, out) = det.counts();
+        assert_eq!(inn, 100);
+        assert!(out <= 2, "steady track should compress to almost nothing, got {out}");
+        assert_eq!(det.last_seen(), Some(Timestamp::from_mins(99)));
+    }
+}

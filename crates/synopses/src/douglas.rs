@@ -1,0 +1,125 @@
+//! Offline Douglas–Peucker trajectory simplification.
+//!
+//! The batch baseline for the C1 experiment: given the whole trajectory,
+//! recursively keep the point with the largest deviation from the
+//! chord until every point is within `tolerance_m` of the simplified
+//! polyline. Distances are great-circle segment distances, so the
+//! tolerance is in metres like the online compressor's.
+
+use mda_geo::distance::segment_distance_m;
+use mda_geo::Fix;
+
+/// Simplify `fixes` to within `tolerance_m` metres, returning the kept
+/// fixes (always includes the first and last).
+pub fn douglas_peucker(fixes: &[Fix], tolerance_m: f64) -> Vec<Fix> {
+    if fixes.len() <= 2 {
+        return fixes.to_vec();
+    }
+    let mut keep = vec![false; fixes.len()];
+    keep[0] = true;
+    keep[fixes.len() - 1] = true;
+    simplify(fixes, 0, fixes.len() - 1, tolerance_m, &mut keep);
+    fixes
+        .iter()
+        .zip(keep)
+        .filter_map(|(f, k)| if k { Some(*f) } else { None })
+        .collect()
+}
+
+fn simplify(fixes: &[Fix], lo: usize, hi: usize, tol: f64, keep: &mut [bool]) {
+    if hi <= lo + 1 {
+        return;
+    }
+    let (a, b) = (fixes[lo].pos, fixes[hi].pos);
+    let mut worst = lo;
+    let mut worst_d = -1.0;
+    for i in lo + 1..hi {
+        let d = segment_distance_m(fixes[i].pos, a, b);
+        if d > worst_d {
+            worst_d = d;
+            worst = i;
+        }
+    }
+    if worst_d > tol {
+        keep[worst] = true;
+        simplify(fixes, lo, worst, tol, keep);
+        simplify(fixes, worst, hi, tol, keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::{Position, Timestamp};
+
+    fn fix(i: i64, lat: f64, lon: f64) -> Fix {
+        Fix::new(1, Timestamp::from_mins(i), Position::new(lat, lon), 10.0, 0.0)
+    }
+
+    #[test]
+    fn short_inputs_returned_verbatim() {
+        assert!(douglas_peucker(&[], 10.0).is_empty());
+        let one = vec![fix(0, 43.0, 5.0)];
+        assert_eq!(douglas_peucker(&one, 10.0).len(), 1);
+        let two = vec![fix(0, 43.0, 5.0), fix(1, 43.1, 5.0)];
+        assert_eq!(douglas_peucker(&two, 10.0).len(), 2);
+    }
+
+    #[test]
+    fn collinear_points_reduce_to_endpoints() {
+        let fixes: Vec<Fix> = (0..20).map(|i| fix(i, 43.0, 5.0 + i as f64 * 0.01)).collect();
+        let kept = douglas_peucker(&fixes, 50.0);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].t, fixes[0].t);
+        assert_eq!(kept[1].t, fixes[19].t);
+    }
+
+    #[test]
+    fn corner_is_preserved() {
+        let mut fixes: Vec<Fix> = (0..10).map(|i| fix(i, 43.0, 5.0 + i as f64 * 0.01)).collect();
+        for i in 0..10 {
+            fixes.push(fix(10 + i, 43.0 + (i + 1) as f64 * 0.01, 5.09));
+        }
+        let kept = douglas_peucker(&fixes, 50.0);
+        assert_eq!(kept.len(), 3, "endpoints plus the corner");
+        // The corner is near (43.0, 5.09).
+        assert!((kept[1].pos.lon - 5.09).abs() < 0.011);
+    }
+
+    #[test]
+    fn error_bound_holds() {
+        // Wavy trajectory; after simplification every original point must
+        // lie within tolerance of the kept polyline.
+        let fixes: Vec<Fix> = (0..100)
+            .map(|i| {
+                let lon = 5.0 + i as f64 * 0.002;
+                let lat = 43.0 + 0.004 * (i as f64 * 0.3).sin();
+                fix(i, lat, lon)
+            })
+            .collect();
+        let tol = 120.0;
+        let kept = douglas_peucker(&fixes, tol);
+        assert!(kept.len() > 2 && kept.len() < 100);
+        for f in &fixes {
+            let mut best = f64::INFINITY;
+            for w in kept.windows(2) {
+                best = best.min(segment_distance_m(f.pos, w[0].pos, w[1].pos));
+            }
+            assert!(best <= tol + 1.0, "point deviates {best} m");
+        }
+    }
+
+    #[test]
+    fn tighter_tolerance_keeps_more() {
+        let fixes: Vec<Fix> = (0..100)
+            .map(|i| {
+                let lon = 5.0 + i as f64 * 0.002;
+                let lat = 43.0 + 0.004 * (i as f64 * 0.3).sin();
+                fix(i, lat, lon)
+            })
+            .collect();
+        let loose = douglas_peucker(&fixes, 300.0).len();
+        let tight = douglas_peucker(&fixes, 30.0).len();
+        assert!(tight > loose, "{tight} vs {loose}");
+    }
+}

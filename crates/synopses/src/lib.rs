@@ -1,0 +1,31 @@
+//! Trajectory synopses: critical points and bounded-error compression
+//! (paper §2.1).
+//!
+//! The paper highlights that state-of-the-art synopses achieve a ~95%
+//! compression ratio over AIS vessel traces, and poses the challenge of
+//! "high levels of data compression without compromising the accuracy of
+//! the prediction / detection components". This crate implements both
+//! halves of that trade-off and the instruments to measure it:
+//!
+//! - [`critical`] — streaming detection of *critical points*: trajectory
+//!   start/stop, turns, speed changes, communication gaps. The critical
+//!   points *are* the synopsis: everything between them is reconstructed
+//!   by interpolation.
+//! - [`compress`] — streaming threshold (dead-reckoning) compression: a
+//!   fix is kept only when the position predicted from the last kept fix
+//!   misses the observed one by more than a tolerance.
+//! - [`douglas`] — offline Douglas–Peucker line simplification, the
+//!   classical batch baseline the online methods are compared against.
+//! - [`error`] — reconstruction error metrics (synchronized Euclidean
+//!   distance) and compression accounting, which the C1 experiment
+//!   sweeps to regenerate the paper's 95% claim.
+
+pub mod compress;
+pub mod critical;
+pub mod douglas;
+pub mod error;
+
+pub use compress::{ThresholdCompressor, ThresholdConfig};
+pub use critical::{CriticalPoint, CriticalPointDetector, CriticalPointKind, SynopsisConfig};
+pub use douglas::douglas_peucker;
+pub use error::{compression_ratio, reconstruction_error, ErrorStats};

@@ -1,0 +1,488 @@
+//! The multi-source fuser: track lifecycle and identity management.
+//!
+//! Reports from all sensors flow into one [`Fuser`]. Identity-bearing
+//! reports (AIS, VMS) go straight to their vessel's track; anonymous
+//! radar plots are gated and assigned. Tracks are confirmed after enough
+//! updates, coast through silence (the radar keeps a dark vessel's track
+//! alive — the fusion benefit the paper calls "compensating for the lack
+//! of coverage"), and are dropped when stale.
+
+use crate::associate::{assign_greedy, CandidatePair, GATE_99};
+use crate::kalman::{CvKalman, KalmanConfig};
+use crate::sensor::{SensorKind, SensorReport};
+use mda_geo::projection::LocalPoint;
+use mda_geo::units::knots_to_mps;
+use mda_geo::{DurationMs, Position, Timestamp, VesselId};
+use std::collections::HashMap;
+
+/// Lifecycle state of a track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackState {
+    /// Newly created, not yet corroborated.
+    Tentative,
+    /// Enough updates to be trusted.
+    Confirmed,
+    /// No recent update; position is extrapolated.
+    Coasted,
+}
+
+/// One fused vessel track.
+#[derive(Debug, Clone)]
+pub struct Track {
+    /// Stable fuser-assigned id.
+    pub track_id: u64,
+    /// Claimed identity, once an identity-bearing report matched.
+    pub identity: Option<VesselId>,
+    /// The kinematic filter.
+    pub filter: CvKalman,
+    /// Lifecycle state.
+    pub state: TrackState,
+    /// Number of measurement updates.
+    pub hits: u32,
+    /// Time of the last measurement update.
+    pub last_update: Timestamp,
+    /// Updates contributed per sensor kind.
+    pub updates_by_source: HashMap<SensorKind, u64>,
+    /// Times an identity-bearing report failed the gate so hard the
+    /// filter was re-initialised (dark period or spoofing symptom).
+    pub reinit_count: u32,
+}
+
+impl Track {
+    /// Current estimated position (at filter time).
+    pub fn position(&self) -> Position {
+        self.filter.position()
+    }
+
+    /// Estimated speed in knots.
+    pub fn speed_kn(&self) -> f64 {
+        mda_geo::units::mps_to_knots(self.filter.speed_mps())
+    }
+}
+
+/// Fuser tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct FuserConfig {
+    /// Kalman filter tuning.
+    pub kalman: KalmanConfig,
+    /// Association gate (squared Mahalanobis, 2 dof).
+    pub gate: f64,
+    /// Updates needed to confirm a track.
+    pub confirm_hits: u32,
+    /// Silence after which a track is coasted.
+    pub coast_timeout: DurationMs,
+    /// Silence after which a track is dropped.
+    pub drop_timeout: DurationMs,
+    /// Identity-bearing reports farther than this many gates from the
+    /// track cause a filter re-initialisation instead of an update.
+    pub reinit_gate_factor: f64,
+}
+
+impl Default for FuserConfig {
+    fn default() -> Self {
+        Self {
+            kalman: KalmanConfig::default(),
+            gate: GATE_99,
+            confirm_hits: 3,
+            coast_timeout: 10 * mda_geo::time::MINUTE,
+            drop_timeout: 60 * mda_geo::time::MINUTE,
+            reinit_gate_factor: 50.0,
+        }
+    }
+}
+
+/// Multi-source track fuser.
+#[derive(Debug)]
+pub struct Fuser {
+    config: FuserConfig,
+    tracks: HashMap<u64, Track>,
+    by_identity: HashMap<VesselId, u64>,
+    next_id: u64,
+    dropped: u64,
+}
+
+impl Fuser {
+    /// New fuser.
+    pub fn new(config: FuserConfig) -> Self {
+        Self { config, tracks: HashMap::new(), by_identity: HashMap::new(), next_id: 1, dropped: 0 }
+    }
+
+    /// Ingest one report; returns the id of the track it updated or
+    /// created.
+    pub fn ingest(&mut self, report: &SensorReport) -> u64 {
+        match report.claimed_id {
+            Some(id) if report.kind.identity_bearing() => self.ingest_identified(id, report),
+            _ => self.ingest_anonymous(report),
+        }
+    }
+
+    fn ingest_identified(&mut self, id: VesselId, report: &SensorReport) -> u64 {
+        if let Some(&track_id) = self.by_identity.get(&id) {
+            let fresh_filter = self.new_filter(report);
+            let track = self.tracks.get_mut(&track_id).expect("identity index consistent");
+            track.filter.predict(report.t);
+            let d2 = track.filter.gate_distance_sq(report.pos, report.sigma_m());
+            if d2 > self.config.gate * self.config.reinit_gate_factor {
+                // Teleport-scale disagreement: restart the filter where
+                // the report claims to be (and let the veracity layer
+                // flag the jump).
+                track.filter = fresh_filter;
+                track.reinit_count += 1;
+            } else {
+                track.filter.update(report.pos, report.sigma_m(), report.t);
+            }
+            Self::record_update(track, report);
+            Self::maybe_confirm(track, self.config.confirm_hits);
+            track_id
+        } else {
+            // Try to adopt an anonymous track before creating a new one:
+            // radar may have been tracking this vessel while it was dark.
+            if let Some(track_id) = self.best_anonymous_match(report) {
+                let track = self.tracks.get_mut(&track_id).expect("just matched");
+                track.identity = Some(id);
+                track.filter.update(report.pos, report.sigma_m(), report.t);
+                Self::record_update(track, report);
+                Self::maybe_confirm(track, self.config.confirm_hits);
+                self.by_identity.insert(id, track_id);
+                track_id
+            } else {
+                let track_id = self.spawn_track(report, Some(id));
+                self.by_identity.insert(id, track_id);
+                track_id
+            }
+        }
+    }
+
+    fn ingest_anonymous(&mut self, report: &SensorReport) -> u64 {
+        // Gate against every live track (identity-bearing ones too: the
+        // radar sees AIS-transmitting vessels as well).
+        let mut best: Option<(u64, f64)> = None;
+        for (tid, track) in &mut self.tracks {
+            track.filter.predict(report.t);
+            let d2 = track.filter.gate_distance_sq(report.pos, report.sigma_m());
+            if d2 <= self.config.gate && best.map(|(_, bd)| d2 < bd).unwrap_or(true) {
+                best = Some((*tid, d2));
+            }
+        }
+        if let Some((tid, _)) = best {
+            let track = self.tracks.get_mut(&tid).expect("just gated");
+            track.filter.update(report.pos, report.sigma_m(), report.t);
+            Self::record_update(track, report);
+            Self::maybe_confirm(track, self.config.confirm_hits);
+            tid
+        } else {
+            self.spawn_track(report, None)
+        }
+    }
+
+    /// Ingest a whole radar scan (simultaneous anonymous contacts) with
+    /// global assignment, which prevents two close plots claiming one
+    /// track. Returns per-contact track ids.
+    pub fn ingest_scan(&mut self, contacts: &[SensorReport]) -> Vec<u64> {
+        let track_ids: Vec<u64> = self.tracks.keys().copied().collect();
+        let mut candidates = Vec::new();
+        for (ci, c) in contacts.iter().enumerate() {
+            for (ti, tid) in track_ids.iter().enumerate() {
+                let track = self.tracks.get_mut(tid).expect("listed");
+                track.filter.predict(c.t);
+                let d2 = track.filter.gate_distance_sq(c.pos, c.sigma_m());
+                if d2 <= self.config.gate {
+                    candidates.push(CandidatePair { contact: ci, track: ti, dist_sq: d2 });
+                }
+            }
+        }
+        let assignment = assign_greedy(contacts.len(), candidates);
+        let mut out = vec![0u64; contacts.len()];
+        for (ci, ti) in assignment.pairs {
+            let tid = track_ids[ti];
+            let track = self.tracks.get_mut(&tid).expect("listed");
+            track.filter.update(contacts[ci].pos, contacts[ci].sigma_m(), contacts[ci].t);
+            Self::record_update(track, &contacts[ci]);
+            Self::maybe_confirm(track, self.config.confirm_hits);
+            out[ci] = tid;
+        }
+        for ci in assignment.unmatched_contacts {
+            out[ci] = self.spawn_track(&contacts[ci], None);
+        }
+        out
+    }
+
+    fn best_anonymous_match(&mut self, report: &SensorReport) -> Option<u64> {
+        let gate = self.config.gate;
+        let mut best: Option<(u64, f64)> = None;
+        for (tid, track) in &mut self.tracks {
+            if track.identity.is_some() {
+                continue;
+            }
+            track.filter.predict(report.t);
+            let d2 = track.filter.gate_distance_sq(report.pos, report.sigma_m());
+            if d2 <= gate && best.map(|(_, bd)| d2 < bd).unwrap_or(true) {
+                best = Some((*tid, d2));
+            }
+        }
+        best.map(|(tid, _)| tid)
+    }
+
+    fn new_filter(&self, report: &SensorReport) -> CvKalman {
+        let mut f = CvKalman::new(report.pos, report.sigma_m(), report.t, self.config.kalman);
+        if let (Some(sog), Some(cog)) = (report.sog_kn, report.cog_deg) {
+            let v = knots_to_mps(sog);
+            let rad = cog.to_radians();
+            f = f.with_velocity(LocalPoint { x: v * rad.sin(), y: v * rad.cos() }, 4.0);
+        }
+        f
+    }
+
+    fn spawn_track(&mut self, report: &SensorReport, identity: Option<VesselId>) -> u64 {
+        let track_id = self.next_id;
+        self.next_id += 1;
+        let mut updates_by_source = HashMap::new();
+        updates_by_source.insert(report.kind, 1);
+        self.tracks.insert(
+            track_id,
+            Track {
+                track_id,
+                identity,
+                filter: self.new_filter(report),
+                state: TrackState::Tentative,
+                hits: 1,
+                last_update: report.t,
+                updates_by_source,
+                reinit_count: 0,
+            },
+        );
+        track_id
+    }
+
+    fn record_update(track: &mut Track, report: &SensorReport) {
+        track.hits += 1;
+        track.last_update = report.t;
+        *track.updates_by_source.entry(report.kind).or_insert(0) += 1;
+        if track.state == TrackState::Coasted {
+            track.state = TrackState::Confirmed;
+        }
+    }
+
+    fn maybe_confirm(track: &mut Track, confirm_hits: u32) {
+        if track.state == TrackState::Tentative && track.hits >= confirm_hits {
+            track.state = TrackState::Confirmed;
+        }
+    }
+
+    /// Advance lifecycle states at time `now`; drops stale tracks and
+    /// returns them.
+    pub fn sweep(&mut self, now: Timestamp) -> Vec<Track> {
+        let coast = self.config.coast_timeout;
+        let drop_after = self.config.drop_timeout;
+        let mut dropped = Vec::new();
+        let stale: Vec<u64> = self
+            .tracks
+            .iter()
+            .filter(|(_, t)| now - t.last_update > drop_after)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in stale {
+            let t = self.tracks.remove(&id).expect("listed");
+            if let Some(vid) = t.identity {
+                self.by_identity.remove(&vid);
+            }
+            self.dropped += 1;
+            dropped.push(t);
+        }
+        for t in self.tracks.values_mut() {
+            if now - t.last_update > coast && t.state == TrackState::Confirmed {
+                t.state = TrackState::Coasted;
+            }
+        }
+        dropped
+    }
+
+    /// The track currently associated with a vessel identity.
+    pub fn track_of(&self, id: VesselId) -> Option<&Track> {
+        self.by_identity.get(&id).and_then(|tid| self.tracks.get(tid))
+    }
+
+    /// A track by fuser id.
+    pub fn track(&self, track_id: u64) -> Option<&Track> {
+        self.tracks.get(&track_id)
+    }
+
+    /// All live tracks.
+    pub fn tracks(&self) -> impl Iterator<Item = &Track> {
+        self.tracks.values()
+    }
+
+    /// `(live, confirmed, dropped-so-far)` counts.
+    pub fn stats(&self) -> (usize, usize, u64) {
+        let confirmed =
+            self.tracks.values().filter(|t| t.state != TrackState::Tentative).count();
+        (self.tracks.len(), confirmed, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::time::MINUTE;
+    use mda_geo::{Fix, Position};
+
+    fn ais_report(id: u32, t_s: i64, lat: f64, lon: f64) -> SensorReport {
+        SensorReport::from_fix(
+            SensorKind::AisTerrestrial,
+            &Fix::new(id, Timestamp::from_secs(t_s), Position::new(lat, lon), 10.0, 90.0),
+        )
+    }
+
+    fn radar_report(t_s: i64, lat: f64, lon: f64) -> SensorReport {
+        SensorReport {
+            kind: SensorKind::Radar,
+            t: Timestamp::from_secs(t_s),
+            pos: Position::new(lat, lon),
+            claimed_id: None,
+            sog_kn: None,
+            cog_deg: None,
+            accuracy_m: None,
+        }
+    }
+
+    #[test]
+    fn identified_reports_build_one_track() {
+        let mut f = Fuser::new(FuserConfig::default());
+        let mut tid = 0;
+        for i in 0..5 {
+            tid = f.ingest(&ais_report(7, i * 10, 43.0, 5.0 + i as f64 * 0.0005));
+        }
+        let (live, confirmed, _) = f.stats();
+        assert_eq!(live, 1);
+        assert_eq!(confirmed, 1);
+        let track = f.track(tid).unwrap();
+        assert_eq!(track.identity, Some(7));
+        assert_eq!(track.hits, 5);
+    }
+
+    #[test]
+    fn different_identities_different_tracks() {
+        let mut f = Fuser::new(FuserConfig::default());
+        f.ingest(&ais_report(1, 0, 43.0, 5.0));
+        f.ingest(&ais_report(2, 0, 44.0, 6.0));
+        assert_eq!(f.stats().0, 2);
+        assert!(f.track_of(1).is_some());
+        assert!(f.track_of(2).is_some());
+    }
+
+    #[test]
+    fn radar_updates_existing_track() {
+        let mut f = Fuser::new(FuserConfig::default());
+        for i in 0..3 {
+            f.ingest(&ais_report(7, i * 10, 43.0, 5.0 + i as f64 * 0.0005));
+        }
+        // Radar plot near the predicted position joins the same track.
+        let tid = f.ingest(&radar_report(40, 43.0, 5.002));
+        assert_eq!(f.stats().0, 1, "no new track spawned");
+        let track = f.track(tid).unwrap();
+        assert_eq!(track.updates_by_source[&SensorKind::Radar], 1);
+    }
+
+    #[test]
+    fn far_radar_spawns_new_track() {
+        let mut f = Fuser::new(FuserConfig::default());
+        f.ingest(&ais_report(7, 0, 43.0, 5.0));
+        f.ingest(&radar_report(10, 44.5, 7.5));
+        assert_eq!(f.stats().0, 2);
+    }
+
+    #[test]
+    fn ais_adopts_anonymous_radar_track() {
+        let mut f = Fuser::new(FuserConfig::default());
+        // Radar tracks an unknown vessel...
+        let rid = f.ingest(&radar_report(0, 43.0, 5.0));
+        f.ingest(&radar_report(30, 43.0, 5.001));
+        // ...then it switches AIS on nearby.
+        let tid = f.ingest(&ais_report(9, 60, 43.0, 5.0015));
+        assert_eq!(tid, rid, "AIS adopted the radar track");
+        let track = f.track(tid).unwrap();
+        assert_eq!(track.identity, Some(9));
+        assert_eq!(f.stats().0, 1);
+    }
+
+    #[test]
+    fn teleport_reinitialises_filter() {
+        let mut f = Fuser::new(FuserConfig::default());
+        for i in 0..4 {
+            f.ingest(&ais_report(7, i * 10, 43.0, 5.0 + i as f64 * 0.0005));
+        }
+        // GPS-spoofed jump of ~60 km.
+        let tid = f.ingest(&ais_report(7, 50, 43.5, 5.5));
+        let track = f.track(tid).unwrap();
+        assert_eq!(track.reinit_count, 1);
+        // Filter followed the claimed position.
+        assert!(mda_geo::distance::haversine_m(track.position(), Position::new(43.5, 5.5)) < 100.0);
+    }
+
+    #[test]
+    fn lifecycle_coast_and_drop() {
+        let cfg = FuserConfig {
+            coast_timeout: MINUTE,
+            drop_timeout: 5 * MINUTE,
+            ..FuserConfig::default()
+        };
+        let mut f = Fuser::new(cfg);
+        for i in 0..3 {
+            f.ingest(&ais_report(7, i, 43.0, 5.0));
+        }
+        f.sweep(Timestamp::from_secs(2 + 90));
+        assert_eq!(f.track_of(7).unwrap().state, TrackState::Coasted);
+        let dropped = f.sweep(Timestamp::from_secs(2 + 400));
+        assert_eq!(dropped.len(), 1);
+        assert!(f.track_of(7).is_none());
+        assert_eq!(f.stats().2, 1);
+    }
+
+    #[test]
+    fn coasted_track_revives_on_update() {
+        let cfg = FuserConfig { coast_timeout: MINUTE, ..FuserConfig::default() };
+        let mut f = Fuser::new(cfg);
+        for i in 0..3 {
+            f.ingest(&ais_report(7, i * 10, 43.0, 5.0 + i as f64 * 0.0005));
+        }
+        f.sweep(Timestamp::from_secs(200));
+        assert_eq!(f.track_of(7).unwrap().state, TrackState::Coasted);
+        f.ingest(&ais_report(7, 210, 43.0, 5.004));
+        assert_eq!(f.track_of(7).unwrap().state, TrackState::Confirmed);
+    }
+
+    #[test]
+    fn scan_assignment_keeps_tracks_separate() {
+        let mut f = Fuser::new(FuserConfig::default());
+        // Two established tracks 2 km apart.
+        for i in 0..4 {
+            f.ingest(&ais_report(1, i * 10, 43.00, 5.000 + i as f64 * 0.0005));
+            f.ingest(&ais_report(2, i * 10, 43.02, 5.000 + i as f64 * 0.0005));
+        }
+        let scan = vec![radar_report(45, 43.00, 5.0022), radar_report(45, 43.02, 5.0022)];
+        let ids = f.ingest_scan(&scan);
+        assert_ne!(ids[0], ids[1], "each contact its own track");
+        assert_eq!(f.stats().0, 2, "no spurious tracks");
+    }
+
+    #[test]
+    fn scan_spawns_for_unmatched() {
+        let mut f = Fuser::new(FuserConfig::default());
+        let ids = f.ingest_scan(&[radar_report(0, 43.0, 5.0), radar_report(0, 44.0, 6.0)]);
+        assert_eq!(ids.len(), 2);
+        assert_eq!(f.stats().0, 2);
+    }
+
+    #[test]
+    fn fused_track_tracks_speed() {
+        let mut f = Fuser::new(FuserConfig::default());
+        let fix0 = Fix::new(5, Timestamp::from_secs(0), Position::new(43.0, 5.0), 12.0, 90.0);
+        for i in 0..30 {
+            let t = Timestamp::from_secs(i * 10);
+            let fix = Fix { t, pos: fix0.dead_reckon(t), ..fix0 };
+            f.ingest(&SensorReport::from_fix(SensorKind::AisTerrestrial, &fix));
+        }
+        let track = f.track_of(5).unwrap();
+        assert!((track.speed_kn() - 12.0).abs() < 1.0, "speed {}", track.speed_kn());
+    }
+}

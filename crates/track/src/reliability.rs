@@ -1,0 +1,149 @@
+//! Per-source reliability estimation from innovation statistics.
+//!
+//! §4 of the paper: "additional knowledge on sources' quality may help"
+//! resolve conflicting information, citing trust-assessment work
+//! (Ceolin et al.). The idea implemented here: for a well-calibrated
+//! sensor, the normalised innovation squared (NIS) of its measurements
+//! against the fused track is chi-square distributed with 2 degrees of
+//! freedom, i.e. mean 2. A source whose average NIS runs far above 2 is
+//! either mis-calibrated or lying; its reliability score decays
+//! accordingly and downstream fusion rules can discount it.
+
+use crate::sensor::SensorKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Exponentially weighted per-source NIS statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReliabilityMonitor {
+    stats: HashMap<SensorKind, SourceStats>,
+    /// EWMA factor (weight of the newest sample).
+    alpha: f64,
+}
+
+/// Statistics for one source.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SourceStats {
+    /// Exponentially weighted mean NIS.
+    pub ewma_nis: f64,
+    /// Total observations.
+    pub count: u64,
+    /// Observations that failed the 99% gate entirely.
+    pub gate_rejects: u64,
+}
+
+impl Default for SourceStats {
+    fn default() -> Self {
+        Self { ewma_nis: 2.0, count: 0, gate_rejects: 0 }
+    }
+}
+
+/// Expected NIS for a consistent 2-dof measurement.
+const EXPECTED_NIS: f64 = 2.0;
+
+impl ReliabilityMonitor {
+    /// New monitor with EWMA factor `alpha` in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        Self { stats: HashMap::new(), alpha }
+    }
+
+    /// Record one measurement's NIS (squared Mahalanobis innovation).
+    pub fn record(&mut self, kind: SensorKind, nis: f64) {
+        let alpha = self.alpha;
+        let s = self.stats.entry(kind).or_default();
+        s.count += 1;
+        s.ewma_nis = (1.0 - alpha) * s.ewma_nis + alpha * nis;
+        if nis > crate::associate::GATE_99 {
+            s.gate_rejects += 1;
+        }
+    }
+
+    /// Reliability score in `[0, 1]`: 1 for a calibrated source, decaying
+    /// exponentially as the average NIS exceeds its expectation.
+    pub fn score(&self, kind: SensorKind) -> f64 {
+        match self.stats.get(&kind) {
+            None => 1.0, // no evidence against an unseen source
+            Some(s) => {
+                let excess = (s.ewma_nis / EXPECTED_NIS - 1.0).max(0.0);
+                (-excess / 2.0).exp()
+            }
+        }
+    }
+
+    /// Raw statistics for one source.
+    pub fn stats(&self, kind: SensorKind) -> Option<&SourceStats> {
+        self.stats.get(&kind)
+    }
+
+    /// `(kind, score, ewma_nis, count)` rows for reporting.
+    pub fn report(&self) -> Vec<(SensorKind, f64, f64, u64)> {
+        let mut rows: Vec<_> = self
+            .stats
+            .iter()
+            .map(|(k, s)| (*k, self.score(*k), s.ewma_nis, s.count))
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unseen_source_fully_trusted() {
+        let m = ReliabilityMonitor::new(0.1);
+        assert_eq!(m.score(SensorKind::Radar), 1.0);
+    }
+
+    #[test]
+    fn calibrated_source_keeps_high_score() {
+        let mut m = ReliabilityMonitor::new(0.1);
+        for _ in 0..100 {
+            m.record(SensorKind::AisTerrestrial, 2.0); // exactly as expected
+        }
+        assert!(m.score(SensorKind::AisTerrestrial) > 0.99);
+    }
+
+    #[test]
+    fn inconsistent_source_decays() {
+        let mut m = ReliabilityMonitor::new(0.1);
+        for _ in 0..100 {
+            m.record(SensorKind::AisSatellite, 20.0); // 10x expectation
+        }
+        let s = m.score(SensorKind::AisSatellite);
+        assert!(s < 0.05, "score {s}");
+        assert!(m.stats(SensorKind::AisSatellite).unwrap().gate_rejects == 100);
+    }
+
+    #[test]
+    fn scores_order_sources_by_quality() {
+        let mut m = ReliabilityMonitor::new(0.2);
+        for _ in 0..50 {
+            m.record(SensorKind::AisTerrestrial, 1.8);
+            m.record(SensorKind::Radar, 4.0);
+            m.record(SensorKind::Vms, 10.0);
+        }
+        let report = m.report();
+        assert_eq!(report[0].0, SensorKind::AisTerrestrial);
+        assert_eq!(report[2].0, SensorKind::Vms);
+        assert!(report[0].1 > report[1].1 && report[1].1 > report[2].1);
+    }
+
+    #[test]
+    fn recovery_after_bad_period() {
+        let mut m = ReliabilityMonitor::new(0.2);
+        for _ in 0..20 {
+            m.record(SensorKind::Vms, 30.0);
+        }
+        let bad = m.score(SensorKind::Vms);
+        for _ in 0..60 {
+            m.record(SensorKind::Vms, 2.0);
+        }
+        let recovered = m.score(SensorKind::Vms);
+        assert!(recovered > bad, "EWMA forgets: {bad} -> {recovered}");
+        assert!(recovered > 0.9);
+    }
+}

@@ -1,0 +1,278 @@
+//! Dempster–Shafer evidence theory on small frames of discernment.
+//!
+//! Evidence theory lets a source say "I believe it is a fishing vessel
+//! or a trawler, but I cannot tell which" — mass on a *set* of
+//! hypotheses — which probabilities cannot express. The paper cites the
+//! Dubois–Liu–Ma–Prade survey of combination rules; the two classical
+//! rules implemented here differ exactly in how they treat conflict:
+//! Dempster renormalises it away, Yager moves it to total ignorance.
+//!
+//! Frames are limited to 16 hypotheses; focal elements are bitmasks.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A set of hypotheses as a bitmask over the frame.
+pub type HypSet = u16;
+
+/// A basic probability assignment (mass function) over a frame of
+/// `frame_size` hypotheses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MassFunction {
+    frame_size: u8,
+    /// Mass per focal element (nonzero masses only).
+    masses: BTreeMap<HypSet, f64>,
+}
+
+impl MassFunction {
+    /// The vacuous mass function: all mass on the full frame (total
+    /// ignorance).
+    pub fn vacuous(frame_size: u8) -> Self {
+        assert!((1..=16).contains(&frame_size));
+        let mut masses = BTreeMap::new();
+        masses.insert(Self::full_frame(frame_size), 1.0);
+        Self { frame_size, masses }
+    }
+
+    /// Build from `(set, mass)` pairs; masses must be non-negative and
+    /// sum to 1 (±1e-9), with no mass on the empty set.
+    pub fn from_masses(
+        frame_size: u8,
+        pairs: impl IntoIterator<Item = (HypSet, f64)>,
+    ) -> Result<Self, String> {
+        assert!((1..=16).contains(&frame_size));
+        let full = Self::full_frame(frame_size);
+        let mut masses = BTreeMap::new();
+        let mut total = 0.0;
+        for (set, m) in pairs {
+            if set == 0 {
+                return Err("mass on the empty set".into());
+            }
+            if set & !full != 0 {
+                return Err("focal element outside the frame".into());
+            }
+            if m < 0.0 {
+                return Err("negative mass".into());
+            }
+            if m > 0.0 {
+                *masses.entry(set).or_insert(0.0) += m;
+                total += m;
+            }
+        }
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(format!("masses sum to {total}, not 1"));
+        }
+        Ok(Self { frame_size, masses })
+    }
+
+    /// Bitmask of the full frame.
+    pub fn full_frame(frame_size: u8) -> HypSet {
+        if frame_size as u32 >= 16 {
+            u16::MAX
+        } else {
+            (1u16 << frame_size) - 1
+        }
+    }
+
+    /// Singleton set for hypothesis index `i`.
+    pub fn singleton(i: u8) -> HypSet {
+        1u16 << i
+    }
+
+    /// Frame size.
+    pub fn frame_size(&self) -> u8 {
+        self.frame_size
+    }
+
+    /// Mass of one focal element.
+    pub fn mass(&self, set: HypSet) -> f64 {
+        self.masses.get(&set).copied().unwrap_or(0.0)
+    }
+
+    /// Belief: total mass of subsets of `set`.
+    pub fn belief(&self, set: HypSet) -> f64 {
+        self.masses
+            .iter()
+            .filter(|(s, _)| **s & !set == 0)
+            .map(|(_, m)| m)
+            .sum()
+    }
+
+    /// Plausibility: total mass of sets intersecting `set`.
+    pub fn plausibility(&self, set: HypSet) -> f64 {
+        self.masses
+            .iter()
+            .filter(|(s, _)| **s & set != 0)
+            .map(|(_, m)| m)
+            .sum()
+    }
+
+    /// Dempster's rule of combination. Returns the combined mass and the
+    /// conflict mass `K` that was renormalised away; errors when the two
+    /// pieces of evidence are in total conflict (`K = 1`).
+    pub fn combine_dempster(&self, other: &MassFunction) -> Result<(MassFunction, f64), String> {
+        let (joint, conflict) = self.joint(other)?;
+        if (1.0 - conflict).abs() < 1e-12 {
+            return Err("total conflict: Dempster's rule undefined".into());
+        }
+        let z = 1.0 - conflict;
+        let masses = joint.into_iter().map(|(s, m)| (s, m / z)).collect();
+        Ok((MassFunction { frame_size: self.frame_size, masses }, conflict))
+    }
+
+    /// Yager's rule: conflict mass goes to the full frame (ignorance)
+    /// instead of being renormalised. More cautious under high conflict —
+    /// the behaviour preferred for deceptive sources.
+    pub fn combine_yager(&self, other: &MassFunction) -> Result<MassFunction, String> {
+        let (mut joint, conflict) = self.joint(other)?;
+        if conflict > 0.0 {
+            *joint.entry(Self::full_frame(self.frame_size)).or_insert(0.0) += conflict;
+        }
+        Ok(MassFunction { frame_size: self.frame_size, masses: joint })
+    }
+
+    fn joint(&self, other: &MassFunction) -> Result<(BTreeMap<HypSet, f64>, f64), String> {
+        if self.frame_size != other.frame_size {
+            return Err("frames differ".into());
+        }
+        let mut joint: BTreeMap<HypSet, f64> = BTreeMap::new();
+        let mut conflict = 0.0;
+        for (&a, &ma) in &self.masses {
+            for (&b, &mb) in &other.masses {
+                let inter = a & b;
+                let m = ma * mb;
+                if inter == 0 {
+                    conflict += m;
+                } else {
+                    *joint.entry(inter).or_insert(0.0) += m;
+                }
+            }
+        }
+        Ok((joint, conflict))
+    }
+
+    /// Pignistic transform: spread each focal mass uniformly over its
+    /// members, yielding a probability per hypothesis index.
+    pub fn pignistic(&self) -> Vec<f64> {
+        let mut p = vec![0.0; self.frame_size as usize];
+        for (&set, &m) in &self.masses {
+            let card = set.count_ones() as f64;
+            for (i, pi) in p.iter_mut().enumerate() {
+                if set & (1 << i) != 0 {
+                    *pi += m / card;
+                }
+            }
+        }
+        p
+    }
+
+    /// Total mass (should always be 1; exposed for property tests).
+    pub fn total(&self) -> f64 {
+        self.masses.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Frame: 0 = innocent, 1 = smuggler, 2 = fishing-illegally.
+    const INNOCENT: HypSet = 0b001;
+    const SMUGGLER: HypSet = 0b010;
+    const ILLEGAL: HypSet = 0b100;
+
+    fn mf(pairs: &[(HypSet, f64)]) -> MassFunction {
+        MassFunction::from_masses(3, pairs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn vacuous_is_ignorant() {
+        let v = MassFunction::vacuous(3);
+        assert_eq!(v.belief(SMUGGLER), 0.0);
+        assert_eq!(v.plausibility(SMUGGLER), 1.0);
+        assert!((v.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn belief_le_plausibility() {
+        let m = mf(&[(SMUGGLER, 0.5), (SMUGGLER | ILLEGAL, 0.3), (0b111, 0.2)]);
+        for set in [INNOCENT, SMUGGLER, ILLEGAL, SMUGGLER | ILLEGAL] {
+            assert!(m.belief(set) <= m.plausibility(set) + 1e-12);
+        }
+        assert!((m.belief(SMUGGLER) - 0.5).abs() < 1e-12);
+        assert!((m.plausibility(SMUGGLER) - 1.0).abs() < 1e-12);
+        assert!((m.belief(SMUGGLER | ILLEGAL) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dempster_combination_reinforces() {
+        // Two independent sources both lean "smuggler".
+        let a = mf(&[(SMUGGLER, 0.6), (0b111, 0.4)]);
+        let b = mf(&[(SMUGGLER, 0.7), (0b111, 0.3)]);
+        let (c, k) = a.combine_dempster(&b).unwrap();
+        assert_eq!(k, 0.0, "no conflict between these");
+        assert!(c.belief(SMUGGLER) > 0.85, "bel {}", c.belief(SMUGGLER));
+        assert!((c.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dempster_handles_conflict() {
+        let a = mf(&[(SMUGGLER, 0.9), (0b111, 0.1)]);
+        let b = mf(&[(INNOCENT, 0.9), (0b111, 0.1)]);
+        let (c, k) = a.combine_dempster(&b).unwrap();
+        assert!(k > 0.8, "conflict {k}");
+        // Zadeh's paradox territory: Dempster still commits.
+        assert!((c.total() - 1.0).abs() < 1e-12);
+        assert!(c.belief(SMUGGLER) > 0.0 && c.belief(INNOCENT) > 0.0);
+    }
+
+    #[test]
+    fn total_conflict_is_an_error() {
+        let a = mf(&[(SMUGGLER, 1.0)]);
+        let b = mf(&[(INNOCENT, 1.0)]);
+        assert!(a.combine_dempster(&b).is_err());
+        // Yager handles it: everything becomes ignorance.
+        let y = a.combine_yager(&b).unwrap();
+        assert!((y.mass(0b111) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn yager_is_more_cautious_than_dempster() {
+        let a = mf(&[(SMUGGLER, 0.8), (0b111, 0.2)]);
+        let b = mf(&[(INNOCENT, 0.8), (0b111, 0.2)]);
+        let (d, _) = a.combine_dempster(&b).unwrap();
+        let y = a.combine_yager(&b).unwrap();
+        assert!(y.belief(SMUGGLER) < d.belief(SMUGGLER));
+        assert!(y.mass(0b111) > 0.5, "conflict became ignorance");
+        assert!((y.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pignistic_spreads_set_mass() {
+        let m = mf(&[(SMUGGLER | ILLEGAL, 0.6), (INNOCENT, 0.4)]);
+        let p = m.pignistic();
+        assert!((p[0] - 0.4).abs() < 1e-12);
+        assert!((p[1] - 0.3).abs() < 1e-12);
+        assert!((p[2] - 0.3).abs() < 1e-12);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_masses_rejected() {
+        assert!(MassFunction::from_masses(3, [(0b000, 1.0)]).is_err());
+        assert!(MassFunction::from_masses(3, [(0b1000, 1.0)]).is_err());
+        assert!(MassFunction::from_masses(3, [(0b001, 0.5)]).is_err());
+        assert!(MassFunction::from_masses(3, [(0b001, -0.5), (0b010, 1.5)]).is_err());
+    }
+
+    #[test]
+    fn combination_is_commutative() {
+        let a = mf(&[(SMUGGLER, 0.5), (SMUGGLER | ILLEGAL, 0.2), (0b111, 0.3)]);
+        let b = mf(&[(ILLEGAL, 0.4), (0b111, 0.6)]);
+        let (ab, _) = a.combine_dempster(&b).unwrap();
+        let (ba, _) = b.combine_dempster(&a).unwrap();
+        for set in 1..8u16 {
+            assert!((ab.mass(set) - ba.mass(set)).abs() < 1e-12);
+        }
+    }
+}

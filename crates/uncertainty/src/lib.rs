@@ -1,0 +1,33 @@
+//! Uncertainty representation and reasoning (paper §4).
+//!
+//! The paper argues that a maritime decision-support system must handle
+//! "the different nature of uncertainty (probabilistic, subjective,
+//! vague, ambiguous...)" and singles out three needs: probabilistic
+//! databases, *open-world* query answering (27% of ships go dark — what
+//! is absent from the AIS database is not false), and second-order
+//! uncertainty for communicating imperfect estimates faithfully.
+//!
+//! - [`prob`] — discrete distributions: normalisation, Bayesian update,
+//!   entropy.
+//! - [`evidence`] — Dempster–Shafer theory on small frames: mass
+//!   functions, belief/plausibility, Dempster's and Yager's combination
+//!   rules, pignistic transform.
+//! - [`possibility`] — possibility/necessity measures with min/max
+//!   combination.
+//! - [`interval`] — second-order uncertainty as probability intervals
+//!   with conservative interval arithmetic.
+//! - [`openworld`] — a probabilistic relation supporting closed-world
+//!   *and* open-world query semantics side by side; the C3 experiment
+//!   uses it to show what closed-world rendezvous queries miss.
+
+pub mod evidence;
+pub mod interval;
+pub mod openworld;
+pub mod possibility;
+pub mod prob;
+
+pub use evidence::MassFunction;
+pub use interval::ProbInterval;
+pub use openworld::{OpenWorldRelation, ProbTuple};
+pub use possibility::PossibilityDist;
+pub use prob::Distribution;

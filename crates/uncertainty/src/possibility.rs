@@ -1,0 +1,175 @@
+//! Possibility theory: an ordinal model of vague uncertainty.
+//!
+//! Where probabilities quantify frequency and masses quantify evidence,
+//! possibility degrees quantify *unsurprisingness*: "a speed of 25 kn is
+//! entirely possible for this vessel class, 40 kn only marginally so".
+//! The paper lists possibility theory among the representations needed
+//! to cope with the vague/ambiguous end of maritime uncertainty.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A possibility distribution over labelled outcomes, values in `[0,1]`.
+///
+/// Normalised means at least one outcome is fully possible (π = 1).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PossibilityDist {
+    pi: BTreeMap<String, f64>,
+}
+
+impl PossibilityDist {
+    /// Build from `(outcome, possibility)` pairs; values clamp to `[0,1]`.
+    pub fn from_degrees<I: IntoIterator<Item = (S, f64)>, S: Into<String>>(pairs: I) -> Self {
+        let mut pi = BTreeMap::new();
+        for (o, v) in pairs {
+            pi.insert(o.into(), v.clamp(0.0, 1.0));
+        }
+        Self { pi }
+    }
+
+    /// Possibility degree of one outcome (0 if unknown).
+    pub fn possibility(&self, outcome: &str) -> f64 {
+        self.pi.get(outcome).copied().unwrap_or(0.0)
+    }
+
+    /// Possibility of a *set* of outcomes: the max over members.
+    pub fn possibility_of(&self, outcomes: &[&str]) -> f64 {
+        outcomes.iter().map(|o| self.possibility(o)).fold(0.0, f64::max)
+    }
+
+    /// Necessity of a set: 1 − possibility of its complement.
+    pub fn necessity_of(&self, outcomes: &[&str]) -> f64 {
+        let complement_max = self
+            .pi
+            .iter()
+            .filter(|(o, _)| !outcomes.contains(&o.as_str()))
+            .map(|(_, v)| *v)
+            .fold(0.0, f64::max);
+        1.0 - complement_max
+    }
+
+    /// True if some outcome is fully possible.
+    pub fn is_normalised(&self) -> bool {
+        self.pi.values().any(|v| (*v - 1.0).abs() < 1e-12)
+    }
+
+    /// Renormalise so the max degree becomes 1 (no-op on the empty
+    /// distribution).
+    pub fn normalise(&mut self) {
+        let max = self.pi.values().fold(0.0f64, |a, b| a.max(*b));
+        if max > 0.0 {
+            for v in self.pi.values_mut() {
+                *v /= max;
+            }
+        }
+    }
+
+    /// Conjunctive (min) combination: both sources must find an outcome
+    /// possible. May yield a sub-normalised result under conflict; the
+    /// degree of sub-normalisation is the inconsistency of the sources.
+    pub fn combine_min(&self, other: &PossibilityDist) -> PossibilityDist {
+        let keys: std::collections::BTreeSet<&String> =
+            self.pi.keys().chain(other.pi.keys()).collect();
+        let pi = keys
+            .into_iter()
+            .map(|k| {
+                (
+                    k.clone(),
+                    self.possibility(k).min(other.possibility(k)),
+                )
+            })
+            .collect();
+        PossibilityDist { pi }
+    }
+
+    /// Disjunctive (max) combination: either source suffices. Used when
+    /// sources are alternatives rather than corroborating.
+    pub fn combine_max(&self, other: &PossibilityDist) -> PossibilityDist {
+        let keys: std::collections::BTreeSet<&String> =
+            self.pi.keys().chain(other.pi.keys()).collect();
+        let pi = keys
+            .into_iter()
+            .map(|k| (k.clone(), self.possibility(k).max(other.possibility(k))))
+            .collect();
+        PossibilityDist { pi }
+    }
+
+    /// Inconsistency of two sources: `1 − max_x min(π1, π2)`.
+    pub fn inconsistency_with(&self, other: &PossibilityDist) -> f64 {
+        let joint = self.combine_min(other);
+        1.0 - joint.pi.values().fold(0.0f64, |a, b| a.max(*b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vessel_speed_profile() -> PossibilityDist {
+        PossibilityDist::from_degrees([
+            ("slow", 1.0),
+            ("cruise", 1.0),
+            ("fast", 0.6),
+            ("impossible", 0.0),
+        ])
+    }
+
+    #[test]
+    fn possibility_and_necessity_duality() {
+        let d = vessel_speed_profile();
+        assert_eq!(d.possibility("cruise"), 1.0);
+        assert_eq!(d.possibility("unknown"), 0.0);
+        // Necessity of a set is low while its complement stays possible.
+        assert_eq!(d.necessity_of(&["cruise"]), 0.0);
+        // Necessity of everything-but-impossible is 1.
+        assert_eq!(d.necessity_of(&["slow", "cruise", "fast"]), 1.0);
+        // N(A) <= Π(A).
+        for set in [vec!["slow"], vec!["fast"], vec!["slow", "fast"]] {
+            let refs: Vec<&str> = set.clone();
+            assert!(d.necessity_of(&refs) <= d.possibility_of(&refs) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn set_possibility_is_max() {
+        let d = vessel_speed_profile();
+        assert_eq!(d.possibility_of(&["fast", "impossible"]), 0.6);
+        assert_eq!(d.possibility_of(&["slow", "fast"]), 1.0);
+        assert_eq!(d.possibility_of(&[]), 0.0);
+    }
+
+    #[test]
+    fn min_combination_detects_conflict() {
+        let radar = PossibilityDist::from_degrees([("north", 1.0), ("south", 0.2)]);
+        let ais = PossibilityDist::from_degrees([("north", 0.1), ("south", 1.0)]);
+        let joint = radar.combine_min(&ais);
+        assert!(!joint.is_normalised(), "conflict sub-normalises");
+        let inc = radar.inconsistency_with(&ais);
+        assert!((inc - 0.8).abs() < 1e-12, "inconsistency {inc}");
+    }
+
+    #[test]
+    fn max_combination_is_permissive() {
+        let a = PossibilityDist::from_degrees([("x", 0.3)]);
+        let b = PossibilityDist::from_degrees([("y", 0.9)]);
+        let j = a.combine_max(&b);
+        assert_eq!(j.possibility("x"), 0.3);
+        assert_eq!(j.possibility("y"), 0.9);
+    }
+
+    #[test]
+    fn normalise_rescales() {
+        let mut d = PossibilityDist::from_degrees([("a", 0.4), ("b", 0.2)]);
+        assert!(!d.is_normalised());
+        d.normalise();
+        assert!(d.is_normalised());
+        assert!((d.possibility("b") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrees_clamped_to_unit_interval() {
+        let d = PossibilityDist::from_degrees([("a", 3.0), ("b", -1.0)]);
+        assert_eq!(d.possibility("a"), 1.0);
+        assert_eq!(d.possibility("b"), 0.0);
+    }
+}

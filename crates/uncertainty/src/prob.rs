@@ -1,0 +1,172 @@
+//! Discrete probability distributions over labelled outcomes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A discrete distribution over string-labelled outcomes.
+///
+/// Stored unnormalised internally; queries normalise on the fly so that
+/// evidence can be accumulated multiplicatively without rescaling.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Distribution {
+    weights: BTreeMap<String, f64>,
+}
+
+impl Distribution {
+    /// Empty distribution (no support).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Uniform distribution over `outcomes`.
+    pub fn uniform<I: IntoIterator<Item = S>, S: Into<String>>(outcomes: I) -> Self {
+        let mut weights = BTreeMap::new();
+        for o in outcomes {
+            weights.insert(o.into(), 1.0);
+        }
+        Self { weights }
+    }
+
+    /// From explicit `(outcome, weight)` pairs; negative weights are
+    /// clamped to zero.
+    pub fn from_weights<I: IntoIterator<Item = (S, f64)>, S: Into<String>>(pairs: I) -> Self {
+        let mut weights = BTreeMap::new();
+        for (o, w) in pairs {
+            weights.insert(o.into(), w.max(0.0));
+        }
+        Self { weights }
+    }
+
+    /// Total unnormalised mass.
+    pub fn total(&self) -> f64 {
+        self.weights.values().sum()
+    }
+
+    /// Number of outcomes with nonzero weight.
+    pub fn support(&self) -> usize {
+        self.weights.values().filter(|w| **w > 0.0).count()
+    }
+
+    /// Normalised probability of one outcome (0 if unknown or if the
+    /// distribution is empty).
+    pub fn p(&self, outcome: &str) -> f64 {
+        let z = self.total();
+        if z <= 0.0 {
+            return 0.0;
+        }
+        self.weights.get(outcome).copied().unwrap_or(0.0) / z
+    }
+
+    /// Multiply in a likelihood for one outcome (Bayesian update with a
+    /// point likelihood). Unknown outcomes are ignored.
+    pub fn update(&mut self, outcome: &str, likelihood: f64) {
+        if let Some(w) = self.weights.get_mut(outcome) {
+            *w *= likelihood.max(0.0);
+        }
+    }
+
+    /// Multiply in a full likelihood function.
+    pub fn update_all(&mut self, likelihood: impl Fn(&str) -> f64) {
+        for (o, w) in self.weights.iter_mut() {
+            *w *= likelihood(o).max(0.0);
+        }
+    }
+
+    /// The most probable outcome, if any mass remains.
+    pub fn map_estimate(&self) -> Option<(&str, f64)> {
+        let z = self.total();
+        if z <= 0.0 {
+            return None;
+        }
+        self.weights
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(o, w)| (o.as_str(), w / z))
+    }
+
+    /// Shannon entropy in bits of the normalised distribution.
+    pub fn entropy_bits(&self) -> f64 {
+        let z = self.total();
+        if z <= 0.0 {
+            return 0.0;
+        }
+        -self
+            .weights
+            .values()
+            .filter(|w| **w > 0.0)
+            .map(|w| {
+                let p = w / z;
+                p * p.log2()
+            })
+            .sum::<f64>()
+    }
+
+    /// Iterate over `(outcome, normalised probability)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        let z = self.total();
+        self.weights.iter().map(move |(o, w)| {
+            (o.as_str(), if z > 0.0 { w / z } else { 0.0 })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_probabilities() {
+        let d = Distribution::uniform(["cargo", "tanker", "fishing", "other"]);
+        assert_eq!(d.support(), 4);
+        assert!((d.p("cargo") - 0.25).abs() < 1e-12);
+        assert_eq!(d.p("submarine"), 0.0);
+    }
+
+    #[test]
+    fn bayes_update_shifts_mass() {
+        let mut d = Distribution::uniform(["cargo", "fishing"]);
+        // Loitering behaviour: 5x more likely for fishing vessels.
+        d.update("fishing", 5.0);
+        assert!((d.p("fishing") - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(d.map_estimate().unwrap().0, "fishing");
+    }
+
+    #[test]
+    fn update_all_with_likelihood_fn() {
+        let mut d = Distribution::uniform(["a", "b", "c"]);
+        d.update_all(|o| if o == "b" { 0.0 } else { 1.0 });
+        assert_eq!(d.p("b"), 0.0);
+        assert!((d.p("a") - 0.5).abs() < 1e-12);
+        assert_eq!(d.support(), 2);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        let u = Distribution::uniform(["a", "b", "c", "d"]);
+        assert!((u.entropy_bits() - 2.0).abs() < 1e-12);
+        let p = Distribution::from_weights([("a", 1.0), ("b", 0.0)]);
+        assert_eq!(p.entropy_bits(), 0.0);
+    }
+
+    #[test]
+    fn empty_distribution_is_harmless() {
+        let d = Distribution::new();
+        assert_eq!(d.p("anything"), 0.0);
+        assert!(d.map_estimate().is_none());
+        assert_eq!(d.entropy_bits(), 0.0);
+    }
+
+    #[test]
+    fn negative_weights_clamped() {
+        let d = Distribution::from_weights([("a", -5.0), ("b", 1.0)]);
+        assert_eq!(d.p("a"), 0.0);
+        assert_eq!(d.p("b"), 1.0);
+    }
+
+    #[test]
+    fn iter_sums_to_one() {
+        let d = Distribution::from_weights([("a", 2.0), ("b", 3.0), ("c", 5.0)]);
+        let total: f64 = d.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

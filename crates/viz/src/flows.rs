@@ -1,0 +1,130 @@
+//! Origin/destination flow aggregation between named regions.
+//!
+//! Tracks each vessel's last visited region and counts transitions — the
+//! aggregation behind flow maps ("computing an overall operational
+//! picture of mobility at desired scales").
+
+use mda_geo::{Polygon, Position, VesselId};
+use std::collections::HashMap;
+
+/// A flow matrix over named regions.
+#[derive(Debug)]
+pub struct FlowMatrix {
+    regions: Vec<(String, Polygon)>,
+    last_region: HashMap<VesselId, usize>,
+    /// counts[(from, to)] = transitions.
+    counts: HashMap<(usize, usize), u64>,
+}
+
+impl FlowMatrix {
+    /// New matrix over the given regions.
+    pub fn new(regions: Vec<(String, Polygon)>) -> Self {
+        Self { regions, last_region: HashMap::new(), counts: HashMap::new() }
+    }
+
+    /// Region index containing a position.
+    fn region_of(&self, p: Position) -> Option<usize> {
+        self.regions.iter().position(|(_, poly)| poly.contains(p))
+    }
+
+    /// Observe a vessel position; counts a transition when the vessel
+    /// moves from one region to a different one.
+    pub fn observe(&mut self, vessel: VesselId, p: Position) {
+        let Some(here) = self.region_of(p) else { return };
+        match self.last_region.insert(vessel, here) {
+            Some(prev) if prev != here => {
+                *self.counts.entry((prev, here)).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Transition count between two named regions.
+    pub fn flow(&self, from: &str, to: &str) -> u64 {
+        let Some(f) = self.regions.iter().position(|(n, _)| n == from) else { return 0 };
+        let Some(t) = self.regions.iter().position(|(n, _)| n == to) else { return 0 };
+        self.counts.get(&(f, t)).copied().unwrap_or(0)
+    }
+
+    /// All flows as `(from, to, count)`, heaviest first.
+    pub fn top_flows(&self) -> Vec<(&str, &str, u64)> {
+        let mut rows: Vec<(&str, &str, u64)> = self
+            .counts
+            .iter()
+            .map(|((f, t), c)| {
+                (self.regions[*f].0.as_str(), self.regions[*t].0.as_str(), *c)
+            })
+            .collect();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)).then(a.1.cmp(b.1)));
+        rows
+    }
+
+    /// Total transitions counted.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::BoundingBox;
+
+    fn regions() -> Vec<(String, Polygon)> {
+        vec![
+            ("A".to_string(), Polygon::rectangle(BoundingBox::new(0.0, 0.0, 1.0, 1.0))),
+            ("B".to_string(), Polygon::rectangle(BoundingBox::new(0.0, 2.0, 1.0, 3.0))),
+            ("C".to_string(), Polygon::rectangle(BoundingBox::new(2.0, 0.0, 3.0, 1.0))),
+        ]
+    }
+
+    #[test]
+    fn transitions_counted() {
+        let mut m = FlowMatrix::new(regions());
+        m.observe(1, Position::new(0.5, 0.5)); // A
+        m.observe(1, Position::new(0.5, 2.5)); // B
+        m.observe(1, Position::new(0.5, 0.5)); // back to A
+        assert_eq!(m.flow("A", "B"), 1);
+        assert_eq!(m.flow("B", "A"), 1);
+        assert_eq!(m.flow("A", "C"), 0);
+        assert_eq!(m.total(), 2);
+    }
+
+    #[test]
+    fn open_water_does_not_reset_origin() {
+        let mut m = FlowMatrix::new(regions());
+        m.observe(1, Position::new(0.5, 0.5)); // A
+        m.observe(1, Position::new(1.5, 1.5)); // open water: ignored
+        m.observe(1, Position::new(0.5, 2.5)); // B
+        assert_eq!(m.flow("A", "B"), 1);
+    }
+
+    #[test]
+    fn staying_in_region_is_not_a_flow() {
+        let mut m = FlowMatrix::new(regions());
+        for _ in 0..10 {
+            m.observe(1, Position::new(0.5, 0.5));
+        }
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn vessels_independent_and_top_flows_sorted() {
+        let mut m = FlowMatrix::new(regions());
+        for v in 1..=3u32 {
+            m.observe(v, Position::new(0.5, 0.5)); // A
+            m.observe(v, Position::new(0.5, 2.5)); // B
+        }
+        m.observe(1, Position::new(2.5, 0.5)); // B -> C
+        let flows = m.top_flows();
+        assert_eq!(flows[0], ("A", "B", 3));
+        assert_eq!(flows[1], ("B", "C", 1));
+    }
+
+    #[test]
+    fn unknown_region_names() {
+        let m = FlowMatrix::new(regions());
+        assert_eq!(m.flow("X", "A"), 0);
+        assert_eq!(m.flow("A", "Y"), 0);
+    }
+}

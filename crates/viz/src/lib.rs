@@ -1,0 +1,27 @@
+//! Visual analytics substrate (paper §3.2).
+//!
+//! No widgets — the computational layer every maritime VA tool needs:
+//!
+//! - [`raster`] — density rasters over a region (the data behind
+//!   Figure 1's coverage map).
+//! - [`render`] — ASCII and PPM renderings of rasters, so examples and
+//!   experiments can *show* spatial results in a terminal or file.
+//! - [`pyramid`] — multi-resolution aggregation with drill-down /
+//!   zoom-in queries ("scalable spatio-temporal analytical querying" at
+//!   "desired scales and levels of detail").
+//! - [`timeseries`] — time histograms for the temporal dimension of the
+//!   operator picture.
+//! - [`flows`] — origin/destination flow aggregation between named
+//!   regions (the flow-map building block).
+
+pub mod flows;
+pub mod pyramid;
+pub mod raster;
+pub mod render;
+pub mod timeseries;
+
+pub use flows::FlowMatrix;
+pub use pyramid::AggregationPyramid;
+pub use raster::DensityRaster;
+pub use render::{render_ascii, render_ppm};
+pub use timeseries::TimeHistogram;

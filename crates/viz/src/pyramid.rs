@@ -1,0 +1,194 @@
+//! Multi-resolution aggregation pyramids for drill-down queries.
+//!
+//! Level 0 is the finest raster; each coarser level aggregates 2×2
+//! blocks. Region sums at any zoom level are O(cells at that level),
+//! which is what makes "zoom-in on user-defined spatio-temporal regions"
+//! interactive instead of a re-scan.
+
+use crate::raster::DensityRaster;
+use mda_geo::{BoundingBox, Position};
+
+/// A stack of rasters from fine (level 0) to coarse.
+#[derive(Debug, Clone)]
+pub struct AggregationPyramid {
+    levels: Vec<DensityRaster>,
+}
+
+impl AggregationPyramid {
+    /// Build from positions: level 0 has `base_rows × base_cols` cells
+    /// (both must be powers of two), plus `ceil(log2)` coarser levels
+    /// down to 1×1.
+    pub fn build(
+        bounds: BoundingBox,
+        base_rows: usize,
+        base_cols: usize,
+        positions: impl IntoIterator<Item = Position>,
+    ) -> Self {
+        assert!(base_rows.is_power_of_two() && base_cols.is_power_of_two());
+        let mut base = DensityRaster::new(bounds, base_rows, base_cols);
+        for p in positions {
+            base.add(p);
+        }
+        Self::from_base(base)
+    }
+
+    /// Build the coarser levels above an existing base raster.
+    pub fn from_base(base: DensityRaster) -> Self {
+        let (rows, cols) = base.shape();
+        assert!(rows.is_power_of_two() && cols.is_power_of_two());
+        let mut levels = vec![base];
+        loop {
+            let prev = levels.last().expect("at least the base");
+            let (pr, pc) = prev.shape();
+            if pr == 1 && pc == 1 {
+                break;
+            }
+            let nr = (pr / 2).max(1);
+            let nc = (pc / 2).max(1);
+            let mut next = DensityRaster::new(*prev.bounds(), nr, nc);
+            // Aggregate counts directly (not via add) by summing blocks.
+            for r in 0..nr {
+                for c in 0..nc {
+                    let sum = prev.window_sum(
+                        r * pr / nr,
+                        c * pc / nc,
+                        (r + 1) * pr / nr - 1,
+                        (c + 1) * pc / nc - 1,
+                    );
+                    next.set_count(r, c, sum);
+                }
+            }
+            levels.push(next);
+        }
+        Self { levels }
+    }
+
+    /// Number of levels (level 0 = finest).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The raster at a level.
+    pub fn level(&self, level: usize) -> &DensityRaster {
+        &self.levels[level]
+    }
+
+    /// Total observations (identical at every level).
+    pub fn total(&self) -> u64 {
+        self.levels[0].total()
+    }
+
+    /// Sum of observations inside `area`, evaluated at the given level
+    /// (coarser levels answer faster but with cell-granular boundaries).
+    pub fn region_sum(&self, level: usize, area: &BoundingBox) -> u64 {
+        let raster = &self.levels[level];
+        let b = raster.bounds();
+        let (rows, cols) = raster.shape();
+        if !b.intersects(area) {
+            return 0;
+        }
+        let clamp = |v: f64, max: usize| (v.max(0.0) as usize).min(max - 1);
+        let r0 = clamp((area.min_lat - b.min_lat) / b.lat_span() * rows as f64, rows);
+        let r1 = clamp((area.max_lat - b.min_lat) / b.lat_span() * rows as f64, rows);
+        let c0 = clamp((area.min_lon - b.min_lon) / b.lon_span() * cols as f64, cols);
+        let c1 = clamp((area.max_lon - b.min_lon) / b.lon_span() * cols as f64, cols);
+        raster.window_sum(r0, c0, r1, c1)
+    }
+}
+
+impl DensityRaster {
+    /// Overwrite one cell's count (pyramid construction only).
+    pub(crate) fn set_count(&mut self, row: usize, col: usize, value: u64) {
+        let (_, cols) = self.shape();
+        let idx = row * cols + col;
+        let old = self.counts_mut()[idx];
+        self.counts_mut()[idx] = value;
+        self.adjust_total(value as i64 - old as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn positions() -> Vec<Position> {
+        // 64 positions clustered in the NE quadrant plus 8 scattered SW.
+        let mut out = Vec::new();
+        for i in 0..64 {
+            out.push(Position::new(
+                6.0 + (i % 8) as f64 * 0.2,
+                6.0 + (i / 8) as f64 * 0.2,
+            ));
+        }
+        for i in 0..8 {
+            out.push(Position::new(1.0 + i as f64 * 0.1, 1.5));
+        }
+        out
+    }
+
+    fn pyramid() -> AggregationPyramid {
+        AggregationPyramid::build(
+            BoundingBox::new(0.0, 0.0, 8.0, 8.0),
+            16,
+            16,
+            positions(),
+        )
+    }
+
+    #[test]
+    fn level_structure() {
+        let p = pyramid();
+        assert_eq!(p.level_count(), 5); // 16,8,4,2,1
+        assert_eq!(p.level(0).shape(), (16, 16));
+        assert_eq!(p.level(4).shape(), (1, 1));
+    }
+
+    #[test]
+    fn totals_preserved_across_levels() {
+        let p = pyramid();
+        for l in 0..p.level_count() {
+            let sum: u64 = p.level(l).counts().iter().sum();
+            assert_eq!(sum, 72, "level {l}");
+        }
+        assert_eq!(p.level(4).count(0, 0), 72);
+    }
+
+    #[test]
+    fn region_sum_consistent_across_levels() {
+        let p = pyramid();
+        // The NE quadrant aligns with cell boundaries at every level.
+        let ne = BoundingBox::new(4.0, 4.0, 7.99, 7.99);
+        for l in 0..p.level_count() - 1 {
+            assert_eq!(p.region_sum(l, &ne), 64, "level {l}");
+        }
+    }
+
+    #[test]
+    fn region_sum_disjoint_is_zero() {
+        let p = pyramid();
+        let outside = BoundingBox::new(20.0, 20.0, 30.0, 30.0);
+        assert_eq!(p.region_sum(0, &outside), 0);
+    }
+
+    #[test]
+    fn drill_down_refines() {
+        let p = pyramid();
+        // Small SW window: fine level separates it from the NE mass.
+        let sw = BoundingBox::new(0.5, 1.0, 2.0, 2.0);
+        let fine = p.region_sum(0, &sw);
+        assert_eq!(fine, 8);
+        // The coarsest level can only answer with everything.
+        assert_eq!(p.region_sum(p.level_count() - 1, &sw), 72);
+    }
+
+    #[test]
+    #[should_panic(expected = "power_of_two")]
+    fn non_power_of_two_rejected() {
+        let _ = AggregationPyramid::build(
+            BoundingBox::new(0.0, 0.0, 1.0, 1.0),
+            10,
+            10,
+            Vec::new(),
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Raster rendering: ASCII for terminals, PPM for files.
+
+use crate::raster::DensityRaster;
+
+/// Intensity ramp for ASCII rendering (space = empty).
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Render a raster as ASCII art, one character per cell, north up.
+/// Intensity is log-scaled so sparse ocean traffic remains visible next
+/// to dense port approaches (exactly the Figure-1 problem).
+pub fn render_ascii(raster: &DensityRaster) -> String {
+    let (rows, cols) = raster.shape();
+    let max = raster.max_count() as f64;
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for r in (0..rows).rev() {
+        for c in 0..cols {
+            let v = raster.count(r, c) as f64;
+            let ch = if v <= 0.0 || max <= 0.0 {
+                RAMP[0]
+            } else {
+                let intensity = (1.0 + v).ln() / (1.0 + max).ln();
+                let idx = (intensity * (RAMP.len() - 1) as f64).round() as usize;
+                RAMP[idx.clamp(1, RAMP.len() - 1)]
+            };
+            out.push(ch as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a raster as a binary-free plain PPM (P3) heat map string:
+/// black → red → yellow → white.
+pub fn render_ppm(raster: &DensityRaster) -> String {
+    let (rows, cols) = raster.shape();
+    let max = raster.max_count() as f64;
+    let mut out = String::with_capacity(rows * cols * 12 + 32);
+    out.push_str(&format!("P3\n{cols} {rows}\n255\n"));
+    for r in (0..rows).rev() {
+        for c in 0..cols {
+            let v = raster.count(r, c) as f64;
+            let i = if max <= 0.0 { 0.0 } else { (1.0 + v).ln() / (1.0 + max).ln() };
+            let (red, green, blue) = heat(i);
+            out.push_str(&format!("{red} {green} {blue} "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Heat colour map on `[0,1]`.
+fn heat(i: f64) -> (u8, u8, u8) {
+    let i = i.clamp(0.0, 1.0);
+    if i == 0.0 {
+        (8, 8, 32) // dark ocean blue
+    } else if i < 0.5 {
+        let f = i / 0.5;
+        ((255.0 * f) as u8, 0, (32.0 * (1.0 - f)) as u8)
+    } else {
+        let f = (i - 0.5) / 0.5;
+        (255, (255.0 * f) as u8, (64.0 * f) as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::{BoundingBox, Position};
+
+    fn raster_with_hotspot() -> DensityRaster {
+        let mut r = DensityRaster::new(BoundingBox::new(0.0, 0.0, 4.0, 4.0), 4, 4);
+        for _ in 0..100 {
+            r.add(Position::new(3.5, 0.5)); // top-left when rendered
+        }
+        r.add(Position::new(0.5, 3.5)); // single count bottom-right
+        r
+    }
+
+    #[test]
+    fn ascii_shape_and_orientation() {
+        let art = render_ascii(&raster_with_hotspot());
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == 4));
+        // Hotspot at high latitude renders on the FIRST line (north up).
+        assert_eq!(lines[0].as_bytes()[0], b'@');
+        // The single observation is visible but faint.
+        let last = lines[3].as_bytes()[3];
+        assert_ne!(last, b' ');
+        assert_ne!(last, b'@');
+    }
+
+    #[test]
+    fn empty_raster_renders_blank() {
+        let r = DensityRaster::new(BoundingBox::new(0.0, 0.0, 2.0, 2.0), 2, 2);
+        let art = render_ascii(&r);
+        assert_eq!(art, "  \n  \n");
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let ppm = render_ppm(&raster_with_hotspot());
+        assert!(ppm.starts_with("P3\n4 4\n255\n"));
+        // 16 pixels * 3 components.
+        let numbers: Vec<&str> =
+            ppm.lines().skip(3).flat_map(|l| l.split_whitespace()).collect();
+        assert_eq!(numbers.len(), 48);
+        for n in numbers {
+            let v: u32 = n.parse().expect("numeric component");
+            assert!(v <= 255);
+        }
+    }
+
+    #[test]
+    fn heat_endpoints() {
+        assert_eq!(heat(0.0), (8, 8, 32));
+        assert_eq!(heat(1.0), (255, 255, 64));
+        let (r, _, _) = heat(0.4);
+        assert!(r > 100);
+    }
+}

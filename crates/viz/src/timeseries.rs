@@ -1,0 +1,141 @@
+//! Time histograms for the temporal dimension of the operator picture.
+
+use mda_geo::{DurationMs, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width time histogram anchored at a start time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeHistogram {
+    start: Timestamp,
+    bucket: DurationMs,
+    counts: Vec<u64>,
+}
+
+impl TimeHistogram {
+    /// New histogram covering `[start, start + bucket * n)`.
+    pub fn new(start: Timestamp, bucket: DurationMs, n: usize) -> Self {
+        assert!(bucket > 0 && n > 0);
+        Self { start, bucket, counts: vec![0; n] }
+    }
+
+    /// Count an event; returns `false` (dropping it) when outside the
+    /// covered span.
+    pub fn add(&mut self, t: Timestamp) -> bool {
+        let offset = t - self.start;
+        if offset < 0 {
+            return false;
+        }
+        let idx = (offset / self.bucket) as usize;
+        if idx >= self.counts.len() {
+            return false;
+        }
+        self.counts[idx] += 1;
+        true
+    }
+
+    /// Bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total counted events.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The bucket with the highest count `(index, count)`.
+    pub fn peak(&self) -> (usize, u64) {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(i, c)| (i, *c))
+            .unwrap_or((0, 0))
+    }
+
+    /// Centred moving average with window `2k+1` (edges use partial
+    /// windows).
+    pub fn moving_average(&self, k: usize) -> Vec<f64> {
+        let n = self.counts.len();
+        (0..n)
+            .map(|i| {
+                let lo = i.saturating_sub(k);
+                let hi = (i + k).min(n - 1);
+                let sum: u64 = self.counts[lo..=hi].iter().sum();
+                sum as f64 / (hi - lo + 1) as f64
+            })
+            .collect()
+    }
+
+    /// A one-line sparkline of the histogram.
+    pub fn sparkline(&self) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        self.counts
+            .iter()
+            .map(|c| {
+                if max == 0 {
+                    BARS[0]
+                } else {
+                    BARS[((*c as f64 / max as f64) * 7.0).round() as usize]
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::time::MINUTE;
+
+    #[test]
+    fn bucketing() {
+        let mut h = TimeHistogram::new(Timestamp(0), MINUTE, 10);
+        assert!(h.add(Timestamp(30_000)));
+        assert!(h.add(Timestamp(59_999)));
+        assert!(h.add(Timestamp(60_000)));
+        assert!(!h.add(Timestamp(-1)));
+        assert!(!h.add(Timestamp(10 * MINUTE)));
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn peak_detection() {
+        let mut h = TimeHistogram::new(Timestamp(0), MINUTE, 5);
+        for _ in 0..7 {
+            h.add(Timestamp(3 * MINUTE + 1));
+        }
+        h.add(Timestamp(0));
+        assert_eq!(h.peak(), (3, 7));
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let mut h = TimeHistogram::new(Timestamp(0), MINUTE, 5);
+        for _ in 0..10 {
+            h.add(Timestamp(2 * MINUTE));
+        }
+        let ma = h.moving_average(1);
+        assert_eq!(ma.len(), 5);
+        assert!((ma[2] - 10.0 / 3.0).abs() < 1e-12);
+        assert!((ma[0] - 0.0).abs() < 1e-12);
+        // Mass is redistributed, peak flattened.
+        assert!(ma[2] < 10.0);
+    }
+
+    #[test]
+    fn sparkline_length_and_extremes() {
+        let mut h = TimeHistogram::new(Timestamp(0), MINUTE, 4);
+        for _ in 0..8 {
+            h.add(Timestamp(0));
+        }
+        h.add(Timestamp(MINUTE));
+        let s = h.sparkline();
+        assert_eq!(s.chars().count(), 4);
+        assert_eq!(s.chars().next().unwrap(), '█');
+        assert_eq!(s.chars().nth(3).unwrap(), '▁');
+    }
+}

@@ -1,0 +1,106 @@
+//! Collision watch: CPA/TCPA screening and trajectory forecasting.
+//!
+//! Builds a deliberate crossing situation, screens it with the
+//! collision detector, and shows how the three predictors of the
+//! forecasting layer diverge with horizon.
+//!
+//! ```sh
+//! cargo run --release --example collision_watch
+//! ```
+
+use maritime::events::engine::{EngineConfig, EventEngine};
+use maritime::events::EventKind;
+use maritime::forecast::{ConstantTurnPredictor, DeadReckoningPredictor, Predictor};
+use maritime::geo::distance::haversine_m;
+use maritime::geo::motion::cpa;
+use maritime::geo::time::MINUTE;
+use maritime::geo::{Fix, Position, Timestamp};
+
+fn main() {
+    // --- a crossing situation -----------------------------------------
+    // Ferry northbound at 18 kn; tanker eastbound at 12 kn, on course to
+    // pass very close in ~25 minutes.
+    let ferry0 = Fix::new(1, Timestamp::from_mins(0), Position::new(42.90, 5.10), 18.0, 0.0);
+    let cross = ferry0.dead_reckon(Timestamp::from_mins(25));
+    // Place the tanker so it reaches the same point at the same time.
+    let tanker_speed = 12.0;
+    let dist = maritime::geo::units::knots_to_mps(tanker_speed) * 25.0 * 60.0;
+    let tanker_start = maritime::geo::distance::destination(cross, 270.0, dist);
+    let tanker0 = Fix::new(2, Timestamp::from_mins(0), tanker_start, tanker_speed, 90.0);
+
+    let r = cpa(&ferry0, &tanker0);
+    println!(
+        "analytic CPA: {:.0} m in {:.1} min (collision-course geometry)",
+        r.dcpa_m,
+        r.tcpa_s / 60.0
+    );
+
+    // --- streaming screening -------------------------------------------
+    let mut engine = EventEngine::new(EngineConfig::default());
+    let mut alerts = Vec::new();
+    for minute in 0..30 {
+        let t = Timestamp::from_mins(minute);
+        for base in [&ferry0, &tanker0] {
+            let fix = Fix { t, pos: base.dead_reckon(t), ..*base };
+            alerts.extend(
+                engine
+                    .observe(&fix)
+                    .into_iter()
+                    .filter(|e| matches!(e.kind, EventKind::CollisionRisk { .. })),
+            );
+        }
+    }
+    println!("\nstreaming screening raised {} collision alert(s):", alerts.len());
+    for a in &alerts {
+        if let EventKind::CollisionRisk { other, dcpa_m, tcpa_s } = &a.kind {
+            println!(
+                "  t={} vessel {} vs {}: projected {:.0} m in {:.0} min",
+                a.t,
+                a.vessel,
+                other,
+                dcpa_m,
+                tcpa_s / 60.0
+            );
+        }
+    }
+
+    // --- forecasting divergence -----------------------------------------
+    // A vessel in a steady turn: dead reckoning vs constant-turn.
+    println!("\nforecast error vs horizon for a turning vessel (0.3°/s starboard):");
+    let mut history = Vec::new();
+    let mut pos = Position::new(43.0, 4.5);
+    let mut cog = 0.0f64;
+    let speed = 14.0;
+    for i in 0..10 {
+        history.push(Fix::new(3, Timestamp::from_secs(i * 60), pos, speed, cog));
+        pos = maritime::geo::distance::destination(
+            pos,
+            cog,
+            maritime::geo::units::knots_to_mps(speed) * 60.0,
+        );
+        cog = maritime::geo::units::norm_deg_360(cog + 0.3 * 60.0);
+    }
+    let last = *history.last().unwrap();
+    println!("  {:>8} {:>14} {:>14}", "horizon", "dead-reckon", "constant-turn");
+    for horizon_min in [5i64, 10, 20] {
+        let at = last.t + horizon_min * MINUTE;
+        // Ground truth continues the turn.
+        let (mut tp, mut tc) = (last.pos, last.cog_deg);
+        for _ in 0..horizon_min {
+            tp = maritime::geo::distance::destination(
+                tp,
+                tc,
+                maritime::geo::units::knots_to_mps(speed) * 60.0,
+            );
+            tc = maritime::geo::units::norm_deg_360(tc + 0.3 * 60.0);
+        }
+        let dr = DeadReckoningPredictor.predict(&history, at).unwrap();
+        let ct = ConstantTurnPredictor::default().predict(&history, at).unwrap();
+        println!(
+            "  {horizon_min:>5} min {:>11.0} m {:>11.0} m",
+            haversine_m(dr, tp),
+            haversine_m(ct, tp)
+        );
+    }
+    println!("\n(the route-network predictor needs learned traffic — see the c6 bench)");
+}

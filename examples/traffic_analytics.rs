@@ -1,0 +1,75 @@
+//! Historical traffic analytics: density maps, synopses, drill-down.
+//!
+//! The archival / visual-analytics half of the paper: compress a day of
+//! traffic into synopses, render the density picture as ASCII, drill
+//! into it with an aggregation pyramid, and show the reconstruction
+//! error the compression cost.
+//!
+//! ```sh
+//! cargo run --release --example traffic_analytics
+//! ```
+
+use maritime::geo::time::HOUR;
+use maritime::geo::BoundingBox;
+use maritime::sim::{Scenario, ScenarioConfig};
+use maritime::synopses::compress::{compress_trajectory, ThresholdConfig};
+use maritime::synopses::error::{compression_ratio, reconstruction_error};
+use maritime::viz::pyramid::AggregationPyramid;
+use maritime::viz::raster::DensityRaster;
+use maritime::viz::render::render_ascii;
+
+fn main() {
+    // A day of honest traffic (ground truth: what the paper calls
+    // archival data).
+    let sim = Scenario::generate(ScenarioConfig::regional_honest(5, 40, 12 * HOUR));
+    let total: usize = sim.truth.values().map(Vec::len).sum();
+    println!("archive: {} vessels, {} raw fixes", sim.truth.len(), total);
+
+    // --- density picture -------------------------------------------------
+    let mut raster = DensityRaster::new(sim.world.bounds, 24, 48);
+    for fixes in sim.truth.values() {
+        for f in fixes.iter().step_by(6) {
+            raster.add(f.pos);
+        }
+    }
+    println!("\ntraffic density (Gulf of Lion, north up):\n{}", render_ascii(&raster));
+
+    // --- synopses: the 95% claim -----------------------------------------
+    println!("synopsis compression at three tolerances:");
+    println!(
+        "  {:>10} {:>12} {:>12} {:>12}",
+        "tolerance", "ratio", "mean err", "max err"
+    );
+    for tol in [50.0, 100.0, 250.0] {
+        let cfg = ThresholdConfig { tolerance_m: tol, ..Default::default() };
+        let mut kept_total = 0usize;
+        let mut errs = Vec::new();
+        for fixes in sim.truth.values() {
+            let kept = compress_trajectory(fixes, cfg);
+            kept_total += kept.len();
+            errs.push(reconstruction_error(fixes, &kept));
+        }
+        let ratio = compression_ratio(total, kept_total);
+        let mean = errs.iter().map(|e| e.mean_m).sum::<f64>() / errs.len() as f64;
+        let max = errs.iter().map(|e| e.max_m).fold(0.0f64, f64::max);
+        println!("  {tol:>8} m {:>11.1}% {mean:>10.1} m {max:>10.1} m", ratio * 100.0);
+    }
+
+    // --- multi-resolution drill-down --------------------------------------
+    let mut base = DensityRaster::new(sim.world.bounds, 64, 64);
+    for fixes in sim.truth.values() {
+        for f in fixes.iter().step_by(6) {
+            base.add(f.pos);
+        }
+    }
+    let pyramid = AggregationPyramid::from_base(base);
+    let marseille_box = BoundingBox::new(43.1, 5.1, 43.5, 5.6);
+    println!("\ndrill-down on the Marseille approaches:");
+    for level in (0..pyramid.level_count()).rev() {
+        let (r, c) = pyramid.level(level).shape();
+        println!(
+            "  level {level} ({r:>2}x{c:<2}): {:>8} observations in the window",
+            pyramid.region_sum(level, &marseille_box)
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: simulator → pipeline → analytics.
+
+use maritime::core::decision::{DecisionConfig, DecisionSupport, OperatorPicture};
+use maritime::core::{MaritimePipeline, PipelineConfig};
+use maritime::events::EventKind;
+use maritime::forecast::Predictor;
+use maritime::geo::time::{HOUR, MINUTE};
+use maritime::geo::Position;
+use maritime::sim::corruption::CorruptionLabel;
+use maritime::sim::{Scenario, ScenarioConfig};
+
+fn build_pipeline(sim: &maritime::sim::SimOutput) -> MaritimePipeline {
+    let mut config = PipelineConfig::regional(sim.world.bounds);
+    config.events.zones = maritime::zones_of_world(&sim.world);
+    MaritimePipeline::new(config).with_weather(sim.weather.clone())
+}
+
+#[test]
+fn full_stack_detects_injected_deception() {
+    let sim = Scenario::generate(ScenarioConfig::regional(101, 50, 4 * HOUR));
+    let mut pipeline = build_pipeline(&sim);
+    let events = pipeline.run_scenario(&sim);
+
+    // Gap events cover most truly dark vessels.
+    let mut flagged: Vec<u32> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::GapStart))
+        .map(|e| e.vessel)
+        .collect();
+    flagged.sort_unstable();
+    flagged.dedup();
+    let dark_recall = sim
+        .dark_episodes
+        .keys()
+        .filter(|v| flagged.contains(v))
+        .count() as f64
+        / sim.dark_episodes.len().max(1) as f64;
+    assert!(dark_recall >= 0.7, "dark recall {dark_recall}");
+
+    // Spoofers produce veracity alerts.
+    let veracity_vessels: Vec<u32> = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                EventKind::KinematicSpoofing { .. } | EventKind::IdentityConflict { .. }
+            )
+        })
+        .map(|e| e.vessel)
+        .collect();
+    let spoof_caught = sim
+        .spoof_episodes
+        .keys()
+        .filter(|v| veracity_vessels.contains(v))
+        .count();
+    assert!(
+        spoof_caught * 2 >= sim.spoof_episodes.len(),
+        "caught {spoof_caught}/{} spoofers",
+        sim.spoof_episodes.len()
+    );
+
+    // Identity fraud: the *victim's* MMSI shows the conflict.
+    let victims: Vec<u32> = sim
+        .vessels
+        .iter()
+        .filter_map(|v| v.deception.cloned_mmsi)
+        .collect();
+    assert!(!victims.is_empty());
+    let victim_conflicts = veracity_vessels.iter().filter(|v| victims.contains(v)).count();
+    assert!(victim_conflicts > 0, "no identity conflicts on cloned MMSIs");
+}
+
+#[test]
+fn triage_reduces_and_annotates() {
+    let sim = Scenario::generate(ScenarioConfig::regional(102, 30, 3 * HOUR));
+    let mut pipeline = build_pipeline(&sim);
+    let events = pipeline.run_scenario(&sim);
+    let mut ds = DecisionSupport::new(DecisionConfig::default());
+    let alerts: Vec<_> = events.iter().filter_map(|e| ds.triage(e)).collect();
+    let (passed, suppressed) = ds.stats();
+    assert_eq!(passed as usize, alerts.len());
+    assert!(suppressed > 0, "severity filtering should suppress zone chatter");
+    for a in &alerts {
+        assert!(!a.explanation.is_empty());
+        assert!(a.confidence.lo >= 0.0 && a.confidence.hi <= 1.0);
+        assert!(a.confidence.lo <= a.confidence.hi);
+    }
+    let picture = OperatorPicture::assemble(&pipeline, &alerts);
+    let text = picture.render();
+    assert!(text.contains("tracks:"));
+    assert!(text.contains("compression"));
+}
+
+#[test]
+fn archive_supports_forecast_and_knn() {
+    let sim = Scenario::generate(ScenarioConfig::regional_honest(103, 20, 3 * HOUR));
+    let mut pipeline = build_pipeline(&sim);
+    pipeline.run_scenario(&sim);
+
+    // Compression is strong yet the archive answers queries.
+    assert!(pipeline.compression_ratio() > 0.6);
+    let store = pipeline.store();
+    assert!(store.vessel_count() >= 15);
+
+    // Forecast a vessel 15 minutes ahead using the learned route net.
+    let vessel = store.with_read(|s| s.vessels().next()).unwrap();
+    let history = store.trajectory(vessel).unwrap();
+    let at = pipeline.watermark() + 15 * MINUTE;
+    let prediction = pipeline.route_predictor().predict(&history, at);
+    assert!(prediction.is_some());
+
+    // kNN near Marseille returns sorted, plausible results.
+    let res = pipeline.knn(Position::new(43.28, 5.33), pipeline.watermark(), 8);
+    assert!(!res.is_empty());
+    for w in res.windows(2) {
+        assert!(w[0].dist_m <= w[1].dist_m);
+    }
+    assert!(res[0].dist_m < 200_000.0);
+}
+
+#[test]
+fn static_error_rate_recovered_by_validation() {
+    let sim = Scenario::generate(ScenarioConfig::regional(104, 60, 3 * HOUR));
+    let injected = sim
+        .ais
+        .iter()
+        .filter(|o| o.label == CorruptionLabel::StaticError)
+        .count();
+    let statics = sim
+        .ais
+        .iter()
+        .filter(|o| matches!(o.msg, maritime::ais::AisMessage::StaticVoyage(_)))
+        .count();
+    assert!(statics > 0 && injected > 0);
+
+    let mut pipeline = build_pipeline(&sim);
+    pipeline.run_scenario(&sim);
+    let r = pipeline.report();
+    // The validator finds what was injected (every injected defect is
+    // detectable) with no false positives on clean messages.
+    assert_eq!(r.static_flagged as usize, injected);
+    let measured = r.static_error_rate();
+    assert!((0.01..0.12).contains(&measured), "measured static error rate {measured}");
+}
+
+#[test]
+fn wire_format_round_trip_through_pipeline_types() {
+    // Encode simulated messages to AIVDM sentences and decode them back,
+    // as a shore station would, then extract fixes.
+    use maritime::ais::codec::{decode_payload, encode_payload};
+    use maritime::ais::nmea::{parse_sentence, to_sentences, SentenceAssembler};
+
+    let sim = Scenario::generate(ScenarioConfig::regional(105, 5, HOUR));
+    let mut assembler = SentenceAssembler::new();
+    let mut decoded = 0usize;
+    for obs in sim.ais.iter().take(500) {
+        let (bits, fill) = encode_payload(&obs.msg);
+        for line in to_sentences(&bits, fill, 'A', 1) {
+            let sentence = parse_sentence(&line).expect("valid sentence");
+            if let Some(payload) = assembler.push(sentence).expect("assembly") {
+                let msg = decode_payload(&payload).expect("decodable");
+                assert_eq!(msg.mmsi(), obs.msg.mmsi());
+                decoded += 1;
+            }
+        }
+    }
+    assert_eq!(decoded, 500.min(sim.ais.len()));
+}
