@@ -20,6 +20,33 @@
 //! The codec is round-trip tested (struct → payload → struct) both with
 //! unit vectors and property tests, so the simulator can emit real AIVDM
 //! sentences and the pipeline can ingest them as a real receiver would.
+//!
+//! ## Example
+//!
+//! ```
+//! use mda_ais::{decode_payload, encode_payload, AisMessage, NavigationalStatus, PositionReport};
+//! use mda_geo::Position;
+//!
+//! let report = PositionReport {
+//!     msg_type: 1,
+//!     repeat: 0,
+//!     mmsi: 227_000_001,
+//!     status: NavigationalStatus::from_raw(0),
+//!     rot_deg_min: None,
+//!     sog_kn: Some(12.3),
+//!     position_accuracy: true,
+//!     pos: Some(Position::new(43.29, 5.37)),
+//!     cog_deg: Some(87.0),
+//!     heading_deg: Some(86),
+//!     utc_second: 11,
+//! };
+//! let (bits, _fill) = encode_payload(&AisMessage::Position(report));
+//! assert_eq!(bits.len(), 168);
+//! match decode_payload(&bits).unwrap() {
+//!     AisMessage::Position(p) => assert_eq!(p.mmsi, 227_000_001),
+//!     other => panic!("decoded wrong variant: {other:?}"),
+//! }
+//! ```
 
 pub mod codec;
 pub mod messages;

@@ -284,11 +284,23 @@ impl AisMessage {
         match self {
             AisMessage::Position(m) => {
                 let pos = m.pos?;
-                Some(mda_geo::Fix::new(m.mmsi, t, pos, m.sog_kn.unwrap_or(0.0), m.cog_deg.unwrap_or(0.0)))
+                Some(mda_geo::Fix::new(
+                    m.mmsi,
+                    t,
+                    pos,
+                    m.sog_kn.unwrap_or(0.0),
+                    m.cog_deg.unwrap_or(0.0),
+                ))
             }
             AisMessage::ClassBPosition(m) => {
                 let pos = m.pos?;
-                Some(mda_geo::Fix::new(m.mmsi, t, pos, m.sog_kn.unwrap_or(0.0), m.cog_deg.unwrap_or(0.0)))
+                Some(mda_geo::Fix::new(
+                    m.mmsi,
+                    t,
+                    pos,
+                    m.sog_kn.unwrap_or(0.0),
+                    m.cog_deg.unwrap_or(0.0),
+                ))
             }
             AisMessage::StaticVoyage(_) => None,
         }

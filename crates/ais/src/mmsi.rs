@@ -136,7 +136,7 @@ mod tests {
 
     #[test]
     fn special_prefixes() {
-        assert_eq!(Mmsi(1_110_00_123).kind(), StationKind::SarAircraft);
+        assert_eq!(Mmsi(111_000_123).kind(), StationKind::SarAircraft);
         assert_eq!(Mmsi(992_351_000).kind(), StationKind::AidToNavigation);
         assert_eq!(Mmsi(2_345_678).kind(), StationKind::CoastStation);
         assert_eq!(Mmsi(98_765_432).kind(), StationKind::Group);

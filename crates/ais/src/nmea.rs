@@ -190,10 +190,7 @@ impl SentenceAssembler {
             return Ok(Some(dearmor_payload(&s.payload, s.fill_bits)?));
         }
         let key = (s.message_id, s.channel);
-        let slot = self
-            .pending
-            .entry(key)
-            .or_insert_with(|| vec![None; s.frag_count as usize]);
+        let slot = self.pending.entry(key).or_insert_with(|| vec![None; s.frag_count as usize]);
         if slot.len() != s.frag_count as usize {
             // Conflicting fragment count: restart with the new one.
             *slot = vec![None; s.frag_count as usize];
@@ -221,7 +218,9 @@ impl SentenceAssembler {
 mod tests {
     use super::*;
     use crate::codec::{decode_payload, encode_payload};
-    use crate::messages::{AisMessage, NavigationalStatus, PositionReport, ShipType, StaticVoyageData};
+    use crate::messages::{
+        AisMessage, NavigationalStatus, PositionReport, ShipType, StaticVoyageData,
+    };
     use mda_geo::Position;
 
     fn position_msg() -> AisMessage {
@@ -361,7 +360,7 @@ mod tests {
     #[test]
     fn parse_rejects_malformed() {
         assert_eq!(parse_sentence("$GPGGA,foo*00"), Err(NmeaError::NotAivdm));
-        assert!(matches!(parse_sentence("!AIVDM,1,1,,A*33"), Err(_)));
+        assert!(parse_sentence("!AIVDM,1,1,,A*33").is_err());
         assert!(parse_sentence("garbage").is_err());
     }
 

@@ -132,8 +132,7 @@ pub fn validate_static(m: &StaticVoyageData) -> QualityReport {
     if m.name.trim().is_empty() {
         issues.push(QualityIssue::EmptyName);
     }
-    if m.dim_to_bow == 0 && m.dim_to_stern == 0 && m.dim_to_port == 0 && m.dim_to_starboard == 0
-    {
+    if m.dim_to_bow == 0 && m.dim_to_stern == 0 && m.dim_to_port == 0 && m.dim_to_starboard == 0 {
         issues.push(QualityIssue::ZeroDimensions);
     }
     if m.eta_month > 12 || m.eta_day > 31 || m.eta_hour > 24 || m.eta_minute > 60 {
@@ -217,8 +216,10 @@ mod tests {
     #[test]
     fn imo_from_stem_always_valid() {
         for stem in [0u32, 1, 907_472, 999_999, 123_456] {
-            assert!(imo_check_digit_valid(imo_from_stem(stem).max(1_000_000)) || stem < 100_000,
-                "stem {stem}");
+            assert!(
+                imo_check_digit_valid(imo_from_stem(stem).max(1_000_000)) || stem < 100_000,
+                "stem {stem}"
+            );
         }
         assert!(imo_check_digit_valid(imo_from_stem(907_472)));
     }

@@ -28,29 +28,27 @@ fn arb_position_report() -> impl Strategy<Value = PositionReport> {
         prop::option::of(0u16..360),
         0u8..=63,
     )
-        .prop_map(
-            |(msg_type, repeat, mmsi, status, rot, sog, acc, pos, cog, hdg, sec)| {
-                PositionReport {
-                    msg_type,
-                    repeat,
-                    mmsi,
-                    status: NavigationalStatus::from_raw(status),
-                    rot_deg_min: rot,
-                    sog_kn: sog,
-                    position_accuracy: acc,
-                    pos: pos.map(|(lat, lon)| Position::new(lat, lon)),
-                    cog_deg: cog,
-                    heading_deg: hdg,
-                    utc_second: sec,
-                }
-            },
-        )
+        .prop_map(|(msg_type, repeat, mmsi, status, rot, sog, acc, pos, cog, hdg, sec)| {
+            PositionReport {
+                msg_type,
+                repeat,
+                mmsi,
+                status: NavigationalStatus::from_raw(status),
+                rot_deg_min: rot,
+                sog_kn: sog,
+                position_accuracy: acc,
+                pos: pos.map(|(lat, lon)| Position::new(lat, lon)),
+                cog_deg: cog,
+                heading_deg: hdg,
+                utc_second: sec,
+            }
+        })
 }
 
 fn arb_static() -> impl Strategy<Value = StaticVoyageData> {
     (
         100_000_000u32..=999_999_999,
-        0u32..=999_999_9,
+        0u32..=9_999_999,
         "[A-Z0-9]{0,7}",
         "[A-Z0-9 ]{0,20}",
         0u8..=99,
@@ -59,28 +57,26 @@ fn arb_static() -> impl Strategy<Value = StaticVoyageData> {
         0.0f64..25.5,
         "[A-Z ]{0,20}",
     )
-        .prop_map(
-            |(mmsi, imo, callsign, name, ship_type, dims, eta, draught, dest)| {
-                StaticVoyageData {
-                    repeat: 0,
-                    mmsi,
-                    imo,
-                    callsign,
-                    name: name.trim_end().to_string(),
-                    ship_type: ShipType::from_raw(ship_type),
-                    dim_to_bow: dims.0,
-                    dim_to_stern: dims.1,
-                    dim_to_port: dims.2,
-                    dim_to_starboard: dims.3,
-                    eta_month: eta.0,
-                    eta_day: eta.1,
-                    eta_hour: eta.2,
-                    eta_minute: eta.3,
-                    draught_m: draught,
-                    destination: dest.trim_end().to_string(),
-                }
-            },
-        )
+        .prop_map(|(mmsi, imo, callsign, name, ship_type, dims, eta, draught, dest)| {
+            StaticVoyageData {
+                repeat: 0,
+                mmsi,
+                imo,
+                callsign,
+                name: name.trim_end().to_string(),
+                ship_type: ShipType::from_raw(ship_type),
+                dim_to_bow: dims.0,
+                dim_to_stern: dims.1,
+                dim_to_port: dims.2,
+                dim_to_starboard: dims.3,
+                eta_month: eta.0,
+                eta_day: eta.1,
+                eta_hour: eta.2,
+                eta_minute: eta.3,
+                draught_m: draught,
+                destination: dest.trim_end().to_string(),
+            }
+        })
 }
 
 fn arb_class_b() -> impl Strategy<Value = ClassBPositionReport> {

@@ -2,9 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mda_bench::c5_fusion::{drive, Sources};
+use mda_geo::{Position, Timestamp};
 use mda_sim::scenario::{Scenario, ScenarioConfig};
 use mda_track::kalman::{CvKalman, KalmanConfig};
-use mda_geo::{Position, Timestamp};
 
 fn bench(c: &mut Criterion) {
     c.bench_function("c5_kalman_1000_updates", |b| {

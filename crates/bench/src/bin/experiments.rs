@@ -7,9 +7,12 @@
 
 use std::time::Instant;
 
+/// A named experiment: CLI selector and table generator.
+type Experiment = (&'static str, fn() -> String);
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let all: Vec<(&str, fn() -> String)> = vec![
+    let all: Vec<Experiment> = vec![
         ("fig1", mda_bench::fig1_coverage::run),
         ("fig2", mda_bench::fig2_pipeline::run),
         ("c1", mda_bench::c1_synopses::run),
@@ -22,7 +25,7 @@ fn main() {
         ("c8", mda_bench::c8_semantics::run),
         ("c9", mda_bench::c9_viz::run),
     ];
-    let selected: Vec<&(&str, fn() -> String)> = if args.is_empty() {
+    let selected: Vec<&Experiment> = if args.is_empty() {
         all.iter().collect()
     } else {
         all.iter().filter(|(name, _)| args.iter().any(|a| a == name)).collect()

@@ -35,12 +35,7 @@ pub fn sweep_point(sim: &mda_sim::scenario::SimOutput, tolerance_m: f64) -> (f64
         err_max = err_max.max(e.max_m);
         n += e.n;
     }
-    (
-        compression_ratio(total, kept_total),
-        err_sum / n.max(1) as f64,
-        err_max,
-        total as f64,
-    )
+    (compression_ratio(total, kept_total), err_sum / n.max(1) as f64, err_max, total as f64)
 }
 
 /// Run the experiment and return the report text.

@@ -51,20 +51,18 @@ pub fn run() -> String {
         .map(|e| e.vessel)
         .collect();
 
-    let spoof_truth: std::collections::HashSet<u32> =
-        sim.spoof_episodes.keys().copied().collect();
+    let spoof_truth: std::collections::HashSet<u32> = sim.spoof_episodes.keys().copied().collect();
     // Identity fraud surfaces on the *victim's* MMSI (two transmitters
     // sharing it); the first bounces also look like spoofing, so the
     // spoofing precision counts any genuinely deceptive identity as a
     // true positive.
     let victims: std::collections::HashSet<u32> =
         sim.vessels.iter().filter_map(|v| v.deception.cloned_mmsi).collect();
-    let deceptive: std::collections::HashSet<u32> =
-        spoof_truth.union(&victims).copied().collect();
+    let deceptive: std::collections::HashSet<u32> = spoof_truth.union(&victims).copied().collect();
     let spoof_tp = spoof_flagged.intersection(&spoof_truth).count();
     let spoof_recall = spoof_tp as f64 / spoof_truth.len().max(1) as f64;
-    let spoof_precision = spoof_flagged.intersection(&deceptive).count() as f64
-        / spoof_flagged.len().max(1) as f64;
+    let spoof_precision =
+        spoof_flagged.intersection(&deceptive).count() as f64 / spoof_flagged.len().max(1) as f64;
 
     let fraud_tp = conflict_flagged.intersection(&victims).count();
     let fraud_recall = fraud_tp as f64 / victims.len().max(1) as f64;

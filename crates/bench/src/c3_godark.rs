@@ -22,22 +22,16 @@ pub fn run() -> String {
     let events = p.run_scenario(&sim);
 
     // --- gap detection vs ground truth ---------------------------------
-    let flagged: std::collections::HashSet<u32> = events
-        .iter()
-        .filter(|e| matches!(e.kind, EventKind::GapStart))
-        .map(|e| e.vessel)
-        .collect();
+    let flagged: std::collections::HashSet<u32> =
+        events.iter().filter(|e| matches!(e.kind, EventKind::GapStart)).map(|e| e.vessel).collect();
     let truth: std::collections::HashSet<u32> = sim.dark_episodes.keys().copied().collect();
     let tp = flagged.intersection(&truth).count();
     let recall = tp as f64 / truth.len().max(1) as f64;
     let precision = tp as f64 / flagged.len().max(1) as f64;
 
     // Dark exposure of the fleet.
-    let dark_ms: i64 = sim
-        .dark_episodes
-        .values()
-        .flat_map(|eps| eps.iter().map(|e| e.duration()))
-        .sum();
+    let dark_ms: i64 =
+        sim.dark_episodes.values().flat_map(|eps| eps.iter().map(|e| e.duration())).sum();
     let dark_hours = dark_ms as f64 / 3_600_000.0;
     let fleet_hours = sim.vessels.len() as f64 * 6.0;
 
@@ -83,7 +77,15 @@ pub fn run() -> String {
     let rows = vec![
         vec!["ships configured dark".into(), format!("{} / {}", truth.len(), sim.vessels.len())],
         vec!["dark share of fleet".into(), pct(truth.len() as f64 / sim.vessels.len() as f64)],
-        vec!["dark vessel-hours".into(), format!("{} h of {} h ({})", f(dark_hours, 1), f(fleet_hours, 0), pct(dark_hours / fleet_hours))],
+        vec![
+            "dark vessel-hours".into(),
+            format!(
+                "{} h of {} h ({})",
+                f(dark_hours, 1),
+                f(fleet_hours, 0),
+                pct(dark_hours / fleet_hours)
+            ),
+        ],
         vec!["gap-detection recall".into(), pct(recall)],
         vec!["gap-detection precision".into(), pct(precision)],
         vec!["rendezvous pairs observed (closed world)".into(), f(closed_count, 2)],

@@ -13,11 +13,8 @@ use mda_sim::scenario::{Scenario, ScenarioConfig};
 
 /// Event-time-ordered AIS fixes for a given fleet size.
 pub fn ordered_fixes(n_vessels: usize, hours: i64) -> Vec<Fix> {
-    let sim = Scenario::generate(ScenarioConfig::regional(
-        61,
-        n_vessels,
-        hours * mda_geo::time::HOUR,
-    ));
+    let sim =
+        Scenario::generate(ScenarioConfig::regional(61, n_vessels, hours * mda_geo::time::HOUR));
     let mut fixes = sim.ais_fixes();
     fixes.sort_by_key(|f| f.t);
     fixes

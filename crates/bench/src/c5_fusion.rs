@@ -109,8 +109,7 @@ pub fn drive_and_evaluate(
 ) -> (Fuser, f64, f64, f64) {
     let mut fuser = Fuser::new(FuserConfig::default());
     let duration = sim.config.duration;
-    let mut checkpoints: Vec<Timestamp> =
-        (1..=24).map(|i| Timestamp(duration * i / 25)).collect();
+    let mut checkpoints: Vec<Timestamp> = (1..=24).map(|i| Timestamp(duration * i / 25)).collect();
     checkpoints.reverse(); // pop() takes the earliest
 
     let mut covered = 0usize;
@@ -193,7 +192,13 @@ pub fn run() -> String {
     let mut out = String::new();
     out.push_str(&table(
         "C5 — coverage and accuracy by source configuration",
-        &["configuration", "tracks (live/conf)", "coverage", "dark-episode coverage", "RMSE (covered)"],
+        &[
+            "configuration",
+            "tracks (live/conf)",
+            "coverage",
+            "dark-episode coverage",
+            "RMSE (covered)",
+        ],
         &rows,
     ));
     out.push_str(

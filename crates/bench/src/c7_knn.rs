@@ -31,9 +31,7 @@ pub fn engine_with_fleet(n: usize, seed: u64) -> KnnEngine {
 /// Random query points.
 pub fn queries(n: usize, seed: u64) -> Vec<Position> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| Position::new(rng.gen_range(41.0..45.0), rng.gen_range(2.0..9.0)))
-        .collect()
+    (0..n).map(|_| Position::new(rng.gen_range(41.0..45.0), rng.gen_range(2.0..9.0))).collect()
 }
 
 /// Run the experiment and return the report text.

@@ -71,18 +71,13 @@ pub fn run() -> String {
 
     // --- streaming enrichment -------------------------------------------
     let world = mda_sim::world::World::gulf_of_lion();
-    let zones = world
-        .zones
-        .iter()
-        .map(|z| (z.name.clone(), z.area.clone()))
-        .collect();
+    let zones = world.zones.iter().map(|z| (z.name.clone(), z.area.clone())).collect();
     let mut interner = Interner::new();
     let mut enricher = Enricher::new(&mut interner, zones);
     let mut store = TripleStore::new();
     let mut rng = StdRng::seed_from_u64(14);
     let n_fixes = 200_000usize;
-    let vessel_terms: Vec<_> =
-        (0..500).map(|i| interner.intern(&format!(":vessel/{i}"))).collect();
+    let vessel_terms: Vec<_> = (0..500).map(|i| interner.intern(&format!(":vessel/{i}"))).collect();
     let fixes: Vec<(usize, Fix)> = (0..n_fixes)
         .map(|i| {
             let v = i % 500;
@@ -117,6 +112,10 @@ pub fn run() -> String {
         ],
     ];
     out.push('\n');
-    out.push_str(&table("C8b — streaming enrichment into the knowledge graph", &["metric", "value"], &rows));
+    out.push_str(&table(
+        "C8b — streaming enrichment into the knowledge graph",
+        &["metric", "value"],
+        &rows,
+    ));
     out
 }

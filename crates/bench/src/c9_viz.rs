@@ -73,7 +73,14 @@ pub fn run() -> String {
     let mut out = String::new();
     out.push_str(&table(
         "C9 — aggregation pyramid build & drill-down latency",
-        &["positions", "build (256²+levels)", "query@L0", "query@L3", "zoom-out speedup", "window count"],
+        &[
+            "positions",
+            "build (256²+levels)",
+            "query@L0",
+            "query@L3",
+            "zoom-out speedup",
+            "window count",
+        ],
         &rows,
     ));
     out.push_str(

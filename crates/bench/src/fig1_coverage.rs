@@ -17,7 +17,11 @@ pub fn scenario(n_vessels: usize, hours: i64) -> mda_sim::scenario::SimOutput {
 }
 
 /// Build the coverage raster from received satellite messages.
-pub fn coverage_raster(sim: &mda_sim::scenario::SimOutput, rows: usize, cols: usize) -> DensityRaster {
+pub fn coverage_raster(
+    sim: &mda_sim::scenario::SimOutput,
+    rows: usize,
+    cols: usize,
+) -> DensityRaster {
     let mut raster = DensityRaster::new(sim.world.bounds, rows, cols);
     for fix in sim.ais_fixes() {
         raster.add(fix.pos);

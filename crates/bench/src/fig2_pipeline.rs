@@ -49,10 +49,7 @@ pub fn run() -> String {
         "TOTAL (wall)".into(),
         (r.ais_messages + r.radar_plots + r.vms_reports).to_string(),
         format!("{} s", f(wall_s, 2)),
-        format!(
-            "{}/s",
-            f((r.ais_messages + r.radar_plots + r.vms_reports) as f64 / wall_s, 0)
-        ),
+        format!("{}/s", f((r.ais_messages + r.radar_plots + r.vms_reports) as f64 / wall_s, 0)),
     ]);
 
     let mut out = String::new();
@@ -74,7 +71,7 @@ pub fn run() -> String {
         vec!["knowledge-graph triples".into(), p.graph().0.len().to_string()],
         vec!["archive fixes".into(), p.store().len().to_string()],
     ];
-    out.push_str("\n");
+    out.push('\n');
     out.push_str(&table("Figure 2 — end-to-end summary", &["metric", "value"], &summary));
     out
 }

@@ -5,6 +5,13 @@
 //! table; the `experiments` binary prints them all, and the Criterion
 //! benches in `benches/` time the hot kernels. EXPERIMENTS.md records
 //! paper-vs-measured for each row.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! // Regenerate the C1 compression experiment table (takes a while).
+//! println!("{}", mda_bench::c1_synopses::run());
+//! ```
 
 pub mod c1_synopses;
 pub mod c2_veracity;

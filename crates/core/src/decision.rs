@@ -131,12 +131,12 @@ fn explain(event: &MaritimeEvent) -> String {
         EventKind::ZoneExit { zone, dwell_min } => {
             format!("Vessel {v} left {zone} after {dwell_min:.0} min.")
         }
-        EventKind::IllegalFishing { zone } => format!(
-            "Vessel {v} moving at trawling speed inside protected area {zone}."
-        ),
-        EventKind::Loitering { radius_m, minutes } => format!(
-            "Vessel {v} has loitered within {radius_m:.0} m for {minutes:.0} min at sea."
-        ),
+        EventKind::IllegalFishing { zone } => {
+            format!("Vessel {v} moving at trawling speed inside protected area {zone}.")
+        }
+        EventKind::Loitering { radius_m, minutes } => {
+            format!("Vessel {v} has loitered within {radius_m:.0} m for {minutes:.0} min at sea.")
+        }
         EventKind::Rendezvous { other, distance_m, minutes } => format!(
             "Vessels {v} and {other} stayed {distance_m:.0} m apart for {minutes:.0} min \
              at sea — possible transfer."
@@ -233,11 +233,7 @@ mod tests {
         assert!(ds.triage(&event(EventKind::ZoneEntry { zone: "A".into() }, 1, 0)).is_none());
         // Alert-level spoofing passes.
         assert!(ds
-            .triage(&event(
-                EventKind::KinematicSpoofing { implied_speed_kn: 300.0 },
-                1,
-                0
-            ))
+            .triage(&event(EventKind::KinematicSpoofing { implied_speed_kn: 300.0 }, 1, 0))
             .is_some());
         let (passed, suppressed) = ds.stats();
         assert_eq!((passed, suppressed), (1, 1));
@@ -258,22 +254,15 @@ mod tests {
     #[test]
     fn confidence_reflects_evidence_strength() {
         let hard = confidence_of(&EventKind::IdentityConflict { separation_km: 60.0 });
-        let soft = confidence_of(&EventKind::Rendezvous {
-            other: 2,
-            distance_m: 200.0,
-            minutes: 30.0,
-        });
+        let soft =
+            confidence_of(&EventKind::Rendezvous { other: 2, distance_m: 200.0, minutes: 30.0 });
         assert!(hard.lo > soft.lo);
         assert!(hard.width() < soft.width(), "behavioural calls carry wider uncertainty");
     }
 
     #[test]
     fn explanations_are_specific() {
-        let e = event(
-            EventKind::CollisionRisk { other: 9, dcpa_m: 120.0, tcpa_s: 600.0 },
-            4,
-            0,
-        );
+        let e = event(EventKind::CollisionRisk { other: 9, dcpa_m: 120.0, tcpa_s: 600.0 }, 4, 0);
         let text = explain(&e);
         assert!(text.contains("120 m"));
         assert!(text.contains("10 min"));

@@ -13,8 +13,8 @@ use mda_geo::{Fix, Position, Timestamp, VesselId};
 use mda_semantics::enrich::Enricher;
 use mda_semantics::store::TripleStore;
 use mda_semantics::term::Interner;
-use mda_sim::scenario::{AisObservation, SimOutput};
 use mda_sim::receivers::{RadarPlot, VmsReport};
+use mda_sim::scenario::{AisObservation, SimOutput};
 use mda_sim::weather::WeatherField;
 use mda_store::knn::KnnEngine;
 use mda_store::shared::SharedTrajectoryStore;
@@ -61,12 +61,8 @@ impl MaritimePipeline {
     /// and the enricher come from `config.events.zones`.
     pub fn new(config: PipelineConfig) -> Self {
         let mut interner = Interner::new();
-        let enrich_zones = config
-            .events
-            .zones
-            .iter()
-            .map(|z| (z.name.clone(), z.area.clone()))
-            .collect();
+        let enrich_zones =
+            config.events.zones.iter().map(|z| (z.name.clone(), z.area.clone())).collect();
         let enricher = Enricher::new(&mut interner, enrich_zones);
         let (rows, cols) = config.raster_shape;
         Self {
@@ -225,11 +221,8 @@ impl MaritimePipeline {
         if let Some(kept) = kept {
             let _t = StageTimer::new(&mut self.report.storage);
             self.store.append(kept);
-            let wind = self
-                .weather
-                .as_ref()
-                .map(|w| w.sample(kept.pos, kept.t).wind_mps)
-                .unwrap_or(5.0);
+            let wind =
+                self.weather.as_ref().map(|w| w.sample(kept.pos, kept.t).wind_mps).unwrap_or(5.0);
             let term = match self.vessel_terms.get(&kept.id) {
                 Some(t) => *t,
                 None => {
@@ -266,9 +259,8 @@ impl MaritimePipeline {
             Radar(&'a RadarPlot),
             Vms(&'a VmsReport),
         }
-        let mut merged: Vec<(Timestamp, Arrival)> = Vec::with_capacity(
-            sim.ais.len() + sim.radar.len() + sim.vms.len(),
-        );
+        let mut merged: Vec<(Timestamp, Arrival)> =
+            Vec::with_capacity(sim.ais.len() + sim.radar.len() + sim.vms.len());
         merged.extend(sim.ais.iter().map(|o| (o.t_received, Arrival::Ais(o))));
         merged.extend(sim.radar.iter().map(|p| (p.t, Arrival::Radar(p))));
         merged.extend(sim.vms.iter().map(|v| (v.t, Arrival::Vms(v))));
@@ -335,13 +327,10 @@ impl MaritimePipeline {
 
     /// Overall synopsis compression ratio across vessels.
     pub fn compression_ratio(&self) -> f64 {
-        let (seen, kept) = self
-            .compressors
-            .values()
-            .fold((0u64, 0u64), |(s, k), c| {
-                let (cs, ck) = c.counts();
-                (s + cs, k + ck)
-            });
+        let (seen, kept) = self.compressors.values().fold((0u64, 0u64), |(s, k), c| {
+            let (cs, ck) = c.counts();
+            (s + cs, k + ck)
+        });
         if seen == 0 {
             0.0
         } else {

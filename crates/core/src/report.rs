@@ -138,11 +138,7 @@ mod tests {
 
     #[test]
     fn static_error_rate_computed() {
-        let r = PipelineReport {
-            static_messages: 200,
-            static_flagged: 10,
-            ..Default::default()
-        };
+        let r = PipelineReport { static_messages: 200, static_flagged: 10, ..Default::default() };
         assert!((r.static_error_rate() - 0.05).abs() < 1e-12);
     }
 }

@@ -165,9 +165,7 @@ mod tests {
         let mut e = engine_with_zone();
         e.observe(&fix(3, 0, 43.0, 5.0, 10.0, 90.0));
         let events = e.observe(&fix(3, 10, 43.0, 5.8, 10.0, 90.0)); // ~65 km in 10 min
-        assert!(events
-            .iter()
-            .any(|ev| matches!(ev.kind, EventKind::KinematicSpoofing { .. })));
+        assert!(events.iter().any(|ev| matches!(ev.kind, EventKind::KinematicSpoofing { .. })));
     }
 
     #[test]
@@ -175,9 +173,7 @@ mod tests {
         let mut e = engine_with_zone();
         e.observe(&fix(10, 0, 43.0, 5.0, 10.0, 90.0));
         let events = e.observe(&fix(11, 0, 43.0, 5.135, 10.0, 270.0));
-        assert!(events
-            .iter()
-            .any(|ev| matches!(ev.kind, EventKind::CollisionRisk { .. })));
+        assert!(events.iter().any(|ev| matches!(ev.kind, EventKind::CollisionRisk { .. })));
     }
 
     #[test]

@@ -24,6 +24,21 @@
 //!
 //! All detectors consume event-time-ordered fixes (use
 //! `mda-stream::ReorderBuffer` upstream) and are deterministic.
+//!
+//! ## Example
+//!
+//! ```
+//! use mda_events::{EngineConfig, EventEngine};
+//! use mda_geo::{Fix, Position, Timestamp};
+//!
+//! let mut engine = EventEngine::new(EngineConfig::default());
+//! // A ~120 km jump in one minute is kinematically impossible: spoofing.
+//! let a = Fix::new(1, Timestamp::from_secs(0), Position::new(43.0, 5.0), 10.0, 90.0);
+//! let b = Fix::new(1, Timestamp::from_secs(60), Position::new(44.0, 6.0), 10.0, 90.0);
+//! engine.observe(&a);
+//! let events = engine.observe(&b);
+//! assert!(!events.is_empty(), "teleport should raise an event");
+//! ```
 
 pub mod engine;
 pub mod event;

@@ -71,8 +71,7 @@ impl LoiterDetector {
             }
         }
         // Moored vessels don't loiter (port calls are handled by zones).
-        let mean_speed: f64 =
-            hist.iter().map(|f| f.sog_kn).sum::<f64>() / hist.len() as f64;
+        let mean_speed: f64 = hist.iter().map(|f| f.sog_kn).sum::<f64>() / hist.len() as f64;
         if mean_speed < self.config.min_speed_kn {
             return Vec::new();
         }
@@ -82,8 +81,7 @@ impl LoiterDetector {
             hist.iter().map(|f| f.pos.lat).sum::<f64>() / n,
             hist.iter().map(|f| f.pos.lon).sum::<f64>() / n,
         );
-        let max_dev =
-            hist.iter().map(|f| haversine_m(f.pos, centroid)).fold(0.0f64, f64::max);
+        let max_dev = hist.iter().map(|f| haversine_m(f.pos, centroid)).fold(0.0f64, f64::max);
         if max_dev <= self.config.radius_m {
             self.last_alert.insert(fix.id, fix.t);
             return vec![MaritimeEvent {

@@ -48,12 +48,7 @@ pub struct PatternMatcher<K, E> {
 impl<E> SequencePattern<E> {
     /// Start building a pattern.
     pub fn builder(name: &str, within: DurationMs) -> SequencePatternBuilder<E> {
-        SequencePatternBuilder {
-            name: name.to_string(),
-            steps: Vec::new(),
-            unless: None,
-            within,
-        }
+        SequencePatternBuilder { name: name.to_string(), steps: Vec::new(), unless: None, within }
     }
 }
 
@@ -198,9 +193,7 @@ mod tests {
         m.observe(1, Timestamp::from_mins(30), &Ev::GapEnd);
         assert!(m.observe(1, Timestamp::from_mins(50), &Ev::ZoneEntry("HARBOUR")).is_none());
         // The right zone later still completes (within window).
-        assert!(m
-            .observe(1, Timestamp::from_mins(60), &Ev::ZoneEntry("RESERVE"))
-            .is_some());
+        assert!(m.observe(1, Timestamp::from_mins(60), &Ev::ZoneEntry("RESERVE")).is_some());
     }
 
     #[test]

@@ -98,9 +98,7 @@ impl VeracityDetector {
                             t: fix.t,
                             vessel: fix.id,
                             pos: fix.pos,
-                            kind: EventKind::IdentityConflict {
-                                separation_km: jump / 1_000.0,
-                            },
+                            kind: EventKind::IdentityConflict { separation_km: jump / 1_000.0 },
                         });
                     } else {
                         out.push(MaritimeEvent {

@@ -91,12 +91,12 @@ mod tests {
             while pos.lon < 5.0 {
                 net.learn(&Fix::new(run, t, pos, 12.0, 90.0));
                 pos = destination(pos, 90.0, knots_to_mps(12.0) * 60.0);
-                t = t + MINUTE;
+                t += MINUTE;
             }
             for _ in 0..60 {
                 net.learn(&Fix::new(run, t, pos, 12.0, 0.0));
                 pos = destination(pos, 0.0, knots_to_mps(12.0) * 60.0);
-                t = t + MINUTE;
+                t += MINUTE;
             }
         }
         // Destination up the north leg.

@@ -144,9 +144,7 @@ mod tests {
     #[test]
     fn single_fix_history_falls_back() {
         let h = vec![Fix::new(1, Timestamp::from_mins(0), Position::new(43.0, 5.0), 10.0, 0.0)];
-        assert!(ConstantTurnPredictor::default()
-            .predict(&h, Timestamp::from_mins(10))
-            .is_some());
+        assert!(ConstantTurnPredictor::default().predict(&h, Timestamp::from_mins(10)).is_some());
         assert!(DeadReckoningPredictor.predict(&[], Timestamp::from_mins(10)).is_none());
     }
 

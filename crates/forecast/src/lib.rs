@@ -17,6 +17,22 @@
 //!   scoring: "an explicit consideration of context provides an
 //!   understanding of normalcy as a reference for anomaly detection".
 //! - [`eta`] — estimated time of arrival against a destination.
+//!
+//! ## Example
+//!
+//! ```
+//! use mda_forecast::{DeadReckoningPredictor, Predictor};
+//! use mda_geo::{Fix, Position, Timestamp};
+//!
+//! let history: Vec<Fix> = (0..3i64)
+//!     .map(|i| {
+//!         let t = Timestamp::from_mins(i * 10);
+//!         Fix::new(1, t, Position::new(43.0, 5.0 + 0.02 * i as f64), 12.0, 90.0)
+//!     })
+//!     .collect();
+//! let predicted = DeadReckoningPredictor.predict(&history, Timestamp::from_mins(30)).unwrap();
+//! assert!(predicted.lon > history.last().unwrap().pos.lon, "keeps heading east");
+//! ```
 
 pub mod eta;
 pub mod kinematic;

@@ -264,13 +264,13 @@ mod tests {
             while pos.lon < 5.0 {
                 fixes.push(Fix { t, pos, ..f0 });
                 pos = destination(pos, 90.0, knots_to_mps(12.0) * 60.0);
-                t = t + MINUTE;
+                t += MINUTE;
             }
             // North leg.
             for _ in 0..60 {
                 fixes.push(Fix { t, pos, cog_deg: 0.0, ..f0 });
                 pos = destination(pos, 0.0, knots_to_mps(12.0) * 60.0);
-                t = t + MINUTE;
+                t += MINUTE;
             }
         }
         fixes
@@ -282,7 +282,7 @@ mod tests {
         s.add(350.0, 10.0);
         s.add(10.0, 12.0);
         let mean = s.mean_course_deg();
-        assert!(mean < 5.0 || mean > 355.0, "wrap-around mean: {mean}");
+        assert!(!(5.0..=355.0).contains(&mean), "wrap-around mean: {mean}");
         assert!((s.mean_speed_kn() - 11.0).abs() < 1e-9);
         assert!(s.course_concentration() > 0.9);
     }
@@ -304,10 +304,12 @@ mod tests {
         assert!((course_w - 270.0).abs() < 5.0);
         assert!((speed_w - 8.0).abs() < 0.5);
         // A vessel heading north finds no compatible flow here.
-        assert!(s.directional_flow(0.0).is_none() || {
-            let (c, _, _) = s.directional_flow(0.0).unwrap();
-            mda_geo::units::heading_delta(c, 0.0) <= 90.0
-        });
+        assert!(
+            s.directional_flow(0.0).is_none() || {
+                let (c, _, _) = s.directional_flow(0.0).unwrap();
+                mda_geo::units::heading_delta(c, 0.0) <= 90.0
+            }
+        );
     }
 
     #[test]
@@ -340,13 +342,7 @@ mod tests {
         let predictor = RouteNetPredictor::new(net);
 
         // A new vessel is on the east leg, 20 minutes before the corner.
-        let vessel = Fix::new(
-            99,
-            Timestamp::from_mins(0),
-            Position::new(43.01, 4.93),
-            12.0,
-            90.0,
-        );
+        let vessel = Fix::new(99, Timestamp::from_mins(0), Position::new(43.01, 4.93), 12.0, 90.0);
         // Ground truth 60 min ahead: reaches the corner in ~17 min, then
         // sails north for ~43 min.
         let corner = Position::new(43.01, 5.0);
@@ -358,10 +354,7 @@ mod tests {
         let dr = DeadReckoningPredictor.predict(&[vessel], at).unwrap();
         let rn_err = haversine_m(rn, truth);
         let dr_err = haversine_m(dr, truth);
-        assert!(
-            rn_err < dr_err * 0.5,
-            "route-net {rn_err:.0} m vs dead-reckoning {dr_err:.0} m"
-        );
+        assert!(rn_err < dr_err * 0.5, "route-net {rn_err:.0} m vs dead-reckoning {dr_err:.0} m");
         // Sanity: route-net went north of the corner.
         assert!(initial_bearing_deg(corner, rn) < 45.0 || initial_bearing_deg(corner, rn) > 315.0);
     }
@@ -380,8 +373,6 @@ mod tests {
     #[test]
     fn empty_history_returns_none() {
         let net = RouteNetwork::new(bounds(), 0.05);
-        assert!(RouteNetPredictor::new(net)
-            .predict(&[], Timestamp::from_mins(10))
-            .is_none());
+        assert!(RouteNetPredictor::new(net).predict(&[], Timestamp::from_mins(10)).is_none());
     }
 }

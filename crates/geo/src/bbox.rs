@@ -79,7 +79,9 @@ impl BoundingBox {
     /// True if `p` lies inside or on the border.
     #[inline]
     pub fn contains(&self, p: Position) -> bool {
-        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lon >= self.min_lon
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lon >= self.min_lon
             && p.lon <= self.max_lon
     }
 

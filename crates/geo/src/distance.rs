@@ -46,8 +46,8 @@ pub fn destination(start: Position, bearing_deg: f64, distance_m: f64) -> Positi
     let la1 = start.lat_rad();
     let lo1 = start.lon_rad();
     let la2 = (la1.sin() * delta.cos() + la1.cos() * delta.sin() * theta.cos()).asin();
-    let lo2 = lo1
-        + (theta.sin() * delta.sin() * la1.cos()).atan2(delta.cos() - la1.sin() * la2.sin());
+    let lo2 =
+        lo1 + (theta.sin() * delta.sin() * la1.cos()).atan2(delta.cos() - la1.sin() * la2.sin());
     Position::new(la2.to_degrees(), lo2.to_degrees()).normalized()
 }
 

@@ -114,10 +114,14 @@ impl<T: Clone> GridIndex<T> {
         if !self.bounds.intersects(query) {
             return;
         }
-        let (r0, c0) =
-            self.cell_of(Position::new(query.min_lat.max(self.bounds.min_lat), query.min_lon.max(self.bounds.min_lon)));
-        let (r1, c1) =
-            self.cell_of(Position::new(query.max_lat.min(self.bounds.max_lat), query.max_lon.min(self.bounds.max_lon)));
+        let (r0, c0) = self.cell_of(Position::new(
+            query.min_lat.max(self.bounds.min_lat),
+            query.min_lon.max(self.bounds.min_lon),
+        ));
+        let (r1, c1) = self.cell_of(Position::new(
+            query.max_lat.min(self.bounds.max_lat),
+            query.max_lon.min(self.bounds.max_lon),
+        ));
         for r in r0..=r1 {
             for c in c0..=c1 {
                 for (p, v) in &self.cells[r * self.cols + c] {
@@ -199,7 +203,8 @@ mod tests {
         for _ in 0..20 {
             let a = rng.gen_range(0.0..8.0);
             let b = rng.gen_range(0.0..8.0);
-            let q = BoundingBox::new(a, b, a + rng.gen_range(0.1..2.0), b + rng.gen_range(0.1..2.0));
+            let q =
+                BoundingBox::new(a, b, a + rng.gen_range(0.1..2.0), b + rng.gen_range(0.1..2.0));
             let mut from_grid: Vec<u32> = g.query_bbox(&q).into_iter().map(|(_, v)| v).collect();
             let mut from_scan: Vec<u32> =
                 all.iter().filter(|(p, _)| q.contains(*p)).map(|(_, v)| *v).collect();

@@ -15,6 +15,21 @@
 //! The crate is dependency-light on purpose: it is the bottom of the
 //! workspace dependency graph and is exercised by property tests that
 //! compare indexed queries against brute-force scans.
+//!
+//! ## Example
+//!
+//! ```
+//! use mda_geo::distance::haversine_m;
+//! use mda_geo::{Fix, Position, Timestamp};
+//!
+//! let marseille = Position::new(43.30, 5.37);
+//! let toulon = Position::new(43.12, 5.93);
+//! let d = haversine_m(marseille, toulon);
+//! assert!((40_000.0..60_000.0).contains(&d), "Marseille-Toulon is ~49 km");
+//!
+//! let fix = Fix::new(1, Timestamp::from_secs(0), marseille, 12.0, 90.0);
+//! assert!(fix.speed_mps() > 6.0);
+//! ```
 
 pub mod bbox;
 pub mod distance;

@@ -81,8 +81,7 @@ impl Polygon {
             let vi = self.vertices[i];
             let vj = self.vertices[j];
             if ((vi.lat > p.lat) != (vj.lat > p.lat))
-                && (p.lon
-                    < (vj.lon - vi.lon) * (p.lat - vi.lat) / (vj.lat - vi.lat) + vi.lon)
+                && (p.lon < (vj.lon - vi.lon) * (p.lat - vi.lat) / (vj.lat - vi.lat) + vi.lon)
             {
                 inside = !inside;
             }
@@ -123,9 +122,7 @@ pub fn convex_hull(points: &[Position]) -> Option<Polygon> {
         return None;
     }
     let mut pts: Vec<Position> = points.to_vec();
-    pts.sort_by(|a, b| {
-        a.lon.partial_cmp(&b.lon).unwrap().then(a.lat.partial_cmp(&b.lat).unwrap())
-    });
+    pts.sort_by(|a, b| a.lon.partial_cmp(&b.lon).unwrap().then(a.lat.partial_cmp(&b.lat).unwrap()));
     pts.dedup_by(|a, b| a.lon == b.lon && a.lat == b.lat);
     if pts.len() < 3 {
         return None;
@@ -142,8 +139,7 @@ pub fn convex_hull(points: &[Position]) -> Option<Polygon> {
     }
     let lower_len = hull.len() + 1;
     for &p in pts.iter().rev() {
-        while hull.len() >= lower_len
-            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
         {
             hull.pop();
         }

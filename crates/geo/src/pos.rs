@@ -24,7 +24,9 @@ impl Position {
     /// coordinates. AIS reserves lat=91/lon=181 for "not available"; those
     /// are rejected here, letting the codec map them to `Option`.
     pub fn checked(lat: f64, lon: f64) -> Option<Self> {
-        if lat.is_finite() && lon.is_finite() && (-90.0..=90.0).contains(&lat)
+        if lat.is_finite()
+            && lon.is_finite()
+            && (-90.0..=90.0).contains(&lat)
             && (-180.0..=180.0).contains(&lon)
         {
             Some(Self { lat, lon })

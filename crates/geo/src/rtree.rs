@@ -58,10 +58,9 @@ impl<T: Clone> RTree<T> {
             strip.sort_by(|a, b| a.0.lat.partial_cmp(&b.0.lat).unwrap_or(Ordering::Equal));
             for chunk in strip.chunks(NODE_CAPACITY) {
                 let entries: Vec<(Position, T)> = chunk.to_vec();
-                let bbox = BoundingBox::from_points(
-                    &entries.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
-                )
-                .expect("non-empty chunk");
+                let bbox =
+                    BoundingBox::from_points(&entries.iter().map(|(p, _)| *p).collect::<Vec<_>>())
+                        .expect("non-empty chunk");
                 leaves.push(Node::Leaf { bbox, entries });
             }
         }
@@ -71,20 +70,14 @@ impl<T: Clone> RTree<T> {
     fn build_upwards(mut level: Vec<Node<T>>) -> Node<T> {
         while level.len() > 1 {
             level.sort_by(|a, b| {
-                a.bbox()
-                    .center()
-                    .lon
-                    .partial_cmp(&b.bbox().center().lon)
-                    .unwrap_or(Ordering::Equal)
+                a.bbox().center().lon.partial_cmp(&b.bbox().center().lon).unwrap_or(Ordering::Equal)
             });
             let mut next = Vec::with_capacity(level.len().div_ceil(NODE_CAPACITY));
             let mut iter = level.into_iter().peekable();
             while iter.peek().is_some() {
                 let children: Vec<Node<T>> = iter.by_ref().take(NODE_CAPACITY).collect();
-                let bbox = children
-                    .iter()
-                    .skip(1)
-                    .fold(*children[0].bbox(), |acc, c| acc.union(c.bbox()));
+                let bbox =
+                    children.iter().skip(1).fold(*children[0].bbox(), |acc, c| acc.union(c.bbox()));
                 next.push(Node::Inner { bbox, children });
             }
             level = next;
@@ -170,7 +163,10 @@ impl<T: Clone> RTree<T> {
         }
 
         let mut heap = BinaryHeap::new();
-        heap.push(Candidate { dist: bbox_min_dist_m(root.bbox(), target), payload: CandidateKind::Node(root) });
+        heap.push(Candidate {
+            dist: bbox_min_dist_m(root.bbox(), target),
+            payload: CandidateKind::Node(root),
+        });
         let mut result = Vec::with_capacity(k);
         while let Some(c) = heap.pop() {
             match c.payload {
@@ -240,8 +236,7 @@ mod tests {
             let lat = rng.gen_range(40.0..44.0);
             let lon = rng.gen_range(2.0..8.0);
             let q = BoundingBox::new(lat, lon, lat + 0.7, lon + 0.9);
-            let mut from_tree: Vec<u32> =
-                tree.query_bbox(&q).into_iter().map(|(_, v)| v).collect();
+            let mut from_tree: Vec<u32> = tree.query_bbox(&q).into_iter().map(|(_, v)| v).collect();
             let mut from_scan: Vec<u32> =
                 pts.iter().filter(|(p, _)| q.contains(*p)).map(|(_, v)| *v).collect();
             from_tree.sort_unstable();
@@ -257,12 +252,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(22);
         for _ in 0..20 {
             let target = Position::new(rng.gen_range(40.0..45.0), rng.gen_range(2.0..9.0));
-            let got: Vec<u32> =
-                tree.nearest_k(target, 7).into_iter().map(|(_, v, _)| v).collect();
-            let mut brute: Vec<(f64, u32)> = pts
-                .iter()
-                .map(|(p, v)| (equirectangular_m(target, *p), *v))
-                .collect();
+            let got: Vec<u32> = tree.nearest_k(target, 7).into_iter().map(|(_, v, _)| v).collect();
+            let mut brute: Vec<(f64, u32)> =
+                pts.iter().map(|(p, v)| (equirectangular_m(target, *p), *v)).collect();
             brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             let want: Vec<u32> = brute.iter().take(7).map(|(_, v)| *v).collect();
             assert_eq!(got, want);

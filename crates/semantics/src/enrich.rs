@@ -87,11 +87,8 @@ impl Enricher {
                 (name, id, poly)
             })
             .collect();
-        let regime_terms = [
-            interner.intern(":calm"),
-            interner.intern(":moderate"),
-            interner.intern(":rough"),
-        ];
+        let regime_terms =
+            [interner.intern(":calm"), interner.intern(":moderate"), interner.intern(":rough")];
         let state_terms = [
             interner.intern(":stopped"),
             interner.intern(":fishingSpeed"),
@@ -130,10 +127,7 @@ impl Enricher {
             WeatherRegime::Moderate => self.regime_terms[1],
             WeatherRegime::Rough => self.regime_terms[2],
         };
-        store.insert_annotated(
-            Triple { s: vessel_term, p: self.vocab.weather, o: regime },
-            ann,
-        );
+        store.insert_annotated(Triple { s: vessel_term, p: self.vocab.weather, o: regime }, ann);
         emitted += 1;
 
         let state = if fix.sog_kn < 0.7 {
@@ -143,10 +137,8 @@ impl Enricher {
         } else {
             self.state_terms[2]
         };
-        store.insert_annotated(
-            Triple { s: vessel_term, p: self.vocab.moving_state, o: state },
-            ann,
-        );
+        store
+            .insert_annotated(Triple { s: vessel_term, p: self.vocab.moving_state, o: state }, ann);
         emitted += 1;
 
         self.triples_emitted += emitted as u64;

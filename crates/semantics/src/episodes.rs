@@ -126,10 +126,7 @@ fn push_episode(
     zones: &[(String, Polygon)],
 ) {
     let mid = &fixes[(start + end) / 2];
-    let place = zones
-        .iter()
-        .find(|(_, poly)| poly.contains(mid.pos))
-        .map(|(name, _)| name.clone());
+    let place = zones.iter().find(|(_, poly)| poly.contains(mid.pos)).map(|(name, _)| name.clone());
     episodes.push(Episode {
         kind,
         start: fixes[start].t,
@@ -150,10 +147,7 @@ mod tests {
     }
 
     fn port_zone() -> (String, Polygon) {
-        (
-            "PORT".to_string(),
-            Polygon::rectangle(BoundingBox::new(42.95, 4.95, 43.05, 5.05)),
-        )
+        ("PORT".to_string(), Polygon::rectangle(BoundingBox::new(42.95, 4.95, 43.05, 5.05)))
     }
 
     #[test]

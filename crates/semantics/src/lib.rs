@@ -22,6 +22,22 @@
 //!   truth (the C8 experiment).
 //! - [`enrich`] — streaming enrichment: fixes × zones × weather →
 //!   triples, with throughput accounting.
+//!
+//! ## Example
+//!
+//! ```
+//! use mda_semantics::store::Triple;
+//! use mda_semantics::{Interner, TripleStore};
+//!
+//! let mut terms = Interner::new();
+//! let mut kg = TripleStore::new();
+//! let s = terms.intern("vessel:227000001");
+//! let p = terms.intern("rdf:type");
+//! let o = terms.intern("Tanker");
+//! kg.insert(Triple { s, p, o });
+//! assert!(kg.contains(&Triple { s, p, o }));
+//! assert_eq!(kg.len(), 1);
+//! ```
 
 pub mod enrich;
 pub mod episodes;
@@ -35,5 +51,5 @@ pub use episodes::{Episode, EpisodeKind, SemanticTrajectory};
 pub use link::{discover_links, LinkConfig, LinkScore};
 pub use query::{Pattern, QueryTerm};
 pub use registry::{RegistryRecord, SourceId};
-pub use store::{TripleStore, Annotation};
+pub use store::{Annotation, TripleStore};
 pub use term::{Interner, TermId};

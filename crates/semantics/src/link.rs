@@ -203,15 +203,9 @@ pub fn discover_links(
 }
 
 /// Score links against the records' ground-truth indices.
-pub fn score_links(
-    links: &[Link],
-    left: &[RegistryRecord],
-    right: &[RegistryRecord],
-) -> LinkScore {
-    let tp = links
-        .iter()
-        .filter(|l| left[l.left].truth_index == right[l.right].truth_index)
-        .count();
+pub fn score_links(links: &[Link], left: &[RegistryRecord], right: &[RegistryRecord]) -> LinkScore {
+    let tp =
+        links.iter().filter(|l| left[l.left].truth_index == right[l.right].truth_index).count();
     let fp = links.len() - tp;
     // Every left record has exactly one true counterpart in this setup.
     let fnr = left.len() - tp;

@@ -59,8 +59,7 @@ impl Pattern {
                 let o = resolve(po, binding);
                 for t in store.matching(s, p, o) {
                     let mut b = binding.clone();
-                    if !bind(ps, t.s, &mut b) || !bind(pp, t.p, &mut b) || !bind(po, t.o, &mut b)
-                    {
+                    if !bind(ps, t.s, &mut b) || !bind(pp, t.p, &mut b) || !bind(po, t.o, &mut b) {
                         continue;
                     }
                     next.push(b);
@@ -128,8 +127,7 @@ mod tests {
         );
         let sols = q.solve(&s);
         assert_eq!(sols.len(), 2);
-        let names: Vec<&str> =
-            sols.iter().map(|b| i.name(b["v"]).unwrap()).collect();
+        let names: Vec<&str> = sols.iter().map(|b| i.name(b["v"]).unwrap()).collect();
         assert!(names.contains(&"v1") && names.contains(&"v3"));
     }
 
@@ -143,11 +141,7 @@ mod tests {
                 QueryTerm::Const(i.intern("type")),
                 QueryTerm::Const(i.intern("cargo")),
             )
-            .with(
-                QueryTerm::var("v"),
-                QueryTerm::Const(i.intern("inZone")),
-                QueryTerm::var("z"),
-            )
+            .with(QueryTerm::var("v"), QueryTerm::Const(i.intern("inZone")), QueryTerm::var("z"))
             .with(
                 QueryTerm::var("z"),
                 QueryTerm::Const(i.intern("kind")),

@@ -102,11 +102,7 @@ pub fn generate_registries(
             name: base_name,
             callsign: if rng.gen_bool(0.9) { Some(format!("FC{i:04}")) } else { None },
             length_m: length.round(),
-            flag: if stale {
-                flags[(i + 1) % flags.len()].to_string()
-            } else {
-                flag.to_string()
-            },
+            flag: if stale { flags[(i + 1) % flags.len()].to_string() } else { flag.to_string() },
             truth_index: i,
         });
     }
@@ -114,8 +110,8 @@ pub fn generate_registries(
 }
 
 const NAME_STEMS: [&str; 16] = [
-    "ASTER", "BOREAL", "CORMORAN", "DAUPHIN", "ETOILE", "FLAMANT", "GOELAND", "HERMINE",
-    "IBIS", "JASON", "KRAKEN", "LIBECCIO", "MISTRAL", "NEPTUNE", "ORION", "PELICAN",
+    "ASTER", "BOREAL", "CORMORAN", "DAUPHIN", "ETOILE", "FLAMANT", "GOELAND", "HERMINE", "IBIS",
+    "JASON", "KRAKEN", "LIBECCIO", "MISTRAL", "NEPTUNE", "ORION", "PELICAN",
 ];
 
 fn mda_ais_imo(stem: u32) -> u32 {
@@ -188,11 +184,7 @@ mod tests {
     fn stale_flags_at_requested_rate() {
         let mut rng = StdRng::seed_from_u64(2);
         let (crowd, auth) = generate_registries(400, 0.15, &mut rng);
-        let stale = crowd
-            .iter()
-            .zip(&auth)
-            .filter(|(c, a)| c.flag != a.flag)
-            .count();
+        let stale = crowd.iter().zip(&auth).filter(|(c, a)| c.flag != a.flag).count();
         let rate = stale as f64 / 400.0;
         assert!((0.10..0.20).contains(&rate), "stale rate {rate}");
     }

@@ -85,12 +85,7 @@ impl TripleStore {
 
     /// All triples matching a pattern with optional components, using
     /// the most selective index available.
-    pub fn matching(
-        &self,
-        s: Option<TermId>,
-        p: Option<TermId>,
-        o: Option<TermId>,
-    ) -> Vec<Triple> {
+    pub fn matching(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Vec<Triple> {
         let mut out = Vec::new();
         match (s, p, o) {
             (Some(s), Some(p), Some(o)) => {
@@ -220,10 +215,7 @@ mod tests {
         let t = Triple { s: ids[1], p: i.intern("at"), o: i.intern("cell-42") };
         s.insert_annotated(
             t,
-            Annotation {
-                t: Timestamp::from_secs(100),
-                pos: Some(Position::new(43.0, 5.0)),
-            },
+            Annotation { t: Timestamp::from_secs(100), pos: Some(Position::new(43.0, 5.0)) },
         );
         assert!(s.annotation(&t).is_some());
 
@@ -246,34 +238,19 @@ mod tests {
         );
         assert!(misses.is_empty());
         // Spatial filter.
-        let in_box = s.matching_st(
-            None,
-            None,
-            None,
-            None,
-            Some(&BoundingBox::new(42.0, 4.0, 44.0, 6.0)),
-        );
+        let in_box =
+            s.matching_st(None, None, None, None, Some(&BoundingBox::new(42.0, 4.0, 44.0, 6.0)));
         assert_eq!(in_box.len(), 1);
-        let out_box = s.matching_st(
-            None,
-            None,
-            None,
-            None,
-            Some(&BoundingBox::new(0.0, 0.0, 1.0, 1.0)),
-        );
+        let out_box =
+            s.matching_st(None, None, None, None, Some(&BoundingBox::new(0.0, 0.0, 1.0, 1.0)));
         assert!(out_box.is_empty());
     }
 
     #[test]
     fn unannotated_triples_fail_st_filters() {
         let (s, _, ids) = setup();
-        let hits = s.matching_st(
-            Some(ids[0]),
-            None,
-            None,
-            Some((Timestamp::MIN, Timestamp::MAX)),
-            None,
-        );
+        let hits =
+            s.matching_st(Some(ids[0]), None, None, Some((Timestamp::MIN, Timestamp::MAX)), None);
         assert!(hits.is_empty(), "no annotation, no spatio-temporal match");
     }
 }

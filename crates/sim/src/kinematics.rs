@@ -173,16 +173,15 @@ impl VesselMotion {
                 if t >= *until {
                     match then {
                         AfterDwell::ReverseRoute => {
-                            let route = self.home_route.take().unwrap_or_else(|| vec![self.pos, self.pos]);
+                            let route =
+                                self.home_route.take().unwrap_or_else(|| vec![self.pos, self.pos]);
                             let next = 1.min(route.len() - 1);
                             self.cog_deg = initial_bearing_deg(self.pos, route[next]);
                             self.sog_kn = self.cruise_kn;
                             self.mode = Mode::Underway {
                                 route,
                                 next,
-                                then: AfterRoute::TurnAround {
-                                    dwell: 30 * mda_geo::time::MINUTE,
-                                },
+                                then: AfterRoute::TurnAround { dwell: 30 * mda_geo::time::MINUTE },
                             };
                         }
                     }
@@ -208,7 +207,7 @@ impl VesselMotion {
                     }
                 }
                 // Random walk: wander, curving back when near the edge.
-                let speed = if matches!(until, Some(_)) { self.fishing_kn } else { self.cruise_kn };
+                let speed = if until.is_some() { self.fishing_kn } else { self.cruise_kn };
                 self.sog_kn = speed.max(0.5);
                 let step_m = mda_geo::units::knots_to_mps(self.sog_kn) * (dt as f64 / 1_000.0);
                 let to_center = initial_bearing_deg(self.pos, *center);

@@ -24,6 +24,17 @@
 //!   coarse resolution the paper describes for met-ocean data.
 //! - [`scenario`] — ties everything into a reproducible [`scenario::SimOutput`]:
 //!   ground truth + observed multi-sensor streams, sorted by arrival.
+//!
+//! ## Example
+//!
+//! ```
+//! use mda_sim::{Scenario, ScenarioConfig};
+//!
+//! // Ten simulated minutes of a four-vessel fleet in the Gulf of Lion.
+//! let sim = Scenario::generate(ScenarioConfig::regional(7, 4, 10 * mda_geo::time::MINUTE));
+//! assert!(!sim.ais.is_empty(), "receivers heard AIS traffic");
+//! assert!(!sim.truth.is_empty(), "ground-truth tracks were recorded");
+//! ```
 
 pub mod corruption;
 pub mod kinematics;

@@ -106,9 +106,8 @@ impl AisReception {
         if rng.gen_bool(self.satellite_decode_prob) {
             // Delivered at the end of the batch window plus a processing
             // delay: late and out of order relative to terrestrial.
-            let batch_end = Timestamp(
-                (t.millis().div_euclid(self.satellite_batch) + 1) * self.satellite_batch,
-            );
+            let batch_end =
+                Timestamp((t.millis().div_euclid(self.satellite_batch) + 1) * self.satellite_batch);
             let delay = rng.gen_range(self.satellite_delay.0..=self.satellite_delay.1);
             return Some((batch_end + delay, true));
         }

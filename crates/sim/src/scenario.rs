@@ -13,9 +13,7 @@ use crate::receivers::{
 use crate::vessel::{Behavior, VesselSpec};
 use crate::weather::WeatherField;
 use crate::world::World;
-use mda_ais::messages::{
-    AisMessage, NavigationalStatus, PositionReport, ShipType,
-};
+use mda_ais::messages::{AisMessage, NavigationalStatus, PositionReport, ShipType};
 use mda_geo::distance::destination;
 use mda_geo::{DurationMs, Fix, Position, Timestamp, VesselId};
 use rand::rngs::StdRng;
@@ -163,10 +161,7 @@ impl SimOutput {
     /// Kinematic fixes as the *receiver* would extract them from the AIS
     /// stream (claimed identity, reception order).
     pub fn ais_fixes(&self) -> Vec<Fix> {
-        self.ais
-            .iter()
-            .filter_map(|o| o.msg.to_fix(o.t_sent))
-            .collect()
+        self.ais.iter().filter_map(|o| o.msg.to_fix(o.t_sent)).collect()
     }
 
     /// Total number of ground-truth fixes.
@@ -252,10 +247,8 @@ impl Scenario {
         let mut ais: Vec<AisObservation> = Vec::new();
         let mut radar: Vec<RadarPlot> = Vec::new();
         let mut vms: Vec<VmsReport> = Vec::new();
-        let mut next_position_report: Vec<Timestamp> = vessels
-            .iter()
-            .map(|_| Timestamp(rng.gen_range(0..10_000)))
-            .collect();
+        let mut next_position_report: Vec<Timestamp> =
+            vessels.iter().map(|_| Timestamp(rng.gen_range(0..10_000))).collect();
         let mut next_static_report: Vec<Timestamp> = vessels
             .iter()
             .map(|_| Timestamp(rng.gen_range(0..30 * mda_geo::time::MINUTE)))
@@ -280,9 +273,14 @@ impl Scenario {
                 if t >= next_position_report[vi] {
                     next_position_report[vi] = t + ais_report_interval(fix.sog_kn);
                     if !is_dark {
-                        if let Some(obs) =
-                            Self::make_position_obs(spec, &fix, &spoof_episodes, &fraud_episodes, &reception, &mut rng)
-                        {
+                        if let Some(obs) = Self::make_position_obs(
+                            spec,
+                            &fix,
+                            &spoof_episodes,
+                            &fraud_episodes,
+                            &reception,
+                            &mut rng,
+                        ) {
                             ais.push(obs);
                         }
                     }
@@ -305,10 +303,7 @@ impl Scenario {
                 }
 
                 // VMS (fishing vessels only; works while "dark" on AIS).
-                if config.with_vms
-                    && spec.ship_type == ShipType::Fishing
-                    && t >= next_vms[vi]
-                {
+                if config.with_vms && spec.ship_type == ShipType::Fishing && t >= next_vms[vi] {
                     next_vms[vi] = t + VMS_PERIOD;
                     vms.push(vms_poll(&fix, &mut rng));
                 }
@@ -369,10 +364,7 @@ impl Scenario {
                     },
                 )
             } else if roll < 0.9 && config.region == Region::GulfOfLion {
-                let ground = Position::new(
-                    rng.gen_range(42.3..43.0),
-                    rng.gen_range(3.8..5.8),
-                );
+                let ground = Position::new(rng.gen_range(42.3..43.0), rng.gen_range(3.8..5.8));
                 (
                     ShipType::Fishing,
                     Behavior::Fishing {
@@ -407,8 +399,8 @@ impl Scenario {
         let n_dark = (n as f64 * config.dark_ship_fraction).round() as usize;
         let n_spoof = (n as f64 * config.spoof_fraction).round() as usize;
         let n_fraud = (n as f64 * config.identity_fraud_fraction).round() as usize;
-        for i in 0..n_dark.min(n) {
-            vessels[i].deception.dark_fraction = config.dark_time_fraction;
+        for vessel in vessels.iter_mut().take(n_dark.min(n)) {
+            vessel.deception.dark_fraction = config.dark_time_fraction;
         }
         for i in 0..n_spoof.min(n) {
             let idx = n.saturating_sub(1 + i);
@@ -566,11 +558,8 @@ mod tests {
         assert_eq!(out.fraud_episodes.len(), 3);
 
         // Static error rate ~5%.
-        let statics: Vec<_> = out
-            .ais
-            .iter()
-            .filter(|o| matches!(o.msg, AisMessage::StaticVoyage(_)))
-            .collect();
+        let statics: Vec<_> =
+            out.ais.iter().filter(|o| matches!(o.msg, AisMessage::StaticVoyage(_))).collect();
         let bad = statics.iter().filter(|o| o.label == CorruptionLabel::StaticError).count();
         let rate = bad as f64 / statics.len().max(1) as f64;
         assert!((0.01..0.12).contains(&rate), "static error rate {rate}");
@@ -598,11 +587,8 @@ mod tests {
     #[test]
     fn identity_fraud_changes_claimed_mmsi() {
         let out = Scenario::generate(ScenarioConfig::regional(5, 40, 3 * HOUR));
-        let fraudulent: Vec<_> = out
-            .ais
-            .iter()
-            .filter(|o| o.label == CorruptionLabel::IdentityFraud)
-            .collect();
+        let fraudulent: Vec<_> =
+            out.ais.iter().filter(|o| o.label == CorruptionLabel::IdentityFraud).collect();
         assert!(!fraudulent.is_empty(), "fraud episodes must produce messages");
         for o in &fraudulent {
             assert_ne!(o.msg.mmsi(), o.truth_id, "claimed MMSI differs from truth");
@@ -616,14 +602,10 @@ mod tests {
             out.ais.iter().filter(|o| o.label == CorruptionLabel::Spoofed).collect();
         assert!(!spoofed.is_empty());
         for o in spoofed.iter().take(20) {
-            let truth_fix = out.truth[&o.truth_id]
-                .iter()
-                .min_by_key(|f| (f.t - o.t_sent).abs())
-                .unwrap();
-            let d = mda_geo::distance::haversine_m(
-                o.msg.to_fix(o.t_sent).unwrap().pos,
-                truth_fix.pos,
-            );
+            let truth_fix =
+                out.truth[&o.truth_id].iter().min_by_key(|f| (f.t - o.t_sent).abs()).unwrap();
+            let d =
+                mda_geo::distance::haversine_m(o.msg.to_fix(o.t_sent).unwrap().pos, truth_fix.pos);
             assert!(d > 15_000.0, "spoof displacement only {d} m");
         }
     }

@@ -92,8 +92,8 @@ pub struct VesselSpec {
 }
 
 const NAME_STEMS: [&str; 16] = [
-    "ASTER", "BOREAL", "CORMORAN", "DAUPHIN", "ETOILE", "FLAMANT", "GOELAND", "HERMINE",
-    "IBIS", "JASON", "KRAKEN", "LIBECCIO", "MISTRAL", "NEPTUNE", "ORION", "PELICAN",
+    "ASTER", "BOREAL", "CORMORAN", "DAUPHIN", "ETOILE", "FLAMANT", "GOELAND", "HERMINE", "IBIS",
+    "JASON", "KRAKEN", "LIBECCIO", "MISTRAL", "NEPTUNE", "ORION", "PELICAN",
 ];
 
 impl VesselSpec {
@@ -102,10 +102,18 @@ impl VesselSpec {
     pub fn mint(index: u32, ship_type: ShipType, behavior: Behavior, rng: &mut impl Rng) -> Self {
         let mmsi = 227_000_000 + index; // MID 227 = France
         let (length_m, beam_m, draught_m, speed_class): (u16, u8, f64, &str) = match ship_type {
-            ShipType::Cargo => (rng.gen_range(90..220), rng.gen_range(14..32), rng.gen_range(6.0..12.0), "C"),
-            ShipType::Tanker => (rng.gen_range(120..300), rng.gen_range(18..45), rng.gen_range(8.0..16.0), "T"),
-            ShipType::Fishing => (rng.gen_range(12..40), rng.gen_range(4..10), rng.gen_range(2.0..5.0), "F"),
-            ShipType::Passenger => (rng.gen_range(60..180), rng.gen_range(12..28), rng.gen_range(4.0..7.0), "P"),
+            ShipType::Cargo => {
+                (rng.gen_range(90..220), rng.gen_range(14..32), rng.gen_range(6.0..12.0), "C")
+            }
+            ShipType::Tanker => {
+                (rng.gen_range(120..300), rng.gen_range(18..45), rng.gen_range(8.0..16.0), "T")
+            }
+            ShipType::Fishing => {
+                (rng.gen_range(12..40), rng.gen_range(4..10), rng.gen_range(2.0..5.0), "F")
+            }
+            ShipType::Passenger => {
+                (rng.gen_range(60..180), rng.gen_range(12..28), rng.gen_range(4.0..7.0), "P")
+            }
             _ => (rng.gen_range(20..80), rng.gen_range(6..14), rng.gen_range(2.0..6.0), "V"),
         };
         let stem = NAME_STEMS[(index as usize) % NAME_STEMS.len()];
@@ -149,7 +157,7 @@ impl VesselSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mda_ais::quality::{validate_static, imo_check_digit_valid};
+    use mda_ais::quality::{imo_check_digit_valid, validate_static};
     use rand::{rngs::StdRng, SeedableRng};
 
     #[test]
@@ -195,8 +203,6 @@ mod tests {
         assert!(!DeceptionProfile::honest().is_deceptive());
         assert!(DeceptionProfile { dark_fraction: 0.2, ..Default::default() }.is_deceptive());
         assert!(DeceptionProfile { gps_spoofing: true, ..Default::default() }.is_deceptive());
-        assert!(
-            DeceptionProfile { cloned_mmsi: Some(1), ..Default::default() }.is_deceptive()
-        );
+        assert!(DeceptionProfile { cloned_mmsi: Some(1), ..Default::default() }.is_deceptive());
     }
 }

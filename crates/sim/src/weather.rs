@@ -47,9 +47,8 @@ impl WeatherField {
             + 4.0 * ((la * 0.8 + s).sin() * (lo * 0.6 - th * 0.15 + s).cos())
             + 2.0 * ((lo * 1.3 + th * 0.05).sin());
         let dir = 180.0 + 170.0 * ((la * 0.5 - lo * 0.4 + th * 0.02 + s).sin());
-        let wave = (0.4 + wind.max(0.0) * 0.22
-            + 0.5 * ((la * 1.1 + lo * 0.9 - th * 0.1).cos()))
-        .max(0.1);
+        let wave =
+            (0.4 + wind.max(0.0) * 0.22 + 0.5 * ((la * 1.1 + lo * 0.9 - th * 0.1).cos())).max(0.1);
         let current = 0.2 + 0.15 * ((la * 2.0 - th * 0.08 + s).cos()).abs();
         WeatherSample {
             wind_mps: wind.clamp(0.0, 30.0),

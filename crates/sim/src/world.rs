@@ -177,26 +177,21 @@ impl World {
         };
 
         let lanes = vec![
-            route(0, 1, &[(49.0, -10.0), (45.0, -40.0)]),                  // N Atlantic
-            route(1, 2, &[(25.0, -65.0), (0.0, -40.0)]),                   // Americas
-            route(2, 3, &[(-30.0, -20.0)]),                                // S Atlantic
-            route(3, 4, &[(-35.0, 40.0), (-10.0, 80.0), (0.0, 95.0)]),     // Indian Ocean
-            route(4, 5, &[(5.0, 108.0), (20.0, 117.0)]),                   // SCS
-            route(5, 6, &[(32.0, 128.0)]),                                 // ECS
-            route(6, 7, &[(40.0, 160.0), (40.0, -150.0)]),                 // N Pacific
-            route(4, 8, &[(-10.0, 110.0), (-25.0, 130.0)]),                // Australia
-            route(9, 4, &[(22.0, 62.0), (8.0, 75.0)]),                     // Gulf–Asia
+            route(0, 1, &[(49.0, -10.0), (45.0, -40.0)]), // N Atlantic
+            route(1, 2, &[(25.0, -65.0), (0.0, -40.0)]),  // Americas
+            route(2, 3, &[(-30.0, -20.0)]),               // S Atlantic
+            route(3, 4, &[(-35.0, 40.0), (-10.0, 80.0), (0.0, 95.0)]), // Indian Ocean
+            route(4, 5, &[(5.0, 108.0), (20.0, 117.0)]),  // SCS
+            route(5, 6, &[(32.0, 128.0)]),                // ECS
+            route(6, 7, &[(40.0, 160.0), (40.0, -150.0)]), // N Pacific
+            route(4, 8, &[(-10.0, 110.0), (-25.0, 130.0)]), // Australia
+            route(9, 4, &[(22.0, 62.0), (8.0, 75.0)]),    // Gulf–Asia
             route(0, 9, &[(36.0, -6.0), (33.0, 15.0), (31.5, 32.3), (27.0, 34.0), (12.5, 45.0)]), // Suez
-            route(10, 9, &[(20.0, 65.0)]),                                 // Mumbai–Dubai
-            route(11, 0, &[(15.0, -18.0), (36.0, -7.0)]),                  // W Africa–Europe
+            route(10, 9, &[(20.0, 65.0)]), // Mumbai–Dubai
+            route(11, 0, &[(15.0, -18.0), (36.0, -7.0)]), // W Africa–Europe
         ];
 
-        World {
-            bounds: BoundingBox::WORLD,
-            ports,
-            lanes,
-            zones: Vec::new(),
-        }
+        World { bounds: BoundingBox::WORLD, ports, lanes, zones: Vec::new() }
     }
 }
 

@@ -111,17 +111,16 @@ impl KnnEngine {
         }
         let (qr, qc) = self.cell_of(query);
         // Metres per cell along the smaller (longitude) direction.
-        let cell_m = self.cell_deg.to_radians() * EARTH_RADIUS_M
-            * query.lat.to_radians().cos().max(0.2);
+        let cell_m =
+            self.cell_deg.to_radians() * EARTH_RADIUS_M * query.lat.to_radians().cos().max(0.2);
         // A vessel can have left its stored cell by at most this much.
         let slack_m = (self.max_extrapolation as f64 / 1_000.0) * 20.0; // 20 m/s ≈ 39 kn
 
         let mut best: Vec<KnnResult> = Vec::new();
-        let max_ring = 1 + (self.cells.keys().map(|(r, c)| {
-            (r - qr).abs().max((c - qc).abs())
-        }))
-        .max()
-        .unwrap_or(0);
+        let max_ring = 1
+            + (self.cells.keys().map(|(r, c)| (r - qr).abs().max((c - qc).abs())))
+                .max()
+                .unwrap_or(0);
 
         for ring in 0..=max_ring {
             // Prune: nothing in this ring can beat the kth best.

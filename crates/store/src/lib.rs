@@ -13,6 +13,22 @@
 //!   (ref 45): snapshot kNN at any time with dead-reckoned current
 //!   positions, grid-pruned ring search vs. a brute-force baseline.
 //! - [`shared`] — a thread-safe wrapper used by the live pipeline.
+//!
+//! ## Example
+//!
+//! ```
+//! use mda_geo::{Fix, Position, Timestamp};
+//! use mda_store::SharedTrajectoryStore;
+//!
+//! let store = SharedTrajectoryStore::new();
+//! for i in 0..10i64 {
+//!     let t = Timestamp::from_secs(i * 60);
+//!     store.append(Fix::new(1, t, Position::new(43.0, 5.0 + 0.001 * i as f64), 10.0, 90.0));
+//! }
+//! assert_eq!(store.len(), 10);
+//! // Positions between fixes are interpolated.
+//! assert!(store.position_at(1, Timestamp::from_secs(90)).is_some());
+//! ```
 
 pub mod knn;
 pub mod shared;

@@ -106,10 +106,7 @@ mod tests {
         for i in 0..10 {
             store.append(fix(1, i * 60));
         }
-        assert_eq!(
-            store.range(1, Timestamp::from_secs(120), Timestamp::from_secs(300)).len(),
-            4
-        );
+        assert_eq!(store.range(1, Timestamp::from_secs(120), Timestamp::from_secs(300)).len(), 4);
         assert!(store.position_at(1, Timestamp::from_secs(90)).is_some());
         assert_eq!(store.trajectory(1).unwrap().len(), 10);
         let removed = store.compact(1, |f| f.iter().step_by(2).copied().collect());

@@ -127,8 +127,7 @@ mod tests {
             let area = BoundingBox::new(lat, lon, lat + 0.4, lon + 0.5);
             let from = Timestamp(rng.gen_range(0..3 * mda_geo::time::HOUR));
             let to = from + rng.gen_range(MINUTE..2 * mda_geo::time::HOUR);
-            let mut got: Vec<_> =
-                g.query(&area, from, to).iter().map(|f| (f.id, f.t)).collect();
+            let mut got: Vec<_> = g.query(&area, from, to).iter().map(|f| (f.id, f.t)).collect();
             let mut want: Vec<_> = fixes
                 .iter()
                 .filter(|f| area.contains(f.pos) && f.t >= from && f.t <= to)
@@ -148,9 +147,10 @@ mod tests {
         let area = bounds();
         assert_eq!(g.query(&area, Timestamp::from_mins(10), Timestamp::from_mins(10)).len(), 1);
         assert!(g.query(&area, Timestamp::from_mins(11), Timestamp::from_mins(20)).is_empty());
-        assert!(g
-            .query(&area, Timestamp::from_mins(20), Timestamp::from_mins(10))
-            .is_empty(), "inverted range");
+        assert!(
+            g.query(&area, Timestamp::from_mins(20), Timestamp::from_mins(10)).is_empty(),
+            "inverted range"
+        );
     }
 
     #[test]

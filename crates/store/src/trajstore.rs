@@ -182,9 +182,7 @@ mod tests {
             s.append(fix(2, i, 6.0));
         }
         // Keep every 10th fix of vessel 1.
-        let removed = s.compact(1, |fixes| {
-            fixes.iter().step_by(10).copied().collect()
-        });
+        let removed = s.compact(1, |fixes| fixes.iter().step_by(10).copied().collect());
         assert_eq!(removed, 90);
         assert_eq!(s.len(), 60);
         assert_eq!(s.trajectory(1).unwrap().len(), 10);

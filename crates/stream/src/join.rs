@@ -26,7 +26,12 @@ impl<K: Eq + Hash + Clone, L: Clone, R: Clone> IntervalJoin<K, L, R> {
     }
 
     /// Push a left element; returns all matches with buffered rights.
-    pub fn push_left(&mut self, key: K, t: Timestamp, value: L) -> Vec<(Timestamp, L, Timestamp, R)> {
+    pub fn push_left(
+        &mut self,
+        key: K,
+        t: Timestamp,
+        value: L,
+    ) -> Vec<(Timestamp, L, Timestamp, R)> {
         let mut out = Vec::new();
         if let Some(rs) = self.rights.get(&key) {
             for (tr, r) in rs {
@@ -40,7 +45,12 @@ impl<K: Eq + Hash + Clone, L: Clone, R: Clone> IntervalJoin<K, L, R> {
     }
 
     /// Push a right element; returns all matches with buffered lefts.
-    pub fn push_right(&mut self, key: K, t: Timestamp, value: R) -> Vec<(Timestamp, L, Timestamp, R)> {
+    pub fn push_right(
+        &mut self,
+        key: K,
+        t: Timestamp,
+        value: R,
+    ) -> Vec<(Timestamp, L, Timestamp, R)> {
         let mut out = Vec::new();
         if let Some(ls) = self.lefts.get(&key) {
             for (tl, l) in ls {
@@ -69,10 +79,7 @@ impl<K: Eq + Hash + Clone, L: Clone, R: Clone> IntervalJoin<K, L, R> {
 
     /// Buffered state size `(lefts, rights)`.
     pub fn state_size(&self) -> (usize, usize) {
-        (
-            self.lefts.values().map(Vec::len).sum(),
-            self.rights.values().map(Vec::len).sum(),
-        )
+        (self.lefts.values().map(Vec::len).sum(), self.rights.values().map(Vec::len).sum())
     }
 }
 

@@ -20,6 +20,23 @@
 //!   the Figure-2 architecture.
 //! - **Parallel execution** ([`runner`]) — hash-partitioned worker pool
 //!   over crossbeam channels, the stand-in for a distributed cluster.
+//!
+//! ## Example
+//!
+//! ```
+//! use mda_geo::Timestamp;
+//! use mda_stream::{BoundedOutOfOrderness, ReorderBuffer};
+//!
+//! let mut wm = BoundedOutOfOrderness::new(1_000);
+//! let mut buf = ReorderBuffer::new();
+//! for t in [3_000i64, 1_000, 2_000] {
+//!     buf.push(Timestamp(t), t);
+//!     wm.observe(Timestamp(t));
+//! }
+//! // Watermark = max seen - delay; everything at or before it comes out sorted.
+//! let released: Vec<i64> = buf.release(wm.current()).into_iter().map(|(t, _)| t.0).collect();
+//! assert_eq!(released, vec![1_000, 2_000]);
+//! ```
 
 pub mod join;
 pub mod pipeline;

@@ -96,10 +96,8 @@ impl<T> Pipeline<T> {
 
     /// Append a stage with a label for metrics.
     pub fn add_stage(mut self, name: &str, stage: impl Stage<T, T> + Send + 'static) -> Self {
-        self.stages.push((
-            Box::new(stage),
-            StageMetrics { name: name.to_string(), ..Default::default() },
-        ));
+        self.stages
+            .push((Box::new(stage), StageMetrics { name: name.to_string(), ..Default::default() }));
         self
     }
 
@@ -197,9 +195,8 @@ mod tests {
 
     #[test]
     fn chained_stages() {
-        let mut p = Pipeline::new()
-            .add_stage("filter", PositiveFilter)
-            .add_stage("double", Doubler);
+        let mut p =
+            Pipeline::new().add_stage("filter", PositiveFilter).add_stage("double", Doubler);
         assert_eq!(p.push(Timestamp(1), 5), vec![(Timestamp(1), 10)]);
         assert!(p.push(Timestamp(2), -5).is_empty());
     }

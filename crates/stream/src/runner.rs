@@ -66,11 +66,7 @@ where
 
 /// Convenience: parallel map over chunks without keying (round-robin
 /// partitioning), preserving no particular order.
-pub fn run_unordered<T, O>(
-    items: Vec<T>,
-    workers: usize,
-    f: impl Fn(T) -> O + Sync,
-) -> Vec<O>
+pub fn run_unordered<T, O>(items: Vec<T>, workers: usize, f: impl Fn(T) -> O + Sync) -> Vec<O>
 where
     T: Send,
     O: Send,
@@ -113,12 +109,8 @@ mod tests {
         // Elements (key, seq); worker records the order it sees.
         let items: Vec<(u32, u32)> =
             (0..50).flat_map(|seq| (0..8u32).map(move |k| (k, seq))).collect();
-        let out: Vec<(u32, u32)> = run_partitioned(
-            items,
-            4,
-            |item| item.0,
-            || |item: (u32, u32)| vec![item],
-        );
+        let out: Vec<(u32, u32)> =
+            run_partitioned(items, 4, |item| item.0, || |item: (u32, u32)| vec![item]);
         let mut per_key: HashMap<u32, Vec<u32>> = HashMap::new();
         for (k, seq) in out {
             per_key.entry(k).or_default().push(seq);

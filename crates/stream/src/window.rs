@@ -29,6 +29,11 @@ impl Window {
     pub fn len(&self) -> DurationMs {
         self.end - self.start
     }
+
+    /// True for degenerate (zero-width) windows.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
 }
 
 /// Epoch-aligned tumbling windows of fixed width.
@@ -163,10 +168,15 @@ impl<K: Eq + Hash + Clone> SessionWindows<K> {
 /// passes a window's end.
 pub struct KeyedWindowAggregate<K, V, A> {
     windows: TumblingWindows,
-    init: Box<dyn Fn() -> A + Send>,
-    fold: Box<dyn Fn(&mut A, V) + Send>,
+    init: InitFn<A>,
+    fold: FoldFn<A, V>,
     state: HashMap<(K, Timestamp), A>,
 }
+
+/// Boxed accumulator initialiser stored by [`KeyedWindowAggregate`].
+type InitFn<A> = Box<dyn Fn() -> A + Send>;
+/// Boxed element folder stored by [`KeyedWindowAggregate`].
+type FoldFn<A, V> = Box<dyn Fn(&mut A, V) + Send>;
 
 impl<K: Eq + Hash + Clone, V, A> KeyedWindowAggregate<K, V, A> {
     /// Create an aggregate over tumbling windows of `width` ms.
@@ -196,12 +206,8 @@ impl<K: Eq + Hash + Clone, V, A> KeyedWindowAggregate<K, V, A> {
     pub fn advance(&mut self, watermark: Timestamp) -> Vec<(K, Window, A)> {
         let width = self.windows.width;
         let mut out = Vec::new();
-        let closed: Vec<(K, Timestamp)> = self
-            .state
-            .keys()
-            .filter(|(_, start)| *start + width <= watermark)
-            .cloned()
-            .collect();
+        let closed: Vec<(K, Timestamp)> =
+            self.state.keys().filter(|(_, start)| *start + width <= watermark).cloned().collect();
         for key in closed {
             let acc = self.state.remove(&key).expect("key just listed");
             let w = Window { start: key.1, end: key.1 + width };
@@ -260,7 +266,7 @@ mod tests {
         let mut s: SessionWindows<u32> = SessionWindows::new(10 * SECOND);
         assert!(s.observe(1, Timestamp(0)).is_none());
         assert!(s.observe(1, Timestamp(5_000)).is_none()); // merged
-        // 30 s later: previous session closes, a new one opens.
+                                                           // 30 s later: previous session closes, a new one opens.
         let closed = s.observe(1, Timestamp(35_000)).expect("session closed");
         assert_eq!(closed.start, Timestamp(0));
         assert_eq!(closed.end, Timestamp(15_000));

@@ -33,7 +33,7 @@ proptest! {
         let mut watermark = BoundedOutOfOrderness::new(5_000);
         let mut emitted: Vec<i64> = Vec::new();
         let mut accepted = 0usize;
-        let mut wm = Timestamp::MIN;
+        let mut wm;
         for (i, t) in times.iter().enumerate() {
             if buffer.push(Timestamp(*t), i) {
                 accepted += 1;

@@ -91,13 +91,7 @@ mod tests {
 
     fn steady_track(n: usize) -> Vec<Fix> {
         // Perfect 10 kn eastbound track where dead-reckoning is exact.
-        let start = Fix::new(
-            7,
-            Timestamp::from_mins(0),
-            Position::new(43.0, 5.0),
-            10.0,
-            90.0,
-        );
+        let start = Fix::new(7, Timestamp::from_mins(0), Position::new(43.0, 5.0), 10.0, 90.0);
         (0..n)
             .map(|i| {
                 let t = Timestamp::from_mins(i as i64);

@@ -171,7 +171,7 @@ pub fn detect_trajectory(fixes: &[Fix], config: SynopsisConfig) -> Vec<CriticalP
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use mda_geo::Position;
 
     fn fix(t_min: i64, lat: f64, lon: f64, sog: f64, cog: f64) -> Fix {
@@ -212,7 +212,7 @@ mod tests {
             (0..20).map(|i| fix(i, 43.0, 5.0 + i as f64 * 0.01, 10.0, (i * 2) as f64)).collect();
         let cps = detect_trajectory(&fixes, SynopsisConfig::default());
         let turns = cps.iter().filter(|c| c.kind == CriticalPointKind::TurningPoint).count();
-        assert!(turns >= 1 && turns <= 3, "got {turns} turns");
+        assert!((1..=3).contains(&turns), "got {turns} turns");
     }
 
     #[test]

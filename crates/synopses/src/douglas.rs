@@ -19,11 +19,7 @@ pub fn douglas_peucker(fixes: &[Fix], tolerance_m: f64) -> Vec<Fix> {
     keep[0] = true;
     keep[fixes.len() - 1] = true;
     simplify(fixes, 0, fixes.len() - 1, tolerance_m, &mut keep);
-    fixes
-        .iter()
-        .zip(keep)
-        .filter_map(|(f, k)| if k { Some(*f) } else { None })
-        .collect()
+    fixes.iter().zip(keep).filter_map(|(f, k)| if k { Some(*f) } else { None }).collect()
 }
 
 fn simplify(fixes: &[Fix], lo: usize, hi: usize, tol: f64, keep: &mut [bool]) {
@@ -33,8 +29,8 @@ fn simplify(fixes: &[Fix], lo: usize, hi: usize, tol: f64, keep: &mut [bool]) {
     let (a, b) = (fixes[lo].pos, fixes[hi].pos);
     let mut worst = lo;
     let mut worst_d = -1.0;
-    for i in lo + 1..hi {
-        let d = segment_distance_m(fixes[i].pos, a, b);
+    for (i, f) in fixes.iter().enumerate().take(hi).skip(lo + 1) {
+        let d = segment_distance_m(f.pos, a, b);
         if d > worst_d {
             worst_d = d;
             worst = i;

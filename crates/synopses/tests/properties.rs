@@ -24,7 +24,7 @@ fn arb_trajectory() -> impl Strategy<Value = Vec<Fix>> {
                 for _ in 0..steps {
                     fixes.push(Fix::new(1, t, pos, sog, cog));
                     pos = destination(pos, cog, knots_to_mps(sog) * 30.0);
-                    t = t + 30_000;
+                    t += 30_000;
                 }
             }
             fixes

@@ -37,7 +37,8 @@ pub struct Assignment {
 /// `candidates` holds every pairing that passed the gate. Pairs are
 /// taken best-first; a contact or track already claimed is skipped.
 pub fn assign_greedy(n_contacts: usize, mut candidates: Vec<CandidatePair>) -> Assignment {
-    candidates.sort_by(|a, b| a.dist_sq.partial_cmp(&b.dist_sq).unwrap_or(std::cmp::Ordering::Equal));
+    candidates
+        .sort_by(|a, b| a.dist_sq.partial_cmp(&b.dist_sq).unwrap_or(std::cmp::Ordering::Equal));
     let mut contact_used = vec![false; n_contacts];
     let mut track_used = std::collections::HashSet::new();
     let mut pairs = Vec::new();
@@ -49,8 +50,7 @@ pub fn assign_greedy(n_contacts: usize, mut candidates: Vec<CandidatePair>) -> A
         track_used.insert(c.track);
         pairs.push((c.contact, c.track));
     }
-    let unmatched_contacts =
-        (0..n_contacts).filter(|i| !contact_used[*i]).collect();
+    let unmatched_contacts = (0..n_contacts).filter(|i| !contact_used[*i]).collect();
     Assignment { pairs, unmatched_contacts }
 }
 
@@ -75,10 +75,7 @@ mod tests {
         // contact 1 only gates with track 0 (1.5). Greedy best-first:
         // (0,0) taken, then (1,0) blocked, (0,1) blocked by contact 0,
         // leaving contact 1 unmatched... unless (1,0) had been cheaper.
-        let a = assign_greedy(
-            2,
-            vec![pair(0, 0, 1.0), pair(0, 1, 2.0), pair(1, 0, 1.5)],
-        );
+        let a = assign_greedy(2, vec![pair(0, 0, 1.0), pair(0, 1, 2.0), pair(1, 0, 1.5)]);
         assert_eq!(a.pairs, vec![(0, 0)]);
         assert_eq!(a.unmatched_contacts, vec![1]);
     }
@@ -86,10 +83,7 @@ mod tests {
     #[test]
     fn greedy_prefers_global_cheap_pairs() {
         // (1,0) is globally cheapest; contact 0 then takes track 1.
-        let a = assign_greedy(
-            2,
-            vec![pair(0, 0, 3.0), pair(0, 1, 4.0), pair(1, 0, 1.0)],
-        );
+        let a = assign_greedy(2, vec![pair(0, 0, 3.0), pair(0, 1, 4.0), pair(1, 0, 1.0)]);
         assert_eq!(a.pairs, vec![(1, 0), (0, 1)]);
         assert!(a.unmatched_contacts.is_empty());
     }

@@ -314,8 +314,7 @@ impl Fuser {
 
     /// `(live, confirmed, dropped-so-far)` counts.
     pub fn stats(&self) -> (usize, usize, u64) {
-        let confirmed =
-            self.tracks.values().filter(|t| t.state != TrackState::Tentative).count();
+        let confirmed = self.tracks.values().filter(|t| t.state != TrackState::Tentative).count();
         (self.tracks.len(), confirmed, self.dropped)
     }
 }

@@ -208,15 +208,14 @@ impl CvKalman {
         let inv = [[s11 / det, -s01 / det], [-s01 / det, s00 / det]];
         // K = P Ht S^-1 (4x2)
         let mut k = [[0.0f64; 2]; 4];
-        for i in 0..4 {
-            let ph_t = [self.p[i][0], self.p[i][1]];
-            for j in 0..2 {
-                k[i][j] = ph_t[0] * inv[0][j] + ph_t[1] * inv[1][j];
+        for (k_row, p_row) in k.iter_mut().zip(&self.p) {
+            for (j, k_ij) in k_row.iter_mut().enumerate() {
+                *k_ij = p_row[0] * inv[0][j] + p_row[1] * inv[1][j];
             }
         }
         // x += K y
-        for i in 0..4 {
-            self.x[i] += k[i][0] * y[0] + k[i][1] * y[1];
+        for (x_i, k_row) in self.x.iter_mut().zip(&k) {
+            *x_i += k_row[0] * y[0] + k_row[1] * y[1];
         }
         // P = (I - K H) P
         let mut ikh = m4_identity();
@@ -245,17 +244,12 @@ impl CvKalman {
 mod tests {
     use super::*;
     use mda_geo::distance::haversine_m;
-    
+
     use mda_geo::units::knots_to_mps;
 
     fn truth_track(n: usize, dt_s: i64, speed_kn: f64, cog: f64) -> Vec<(Timestamp, Position)> {
-        let f0 = mda_geo::Fix::new(
-            1,
-            Timestamp::from_secs(0),
-            Position::new(43.0, 5.0),
-            speed_kn,
-            cog,
-        );
+        let f0 =
+            mda_geo::Fix::new(1, Timestamp::from_secs(0), Position::new(43.0, 5.0), speed_kn, cog);
         (0..n)
             .map(|i| {
                 let t = Timestamp::from_secs(i as i64 * dt_s);

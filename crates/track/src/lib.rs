@@ -17,6 +17,26 @@
 //!   update, coverage accounting.
 //! - [`reliability`] — per-source reliability scores from innovation
 //!   statistics (the Ceolin-style trust assessment of §4).
+//!
+//! ## Example
+//!
+//! ```
+//! use mda_geo::{Fix, Position, Timestamp};
+//! use mda_track::{Fuser, FuserConfig, SensorKind, SensorReport};
+//!
+//! let mut fuser = Fuser::new(FuserConfig::default());
+//! for i in 0..5i64 {
+//!     let fix = Fix::new(
+//!         9,
+//!         Timestamp::from_secs(i * 10),
+//!         Position::new(43.0, 5.0 + 0.001 * i as f64),
+//!         10.0,
+//!         90.0,
+//!     );
+//!     fuser.ingest(&SensorReport::from_fix(SensorKind::AisTerrestrial, &fix));
+//! }
+//! assert!(fuser.tracks().count() >= 1);
+//! ```
 
 pub mod associate;
 pub mod fusion;

@@ -78,11 +78,8 @@ impl ReliabilityMonitor {
 
     /// `(kind, score, ewma_nis, count)` rows for reporting.
     pub fn report(&self) -> Vec<(SensorKind, f64, f64, u64)> {
-        let mut rows: Vec<_> = self
-            .stats
-            .iter()
-            .map(|(k, s)| (*k, self.score(*k), s.ewma_nis, s.count))
-            .collect();
+        let mut rows: Vec<_> =
+            self.stats.iter().map(|(k, s)| (*k, self.score(*k), s.ewma_nis, s.count)).collect();
         rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         rows
     }

@@ -104,13 +104,8 @@ mod tests {
 
     #[test]
     fn report_sigma_override() {
-        let fix = mda_geo::Fix::new(
-            1,
-            Timestamp::from_secs(0),
-            Position::new(43.0, 5.0),
-            10.0,
-            90.0,
-        );
+        let fix =
+            mda_geo::Fix::new(1, Timestamp::from_secs(0), Position::new(43.0, 5.0), 10.0, 90.0);
         let mut r = SensorReport::from_fix(SensorKind::AisTerrestrial, &fix);
         assert_eq!(r.sigma_m(), 10.0);
         r.accuracy_m = Some(99.0);

@@ -91,20 +91,12 @@ impl MassFunction {
 
     /// Belief: total mass of subsets of `set`.
     pub fn belief(&self, set: HypSet) -> f64 {
-        self.masses
-            .iter()
-            .filter(|(s, _)| **s & !set == 0)
-            .map(|(_, m)| m)
-            .sum()
+        self.masses.iter().filter(|(s, _)| **s & !set == 0).map(|(_, m)| m).sum()
     }
 
     /// Plausibility: total mass of sets intersecting `set`.
     pub fn plausibility(&self, set: HypSet) -> f64 {
-        self.masses
-            .iter()
-            .filter(|(s, _)| **s & set != 0)
-            .map(|(_, m)| m)
-            .sum()
+        self.masses.iter().filter(|(s, _)| **s & set != 0).map(|(_, m)| m).sum()
     }
 
     /// Dempster's rule of combination. Returns the combined mass and the

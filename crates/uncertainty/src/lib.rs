@@ -19,6 +19,19 @@
 //! - [`openworld`] — a probabilistic relation supporting closed-world
 //!   *and* open-world query semantics side by side; the C3 experiment
 //!   uses it to show what closed-world rendezvous queries miss.
+//!
+//! ## Example
+//!
+//! ```
+//! use mda_uncertainty::ProbInterval;
+//!
+//! // Second-order uncertainty: the chance a vessel is dark, as an interval.
+//! let dark = ProbInterval::new(0.2, 0.6);
+//! let rendezvous = ProbInterval::new(0.5, 0.9);
+//! let both = dark.and_frechet(&rendezvous);
+//! assert!(both.lo >= 0.0 && both.hi <= dark.hi + 1e-12);
+//! assert!(both.width() <= 1.0);
+//! ```
 
 pub mod evidence;
 pub mod interval;

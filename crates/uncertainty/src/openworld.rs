@@ -86,19 +86,14 @@ impl<T> OpenWorldRelation<T> {
     /// Closed-world probability that *at least one* tuple matches
     /// (tuple independence assumed).
     pub fn exists_closed(&self, pred: impl Fn(&T) -> bool) -> f64 {
-        let none: f64 =
-            self.tuples.iter().filter(|t| pred(&t.value)).map(|t| 1.0 - t.p).product();
+        let none: f64 = self.tuples.iter().filter(|t| pred(&t.value)).map(|t| 1.0 - t.p).product();
         1.0 - none
     }
 
     /// Open-world existence probability as an interval. The upper bound
     /// treats the missing budget as that many unobserved candidate facts
     /// each matching with probability `p_match_if_missing`.
-    pub fn exists_open(
-        &self,
-        pred: impl Fn(&T) -> bool,
-        p_match_if_missing: f64,
-    ) -> ProbInterval {
+    pub fn exists_open(&self, pred: impl Fn(&T) -> bool, p_match_if_missing: f64) -> ProbInterval {
         let closed = self.exists_closed(pred);
         let p = p_match_if_missing.clamp(0.0, 1.0);
         // Probability none of the ~budget missing facts match.

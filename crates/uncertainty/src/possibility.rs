@@ -72,12 +72,7 @@ impl PossibilityDist {
             self.pi.keys().chain(other.pi.keys()).collect();
         let pi = keys
             .into_iter()
-            .map(|k| {
-                (
-                    k.clone(),
-                    self.possibility(k).min(other.possibility(k)),
-                )
-            })
+            .map(|k| (k.clone(), self.possibility(k).min(other.possibility(k))))
             .collect();
         PossibilityDist { pi }
     }

@@ -104,9 +104,7 @@ impl Distribution {
     /// Iterate over `(outcome, normalised probability)`.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
         let z = self.total();
-        self.weights.iter().map(move |(o, w)| {
-            (o.as_str(), if z > 0.0 { w / z } else { 0.0 })
-        })
+        self.weights.iter().map(move |(o, w)| (o.as_str(), if z > 0.0 { w / z } else { 0.0 }))
     }
 }
 

@@ -9,11 +9,8 @@ use proptest::prelude::*;
 fn arb_mass() -> impl Strategy<Value = MassFunction> {
     prop::collection::vec((1u16..16, 0.01f64..1.0), 1..6).prop_map(|pairs| {
         let total: f64 = pairs.iter().map(|(_, m)| m).sum();
-        MassFunction::from_masses(
-            4,
-            pairs.into_iter().map(|(s, m)| (s, m / total)),
-        )
-        .expect("normalised masses")
+        MassFunction::from_masses(4, pairs.into_iter().map(|(s, m)| (s, m / total)))
+            .expect("normalised masses")
     })
 }
 

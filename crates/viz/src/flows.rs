@@ -51,9 +51,7 @@ impl FlowMatrix {
         let mut rows: Vec<(&str, &str, u64)> = self
             .counts
             .iter()
-            .map(|((f, t), c)| {
-                (self.regions[*f].0.as_str(), self.regions[*t].0.as_str(), *c)
-            })
+            .map(|((f, t), c)| (self.regions[*f].0.as_str(), self.regions[*t].0.as_str(), *c))
             .collect();
         rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)).then(a.1.cmp(b.1)));
         rows

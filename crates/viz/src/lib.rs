@@ -13,6 +13,19 @@
 //!   operator picture.
 //! - [`flows`] — origin/destination flow aggregation between named
 //!   regions (the flow-map building block).
+//!
+//! ## Example
+//!
+//! ```
+//! use mda_geo::{BoundingBox, Position};
+//! use mda_viz::DensityRaster;
+//!
+//! let mut raster = DensityRaster::new(BoundingBox::new(42.0, 4.0, 44.0, 6.0), 8, 8);
+//! raster.add(Position::new(43.00, 5.00));
+//! raster.add(Position::new(43.01, 5.01));
+//! assert_eq!(raster.total(), 2);
+//! assert!(raster.max_count() >= 1);
+//! ```
 
 pub mod flows;
 pub mod pyramid;

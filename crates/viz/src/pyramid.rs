@@ -115,10 +115,7 @@ mod tests {
         // 64 positions clustered in the NE quadrant plus 8 scattered SW.
         let mut out = Vec::new();
         for i in 0..64 {
-            out.push(Position::new(
-                6.0 + (i % 8) as f64 * 0.2,
-                6.0 + (i / 8) as f64 * 0.2,
-            ));
+            out.push(Position::new(6.0 + (i % 8) as f64 * 0.2, 6.0 + (i / 8) as f64 * 0.2));
         }
         for i in 0..8 {
             out.push(Position::new(1.0 + i as f64 * 0.1, 1.5));
@@ -127,12 +124,7 @@ mod tests {
     }
 
     fn pyramid() -> AggregationPyramid {
-        AggregationPyramid::build(
-            BoundingBox::new(0.0, 0.0, 8.0, 8.0),
-            16,
-            16,
-            positions(),
-        )
+        AggregationPyramid::build(BoundingBox::new(0.0, 0.0, 8.0, 8.0), 16, 16, positions())
     }
 
     #[test]
@@ -184,11 +176,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "power_of_two")]
     fn non_power_of_two_rejected() {
-        let _ = AggregationPyramid::build(
-            BoundingBox::new(0.0, 0.0, 1.0, 1.0),
-            10,
-            10,
-            Vec::new(),
-        );
+        let _ = AggregationPyramid::build(BoundingBox::new(0.0, 0.0, 1.0, 1.0), 10, 10, Vec::new());
     }
 }

@@ -41,10 +41,10 @@ impl DensityRaster {
         if !self.bounds.contains(p) {
             return None;
         }
-        let r = ((p.lat - self.bounds.min_lat) / self.bounds.lat_span()
-            * self.rows as f64) as usize;
-        let c = ((p.lon - self.bounds.min_lon) / self.bounds.lon_span()
-            * self.cols as f64) as usize;
+        let r =
+            ((p.lat - self.bounds.min_lat) / self.bounds.lat_span() * self.rows as f64) as usize;
+        let c =
+            ((p.lon - self.bounds.min_lon) / self.bounds.lon_span() * self.cols as f64) as usize;
         Some((r.min(self.rows - 1), c.min(self.cols - 1)))
     }
 

@@ -102,8 +102,7 @@ mod tests {
         let ppm = render_ppm(&raster_with_hotspot());
         assert!(ppm.starts_with("P3\n4 4\n255\n"));
         // 16 pixels * 3 components.
-        let numbers: Vec<&str> =
-            ppm.lines().skip(3).flat_map(|l| l.split_whitespace()).collect();
+        let numbers: Vec<&str> = ppm.lines().skip(3).flat_map(|l| l.split_whitespace()).collect();
         assert_eq!(numbers.len(), 48);
         for n in numbers {
             let v: u32 = n.parse().expect("numeric component");

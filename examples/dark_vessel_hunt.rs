@@ -34,11 +34,8 @@ fn main() {
     let events = pipeline.run_scenario(&sim);
 
     // --- detection vs ground truth -----------------------------------
-    let mut flagged_dark: Vec<u32> = events
-        .iter()
-        .filter(|e| matches!(e.kind, EventKind::GapStart))
-        .map(|e| e.vessel)
-        .collect();
+    let mut flagged_dark: Vec<u32> =
+        events.iter().filter(|e| matches!(e.kind, EventKind::GapStart)).map(|e| e.vessel).collect();
     flagged_dark.sort_unstable();
     flagged_dark.dedup();
     let hits = flagged_dark.iter().filter(|v| sim.dark_episodes.contains_key(v)).count();

@@ -25,9 +25,7 @@ fn main() {
     for zone in ["MARSEILLE-APPROACH", "MARSEILLE-ANCHORAGE", "CALANQUES-RESERVE"] {
         let entries = events
             .iter()
-            .filter(
-                |e| matches!(&e.kind, EventKind::ZoneEntry { zone: z } if z == zone),
-            )
+            .filter(|e| matches!(&e.kind, EventKind::ZoneEntry { zone: z } if z == zone))
             .count();
         let exits = events
             .iter()
@@ -35,10 +33,8 @@ fn main() {
             .count();
         println!("  {zone}: {entries} entries, {exits} exits");
     }
-    let poaching = events
-        .iter()
-        .filter(|e| matches!(e.kind, EventKind::IllegalFishing { .. }))
-        .count();
+    let poaching =
+        events.iter().filter(|e| matches!(e.kind, EventKind::IllegalFishing { .. })).count();
     println!("  illegal-fishing alerts in the reserve: {poaching}");
 
     // --- port-to-port flows ---------------------------------------------

@@ -36,10 +36,7 @@ fn main() {
 
     // --- synopses: the 95% claim -----------------------------------------
     println!("synopsis compression at three tolerances:");
-    println!(
-        "  {:>10} {:>12} {:>12} {:>12}",
-        "tolerance", "ratio", "mean err", "max err"
-    );
+    println!("  {:>10} {:>12} {:>12} {:>12}", "tolerance", "ratio", "mean err", "max err");
     for tol in [50.0, 100.0, 250.0] {
         let cfg = ThresholdConfig { tolerance_m: tol, ..Default::default() };
         let mut kept_total = 0usize;

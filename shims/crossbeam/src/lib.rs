@@ -1,0 +1,48 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Supplies `crossbeam::channel::unbounded` on top of
+//! `std::sync::mpsc`, which covers the workspace's usage: one consumer
+//! per receiver, senders dropped to close the channel, receivers
+//! drained by iteration. The real crossbeam adds select!/mpmc
+//! semantics the stream runner does not need yet.
+//!
+//! ```
+//! let (tx, rx) = crossbeam::channel::unbounded();
+//! for i in 0..3 {
+//!     tx.send(i).unwrap();
+//! }
+//! drop(tx);
+//! assert_eq!(rx.into_iter().sum::<i32>(), 3);
+//! ```
+
+pub mod channel {
+    //! Multi-producer channels mirroring `crossbeam::channel`.
+
+    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fan_in_across_threads() {
+        let (tx, rx) = super::channel::unbounded();
+        std::thread::scope(|s| {
+            for w in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..10 {
+                        tx.send(w * 100 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let got: Vec<u64> = rx.into_iter().collect();
+            assert_eq!(got.len(), 40);
+        });
+    }
+}

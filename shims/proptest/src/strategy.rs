@@ -1,0 +1,159 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use rand::{Rng as _, SampleUniform};
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of one type. The workspace's
+/// tests build these from ranges, tuples, `prop::collection::vec`, and
+/// [`Strategy::prop_map`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Sample one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11),
+);
+
+/// String patterns: a `&str` literal is a strategy for `String`.
+///
+/// Real proptest accepts any regex; this shim supports the shape the
+/// workspace uses — a single character class with a bounded repeat,
+/// `"[chars]{lo,hi}"` (ranges like `A-Z` and literal chars, including
+/// space, inside the class) — and treats any other pattern as a literal
+/// string. Unsupported regex syntax fails loudly via `debug_assert`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_class_repeat(self) {
+            Some((alphabet, lo, hi)) => {
+                let len = rng.rng.gen_range(lo..=hi);
+                (0..len).map(|_| alphabet[rng.rng.gen_range(0..alphabet.len())]).collect()
+            }
+            None => {
+                debug_assert!(
+                    !self.contains(['[', '*', '+', '?', '|', '(']),
+                    "proptest shim: unsupported regex pattern {self:?}; \
+                     only `[class]{{lo,hi}}` and literals are implemented",
+                );
+                (*self).to_string()
+            }
+        }
+    }
+}
+
+/// Parse `[class]{lo,hi}` into (alphabet, lo, hi).
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, repeat) = rest.split_once(']')?;
+    let repeat = repeat.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = repeat.split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            alphabet.extend((a..=b).filter(|c| c.is_ascii()));
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    (!alphabet.is_empty() && lo <= hi).then_some((alphabet, lo, hi))
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}

@@ -1,0 +1,56 @@
+//! Test execution plumbing: config, RNG, and case outcomes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+
+/// Per-test configuration; only `cases` is honoured by this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Deterministic RNG handed to strategies. Seeded from the test's
+/// fully-qualified name so every test sees a stable, independent
+/// stream across runs and platforms.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary label (the `proptest!` macro passes the
+    /// test's module path and name). Uses FNV-1a rather than std's
+    /// `DefaultHasher`, whose algorithm may change between Rust
+    /// releases — the input stream must not shift on a toolchain bump.
+    pub fn deterministic(label: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in label.bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { rng: StdRng::seed_from_u64(h) }
+    }
+}
+
+/// Why a sampled case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// Input missed a `prop_assume!` precondition; resample.
+    Reject,
+    /// A `prop_assert*` failed; the property is falsified.
+    Fail(String),
+}

@@ -1,0 +1,183 @@
+//! Offline stand-in for `rand` (0.8-style API).
+//!
+//! The build environment cannot reach crates.io, so this shim provides
+//! the subset the workspace uses: [`Rng::gen_range`] / [`Rng::gen_bool`],
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`] backed by
+//! xoshiro256** (seeded through SplitMix64). All workspace call sites
+//! seed explicitly, so determinism is preserved across runs and
+//! platforms — which the simulator's scenario generation relies on.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let lane: usize = rng.gen_range(0..4);
+//! let speed = rng.gen_range(8.0..22.0);
+//! assert!(lane < 4);
+//! assert!((8.0..22.0).contains(&speed));
+//! assert_eq!(StdRng::seed_from_u64(42).gen_range(0u64..1 << 60),
+//!            StdRng::seed_from_u64(42).gen_range(0u64..1 << 60));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be drawn uniformly from a range. Mirrors
+/// `rand::distributions::uniform::SampleUniform` for the primitives the
+/// workspace samples.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw a value in `[lo, hi)` (`hi` included when `inclusive`).
+    fn sample_in<G: Rng + ?Sized>(rng: &mut G, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<G: Rng + ?Sized>(rng: &mut G, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as $wide) - (lo as $wide) + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "gen_range: empty range");
+                let r = (rng.next_u64() as u128 % span as u128) as $wide;
+                ((lo as $wide) + r) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform_int!(
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128,
+    u8 => u128, u16 => u128, u32 => u128, u64 => u128, usize => u128,
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<G: Rng + ?Sized>(rng: &mut G, lo: Self, hi: Self, _inclusive: bool) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges a [`Rng`] can sample from; mirrors `rand`'s `SampleRange`.
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> T {
+        T::sample_in(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<G: Rng + ?Sized>(self, rng: &mut G) -> T {
+        T::sample_in(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// The subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `range` (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Seedable generators; the workspace only uses [`seed_from_u64`].
+///
+/// [`seed_from_u64`]: SeedableRng::seed_from_u64
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators (just [`StdRng`] here).
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for
+    /// `rand::rngs::StdRng`. Not cryptographically secure — neither is
+    /// the real `StdRng`'s contract across versions — but fast,
+    /// well-distributed, and stable for reproducible simulation.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as the real rand does for small seeds.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn deterministic_and_in_range() {
+            let mut a = StdRng::seed_from_u64(7);
+            let mut b = StdRng::seed_from_u64(7);
+            for _ in 0..1000 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+            for _ in 0..1000 {
+                let v: i64 = a.gen_range(-50..50);
+                assert!((-50..50).contains(&v));
+                let f = a.gen_range(0.25f64..0.75);
+                assert!((0.25..0.75).contains(&f));
+                let u = a.gen_range(3usize..=9);
+                assert!((3..=9).contains(&u));
+            }
+        }
+
+        #[test]
+        fn gen_bool_extremes() {
+            let mut rng = StdRng::seed_from_u64(1);
+            assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+            assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this shim supplies
+//! the two marker traits and the no-op derive macros the workspace
+//! uses. Types annotated `#[derive(Serialize, Deserialize)]` compile
+//! unchanged; nothing in the workspace performs actual serialization
+//! yet. When a wire format lands, replace the `serde` entry in
+//! `[workspace.dependencies]` with the real crate — no source edits
+//! needed.
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Serialize, Deserialize)]
+//! struct Tagged {
+//!     value: u32,
+//! }
+//! let t = Tagged { value: 7 };
+//! assert_eq!(t.value, 7);
+//! ```
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The no-op derive does not implement it; it exists so downstream
+/// code may write `T: Serialize` bounds that keep compiling when the
+/// real crate is swapped in.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

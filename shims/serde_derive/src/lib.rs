@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this minimal substitute. The derive macros accept
+//! the same attribute grammar as the real crate but expand to nothing:
+//! the codebase only *tags* types with `#[derive(Serialize, Deserialize)]`
+//! and never calls a serializer, so empty expansions are sufficient.
+//! Swapping in the real `serde`/`serde_derive` later is a two-line
+//! change in the workspace `Cargo.toml`.
+
+use proc_macro::TokenStream;
+
+/// Derive stand-in for `serde::Serialize`; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive stand-in for `serde::Deserialize`; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

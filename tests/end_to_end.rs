@@ -22,18 +22,11 @@ fn full_stack_detects_injected_deception() {
     let events = pipeline.run_scenario(&sim);
 
     // Gap events cover most truly dark vessels.
-    let mut flagged: Vec<u32> = events
-        .iter()
-        .filter(|e| matches!(e.kind, EventKind::GapStart))
-        .map(|e| e.vessel)
-        .collect();
+    let mut flagged: Vec<u32> =
+        events.iter().filter(|e| matches!(e.kind, EventKind::GapStart)).map(|e| e.vessel).collect();
     flagged.sort_unstable();
     flagged.dedup();
-    let dark_recall = sim
-        .dark_episodes
-        .keys()
-        .filter(|v| flagged.contains(v))
-        .count() as f64
+    let dark_recall = sim.dark_episodes.keys().filter(|v| flagged.contains(v)).count() as f64
         / sim.dark_episodes.len().max(1) as f64;
     assert!(dark_recall >= 0.7, "dark recall {dark_recall}");
 
@@ -48,11 +41,7 @@ fn full_stack_detects_injected_deception() {
         })
         .map(|e| e.vessel)
         .collect();
-    let spoof_caught = sim
-        .spoof_episodes
-        .keys()
-        .filter(|v| veracity_vessels.contains(v))
-        .count();
+    let spoof_caught = sim.spoof_episodes.keys().filter(|v| veracity_vessels.contains(v)).count();
     assert!(
         spoof_caught * 2 >= sim.spoof_episodes.len(),
         "caught {spoof_caught}/{} spoofers",
@@ -60,11 +49,7 @@ fn full_stack_detects_injected_deception() {
     );
 
     // Identity fraud: the *victim's* MMSI shows the conflict.
-    let victims: Vec<u32> = sim
-        .vessels
-        .iter()
-        .filter_map(|v| v.deception.cloned_mmsi)
-        .collect();
+    let victims: Vec<u32> = sim.vessels.iter().filter_map(|v| v.deception.cloned_mmsi).collect();
     assert!(!victims.is_empty());
     let victim_conflicts = veracity_vessels.iter().filter(|v| victims.contains(v)).count();
     assert!(victim_conflicts > 0, "no identity conflicts on cloned MMSIs");
@@ -121,11 +106,7 @@ fn archive_supports_forecast_and_knn() {
 #[test]
 fn static_error_rate_recovered_by_validation() {
     let sim = Scenario::generate(ScenarioConfig::regional(104, 60, 3 * HOUR));
-    let injected = sim
-        .ais
-        .iter()
-        .filter(|o| o.label == CorruptionLabel::StaticError)
-        .count();
+    let injected = sim.ais.iter().filter(|o| o.label == CorruptionLabel::StaticError).count();
     let statics = sim
         .ais
         .iter()
