@@ -1,0 +1,183 @@
+//! Golden-vector tests: real-world AIVDM sentences with externally
+//! documented decodes.
+//!
+//! The round-trip property tests prove the codec is self-consistent;
+//! these vectors prove it implements the *same* bit layout as every
+//! other AIS receiver. The sentences and their expected fields are the
+//! well-known examples from the public AIVDM/AIVDO protocol
+//! documentation, cross-checked against an independent decoder.
+
+use mda_ais::codec::decode_payload;
+use mda_ais::messages::{AisMessage, NavigationalStatus, ShipType};
+use mda_ais::nmea::{dearmor_payload, parse_sentence, NmeaError, SentenceAssembler};
+use mda_ais::sixbit::{char_to_sixbit, sixbit_to_char};
+
+/// Decode a single-fragment sentence end to end.
+fn decode_single(line: &str) -> AisMessage {
+    let s = parse_sentence(line).expect("valid sentence");
+    assert_eq!(s.frag_count, 1);
+    let bits = dearmor_payload(&s.payload, s.fill_bits).expect("valid payload");
+    decode_payload(&bits).expect("decodable payload")
+}
+
+#[test]
+fn type1_position_report_golden() {
+    // Documented decode: MMSI 477553000, moored, SOG 0.0 kn,
+    // 47.582833°N 122.345832°W, COG 51.0°, heading 181°, UTC second 15.
+    let msg = decode_single("!AIVDM,1,1,,B,177KQJ5000G?tO`K>RA1wUbN0TKH,0*5C");
+    let AisMessage::Position(p) = msg else { panic!("expected position report") };
+    assert_eq!(p.msg_type, 1);
+    assert_eq!(p.repeat, 0);
+    assert_eq!(p.mmsi, 477_553_000);
+    assert_eq!(p.status, NavigationalStatus::Moored);
+    assert_eq!(p.rot_deg_min, Some(0.0));
+    assert_eq!(p.sog_kn, Some(0.0));
+    assert!(!p.position_accuracy);
+    let pos = p.pos.expect("position available");
+    assert!((pos.lat - 47.582_833).abs() < 1e-5, "lat {}", pos.lat);
+    assert!((pos.lon - -122.345_832).abs() < 1e-5, "lon {}", pos.lon);
+    assert_eq!(p.cog_deg, Some(51.0));
+    assert_eq!(p.heading_deg, Some(181));
+    assert_eq!(p.utc_second, 15);
+}
+
+#[test]
+fn type5_static_voyage_multifragment_golden() {
+    // The classic two-fragment type 5: MT.MITCHELL, bound for SEATTLE.
+    let frags = [
+        "!AIVDM,2,1,3,B,55P5TL01VIaAL@7WKO@mBplU@<PDhh000000001S;AJ::4A80?4i@E53,0*3E",
+        "!AIVDM,2,2,3,B,1@0000000000000,2*55",
+    ];
+    let mut asm = SentenceAssembler::new();
+    let mut done = None;
+    for line in frags {
+        let s = parse_sentence(line).expect("valid fragment");
+        assert_eq!(s.frag_count, 2);
+        assert_eq!(s.message_id, Some(3));
+        assert_eq!(s.channel, 'B');
+        if let Some(bits) = asm.push(s).expect("assembles") {
+            done = Some(bits);
+        }
+    }
+    let bits = done.expect("message completed on the final fragment");
+    // 2 fragments × 6 bits/char minus the 2 fill bits = 424 logical bits.
+    assert_eq!(bits.len(), 424);
+    assert_eq!(asm.pending_count(), 0);
+
+    let AisMessage::StaticVoyage(s) = decode_payload(&bits).expect("decodable") else {
+        panic!("expected static voyage data")
+    };
+    assert_eq!(s.mmsi, 369_190_000);
+    assert_eq!(s.imo, 6_710_932);
+    assert_eq!(s.callsign, "WDA9674");
+    assert_eq!(s.name, "MT.MITCHELL");
+    assert_eq!(s.ship_type, ShipType::Other); // raw code 99
+    assert_eq!((s.dim_to_bow, s.dim_to_stern), (90, 90));
+    assert_eq!((s.dim_to_port, s.dim_to_starboard), (10, 10));
+    assert_eq!((s.eta_month, s.eta_day, s.eta_hour, s.eta_minute), (1, 2, 8, 0));
+    assert!((s.draught_m - 6.0).abs() < 1e-9);
+    assert_eq!(s.destination, "SEATTLE");
+}
+
+#[test]
+fn type5_fragments_assemble_in_any_order() {
+    // A real receiver can see fragment 2 first.
+    let frags = [
+        "!AIVDM,2,2,3,B,1@0000000000000,2*55",
+        "!AIVDM,2,1,3,B,55P5TL01VIaAL@7WKO@mBplU@<PDhh000000001S;AJ::4A80?4i@E53,0*3E",
+    ];
+    let mut asm = SentenceAssembler::new();
+    let mut done = None;
+    for line in frags {
+        if let Some(bits) = asm.push(parse_sentence(line).unwrap()).unwrap() {
+            done = Some(bits);
+        }
+    }
+    let bits = done.expect("out-of-order fragments still assemble");
+    let AisMessage::StaticVoyage(s) = decode_payload(&bits).unwrap() else {
+        panic!("expected static voyage data")
+    };
+    assert_eq!(s.name, "MT.MITCHELL");
+}
+
+#[test]
+fn type18_class_b_golden() {
+    // Documented decode: MMSI 338087471, SOG 0.1 kn,
+    // 40.684540°N 74.072132°W, COG 79.6°, heading not available.
+    let msg = decode_single("!AIVDM,1,1,,A,B52K>;h00Fc>jpUlNV@ikwpUoP06,0*4C");
+    let AisMessage::ClassBPosition(b) = msg else { panic!("expected class B report") };
+    assert_eq!(b.mmsi, 338_087_471);
+    assert_eq!(b.sog_kn, Some(0.1));
+    let pos = b.pos.expect("position available");
+    assert!((pos.lat - 40.684_540).abs() < 1e-5, "lat {}", pos.lat);
+    assert!((pos.lon - -74.072_132).abs() < 1e-5, "lon {}", pos.lon);
+    assert_eq!(b.cog_deg, Some(79.6));
+    assert_eq!(b.heading_deg, None);
+    assert_eq!(b.utc_second, 49);
+}
+
+#[test]
+fn corrupted_golden_sentence_fails_checksum() {
+    // Flip one payload character of the type 1 vector.
+    let bad = "!AIVDM,1,1,,B,177KQJ5000G?tO`K>RA1wUbN0TKI,0*5C";
+    match parse_sentence(bad) {
+        Err(NmeaError::BadChecksum(_, _)) => {}
+        other => panic!("expected checksum failure, got {other:?}"),
+    }
+}
+
+// ---- sixbit armoring edge cases ------------------------------------
+
+#[test]
+fn sixbit_armoring_alphabet_edges() {
+    // The armoring alphabet has a gap: values 0..=39 map to '0'..='W',
+    // values 40..=63 skip 8 code points and map to '`'..='w'.
+    let armor_of = |v: u8| {
+        let mut c = v + 48;
+        if c > 87 {
+            c += 8;
+        }
+        c as char
+    };
+    assert_eq!(armor_of(0), '0');
+    assert_eq!(armor_of(39), 'W'); // last before the gap
+    assert_eq!(armor_of(40), '`'); // first after the gap
+    assert_eq!(armor_of(63), 'w');
+    // 'X'..'_' (88..=95) are inside the gap and must be rejected.
+    for c in ['X', 'Y', 'Z', '[', '\\', ']', '^', '_'] {
+        let line = format!("AIVDM,1,1,,A,{c},0");
+        let cksum = line.bytes().fold(0u8, |a, b| a ^ b);
+        let err = parse_sentence(&format!("!{line}*{cksum:02X}"))
+            .and_then(|s| dearmor_payload(&s.payload, s.fill_bits));
+        assert_eq!(err, Err(NmeaError::BadPayloadChar(c)), "{c} must be rejected");
+    }
+}
+
+#[test]
+fn sixbit_text_alphabet_edges() {
+    // Text codes 0..=31 are '@'..='_', codes 32..=63 are ' '..='?'.
+    assert_eq!(sixbit_to_char(0), '@');
+    assert_eq!(sixbit_to_char(31), '_');
+    assert_eq!(sixbit_to_char(32), ' ');
+    assert_eq!(sixbit_to_char(63), '?');
+    assert_eq!(char_to_sixbit('@'), 0);
+    assert_eq!(char_to_sixbit('_'), 31);
+    assert_eq!(char_to_sixbit(' '), 32);
+    assert_eq!(char_to_sixbit('?'), 63);
+    // Out-of-alphabet characters degrade to '@' (the AIS padding char).
+    assert_eq!(char_to_sixbit('é'), 0);
+    assert_eq!(char_to_sixbit('~'), 0);
+    // Lower case upper-cases first.
+    assert_eq!(char_to_sixbit('a'), 1);
+    assert_eq!(char_to_sixbit('z'), 26);
+}
+
+#[test]
+fn fill_bits_are_discarded_by_dearmor() {
+    // One armored char = 6 bits; with 2 fill bits only 4 remain.
+    let bits = dearmor_payload("0", 2).unwrap();
+    assert_eq!(bits.len(), 4);
+    // All fill: empty payloads survive.
+    let empty = dearmor_payload("", 0).unwrap();
+    assert!(empty.is_empty());
+}

@@ -1,0 +1,28 @@
+//! Criterion bench: concurrent ingest — sharded batch appends vs the
+//! single-global-lock baseline (C10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mda_bench::c10_ingest::{fleet_fixes, ingest_global_lock, ingest_sharded, WORKLOAD};
+
+fn bench(c: &mut Criterion) {
+    let fixes = fleet_fixes(WORKLOAD, 500, 42);
+    let mut group = c.benchmark_group("c10_ingest");
+    group.throughput(Throughput::Elements(WORKLOAD as u64));
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("global_lock", workers), &workers, |b, &w| {
+            b.iter(|| std::hint::black_box(ingest_global_lock(fixes.clone(), w)))
+        });
+        group.bench_with_input(BenchmarkId::new("sharded", workers), &workers, |b, &w| {
+            b.iter(|| std::hint::black_box(ingest_sharded(fixes.clone(), w, 8)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

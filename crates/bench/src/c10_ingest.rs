@@ -1,0 +1,153 @@
+//! C10 — concurrent archive ingest: sharded batch appends vs the
+//! single-global-lock baseline.
+//!
+//! The paper's pipeline is built around continuous high-rate AIS
+//! ingest. The original `SharedTrajectoryStore` serialized every write
+//! through one `RwLock`; the sharded store stripes that lock by vessel
+//! hash and batches appends per shard. This experiment measures both
+//! designs under 1/2/4/8 ingest threads pushing the same 100k-fix
+//! workload.
+
+use crate::util::{f, table, timed};
+use mda_geo::{Fix, Position, Timestamp};
+use mda_store::shards::ShardedTrajectoryStore;
+use mda_stream::runner::{run_partitioned, run_shard_affine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of fixes in the standard workload.
+pub const WORKLOAD: usize = 100_000;
+
+/// A time-ordered ingest workload: `n` fixes interleaved round-robin
+/// over `vessels` vessels (the arrival pattern of a live AIS feed).
+pub fn fleet_fixes(n: usize, vessels: u32, seed: u64) -> Vec<Fix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            Fix::new(
+                (i as u32 % vessels) + 1,
+                Timestamp::from_secs((i / vessels as usize) as i64 * 10),
+                Position::new(rng.gen_range(42.0..44.0), rng.gen_range(3.0..6.0)),
+                rng.gen_range(0.0..18.0),
+                rng.gen_range(0.0..360.0),
+            )
+        })
+        .collect()
+}
+
+/// Baseline: the pre-sharding design. One global lock (a 1-shard
+/// store), `workers` ingest threads routed by vessel-key hash, one lock
+/// acquisition per fix.
+pub fn ingest_global_lock(fixes: Vec<Fix>, workers: usize) -> ShardedTrajectoryStore {
+    let store = ShardedTrajectoryStore::with_shards(1);
+    run_partitioned(
+        fixes,
+        workers,
+        |f: &Fix| f.id,
+        || {
+            let store = store.clone();
+            move |fix: Fix| {
+                store.append(fix);
+                Vec::<()>::new()
+            }
+        },
+    );
+    store
+}
+
+/// The sharded path: `workers` ingest threads routed shard-affine over
+/// a lock-striped store, one batch append per owned shard.
+pub fn ingest_sharded(fixes: Vec<Fix>, workers: usize, shards: usize) -> ShardedTrajectoryStore {
+    let store = ShardedTrajectoryStore::with_shards(shards);
+    run_shard_affine(
+        fixes,
+        workers,
+        shards,
+        |f: &Fix| store.shard_of(f.id),
+        || {
+            let store = store.clone();
+            move |batch: Vec<Fix>| {
+                store.append_batch(batch);
+                Vec::<()>::new()
+            }
+        },
+    );
+    store
+}
+
+/// Run the experiment and return the report text.
+pub fn run() -> String {
+    let fixes = fleet_fixes(WORKLOAD, 500, 42);
+    // Correctness cross-check before timing anything.
+    let a = ingest_global_lock(fixes.clone(), 4);
+    let b = ingest_sharded(fixes.clone(), 4, 8);
+    assert_eq!(a.len(), WORKLOAD);
+    assert_eq!(b.len(), WORKLOAD);
+    assert_eq!(a.vessels(), b.vessels());
+
+    // Median of 5 runs per cell: single-shot ingest timings are noisy,
+    // especially under scheduler jitter on small machines.
+    let median = |mut runs: Vec<f64>| {
+        runs.sort_by(f64::total_cmp);
+        runs[runs.len() / 2]
+    };
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let global_s = median(
+            (0..5)
+                .map(|_| {
+                    timed(|| {
+                        std::hint::black_box(ingest_global_lock(fixes.clone(), workers));
+                    })
+                    .1
+                })
+                .collect(),
+        );
+        let sharded_s = median(
+            (0..5)
+                .map(|_| {
+                    timed(|| {
+                        std::hint::black_box(ingest_sharded(fixes.clone(), workers, 8));
+                    })
+                    .1
+                })
+                .collect(),
+        );
+        rows.push(vec![
+            workers.to_string(),
+            format!("{}/s", f(WORKLOAD as f64 / global_s, 0)),
+            format!("{}/s", f(WORKLOAD as f64 / sharded_s, 0)),
+            format!("{}x", f(global_s / sharded_s, 1)),
+        ]);
+    }
+    let mut out = String::new();
+    out.push_str(&table(
+        "C10 — concurrent ingest, 100k fixes / 500 vessels",
+        &["ingest threads", "global lock (per-fix)", "sharded (batch)", "speedup"],
+        &rows,
+    ));
+    out.push_str(
+        "\n(global lock = 1-shard store, key-hash routing, one lock per fix —\n\
+         the pre-sharding design; sharded = 8 lock stripes, shard-affine\n\
+         routing, one batch append per owned shard)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_paths_ingest_identical_state() {
+        let fixes = fleet_fixes(5_000, 50, 7);
+        let a = ingest_global_lock(fixes.clone(), 4);
+        let b = ingest_sharded(fixes, 4, 8);
+        assert_eq!(a.len(), 5_000);
+        assert_eq!(b.len(), 5_000);
+        assert_eq!(a.vessels(), b.vessels());
+        for id in a.vessels() {
+            assert_eq!(a.trajectory(id), b.trajectory(id), "vessel {id}");
+        }
+    }
+}

@@ -13,6 +13,7 @@
 //! println!("{}", mda_bench::c1_synopses::run());
 //! ```
 
+pub mod c10_ingest;
 pub mod c1_synopses;
 pub mod c2_veracity;
 pub mod c3_godark;

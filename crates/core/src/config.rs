@@ -27,6 +27,9 @@ pub struct PipelineConfig {
     pub model_cell_deg: f64,
     /// Shape of the traffic-density raster.
     pub raster_shape: (usize, usize),
+    /// Lock stripes of the archival trajectory store. Ingest workers are
+    /// routed shard-affine, so this bounds write parallelism.
+    pub store_shards: usize,
 }
 
 impl PipelineConfig {
@@ -41,6 +44,7 @@ impl PipelineConfig {
             synopsis: ThresholdConfig::default(),
             model_cell_deg: 0.02,
             raster_shape: (64, 64),
+            store_shards: 8,
         }
     }
 }
@@ -56,6 +60,7 @@ mod tests {
         assert!(cfg.tick_interval > 0);
         assert!(cfg.model_cell_deg > 0.0);
         assert!(cfg.raster_shape.0 > 0 && cfg.raster_shape.1 > 0);
+        assert!(cfg.store_shards > 0);
         assert!(!cfg.bounds.is_empty());
     }
 }

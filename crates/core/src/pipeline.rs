@@ -17,6 +17,7 @@ use mda_sim::receivers::{RadarPlot, VmsReport};
 use mda_sim::scenario::{AisObservation, SimOutput};
 use mda_sim::weather::WeatherField;
 use mda_store::knn::KnnEngine;
+use mda_store::shards::{StIndexConfig, StoreConfig};
 use mda_store::shared::SharedTrajectoryStore;
 use mda_stream::reorder::ReorderBuffer;
 use mda_stream::watermark::BoundedOutOfOrderness;
@@ -71,7 +72,18 @@ impl MaritimePipeline {
             fuser: Fuser::new(config.fusion),
             engine: EventEngine::new(config.events.clone()),
             compressors: HashMap::new(),
-            store: SharedTrajectoryStore::new(),
+            // The archive is lock-striped by vessel hash; its per-shard
+            // grid index is maintained at ingest time so window queries
+            // never rebuild anything.
+            store: SharedTrajectoryStore::with_config(StoreConfig {
+                shards: config.store_shards,
+                st_index: Some(StIndexConfig {
+                    bounds: config.bounds,
+                    cell_deg: 0.1,
+                    slice: 30 * mda_geo::time::MINUTE,
+                }),
+                knn: None,
+            }),
             // The kNN horizon covers the watermark lag plus a coasting
             // margin, so snapshot queries anywhere in the freshness band
             // still see the fleet.
@@ -300,6 +312,42 @@ impl MaritimePipeline {
         &self.store
     }
 
+    /// Archived fixes inside a spatial window and time range, served by
+    /// the store's incrementally-maintained per-shard grid indexes.
+    pub fn archive_window(
+        &self,
+        area: &mda_geo::BoundingBox,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<Fix> {
+        self.store.window(area, from, to)
+    }
+
+    /// Bulk-load historical fixes into the archive with `workers` ingest
+    /// threads routed shard-affine: each worker exclusively owns a set
+    /// of store shards, so workers never contend on a shard lock. Fixes
+    /// bypass the streaming stages (no compression, events or model
+    /// learning) — this is the archive backfill path. Per-vessel input
+    /// order is preserved. Returns the number of fixes loaded.
+    pub fn backfill_archive(&self, fixes: Vec<Fix>, workers: usize) -> usize {
+        let n = fixes.len();
+        let shards = self.store.shard_count();
+        mda_stream::runner::run_shard_affine(
+            fixes,
+            workers.max(1),
+            shards,
+            |f: &Fix| self.store.shard_of(f.id),
+            || {
+                let store = self.store.clone();
+                move |batch: Vec<Fix>| {
+                    store.append_batch(batch);
+                    Vec::<()>::new()
+                }
+            },
+        );
+        n
+    }
+
     /// Snapshot kNN over the live fleet.
     pub fn knn(&self, query: Position, t: Timestamp, k: usize) -> Vec<mda_store::knn::KnnResult> {
         self.knn.knn(query, t, k)
@@ -418,7 +466,7 @@ mod tests {
         assert!(!near.is_empty());
 
         // Forecast from any vessel's archived synopsis.
-        let vessel = p.store().with_read(|s| s.vessels().next()).unwrap();
+        let vessel = *p.store().vessels().first().unwrap();
         let history = p.store().trajectory(vessel).unwrap();
         let predictor = p.route_predictor();
         use mda_forecast::Predictor;
@@ -441,6 +489,42 @@ mod tests {
         let r = p.report();
         let drop_rate = r.dropped_late as f64 / r.ais_messages.max(1) as f64;
         assert!(drop_rate < 0.05, "drop rate {drop_rate}");
+    }
+
+    #[test]
+    fn backfill_loads_archive_shard_affine() {
+        let bounds = BoundingBox::new(42.0, 3.0, 44.0, 6.0);
+        let p = MaritimePipeline::new(PipelineConfig::regional(bounds));
+        // 50 vessels × 40 fixes, interleaved arrival.
+        let mut fixes = Vec::new();
+        for i in 0..40i64 {
+            for v in 1..=50u32 {
+                fixes.push(Fix::new(
+                    v,
+                    Timestamp::from_mins(i),
+                    Position::new(42.2 + f64::from(v) * 0.03, 3.2 + i as f64 * 0.05),
+                    10.0,
+                    90.0,
+                ));
+            }
+        }
+        assert_eq!(p.backfill_archive(fixes, 4), 2_000);
+        assert_eq!(p.store().len(), 2_000);
+        assert_eq!(p.store().vessel_count(), 50);
+        // Per-vessel order survived parallel ingest.
+        for id in p.store().vessels() {
+            let traj = p.store().trajectory(id).unwrap();
+            assert_eq!(traj.len(), 40);
+            assert!(traj.windows(2).all(|w| w[0].t <= w[1].t));
+        }
+        // The incrementally-maintained grid serves window queries.
+        let window = p.archive_window(
+            &BoundingBox::new(42.0, 3.0, 44.0, 3.5),
+            Timestamp::from_mins(0),
+            Timestamp::from_mins(5),
+        );
+        assert!(!window.is_empty());
+        assert!(window.iter().all(|f| f.pos.lon <= 3.5 && f.t <= Timestamp::from_mins(5)));
     }
 
     #[test]

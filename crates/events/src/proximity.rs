@@ -70,6 +70,9 @@ impl LiveIndex {
                 }
             }
         }
+        // Cell sets iterate in hash order; sort so downstream detectors
+        // emit deterministically for identical inputs.
+        out.sort_unstable_by_key(|f| f.id);
         out
     }
 

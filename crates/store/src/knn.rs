@@ -65,6 +65,35 @@ impl KnnEngine {
         }
     }
 
+    /// Update a vessel's latest fix only if `fix` is at least as recent
+    /// as the one currently tracked. This is the ingest-time maintenance
+    /// path for stores that may replay or receive out-of-order fixes:
+    /// the index monotonically tracks the freshest position. Returns
+    /// whether the index changed.
+    pub fn update_if_newer(&mut self, fix: Fix) -> bool {
+        if let Some(cur) = self.latest.get(&fix.id) {
+            if cur.t > fix.t {
+                return false;
+            }
+        }
+        self.update(fix);
+        true
+    }
+
+    /// Stop tracking a vessel (e.g. its archive entry was dropped).
+    /// Returns whether it was tracked.
+    pub fn remove(&mut self, id: VesselId) -> bool {
+        let Some(old) = self.latest.remove(&id) else { return false };
+        let cell = self.cell_of(old.pos);
+        if let Some(v) = self.cells.get_mut(&cell) {
+            v.retain(|i| *i != id);
+            if v.is_empty() {
+                self.cells.remove(&cell);
+            }
+        }
+        true
+    }
+
     /// Number of tracked vessels.
     pub fn len(&self) -> usize {
         self.latest.len()
@@ -96,7 +125,7 @@ impl KnnEngine {
                 Some(KnnResult { id: f.id, pos, dist_m: equirectangular_m(query, pos) })
             })
             .collect();
-        all.sort_by(|a, b| a.dist_m.partial_cmp(&b.dist_m).unwrap());
+        all.sort_by(rank);
         all.truncate(k);
         all
     }
@@ -136,12 +165,13 @@ impl KnnEngine {
                         let f = &self.latest[id];
                         let Some(pos) = self.position_at(f, t) else { continue };
                         let d = equirectangular_m(query, pos);
+                        let candidate = KnnResult { id: *id, pos, dist_m: d };
                         if best.len() < k {
-                            best.push(KnnResult { id: *id, pos, dist_m: d });
-                            best.sort_by(|a, b| a.dist_m.partial_cmp(&b.dist_m).unwrap());
-                        } else if d < best[k - 1].dist_m {
-                            best[k - 1] = KnnResult { id: *id, pos, dist_m: d };
-                            best.sort_by(|a, b| a.dist_m.partial_cmp(&b.dist_m).unwrap());
+                            best.push(candidate);
+                            best.sort_by(rank);
+                        } else if rank(&candidate, &best[k - 1]).is_lt() {
+                            best[k - 1] = candidate;
+                            best.sort_by(rank);
                         }
                     }
                 }
@@ -149,6 +179,71 @@ impl KnnEngine {
         }
         best
     }
+}
+
+/// The canonical kNN result order: ascending distance, ties broken by
+/// vessel id. Every query path (scan, ring search, cross-shard merge)
+/// ranks with this, so equal fleets give equal answers regardless of
+/// insertion order or shard layout.
+fn rank(a: &KnnResult, b: &KnnResult) -> std::cmp::Ordering {
+    a.dist_m.total_cmp(&b.dist_m).then_with(|| a.id.cmp(&b.id))
+}
+
+/// Merge per-shard kNN candidate lists (each sorted by ascending
+/// distance) into the global top `k`, via a k-way heap merge over the
+/// list heads. Ties are broken by vessel id so the merged answer is
+/// deterministic regardless of how candidates were sharded.
+pub fn merge_candidates(parts: Vec<Vec<KnnResult>>, k: usize) -> Vec<KnnResult> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    /// Min-heap entry: the head of one candidate list.
+    struct Head {
+        dist_m: f64,
+        id: VesselId,
+        list: usize,
+        idx: usize,
+    }
+    impl PartialEq for Head {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+    impl Eq for Head {}
+    impl PartialOrd for Head {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Head {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reversed: BinaryHeap is a max-heap, we want the smallest
+            // distance on top.
+            other.dist_m.total_cmp(&self.dist_m).then_with(|| other.id.cmp(&self.id))
+        }
+    }
+
+    let mut heap = BinaryHeap::with_capacity(parts.len());
+    for (list, part) in parts.iter().enumerate() {
+        debug_assert!(part.windows(2).all(|w| w[0].dist_m <= w[1].dist_m), "parts must be sorted");
+        if let Some(head) = part.first() {
+            heap.push(Head { dist_m: head.dist_m, id: head.id, list, idx: 0 });
+        }
+    }
+    let mut out = Vec::with_capacity(k.min(parts.iter().map(Vec::len).sum()));
+    while out.len() < k {
+        let Some(head) = heap.pop() else { break };
+        out.push(parts[head.list][head.idx]);
+        if let Some(next) = parts[head.list].get(head.idx + 1) {
+            heap.push(Head {
+                dist_m: next.dist_m,
+                id: next.id,
+                list: head.list,
+                idx: head.idx + 1,
+            });
+        }
+    }
+    out
 }
 
 /// Cells at exact Chebyshev distance `ring` from `(r0, c0)`.
@@ -257,6 +352,60 @@ mod tests {
         assert_eq!(e.len(), 1);
         let res = e.knn(Position::new(43.5, 5.5), Timestamp::from_mins(5), 1);
         assert!(res[0].dist_m < 100.0);
+    }
+
+    #[test]
+    fn update_if_newer_ignores_stale_fixes() {
+        let mut e = KnnEngine::new(0.1, 60 * MINUTE);
+        assert!(e.update_if_newer(Fix::new(
+            1,
+            Timestamp::from_mins(10),
+            Position::new(43.0, 5.0),
+            5.0,
+            0.0
+        )));
+        // An older replayed fix must not regress the latest position.
+        assert!(!e.update_if_newer(Fix::new(
+            1,
+            Timestamp::from_mins(5),
+            Position::new(43.9, 5.9),
+            5.0,
+            0.0
+        )));
+        let res = e.knn(Position::new(43.0, 5.0), Timestamp::from_mins(10), 1);
+        assert!(res[0].dist_m < 100.0, "stale fix must be ignored");
+        // An equal-time or newer fix replaces.
+        assert!(e.update_if_newer(Fix::new(
+            1,
+            Timestamp::from_mins(12),
+            Position::new(43.5, 5.5),
+            5.0,
+            0.0
+        )));
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn merge_candidates_is_a_global_top_k() {
+        let e = engine_with_fleet(500, 11);
+        let q = Position::new(43.0, 4.5);
+        let t = Timestamp::from_mins(6);
+        let want = e.knn_scan(q, t, 12);
+        // Split the fleet's results arbitrarily into "shards" and merge.
+        let all = e.knn_scan(q, t, 500);
+        let parts: Vec<Vec<KnnResult>> =
+            (0..7).map(|s| all.iter().filter(|r| r.id % 7 == s).copied().collect()).collect();
+        let merged = merge_candidates(parts, 12);
+        assert_eq!(
+            merged.iter().map(|r| r.id).collect::<Vec<_>>(),
+            want.iter().map(|r| r.id).collect::<Vec<_>>()
+        );
+        for w in merged.windows(2) {
+            assert!(w[0].dist_m <= w[1].dist_m);
+        }
+        // Degenerate shapes.
+        assert!(merge_candidates(Vec::new(), 5).is_empty());
+        assert_eq!(merge_candidates(vec![want.clone(), Vec::new()], 3).len(), 3);
     }
 
     #[test]

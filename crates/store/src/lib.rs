@@ -12,7 +12,22 @@
 //! - [`knn`] — k-nearest-neighbour queries over *moving* objects
 //!   (ref 45): snapshot kNN at any time with dead-reckoned current
 //!   positions, grid-pruned ring search vs. a brute-force baseline.
-//! - [`shared`] — a thread-safe wrapper used by the live pipeline.
+//! - [`shards`] — the concurrent front: a lock-striped,
+//!   vessel-hash-sharded store where each shard owns its vessels'
+//!   trajectories plus incrementally-maintained grid/kNN indexes, with
+//!   batch ingest ([`ShardedTrajectoryStore::append_batch`]) and
+//!   cross-shard query merging.
+//! - [`shared`] — the pipeline-facing handle name
+//!   ([`SharedTrajectoryStore`], now an alias of the sharded store).
+//!
+//! ## Sharding model
+//!
+//! A vessel's fixes always live in exactly one shard (`shard_of(id)`),
+//! so per-vessel ordering is a single-shard property: appends are
+//! observed in append order, out-of-order event times are
+//! sort-inserted. Writers for different shards never contend, and
+//! cross-shard reads merge deterministically — equal contents give
+//! equal answers for any shard or thread count.
 //!
 //! ## Example
 //!
@@ -31,11 +46,13 @@
 //! ```
 
 pub mod knn;
+pub mod shards;
 pub mod shared;
 pub mod stindex;
 pub mod trajstore;
 
-pub use knn::{KnnEngine, KnnResult};
+pub use knn::{merge_candidates, KnnEngine, KnnResult};
+pub use shards::{KnnConfig, ShardedTrajectoryStore, StIndexConfig, StoreConfig};
 pub use shared::SharedTrajectoryStore;
 pub use stindex::StGrid;
 pub use trajstore::TrajectoryStore;

@@ -1,0 +1,479 @@
+//! Lock-striped, vessel-hash-sharded trajectory store.
+//!
+//! The single-`RwLock` store serialized every ingest worker through one
+//! global writer lock, and spatio-temporal queries rebuilt their index
+//! per batch. This module removes both bottlenecks:
+//!
+//! - **Lock striping** — trajectories are partitioned into `N`
+//!   independent shards by a hash of the vessel id; each shard sits
+//!   behind its own `RwLock`, so writers for different shards never
+//!   contend and readers only block the shard they touch.
+//! - **Incremental indexes** — each shard optionally owns a
+//!   [`StGrid`] spatio-temporal index and a [`KnnEngine`] latest-fix
+//!   index that are maintained *at ingest time* ([`StGrid::insert`],
+//!   [`StGrid::remove`], [`KnnEngine::update_if_newer`]); queries never
+//!   rebuild them.
+//! - **Batch ingest** — [`ShardedTrajectoryStore::append_batch`] takes
+//!   one writer lock per touched shard per batch (instead of one per
+//!   fix) and amortises the per-vessel archive lookup across the batch.
+//!
+//! ## Ordering guarantees
+//!
+//! All routing is by vessel id, so one vessel's fixes always live in
+//! exactly one shard. Appends from a single thread for a given vessel
+//! are observed in that order; fixes arriving out of event-time order
+//! are sort-inserted by the underlying [`TrajectoryStore`]. Cross-shard
+//! read results ([`ShardedTrajectoryStore::vessels`],
+//! [`ShardedTrajectoryStore::knn`]) are merged deterministically
+//! (sorted by id / distance), so equal store contents always produce
+//! equal answers regardless of shard count or ingest thread count.
+
+use crate::knn::{merge_candidates, KnnEngine, KnnResult};
+use crate::stindex::StGrid;
+use crate::trajstore::TrajectoryStore;
+use mda_geo::{BoundingBox, DurationMs, Fix, Position, Timestamp, VesselId};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Configuration of the per-shard spatio-temporal grid index.
+#[derive(Debug, Clone)]
+pub struct StIndexConfig {
+    /// Nominal bounds of the indexed region (fixes outside land in edge
+    /// buckets and are still found).
+    pub bounds: BoundingBox,
+    /// Spatial cell size, degrees.
+    pub cell_deg: f64,
+    /// Temporal slice, milliseconds.
+    pub slice: DurationMs,
+}
+
+/// Configuration of the per-shard kNN (latest fix per vessel) index.
+#[derive(Debug, Clone)]
+pub struct KnnConfig {
+    /// Spatial cell size of the kNN grid, degrees.
+    pub cell_deg: f64,
+    /// Maximum dead-reckoning horizon for snapshot queries.
+    pub max_extrapolation: DurationMs,
+}
+
+/// Configuration of a [`ShardedTrajectoryStore`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Number of lock stripes. More shards mean less writer contention;
+    /// 8 is plenty for typical ingest worker counts.
+    pub shards: usize,
+    /// Maintain a per-shard spatio-temporal grid index at ingest time.
+    pub st_index: Option<StIndexConfig>,
+    /// Maintain a per-shard latest-fix kNN index at ingest time.
+    pub knn: Option<KnnConfig>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self { shards: 8, st_index: None, knn: None }
+    }
+}
+
+/// One lock stripe: the vessels hashing here, plus their incrementally
+/// maintained indexes.
+#[derive(Debug)]
+struct Shard {
+    archive: TrajectoryStore,
+    grid: Option<StGrid>,
+    knn: Option<KnnEngine>,
+}
+
+impl Shard {
+    fn new(config: &StoreConfig) -> Self {
+        Self {
+            archive: TrajectoryStore::new(),
+            grid: config.st_index.as_ref().map(|c| StGrid::new(c.bounds, c.cell_deg, c.slice)),
+            knn: config.knn.as_ref().map(|c| KnnEngine::new(c.cell_deg, c.max_extrapolation)),
+        }
+    }
+
+    fn append(&mut self, fix: Fix) {
+        self.archive.append(fix);
+        if let Some(grid) = &mut self.grid {
+            grid.insert(fix);
+        }
+        if let Some(knn) = &mut self.knn {
+            knn.update_if_newer(fix);
+        }
+    }
+
+    fn append_batch(&mut self, fixes: Vec<Fix>) {
+        // The index updates don't need the per-vessel grouping the
+        // archive does, so run them over the batch first and keep the
+        // archive's amortised bulk path.
+        if let Some(grid) = &mut self.grid {
+            for fix in &fixes {
+                grid.insert(*fix);
+            }
+        }
+        if let Some(knn) = &mut self.knn {
+            for fix in &fixes {
+                knn.update_if_newer(*fix);
+            }
+        }
+        self.archive.append_batch(fixes);
+    }
+
+    fn compact(&mut self, id: VesselId, keep: &dyn Fn(&[Fix]) -> Vec<Fix>) -> usize {
+        let old: Option<Vec<Fix>> =
+            self.grid.is_some().then(|| self.archive.trajectory(id).map(<[Fix]>::to_vec)).flatten();
+        let removed = self.archive.compact(id, keep);
+        if let (Some(grid), Some(old)) = (&mut self.grid, old) {
+            for f in &old {
+                grid.remove(f);
+            }
+            if let Some(kept) = self.archive.trajectory(id) {
+                for f in kept {
+                    grid.insert(*f);
+                }
+            }
+        }
+        // Keep the kNN index consistent with the archive: track the
+        // latest *kept* fix, or drop the vessel if nothing survived.
+        if let Some(knn) = &mut self.knn {
+            match self.archive.trajectory(id).and_then(<[Fix]>::last) {
+                Some(last) => {
+                    knn.update(*last);
+                }
+                None => {
+                    knn.remove(id);
+                }
+            }
+        }
+        removed
+    }
+}
+
+/// A cloneable handle to a lock-striped, vessel-hash-sharded trajectory
+/// store (see the module docs for the design and its guarantees).
+#[derive(Debug, Clone)]
+pub struct ShardedTrajectoryStore {
+    shards: Arc<[RwLock<Shard>]>,
+}
+
+impl Default for ShardedTrajectoryStore {
+    fn default() -> Self {
+        Self::with_config(StoreConfig::default())
+    }
+}
+
+/// Finalizer step of splitmix64: cheap, well-mixed vessel-id hash so
+/// consecutive MMSIs spread across shards.
+fn mix(id: VesselId) -> u64 {
+    let mut z = u64::from(id).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ShardedTrajectoryStore {
+    /// New store with the default configuration (8 shards, no indexes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New store with `shards` stripes and no indexes.
+    pub fn with_shards(shards: usize) -> Self {
+        Self::with_config(StoreConfig { shards, ..StoreConfig::default() })
+    }
+
+    /// New store from a full configuration.
+    pub fn with_config(config: StoreConfig) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        let shards: Vec<RwLock<Shard>> =
+            (0..config.shards).map(|_| RwLock::new(Shard::new(&config))).collect();
+        Self { shards: shards.into() }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a vessel's data lives in. Stable for the lifetime
+    /// of the store; use it to route ingest work shard-affine.
+    pub fn shard_of(&self, id: VesselId) -> usize {
+        (mix(id) % self.shards.len() as u64) as usize
+    }
+
+    /// Append a fix (routes to the owning shard).
+    pub fn append(&self, fix: Fix) {
+        self.shards[self.shard_of(fix.id)].write().append(fix);
+    }
+
+    /// Append a batch of fixes, taking each touched shard's writer lock
+    /// once. Per-vessel input order is preserved. Returns the number of
+    /// fixes appended.
+    pub fn append_batch(&self, fixes: impl IntoIterator<Item = Fix>) -> usize {
+        let fixes = fixes.into_iter();
+        let cap = fixes.size_hint().0 / self.shards.len() + 1;
+        let mut per_shard: Vec<Vec<Fix>> =
+            (0..self.shards.len()).map(|_| Vec::with_capacity(cap)).collect();
+        let mut n = 0;
+        for fix in fixes {
+            per_shard[self.shard_of(fix.id)].push(fix);
+            n += 1;
+        }
+        for (idx, batch) in per_shard.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.shards[idx].write().append_batch(batch);
+            }
+        }
+        n
+    }
+
+    /// Total stored fixes.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().archive.len()).sum()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().archive.is_empty())
+    }
+
+    /// Number of distinct vessels.
+    pub fn vessel_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().archive.vessel_count()).sum()
+    }
+
+    /// All vessel ids, ascending (deterministic across shard layouts).
+    pub fn vessels(&self) -> Vec<VesselId> {
+        let mut ids: Vec<VesselId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().archive.vessels().collect::<Vec<_>>())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Copy of a vessel's fixes in `[from, to]`.
+    pub fn range(&self, id: VesselId, from: Timestamp, to: Timestamp) -> Vec<Fix> {
+        self.shards[self.shard_of(id)].read().archive.range(id, from, to).to_vec()
+    }
+
+    /// Copy of a vessel's whole trajectory.
+    pub fn trajectory(&self, id: VesselId) -> Option<Vec<Fix>> {
+        self.shards[self.shard_of(id)].read().archive.trajectory(id).map(<[Fix]>::to_vec)
+    }
+
+    /// The latest fix of a vessel at or before `t`.
+    pub fn latest_at(&self, id: VesselId, t: Timestamp) -> Option<Fix> {
+        self.shards[self.shard_of(id)].read().archive.latest_at(id, t).copied()
+    }
+
+    /// Interpolated position at `t`.
+    pub fn position_at(&self, id: VesselId, t: Timestamp) -> Option<Position> {
+        self.shards[self.shard_of(id)].read().archive.position_at(id, t)
+    }
+
+    /// Compact one vessel's trajectory (e.g. down to its synopsis). The
+    /// shard's grid index is updated to match.
+    pub fn compact(&self, id: VesselId, keep: impl Fn(&[Fix]) -> Vec<Fix>) -> usize {
+        self.shards[self.shard_of(id)].write().compact(id, &keep)
+    }
+
+    /// All archived fixes inside the spatial window and time range,
+    /// sorted by (vessel, time) — the order is independent of shard
+    /// layout, ingest interleaving and compaction history. Served from
+    /// the per-shard grid indexes when configured, falling back to an
+    /// archive scan otherwise.
+    pub fn window(&self, area: &BoundingBox, from: Timestamp, to: Timestamp) -> Vec<Fix> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let s = shard.read();
+            match &s.grid {
+                Some(grid) => out.extend(grid.query(area, from, to)),
+                None => out.extend(
+                    s.archive
+                        .iter()
+                        .filter(|f| f.t >= from && f.t <= to && area.contains(f.pos))
+                        .copied(),
+                ),
+            }
+        }
+        out.sort_unstable_by_key(|f| (f.id, f.t));
+        out
+    }
+
+    /// Snapshot kNN at `t` over the live fleet: each shard's kNN index
+    /// produces its own candidate list and the per-shard candidates are
+    /// heap-merged into the global top `k`. Requires [`StoreConfig::knn`].
+    pub fn knn(&self, query: Position, t: Timestamp, k: usize) -> Vec<KnnResult> {
+        let parts: Vec<Vec<KnnResult>> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let s = shard.read();
+                let knn = s.knn.as_ref().expect("StoreConfig::knn not configured");
+                knn.knn(query, t, k)
+            })
+            .collect();
+        merge_candidates(parts, k)
+    }
+
+    /// Run a closure over each shard's archive (read-locked one at a
+    /// time), folding the results. Shards are visited in index order.
+    pub fn fold_shards<A>(&self, init: A, mut f: impl FnMut(A, &TrajectoryStore) -> A) -> A {
+        let mut acc = init;
+        for shard in self.shards.iter() {
+            acc = f(acc, &shard.read().archive);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::time::MINUTE;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn fix(id: u32, t_min: i64, lat: f64, lon: f64) -> Fix {
+        Fix::new(id, Timestamp::from_mins(t_min), Position::new(lat, lon), 10.0, 90.0)
+    }
+
+    fn indexed_config(shards: usize) -> StoreConfig {
+        StoreConfig {
+            shards,
+            st_index: Some(StIndexConfig {
+                bounds: BoundingBox::new(42.0, 3.0, 44.0, 6.0),
+                cell_deg: 0.25,
+                slice: 30 * MINUTE,
+            }),
+            knn: Some(KnnConfig { cell_deg: 0.1, max_extrapolation: 60 * MINUTE }),
+        }
+    }
+
+    #[test]
+    fn routes_by_vessel_and_answers_queries() {
+        let store = ShardedTrajectoryStore::with_shards(4);
+        for i in 0..10 {
+            store.append(fix(7, i * 10, 43.0, 5.0 + i as f64 * 0.1));
+            store.append(fix(8, i * 10, 43.5, 5.0));
+        }
+        assert_eq!(store.len(), 20);
+        assert_eq!(store.vessel_count(), 2);
+        assert_eq!(store.vessels(), vec![7, 8]);
+        assert_eq!(store.trajectory(7).unwrap().len(), 10);
+        assert_eq!(store.range(7, Timestamp::from_mins(20), Timestamp::from_mins(40)).len(), 3);
+        let p = store.position_at(7, Timestamp::from_mins(45)).unwrap();
+        assert!((p.lon - 5.45).abs() < 1e-9);
+        assert_eq!(store.latest_at(8, Timestamp::from_mins(35)).unwrap().t.millis(), 30 * MINUTE);
+    }
+
+    #[test]
+    fn append_batch_matches_per_fix_appends() {
+        let a = ShardedTrajectoryStore::with_shards(4);
+        let b = ShardedTrajectoryStore::with_shards(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let fixes: Vec<Fix> = (0..500)
+            .map(|i| fix(rng.gen_range(1..20u32), i, rng.gen_range(42.0..44.0), 5.0))
+            .collect();
+        for f in &fixes {
+            a.append(*f);
+        }
+        assert_eq!(b.append_batch(fixes), 500);
+        assert_eq!(a.len(), b.len());
+        for id in a.vessels() {
+            assert_eq!(a.trajectory(id), b.trajectory(id), "vessel {id}");
+        }
+    }
+
+    #[test]
+    fn shard_layout_does_not_change_answers() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let fixes: Vec<Fix> = (0..800)
+            .map(|i| {
+                fix(
+                    rng.gen_range(1..40u32),
+                    i / 4,
+                    rng.gen_range(42.0..44.0),
+                    rng.gen_range(3.0..6.0),
+                )
+            })
+            .collect();
+        let one = ShardedTrajectoryStore::with_config(indexed_config(1));
+        let many = ShardedTrajectoryStore::with_config(indexed_config(7));
+        one.append_batch(fixes.clone());
+        many.append_batch(fixes);
+        assert_eq!(one.len(), many.len());
+        assert_eq!(one.vessels(), many.vessels());
+        let area = BoundingBox::new(42.5, 3.5, 43.5, 5.5);
+        let (from, to) = (Timestamp::from_mins(10), Timestamp::from_mins(150));
+        // window() is (vessel, time)-sorted, so equality is direct.
+        assert_eq!(one.window(&area, from, to), many.window(&area, from, to));
+        let q = Position::new(43.1, 4.7);
+        let t = Timestamp::from_mins(210);
+        let ka: Vec<u32> = one.knn(q, t, 12).iter().map(|r| r.id).collect();
+        let kb: Vec<u32> = many.knn(q, t, 12).iter().map(|r| r.id).collect();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn compact_keeps_grid_consistent() {
+        let store = ShardedTrajectoryStore::with_config(indexed_config(3));
+        for i in 0..100 {
+            store.append(fix(5, i, 43.0, 5.0 + i as f64 * 0.001));
+        }
+        let area = BoundingBox::new(42.0, 3.0, 44.0, 6.0);
+        let all = |s: &ShardedTrajectoryStore| {
+            s.window(&area, Timestamp::from_mins(0), Timestamp::from_mins(1_000)).len()
+        };
+        assert_eq!(all(&store), 100);
+        let removed = store.compact(5, |f| f.iter().step_by(10).copied().collect());
+        assert_eq!(removed, 90);
+        assert_eq!(store.len(), 10);
+        assert_eq!(all(&store), 10, "grid must shrink with the archive");
+        // The kNN index tracks the latest *kept* fix after compaction...
+        let near = store.knn(Position::new(43.0, 5.09), Timestamp::from_mins(95), 1);
+        assert_eq!(near[0].id, 5);
+        let kept_latest = store.trajectory(5).unwrap().last().copied().unwrap();
+        assert_eq!(near[0].pos, kept_latest.dead_reckon(Timestamp::from_mins(95)));
+        // ...and drops vessels whose whole trajectory was compacted away.
+        assert_eq!(store.compact(5, |_| Vec::new()), 10);
+        assert!(store.knn(Position::new(43.0, 5.0), Timestamp::from_mins(95), 1).is_empty());
+        assert_eq!(all(&store), 0);
+    }
+
+    #[test]
+    fn knn_merges_across_shards() {
+        let store = ShardedTrajectoryStore::with_config(indexed_config(5));
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut oracle = KnnEngine::new(0.1, 60 * MINUTE);
+        for i in 0..300u32 {
+            let f = Fix::new(
+                i + 1,
+                Timestamp::from_mins(rng.gen_range(0..10)),
+                Position::new(rng.gen_range(42.0..44.0), rng.gen_range(3.0..6.0)),
+                rng.gen_range(0.0..18.0),
+                rng.gen_range(0.0..360.0),
+            );
+            store.append(f);
+            oracle.update(f);
+        }
+        let t = Timestamp::from_mins(15);
+        for _ in 0..10 {
+            let q = Position::new(rng.gen_range(42.0..44.0), rng.gen_range(3.0..6.0));
+            let got: Vec<u32> = store.knn(q, t, 9).iter().map(|r| r.id).collect();
+            let want: Vec<u32> = oracle.knn_scan(q, t, 9).iter().map(|r| r.id).collect();
+            assert_eq!(got, want, "query at {q}");
+        }
+    }
+
+    #[test]
+    fn fold_shards_visits_everything() {
+        let store = ShardedTrajectoryStore::with_shards(6);
+        for id in 1..30u32 {
+            store.append(fix(id, 0, 43.0, 5.0));
+        }
+        let total = store.fold_shards(0usize, |acc, s| acc + s.len());
+        assert_eq!(total, 29);
+    }
+}

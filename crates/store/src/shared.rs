@@ -1,75 +1,23 @@
-//! Thread-safe wrapper around the trajectory store.
+//! Thread-safe handle to the trajectory store used by the live
+//! pipeline.
 //!
-//! The live pipeline writes from ingest workers while analytics read
-//! concurrently; `parking_lot::RwLock` keeps readers cheap.
+//! Historically this was a single `RwLock<TrajectoryStore>`, which
+//! serialized every ingest worker through one global writer lock. The
+//! store is now lock-striped and vessel-hash-sharded (see
+//! [`crate::shards`] for the design and its ordering guarantees); this
+//! module keeps the established name as the pipeline-facing handle.
 
-use crate::trajstore::TrajectoryStore;
-use mda_geo::{Fix, Position, Timestamp, VesselId};
-use parking_lot::RwLock;
-use std::sync::Arc;
+use crate::shards::ShardedTrajectoryStore;
 
-/// A cloneable handle to a shared trajectory store.
-#[derive(Debug, Clone, Default)]
-pub struct SharedTrajectoryStore {
-    inner: Arc<RwLock<TrajectoryStore>>,
-}
-
-impl SharedTrajectoryStore {
-    /// New empty shared store.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Append a fix.
-    pub fn append(&self, fix: Fix) {
-        self.inner.write().append(fix);
-    }
-
-    /// Total stored fixes.
-    pub fn len(&self) -> usize {
-        self.inner.read().len()
-    }
-
-    /// True when empty.
-    pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
-    }
-
-    /// Number of distinct vessels.
-    pub fn vessel_count(&self) -> usize {
-        self.inner.read().vessel_count()
-    }
-
-    /// Copy of a vessel's fixes in `[from, to]`.
-    pub fn range(&self, id: VesselId, from: Timestamp, to: Timestamp) -> Vec<Fix> {
-        self.inner.read().range(id, from, to).to_vec()
-    }
-
-    /// Copy of a vessel's whole trajectory.
-    pub fn trajectory(&self, id: VesselId) -> Option<Vec<Fix>> {
-        self.inner.read().trajectory(id).map(<[Fix]>::to_vec)
-    }
-
-    /// Interpolated position at `t`.
-    pub fn position_at(&self, id: VesselId, t: Timestamp) -> Option<Position> {
-        self.inner.read().position_at(id, t)
-    }
-
-    /// Run a closure with read access to the underlying store.
-    pub fn with_read<R>(&self, f: impl FnOnce(&TrajectoryStore) -> R) -> R {
-        f(&self.inner.read())
-    }
-
-    /// Compact one vessel's trajectory.
-    pub fn compact(&self, id: VesselId, keep: impl Fn(&[Fix]) -> Vec<Fix>) -> usize {
-        self.inner.write().compact(id, keep)
-    }
-}
+/// A cloneable handle to a shared (sharded, lock-striped) trajectory
+/// store. Alias of [`ShardedTrajectoryStore`]; see its docs for the
+/// full API, configuration and guarantees.
+pub type SharedTrajectoryStore = ShardedTrajectoryStore;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mda_geo::Position;
+    use mda_geo::{Fix, Position, Timestamp};
     use std::thread;
 
     fn fix(id: u32, t_s: i64) -> Fix {
@@ -111,7 +59,7 @@ mod tests {
         assert_eq!(store.trajectory(1).unwrap().len(), 10);
         let removed = store.compact(1, |f| f.iter().step_by(2).copied().collect());
         assert_eq!(removed, 5);
-        let total = store.with_read(|s| s.len());
-        assert_eq!(total, 5);
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.vessels(), vec![1]);
     }
 }

@@ -42,6 +42,26 @@ impl StGrid {
         self.len += 1;
     }
 
+    /// Remove a previously inserted fix (identified by vessel id, time
+    /// and position). Returns whether anything was removed. This is the
+    /// maintenance path for archive compaction: the index shrinks with
+    /// the archive instead of being rebuilt.
+    pub fn remove(&mut self, fix: &Fix) -> bool {
+        let key = self.key_of(fix);
+        let Some(bucket) = self.buckets.get_mut(&key) else { return false };
+        let Some(i) =
+            bucket.iter().position(|f| f.id == fix.id && f.t == fix.t && f.pos == fix.pos)
+        else {
+            return false;
+        };
+        bucket.swap_remove(i);
+        if bucket.is_empty() {
+            self.buckets.remove(&key);
+        }
+        self.len -= 1;
+        true
+    }
+
     /// Number of indexed fixes.
     pub fn len(&self) -> usize {
         self.len
@@ -162,6 +182,27 @@ mod tests {
         }
         assert!(g.bucket_count() > 100, "buckets {}", g.bucket_count());
         assert!(g.bucket_count() <= 2_000);
+    }
+
+    #[test]
+    fn remove_undoes_insert() {
+        let fixes = random_fixes(500, 23);
+        let mut g = StGrid::new(bounds(), 0.25, 30 * MINUTE);
+        for f in &fixes {
+            g.insert(*f);
+        }
+        for f in fixes.iter().take(200) {
+            assert!(g.remove(f), "inserted fix must be removable");
+        }
+        assert_eq!(g.len(), 300);
+        // Removed fixes no longer appear in queries.
+        let area = bounds();
+        let got = g.query(&area, Timestamp(0), Timestamp(6 * mda_geo::time::HOUR));
+        assert_eq!(got.len(), 300);
+        // Unknown fix: no-op.
+        let ghost = Fix::new(999, Timestamp::from_mins(1), Position::new(43.0, 5.0), 1.0, 0.0);
+        assert!(!g.remove(&ghost));
+        assert_eq!(g.len(), 300);
     }
 
     #[test]

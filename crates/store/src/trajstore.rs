@@ -34,6 +34,39 @@ impl TrajectoryStore {
         self.len += 1;
     }
 
+    /// Append a batch of fixes, amortising the per-vessel lookup across
+    /// each vessel's fixes in the batch. Per-vessel input order is
+    /// preserved; order between vessels is irrelevant to this store.
+    /// Returns the number of fixes appended.
+    pub fn append_batch(&mut self, fixes: impl IntoIterator<Item = Fix>) -> usize {
+        // Stable-sort the batch by vessel: fixes of one vessel become a
+        // contiguous run in their original relative order, so each run
+        // costs one map lookup + one bulk append instead of a lookup
+        // per fix.
+        let mut batch: Vec<Fix> = fixes.into_iter().collect();
+        batch.sort_by_key(|f| f.id);
+        let n = batch.len();
+        let mut rest = batch.as_slice();
+        while let Some(first) = rest.first() {
+            let run_len = rest.partition_point(|f| f.id == first.id);
+            let (run, tail) = rest.split_at(run_len);
+            rest = tail;
+            let v = self.by_vessel.entry(first.id).or_default();
+            v.reserve(run.len());
+            for &fix in run {
+                match v.last() {
+                    Some(last) if last.t > fix.t => {
+                        let pos = v.partition_point(|f| f.t <= fix.t);
+                        v.insert(pos, fix);
+                    }
+                    _ => v.push(fix),
+                }
+            }
+        }
+        self.len += n;
+        n
+    }
+
     /// Total stored fixes.
     pub fn len(&self) -> usize {
         self.len
@@ -188,6 +221,26 @@ mod tests {
         assert_eq!(s.trajectory(1).unwrap().len(), 10);
         assert_eq!(s.trajectory(2).unwrap().len(), 50);
         assert_eq!(s.compact(3, |f| f.to_vec()), 0);
+    }
+
+    #[test]
+    fn append_batch_equals_sequential_appends() {
+        let mut a = TrajectoryStore::new();
+        let mut b = TrajectoryStore::new();
+        // Interleaved vessels with one out-of-order straggler.
+        let mut fixes = Vec::new();
+        for i in 0..60 {
+            fixes.push(fix((i % 3) as u32 + 1, i, 5.0 + i as f64 * 0.001));
+        }
+        fixes.push(fix(2, 5, 5.5)); // late fix, sort-inserted
+        for f in &fixes {
+            a.append(*f);
+        }
+        assert_eq!(b.append_batch(fixes), 61);
+        assert_eq!(a.len(), b.len());
+        for id in 1..=3u32 {
+            assert_eq!(a.trajectory(id), b.trajectory(id), "vessel {id}");
+        }
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Concurrency stress: many writers and readers on the sharded store,
+//! validated against a single-threaded oracle.
+//!
+//! 8 writer threads ingest disjoint vessel sets (mixing per-fix appends
+//! and batch appends) while reader threads hammer queries. Afterwards
+//! the store must agree exactly with a [`TrajectoryStore`] /
+//! [`KnnEngine`] pair built single-threaded from the same fixes: final
+//! counts, per-vessel trajectories in sorted order, interpolated
+//! positions and kNN answers.
+
+use mda_geo::time::MINUTE;
+use mda_geo::{BoundingBox, Fix, Position, Timestamp};
+use mda_store::knn::KnnEngine;
+use mda_store::shards::{KnnConfig, ShardedTrajectoryStore, StIndexConfig, StoreConfig};
+use mda_store::trajstore::TrajectoryStore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::thread;
+
+const WRITERS: u32 = 8;
+const VESSELS_PER_WRITER: u32 = 25;
+const FIXES_PER_VESSEL: usize = 120;
+
+/// One writer's workload: its vessels' fixes interleaved in time order.
+fn writer_fixes(writer: u32) -> Vec<Fix> {
+    let mut rng = StdRng::seed_from_u64(1_000 + u64::from(writer));
+    let mut out = Vec::new();
+    for step in 0..FIXES_PER_VESSEL {
+        for v in 0..VESSELS_PER_WRITER {
+            let id = writer * VESSELS_PER_WRITER + v + 1;
+            out.push(Fix::new(
+                id,
+                Timestamp::from_secs((step as i64) * 30),
+                Position::new(rng.gen_range(42.0..44.0), rng.gen_range(3.0..6.0)),
+                rng.gen_range(0.0..18.0),
+                rng.gen_range(0.0..360.0),
+            ));
+        }
+    }
+    out
+}
+
+fn store_under_test() -> ShardedTrajectoryStore {
+    ShardedTrajectoryStore::with_config(StoreConfig {
+        shards: 8,
+        st_index: Some(StIndexConfig {
+            bounds: BoundingBox::new(42.0, 3.0, 44.0, 6.0),
+            cell_deg: 0.25,
+            slice: 30 * MINUTE,
+        }),
+        knn: Some(KnnConfig { cell_deg: 0.1, max_extrapolation: 120 * MINUTE }),
+    })
+}
+
+#[test]
+fn writers_and_readers_match_single_threaded_oracle() {
+    let store = store_under_test();
+    let workloads: Vec<Vec<Fix>> = (0..WRITERS).map(writer_fixes).collect();
+
+    thread::scope(|s| {
+        for fixes in workloads.clone() {
+            let store = store.clone();
+            s.spawn(move || {
+                // Alternate per-fix appends and batch appends to cover
+                // both ingest paths under contention.
+                for (i, chunk) in fixes.chunks(64).enumerate() {
+                    if i % 2 == 0 {
+                        for f in chunk {
+                            store.append(*f);
+                        }
+                    } else {
+                        store.append_batch(chunk.to_vec());
+                    }
+                }
+            });
+        }
+        // Concurrent readers: results are transient while writers run,
+        // but every call must be internally consistent and never panic.
+        for r in 0..4u64 {
+            let store = store.clone();
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(r);
+                for _ in 0..200 {
+                    let id = rng.gen_range(1..=WRITERS * VESSELS_PER_WRITER);
+                    let _ = store.len();
+                    let _ = store.position_at(id, Timestamp::from_mins(rng.gen_range(0..60)));
+                    if let Some(traj) = store.trajectory(id) {
+                        assert!(traj.windows(2).all(|w| w[0].t <= w[1].t), "torn trajectory");
+                    }
+                    let q = Position::new(rng.gen_range(42.0..44.0), rng.gen_range(3.0..6.0));
+                    let res = store.knn(q, Timestamp::from_mins(30), 5);
+                    assert!(res.windows(2).all(|w| w[0].dist_m <= w[1].dist_m), "unsorted knn");
+                }
+            });
+        }
+    });
+
+    // Single-threaded oracle over the same fixes.
+    let mut oracle = TrajectoryStore::new();
+    let mut oracle_knn = KnnEngine::new(0.1, 120 * MINUTE);
+    for fixes in &workloads {
+        for f in fixes {
+            oracle.append(*f);
+            oracle_knn.update_if_newer(*f);
+        }
+    }
+
+    // Final counts.
+    assert_eq!(store.len(), oracle.len());
+    assert_eq!(store.vessel_count(), oracle.vessel_count());
+    assert_eq!(store.vessels().len() as u32, WRITERS * VESSELS_PER_WRITER);
+
+    // Per-vessel trajectories: exact content, sorted by time.
+    for id in store.vessels() {
+        let got = store.trajectory(id).unwrap();
+        let want = oracle.trajectory(id).unwrap();
+        assert_eq!(got.as_slice(), want, "vessel {id} trajectory diverged");
+        assert!(got.windows(2).all(|w| w[0].t <= w[1].t), "vessel {id} unsorted");
+    }
+
+    // Interpolated positions match the oracle at sampled instants.
+    let mut rng = StdRng::seed_from_u64(77);
+    for _ in 0..300 {
+        let id = rng.gen_range(1..=WRITERS * VESSELS_PER_WRITER);
+        let t = Timestamp::from_secs(rng.gen_range(-100..4_000));
+        assert_eq!(store.position_at(id, t), oracle.position_at(id, t), "vessel {id} at {t}");
+    }
+
+    // Cross-shard kNN matches the single-threaded scan oracle.
+    let t = Timestamp::from_secs((FIXES_PER_VESSEL as i64) * 30 + 60);
+    for _ in 0..25 {
+        let q = Position::new(rng.gen_range(42.0..44.0), rng.gen_range(3.0..6.0));
+        let got: Vec<u32> = store.knn(q, t, 10).iter().map(|r| r.id).collect();
+        let want: Vec<u32> = oracle_knn.knn_scan(q, t, 10).iter().map(|r| r.id).collect();
+        assert_eq!(got, want, "kNN diverged at {q}");
+    }
+}
+
+#[test]
+fn concurrent_batch_ingest_is_agnostic_to_thread_count() {
+    // The same workload ingested with 1..=8 concurrent batch writers
+    // must always produce the identical store.
+    let workloads: Vec<Vec<Fix>> = (0..WRITERS).map(writer_fixes).collect();
+    let reference = store_under_test();
+    for fixes in &workloads {
+        reference.append_batch(fixes.clone());
+    }
+    for threads in [2usize, 5, 8] {
+        let store = store_under_test();
+        thread::scope(|s| {
+            for chunk in workloads.chunks(WRITERS.div_ceil(threads as u32) as usize) {
+                let store = store.clone();
+                let chunk = chunk.to_vec();
+                s.spawn(move || {
+                    for fixes in chunk {
+                        store.append_batch(fixes);
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), reference.len(), "{threads} writers");
+        for id in reference.vessels() {
+            assert_eq!(store.trajectory(id), reference.trajectory(id), "{threads} writers");
+        }
+    }
+}

@@ -64,6 +64,68 @@ where
     })
 }
 
+/// Route `items` to workers by an *explicit* shard index rather than a
+/// key hash, so routing can line up with a sharded state store: worker
+/// `w` exclusively owns shards `{s : s % workers == w}`, and therefore
+/// two workers never touch the same store shard — shard-affine ingest
+/// never contends on shard locks.
+///
+/// Items are pre-grouped per shard (input order preserved within a
+/// shard) and each worker's closure is invoked once per non-empty owned
+/// shard with that shard's whole batch, lowest shard index first —
+/// the natural shape for batch-ingest APIs. Outputs are concatenated in
+/// worker order, then the worker's shard-visit order.
+///
+/// `shard_of` must return values in `0..shards`.
+pub fn run_shard_affine<T, O, F>(
+    items: Vec<T>,
+    workers: usize,
+    shards: usize,
+    shard_of: impl Fn(&T) -> usize,
+    make_worker: impl Fn() -> F,
+) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: FnMut(Vec<T>) -> Vec<O> + Send,
+{
+    assert!(workers > 0 && shards > 0);
+    let cap = items.len() / shards + 1;
+    let mut per_shard: Vec<Vec<T>> = (0..shards).map(|_| Vec::with_capacity(cap)).collect();
+    for item in items {
+        let s = shard_of(&item);
+        assert!(s < shards, "shard_of returned {s} for {shards} shards");
+        per_shard[s].push(item);
+    }
+    // Hand each worker its owned shards' batches (shard index ascending).
+    let mut per_worker: Vec<Vec<Vec<T>>> = (0..workers).map(|_| Vec::new()).collect();
+    for (s, batch) in per_shard.into_iter().enumerate() {
+        if !batch.is_empty() {
+            per_worker[s % workers].push(batch);
+        }
+    }
+    thread::scope(|scope| {
+        let handles: Vec<_> = per_worker
+            .into_iter()
+            .map(|batches| {
+                let mut work = make_worker();
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for batch in batches {
+                        out.extend(work(batch));
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("worker panicked"));
+        }
+        all
+    })
+}
+
 /// Convenience: parallel map over chunks without keying (round-robin
 /// partitioning), preserving no particular order.
 pub fn run_unordered<T, O>(items: Vec<T>, workers: usize, f: impl Fn(T) -> O + Sync) -> Vec<O>
@@ -158,6 +220,57 @@ mod tests {
         let items = vec![3u32, 1, 2];
         let out: Vec<u32> = run_partitioned(items, 1, |_| 0u8, || |v: u32| vec![v]);
         assert_eq!(out, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn shard_affine_covers_all_shards_in_order() {
+        // 10 shards over 3 workers; items round-robin over shards.
+        let items: Vec<(usize, u32)> = (0..200u32).map(|seq| ((seq as usize) % 10, seq)).collect();
+        let out: Vec<(usize, u32)> = run_shard_affine(
+            items.clone(),
+            3,
+            10,
+            |item| item.0,
+            || |batch: Vec<(usize, u32)>| batch,
+        );
+        assert_eq!(out.len(), 200);
+        // Per-shard input order is preserved.
+        let mut per_shard: HashMap<usize, Vec<u32>> = HashMap::new();
+        for (s, seq) in out {
+            per_shard.entry(s).or_default().push(seq);
+        }
+        assert_eq!(per_shard.len(), 10);
+        for (s, seqs) in per_shard {
+            let mut sorted = seqs.clone();
+            sorted.sort_unstable();
+            assert_eq!(seqs, sorted, "shard {s} out of order");
+        }
+    }
+
+    #[test]
+    fn shard_affine_worker_owns_disjoint_shards() {
+        // Each worker records which shards it saw; ownership must be
+        // disjoint (that is the no-contention property).
+        let items: Vec<usize> = (0..64).map(|i| i % 8).collect();
+        let out: Vec<(usize, std::thread::ThreadId)> = run_shard_affine(
+            items,
+            4,
+            8,
+            |s| *s,
+            || |batch: Vec<usize>| vec![(batch[0], std::thread::current().id())],
+        );
+        let mut owner: HashMap<usize, std::thread::ThreadId> = HashMap::new();
+        let mut threads: HashMap<std::thread::ThreadId, Vec<usize>> = HashMap::new();
+        for (shard, tid) in out {
+            assert!(owner.insert(shard, tid).is_none(), "shard visited twice");
+            threads.entry(tid).or_default().push(shard);
+        }
+        assert_eq!(owner.len(), 8);
+        for (_, shards) in threads {
+            for s in &shards {
+                assert_eq!(s % 4, shards[0] % 4, "worker crossed its shard class");
+            }
+        }
     }
 
     #[test]

@@ -88,7 +88,7 @@ fn archive_supports_forecast_and_knn() {
     assert!(store.vessel_count() >= 15);
 
     // Forecast a vessel 15 minutes ahead using the learned route net.
-    let vessel = store.with_read(|s| s.vessels().next()).unwrap();
+    let vessel = *store.vessels().first().unwrap();
     let history = store.trajectory(vessel).unwrap();
     let at = pipeline.watermark() + 15 * MINUTE;
     let prediction = pipeline.route_predictor().predict(&history, at);
