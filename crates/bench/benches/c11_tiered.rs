@@ -1,0 +1,75 @@
+//! Criterion bench: tiered storage — seal throughput plus hot vs cold
+//! query latency (C11).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mda_bench::c11_tiered::{archive_store, sealed_store, smooth_fleet, window_queries, WORKLOAD};
+use mda_core::config::RetentionPolicy;
+use mda_geo::time::HOUR;
+use mda_geo::Position;
+
+fn bench(c: &mut Criterion) {
+    let tolerance = RetentionPolicy::default().cold_tolerance_m;
+    let fixes = smooth_fleet(WORKLOAD, 200, 42);
+    let t_hi = fixes.iter().map(|f| f.t).max().unwrap();
+    let hot = archive_store(tolerance);
+    hot.append_batch(fixes.clone());
+    let (sealed, _) = sealed_store(&fixes, tolerance);
+
+    // The headline density number, printed once so the bench log always
+    // carries it next to the timings.
+    let (h, s) = (hot.tier_stats(), sealed.tier_stats());
+    eprintln!(
+        "c11_tiered: hot {:.1} bytes/fix, sealed {:.1} bytes/ingested-fix ({:.1}x smaller, {} segments)",
+        h.hot_bytes as f64 / WORKLOAD as f64,
+        s.cold_bytes as f64 / WORKLOAD as f64,
+        h.hot_bytes as f64 / s.cold_bytes as f64,
+        s.cold_segments,
+    );
+
+    let mut group = c.benchmark_group("c11_tiered");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(WORKLOAD as u64));
+    // Time the seal sweep alone: the populated (unsealed) store is
+    // rebuilt in setup, outside the measurement.
+    group.bench_function("seal_100k", |b| {
+        b.iter_batched(
+            || {
+                let store = archive_store(tolerance);
+                store.append_batch(fixes.clone());
+                store
+            },
+            |store| std::hint::black_box(store.seal_before(t_hi + HOUR)),
+            BatchSize::LargeInput,
+        )
+    });
+
+    let queries = window_queries(t_hi);
+    group.bench_function("window_hot", |b| {
+        b.iter(|| {
+            for (area, from, to) in &queries {
+                std::hint::black_box(hot.window(area, *from, *to));
+            }
+        })
+    });
+    group.bench_function("window_cold", |b| {
+        b.iter(|| {
+            for (area, from, to) in &queries {
+                std::hint::black_box(sealed.window(area, *from, *to));
+            }
+        })
+    });
+    group.bench_function("knn_hot", |b| {
+        b.iter(|| std::hint::black_box(hot.knn(Position::new(43.0, 4.5), t_hi, 10)))
+    });
+    group.bench_function("knn_cold", |b| {
+        b.iter(|| std::hint::black_box(sealed.knn(Position::new(43.0, 4.5), t_hi, 10)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,242 @@
+//! C11 — tiered hot/cold storage: seal throughput, cold query latency
+//! vs hot, and bytes-per-fix of sealed segments vs the raw archive.
+//!
+//! The archive must retain months of history for normalcy models and
+//! forensic queries; keeping every fix as a raw in-memory `Fix` grows
+//! without bound. This experiment measures the cost of rotating dense
+//! raw history into sealed, threshold-compressed, delta-encoded cold
+//! segments — and what cold queries pay for it:
+//!
+//! - **seal throughput** — fixes/s moved hot→cold by `seal_before`
+//!   (includes grid-index maintenance, compression and encoding).
+//! - **bytes per ingested fix** — hot tier vs sealed segments, at the
+//!   default retention tolerance (the ≥5× claim) and lossless.
+//! - **window / knn latency** — the same queries against a never-
+//!   sealed store and a fully-sealed store.
+
+use crate::util::{f, table, timed};
+use mda_core::config::RetentionPolicy;
+use mda_geo::time::{HOUR, MINUTE};
+use mda_geo::{BoundingBox, Fix, Position, Timestamp};
+use mda_store::segment::SegmentConfig;
+use mda_store::shards::{ShardedTrajectoryStore, StIndexConfig, StoreConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of fixes in the standard workload.
+pub const WORKLOAD: usize = 100_000;
+
+/// Nominal region of the synthetic fleet.
+pub fn bounds() -> BoundingBox {
+    BoundingBox::new(42.0, 3.0, 44.0, 6.0)
+}
+
+/// A dense, *smooth* historical workload: `vessels` vessels on
+/// persistent courses with slow drift, reporting every 10 s — the kind
+/// of raw history the cold tier is built for (unlike `c10`'s random
+/// positions, which no trajectory compressor can thin).
+pub fn smooth_fleet(n: usize, vessels: u32, seed: u64) -> Vec<Fix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let b = bounds();
+    let mut state: Vec<Fix> = (1..=vessels)
+        .map(|id| {
+            Fix::new(
+                id,
+                Timestamp::from_secs(0),
+                Position::new(
+                    rng.gen_range(b.min_lat + 0.2..b.max_lat - 0.2),
+                    rng.gen_range(b.min_lon + 0.2..b.max_lon - 0.2),
+                ),
+                rng.gen_range(6.0..16.0),
+                rng.gen_range(0.0..360.0),
+            )
+        })
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = i % vessels as usize;
+        let t = Timestamp::from_secs((i / vessels as usize) as i64 * 10);
+        let prev = state[v];
+        let mut fix = Fix { t, pos: prev.dead_reckon(t), ..prev };
+        // Occasional gentle manoeuvre so synopses keep *some* points.
+        if rng.gen_bool(0.01) {
+            fix.cog_deg = (fix.cog_deg + rng.gen_range(-40.0..40.0)).rem_euclid(360.0);
+            fix.sog_kn = (fix.sog_kn + rng.gen_range(-2.0..2.0)).clamp(4.0, 18.0);
+        }
+        state[v] = fix;
+        out.push(fix);
+    }
+    out
+}
+
+/// A store configured like the pipeline archive: grid-indexed, sealing
+/// at `tolerance_m` (the default retention tolerance for the headline
+/// numbers, 0 for the lossless comparison).
+pub fn archive_store(tolerance_m: f64) -> ShardedTrajectoryStore {
+    ShardedTrajectoryStore::with_config(StoreConfig {
+        shards: 8,
+        st_index: Some(StIndexConfig { bounds: bounds(), cell_deg: 0.1, slice: 30 * MINUTE }),
+        knn: None,
+        seal: SegmentConfig { tolerance_m, max_silence: 30 * MINUTE, max_span: 30 * MINUTE },
+    })
+}
+
+/// Ingest the workload and seal everything (one timed sweep). Returns
+/// `(store, seal seconds)`.
+pub fn sealed_store(fixes: &[Fix], tolerance_m: f64) -> (ShardedTrajectoryStore, f64) {
+    let store = archive_store(tolerance_m);
+    store.append_batch(fixes.to_vec());
+    let horizon = fixes.iter().map(|fx| fx.t).max().unwrap_or(Timestamp(0)) + HOUR;
+    let ((), secs) = timed(|| {
+        store.seal_before(horizon);
+    });
+    (store, secs)
+}
+
+/// The standard window query mix: nine sub-boxes × a one-hour slice.
+pub fn window_queries(t_hi: Timestamp) -> Vec<(BoundingBox, Timestamp, Timestamp)> {
+    let b = bounds();
+    let (lat_step, lon_step) = (b.lat_span() / 3.0, b.lon_span() / 3.0);
+    let mut out = Vec::new();
+    for i in 0..3 {
+        for j in 0..3 {
+            let area = BoundingBox::new(
+                b.min_lat + lat_step * f64::from(i),
+                b.min_lon + lon_step * f64::from(j),
+                b.min_lat + lat_step * f64::from(i + 1),
+                b.min_lon + lon_step * f64::from(j + 1),
+            );
+            let from = Timestamp(t_hi.millis() / 2);
+            out.push((area, from, from + HOUR));
+        }
+    }
+    out
+}
+
+/// Run the experiment and return the report text.
+pub fn run() -> String {
+    let fixes = smooth_fleet(WORKLOAD, 200, 42);
+    let t_hi = fixes.iter().map(|fx| fx.t).max().unwrap();
+    let default_tol = RetentionPolicy::default().cold_tolerance_m;
+
+    let hot = archive_store(default_tol);
+    hot.append_batch(fixes.clone());
+    let hot_stats = hot.tier_stats();
+
+    let (sealed, seal_secs) = sealed_store(&fixes, default_tol);
+    let sealed_stats = sealed.tier_stats();
+    let (lossless, _) = sealed_store(&fixes, 0.0);
+    let lossless_stats = lossless.tier_stats();
+
+    // Bytes per *ingested* fix: the sealed store holds the same history
+    // (within tolerance), so divide by the full workload.
+    let hot_bpf = hot_stats.hot_bytes as f64 / WORKLOAD as f64;
+    let sealed_bpf = sealed_stats.cold_bytes as f64 / WORKLOAD as f64;
+    let lossless_bpf = lossless_stats.cold_bytes as f64 / WORKLOAD as f64;
+
+    let queries = window_queries(t_hi);
+    let time_windows = |store: &ShardedTrajectoryStore| {
+        let (count, secs) = timed(|| {
+            let mut n = 0usize;
+            for _ in 0..5 {
+                for (area, from, to) in &queries {
+                    n += store.window(area, *from, *to).len();
+                }
+            }
+            n
+        });
+        (count, secs / (5.0 * queries.len() as f64) * 1e6)
+    };
+    let (hot_hits, hot_win_us) = time_windows(&hot);
+    let (cold_hits, cold_win_us) = time_windows(&sealed);
+
+    let knn_probe = |store: &ShardedTrajectoryStore| {
+        let ((), secs) = timed(|| {
+            for i in 0..50 {
+                let q = Position::new(42.2 + 0.03 * f64::from(i), 3.2 + 0.05 * f64::from(i));
+                std::hint::black_box(store.knn(q, t_hi, 10));
+            }
+        });
+        secs / 50.0 * 1e6
+    };
+    let hot_knn_us = knn_probe(&hot);
+    let cold_knn_us = knn_probe(&sealed);
+
+    let mut out = String::new();
+    out.push_str(&table(
+        &format!("C11 — tiered storage, {WORKLOAD} fixes / 200 vessels"),
+        &["metric", "hot", "sealed", "ratio"],
+        &[
+            vec![
+                "bytes/ingested fix".into(),
+                f(hot_bpf, 1),
+                f(sealed_bpf, 1),
+                format!("{}x smaller", f(hot_bpf / sealed_bpf, 1)),
+            ],
+            vec![
+                "bytes/fix (lossless seal)".into(),
+                f(hot_bpf, 1),
+                f(lossless_bpf, 1),
+                format!("{}x smaller", f(hot_bpf / lossless_bpf, 1)),
+            ],
+            vec![
+                "window query".into(),
+                format!("{} us", f(hot_win_us, 0)),
+                format!("{} us", f(cold_win_us, 0)),
+                format!("{}x", f(cold_win_us / hot_win_us, 2)),
+            ],
+            vec![
+                "knn query (fallback scan)".into(),
+                format!("{} us", f(hot_knn_us, 0)),
+                format!("{} us", f(cold_knn_us, 0)),
+                format!("{}x", f(cold_knn_us / hot_knn_us, 2)),
+            ],
+            vec![
+                "seal throughput".into(),
+                "-".into(),
+                format!("{}/s", f(WORKLOAD as f64 / seal_secs, 0)),
+                "-".into(),
+            ],
+        ],
+    ));
+    out.push_str(&format!(
+        "\n(sealed = {} segments at tolerance {default_tol} m, {} of {} fixes kept;\n\
+         window hits hot {hot_hits} vs sealed {cold_hits} — sealed stores the synopsis)\n",
+        sealed_stats.cold_segments, sealed_stats.cold_fixes, WORKLOAD,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sealed_bytes_per_fix_beats_hot_by_5x() {
+        let fixes = smooth_fleet(20_000, 50, 7);
+        let (sealed, _) = sealed_store(&fixes, RetentionPolicy::default().cold_tolerance_m);
+        let stats = sealed.tier_stats();
+        assert_eq!(stats.hot_fixes, 0, "everything must be sealed");
+        let hot_bpf = std::mem::size_of::<Fix>() as f64;
+        let sealed_bpf = stats.cold_bytes as f64 / fixes.len() as f64;
+        assert!(
+            hot_bpf / sealed_bpf >= 5.0,
+            "sealed {sealed_bpf:.1} bytes/fix vs hot {hot_bpf:.1}: ratio below 5x"
+        );
+    }
+
+    #[test]
+    fn sealed_window_answers_match_within_synopsis() {
+        // Hot and sealed stores answer the same queries; sealed returns
+        // the synopsis subset, so every sealed hit has a hot counterpart
+        // at the same (vessel, time) up to compression.
+        let fixes = smooth_fleet(10_000, 20, 9);
+        let hot = archive_store(0.0);
+        hot.append_batch(fixes.clone());
+        let (sealed, _) = sealed_store(&fixes, 0.0);
+        let t_hi = fixes.iter().map(|fx| fx.t).max().unwrap();
+        for (area, from, to) in window_queries(t_hi) {
+            assert_eq!(sealed.window(&area, from, to), hot.window(&area, from, to));
+        }
+    }
+}

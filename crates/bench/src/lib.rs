@@ -14,6 +14,7 @@
 //! ```
 
 pub mod c10_ingest;
+pub mod c11_tiered;
 pub mod c1_synopses;
 pub mod c2_veracity;
 pub mod c3_godark;

@@ -1,9 +1,46 @@
 //! Pipeline configuration.
 
 use mda_events::engine::EngineConfig;
+use mda_geo::time::{HOUR, MINUTE};
 use mda_geo::{BoundingBox, DurationMs};
 use mda_synopses::compress::ThresholdConfig;
 use mda_track::fusion::FuserConfig;
+
+/// Hot/cold retention policy of the archival trajectory store.
+///
+/// Fixes older than `watermark − hot_horizon` are rotated out of the
+/// hot shards into sealed, compressed cold segments (see
+/// `mda_store::segment`), at most once per `seal_every` of event time.
+///
+/// ```
+/// use mda_core::config::RetentionPolicy;
+/// use mda_geo::time::HOUR;
+///
+/// // Keep 2 h hot, archive bit-exactly.
+/// let policy = RetentionPolicy { hot_horizon: 2 * HOUR, cold_tolerance_m: 0.0,
+///     ..RetentionPolicy::default() };
+/// assert!(policy.cold_tolerance_m == 0.0, "lossless sealing");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RetentionPolicy {
+    /// How much trailing history stays in the hot (mutable,
+    /// uncompressed) tier.
+    pub hot_horizon: DurationMs,
+    /// Threshold-compression tolerance of sealed segments, metres;
+    /// `0` seals bit-exactly (no compression beyond delta coding).
+    pub cold_tolerance_m: f64,
+    /// Minimum watermark advance between seal sweeps.
+    pub seal_every: DurationMs,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        // seal_every matches the default segment slab span (30 min):
+        // a finer cadence would only produce no-op sweeps, since seal
+        // cuts are aligned down to whole slabs.
+        Self { hot_horizon: HOUR, cold_tolerance_m: 50.0, seal_every: 30 * MINUTE }
+    }
+}
 
 /// Configuration of the integrated pipeline.
 #[derive(Debug, Clone)]
@@ -30,6 +67,10 @@ pub struct PipelineConfig {
     /// Lock stripes of the archival trajectory store. Ingest workers are
     /// routed shard-affine, so this bounds write parallelism.
     pub store_shards: usize,
+    /// Hot/cold tiering of the archival store: when the watermark
+    /// advances, fixes older than the hot horizon are sealed into
+    /// compressed cold segments.
+    pub retention: RetentionPolicy,
 }
 
 impl PipelineConfig {
@@ -45,6 +86,7 @@ impl PipelineConfig {
             model_cell_deg: 0.02,
             raster_shape: (64, 64),
             store_shards: 8,
+            retention: RetentionPolicy::default(),
         }
     }
 }
@@ -62,5 +104,8 @@ mod tests {
         assert!(cfg.raster_shape.0 > 0 && cfg.raster_shape.1 > 0);
         assert!(cfg.store_shards > 0);
         assert!(!cfg.bounds.is_empty());
+        assert!(cfg.retention.hot_horizon > 0);
+        assert!(cfg.retention.seal_every > 0);
+        assert!(cfg.retention.cold_tolerance_m >= 0.0);
     }
 }

@@ -29,7 +29,7 @@ pub mod decision;
 pub mod pipeline;
 pub mod report;
 
-pub use config::PipelineConfig;
+pub use config::{PipelineConfig, RetentionPolicy};
 pub use decision::{Alert, DecisionSupport, OperatorPicture};
 pub use pipeline::MaritimePipeline;
 pub use report::PipelineReport;

@@ -68,6 +68,18 @@ pub struct PipelineReport {
     pub dropped_late: u64,
     /// Events emitted by the engine.
     pub events_emitted: u64,
+    /// Seal sweeps run (watermark-driven hot→cold rotations).
+    pub seal_sweeps: u64,
+    /// Fixes currently in the archive's hot tier.
+    pub hot_fixes: u64,
+    /// Fixes currently in sealed cold segments.
+    pub cold_fixes: u64,
+    /// Approximate bytes held by the hot tier.
+    pub hot_bytes: u64,
+    /// Approximate bytes held by the cold tier (encoded segments).
+    pub cold_bytes: u64,
+    /// Sealed segments in the cold tier.
+    pub cold_segments: u64,
     /// Ingest/validation stage.
     pub ingest: StageMetric,
     /// Reordering stage.
@@ -108,6 +120,32 @@ impl PipelineReport {
         }
         self.static_flagged as f64 / self.static_messages as f64
     }
+
+    /// Refresh the per-tier counters from the archive's accounting.
+    pub fn record_tiers(&mut self, stats: &mda_store::TierStats) {
+        self.hot_fixes = stats.hot_fixes as u64;
+        self.cold_fixes = stats.cold_fixes as u64;
+        self.hot_bytes = stats.hot_bytes as u64;
+        self.cold_bytes = stats.cold_bytes as u64;
+        self.cold_segments = stats.cold_segments as u64;
+    }
+
+    /// Rows for the tier table: `(tier, fixes, approx bytes, bytes/fix)`.
+    /// The bytes-per-fix derivation lives in [`mda_store::TierStats`],
+    /// so the report and the store can never disagree on it.
+    pub fn tier_rows(&self) -> Vec<(&'static str, u64, u64, f64)> {
+        let stats = mda_store::TierStats {
+            hot_fixes: self.hot_fixes as usize,
+            cold_fixes: self.cold_fixes as usize,
+            hot_bytes: self.hot_bytes as usize,
+            cold_bytes: self.cold_bytes as usize,
+            cold_segments: self.cold_segments as usize,
+        };
+        vec![
+            ("hot", self.hot_fixes, self.hot_bytes, stats.hot_bytes_per_fix()),
+            ("cold", self.cold_fixes, self.cold_bytes, stats.cold_bytes_per_fix()),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -140,5 +178,23 @@ mod tests {
     fn static_error_rate_computed() {
         let r = PipelineReport { static_messages: 200, static_flagged: 10, ..Default::default() };
         assert!((r.static_error_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tier_rows_reflect_recorded_stats() {
+        let mut r = PipelineReport::default();
+        r.record_tiers(&mda_store::TierStats {
+            hot_fixes: 100,
+            cold_fixes: 400,
+            hot_bytes: 4_800,
+            cold_bytes: 800,
+            cold_segments: 3,
+        });
+        let rows = r.tier_rows();
+        assert_eq!(rows[0], ("hot", 100, 4_800, 48.0));
+        assert_eq!(rows[1], ("cold", 400, 800, 2.0));
+        assert_eq!(r.cold_segments, 3);
+        // Empty tiers divide safely.
+        assert_eq!(PipelineReport::default().tier_rows()[1].3, 0.0);
     }
 }

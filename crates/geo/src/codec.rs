@@ -1,0 +1,185 @@
+//! Compact integer/float codecs for sealed trajectory storage.
+//!
+//! The archive's cold tier stores per-vessel slabs of fixes
+//! delta-encoded columnar; this module provides the shared primitives:
+//!
+//! - **LEB128 varints** ([`write_varint`] / [`read_varint`]) — small
+//!   magnitudes (deltas of sorted timestamps, quantized position steps)
+//!   cost one or two bytes instead of eight.
+//! - **ZigZag mapping** ([`zigzag`] / [`unzigzag`]) — signed deltas of
+//!   either sign stay small as varints.
+//! - **Fixed-point quantization** ([`quantize`] / [`dequantize`]) — a
+//!   lossy float→integer mapping with an explicit, recorded scale.
+//! - **Bit-exact float transport** ([`write_f64_xor`] /
+//!   [`read_f64_xor`]) — XOR against the previous value's bit pattern,
+//!   varint-encoded; repeated values (a vessel holding course and
+//!   speed) cost one byte and the round-trip is always exact.
+//!
+//! ## Example
+//!
+//! ```
+//! use mda_geo::codec::{read_varint, write_varint, unzigzag, zigzag};
+//!
+//! let mut buf = Vec::new();
+//! for delta in [0i64, -3, 60_000, 42] {
+//!     write_varint(&mut buf, zigzag(delta));
+//! }
+//! let mut at = 0;
+//! assert_eq!(unzigzag(read_varint(&buf, &mut at).unwrap()), 0);
+//! assert_eq!(unzigzag(read_varint(&buf, &mut at).unwrap()), -3);
+//! ```
+
+/// Append `value` as an LEB128 varint (7 payload bits per byte).
+pub fn write_varint(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read an LEB128 varint from `buf` at `*at`, advancing the cursor.
+/// Returns `None` on truncated or over-long (> 10 byte) input.
+pub fn read_varint(buf: &[u8], at: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*at)?;
+        *at += 1;
+        if shift >= 64 {
+            return None;
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Map a signed integer onto an unsigned one so small magnitudes of
+/// either sign become small varints: `0, -1, 1, -2, ... → 0, 1, 2, 3`.
+#[inline]
+pub const fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub const fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Quantize a float onto the integer lattice of step `1 / scale`
+/// (round-to-nearest). The reconstruction error of [`dequantize`] is at
+/// most `0.5 / scale`.
+#[inline]
+pub fn quantize(value: f64, scale: f64) -> i64 {
+    (value * scale).round() as i64
+}
+
+/// Inverse of [`quantize`] (up to the quantization error).
+#[inline]
+pub fn dequantize(q: i64, scale: f64) -> f64 {
+    q as f64 / scale
+}
+
+/// Append `value` bit-exactly as `varint(bits(value) XOR bits(prev))`.
+/// Returns `value` (the next `prev`). Equal consecutive values cost one
+/// byte; arbitrary values cost at most ten.
+pub fn write_f64_xor(buf: &mut Vec<u8>, prev: f64, value: f64) -> f64 {
+    write_varint(buf, value.to_bits() ^ prev.to_bits());
+    value
+}
+
+/// Read a float written by [`write_f64_xor`] given the same `prev`.
+pub fn read_f64_xor(buf: &[u8], at: &mut usize, prev: f64) -> Option<f64> {
+    Some(f64::from_bits(read_varint(buf, at)? ^ prev.to_bits()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn varint_round_trip_edges() {
+        let cases =
+            [0u64, 1, 127, 128, 16_383, 16_384, u64::from(u32::MAX), u64::MAX - 1, u64::MAX];
+        for v in cases {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert!(buf.len() <= 10);
+            let mut at = 0;
+            assert_eq!(read_varint(&buf, &mut at), Some(v));
+            assert_eq!(at, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        let mut at = 0;
+        assert_eq!(read_varint(&buf[..buf.len() - 1], &mut at), None);
+        assert_eq!(read_varint(&[], &mut 0), None);
+    }
+
+    #[test]
+    fn zigzag_round_trip_and_order() {
+        for v in [0i64, -1, 1, -2, 2, i64::MIN, i64::MAX, 12_345, -12_345] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes map to small codes.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert!(zigzag(100) < zigzag(-1_000));
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let scale = 1e5; // 1e-5 degrees ≈ 1.1 m of latitude
+        for _ in 0..1_000 {
+            let v: f64 = rng.gen_range(-180.0..180.0);
+            let back = dequantize(quantize(v, scale), scale);
+            assert!((back - v).abs() <= 0.5 / scale + 1e-12, "{v} → {back}");
+        }
+    }
+
+    #[test]
+    fn f64_xor_is_bit_exact() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let values: Vec<f64> =
+            (0..500).map(|i| if i % 3 == 0 { 42.5 } else { rng.gen_range(-1e9..1e9) }).collect();
+        let mut buf = Vec::new();
+        let mut prev = 0.0;
+        for &v in &values {
+            prev = write_f64_xor(&mut buf, prev, v);
+        }
+        let mut at = 0;
+        let mut prev = 0.0;
+        for &v in &values {
+            let got = read_f64_xor(&buf, &mut at, prev).unwrap();
+            assert_eq!(got.to_bits(), v.to_bits());
+            prev = got;
+        }
+        assert_eq!(at, buf.len());
+    }
+
+    #[test]
+    fn repeated_values_compress_to_one_byte() {
+        let mut buf = Vec::new();
+        let mut prev = 0.0;
+        for _ in 0..100 {
+            prev = write_f64_xor(&mut buf, prev, 123.456);
+        }
+        // First value costs up to 10 bytes, the 99 repeats one byte each.
+        assert!(buf.len() <= 10 + 99, "buf {}", buf.len());
+    }
+}

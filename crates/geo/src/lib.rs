@@ -11,6 +11,9 @@
 //! - Spatial containers: [`bbox::BoundingBox`], [`polygon::Polygon`],
 //!   a uniform [`grid::GridIndex`], an [`rtree::RTree`], and
 //!   [`geohash`] encoding.
+//! - Compact storage codecs ([`codec`]): varints, zigzag deltas,
+//!   fixed-point quantization and bit-exact float transport, shared by
+//!   the sealed cold-tier trajectory segments.
 //!
 //! The crate is dependency-light on purpose: it is the bottom of the
 //! workspace dependency graph and is exercised by property tests that
@@ -32,6 +35,7 @@
 //! ```
 
 pub mod bbox;
+pub mod codec;
 pub mod distance;
 pub mod geohash;
 pub mod grid;

@@ -185,7 +185,7 @@ impl KnnEngine {
 /// vessel id. Every query path (scan, ring search, cross-shard merge)
 /// ranks with this, so equal fleets give equal answers regardless of
 /// insertion order or shard layout.
-fn rank(a: &KnnResult, b: &KnnResult) -> std::cmp::Ordering {
+pub(crate) fn rank(a: &KnnResult, b: &KnnResult) -> std::cmp::Ordering {
     a.dist_m.total_cmp(&b.dist_m).then_with(|| a.id.cmp(&b.id))
 }
 

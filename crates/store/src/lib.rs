@@ -17,6 +17,12 @@
 //!   trajectories plus incrementally-maintained grid/kNN indexes, with
 //!   batch ingest ([`ShardedTrajectoryStore::append_batch`]) and
 //!   cross-shard query merging.
+//! - [`segment`] / [`tier`] — the cold tier: immutable, sealed,
+//!   delta-encoded columnar [`TrajectorySegment`]s with time/bbox
+//!   fences, optionally pre-compressed to a bounded-error synopsis.
+//!   [`ShardedTrajectoryStore::seal_before`] rotates old fixes out of
+//!   the hot shards; every read path merges hot + cold
+//!   deterministically.
 //! - [`shared`] — the pipeline-facing handle name
 //!   ([`SharedTrajectoryStore`], now an alias of the sharded store).
 //!
@@ -28,6 +34,16 @@
 //! sort-inserted. Writers for different shards never contend, and
 //! cross-shard reads merge deterministically — equal contents give
 //! equal answers for any shard or thread count.
+//!
+//! ## Tiering model
+//!
+//! Sealing is shard-affine and slab-aligned: `seal_before(watermark)`
+//! moves each vessel's fixes older than the (slab-aligned) watermark
+//! into per-vessel, `max_span`-bounded segments. With the default
+//! lossless seal configuration every query answers bit-identically to
+//! a never-sealed store; lossy configurations store each slab's
+//! threshold synopsis and record the combined error bound on the
+//! segment. See [`shards`] for the cross-tier ordering guarantees.
 //!
 //! ## Example
 //!
@@ -46,13 +62,17 @@
 //! ```
 
 pub mod knn;
+pub mod segment;
 pub mod shards;
 pub mod shared;
 pub mod stindex;
+pub mod tier;
 pub mod trajstore;
 
 pub use knn::{merge_candidates, KnnEngine, KnnResult};
-pub use shards::{KnnConfig, ShardedTrajectoryStore, StIndexConfig, StoreConfig};
+pub use segment::{SegmentConfig, TrajectorySegment};
+pub use shards::{KnnConfig, SealOutcome, ShardedTrajectoryStore, StIndexConfig, StoreConfig};
 pub use shared::SharedTrajectoryStore;
 pub use stindex::StGrid;
+pub use tier::{ColdTier, TierStats};
 pub use trajstore::TrajectoryStore;

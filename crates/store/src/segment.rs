@@ -1,0 +1,478 @@
+//! Immutable, sealed cold-tier trajectory segments.
+//!
+//! A [`TrajectorySegment`] is a per-vessel, time-partitioned slab of
+//! fixes rotated out of the hot shards by
+//! [`ShardedTrajectoryStore::seal_before`](crate::shards::ShardedTrajectoryStore::seal_before).
+//! Segments are:
+//!
+//! - **Immutable** — sealed once, never appended to. Late fixes older
+//!   than an already-sealed slab simply seal into an additional segment
+//!   later; readers merge overlapping segments deterministically.
+//! - **Delta-encoded columnar** — timestamps as zigzag varint deltas;
+//!   positions either fixed-point quantized deltas (lossy mode, with a
+//!   recorded error bound) or bit-exact XOR-chained floats (lossless
+//!   mode). See [`mda_geo::codec`] for the primitives.
+//! - **Optionally pre-compressed** — lossy sealing first runs the slab
+//!   through [`mda_synopses::compress::ThresholdCompressor`], so the
+//!   cold tier stores the synopsis of the slab, 20–50× smaller than
+//!   the raw fixes, with the combined (threshold + quantization +
+//!   dead-reckoning drift) error bound recorded on the segment.
+//! - **Fenced** — each segment carries its time span and the bounding
+//!   box of its (decoded) positions, so window queries skip
+//!   non-overlapping segments without decoding them.
+//!
+//! ## Example
+//!
+//! ```
+//! use mda_geo::{Fix, Position, Timestamp};
+//! use mda_store::segment::{SegmentConfig, TrajectorySegment};
+//!
+//! let fixes: Vec<Fix> = (0..100)
+//!     .map(|i| {
+//!         let t = Timestamp::from_secs(i * 10);
+//!         Fix::new(9, t, Position::new(43.0, 5.0 + 0.0001 * i as f64), 10.0, 90.0)
+//!     })
+//!     .collect();
+//! // Lossless sealing (tolerance 0) round-trips bit-exactly.
+//! let seg = TrajectorySegment::seal(9, &fixes, &SegmentConfig::lossless()).unwrap();
+//! assert_eq!(seg.decode(), fixes);
+//! assert_eq!(seg.error_bound_m(), 0.0);
+//! // Lossy sealing stores the slab's synopsis, far smaller.
+//! let lossy = TrajectorySegment::seal(9, &fixes, &SegmentConfig::default()).unwrap();
+//! assert!(lossy.len() < fixes.len());
+//! assert!(lossy.error_bound_m() > 0.0);
+//! ```
+
+use mda_geo::codec::{
+    dequantize, quantize, read_f64_xor, read_varint, unzigzag, write_f64_xor, write_varint, zigzag,
+};
+use mda_geo::time::MINUTE;
+use mda_geo::units::knots_to_mps;
+use mda_geo::{BoundingBox, DurationMs, Fix, Timestamp, VesselId};
+use mda_synopses::compress::{ThresholdCompressor, ThresholdConfig};
+
+/// Metres per degree of latitude (and of longitude at the equator).
+const METERS_PER_DEG: f64 = 111_320.0;
+
+/// Fixed-point scale for quantized speed over ground (0.01 kn steps).
+const SOG_SCALE: f64 = 100.0;
+
+/// Fixed-point scale for quantized course over ground (0.01° steps).
+const COG_SCALE: f64 = 100.0;
+
+/// How a vessel's slab of fixes is sealed into a cold segment.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentConfig {
+    /// Threshold pre-compression tolerance in metres; `<= 0` disables
+    /// pre-compression *and* quantization — sealing is bit-exact.
+    pub tolerance_m: f64,
+    /// Keepalive gap for lossy pre-compression (a fix is always kept
+    /// after this long without one, bounding reconstruction gaps).
+    pub max_silence: DurationMs,
+    /// Maximum event-time span of one segment. Sealing splits a
+    /// vessel's run at `max_span`-aligned boundaries, so segment
+    /// contents are independent of *when* seals happened and fences
+    /// stay tight.
+    pub max_span: DurationMs,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        Self { tolerance_m: 50.0, max_silence: 30 * MINUTE, max_span: 30 * MINUTE }
+    }
+}
+
+impl SegmentConfig {
+    /// Bit-exact sealing: no pre-compression, no quantization.
+    pub fn lossless() -> Self {
+        Self { tolerance_m: 0.0, ..Self::default() }
+    }
+
+    /// True when sealing with this configuration is exactly reversible.
+    pub fn is_lossless(&self) -> bool {
+        self.tolerance_m <= 0.0
+    }
+
+    /// The position quantization step in degrees (lossy mode): a
+    /// quarter of the tolerance, so quantization noise stays well
+    /// inside the threshold-compression bound.
+    fn quant_step_deg(&self) -> f64 {
+        self.tolerance_m / (4.0 * METERS_PER_DEG)
+    }
+}
+
+/// An immutable, sealed, compressed slab of one vessel's fixes.
+#[derive(Debug, Clone)]
+pub struct TrajectorySegment {
+    id: VesselId,
+    len: usize,
+    /// Event-time fence (inclusive, over the stored fixes).
+    t_min: Timestamp,
+    t_max: Timestamp,
+    /// Spatial fence over the *decoded* positions.
+    bbox: BoundingBox,
+    /// Upper bound on the position error of reconstructing any sealed
+    /// observation from this segment (0 for lossless segments).
+    error_bound_m: f64,
+    /// First and last stored fix, pre-decoded for fence/latest queries.
+    first: Fix,
+    last: Fix,
+    /// Position quantization scale; 0.0 marks a lossless segment.
+    pos_scale: f64,
+    /// The encoded columns: t, lat, lon, sog, cog.
+    cols: [Vec<u8>; 5],
+}
+
+impl TrajectorySegment {
+    /// Seal a time-sorted slab of one vessel's fixes. Lossy
+    /// configurations first reduce the slab to its threshold synopsis,
+    /// then quantize; the combined error bound is recorded. Returns
+    /// `None` for an empty slab (or one the compressor emptied, which
+    /// cannot happen — the first fix is always kept).
+    pub fn seal(id: VesselId, slab: &[Fix], config: &SegmentConfig) -> Option<Self> {
+        debug_assert!(slab.windows(2).all(|w| w[0].t <= w[1].t), "slab must be time-sorted");
+        let kept: Vec<Fix>;
+        let fixes = if config.is_lossless() {
+            slab
+        } else {
+            let mut c = ThresholdCompressor::new(ThresholdConfig {
+                tolerance_m: config.tolerance_m,
+                max_silence: config.max_silence,
+            });
+            kept = slab.iter().filter_map(|f| c.observe(*f)).collect();
+            &kept
+        };
+        let first = *fixes.first()?;
+        let last = *fixes.last()?;
+        // Dropped observations after the last kept fix reconstruct by
+        // dead-reckoning over this extra stretch; the error bound must
+        // cover it (gaps *between* kept fixes are covered by the
+        // decoded windows in `error_bound`).
+        let tail_gap_s = (slab.last()?.t - last.t) as f64 / 1_000.0;
+
+        let mut cols: [Vec<u8>; 5] = Default::default();
+        let mut prev_t = first.t;
+        let pos_scale =
+            if config.is_lossless() { 0.0 } else { 1.0 / config.quant_step_deg().max(1e-12) };
+        let mut prev = [0i64; 4];
+        let mut prev_f = [0f64; 4];
+        for f in fixes {
+            write_varint(&mut cols[0], zigzag(f.t - prev_t));
+            prev_t = f.t;
+            if pos_scale == 0.0 {
+                for (col, (p, v)) in
+                    prev_f.iter_mut().zip([f.pos.lat, f.pos.lon, f.sog_kn, f.cog_deg]).enumerate()
+                {
+                    *p = write_f64_xor(&mut cols[col + 1], *p, v);
+                }
+            } else {
+                let q = [
+                    quantize(f.pos.lat, pos_scale),
+                    quantize(f.pos.lon, pos_scale),
+                    quantize(f.sog_kn, SOG_SCALE),
+                    quantize(f.cog_deg, COG_SCALE),
+                ];
+                for (col, (p, v)) in prev.iter_mut().zip(q).enumerate() {
+                    write_varint(&mut cols[col + 1], zigzag(v - *p));
+                    *p = v;
+                }
+            }
+        }
+        for c in &mut cols {
+            c.shrink_to_fit();
+        }
+
+        let mut seg = Self {
+            id,
+            len: fixes.len(),
+            t_min: first.t,
+            t_max: last.t,
+            bbox: BoundingBox::empty(),
+            error_bound_m: 0.0,
+            first,
+            last,
+            pos_scale,
+            cols,
+        };
+        // Fences, cached endpoints and the error bound must describe
+        // the *decoded* fixes — what readers see. Lossless round-trips
+        // are bit-exact, so the input slab serves directly; lossy
+        // segments pay one decode to pick up the quantized values.
+        let decoded;
+        let visible: &[Fix] = if config.is_lossless() {
+            fixes
+        } else {
+            decoded = seg.decode();
+            &decoded
+        };
+        let mut bbox = BoundingBox::empty();
+        for f in visible {
+            bbox.extend(f.pos);
+        }
+        seg.bbox = bbox;
+        seg.first = visible[0];
+        seg.last = visible[visible.len() - 1];
+        seg.error_bound_m =
+            if config.is_lossless() { 0.0 } else { Self::error_bound(visible, tail_gap_s, config) };
+        Some(seg)
+    }
+
+    /// Conservative reconstruction error bound of a lossy segment:
+    /// threshold tolerance, plus quantization of the observed and the
+    /// dead-reckoning anchor positions, plus the drift that quantized
+    /// speed/course can accumulate over the largest anchor-to-
+    /// observation gap (between kept fixes, or from the last kept fix
+    /// to the end of the sealed slab).
+    fn error_bound(decoded: &[Fix], tail_gap_s: f64, config: &SegmentConfig) -> f64 {
+        let quant_err_m = 0.5 * config.quant_step_deg() * METERS_PER_DEG * std::f64::consts::SQRT_2;
+        let max_gap_s = decoded
+            .windows(2)
+            .map(|w| (w[1].t - w[0].t) as f64 / 1_000.0)
+            .fold(tail_gap_s, f64::max);
+        let max_sog = decoded.iter().map(|f| f.sog_kn).fold(0.0f64, f64::max);
+        let sog_err_mps = knots_to_mps(0.5 / SOG_SCALE);
+        let cog_err_rad = (0.5 / COG_SCALE).to_radians();
+        let drift_m = max_gap_s * (sog_err_mps + knots_to_mps(max_sog) * cog_err_rad);
+        config.tolerance_m + 2.0 * quant_err_m + drift_m
+    }
+
+    /// Streaming decoder over the stored fixes, front to back (delta
+    /// coding forces sequential access, but consumers that stop early
+    /// never materialize the suffix). Exact-size, so `collect`
+    /// preallocates.
+    pub(crate) fn iter_decoded(&self) -> impl Iterator<Item = Fix> + '_ {
+        let mut at = [0usize; 5];
+        let mut t = self.t_min;
+        let mut prev = [0i64; 4];
+        let mut prev_f = [0f64; 4];
+        (0..self.len).map(move |i| {
+            let dt = unzigzag(read_varint(&self.cols[0], &mut at[0]).expect("t column"));
+            t = if i == 0 { self.t_min } else { t + dt };
+            let mut vals = [0f64; 4];
+            if self.pos_scale == 0.0 {
+                for (col, (p, v)) in prev_f.iter_mut().zip(vals.iter_mut()).enumerate() {
+                    *v = read_f64_xor(&self.cols[col + 1], &mut at[col + 1], *p)
+                        .expect("float column");
+                    *p = *v;
+                }
+            } else {
+                for (col, (p, v)) in prev.iter_mut().zip(vals.iter_mut()).enumerate() {
+                    let d =
+                        unzigzag(read_varint(&self.cols[col + 1], &mut at[col + 1]).expect("col"));
+                    *p += d;
+                    let scale = match col {
+                        0 | 1 => self.pos_scale,
+                        2 => SOG_SCALE,
+                        _ => COG_SCALE,
+                    };
+                    *v = dequantize(*p, scale);
+                }
+            }
+            Fix::new(self.id, t, mda_geo::Position::new(vals[0], vals[1]), vals[2], vals[3])
+        })
+    }
+
+    /// Decode the stored fixes, time-sorted. Bit-exact for lossless
+    /// segments; within [`Self::error_bound_m`] otherwise.
+    pub fn decode(&self) -> Vec<Fix> {
+        self.iter_decoded().collect()
+    }
+
+    /// Decoded fixes with `from <= t <= to` (fence-checked first; the
+    /// decode stops at `to` rather than walking the whole segment).
+    pub fn decode_range(&self, from: Timestamp, to: Timestamp) -> Vec<Fix> {
+        if !self.overlaps_time(from, to) {
+            return Vec::new();
+        }
+        self.iter_decoded().skip_while(|f| f.t < from).take_while(|f| f.t <= to).collect()
+    }
+
+    /// The vessel this segment belongs to.
+    pub fn vessel(&self) -> VesselId {
+        self.id
+    }
+
+    /// Number of stored fixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the segment stores nothing (never constructed so).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inclusive event-time span of the stored fixes.
+    pub fn time_span(&self) -> (Timestamp, Timestamp) {
+        (self.t_min, self.t_max)
+    }
+
+    /// Bounding box of the decoded positions (the spatial fence).
+    pub fn bbox(&self) -> &BoundingBox {
+        &self.bbox
+    }
+
+    /// Recorded reconstruction error bound in metres (0 = bit-exact).
+    pub fn error_bound_m(&self) -> f64 {
+        self.error_bound_m
+    }
+
+    /// First stored fix (decoded), without decoding the segment.
+    pub fn first(&self) -> &Fix {
+        &self.first
+    }
+
+    /// Last stored fix (decoded), without decoding the segment.
+    pub fn last(&self) -> &Fix {
+        &self.last
+    }
+
+    /// Approximate in-memory footprint of the encoded columns in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.cols.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// True if the segment's time fence intersects `[from, to]`.
+    #[inline]
+    pub fn overlaps_time(&self, from: Timestamp, to: Timestamp) -> bool {
+        self.t_min <= to && self.t_max >= from
+    }
+
+    /// True if both fences intersect the query window — the
+    /// whole-segment skip test used by cross-tier window queries.
+    #[inline]
+    pub fn overlaps(&self, area: &BoundingBox, from: Timestamp, to: Timestamp) -> bool {
+        self.overlaps_time(from, to) && self.bbox.intersects(area)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::distance::haversine_m;
+    use mda_geo::Position;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn noisy_track(n: usize, seed: u64) -> Vec<Fix> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Timestamp::from_secs(0);
+        let (mut lat, mut lon) = (43.0, 5.0);
+        (0..n)
+            .map(|_| {
+                t += rng.gen_range(1_000..30_000);
+                lat += rng.gen_range(-0.001..0.001);
+                lon += rng.gen_range(-0.001..0.001);
+                Fix::new(
+                    7,
+                    t,
+                    Position::new(lat, lon),
+                    rng.gen_range(0.0..25.0),
+                    rng.gen_range(0.0..360.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lossless_round_trip_is_bit_exact() {
+        let fixes = noisy_track(500, 1);
+        let seg = TrajectorySegment::seal(7, &fixes, &SegmentConfig::lossless()).unwrap();
+        let back = seg.decode();
+        assert_eq!(back.len(), fixes.len());
+        for (a, b) in fixes.iter().zip(&back) {
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.pos.lat.to_bits(), b.pos.lat.to_bits());
+            assert_eq!(a.pos.lon.to_bits(), b.pos.lon.to_bits());
+            assert_eq!(a.sog_kn.to_bits(), b.sog_kn.to_bits());
+            assert_eq!(a.cog_deg.to_bits(), b.cog_deg.to_bits());
+        }
+        assert_eq!(seg.error_bound_m(), 0.0);
+    }
+
+    #[test]
+    fn lossy_positions_within_bound() {
+        let fixes = noisy_track(500, 2);
+        let cfg = SegmentConfig { tolerance_m: 40.0, ..SegmentConfig::default() };
+        let seg = TrajectorySegment::seal(7, &fixes, &cfg).unwrap();
+        let back = seg.decode();
+        // Kept timestamps survive exactly; positions move at most by the
+        // quantization part of the bound.
+        let kept: Vec<&Fix> = fixes.iter().filter(|f| back.iter().any(|b| b.t == f.t)).collect();
+        assert_eq!(kept.len(), back.len());
+        for (orig, dec) in kept.iter().zip(&back) {
+            assert_eq!(orig.t, dec.t);
+            assert!(haversine_m(orig.pos, dec.pos) <= seg.error_bound_m());
+        }
+        assert!(seg.error_bound_m() >= cfg.tolerance_m);
+    }
+
+    #[test]
+    fn error_bound_covers_trailing_dropped_fixes() {
+        // A perfectly straight slab keeps only its first fix; every
+        // later observation reconstructs by dead-reckoning over an
+        // ever-longer gap — the recorded bound must still hold at the
+        // slab's far end, where sog/cog quantization drift peaks.
+        let start = Fix::new(7, Timestamp::from_secs(0), Position::new(43.0, 5.0), 12.345, 77.77);
+        let fixes: Vec<Fix> = (0..180)
+            .map(|i| {
+                let t = Timestamp::from_secs(i * 10);
+                Fix { t, pos: start.dead_reckon(t), ..start }
+            })
+            .collect();
+        let cfg = SegmentConfig { tolerance_m: 20.0, ..SegmentConfig::default() };
+        let seg = TrajectorySegment::seal(7, &fixes, &cfg).unwrap();
+        assert_eq!(seg.len(), 1, "straight slab keeps only the anchor");
+        let anchor = seg.decode()[0];
+        for f in &fixes {
+            let err = haversine_m(anchor.dead_reckon(f.t), f.pos);
+            assert!(err <= seg.error_bound_m(), "err {err} > bound {}", seg.error_bound_m());
+        }
+    }
+
+    #[test]
+    fn fences_cover_contents() {
+        let fixes = noisy_track(200, 3);
+        let seg = TrajectorySegment::seal(7, &fixes, &SegmentConfig::lossless()).unwrap();
+        let (t0, t1) = seg.time_span();
+        assert_eq!(t0, fixes[0].t);
+        assert_eq!(t1, fixes[fixes.len() - 1].t);
+        for f in seg.decode() {
+            assert!(seg.bbox().contains(f.pos));
+            assert!(f.t >= t0 && f.t <= t1);
+        }
+        assert!(!seg.overlaps_time(t1 + 1, t1 + 1_000));
+        assert!(seg.overlaps_time(t0, t0));
+    }
+
+    #[test]
+    fn decode_range_filters_inclusively() {
+        let fixes: Vec<Fix> = (0..20)
+            .map(|i| Fix::new(1, Timestamp::from_mins(i), Position::new(43.0, 5.0), 5.0, 0.0))
+            .collect();
+        let seg = TrajectorySegment::seal(1, &fixes, &SegmentConfig::lossless()).unwrap();
+        let got = seg.decode_range(Timestamp::from_mins(5), Timestamp::from_mins(9));
+        assert_eq!(got.len(), 5);
+        assert!(seg.decode_range(Timestamp::from_mins(50), Timestamp::from_mins(60)).is_empty());
+    }
+
+    #[test]
+    fn empty_slab_seals_to_none() {
+        assert!(TrajectorySegment::seal(1, &[], &SegmentConfig::default()).is_none());
+    }
+
+    #[test]
+    fn sealed_bytes_beat_raw_fixes() {
+        // A smooth track: threshold compression plus delta coding must
+        // undercut the 48-byte in-memory `Fix` by a wide margin.
+        let start = Fix::new(7, Timestamp::from_secs(0), Position::new(43.0, 5.0), 12.0, 90.0);
+        let fixes: Vec<Fix> = (0..2_000)
+            .map(|i| {
+                let t = Timestamp::from_secs(i * 10);
+                Fix { t, pos: start.dead_reckon(t), ..start }
+            })
+            .collect();
+        let raw = fixes.len() * std::mem::size_of::<Fix>();
+        let seg = TrajectorySegment::seal(7, &fixes, &SegmentConfig::default()).unwrap();
+        assert!(seg.approx_bytes() * 5 < raw, "sealed {} bytes vs raw {raw}", seg.approx_bytes());
+    }
+}

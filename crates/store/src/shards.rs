@@ -27,10 +27,45 @@
 //! [`ShardedTrajectoryStore::knn`]) are merged deterministically
 //! (sorted by id / distance), so equal store contents always produce
 //! equal answers regardless of shard count or ingest thread count.
+//!
+//! ## Hot/cold tiering
+//!
+//! Each shard owns two tiers: the mutable hot [`TrajectoryStore`]
+//! archive and a cold [`ColdTier`] of immutable, compressed
+//! [`TrajectorySegment`](crate::segment::TrajectorySegment)s.
+//! [`ShardedTrajectoryStore::seal_before`] rotates fixes older than a
+//! watermark out of the hot tier into sealed segments (shard-affine —
+//! [`ShardedTrajectoryStore::seal_shard_before`] composes with
+//! `run_shard_affine` ingest workers). Every read path is served by a
+//! unified cross-tier merge:
+//!
+//! - [`range`](ShardedTrajectoryStore::range) /
+//!   [`trajectory`](ShardedTrajectoryStore::trajectory) merge cold
+//!   segments and hot fixes by event time, breaking ties in arrival
+//!   order (sealed-earlier first, hot last) — exactly the order the
+//!   hot store's sort-insert would have produced.
+//! - [`window`](ShardedTrajectoryStore::window) unions the hot grid
+//!   index (or scan) with fence-filtered segment decodes, then applies
+//!   the canonical (vessel, time) sort.
+//! - [`latest_at`](ShardedTrajectoryStore::latest_at) /
+//!   [`position_at`](ShardedTrajectoryStore::position_at) bracket the
+//!   query instant across both tiers.
+//! - [`knn`](ShardedTrajectoryStore::knn) spans tiers by construction:
+//!   the per-shard latest-fix index is maintained at ingest and sealing
+//!   never evicts it; index-less stores fall back to a cross-tier
+//!   linear scan.
+//!
+//! With a lossless seal configuration ([`SegmentConfig::lossless`],
+//! the default) every query answers bit-identically to a never-sealed
+//! store; lossy configurations record a per-segment error bound.
 
-use crate::knn::{merge_candidates, KnnEngine, KnnResult};
+use crate::knn::{merge_candidates, rank, KnnEngine, KnnResult};
+use crate::segment::SegmentConfig;
 use crate::stindex::StGrid;
+use crate::tier::{ColdTier, TierStats};
 use crate::trajstore::TrajectoryStore;
+use mda_geo::distance::equirectangular_m;
+use mda_geo::motion::interpolate_fixes;
 use mda_geo::{BoundingBox, DurationMs, Fix, Position, Timestamp, VesselId};
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -66,29 +101,40 @@ pub struct StoreConfig {
     pub st_index: Option<StIndexConfig>,
     /// Maintain a per-shard latest-fix kNN index at ingest time.
     pub knn: Option<KnnConfig>,
+    /// How [`ShardedTrajectoryStore::seal_before`] compresses rotated
+    /// fixes. Defaults to lossless sealing (bit-exact answers); set a
+    /// tolerance to store cold slabs as bounded-error synopses.
+    pub seal: SegmentConfig,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        Self { shards: 8, st_index: None, knn: None }
+        Self { shards: 8, st_index: None, knn: None, seal: SegmentConfig::lossless() }
     }
 }
 
-/// One lock stripe: the vessels hashing here, plus their incrementally
-/// maintained indexes.
+/// One lock stripe: the vessels hashing here (hot archive + sealed
+/// cold tier), plus their incrementally maintained indexes.
 #[derive(Debug)]
 struct Shard {
     archive: TrajectoryStore,
+    cold: ColdTier,
     grid: Option<StGrid>,
     knn: Option<KnnEngine>,
+    /// High-water mark of seal cuts already applied: repeat sweeps at
+    /// the same (aligned) cut early-out instead of re-scanning every
+    /// vessel under the write lock.
+    sealed_to: Timestamp,
 }
 
 impl Shard {
     fn new(config: &StoreConfig) -> Self {
         Self {
             archive: TrajectoryStore::new(),
+            cold: ColdTier::new(),
             grid: config.st_index.as_ref().map(|c| StGrid::new(c.bounds, c.cell_deg, c.slice)),
             knn: config.knn.as_ref().map(|c| KnnEngine::new(c.cell_deg, c.max_extrapolation)),
+            sealed_to: Timestamp::MIN,
         }
     }
 
@@ -133,12 +179,16 @@ impl Shard {
                 }
             }
         }
-        // Keep the kNN index consistent with the archive: track the
-        // latest *kept* fix, or drop the vessel if nothing survived.
+        // Keep the kNN index consistent with what survived: track the
+        // freshest remaining fix *across tiers* — the hot survivor may
+        // be older than sealed history (a compacted-away late arrival),
+        // and blindly tracking it would regress the index. Drop the
+        // vessel only when neither tier knows it.
+        let freshest = self.latest(id);
         if let Some(knn) = &mut self.knn {
-            match self.archive.trajectory(id).and_then(<[Fix]>::last) {
-                Some(last) => {
-                    knn.update(*last);
+            match freshest {
+                Some(f) => {
+                    knn.update(f);
                 }
                 None => {
                     knn.remove(id);
@@ -147,6 +197,154 @@ impl Shard {
         }
         removed
     }
+
+    /// Rotate every hot fix older than `cut` into sealed cold segments
+    /// split at `max_span`-aligned slab boundaries. The grid index
+    /// shrinks with the hot tier; the kNN index is intentionally left
+    /// alone — it tracks the latest fix per vessel *across* tiers, and
+    /// sealing old fixes never changes which fix is latest. Returns
+    /// `(fixes sealed, segments created)`.
+    fn seal_before(&mut self, cut: Timestamp, config: &SegmentConfig) -> (usize, usize) {
+        // Repeat sweeps at a cut we already applied have nothing new to
+        // rotate (late arrivals older than it wait for the next cut).
+        if cut <= self.sealed_to {
+            return (0, 0);
+        }
+        self.sealed_to = cut;
+        let runs = self.archive.take_before(cut);
+        let (mut fixes, mut segments) = (0, 0);
+        for (id, run) in runs {
+            fixes += run.len();
+            if let Some(grid) = &mut self.grid {
+                for f in &run {
+                    grid.remove(f);
+                }
+            }
+            let mut rest = run.as_slice();
+            while let Some(first) = rest.first() {
+                let slab_end = first.t.window_start(config.max_span) + config.max_span;
+                let n = rest.partition_point(|f| f.t < slab_end);
+                let (slab, tail) = rest.split_at(n);
+                rest = tail;
+                if let Some(seg) = crate::segment::TrajectorySegment::seal(id, slab, config) {
+                    segments += 1;
+                    self.cold.push(seg);
+                }
+            }
+        }
+        (fixes, segments)
+    }
+
+    /// All vessel ids present in either tier, ascending and deduped —
+    /// a two-pointer merge of the tiers' already-sorted key iterators
+    /// (no sort, no intermediate allocation).
+    fn merged_vessels(&self) -> impl Iterator<Item = VesselId> + '_ {
+        let mut hot = self.archive.vessels().peekable();
+        let mut cold = self.cold.vessels().peekable();
+        std::iter::from_fn(move || match (hot.peek(), cold.peek()) {
+            (Some(&h), Some(&c)) => {
+                if h <= c {
+                    if h == c {
+                        cold.next();
+                    }
+                    hot.next();
+                    Some(h)
+                } else {
+                    cold.next();
+                    Some(c)
+                }
+            }
+            (Some(_), None) => hot.next(),
+            (None, Some(_)) => cold.next(),
+            (None, None) => None,
+        })
+    }
+
+    /// All vessel ids present in either tier, ascending and deduped.
+    fn vessels(&self) -> Vec<VesselId> {
+        self.merged_vessels().collect()
+    }
+
+    /// Number of distinct vessels across tiers, without materializing
+    /// the id list.
+    fn vessel_count(&self) -> usize {
+        self.merged_vessels().count()
+    }
+
+    /// The freshest fix of a vessel across tiers (hot wins timestamp
+    /// ties — it arrived after anything sealed). O(1) on the cold side
+    /// via the per-vessel latest cache, unlike `latest_at`, which scans
+    /// segment fences — the kNN fallback calls this per vessel.
+    fn latest(&self, id: VesselId) -> Option<Fix> {
+        let hot = self.archive.trajectory(id).and_then(<[Fix]>::last).copied();
+        let cold = self.cold.latest(id).copied();
+        match (hot, cold) {
+            (Some(h), Some(c)) => Some(if h.t >= c.t { h } else { c }),
+            (h, c) => h.or(c),
+        }
+    }
+
+    /// The last fix of a vessel at or before `t`, across tiers (hot
+    /// wins ties — it arrived after anything sealed).
+    fn latest_at(&self, id: VesselId, t: Timestamp) -> Option<Fix> {
+        let hot = self.archive.latest_at(id, t).copied();
+        let cold = self.cold.latest_at(id, t);
+        match (hot, cold) {
+            (Some(h), Some(c)) => Some(if h.t >= c.t { h } else { c }),
+            (h, c) => h.or(c),
+        }
+    }
+
+    /// The first fix of a vessel strictly after `t`, across tiers
+    /// (cold wins ties — it sorts first in merged order).
+    fn first_after(&self, id: VesselId, t: Timestamp) -> Option<Fix> {
+        let hot = self.archive.first_after(id, t).copied();
+        let cold = self.cold.first_after(id, t);
+        match (hot, cold) {
+            (Some(h), Some(c)) => Some(if c.t <= h.t { c } else { h }),
+            (h, c) => h.or(c),
+        }
+    }
+}
+
+/// What one [`ShardedTrajectoryStore::seal_before`] sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SealOutcome {
+    /// The effective cut: fixes strictly older than this were sealed.
+    /// Aligned down to a slab boundary, so every sealed segment covers
+    /// a complete `max_span` slab of what was present at seal time.
+    pub cut: Timestamp,
+    /// Fixes rotated out of the hot tier.
+    pub fixes: usize,
+    /// Segments created.
+    pub segments: usize,
+}
+
+/// Merge a vessel's cold and hot fixes (each time-sorted) by event
+/// time. Ties go to the cold side: sealed fixes arrived before
+/// anything still hot, so this reproduces the arrival order the hot
+/// store's sort-insert maintains.
+fn merge_tiers(cold: Vec<Fix>, hot: &[Fix]) -> Vec<Fix> {
+    if cold.is_empty() {
+        return hot.to_vec();
+    }
+    if hot.is_empty() {
+        return cold;
+    }
+    let mut out = Vec::with_capacity(cold.len() + hot.len());
+    let (mut ci, mut hi) = (0, 0);
+    while ci < cold.len() && hi < hot.len() {
+        if cold[ci].t <= hot[hi].t {
+            out.push(cold[ci]);
+            ci += 1;
+        } else {
+            out.push(hot[hi]);
+            hi += 1;
+        }
+    }
+    out.extend_from_slice(&cold[ci..]);
+    out.extend_from_slice(&hot[hi..]);
+    out
 }
 
 /// A cloneable handle to a lock-striped, vessel-hash-sharded trajectory
@@ -154,6 +352,7 @@ impl Shard {
 #[derive(Debug, Clone)]
 pub struct ShardedTrajectoryStore {
     shards: Arc<[RwLock<Shard>]>,
+    seal: SegmentConfig,
 }
 
 impl Default for ShardedTrajectoryStore {
@@ -185,9 +384,10 @@ impl ShardedTrajectoryStore {
     /// New store from a full configuration.
     pub fn with_config(config: StoreConfig) -> Self {
         assert!(config.shards > 0, "need at least one shard");
+        assert!(config.seal.max_span > 0, "seal slabs need a positive span");
         let shards: Vec<RwLock<Shard>> =
             (0..config.shards).map(|_| RwLock::new(Shard::new(&config))).collect();
-        Self { shards: shards.into() }
+        Self { shards: shards.into(), seal: config.seal }
     }
 
     /// Number of lock stripes.
@@ -227,53 +427,143 @@ impl ShardedTrajectoryStore {
         n
     }
 
-    /// Total stored fixes.
+    /// Total stored fixes across both tiers.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().archive.len()).sum()
-    }
-
-    /// True when empty.
-    pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.read().archive.is_empty())
-    }
-
-    /// Number of distinct vessels.
-    pub fn vessel_count(&self) -> usize {
-        self.shards.iter().map(|s| s.read().archive.vessel_count()).sum()
-    }
-
-    /// All vessel ids, ascending (deterministic across shard layouts).
-    pub fn vessels(&self) -> Vec<VesselId> {
-        let mut ids: Vec<VesselId> = self
-            .shards
+        self.shards
             .iter()
-            .flat_map(|s| s.read().archive.vessels().collect::<Vec<_>>())
-            .collect();
+            .map(|s| {
+                let s = s.read();
+                s.archive.len() + s.cold.len()
+            })
+            .sum()
+    }
+
+    /// True when both tiers are empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| {
+            let s = s.read();
+            s.archive.is_empty() && s.cold.is_empty()
+        })
+    }
+
+    /// Number of distinct vessels across both tiers.
+    pub fn vessel_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().vessel_count()).sum()
+    }
+
+    /// All vessel ids across both tiers, ascending (deterministic
+    /// across shard layouts and sealing histories).
+    pub fn vessels(&self) -> Vec<VesselId> {
+        let mut ids: Vec<VesselId> = self.shards.iter().flat_map(|s| s.read().vessels()).collect();
         ids.sort_unstable();
         ids
     }
 
-    /// Copy of a vessel's fixes in `[from, to]`.
+    /// Rotate every fix older than `watermark` (aligned down to a
+    /// whole seal slab) out of the hot shards into sealed, compressed
+    /// cold segments, using [`StoreConfig::seal`]. Queries keep
+    /// answering across both tiers; with a lossless seal configuration
+    /// they answer bit-identically to a never-sealed store.
+    ///
+    /// ```
+    /// use mda_geo::{Fix, Position, Timestamp};
+    /// use mda_store::ShardedTrajectoryStore;
+    ///
+    /// let store = ShardedTrajectoryStore::new();
+    /// for i in 0..120i64 {
+    ///     let t = Timestamp::from_mins(i);
+    ///     store.append(Fix::new(1, t, Position::new(43.0, 5.0 + 0.001 * i as f64), 10.0, 90.0));
+    /// }
+    /// let before = store.trajectory(1);
+    /// let sealed = store.seal_before(Timestamp::from_mins(90));
+    /// assert!(sealed.fixes > 0);
+    /// assert!(store.tier_stats().cold_segments > 0);
+    /// // The default seal configuration is lossless: reads are unchanged.
+    /// assert_eq!(store.trajectory(1), before);
+    /// ```
+    pub fn seal_before(&self, watermark: Timestamp) -> SealOutcome {
+        let Some(cut) = self.seal_cut(watermark) else { return SealOutcome::default() };
+        let mut outcome = SealOutcome { cut, ..SealOutcome::default() };
+        for shard in self.shards.iter() {
+            let (fixes, segments) = shard.write().seal_before(cut, &self.seal);
+            outcome.fixes += fixes;
+            outcome.segments += segments;
+        }
+        outcome
+    }
+
+    /// Shard-affine sealing: like [`Self::seal_before`] but for one
+    /// shard only, so `run_shard_affine` ingest workers can seal the
+    /// shards they exclusively own without touching anyone else's
+    /// locks.
+    pub fn seal_shard_before(&self, shard: usize, watermark: Timestamp) -> SealOutcome {
+        let Some(cut) = self.seal_cut(watermark) else { return SealOutcome::default() };
+        let (fixes, segments) = self.shards[shard].write().seal_before(cut, &self.seal);
+        SealOutcome { cut, fixes, segments }
+    }
+
+    /// The slab-aligned effective cut for a seal at `watermark`
+    /// (`None` when nothing can be older than it).
+    fn seal_cut(&self, watermark: Timestamp) -> Option<Timestamp> {
+        if watermark == Timestamp::MIN {
+            return None;
+        }
+        Some(watermark.window_start(self.seal.max_span))
+    }
+
+    /// Per-tier size accounting (fix counts, approximate bytes,
+    /// segment count), summed over all shards.
+    pub fn tier_stats(&self) -> TierStats {
+        self.shards.iter().fold(TierStats::default(), |mut acc, shard| {
+            let s = shard.read();
+            acc.merge(&TierStats {
+                hot_fixes: s.archive.len(),
+                hot_bytes: s.archive.len() * std::mem::size_of::<Fix>(),
+                ..s.cold.stats()
+            });
+            acc
+        })
+    }
+
+    /// Copy of a vessel's fixes in `[from, to]`, merged across tiers
+    /// (time order; arrival order on ties).
     pub fn range(&self, id: VesselId, from: Timestamp, to: Timestamp) -> Vec<Fix> {
-        self.shards[self.shard_of(id)].read().archive.range(id, from, to).to_vec()
+        let s = self.shards[self.shard_of(id)].read();
+        merge_tiers(s.cold.range(id, from, to), s.archive.range(id, from, to))
     }
 
-    /// Copy of a vessel's whole trajectory.
+    /// Copy of a vessel's whole trajectory, merged across tiers.
     pub fn trajectory(&self, id: VesselId) -> Option<Vec<Fix>> {
-        self.shards[self.shard_of(id)].read().archive.trajectory(id).map(<[Fix]>::to_vec)
+        let s = self.shards[self.shard_of(id)].read();
+        let cold = s.cold.trajectory(id);
+        let hot = s.archive.trajectory(id);
+        if cold.is_empty() && hot.is_none() {
+            return None;
+        }
+        Some(merge_tiers(cold, hot.unwrap_or(&[])))
     }
 
-    /// The latest fix of a vessel at or before `t`.
+    /// The latest fix of a vessel at or before `t`, across tiers.
     pub fn latest_at(&self, id: VesselId, t: Timestamp) -> Option<Fix> {
-        self.shards[self.shard_of(id)].read().archive.latest_at(id, t).copied()
+        self.shards[self.shard_of(id)].read().latest_at(id, t)
     }
 
-    /// Interpolated position at `t`.
+    /// Interpolated position at `t`, bracketing the instant across
+    /// tiers (clamped at the trajectory ends, like the hot store).
     pub fn position_at(&self, id: VesselId, t: Timestamp) -> Option<Position> {
-        self.shards[self.shard_of(id)].read().archive.position_at(id, t)
+        let s = self.shards[self.shard_of(id)].read();
+        let before = s.latest_at(id, t);
+        let after = s.first_after(id, t);
+        match (before, after) {
+            (None, None) => None,
+            (None, Some(a)) => Some(a.pos),
+            (Some(b), None) => Some(b.pos),
+            (Some(b), Some(a)) => Some(interpolate_fixes(&b, &a, t)),
+        }
     }
 
-    /// Compact one vessel's trajectory (e.g. down to its synopsis). The
+    /// Compact one vessel's *hot* trajectory (e.g. down to its
+    /// synopsis); sealed segments are immutable and unaffected. The
     /// shard's grid index is updated to match.
     pub fn compact(&self, id: VesselId, keep: impl Fn(&[Fix]) -> Vec<Fix>) -> usize {
         self.shards[self.shard_of(id)].write().compact(id, &keep)
@@ -281,9 +571,10 @@ impl ShardedTrajectoryStore {
 
     /// All archived fixes inside the spatial window and time range,
     /// sorted by (vessel, time) — the order is independent of shard
-    /// layout, ingest interleaving and compaction history. Served from
-    /// the per-shard grid indexes when configured, falling back to an
-    /// archive scan otherwise.
+    /// layout, ingest interleaving, sealing and compaction history.
+    /// The hot tier is served from the per-shard grid indexes when
+    /// configured (archive scan otherwise); the cold tier decodes only
+    /// segments whose time/bbox fences intersect the window.
     pub fn window(&self, area: &BoundingBox, from: Timestamp, to: Timestamp) -> Vec<Fix> {
         let mut out = Vec::new();
         for shard in self.shards.iter() {
@@ -297,33 +588,83 @@ impl ShardedTrajectoryStore {
                         .copied(),
                 ),
             }
+            s.cold.window_into(area, from, to, &mut out);
         }
-        out.sort_unstable_by_key(|f| (f.id, f.t));
+        // (vessel, time) is the canonical order; the remaining key
+        // components only pin down duplicates so equal contents always
+        // serialize identically, sealed or not.
+        out.sort_unstable_by_key(|f| {
+            (
+                f.id,
+                f.t,
+                f.pos.lat.to_bits(),
+                f.pos.lon.to_bits(),
+                f.sog_kn.to_bits(),
+                f.cog_deg.to_bits(),
+            )
+        });
         out
     }
 
-    /// Snapshot kNN at `t` over the live fleet: each shard's kNN index
-    /// produces its own candidate list and the per-shard candidates are
-    /// heap-merged into the global top `k`. Requires [`StoreConfig::knn`].
+    /// Snapshot kNN at `t` over the live fleet, ranked by (distance,
+    /// vessel id). With [`StoreConfig::knn`] configured, each shard's
+    /// latest-fix index produces its candidates (the index spans tiers:
+    /// it is maintained at ingest and sealing never evicts it) and the
+    /// per-shard lists are heap-merged into the global top `k`.
+    /// Index-less stores fall back to a cross-tier linear scan over
+    /// each vessel's freshest fix — the `c7_knn/scan` path — with no
+    /// staleness cutoff.
     pub fn knn(&self, query: Position, t: Timestamp, k: usize) -> Vec<KnnResult> {
         let parts: Vec<Vec<KnnResult>> = self
             .shards
             .iter()
             .map(|shard| {
                 let s = shard.read();
-                let knn = s.knn.as_ref().expect("StoreConfig::knn not configured");
-                knn.knn(query, t, k)
+                match s.knn.as_ref() {
+                    Some(knn) => knn.knn(query, t, k),
+                    None => {
+                        let mut cands: Vec<KnnResult> = s
+                            .merged_vessels()
+                            .filter_map(|id| {
+                                let latest = s.latest(id)?;
+                                let pos = latest.dead_reckon(t);
+                                Some(KnnResult { id, pos, dist_m: equirectangular_m(query, pos) })
+                            })
+                            .collect();
+                        cands.sort_by(rank);
+                        cands.truncate(k);
+                        cands
+                    }
+                }
             })
             .collect();
         merge_candidates(parts, k)
     }
 
-    /// Run a closure over each shard's archive (read-locked one at a
-    /// time), folding the results. Shards are visited in index order.
+    /// Run a closure over each shard's *hot* archive (read-locked one
+    /// at a time), folding the results. Shards are visited in index
+    /// order. For consumers that must see sealed history too, use
+    /// [`Self::fold_tiers`].
     pub fn fold_shards<A>(&self, init: A, mut f: impl FnMut(A, &TrajectoryStore) -> A) -> A {
         let mut acc = init;
         for shard in self.shards.iter() {
             acc = f(acc, &shard.read().archive);
+        }
+        acc
+    }
+
+    /// Run a closure over each shard's hot archive *and* cold tier
+    /// (read-locked one at a time), folding the results — the
+    /// cross-tier counterpart of [`Self::fold_shards`].
+    pub fn fold_tiers<A>(
+        &self,
+        init: A,
+        mut f: impl FnMut(A, &TrajectoryStore, &ColdTier) -> A,
+    ) -> A {
+        let mut acc = init;
+        for shard in self.shards.iter() {
+            let s = shard.read();
+            acc = f(acc, &s.archive, &s.cold);
         }
         acc
     }
@@ -348,6 +689,7 @@ mod tests {
                 slice: 30 * MINUTE,
             }),
             knn: Some(KnnConfig { cell_deg: 0.1, max_extrapolation: 60 * MINUTE }),
+            ..StoreConfig::default()
         }
     }
 
@@ -465,6 +807,124 @@ mod tests {
             let want: Vec<u32> = oracle.knn_scan(q, t, 9).iter().map(|r| r.id).collect();
             assert_eq!(got, want, "query at {q}");
         }
+    }
+
+    #[test]
+    fn compact_after_seal_keeps_knn_on_freshest_tier() {
+        // Regression: vessel 1's freshest fix is sealed cold (t=100);
+        // a late hot fix at t=50 arrives afterwards. Compacting the hot
+        // tier must not re-point the kNN index at the stale hot fix.
+        let store = ShardedTrajectoryStore::with_config(indexed_config(2));
+        for i in 0..=10 {
+            store.append(fix(1, i * 10, 43.1, 5.0));
+        }
+        store.seal_before(Timestamp::from_mins(120));
+        store.append(fix(1, 50, 43.05, 5.5)); // late arrival, lands hot
+        store.compact(1, |f| f.to_vec());
+        let got = store.knn(Position::new(43.1, 5.0), Timestamp::from_mins(100), 1);
+        assert_eq!(got[0].id, 1);
+        assert!(got[0].dist_m < 1.0, "kNN regressed to the stale hot fix: {:?}", got[0]);
+    }
+
+    #[test]
+    fn knn_without_index_falls_back_to_scan() {
+        // An index-less store must not panic; it scans each vessel's
+        // freshest fix instead.
+        let store = ShardedTrajectoryStore::with_shards(4);
+        for i in 0..20u32 {
+            store.append(fix(i + 1, 0, 43.0 + f64::from(i) * 0.01, 5.0));
+        }
+        let got = store.knn(Position::new(43.0, 5.0), Timestamp::from_mins(0), 5);
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[0].id, 1, "nearest vessel first");
+        assert!(got.windows(2).all(|w| w[0].dist_m <= w[1].dist_m));
+        // Sealing keeps the fallback's answers: the freshest fix per
+        // vessel is found in the cold tier.
+        let sealed = store.seal_before(Timestamp::from_mins(60));
+        assert_eq!(sealed.fixes, 20);
+        let after = store.knn(Position::new(43.0, 5.0), Timestamp::from_mins(0), 5);
+        assert_eq!(
+            got.iter().map(|r| r.id).collect::<Vec<_>>(),
+            after.iter().map(|r| r.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sealing_preserves_every_read_path_losslessly() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let fixes: Vec<Fix> = (0..1_200)
+            .map(|i| {
+                fix(
+                    rng.gen_range(1..25u32),
+                    i / 3,
+                    rng.gen_range(42.0..44.0),
+                    rng.gen_range(3.0..6.0),
+                )
+            })
+            .collect();
+        let sealed = ShardedTrajectoryStore::with_config(indexed_config(4));
+        let plain = ShardedTrajectoryStore::with_config(indexed_config(4));
+        sealed.append_batch(fixes.clone());
+        plain.append_batch(fixes);
+        // Seal in two sweeps to exercise multi-segment vessels.
+        sealed.seal_before(Timestamp::from_mins(150));
+        let outcome = sealed.seal_before(Timestamp::from_mins(300));
+        assert!(outcome.fixes > 0);
+        let stats = sealed.tier_stats();
+        assert!(stats.cold_fixes > 0 && stats.cold_segments > 0);
+
+        assert_eq!(sealed.len(), plain.len());
+        assert_eq!(sealed.vessels(), plain.vessels());
+        assert_eq!(sealed.vessel_count(), plain.vessel_count());
+        for id in plain.vessels() {
+            assert_eq!(sealed.trajectory(id), plain.trajectory(id), "trajectory {id}");
+            let (a, b) = (Timestamp::from_mins(100), Timestamp::from_mins(260));
+            assert_eq!(sealed.range(id, a, b), plain.range(id, a, b), "range {id}");
+            for t in [0i64, 149, 150, 250, 500] {
+                let t = Timestamp::from_mins(t);
+                assert_eq!(sealed.latest_at(id, t), plain.latest_at(id, t), "latest {id} {t}");
+                assert_eq!(sealed.position_at(id, t), plain.position_at(id, t), "pos {id} {t}");
+            }
+        }
+        let area = BoundingBox::new(42.4, 3.4, 43.6, 5.6);
+        let (from, to) = (Timestamp::from_mins(50), Timestamp::from_mins(280));
+        assert_eq!(sealed.window(&area, from, to), plain.window(&area, from, to));
+        let q = Position::new(43.1, 4.7);
+        let t = Timestamp::from_mins(400);
+        assert_eq!(sealed.knn(q, t, 10), plain.knn(q, t, 10));
+    }
+
+    #[test]
+    fn lossy_sealing_shrinks_bytes_within_bound() {
+        let config = StoreConfig {
+            shards: 2,
+            seal: SegmentConfig {
+                tolerance_m: 100.0,
+                max_span: 2 * 60 * MINUTE,
+                ..SegmentConfig::default()
+            },
+            ..StoreConfig::default()
+        };
+        let store = ShardedTrajectoryStore::with_config(config);
+        // A smooth eastbound track: highly threshold-compressible.
+        let start = fix(3, 0, 43.0, 3.0);
+        for i in 0..600i64 {
+            let t = Timestamp::from_mins(i);
+            store.append(Fix { t, pos: start.dead_reckon(t), ..start });
+        }
+        let hot_before = store.tier_stats().hot_bytes;
+        let outcome = store.seal_before(Timestamp::from_mins(600));
+        assert!(outcome.fixes > 500);
+        let stats = store.tier_stats();
+        assert!(stats.cold_bytes * 5 < hot_before, "cold {} hot {hot_before}", stats.cold_bytes);
+        // The recorded bound is honoured by every decoded fix.
+        let decoded = store.trajectory(3).unwrap();
+        assert!(decoded.len() < 100, "synopsis should be small, got {}", decoded.len());
+        store.fold_tiers((), |(), _, cold| {
+            for seg in cold.iter_segments() {
+                assert!(seg.error_bound_m() >= 100.0);
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! The cold tier: per-vessel sealed segments behind one shard.
+//!
+//! Each shard of the
+//! [`ShardedTrajectoryStore`](crate::shards::ShardedTrajectoryStore)
+//! owns a [`ColdTier`] next to its hot
+//! [`TrajectoryStore`](crate::trajstore::TrajectoryStore) archive.
+//! Sealing moves a
+//! vessel's old fixes into immutable
+//! [`TrajectorySegment`]s here; every read path then merges hot and
+//! cold deterministically (see the shard module's ordering notes).
+//!
+//! ## Merge semantics
+//!
+//! Segments of one vessel are kept in *seal order*. Out-of-order late
+//! arrivals can make segment time ranges overlap; readers therefore
+//! always merge with a stable sort by event time, which reproduces the
+//! hot store's arrival-order tie-breaking: within equal timestamps,
+//! earlier-sealed fixes sort first, and hot fixes (which by definition
+//! arrived after everything sealed) sort last.
+
+use crate::segment::TrajectorySegment;
+use mda_geo::{BoundingBox, Fix, Timestamp, VesselId};
+use std::collections::BTreeMap;
+
+/// Per-tier size accounting of one store (or one shard).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Fixes resident in the hot (mutable, uncompressed) tier.
+    pub hot_fixes: usize,
+    /// Fixes resident in sealed cold segments.
+    pub cold_fixes: usize,
+    /// Approximate hot bytes (`hot_fixes × size_of::<Fix>()`).
+    pub hot_bytes: usize,
+    /// Approximate cold bytes (encoded columns + headers).
+    pub cold_bytes: usize,
+    /// Number of sealed segments.
+    pub cold_segments: usize,
+}
+
+impl TierStats {
+    /// Merge shard-level stats into store-level totals.
+    pub fn merge(&mut self, other: &TierStats) {
+        self.hot_fixes += other.hot_fixes;
+        self.cold_fixes += other.cold_fixes;
+        self.hot_bytes += other.hot_bytes;
+        self.cold_bytes += other.cold_bytes;
+        self.cold_segments += other.cold_segments;
+    }
+
+    /// Average bytes per hot fix (0 when the hot tier is empty).
+    pub fn hot_bytes_per_fix(&self) -> f64 {
+        if self.hot_fixes == 0 {
+            0.0
+        } else {
+            self.hot_bytes as f64 / self.hot_fixes as f64
+        }
+    }
+
+    /// Average bytes per *sealed input* fix is not reconstructible
+    /// here; this is bytes per fix actually stored cold (0 when empty).
+    pub fn cold_bytes_per_fix(&self) -> f64 {
+        if self.cold_fixes == 0 {
+            0.0
+        } else {
+            self.cold_bytes as f64 / self.cold_fixes as f64
+        }
+    }
+}
+
+/// One vessel's sealed history.
+#[derive(Debug, Default)]
+struct VesselCold {
+    /// Segments in seal order (mostly time-ascending; overlaps allowed).
+    segments: Vec<TrajectorySegment>,
+    /// The freshest sealed fix (ties resolved to the later seal).
+    latest: Option<Fix>,
+}
+
+/// The sealed, compressed side of one shard.
+#[derive(Debug, Default)]
+pub struct ColdTier {
+    by_vessel: BTreeMap<VesselId, VesselCold>,
+    fixes: usize,
+    bytes: usize,
+    segments: usize,
+}
+
+impl ColdTier {
+    /// New empty tier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adopt a sealed segment.
+    pub fn push(&mut self, segment: TrajectorySegment) {
+        let entry = self.by_vessel.entry(segment.vessel()).or_default();
+        self.fixes += segment.len();
+        self.bytes += segment.approx_bytes();
+        self.segments += 1;
+        let last = *segment.last();
+        if entry.latest.is_none_or(|cur| last.t >= cur.t) {
+            entry.latest = Some(last);
+        }
+        entry.segments.push(segment);
+    }
+
+    /// Total sealed fixes.
+    pub fn len(&self) -> usize {
+        self.fixes
+    }
+
+    /// True when nothing is sealed.
+    pub fn is_empty(&self) -> bool {
+        self.fixes == 0
+    }
+
+    /// Vessels with sealed history, ascending.
+    pub fn vessels(&self) -> impl Iterator<Item = VesselId> + '_ {
+        self.by_vessel.keys().copied()
+    }
+
+    /// True if `id` has sealed history.
+    pub fn contains(&self, id: VesselId) -> bool {
+        self.by_vessel.contains_key(&id)
+    }
+
+    /// The sealed segments of one vessel, in seal order.
+    pub fn segments(&self, id: VesselId) -> &[TrajectorySegment] {
+        self.by_vessel.get(&id).map_or(&[], |v| v.segments.as_slice())
+    }
+
+    /// Iterate over every sealed segment (vessels ascending, then seal
+    /// order).
+    pub fn iter_segments(&self) -> impl Iterator<Item = &TrajectorySegment> {
+        self.by_vessel.values().flat_map(|v| v.segments.iter())
+    }
+
+    /// The freshest sealed fix of a vessel.
+    pub fn latest(&self, id: VesselId) -> Option<&Fix> {
+        self.by_vessel.get(&id)?.latest.as_ref()
+    }
+
+    /// Sealed fixes of one vessel in `[from, to]`, merged across
+    /// overlapping segments (stable by time, seal order on ties).
+    pub fn range(&self, id: VesselId, from: Timestamp, to: Timestamp) -> Vec<Fix> {
+        let Some(v) = self.by_vessel.get(&id) else { return Vec::new() };
+        let mut out = Vec::new();
+        for seg in &v.segments {
+            out.extend(seg.decode_range(from, to));
+        }
+        out.sort_by_key(|f| f.t);
+        out
+    }
+
+    /// All sealed fixes of one vessel, merged (stable by time).
+    pub fn trajectory(&self, id: VesselId) -> Vec<Fix> {
+        let Some(v) = self.by_vessel.get(&id) else { return Vec::new() };
+        let mut out = Vec::new();
+        for seg in &v.segments {
+            out.extend(seg.decode());
+        }
+        out.sort_by_key(|f| f.t);
+        out
+    }
+
+    /// The last sealed fix of `id` with `t <= at` (ties resolved to the
+    /// later seal, matching hot arrival order).
+    pub fn latest_at(&self, id: VesselId, at: Timestamp) -> Option<Fix> {
+        let v = self.by_vessel.get(&id)?;
+        let mut best: Option<Fix> = None;
+        for seg in &v.segments {
+            let (t0, t1) = seg.time_span();
+            if t0 > at {
+                continue;
+            }
+            let cand = if t1 <= at {
+                Some(*seg.last())
+            } else {
+                // Streaming decode stops at the bound; the suffix past
+                // `at` is never materialized.
+                seg.iter_decoded().take_while(|f| f.t <= at).last()
+            };
+            if let Some(c) = cand {
+                if best.is_none_or(|b| c.t >= b.t) {
+                    best = Some(c);
+                }
+            }
+        }
+        best
+    }
+
+    /// The first sealed fix of `id` with `t > at` (ties resolved to the
+    /// earlier seal).
+    pub fn first_after(&self, id: VesselId, at: Timestamp) -> Option<Fix> {
+        let v = self.by_vessel.get(&id)?;
+        let mut best: Option<Fix> = None;
+        for seg in &v.segments {
+            let (t0, t1) = seg.time_span();
+            if t1 <= at {
+                continue;
+            }
+            let cand =
+                if t0 > at { Some(*seg.first()) } else { seg.iter_decoded().find(|f| f.t > at) };
+            if let Some(c) = cand {
+                if best.is_none_or(|b| c.t < b.t) {
+                    best = Some(c);
+                }
+            }
+        }
+        best
+    }
+
+    /// Append every sealed fix inside the spatio-temporal window to
+    /// `out`, decoding only segments whose fences intersect it.
+    pub fn window_into(
+        &self,
+        area: &BoundingBox,
+        from: Timestamp,
+        to: Timestamp,
+        out: &mut Vec<Fix>,
+    ) {
+        for v in self.by_vessel.values() {
+            for seg in &v.segments {
+                if !seg.overlaps(area, from, to) {
+                    continue;
+                }
+                out.extend(seg.decode_range(from, to).into_iter().filter(|f| area.contains(f.pos)));
+            }
+        }
+    }
+
+    /// Size accounting of this tier (O(1): counters are maintained on
+    /// `push`, not recomputed — the pipeline polls this every sweep).
+    pub fn stats(&self) -> TierStats {
+        TierStats {
+            hot_fixes: 0,
+            cold_fixes: self.fixes,
+            hot_bytes: 0,
+            cold_bytes: self.bytes,
+            cold_segments: self.segments,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SegmentConfig;
+    use mda_geo::Position;
+
+    fn fix(id: u32, t_min: i64, lat: f64, lon: f64) -> Fix {
+        Fix::new(id, Timestamp::from_mins(t_min), Position::new(lat, lon), 10.0, 90.0)
+    }
+
+    fn seal(id: u32, fixes: &[Fix]) -> TrajectorySegment {
+        TrajectorySegment::seal(id, fixes, &SegmentConfig::lossless()).unwrap()
+    }
+
+    #[test]
+    fn range_and_trajectory_merge_segments() {
+        let mut cold = ColdTier::new();
+        let a: Vec<Fix> = (0..10).map(|i| fix(1, i, 43.0, 5.0 + 0.01 * i as f64)).collect();
+        let b: Vec<Fix> = (10..20).map(|i| fix(1, i, 43.0, 5.0 + 0.01 * i as f64)).collect();
+        cold.push(seal(1, &a));
+        cold.push(seal(1, &b));
+        assert_eq!(cold.len(), 20);
+        assert_eq!(cold.trajectory(1).len(), 20);
+        let r = cold.range(1, Timestamp::from_mins(8), Timestamp::from_mins(12));
+        assert_eq!(r.len(), 5);
+        assert!(r.windows(2).all(|w| w[0].t <= w[1].t));
+        assert!(cold.range(99, Timestamp::from_mins(0), Timestamp::from_mins(5)).is_empty());
+    }
+
+    #[test]
+    fn overlapping_segments_merge_stably() {
+        // A late slab sealed afterwards overlaps the first segment.
+        let mut cold = ColdTier::new();
+        cold.push(seal(1, &[fix(1, 0, 43.0, 5.0), fix(1, 10, 43.0, 5.1)]));
+        cold.push(seal(1, &[fix(1, 5, 43.0, 5.05)]));
+        let traj = cold.trajectory(1);
+        let mins: Vec<i64> = traj.iter().map(|f| f.t.millis() / 60_000).collect();
+        assert_eq!(mins, vec![0, 5, 10]);
+        // latest is the max-time fix, not the latest-sealed one.
+        assert_eq!(cold.latest(1).unwrap().t, Timestamp::from_mins(10));
+    }
+
+    #[test]
+    fn latest_at_and_first_after() {
+        let mut cold = ColdTier::new();
+        cold.push(seal(1, &(0..5).map(|i| fix(1, i * 10, 43.0, 5.0)).collect::<Vec<_>>()));
+        cold.push(seal(1, &(5..10).map(|i| fix(1, i * 10, 43.0, 5.0)).collect::<Vec<_>>()));
+        assert_eq!(cold.latest_at(1, Timestamp::from_mins(25)).unwrap().t.millis(), 20 * 60_000);
+        assert_eq!(cold.latest_at(1, Timestamp::from_mins(90)).unwrap().t.millis(), 90 * 60_000);
+        assert!(cold.latest_at(1, Timestamp::from_mins(-1)).is_none());
+        assert_eq!(cold.first_after(1, Timestamp::from_mins(25)).unwrap().t.millis(), 30 * 60_000);
+        assert!(cold.first_after(1, Timestamp::from_mins(90)).is_none());
+    }
+
+    #[test]
+    fn window_respects_fences() {
+        let mut cold = ColdTier::new();
+        cold.push(seal(1, &(0..10).map(|i| fix(1, i, 43.0, 5.0)).collect::<Vec<_>>()));
+        cold.push(seal(2, &(0..10).map(|i| fix(2, i, 44.5, 7.0)).collect::<Vec<_>>()));
+        let mut out = Vec::new();
+        let area = BoundingBox::new(42.5, 4.5, 43.5, 5.5);
+        cold.window_into(&area, Timestamp::from_mins(0), Timestamp::from_mins(4), &mut out);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|f| f.id == 1));
+    }
+
+    #[test]
+    fn stats_track_bytes_and_segments() {
+        let mut cold = ColdTier::new();
+        assert!(cold.is_empty());
+        cold.push(seal(1, &(0..50).map(|i| fix(1, i, 43.0, 5.0)).collect::<Vec<_>>()));
+        let s = cold.stats();
+        assert_eq!(s.cold_fixes, 50);
+        assert_eq!(s.cold_segments, 1);
+        assert!(s.cold_bytes > 0);
+        assert_eq!(s.hot_fixes, 0);
+        assert!(s.cold_bytes_per_fix() > 0.0);
+    }
+}

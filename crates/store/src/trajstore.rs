@@ -38,29 +38,54 @@ impl TrajectoryStore {
     /// each vessel's fixes in the batch. Per-vessel input order is
     /// preserved; order between vessels is irrelevant to this store.
     /// Returns the number of fixes appended.
+    ///
+    /// Equivalent to appending each fix in batch order, but each
+    /// vessel's slice is pre-sorted (stably, so equal timestamps keep
+    /// arrival order) and spliced with one linear merge — a fully
+    /// out-of-order batch costs O(n log n) instead of the per-fix
+    /// path's O(n) insert each.
     pub fn append_batch(&mut self, fixes: impl IntoIterator<Item = Fix>) -> usize {
         // Stable-sort the batch by vessel: fixes of one vessel become a
         // contiguous run in their original relative order, so each run
-        // costs one map lookup + one bulk append instead of a lookup
+        // costs one map lookup + one bulk merge instead of a lookup
         // per fix.
         let mut batch: Vec<Fix> = fixes.into_iter().collect();
         batch.sort_by_key(|f| f.id);
         let n = batch.len();
-        let mut rest = batch.as_slice();
-        while let Some(first) = rest.first() {
-            let run_len = rest.partition_point(|f| f.id == first.id);
-            let (run, tail) = rest.split_at(run_len);
-            rest = tail;
-            let v = self.by_vessel.entry(first.id).or_default();
-            v.reserve(run.len());
-            for &fix in run {
-                match v.last() {
-                    Some(last) if last.t > fix.t => {
-                        let pos = v.partition_point(|f| f.t <= fix.t);
-                        v.insert(pos, fix);
+        let mut lo = 0;
+        while lo < batch.len() {
+            let id = batch[lo].id;
+            let hi = lo + batch[lo..].partition_point(|f| f.id == id);
+            let run = &mut batch[lo..hi];
+            lo = hi;
+            // Stable by time: equal timestamps stay in arrival order,
+            // matching what sequential `append` would have produced.
+            run.sort_by_key(|f| f.t);
+            let v = self.by_vessel.entry(id).or_default();
+            match v.last() {
+                // Slow path: the run starts behind the stored tail.
+                // Existing fixes with equal timestamps sort before
+                // batch fixes (they arrived earlier), so split after
+                // them and merge the tails.
+                Some(last) if last.t > run[0].t => {
+                    let split = v.partition_point(|f| f.t <= run[0].t);
+                    let tail = v.split_off(split);
+                    v.reserve(tail.len() + run.len());
+                    let (mut ti, mut ri) = (0, 0);
+                    while ti < tail.len() && ri < run.len() {
+                        if tail[ti].t <= run[ri].t {
+                            v.push(tail[ti]);
+                            ti += 1;
+                        } else {
+                            v.push(run[ri]);
+                            ri += 1;
+                        }
                     }
-                    _ => v.push(fix),
+                    v.extend_from_slice(&tail[ti..]);
+                    v.extend_from_slice(&run[ri..]);
                 }
+                // Fast path: the run extends the trajectory wholesale.
+                _ => v.extend_from_slice(run),
             }
         }
         self.len += n;
@@ -105,6 +130,37 @@ impl TrajectoryStore {
         let v = self.by_vessel.get(&id)?;
         let idx = v.partition_point(|f| f.t <= t);
         idx.checked_sub(1).map(|i| &v[i])
+    }
+
+    /// The earliest fix of a vessel strictly after `t`.
+    pub fn first_after(&self, id: VesselId, t: Timestamp) -> Option<&Fix> {
+        let v = self.by_vessel.get(&id)?;
+        v.get(v.partition_point(|f| f.t <= t))
+    }
+
+    /// Drain every fix older than `cut` (strictly) out of the store,
+    /// grouped per vessel in time order. Vessels left empty are
+    /// removed. This is the hot→cold rotation primitive behind
+    /// [`seal_before`](crate::shards::ShardedTrajectoryStore::seal_before).
+    pub fn take_before(&mut self, cut: Timestamp) -> Vec<(VesselId, Vec<Fix>)> {
+        let mut out = Vec::new();
+        let mut emptied = Vec::new();
+        for (&id, v) in self.by_vessel.iter_mut() {
+            let n = v.partition_point(|f| f.t < cut);
+            if n == 0 {
+                continue;
+            }
+            let moved: Vec<Fix> = v.drain(..n).collect();
+            self.len -= moved.len();
+            if v.is_empty() {
+                emptied.push(id);
+            }
+            out.push((id, moved));
+        }
+        for id in emptied {
+            self.by_vessel.remove(&id);
+        }
+        out
     }
 
     /// Interpolated position of a vessel at `t` (between the bracketing
@@ -241,6 +297,55 @@ mod tests {
         for id in 1..=3u32 {
             assert_eq!(a.trajectory(id), b.trajectory(id), "vessel {id}");
         }
+    }
+
+    #[test]
+    fn fully_out_of_order_batch_matches_sequential_appends() {
+        let mut a = TrajectoryStore::new();
+        let mut b = TrajectoryStore::new();
+        // Reverse time order with duplicate timestamps sprinkled in.
+        let mut fixes = Vec::new();
+        for i in (0..80).rev() {
+            fixes.push(fix((i % 4) as u32 + 1, i / 2, 5.0 + i as f64 * 0.001));
+        }
+        for f in &fixes {
+            a.append(*f);
+        }
+        assert_eq!(b.append_batch(fixes), 80);
+        for id in 1..=4u32 {
+            assert_eq!(a.trajectory(id), b.trajectory(id), "vessel {id}");
+        }
+    }
+
+    #[test]
+    fn take_before_splits_and_drops_empty_vessels() {
+        let mut s = TrajectoryStore::new();
+        for i in 0..10 {
+            s.append(fix(1, i, 5.0));
+        }
+        for i in 0..3 {
+            s.append(fix(2, i, 6.0));
+        }
+        let taken = s.take_before(Timestamp::from_mins(5));
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].0, 1);
+        assert_eq!(taken[0].1.len(), 5);
+        assert_eq!(taken[1].1.len(), 3, "vessel 2 is fully drained");
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.vessels().collect::<Vec<_>>(), vec![1]);
+        assert!(s.take_before(Timestamp::from_mins(0)).is_empty());
+    }
+
+    #[test]
+    fn first_after_is_strict() {
+        let mut s = TrajectoryStore::new();
+        for i in 0..5 {
+            s.append(fix(1, i * 10, 5.0));
+        }
+        assert_eq!(s.first_after(1, Timestamp::from_mins(10)).unwrap().t.millis(), 20 * 60_000);
+        assert_eq!(s.first_after(1, Timestamp::from_mins(-1)).unwrap().t.millis(), 0);
+        assert!(s.first_after(1, Timestamp::from_mins(40)).is_none());
+        assert!(s.first_after(9, Timestamp::from_mins(0)).is_none());
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Property tests for the trajectory store: batch/sequential append
+//! equivalence and sealed-segment round-trips.
+
+use mda_geo::distance::haversine_m;
+use mda_geo::{Fix, Position, Timestamp};
+use mda_store::segment::{SegmentConfig, TrajectorySegment};
+use mda_store::trajstore::TrajectoryStore;
+use proptest::prelude::*;
+
+/// Build a batch of fixes from raw `(vessel, minute, milli-degree)`
+/// triples — arbitrary interleaving, duplicates and disorder included.
+fn batch_of(raw: &[(u32, i64, i64)]) -> Vec<Fix> {
+    raw.iter()
+        .map(|&(id, t_min, md)| {
+            Fix::new(
+                id % 5 + 1,
+                Timestamp::from_mins(t_min),
+                Position::new(43.0 + md as f64 * 1e-3, 5.0 + md as f64 * 1e-3),
+                10.0,
+                90.0,
+            )
+        })
+        .collect()
+}
+
+/// A time-sorted slab of one vessel's fixes with bounded speeds and
+/// spacing, as the hot archive would hand to the sealer.
+fn slab_of(raw: &[(i64, i64, i64, u32, u32)]) -> Vec<Fix> {
+    let mut t = Timestamp::from_secs(0);
+    let (mut lat, mut lon) = (43.0, 5.0);
+    raw.iter()
+        .map(|&(dt_ms, dlat, dlon, sog_c, cog_c)| {
+            t += dt_ms;
+            lat += dlat as f64 * 1e-5;
+            lon += dlon as f64 * 1e-5;
+            Fix::new(
+                7,
+                t,
+                Position::new(lat, lon),
+                f64::from(sog_c) * 0.01,
+                f64::from(cog_c % 36_000) * 0.01,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    /// `append_batch` (pre-sorted runs + linear merge) is
+    /// order-equivalent to appending each fix sequentially, for any
+    /// interleaving of vessels, disorder and duplicate timestamps.
+    #[test]
+    fn append_batch_equivalent_to_sequential_appends(
+        raw in prop::collection::vec((0u32..5, -200i64..200, -500i64..500), 0..400),
+        split in 0usize..400,
+    ) {
+        let fixes = batch_of(&raw);
+        let mut sequential = TrajectoryStore::new();
+        for f in &fixes {
+            sequential.append(*f);
+        }
+        // Split into two batches: equivalence must hold when a batch
+        // lands on an already-populated store, too.
+        let cut = split.min(fixes.len());
+        let mut batched = TrajectoryStore::new();
+        batched.append_batch(fixes[..cut].to_vec());
+        batched.append_batch(fixes[cut..].to_vec());
+        prop_assert_eq!(sequential.len(), batched.len());
+        for id in 1..=5u32 {
+            prop_assert_eq!(sequential.trajectory(id), batched.trajectory(id), "vessel {}", id);
+        }
+    }
+
+    /// Lossless sealing (tolerance 0) round-trips every field of every
+    /// fix bit-exactly.
+    #[test]
+    fn segment_roundtrip_lossless_at_tolerance_zero(
+        raw in prop::collection::vec(
+            (0i64..120_000, -80i64..80, -80i64..80, 0u32..2_500, 0u32..72_000),
+            1..300,
+        ),
+    ) {
+        let fixes = slab_of(&raw);
+        let seg = TrajectorySegment::seal(7, &fixes, &SegmentConfig::lossless()).unwrap();
+        prop_assert_eq!(seg.error_bound_m(), 0.0);
+        let back = seg.decode();
+        prop_assert_eq!(back.len(), fixes.len());
+        for (a, b) in fixes.iter().zip(&back) {
+            prop_assert_eq!(a.t, b.t);
+            prop_assert_eq!(a.pos.lat.to_bits(), b.pos.lat.to_bits());
+            prop_assert_eq!(a.pos.lon.to_bits(), b.pos.lon.to_bits());
+            prop_assert_eq!(a.sog_kn.to_bits(), b.sog_kn.to_bits());
+            prop_assert_eq!(a.cog_deg.to_bits(), b.cog_deg.to_bits());
+        }
+    }
+
+    /// Lossy sealing reconstructs every *input* observation within the
+    /// segment's recorded error bound: kept fixes decode to within the
+    /// bound, dropped fixes dead-reckon from the preceding kept fix to
+    /// within the bound (the threshold-compression guarantee, plus
+    /// quantization slack).
+    #[test]
+    fn segment_roundtrip_lossy_within_recorded_bound(
+        raw in prop::collection::vec(
+            (1_000i64..60_000, -60i64..60, -60i64..60, 0u32..2_500, 0u32..72_000),
+            1..250,
+        ),
+        tolerance in 10.0f64..200.0,
+    ) {
+        let fixes = slab_of(&raw);
+        let config = SegmentConfig { tolerance_m: tolerance, ..SegmentConfig::default() };
+        let seg = TrajectorySegment::seal(7, &fixes, &config).unwrap();
+        let bound = seg.error_bound_m();
+        prop_assert!(bound >= tolerance);
+        let decoded = seg.decode();
+        prop_assert!(decoded.len() <= fixes.len());
+        for f in &fixes {
+            // Reconstruct the observation from the last decoded fix at
+            // or before its time.
+            let anchor = decoded.iter().take_while(|d| d.t <= f.t).last().unwrap();
+            let reconstructed = anchor.dead_reckon(f.t);
+            let err = haversine_m(reconstructed, f.pos);
+            prop_assert!(
+                err <= bound,
+                "reconstruction error {} m exceeds recorded bound {} m",
+                err,
+                bound
+            );
+        }
+    }
+}

@@ -49,6 +49,7 @@ fn store_under_test() -> ShardedTrajectoryStore {
             slice: 30 * MINUTE,
         }),
         knn: Some(KnnConfig { cell_deg: 0.1, max_extrapolation: 120 * MINUTE }),
+        ..StoreConfig::default()
     })
 }
 

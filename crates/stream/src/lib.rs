@@ -48,5 +48,5 @@ pub mod window;
 pub use join::IntervalJoin;
 pub use pipeline::{Pipeline, Stage};
 pub use reorder::ReorderBuffer;
-pub use watermark::BoundedOutOfOrderness;
+pub use watermark::{BoundedOutOfOrderness, SealSchedule};
 pub use window::{KeyedWindowAggregate, SessionWindows, SlidingWindows, TumblingWindows};

@@ -66,15 +66,102 @@ impl BoundedOutOfOrderness {
     }
 }
 
+/// Turns watermark advance into hot→cold seal points.
+///
+/// The archive's retention policy wants fixes older than
+/// `watermark − hot_horizon` rotated into sealed cold segments, but
+/// sealing on *every* watermark tick would thrash the shard locks.
+/// The schedule quantizes the seal cut to `every`-aligned boundaries
+/// and fires once per boundary crossed, so the sequence of seal points
+/// is a pure function of the event-time stream — identical runs seal
+/// identically, regardless of arrival jitter or tick cadence.
+///
+/// ```
+/// use mda_geo::time::MINUTE;
+/// use mda_geo::Timestamp;
+/// use mda_stream::watermark::SealSchedule;
+///
+/// let mut seals = SealSchedule::new(30 * MINUTE, 60 * MINUTE);
+/// assert_eq!(seals.due(Timestamp::from_mins(70)), Some(Timestamp::from_mins(0)));
+/// assert_eq!(seals.due(Timestamp::from_mins(95)), Some(Timestamp::from_mins(30)));
+/// assert_eq!(seals.due(Timestamp::from_mins(100)), None); // same boundary: already fired
+/// assert_eq!(seals.due(Timestamp::from_mins(125)), Some(Timestamp::from_mins(60)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SealSchedule {
+    every: DurationMs,
+    hot_horizon: DurationMs,
+    last: Option<Timestamp>,
+}
+
+impl SealSchedule {
+    /// A schedule firing at most once per `every` of event time,
+    /// keeping at least `hot_horizon` of history hot.
+    pub fn new(every: DurationMs, hot_horizon: DurationMs) -> Self {
+        assert!(every > 0, "seal cadence must be positive");
+        assert!(hot_horizon >= 0, "hot horizon must be non-negative");
+        Self { every, hot_horizon, last: None }
+    }
+
+    /// Observe the current watermark; returns `Some(cut)` when a new
+    /// aligned seal point became final (fixes older than `cut` may be
+    /// sealed), `None` otherwise. Monotone: cuts never regress.
+    pub fn due(&mut self, watermark: Timestamp) -> Option<Timestamp> {
+        if watermark == Timestamp::MIN {
+            return None;
+        }
+        // Negative epoch cuts are legal: scenarios may start before
+        // the epoch, and `window_start` floors correctly there.
+        let cut = (watermark - self.hot_horizon).window_start(self.every);
+        match self.last {
+            Some(prev) if cut <= prev => None,
+            _ => {
+                self.last = Some(cut);
+                Some(cut)
+            }
+        }
+    }
+
+    /// The last seal point handed out.
+    pub fn last(&self) -> Option<Timestamp> {
+        self.last
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mda_geo::time::SECOND;
+    use mda_geo::time::{MINUTE, SECOND};
 
     #[test]
     fn starts_at_minimum() {
         let w = BoundedOutOfOrderness::new(5 * SECOND);
         assert_eq!(w.current(), Timestamp::MIN);
+    }
+
+    #[test]
+    fn seal_schedule_is_monotone_and_aligned() {
+        let mut s = SealSchedule::new(10 * MINUTE, 60 * MINUTE);
+        assert_eq!(s.due(Timestamp::MIN), None, "no data, no seal");
+        let mut last = Timestamp::MIN;
+        for m in 0..300 {
+            if let Some(cut) = s.due(Timestamp::from_mins(m)) {
+                assert!(cut > last, "cut regressed");
+                assert_eq!(cut.millis() % (10 * MINUTE), 0, "cut not aligned");
+                assert!(cut <= Timestamp::from_mins(m) - 60 * MINUTE + 10 * MINUTE);
+                last = cut;
+            }
+        }
+        assert_eq!(s.last(), Some(last));
+    }
+
+    #[test]
+    fn seal_schedule_handles_negative_epochs() {
+        let mut s = SealSchedule::new(10 * MINUTE, 0);
+        // A watermark before the epoch still aligns downward correctly.
+        assert_eq!(s.due(Timestamp::from_mins(-25)), Some(Timestamp::from_mins(-30)));
+        assert_eq!(s.due(Timestamp::from_mins(-21)), None);
+        assert_eq!(s.due(Timestamp::from_mins(5)), Some(Timestamp::from_mins(0)));
     }
 
     #[test]

@@ -27,6 +27,24 @@ impl Default for ThresholdConfig {
     }
 }
 
+impl ThresholdConfig {
+    /// A configuration that keeps every fix (tolerance 0, no keepalive
+    /// gap): compression becomes the identity. Used by the archive's
+    /// cold tier when sealing must be exactly reversible.
+    pub fn lossless() -> Self {
+        Self { tolerance_m: 0.0, max_silence: 0 }
+    }
+
+    /// True when this configuration discards nothing (for time-ordered
+    /// input): with `max_silence <= 0` the keepalive condition
+    /// `gap >= max_silence` holds for every fix, so everything is
+    /// kept. Tolerance alone does not decide this — a perfectly
+    /// predicted fix (error exactly 0) is dropped even at tolerance 0.
+    pub fn is_lossless(&self) -> bool {
+        self.max_silence <= 0
+    }
+}
+
 /// Streaming per-vessel threshold compressor.
 #[derive(Debug, Clone)]
 pub struct ThresholdCompressor {
@@ -154,6 +172,20 @@ mod tests {
         let cfg = ThresholdConfig { tolerance_m: 1.0, max_silence: 60 * MINUTE };
         let kept = compress_trajectory(&fixes, cfg);
         assert!(kept.len() >= 19, "kept {}", kept.len());
+    }
+
+    #[test]
+    fn lossless_config_keeps_perfectly_predicted_fixes() {
+        // Tolerance 0 alone is NOT lossless: an exactly-predicted fix
+        // has error 0, which is not > 0. Only the zero keepalive gap
+        // forces every fix through.
+        let fixes = steady_track(25);
+        let kept = compress_trajectory(&fixes, ThresholdConfig::lossless());
+        assert_eq!(kept.len(), fixes.len());
+        assert!(ThresholdConfig::lossless().is_lossless());
+        let zero_tol = ThresholdConfig { tolerance_m: 0.0, max_silence: 30 * MINUTE };
+        assert!(!zero_tol.is_lossless(), "tolerance 0 with a keepalive gap still drops fixes");
+        assert!(compress_trajectory(&fixes, zero_tol).len() < fixes.len());
     }
 
     #[test]

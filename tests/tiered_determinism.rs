@@ -1,0 +1,153 @@
+//! Cross-tier determinism: a store that seals its history into cold
+//! segments (at tolerance 0) must answer every query byte-identically
+//! to a store that never sealed anything.
+//!
+//! This locks the hot/cold refactor down the same way
+//! `scenario_determinism` locked the concurrency refactor: the fixes
+//! come from a full simulated scenario (disordered arrivals included),
+//! and the sealed store runs several interleaved seal sweeps while the
+//! reference store keeps everything hot.
+
+use maritime::geo::time::{HOUR, MINUTE};
+use maritime::geo::{BoundingBox, Fix, Position, Timestamp};
+use maritime::sim::{Scenario, ScenarioConfig};
+use maritime::store::segment::SegmentConfig;
+use maritime::store::shards::{KnnConfig, ShardedTrajectoryStore, StIndexConfig, StoreConfig};
+
+fn scenario_fixes(seed: u64) -> (Vec<Fix>, BoundingBox) {
+    let sim = Scenario::generate(ScenarioConfig::regional_honest(seed, 20, 3 * HOUR));
+    let fixes: Vec<Fix> = sim.ais.iter().filter_map(|o| o.msg.to_fix(o.t_sent)).collect();
+    assert!(fixes.len() > 1_000, "scenario too small to be meaningful");
+    (fixes, sim.world.bounds)
+}
+
+fn store_config(bounds: BoundingBox, with_knn: bool) -> StoreConfig {
+    StoreConfig {
+        shards: 5,
+        st_index: Some(StIndexConfig { bounds, cell_deg: 0.2, slice: 30 * MINUTE }),
+        knn: with_knn.then_some(KnnConfig { cell_deg: 0.1, max_extrapolation: 2 * HOUR }),
+        seal: SegmentConfig::lossless(),
+    }
+}
+
+/// Ingest arrival-ordered fixes into both stores, sealing the first
+/// one at every `seal_stride` fixes (mid-stream sealing, not just a
+/// final sweep).
+fn build_pair(
+    fixes: &[Fix],
+    bounds: BoundingBox,
+    with_knn: bool,
+) -> (ShardedTrajectoryStore, ShardedTrajectoryStore) {
+    let sealed = ShardedTrajectoryStore::with_config(store_config(bounds, with_knn));
+    let plain = ShardedTrajectoryStore::with_config(store_config(bounds, with_knn));
+    let seal_stride = fixes.len() / 4;
+    for (i, chunk) in fixes.chunks(seal_stride.max(1)).enumerate() {
+        sealed.append_batch(chunk.to_vec());
+        plain.append_batch(chunk.to_vec());
+        // Seal everything older than the max event time seen so far,
+        // minus a sliver of hot headroom — late arrivals in later
+        // chunks will land hot *behind* sealed segments, exercising
+        // the overlap-tolerant merge.
+        let max_t = chunk.iter().map(|f| f.t).max().unwrap();
+        if i % 2 == 0 {
+            sealed.seal_before(max_t - 20 * MINUTE);
+        }
+    }
+    sealed.seal_before(fixes.iter().map(|f| f.t).max().unwrap());
+    let stats = sealed.tier_stats();
+    assert!(stats.cold_fixes > 0, "sealing never happened");
+    assert!(stats.cold_segments > 1, "want multi-segment vessels");
+    (sealed, plain)
+}
+
+#[test]
+fn sealed_store_answers_byte_identically_at_tolerance_zero() {
+    let (fixes, bounds) = scenario_fixes(47);
+    let (sealed, plain) = build_pair(&fixes, bounds, true);
+
+    assert_eq!(sealed.len(), plain.len());
+    assert_eq!(sealed.vessels(), plain.vessels());
+    assert_eq!(sealed.vessel_count(), plain.vessel_count());
+
+    let t_lo = fixes.iter().map(|f| f.t).min().unwrap();
+    let t_hi = fixes.iter().map(|f| f.t).max().unwrap();
+    let mid = Timestamp((t_lo.millis() + t_hi.millis()) / 2);
+
+    // trajectory + range, per vessel.
+    for id in plain.vessels() {
+        assert_eq!(sealed.trajectory(id), plain.trajectory(id), "trajectory {id}");
+        assert_eq!(sealed.range(id, t_lo, mid), plain.range(id, t_lo, mid), "range {id}");
+        assert_eq!(
+            sealed.range(id, mid, t_hi),
+            plain.range(id, mid, t_hi),
+            "hot-spanning range {id}"
+        );
+        for t in [t_lo, mid, mid + 17 * MINUTE, t_hi] {
+            assert_eq!(sealed.latest_at(id, t), plain.latest_at(id, t), "latest_at {id} {t}");
+            assert_eq!(sealed.position_at(id, t), plain.position_at(id, t), "position_at {id} {t}");
+        }
+    }
+
+    // window over a grid of sub-boxes and time slices.
+    let lat_step = (bounds.max_lat - bounds.min_lat) / 3.0;
+    let lon_step = (bounds.max_lon - bounds.min_lon) / 3.0;
+    for i in 0..3 {
+        for j in 0..3 {
+            let area = BoundingBox::new(
+                bounds.min_lat + lat_step * f64::from(i),
+                bounds.min_lon + lon_step * f64::from(j),
+                bounds.min_lat + lat_step * f64::from(i + 1),
+                bounds.min_lon + lon_step * f64::from(j + 1),
+            );
+            for (from, to) in [(t_lo, mid), (mid, t_hi), (t_lo, t_hi)] {
+                assert_eq!(
+                    sealed.window(&area, from, to),
+                    plain.window(&area, from, to),
+                    "window {area:?} {from}..{to}"
+                );
+            }
+        }
+    }
+
+    // kNN through the maintained latest-fix index.
+    for (qlat, qlon, t) in [(43.0, 4.5, mid), (42.5, 5.5, t_hi), (43.4, 3.7, t_hi + 30 * MINUTE)] {
+        let q = Position::new(qlat, qlon);
+        assert_eq!(sealed.knn(q, t, 10), plain.knn(q, t, 10), "knn at {q} {t}");
+    }
+}
+
+#[test]
+fn sealed_store_knn_fallback_matches_unsealed_scan() {
+    // No kNN index configured: both stores take the linear-scan
+    // fallback, and sealing must not change its answers.
+    let (fixes, bounds) = scenario_fixes(48);
+    let (sealed, plain) = build_pair(&fixes, bounds, false);
+    let t = fixes.iter().map(|f| f.t).max().unwrap();
+    for (qlat, qlon) in [(43.0, 4.5), (42.2, 3.3), (43.5, 6.0)] {
+        let q = Position::new(qlat, qlon);
+        assert_eq!(sealed.knn(q, t, 8), plain.knn(q, t, 8), "fallback knn at {q}");
+    }
+}
+
+#[test]
+fn sealing_is_idempotent_and_cadence_agnostic() {
+    // Sealing in many small sweeps or one big sweep must converge to
+    // identical query answers (segment slabs are boundary-aligned).
+    let (fixes, bounds) = scenario_fixes(49);
+    let many = ShardedTrajectoryStore::with_config(store_config(bounds, false));
+    let once = ShardedTrajectoryStore::with_config(store_config(bounds, false));
+    many.append_batch(fixes.clone());
+    once.append_batch(fixes.clone());
+    let t_hi = fixes.iter().map(|f| f.t).max().unwrap();
+    for m in (0..=6).map(|k| Timestamp(t_hi.millis() * k / 6)) {
+        many.seal_before(m);
+    }
+    // Re-sealing at an already-sealed watermark is a no-op.
+    assert_eq!(many.seal_before(Timestamp(t_hi.millis() / 2)).fixes, 0);
+    once.seal_before(t_hi);
+    for id in once.vessels() {
+        assert_eq!(many.trajectory(id), once.trajectory(id), "vessel {id}");
+    }
+    let area = BoundingBox::new(42.4, 3.4, 43.6, 5.6);
+    assert_eq!(many.window(&area, Timestamp(0), t_hi), once.window(&area, Timestamp(0), t_hi));
+}
