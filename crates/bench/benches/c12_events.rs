@@ -1,0 +1,26 @@
+//! Criterion bench: sharded event engine over a churn fleet (C12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mda_bench::c12_events::{churn_fixes, drive_sharded};
+use mda_geo::time::MINUTE;
+
+fn bench(c: &mut Criterion) {
+    // A CI-sized slice of the standard workload: 400 vessels, 2 h.
+    let fixes = churn_fixes(400, 2, 12);
+    let mut group = c.benchmark_group("c12_events");
+    group.throughput(Throughput::Elements(fixes.len() as u64));
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("churn", shards), &shards, |b, &s| {
+            b.iter(|| std::hint::black_box(drive_sharded(&fixes, s, 30 * MINUTE)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! as fixes/second through the full detector stack, as a function of
 //! fleet size.
 
-use crate::util::{f, table, timed};
+use crate::util::{drive_engine_ticked, f, table, timed};
 use mda_events::engine::{EngineConfig, EventEngine};
 use mda_events::zone::NamedZone;
 use mda_geo::Fix;
@@ -35,12 +35,16 @@ pub fn engine() -> EventEngine {
     EventEngine::new(EngineConfig { zones, ..Default::default() })
 }
 
-/// Feed all fixes through an engine; returns events emitted.
+/// Feed all fixes through an engine, batched per minute of event time
+/// with an aligned tick after each minute (the pairwise detectors and
+/// the dark-vessel check run on ticks, placed by the pipeline's
+/// `TickSchedule` discipline via [`drive_engine_ticked`]); returns
+/// events emitted.
 pub fn drive(fixes: &[Fix]) -> u64 {
     let mut e = engine();
-    let mut events = 0u64;
-    for f in fixes {
-        events += e.observe(f).len() as u64;
+    let mut events = drive_engine_ticked(&mut e, fixes);
+    if let Some(last) = fixes.last() {
+        events += e.tick(last.t).len() as u64;
     }
     events
 }

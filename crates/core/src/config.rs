@@ -6,20 +6,28 @@ use mda_geo::{BoundingBox, DurationMs};
 use mda_synopses::compress::ThresholdConfig;
 use mda_track::fusion::FuserConfig;
 
-/// Hot/cold retention policy of the archival trajectory store.
+/// Retention policy: hot/cold tiering of the archival trajectory store
+/// plus the live detector-state TTL of the event engine.
 ///
 /// Fixes older than `watermark − hot_horizon` are rotated out of the
 /// hot shards into sealed, compressed cold segments (see
 /// `mda_store::segment`), at most once per `seal_every` of event time.
+/// Independently, vessels silent past `detector_ttl` are evicted from
+/// the event engine's live state (latest-fix index, gap/loiter/veracity
+/// maps, pair state) *and* from the pipeline's per-vessel compressors —
+/// the archive keeps their history, but nothing keyed on a dead vessel
+/// stays resident.
 ///
 /// ```
 /// use mda_core::config::RetentionPolicy;
 /// use mda_geo::time::HOUR;
 ///
-/// // Keep 2 h hot, archive bit-exactly.
+/// // Keep 2 h hot, archive bit-exactly, give up on vessels after 3 h
+/// // of silence.
 /// let policy = RetentionPolicy { hot_horizon: 2 * HOUR, cold_tolerance_m: 0.0,
-///     ..RetentionPolicy::default() };
+///     detector_ttl: 3 * HOUR, ..RetentionPolicy::default() };
 /// assert!(policy.cold_tolerance_m == 0.0, "lossless sealing");
+/// assert!(policy.detector_ttl > policy.hot_horizon);
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct RetentionPolicy {
@@ -31,14 +39,27 @@ pub struct RetentionPolicy {
     pub cold_tolerance_m: f64,
     /// Minimum watermark advance between seal sweeps.
     pub seal_every: DurationMs,
+    /// Live detector-state time-to-live: a vessel silent this long (of
+    /// event time) is dropped from the event engine and the pipeline's
+    /// per-vessel maps. The pipeline copies this into
+    /// [`EngineConfig::vessel_ttl`] at construction, so the two layers
+    /// cannot disagree. `DurationMs::MAX` disables eviction.
+    pub detector_ttl: DurationMs,
 }
 
 impl Default for RetentionPolicy {
     fn default() -> Self {
         // seal_every matches the default segment slab span (30 min):
         // a finer cadence would only produce no-op sweeps, since seal
-        // cuts are aligned down to whole slabs.
-        Self { hot_horizon: HOUR, cold_tolerance_m: 50.0, seal_every: 30 * MINUTE }
+        // cuts are aligned down to whole slabs. detector_ttl doubles
+        // the hot horizon: by the time a silent vessel's live state is
+        // dropped, its trajectory has long been sealed cold.
+        Self {
+            hot_horizon: HOUR,
+            cold_tolerance_m: 50.0,
+            seal_every: 30 * MINUTE,
+            detector_ttl: 2 * HOUR,
+        }
     }
 }
 
@@ -75,17 +96,22 @@ pub struct PipelineConfig {
 
 impl PipelineConfig {
     /// A configuration suitable for a regional surveillance picture.
+    ///
+    /// The event engine's detector shards match `store_shards` — both
+    /// layers route by [`mda_geo::vessel_shard`], so engine shard *i*
+    /// and store shard *i* own the same vessels.
     pub fn regional(bounds: BoundingBox) -> Self {
+        let store_shards = 8;
         Self {
             bounds,
             watermark_delay: 40 * mda_geo::time::MINUTE,
             tick_interval: mda_geo::time::MINUTE,
-            events: EngineConfig::default(),
+            events: EngineConfig { shards: store_shards, ..EngineConfig::default() },
             fusion: FuserConfig::default(),
             synopsis: ThresholdConfig::default(),
             model_cell_deg: 0.02,
             raster_shape: (64, 64),
-            store_shards: 8,
+            store_shards,
             retention: RetentionPolicy::default(),
         }
     }
@@ -107,5 +133,7 @@ mod tests {
         assert!(cfg.retention.hot_horizon > 0);
         assert!(cfg.retention.seal_every > 0);
         assert!(cfg.retention.cold_tolerance_m >= 0.0);
+        assert!(cfg.retention.detector_ttl >= cfg.events.gap_threshold);
+        assert_eq!(cfg.events.shards, cfg.store_shards, "event and store sharding aligned");
     }
 }

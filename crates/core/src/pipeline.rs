@@ -21,7 +21,7 @@ use mda_store::segment::SegmentConfig;
 use mda_store::shards::{StIndexConfig, StoreConfig};
 use mda_store::shared::SharedTrajectoryStore;
 use mda_stream::reorder::ReorderBuffer;
-use mda_stream::watermark::{BoundedOutOfOrderness, SealSchedule};
+use mda_stream::watermark::{BoundedOutOfOrderness, SealSchedule, TickSchedule};
 use mda_synopses::compress::ThresholdCompressor;
 use mda_track::fusion::Fuser;
 use mda_track::sensor::{SensorKind, SensorReport};
@@ -55,7 +55,7 @@ pub struct MaritimePipeline {
     normalcy: NormalcyModel,
     raster: DensityRaster,
     report: PipelineReport,
-    last_tick: Timestamp,
+    ticks: TickSchedule,
     seals: SealSchedule,
 }
 
@@ -68,11 +68,24 @@ impl MaritimePipeline {
             config.events.zones.iter().map(|z| (z.name.clone(), z.area.clone())).collect();
         let enricher = Enricher::new(&mut interner, enrich_zones);
         let (rows, cols) = config.raster_shape;
+        // The retention policy owns the live-state TTL so the detector
+        // layer and the pipeline's own per-vessel maps (compressors,
+        // term cache) evict together — but an explicitly customised
+        // `events.vessel_ttl` wins over the retention default rather
+        // than being silently discarded.
+        let default_ttl = mda_events::engine::EngineConfig::default().vessel_ttl;
+        let vessel_ttl = if config.events.vessel_ttl == default_ttl {
+            config.retention.detector_ttl
+        } else {
+            config.events.vessel_ttl
+        };
+        let events_config =
+            mda_events::engine::EngineConfig { vessel_ttl, ..config.events.clone() };
         Self {
             watermark: BoundedOutOfOrderness::new(config.watermark_delay),
             reorder: ReorderBuffer::new(),
             fuser: Fuser::new(config.fusion),
-            engine: EventEngine::new(config.events.clone()),
+            engine: EventEngine::new(events_config),
             compressors: HashMap::new(),
             // The archive is lock-striped by vessel hash; its per-shard
             // grid index is maintained at ingest time so window queries
@@ -106,7 +119,7 @@ impl MaritimePipeline {
             normalcy: NormalcyModel::new(config.bounds, config.model_cell_deg),
             raster: DensityRaster::new(config.bounds, rows, cols),
             report: PipelineReport::default(),
-            last_tick: Timestamp::MIN,
+            ticks: TickSchedule::new(config.tick_interval),
             seals: SealSchedule::new(config.retention.seal_every, config.retention.hot_horizon),
             config,
         }
@@ -168,120 +181,204 @@ impl MaritimePipeline {
             let _t = StageTimer::new(&mut self.report.reorder);
             self.reorder.release(wm)
         };
-        let mut events = Vec::new();
-        for (_, item) in released {
-            events.extend(self.process(item));
-        }
-        // Periodic live checks in event time.
-        if wm > self.last_tick.saturating_add(self.config.tick_interval) {
-            self.last_tick = wm;
-            events.extend(self.engine.tick(wm));
-            self.fuser.sweep(wm);
-            // Watermark-driven retention: rotate fixes older than the
-            // hot horizon into sealed cold segments. The schedule is a
-            // pure function of event time, so identical runs seal
-            // identically.
-            if let Some(cut) = self.seals.due(wm) {
-                {
-                    let _t = StageTimer::new(&mut self.report.storage);
-                    self.store.seal_before(cut);
-                }
-                self.report.seal_sweeps += 1;
-                let stats = self.store.tier_stats();
-                self.report.record_tiers(&stats);
+        let events = self.advance(released, wm);
+        // Watermark-driven retention: rotate fixes older than the hot
+        // horizon into sealed cold segments. The schedule quantizes
+        // cuts to aligned boundaries — a pure function of event time,
+        // so identical runs seal identically.
+        if let Some(cut) = self.seals.due(wm) {
+            {
+                let _t = StageTimer::new(&mut self.report.storage);
+                self.store.seal_before(cut);
             }
+            self.report.seal_sweeps += 1;
+            let stats = self.store.tier_stats();
+            self.report.record_tiers(&stats);
         }
         events
     }
 
-    fn process(&mut self, item: StreamItem) -> Vec<MaritimeEvent> {
-        match item {
-            StreamItem::Ais(fix) => self.process_fix(fix),
-            StreamItem::Radar(plot) => {
-                let _t = StageTimer::new(&mut self.report.fusion);
-                self.fuser.ingest(&SensorReport {
-                    kind: SensorKind::Radar,
-                    t: plot.t,
-                    pos: plot.pos,
-                    claimed_id: None,
-                    sog_kn: None,
-                    cog_deg: None,
-                    accuracy_m: None,
-                });
-                Vec::new()
+    /// Advance event time: interleave a watermark release with every
+    /// due live-check tick, **by event time**.
+    ///
+    /// Tick boundaries are aligned to `tick_interval` (anchored at the
+    /// first observation's boundary) and a boundary `T` fires after
+    /// exactly the observations with `t <= T` — never after a later
+    /// fix that happened to be released in the same call. Together
+    /// with the engine's canonical batching this makes the whole
+    /// tick/sweep/eviction schedule a pure function of the event-time
+    /// stream: arrival jitter within the watermark delay cannot move a
+    /// sweep relative to the data it sees.
+    fn advance(
+        &mut self,
+        released: Vec<(Timestamp, StreamItem)>,
+        wm: Timestamp,
+    ) -> Vec<MaritimeEvent> {
+        let mut events = Vec::new();
+        let mut pending: Vec<(Timestamp, StreamItem)> = Vec::new();
+        for (t, item) in released {
+            // Boundaries strictly before this item fire first, each
+            // after the data that precedes it.
+            while let Some(boundary) = self.ticks.before_observation(t) {
+                events.extend(self.process_released(std::mem::take(&mut pending)));
+                events.extend(self.run_tick(boundary));
             }
-            StreamItem::Vms(v) => {
-                let _t = StageTimer::new(&mut self.report.fusion);
-                self.fuser.ingest(&SensorReport {
-                    kind: SensorKind::Vms,
-                    t: v.t,
-                    pos: v.pos,
-                    claimed_id: Some(v.id),
-                    sog_kn: None,
-                    cog_deg: None,
-                    accuracy_m: None,
-                });
-                Vec::new()
-            }
+            pending.push((t, item));
         }
+        events.extend(self.process_released(pending));
+        // Boundaries between the newest released item and the aligned
+        // watermark: no more data at or before them can ever be
+        // accepted, so they are complete and fire now.
+        while let Some(boundary) = self.ticks.at_watermark(wm) {
+            events.extend(self.run_tick(boundary));
+        }
+        events
     }
 
-    fn process_fix(&mut self, fix: Fix) -> Vec<MaritimeEvent> {
+    /// One live-check tick at event time `t`: engine sweeps (dark
+    /// vessels, rendezvous/collision, TTL eviction), propagation of
+    /// evictions, track-lifecycle sweep.
+    fn run_tick(&mut self, t: Timestamp) -> Vec<MaritimeEvent> {
+        let events = {
+            let _t = StageTimer::new(&mut self.report.events);
+            self.engine.tick(t)
+        };
+        self.report.events_emitted += events.len() as u64;
+        self.drop_evicted_state();
+        self.fuser.sweep(t);
+        self.report.record_detectors(self.engine.counts());
+        self.report.live_vessels = self.engine.live_vessel_count() as u64;
+        events
+    }
+
+    /// Process a watermark release segment: consecutive AIS fixes are
+    /// grouped into one batch for the sharded event engine (one
+    /// shard-affine run per batch instead of a full dispatch per fix);
+    /// radar/VMS items flush the current batch and go to fusion.
+    fn process_released(&mut self, released: Vec<(Timestamp, StreamItem)>) -> Vec<MaritimeEvent> {
+        let mut events = Vec::new();
+        let mut batch: Vec<Fix> = Vec::new();
+        for (_, item) in released {
+            match item {
+                StreamItem::Ais(fix) => batch.push(fix),
+                StreamItem::Radar(plot) => {
+                    if !batch.is_empty() {
+                        events.extend(self.process_fix_batch(std::mem::take(&mut batch)));
+                    }
+                    let _t = StageTimer::new(&mut self.report.fusion);
+                    self.fuser.ingest(&SensorReport {
+                        kind: SensorKind::Radar,
+                        t: plot.t,
+                        pos: plot.pos,
+                        claimed_id: None,
+                        sog_kn: None,
+                        cog_deg: None,
+                        accuracy_m: None,
+                    });
+                }
+                StreamItem::Vms(v) => {
+                    if !batch.is_empty() {
+                        events.extend(self.process_fix_batch(std::mem::take(&mut batch)));
+                    }
+                    let _t = StageTimer::new(&mut self.report.fusion);
+                    self.fuser.ingest(&SensorReport {
+                        kind: SensorKind::Vms,
+                        t: v.t,
+                        pos: v.pos,
+                        claimed_id: Some(v.id),
+                        sog_kn: None,
+                        cog_deg: None,
+                        accuracy_m: None,
+                    });
+                }
+            }
+        }
+        if !batch.is_empty() {
+            events.extend(self.process_fix_batch(batch));
+        }
+        events
+    }
+
+    fn process_fix_batch(&mut self, batch: Vec<Fix>) -> Vec<MaritimeEvent> {
         // Fusion.
         {
             let _t = StageTimer::new(&mut self.report.fusion);
-            self.fuser.ingest(&SensorReport::from_fix(SensorKind::AisTerrestrial, &fix));
+            for fix in &batch {
+                self.fuser.ingest(&SensorReport::from_fix(SensorKind::AisTerrestrial, fix));
+            }
         }
-        // Event recognition.
+        // Event recognition: one canonical shard-affine run per batch.
         let events = {
             let _t = StageTimer::new(&mut self.report.events);
-            self.engine.observe(&fix)
+            self.engine.observe_batch(&batch)
         };
         // Synopses → archive, models, enrichment.
-        let kept = {
-            let _t = StageTimer::new(&mut self.report.synopses);
-            let compressor = self
-                .compressors
-                .entry(fix.id)
-                .or_insert_with(|| ThresholdCompressor::new(self.config.synopsis));
-            compressor.observe(fix)
-        };
-        {
-            let _t = StageTimer::new(&mut self.report.analytics);
-            self.raster.add(fix.pos);
-            self.knn.update(fix);
-            self.route_net.learn(&fix);
-            self.normalcy.learn(&fix);
-        }
-        if let Some(kept) = kept {
-            let _t = StageTimer::new(&mut self.report.storage);
-            self.store.append(kept);
-            let wind =
-                self.weather.as_ref().map(|w| w.sample(kept.pos, kept.t).wind_mps).unwrap_or(5.0);
-            let term = match self.vessel_terms.get(&kept.id) {
-                Some(t) => *t,
-                None => {
-                    let t = self.interner.intern(&format!(":vessel/{}", kept.id));
-                    self.vessel_terms.insert(kept.id, t);
-                    t
-                }
+        for fix in batch {
+            let kept = {
+                let _t = StageTimer::new(&mut self.report.synopses);
+                let compressor = self
+                    .compressors
+                    .entry(fix.id)
+                    .or_insert_with(|| ThresholdCompressor::new(self.config.synopsis));
+                compressor.observe(fix)
             };
-            self.enricher.enrich(&mut self.graph, term, &kept, wind);
+            {
+                let _t = StageTimer::new(&mut self.report.analytics);
+                self.raster.add(fix.pos);
+                self.knn.update(fix);
+                self.route_net.learn(&fix);
+                self.normalcy.learn(&fix);
+            }
+            if let Some(kept) = kept {
+                let _t = StageTimer::new(&mut self.report.storage);
+                self.store.append(kept);
+                let wind = self
+                    .weather
+                    .as_ref()
+                    .map(|w| w.sample(kept.pos, kept.t).wind_mps)
+                    .unwrap_or(5.0);
+                let term = match self.vessel_terms.get(&kept.id) {
+                    Some(t) => *t,
+                    None => {
+                        let t = self.interner.intern(&format!(":vessel/{}", kept.id));
+                        self.vessel_terms.insert(kept.id, t);
+                        t
+                    }
+                };
+                self.enricher.enrich(&mut self.graph, term, &kept, wind);
+            }
         }
         self.report.events_emitted += events.len() as u64;
         events
+    }
+
+    /// Propagate engine TTL evictions into the pipeline's own
+    /// per-vessel maps: dead vessels must not pin compressors or term
+    /// cache entries. (Re-interning a returning vessel yields the same
+    /// term id, and a fresh compressor simply keeps its next fix.)
+    fn drop_evicted_state(&mut self) {
+        let gone = self.engine.take_evicted();
+        if gone.is_empty() {
+            return;
+        }
+        self.report.evicted_vessels += gone.len() as u64;
+        for id in gone {
+            self.compressors.remove(&id);
+            self.vessel_terms.remove(&id);
+        }
     }
 
     /// Drain everything buffered (end of stream); returns the remaining
     /// events.
     pub fn finish(&mut self) -> Vec<MaritimeEvent> {
         let remaining = self.reorder.drain_all();
-        let mut events = Vec::new();
-        for (_, item) in remaining {
-            events.extend(self.process(item));
-        }
+        // `now` is the maximum event time seen (watermark + delay):
+        // independent of arrival order, so the final sweeps are too.
         let now = self.watermark.current().saturating_add(self.config.watermark_delay);
-        events.extend(self.engine.tick(now));
+        let mut events = self.advance(remaining, now);
+        if self.ticks.anchored() && now > self.ticks.last_boundary() {
+            events.extend(self.run_tick(now));
+        }
         self.report.dropped_late += self.reorder.dropped_late();
         // Leave the tier counters fresh for whoever reads the report.
         let stats = self.store.tier_stats();

@@ -68,6 +68,13 @@ pub struct PipelineReport {
     pub dropped_late: u64,
     /// Events emitted by the engine.
     pub events_emitted: u64,
+    /// Events by detector label, sorted by label (refreshed from the
+    /// engine's counters at every tick and at `finish`).
+    pub detector_counts: Vec<(&'static str, u64)>,
+    /// Vessels evicted from live detector state by the TTL sweeps.
+    pub evicted_vessels: u64,
+    /// Vessels currently resident in the engine's live index (gauge).
+    pub live_vessels: u64,
     /// Seal sweeps run (watermark-driven hot→cold rotations).
     pub seal_sweeps: u64,
     /// Fixes currently in the archive's hot tier.
@@ -111,6 +118,19 @@ impl PipelineReport {
         .into_iter()
         .map(|(name, m)| (name, m.calls, m.mean_micros(), m.throughput_per_sec()))
         .collect()
+    }
+
+    /// Refresh the per-detector event counters from the engine.
+    pub fn record_detectors(&mut self, counts: &std::collections::HashMap<&'static str, u64>) {
+        let mut rows: Vec<(&'static str, u64)> = counts.iter().map(|(k, v)| (*k, *v)).collect();
+        rows.sort_unstable();
+        self.detector_counts = rows;
+    }
+
+    /// Rows for the per-detector table: `(label, events)`, sorted by
+    /// label.
+    pub fn detector_rows(&self) -> &[(&'static str, u64)] {
+        &self.detector_counts
     }
 
     /// Fraction of static messages flagged by validation.
@@ -172,6 +192,16 @@ mod tests {
         assert_eq!(rows.len(), 7);
         assert_eq!(rows[0].0, "ingest");
         assert_eq!(r.static_error_rate(), 0.0);
+    }
+
+    #[test]
+    fn detector_rows_sorted_by_label() {
+        let mut r = PipelineReport::default();
+        let mut counts = std::collections::HashMap::new();
+        counts.insert("spoofing", 3u64);
+        counts.insert("gap-start", 7);
+        r.record_detectors(&counts);
+        assert_eq!(r.detector_rows(), &[("gap-start", 7), ("spoofing", 3)]);
     }
 
     #[test]

@@ -1,15 +1,50 @@
-//! The event engine: every detector behind one `observe` call.
+//! The sharded, watermark-driven event engine.
+//!
+//! Detector state is split two ways:
+//!
+//! - **Per-vessel state** (gap, veracity, loiter, zone) lives in
+//!   vessel-hash shards routed by [`mda_geo::vessel_shard`] — the same
+//!   function the sharded trajectory store uses, so engine shard *i*
+//!   and store shard *i* own the same vessels whenever their shard
+//!   counts match. [`EventEngine::observe_batch`] canonicalises a batch
+//!   to `(t, vessel)` order, dispatches it shard-affine (one run per
+//!   shard under one borrow) and merges emission with a stable
+//!   `(t, vessel, kind)` sort, so the emitted events are independent of
+//!   both arrival order (within the upstream watermark delay) and the
+//!   shard count.
+//! - **Pairwise state** (rendezvous, collision) is driven off the
+//!   versioned per-shard [`LiveIndex`] grid by watermark sweeps in
+//!   [`EventEngine::tick`]: each shard walks its own live vessels
+//!   against a read-only fleet-wide [`FleetIndex`] view, and a pair is
+//!   owned by the shard of its smaller vessel id.
+//!
+//! [`EventEngine::tick`] is also the **eviction** path: vessels silent
+//! past [`EngineConfig::vessel_ttl`] are dropped from the live index,
+//! the gap/veracity/loiter/zone maps and all pair state, so detector
+//! memory on a long-running stream is bounded by the live fleet — not
+//! by every vessel ever seen. The engine reports evictions through
+//! [`EventEngine::take_evicted`] so upstream stages (e.g. the
+//! pipeline's per-vessel compressors) can drop their state too.
 
 use crate::event::MaritimeEvent;
 use crate::gap::GapDetector;
 use crate::loiter::{LoiterConfig, LoiterDetector};
 use crate::proximity::{
-    CollisionConfig, CollisionDetector, LiveIndex, RendezvousConfig, RendezvousDetector,
+    CollisionConfig, CollisionDetector, FleetIndex, LiveIndex, RendezvousConfig, RendezvousDetector,
 };
 use crate::veracity::{VeracityConfig, VeracityDetector};
 use crate::zone::{NamedZone, ZoneDetector};
-use mda_geo::{DurationMs, Fix, Timestamp};
-use std::collections::HashMap;
+use mda_geo::{vessel_shard, DurationMs, Fix, Timestamp, VesselId};
+use mda_stream::runner::partition_by_shard;
+use std::collections::{HashMap, HashSet};
+
+/// Batches at least this large run their shard dispatch on scoped
+/// threads (one per non-empty shard); smaller batches stay inline —
+/// the result is identical either way.
+const PAR_BATCH_MIN: usize = 1_024;
+/// Pairwise sweeps go parallel when the live fleet is at least this
+/// large.
+const PAR_SWEEP_MIN: usize = 512;
 
 /// Engine-wide configuration.
 #[derive(Debug, Clone)]
@@ -26,6 +61,19 @@ pub struct EngineConfig {
     pub collision: CollisionConfig,
     /// Zones to watch.
     pub zones: Vec<NamedZone>,
+    /// Detector shards. Per-vessel state is partitioned by
+    /// [`mda_geo::vessel_shard`]; match the trajectory store's shard
+    /// count to align the two layers. Emission is shard-count
+    /// invariant, so this is purely a throughput/parallelism knob.
+    pub shards: usize,
+    /// Detector-state time-to-live: a vessel silent for longer than
+    /// this (of event time, measured at [`EventEngine::tick`]) is
+    /// evicted from every detector map and the live index. Effective
+    /// eviction happens at `max(vessel_ttl, gap_threshold)` — a vessel
+    /// must first be swept silent before it can idle out. Evicted
+    /// vessels that resurface are treated as new (no gap edges across
+    /// the eviction). Use `DurationMs::MAX` to disable eviction.
+    pub vessel_ttl: DurationMs,
 }
 
 impl Default for EngineConfig {
@@ -37,68 +85,279 @@ impl Default for EngineConfig {
             rendezvous: RendezvousConfig::default(),
             collision: CollisionConfig::default(),
             zones: Vec::new(),
+            shards: 1,
+            vessel_ttl: 2 * mda_geo::time::HOUR,
         }
     }
 }
 
-/// The streaming maritime event engine.
-///
-/// Feed event-time-ordered fixes; collect [`MaritimeEvent`]s. The engine
-/// also exposes [`EventEngine::tick`] for watermark-driven live checks
-/// (dark-vessel sweeps).
-pub struct EventEngine {
+/// One detector shard: the per-vessel detectors for the vessels hashing
+/// here, plus the pairwise state owned by this shard (pairs whose
+/// smaller id lives here).
+struct DetectorShard {
     gap: GapDetector,
     veracity: VeracityDetector,
     loiter: LoiterDetector,
+    zones: ZoneDetector,
     rendezvous: RendezvousDetector,
     collision: CollisionDetector,
-    zones: ZoneDetector,
-    index: LiveIndex,
-    counts: HashMap<&'static str, u64>,
-    fixes_seen: u64,
 }
 
-impl EventEngine {
-    /// Build an engine from configuration.
-    pub fn new(config: EngineConfig) -> Self {
+impl DetectorShard {
+    fn new(config: &EngineConfig) -> Self {
         Self {
             gap: GapDetector::new(config.gap_threshold),
             veracity: VeracityDetector::new(config.veracity),
             loiter: LoiterDetector::new(config.loiter),
-            rendezvous: RendezvousDetector::new(config.rendezvous),
+            zones: ZoneDetector::new(config.zones.clone()),
+            rendezvous: RendezvousDetector::new(config.rendezvous.clone()),
             collision: CollisionDetector::new(config.collision),
-            zones: ZoneDetector::new(config.zones),
-            index: LiveIndex::new(),
+        }
+    }
+
+    /// Per-vessel detector run over this shard's slice of a canonical
+    /// batch (one borrow for the whole run).
+    fn run(&mut self, index: &mut LiveIndex, fixes: &[Fix]) -> Vec<MaritimeEvent> {
+        let mut out = Vec::new();
+        for fix in fixes {
+            index.update(fix);
+            out.extend(self.gap.observe(fix));
+            out.extend(self.veracity.observe(fix));
+            out.extend(self.loiter.observe(fix));
+            out.extend(self.zones.observe(fix));
+        }
+        out
+    }
+}
+
+/// Resident detector state, summed across shards — the numbers the TTL
+/// eviction keeps bounded on a long-running stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStateStats {
+    /// Vessels in the live latest-fix index.
+    pub live_vessels: usize,
+    /// Vessels tracked by the gap detector.
+    pub gap_tracked: usize,
+    /// Lazy heap entries buffered by the gap detectors.
+    pub gap_heap: usize,
+    /// Identities tracked by the veracity detector.
+    pub veracity_identities: usize,
+    /// Fixes buffered in loiter sliding windows.
+    pub loiter_points: usize,
+    /// Open (vessel, zone) visits.
+    pub zone_visits: usize,
+    /// Open rendezvous candidate pairs.
+    pub rendezvous_pairs: usize,
+    /// Collision pairs inside their re-arm window.
+    pub collision_pairs: usize,
+}
+
+impl EngineStateStats {
+    /// Coarse total of resident entries (for bounded-state checks).
+    pub fn resident_entries(&self) -> usize {
+        self.live_vessels
+            + self.gap_tracked
+            + self.gap_heap
+            + self.veracity_identities
+            + self.loiter_points
+            + self.zone_visits
+            + self.rendezvous_pairs
+            + self.collision_pairs
+    }
+}
+
+/// The streaming maritime event engine (sharded, watermark-driven).
+///
+/// Feed event-time-ordered fixes — singly via [`EventEngine::observe`]
+/// or, preferably, in watermark-released batches via
+/// [`EventEngine::observe_batch`] — and drive
+/// [`EventEngine::tick`] with aligned event-time watermarks for the
+/// dark-vessel sweep, the pairwise (rendezvous/collision) sweeps and
+/// TTL eviction.
+pub struct EventEngine {
+    shards: Vec<DetectorShard>,
+    indexes: Vec<LiveIndex>,
+    vessel_ttl: DurationMs,
+    counts: HashMap<&'static str, u64>,
+    fixes_seen: u64,
+    evicted: Vec<VesselId>,
+}
+
+impl EventEngine {
+    /// Build an engine from configuration (`config.shards` is clamped
+    /// to at least 1).
+    pub fn new(config: EngineConfig) -> Self {
+        let n = config.shards.max(1);
+        Self {
+            shards: (0..n).map(|_| DetectorShard::new(&config)).collect(),
+            indexes: (0..n).map(|_| LiveIndex::new()).collect(),
+            vessel_ttl: config.vessel_ttl,
             counts: HashMap::new(),
             fixes_seen: 0,
+            evicted: Vec::new(),
         }
     }
 
-    /// Observe one fix through every detector.
+    /// Observe one fix through the per-vessel detectors.
+    ///
+    /// Equivalent to a one-element [`EventEngine::observe_batch`]. Note
+    /// that rendezvous/collision events are *not* produced here — the
+    /// pairwise detectors are watermark-swept by [`EventEngine::tick`].
     pub fn observe(&mut self, fix: &Fix) -> Vec<MaritimeEvent> {
-        self.fixes_seen += 1;
-        self.index.update(fix);
-        let mut out = Vec::new();
-        out.extend(self.gap.observe(fix));
-        out.extend(self.veracity.observe(fix));
-        out.extend(self.loiter.observe(fix));
-        out.extend(self.zones.observe(fix));
-        out.extend(self.rendezvous.observe(fix, &self.index));
-        out.extend(self.collision.observe(fix, &self.index));
-        for e in &out {
-            *self.counts.entry(e.kind.label()).or_insert(0) += 1;
-        }
-        out
+        self.observe_batch(std::slice::from_ref(fix))
     }
 
-    /// Watermark-driven live checks (call periodically with advancing
-    /// event time): currently the dark-vessel sweep.
-    pub fn tick(&mut self, now: Timestamp) -> Vec<MaritimeEvent> {
-        let out = self.gap.check_silent(now);
-        for e in &out {
-            *self.counts.entry(e.kind.label()).or_insert(0) += 1;
+    /// Observe a watermark-released batch of fixes through the
+    /// per-vessel detectors, one shard run per borrow.
+    ///
+    /// The batch is first canonicalised to `(t, vessel)` order (stable,
+    /// so equal keys keep arrival order), then dispatched shard-affine.
+    /// Because per-vessel detectors only consume their own vessel's
+    /// subsequence — which canonicalisation makes a pure function of
+    /// the batch *content* — the returned events are identical for any
+    /// arrival shuffle the upstream reorder stage tolerates, and for
+    /// any shard count. Emission is merged with a stable
+    /// `(t, vessel, kind)` sort ([`MaritimeEvent::sort_key`]).
+    ///
+    /// Large batches (≥ ~1k fixes) on a multi-shard engine run their
+    /// shard dispatch on scoped threads.
+    pub fn observe_batch(&mut self, batch: &[Fix]) -> Vec<MaritimeEvent> {
+        if batch.is_empty() {
+            return Vec::new();
         }
-        out
+        self.fixes_seen += batch.len() as u64;
+        let mut fixes = batch.to_vec();
+        // A TOTAL order over fix content, not just (t, id): two fixes
+        // of one vessel with the same timestamp but different payloads
+        // (cloned identities, dual-receiver feeds) must still sort the
+        // same way under any arrival order, or the duplicate pair
+        // would be the one place emission depends on arrival. Bit
+        // patterns give a cheap arbitrary-but-fixed tiebreak.
+        fixes.sort_by_key(|f| {
+            (
+                f.t,
+                f.id,
+                f.pos.lat.to_bits(),
+                f.pos.lon.to_bits(),
+                f.sog_kn.to_bits(),
+                f.cog_deg.to_bits(),
+            )
+        });
+        let n = self.shards.len();
+        let per_shard = partition_by_shard(fixes, n, |f| vessel_shard(f.id, n));
+        let lanes = self
+            .shards
+            .iter_mut()
+            .zip(self.indexes.iter_mut())
+            .zip(per_shard)
+            .map(|((shard, index), fixes)| (shard, index, fixes));
+        let mut events: Vec<MaritimeEvent> = if n > 1 && batch.len() >= PAR_BATCH_MIN {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = lanes
+                    .filter(|(_, _, fixes)| !fixes.is_empty())
+                    .map(|(shard, index, fixes)| scope.spawn(move || shard.run(index, &fixes)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("detector shard panicked"))
+                    .collect()
+            })
+        } else {
+            lanes.flat_map(|(shard, index, fixes)| shard.run(index, &fixes)).collect()
+        };
+        events.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        self.tally(&events);
+        events
+    }
+
+    /// Watermark-driven sweep at event time `wm`: per shard, run the
+    /// pairwise (rendezvous/collision) sweeps against the fleet index,
+    /// the heap-driven dark-vessel check, and TTL eviction.
+    ///
+    /// Call with *aligned*, monotone watermarks (e.g. every minute of
+    /// event time) so the sweep times — and therefore the emitted
+    /// events — are a pure function of the event-time stream. Evicted
+    /// vessel ids accumulate until [`EventEngine::take_evicted`].
+    pub fn tick(&mut self, wm: Timestamp) -> Vec<MaritimeEvent> {
+        let mut events = self.pairwise_sweeps(wm);
+        // Dark-vessel sweep + TTL eviction, shard-local.
+        let cut = Timestamp(wm.millis().saturating_sub(self.vessel_ttl));
+        let mut gone_all: Vec<VesselId> = Vec::new();
+        for (shard, index) in self.shards.iter_mut().zip(self.indexes.iter_mut()) {
+            events.extend(shard.gap.check_silent(wm));
+            let gone = shard.gap.evict_idle(cut);
+            if gone.is_empty() {
+                continue;
+            }
+            // Zone state is keyed (vessel, zone): evict all ids in one
+            // retain pass. The per-vessel maps are O(1) removals.
+            let gone_set: HashSet<VesselId> = gone.iter().copied().collect();
+            shard.zones.evict(&gone_set);
+            for &id in &gone {
+                shard.veracity.evict(id);
+                shard.loiter.evict(id);
+                index.remove(id);
+            }
+            gone_all.extend(gone);
+        }
+        // Pair state may reference an evicted partner from *another*
+        // shard, so pair eviction fans the full id set out to every
+        // shard.
+        if !gone_all.is_empty() {
+            let gone_set: HashSet<VesselId> = gone_all.iter().copied().collect();
+            for shard in &mut self.shards {
+                shard.rendezvous.evict(&gone_set);
+                shard.collision.evict(&gone_set);
+            }
+            gone_all.sort_unstable();
+            self.evicted.extend(gone_all);
+        }
+        events.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        self.tally(&events);
+        events
+    }
+
+    fn pairwise_sweeps(&mut self, wm: Timestamp) -> Vec<MaritimeEvent> {
+        let EventEngine { ref mut shards, ref indexes, .. } = *self;
+        // One merged snapshot per tick: queries probe a single cell
+        // grid however many shards fed it, so sweep cost does not grow
+        // with the shard count.
+        let fleet = FleetIndex::snapshot(indexes);
+        if shards.len() > 1 && fleet.len() >= PAR_SWEEP_MIN {
+            std::thread::scope(|scope| {
+                let fleet = &fleet;
+                let handles: Vec<_> = shards
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(s, shard)| {
+                        let own = &indexes[s];
+                        scope.spawn(move || {
+                            let order = own.vessels_sorted();
+                            let mut out = shard.rendezvous.sweep(wm, &order, own, fleet);
+                            out.extend(shard.collision.sweep(wm, &order, own, fleet));
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("sweep shard panicked")).collect()
+            })
+        } else {
+            let mut out = Vec::new();
+            for (s, shard) in shards.iter_mut().enumerate() {
+                let own = &indexes[s];
+                let order = own.vessels_sorted();
+                out.extend(shard.rendezvous.sweep(wm, &order, own, &fleet));
+                out.extend(shard.collision.sweep(wm, &order, own, &fleet));
+            }
+            out
+        }
+    }
+
+    /// Vessel ids evicted by TTL since the last call (sorted within
+    /// each tick). Upstream per-vessel state (compressors, semantic
+    /// term caches) should be dropped for these ids.
+    pub fn take_evicted(&mut self) -> Vec<VesselId> {
+        std::mem::take(&mut self.evicted)
     }
 
     /// Events emitted so far, by kind label.
@@ -111,9 +370,47 @@ impl EventEngine {
         self.fixes_seen
     }
 
-    /// The live latest-fix index (for the operator picture).
-    pub fn live_index(&self) -> &LiveIndex {
-        &self.index
+    /// Number of detector shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The live latest-fix picture (for the operator console): a
+    /// merged snapshot of every shard's index, built in O(live
+    /// vessels). For just the count, use
+    /// [`EventEngine::live_vessel_count`].
+    pub fn live_index(&self) -> FleetIndex {
+        FleetIndex::snapshot(&self.indexes)
+    }
+
+    /// Vessels currently tracked in the live index, without building a
+    /// snapshot (O(shards)).
+    pub fn live_vessel_count(&self) -> usize {
+        self.indexes.iter().map(LiveIndex::len).sum()
+    }
+
+    /// Resident detector state, summed across shards.
+    pub fn state_stats(&self) -> EngineStateStats {
+        let mut s = EngineStateStats {
+            live_vessels: self.indexes.iter().map(LiveIndex::len).sum(),
+            ..Default::default()
+        };
+        for shard in &self.shards {
+            s.gap_tracked += shard.gap.known_vessels();
+            s.gap_heap += shard.gap.heap_len();
+            s.veracity_identities += shard.veracity.known_identities();
+            s.loiter_points += shard.loiter.buffered_points();
+            s.zone_visits += shard.zones.open_visits();
+            s.rendezvous_pairs += shard.rendezvous.open_pairs();
+            s.collision_pairs += shard.collision.armed_pairs();
+        }
+        s
+    }
+
+    fn tally(&mut self, events: &[MaritimeEvent]) {
+        for e in events {
+            *self.counts.entry(e.kind.label()).or_insert(0) += 1;
+        }
     }
 }
 
@@ -121,6 +418,7 @@ impl EventEngine {
 mod tests {
     use super::*;
     use crate::event::EventKind;
+    use mda_geo::time::HOUR;
     use mda_geo::{BoundingBox, Polygon, Position};
 
     fn engine_with_zone() -> EventEngine {
@@ -169,11 +467,161 @@ mod tests {
     }
 
     #[test]
-    fn engine_collision_path() {
+    fn engine_collision_path_via_tick() {
         let mut e = engine_with_zone();
-        e.observe(&fix(10, 0, 43.0, 5.0, 10.0, 90.0));
-        let events = e.observe(&fix(11, 0, 43.0, 5.135, 10.0, 270.0));
-        assert!(events.iter().any(|ev| matches!(ev.kind, EventKind::CollisionRisk { .. })));
+        e.observe_batch(&[fix(10, 0, 43.0, 5.0, 10.0, 90.0), fix(11, 0, 43.0, 5.135, 10.0, 270.0)]);
+        // Pairwise analytics are watermark-swept, not per-fix.
+        let events = e.tick(Timestamp::from_mins(1));
+        assert!(
+            events.iter().any(|ev| matches!(ev.kind, EventKind::CollisionRisk { other: 11, .. })),
+            "head-on pair must alert on the sweep: {events:?}"
+        );
+    }
+
+    #[test]
+    fn engine_rendezvous_path_via_tick() {
+        let mut e = engine_with_zone();
+        let mut events = Vec::new();
+        for i in 0..30 {
+            e.observe_batch(&[
+                fix(20, i, 43.20, 5.40, 1.0, 0.0),
+                fix(21, i, 43.201, 5.40, 1.0, 180.0),
+            ]);
+            events.extend(e.tick(Timestamp::from_mins(i)));
+        }
+        let rz: Vec<_> =
+            events.iter().filter(|ev| matches!(ev.kind, EventKind::Rendezvous { .. })).collect();
+        assert_eq!(rz.len(), 1, "one sustained-proximity report: {events:?}");
+        assert_eq!(rz[0].vessel, 20);
+    }
+
+    #[test]
+    fn observe_batch_matches_serial_observe() {
+        // The canonical batch path and the one-at-a-time path must
+        // agree on an already-ordered stream.
+        let batch: Vec<Fix> = (0..40)
+            .flat_map(|i| {
+                [
+                    fix(1, i, 42.4 + i as f64 * 0.01, 4.6, 9.0, 0.0),
+                    fix(2, i, 43.0, 5.0 + i as f64 * 0.02, 12.0, 90.0),
+                ]
+            })
+            .collect();
+        let mut serial = engine_with_zone();
+        let mut a = Vec::new();
+        for f in &batch {
+            a.extend(serial.observe(f));
+        }
+        let mut batched = engine_with_zone();
+        let b = batched.observe_batch(&batch);
+        assert_eq!(a, b, "batching must not change per-vessel detection");
+        assert_eq!(serial.fixes_seen(), batched.fixes_seen());
+    }
+
+    #[test]
+    fn shard_count_does_not_change_emission() {
+        let batch: Vec<Fix> = (0..60)
+            .flat_map(|i| {
+                (1..=10u32).map(move |v| {
+                    fix(v, i, 42.0 + f64::from(v) * 0.1, 4.0 + i as f64 * 0.01, 8.0, 90.0)
+                })
+            })
+            .collect();
+        let run = |shards: usize| {
+            let mut e = EventEngine::new(EngineConfig { shards, ..Default::default() });
+            let mut out = e.observe_batch(&batch);
+            out.extend(e.tick(Timestamp::from_mins(90)));
+            out
+        };
+        let reference = run(1);
+        assert!(!reference.is_empty(), "gap ticks should fire");
+        for shards in [2usize, 4, 8] {
+            assert_eq!(run(shards), reference, "{shards} shards diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_batch_path_matches_sequential() {
+        // Enough fixes to cross PAR_BATCH_MIN: the scoped-thread
+        // dispatch must be invisible in the output.
+        // 0.03° of longitude per minute is a ~78 kn implied speed
+        // against 9 kn reported: every fix raises a spoofing event, so
+        // the comparison is over real content, not empty vectors.
+        let batch: Vec<Fix> = (0..80)
+            .flat_map(|i| {
+                (1..=20u32).map(move |v| {
+                    fix(v, i, 42.0 + f64::from(v) * 0.05, 4.0 + i as f64 * 0.03, 9.0, 90.0)
+                })
+            })
+            .collect();
+        assert!(batch.len() >= PAR_BATCH_MIN);
+        let mut sharded = EventEngine::new(EngineConfig { shards: 4, ..Default::default() });
+        let mut single = EventEngine::new(EngineConfig { shards: 1, ..Default::default() });
+        assert_eq!(sharded.observe_batch(&batch), single.observe_batch(&batch));
+    }
+
+    #[test]
+    fn parallel_sweep_path_matches_sequential() {
+        // A fleet large enough to cross PAR_SWEEP_MIN: the scoped-
+        // thread pairwise sweeps must emit exactly what one shard does.
+        // Vessels pair up head-on 11 km apart, so sweeps really alert.
+        let batch: Vec<Fix> = (0..600u32)
+            .map(|v| {
+                let lane = f64::from(v / 2) * 0.02;
+                if v % 2 == 0 {
+                    fix(v + 1, 0, 42.0 + lane, 5.0, 10.0, 90.0)
+                } else {
+                    fix(v + 1, 0, 42.0 + lane, 5.135, 10.0, 270.0)
+                }
+            })
+            .collect();
+        let run = |shards: usize| {
+            let mut e = EventEngine::new(EngineConfig { shards, ..Default::default() });
+            e.observe_batch(&batch);
+            assert!(e.live_vessel_count() >= PAR_SWEEP_MIN);
+            e.tick(Timestamp::from_mins(1))
+        };
+        let reference = run(1);
+        assert!(
+            reference.iter().any(|ev| matches!(ev.kind, EventKind::CollisionRisk { .. })),
+            "head-on lanes must alert"
+        );
+        for shards in [4usize, 8] {
+            assert_eq!(run(shards), reference, "{shards}-shard parallel sweep diverged");
+        }
+    }
+
+    #[test]
+    fn ttl_eviction_bounds_state_and_reports_ids() {
+        let mut e =
+            EventEngine::new(EngineConfig { vessel_ttl: HOUR, shards: 4, ..Default::default() });
+        // Vessel 1 transmits briefly and dies; vessel 2 keeps going.
+        e.observe(&fix(1, 0, 43.0, 5.0, 10.0, 90.0));
+        for i in 0..200 {
+            e.observe(&fix(2, i, 43.5, 5.0 + i as f64 * 0.01, 10.0, 90.0));
+            e.tick(Timestamp::from_mins(i));
+        }
+        let gone = e.take_evicted();
+        assert_eq!(gone, vec![1], "dead vessel must be evicted once");
+        let stats = e.state_stats();
+        assert_eq!(stats.live_vessels, 1, "only the living vessel remains indexed");
+        assert_eq!(stats.gap_tracked, 1);
+        // Dead vessel resurfacing is new — and trackable again.
+        e.observe(&fix(1, 300, 43.0, 5.0, 10.0, 90.0));
+        assert_eq!(e.state_stats().live_vessels, 2);
+        assert!(e.take_evicted().is_empty());
+    }
+
+    #[test]
+    fn disabled_ttl_keeps_state() {
+        let mut e =
+            EventEngine::new(EngineConfig { vessel_ttl: DurationMs::MAX, ..Default::default() });
+        e.observe(&fix(1, 0, 43.0, 5.0, 10.0, 90.0));
+        for i in 1..500 {
+            e.tick(Timestamp::from_mins(i * 10));
+        }
+        assert!(e.take_evicted().is_empty());
+        assert_eq!(e.state_stats().gap_tracked, 1);
     }
 
     #[test]
@@ -182,5 +630,14 @@ mod tests {
         e.observe(&fix(1, 0, 43.0, 5.0, 10.0, 90.0));
         assert_eq!(e.live_index().len(), 1);
         assert!(e.live_index().latest(1).is_some());
+        assert_eq!(e.shard_count(), 1);
+    }
+
+    #[test]
+    fn counts_include_tick_events() {
+        let mut e = engine_with_zone();
+        e.observe(&fix(2, 0, 43.0, 5.0, 10.0, 90.0));
+        e.tick(Timestamp::from_mins(30));
+        assert_eq!(e.counts()["gap-start"], 1);
     }
 }

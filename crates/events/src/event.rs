@@ -129,6 +129,18 @@ impl MaritimeEvent {
     pub fn severity(&self) -> Severity {
         self.kind.severity()
     }
+
+    /// The canonical `(t, vessel, kind)` ordering key.
+    ///
+    /// The sharded engine merges per-shard emission by stable-sorting
+    /// on this key, which is what makes its output independent of the
+    /// shard count: one vessel's events always come from one shard in
+    /// a deterministic per-vessel order, and the key interleaves
+    /// different vessels' events identically however they were
+    /// partitioned.
+    pub fn sort_key(&self) -> (Timestamp, VesselId, &'static str) {
+        (self.t, self.vessel, self.kind.label())
+    }
 }
 
 impl std::fmt::Display for MaritimeEvent {

@@ -8,10 +8,24 @@
 //! - live: [`GapDetector::check_silent`] reports vessels that have been
 //!   silent longer than the threshold *as of now*, which is what an
 //!   operator console shows as "dark vessels".
+//!
+//! The live path is **heap-driven**: every observed fix pushes a
+//! `(last_t, vessel)` deadline onto a min-heap, and a sweep pops only
+//! the deadlines that have actually expired (lazily discarding entries
+//! superseded by a newer fix). A sweep therefore costs O(expired ·
+//! log n), not O(all vessels) — on a fleet where most ships transmit
+//! every few seconds, almost nothing.
+//!
+//! Vessels silent past the engine's TTL graduate from the deadline heap
+//! into an *idle* heap, from which [`GapDetector::evict_idle`] drops
+//! their tracking state entirely — the hook the engine's
+//! watermark-driven eviction uses to keep long-running detector state
+//! bounded by the live fleet, not by every vessel ever seen.
 
 use crate::event::{EventKind, MaritimeEvent};
 use mda_geo::{DurationMs, Fix, Timestamp, VesselId};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Streaming gap detector over all vessels.
 #[derive(Debug)]
@@ -20,19 +34,39 @@ pub struct GapDetector {
     last_fix: HashMap<VesselId, Fix>,
     /// Vessels already reported silent (to avoid repeating the alarm).
     reported_silent: HashMap<VesselId, Timestamp>,
+    /// Silence deadlines, one per observed fix: `(last_t, vessel)`.
+    /// Entries are invalidated lazily — an entry whose `last_t` no
+    /// longer matches the vessel's latest fix is skipped on pop.
+    deadlines: BinaryHeap<Reverse<(Timestamp, VesselId)>>,
+    /// Vessels already past the silence threshold, awaiting TTL
+    /// eviction, keyed by the same lazy `(last_t, vessel)` scheme.
+    idle: BinaryHeap<Reverse<(Timestamp, VesselId)>>,
 }
 
 impl GapDetector {
     /// Silence longer than `threshold` is a gap.
     pub fn new(threshold: DurationMs) -> Self {
         assert!(threshold > 0);
-        Self { threshold, last_fix: HashMap::new(), reported_silent: HashMap::new() }
+        Self {
+            threshold,
+            last_fix: HashMap::new(),
+            reported_silent: HashMap::new(),
+            deadlines: BinaryHeap::new(),
+            idle: BinaryHeap::new(),
+        }
     }
 
     /// Observe a fix; emits `GapStart`+`GapEnd` when it closes a gap.
+    ///
+    /// Out-of-order stragglers (a fix at or before the vessel's stored
+    /// latest) are ignored: silence is defined by the *newest* evidence
+    /// of transmission, so a late fix can neither open nor close a gap.
     pub fn observe(&mut self, fix: &Fix) -> Vec<MaritimeEvent> {
         let mut out = Vec::new();
-        if let Some(prev) = self.last_fix.insert(fix.id, *fix) {
+        if let Some(prev) = self.last_fix.get(&fix.id) {
+            if fix.t <= prev.t {
+                return out; // stale: never regress the silence clock
+            }
             let silence = fix.t - prev.t;
             if silence > self.threshold {
                 // Only emit GapStart if the live path has not already.
@@ -54,26 +88,67 @@ impl GapDetector {
                 self.reported_silent.remove(&fix.id);
             }
         }
+        self.last_fix.insert(fix.id, *fix);
+        self.deadlines.push(Reverse((fix.t, fix.id)));
         out
     }
 
     /// Live sweep: vessels silent for longer than the threshold as of
     /// `now`, not yet reported. Emits their `GapStart` immediately.
+    ///
+    /// Pops only expired deadlines from the heap; vessels that kept
+    /// transmitting have a newer deadline further down and their
+    /// expired entries are discarded without any per-vessel scan.
     pub fn check_silent(&mut self, now: Timestamp) -> Vec<MaritimeEvent> {
         let mut out = Vec::new();
-        for (id, fix) in &self.last_fix {
-            if now - fix.t > self.threshold && !self.reported_silent.contains_key(id) {
-                self.reported_silent.insert(*id, fix.t);
-                out.push(MaritimeEvent {
-                    t: fix.t,
-                    vessel: *id,
-                    pos: fix.pos,
-                    kind: EventKind::GapStart,
-                });
+        while let Some(Reverse((t, id))) = self.deadlines.peek().copied() {
+            if now.since(t) <= self.threshold {
+                break; // youngest deadline not expired: nothing older is
+            }
+            self.deadlines.pop();
+            // Lazy invalidation: only the entry matching the vessel's
+            // current latest fix speaks for it.
+            let Some(fix) = self.last_fix.get(&id) else { continue };
+            if fix.t != t {
+                continue;
+            }
+            // Genuinely silent: stage for TTL eviction, alert once.
+            self.idle.push(Reverse((t, id)));
+            if let std::collections::hash_map::Entry::Vacant(e) = self.reported_silent.entry(id) {
+                e.insert(t);
+                out.push(MaritimeEvent { t, vessel: id, pos: fix.pos, kind: EventKind::GapStart });
             }
         }
         out.sort_by_key(|e| (e.t, e.vessel));
         out
+    }
+
+    /// Drop all tracking state of vessels whose latest fix is at or
+    /// before `cut` (the engine's `watermark − TTL`). Returns the
+    /// evicted ids, sorted.
+    ///
+    /// Only vessels already past the silence threshold are candidates
+    /// (they sit in the idle heap, placed there by
+    /// [`GapDetector::check_silent`]); a vessel that resumed
+    /// transmitting since is skipped via the same lazy-invalidation
+    /// rule as the deadline heap.
+    pub fn evict_idle(&mut self, cut: Timestamp) -> Vec<VesselId> {
+        let mut gone = Vec::new();
+        while let Some(Reverse((t, id))) = self.idle.peek().copied() {
+            if t > cut {
+                break;
+            }
+            self.idle.pop();
+            let Some(fix) = self.last_fix.get(&id) else { continue };
+            if fix.t != t {
+                continue; // resumed since: a fresher entry tracks it
+            }
+            self.last_fix.remove(&id);
+            self.reported_silent.remove(&id);
+            gone.push(id);
+        }
+        gone.sort_unstable();
+        gone
     }
 
     /// Vessels currently flagged silent.
@@ -81,9 +156,21 @@ impl GapDetector {
         self.reported_silent.len()
     }
 
-    /// Total vessels ever seen.
+    /// Total vessels currently tracked (bounded by eviction, not by
+    /// every vessel ever seen).
     pub fn known_vessels(&self) -> usize {
         self.last_fix.len()
+    }
+
+    /// Entries across both lazy heaps (diagnostic; bounded by the fix
+    /// rate within one threshold window plus idle vessels).
+    pub fn heap_len(&self) -> usize {
+        self.deadlines.len() + self.idle.len()
+    }
+
+    /// Latest stored fix time of a vessel, if tracked.
+    pub fn last_seen(&self, id: VesselId) -> Option<Timestamp> {
+        self.last_fix.get(&id).map(|f| f.t)
     }
 }
 
@@ -154,5 +241,66 @@ mod tests {
         let events = d.observe(&fix(1, 30));
         assert_eq!(events.len(), 2);
         assert!(events.iter().all(|e| e.vessel == 1));
+    }
+
+    #[test]
+    fn stale_fix_does_not_reset_silence_clock() {
+        // A late out-of-order fix must not make a dark vessel look
+        // alive (the stale-state bug class this module used to have).
+        let mut d = GapDetector::new(10 * MINUTE);
+        d.observe(&fix(1, 0));
+        d.observe(&fix(1, 20)); // closes a 20-min gap
+        assert!(d.observe(&fix(1, 5)).is_empty(), "straggler must be ignored");
+        assert_eq!(d.last_seen(1), Some(Timestamp::from_mins(20)), "clock regressed");
+        // Silence is measured from minute 20, not minute 5.
+        assert!(d.check_silent(Timestamp::from_mins(25)).is_empty());
+        assert_eq!(d.check_silent(Timestamp::from_mins(31)).len(), 1);
+    }
+
+    #[test]
+    fn expired_heap_entries_are_lazily_discarded() {
+        let mut d = GapDetector::new(10 * MINUTE);
+        // 100 fixes from one vessel: 100 heap entries, 99 of them stale.
+        for i in 0..100 {
+            d.observe(&fix(1, i));
+        }
+        assert_eq!(d.heap_len(), 100);
+        // Sweep well past every old deadline: all stale entries drain,
+        // no false alarms (its latest fix at minute 99 is recent).
+        assert!(d.check_silent(Timestamp::from_mins(105)).is_empty());
+        // Only deadlines inside the last threshold window survive
+        // (minutes 95..=99 here) — the heap is bounded by the fix rate
+        // within one threshold window, not by history length.
+        assert_eq!(d.heap_len(), 5);
+    }
+
+    #[test]
+    fn evict_idle_drops_dead_state_and_spares_the_living() {
+        let mut d = GapDetector::new(10 * MINUTE);
+        d.observe(&fix(1, 0)); // goes dark forever
+        d.observe(&fix(2, 0)); // dark, then resumes
+        let silent = d.check_silent(Timestamp::from_mins(15));
+        assert_eq!(silent.len(), 2);
+        d.observe(&fix(2, 16)); // vessel 2 is back
+                                // TTL cut at minute 10: vessel 1 (last fix 0) is evicted;
+                                // vessel 2's idle entry is stale and skipped.
+        let gone = d.evict_idle(Timestamp::from_mins(10));
+        assert_eq!(gone, vec![1]);
+        assert_eq!(d.known_vessels(), 1);
+        assert_eq!(d.silent_now(), 0, "evicted vessel leaves no silent flag");
+        // If vessel 1 ever returns it is treated as brand new — no gap
+        // edges from beyond the TTL.
+        assert!(d.observe(&fix(1, 600)).is_empty());
+        assert_eq!(d.known_vessels(), 2);
+    }
+
+    #[test]
+    fn eviction_before_threshold_is_a_no_op() {
+        let mut d = GapDetector::new(10 * MINUTE);
+        d.observe(&fix(1, 0));
+        // Not yet swept silent: the idle heap is empty, so even an
+        // aggressive cut evicts nothing.
+        assert!(d.evict_idle(Timestamp::from_mins(60)).is_empty());
+        assert_eq!(d.known_vessels(), 1);
     }
 }

@@ -14,16 +14,21 @@
 //!   protected areas.
 //! - [`loiter`] — loitering and drifting detection over sliding
 //!   windows.
-//! - [`proximity`] — pairwise analytics on a live spatial snapshot:
-//!   rendezvous (sustained close approach at sea) and collision risk
-//!   (CPA/TCPA).
+//! - [`proximity`] — pairwise analytics on a versioned live spatial
+//!   snapshot: rendezvous (sustained close approach at sea) and
+//!   collision risk (CPA/TCPA), evaluated by watermark sweeps.
 //! - [`pattern`] — sequence patterns with time bounds and negation over
 //!   per-key event streams (the "formalization of events" challenge).
-//! - [`engine`] — the [`engine::EventEngine`] wiring every detector
-//!   behind one `observe(fix)` call, with per-detector counters.
+//! - [`engine`] — the sharded [`engine::EventEngine`]: per-vessel
+//!   detectors behind `observe_batch` (vessel-hash shards, shard-count
+//!   invariant emission), pairwise sweeps plus TTL eviction behind
+//!   `tick(watermark)`, with per-detector counters.
 //!
 //! All detectors consume event-time-ordered fixes (use
-//! `mda-stream::ReorderBuffer` upstream) and are deterministic.
+//! `mda-stream::ReorderBuffer` upstream; the engine additionally
+//! canonicalises every batch and stale-guards its snapshots, so a
+//! shuffle within the upstream watermark delay cannot change what is
+//! emitted) and are deterministic.
 //!
 //! ## Example
 //!
@@ -49,6 +54,7 @@ pub mod proximity;
 pub mod veracity;
 pub mod zone;
 
-pub use engine::{EngineConfig, EventEngine};
+pub use engine::{EngineConfig, EngineStateStats, EventEngine};
 pub use event::{EventKind, MaritimeEvent, Severity};
+pub use proximity::{FleetIndex, LiveIndex};
 pub use zone::NamedZone;

@@ -48,8 +48,15 @@ impl LoiterDetector {
     }
 
     /// Observe a fix; may emit a loitering event.
+    ///
+    /// Out-of-order stragglers (event time at or before the newest
+    /// buffered fix) are ignored — the sliding window is meaningful
+    /// only over monotone event time.
     pub fn observe(&mut self, fix: &Fix) -> Vec<MaritimeEvent> {
         let hist = self.history.entry(fix.id).or_default();
+        if hist.back().is_some_and(|newest| fix.t <= newest.t) {
+            return Vec::new(); // stale: never regress the window
+        }
         hist.push_back(*fix);
         // Evict outside the window.
         while let Some(front) = hist.front() {
@@ -95,6 +102,22 @@ impl LoiterDetector {
             }];
         }
         Vec::new()
+    }
+
+    /// Drop all state of an evicted vessel (TTL path).
+    pub fn evict(&mut self, id: VesselId) {
+        self.history.remove(&id);
+        self.last_alert.remove(&id);
+    }
+
+    /// Vessels with buffered history.
+    pub fn tracked_vessels(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Fixes buffered across all sliding windows (diagnostic).
+    pub fn buffered_points(&self) -> usize {
+        self.history.values().map(VecDeque::len).sum()
     }
 }
 
@@ -167,6 +190,27 @@ mod tests {
         }
         assert!(alerts >= 2, "re-armed alerts expected, got {alerts}");
         assert!(alerts <= 4, "but not continuous alarms, got {alerts}");
+    }
+
+    #[test]
+    fn stale_fix_is_ignored() {
+        let mut d = LoiterDetector::new(cfg());
+        d.observe(&Fix::new(1, Timestamp::from_mins(10), Position::new(42.6, 4.8), 2.0, 0.0));
+        d.observe(&Fix::new(1, Timestamp::from_mins(5), Position::new(43.0, 5.0), 2.0, 0.0));
+        assert_eq!(d.buffered_points(), 1, "out-of-order fix must not enter the window");
+    }
+
+    #[test]
+    fn evict_drops_window() {
+        let mut d = LoiterDetector::new(cfg());
+        for i in 0..5 {
+            d.observe(&Fix::new(1, Timestamp::from_mins(i), Position::new(42.6, 4.8), 2.0, 0.0));
+        }
+        assert_eq!(d.tracked_vessels(), 1);
+        assert_eq!(d.buffered_points(), 5);
+        d.evict(1);
+        assert_eq!(d.tracked_vessels(), 0);
+        assert_eq!(d.buffered_points(), 0);
     }
 
     #[test]

@@ -144,6 +144,26 @@ impl<K: Eq + Hash + Clone, E> PatternMatcher<K, E> {
         }
     }
 
+    /// Drop partial matches whose window can no longer complete as of
+    /// `now` (event time).
+    ///
+    /// Window expiry is otherwise handled lazily, when the key's *next*
+    /// event arrives — but keys that never produce another event would
+    /// pin their partial state forever. Long-running deployments should
+    /// call this from the same watermark tick that drives engine
+    /// eviction. Returns the number of partials dropped.
+    pub fn prune_expired(&mut self, now: Timestamp) -> usize {
+        let before = self.partial.len();
+        let within = self.pattern.within;
+        self.partial.retain(|_, (_, started, _)| now.since(*started) <= within);
+        before - self.partial.len()
+    }
+
+    /// Drop the partial match of an evicted key (TTL path).
+    pub fn evict(&mut self, key: &K) {
+        self.partial.remove(key);
+    }
+
     /// Number of keys with a partial match in flight.
     pub fn partial_count(&self) -> usize {
         self.partial.len()
@@ -217,6 +237,24 @@ mod tests {
         m.observe(1, Timestamp::from_mins(210), &Ev::GapStart);
         m.observe(1, Timestamp::from_mins(220), &Ev::GapEnd);
         assert!(m.observe(1, Timestamp::from_mins(230), &Ev::ZoneEntry("RESERVE")).is_some());
+    }
+
+    #[test]
+    fn prune_expired_drops_dead_partials() {
+        let mut m = PatternMatcher::new(dark_approach());
+        m.observe(1u32, Timestamp::from_mins(0), &Ev::GapStart);
+        m.observe(2, Timestamp::from_mins(100), &Ev::GapStart);
+        assert_eq!(m.partial_count(), 2);
+        // Key 1's 120-minute window is over; key 2's is still open.
+        assert_eq!(m.prune_expired(Timestamp::from_mins(130)), 1);
+        assert_eq!(m.partial_count(), 1);
+        // Key 2 can still complete.
+        m.observe(2, Timestamp::from_mins(140), &Ev::GapEnd);
+        assert!(m.observe(2, Timestamp::from_mins(150), &Ev::ZoneEntry("RESERVE")).is_some());
+        // Evicting a key drops its partial outright.
+        m.observe(3, Timestamp::from_mins(150), &Ev::GapStart);
+        m.evict(&3);
+        assert_eq!(m.partial_count(), 0);
     }
 
     #[test]

@@ -68,12 +68,21 @@ impl VeracityDetector {
     }
 
     /// Observe a fix (keyed by *claimed* identity).
+    ///
+    /// Out-of-order stragglers (event time before the stored reference
+    /// fix) are ignored entirely: comparing a late fix against a newer
+    /// one measures the disorder of the transport, not vessel motion,
+    /// and replacing the reference with it would poison the *next*
+    /// comparison too.
     pub fn observe(&mut self, fix: &Fix) -> Vec<MaritimeEvent> {
         let mut out = Vec::new();
         if let Some(prev) = self.last.get(&fix.id) {
             let dt = fix.t - prev.t;
+            if dt < 0 {
+                return out; // stale: never regress the reference fix
+            }
             let jump = haversine_m(prev.pos, fix.pos);
-            if dt >= 0 && jump > self.config.min_jump_m {
+            if jump > self.config.min_jump_m {
                 let speed = implied_speed_kn(prev, fix);
                 // Ratio rule: the reported kinematics cannot explain the
                 // displacement (both endpoints claim modest speed).
@@ -117,9 +126,20 @@ impl VeracityDetector {
         out
     }
 
+    /// Drop all state of an evicted identity (TTL path).
+    pub fn evict(&mut self, id: VesselId) {
+        self.last.remove(&id);
+        self.jumps.remove(&id);
+    }
+
     /// Number of identities tracked.
     pub fn known_identities(&self) -> usize {
         self.last.len()
+    }
+
+    /// Teleport-window entries currently buffered (diagnostic).
+    pub fn jump_entries(&self) -> usize {
+        self.jumps.values().map(VecDeque::len).sum()
     }
 }
 
@@ -196,6 +216,33 @@ mod tests {
         }
         assert_eq!(events.len(), 1);
         assert!(matches!(events[0].kind, EventKind::KinematicSpoofing { .. }));
+    }
+
+    #[test]
+    fn stale_fix_neither_alerts_nor_regresses_reference() {
+        let mut d = VeracityDetector::new(VeracityConfig::default());
+        d.observe(&fix_at(1, 0, 43.0, 5.0));
+        d.observe(&fix_at(1, 600, 43.05, 5.0));
+        // A late straggler far from the newest fix: not a teleport,
+        // just disorder. It must not alert, and must not become the
+        // reference (which would make the *next* honest fix look like
+        // a teleport back).
+        assert!(d.observe(&fix_at(1, 300, 43.0, 5.0)).is_empty());
+        let honest = d.observe(&fix_at(1, 660, 43.055, 5.0));
+        assert!(honest.is_empty(), "reference regressed: {honest:?}");
+        assert_eq!(d.known_identities(), 1);
+    }
+
+    #[test]
+    fn evict_drops_identity_state() {
+        let mut d = VeracityDetector::new(VeracityConfig::default());
+        d.observe(&fix_at(1, 0, 43.0, 5.0));
+        d.observe(&fix_at(1, 10, 43.0, 5.74)); // one teleport buffered
+        assert_eq!(d.known_identities(), 1);
+        assert_eq!(d.jump_entries(), 1);
+        d.evict(1);
+        assert_eq!(d.known_identities(), 0);
+        assert_eq!(d.jump_entries(), 0);
     }
 
     #[test]

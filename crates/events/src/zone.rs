@@ -3,7 +3,7 @@
 use crate::event::{EventKind, MaritimeEvent};
 use mda_geo::{Fix, Polygon, Timestamp, VesselId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A zone the detector watches.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -93,6 +93,27 @@ impl ZoneDetector {
         out
     }
 
+    /// Drop all state of the evicted vessels (TTL path) in one pass
+    /// over the open visits, however many vessels age out at once.
+    ///
+    /// No `ZoneExit` is synthesised: a vessel that went dark inside a
+    /// zone was last *seen* inside, and inventing an exit with an
+    /// unknowable dwell would be a fabricated observation. If it
+    /// resurfaces inside the zone later, a fresh `ZoneEntry` opens a
+    /// new visit.
+    pub fn evict(&mut self, gone: &HashSet<VesselId>) {
+        if gone.is_empty() {
+            return;
+        }
+        self.inside.retain(|(v, _), _| !gone.contains(v));
+        self.fishing_reported.retain(|(v, _), _| !gone.contains(v));
+    }
+
+    /// Open (vessel, zone) visits currently tracked (diagnostic).
+    pub fn open_visits(&self) -> usize {
+        self.inside.len()
+    }
+
     /// Vessels currently inside the given zone.
     pub fn occupancy(&self, zone_name: &str) -> usize {
         let Some(zi) = self.zones.iter().position(|z| z.name == zone_name) else {
@@ -172,6 +193,20 @@ mod tests {
         let mut d = ZoneDetector::new(vec![square_zone("ANCHORAGE", false)]);
         d.observe(&fix(1, 0, 43.1, 5.1, 3.0));
         assert!(d.observe(&fix(1, 5, 43.11, 5.1, 3.0)).is_empty());
+    }
+
+    #[test]
+    fn evict_closes_visits_silently_and_rearms_entry() {
+        let mut d = ZoneDetector::new(vec![square_zone("RESERVE", true)]);
+        d.observe(&fix(1, 0, 43.1, 5.1, 10.0));
+        assert_eq!(d.occupancy("RESERVE"), 1);
+        d.evict(&HashSet::from([1]));
+        assert_eq!(d.occupancy("RESERVE"), 0);
+        assert_eq!(d.open_visits(), 0);
+        // The vessel resurfaces inside: a fresh visit (entry + a new
+        // fishing budget) rather than a resumed one.
+        let back = d.observe(&fix(1, 300, 43.1, 5.1, 3.0));
+        assert!(back.iter().any(|e| matches!(e.kind, EventKind::ZoneEntry { .. })));
     }
 
     #[test]

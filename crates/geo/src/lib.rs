@@ -48,7 +48,7 @@ pub mod time;
 pub mod units;
 
 pub use bbox::BoundingBox;
-pub use motion::{Fix, VesselId};
+pub use motion::{vessel_shard, Fix, VesselId};
 pub use polygon::Polygon;
 pub use pos::Position;
 pub use time::{DurationMs, Timestamp};

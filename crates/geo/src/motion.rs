@@ -15,6 +15,25 @@ use serde::{Deserialize, Serialize};
 /// anonymous sensors (radar) it is a locally assigned track id.
 pub type VesselId = u32;
 
+/// The canonical shard a vessel's keyed state lives in, for `shards`
+/// shards.
+///
+/// This is THE routing function of the workspace: the sharded
+/// trajectory store, the sharded event engine and shard-affine ingest
+/// workers all derive their placement from it, so "shard *i* of the
+/// store" and "shard *i* of the event engine" hold the same vessels
+/// whenever their shard counts match. The hash is a splitmix64 finalizer
+/// — sequential MMSIs scatter uniformly.
+#[inline]
+pub fn vessel_shard(id: VesselId, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard count must be positive");
+    let mut z = u64::from(id).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
+}
+
 /// A timestamped kinematic observation of one moving object.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Fix {
@@ -219,5 +238,23 @@ mod tests {
         let b = fix(2, 0, 0.0, 0.1, 10.0, 90.0);
         let r = cpa(&a, &b);
         assert_eq!(r.tcpa_s, 0.0);
+    }
+
+    #[test]
+    fn vessel_shard_is_uniform_and_stable() {
+        // Sequential MMSIs must scatter, not clump, and routing must be
+        // a pure function of (id, shards).
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for id in 227_000_000u32..227_000_800 {
+            let s = vessel_shard(id, shards);
+            assert!(s < shards);
+            assert_eq!(s, vessel_shard(id, shards), "routing must be stable");
+            counts[s] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*min * 2 > *max, "sequential ids clump: {counts:?}");
+        // One shard degenerates to the identity routing.
+        assert_eq!(vessel_shard(42, 1), 0);
     }
 }

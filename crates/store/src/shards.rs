@@ -363,13 +363,6 @@ impl Default for ShardedTrajectoryStore {
 
 /// Finalizer step of splitmix64: cheap, well-mixed vessel-id hash so
 /// consecutive MMSIs spread across shards.
-fn mix(id: VesselId) -> u64 {
-    let mut z = u64::from(id).wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 impl ShardedTrajectoryStore {
     /// New store with the default configuration (8 shards, no indexes).
     pub fn new() -> Self {
@@ -396,9 +389,12 @@ impl ShardedTrajectoryStore {
     }
 
     /// The shard index a vessel's data lives in. Stable for the lifetime
-    /// of the store; use it to route ingest work shard-affine.
+    /// of the store; use it to route ingest work shard-affine. Routing
+    /// is the workspace-wide [`mda_geo::vessel_shard`] hash, so an
+    /// event-engine shard and a store shard with equal shard counts
+    /// own the same vessels.
     pub fn shard_of(&self, id: VesselId) -> usize {
-        (mix(id) % self.shards.len() as u64) as usize
+        mda_geo::vessel_shard(id, self.shards.len())
     }
 
     /// Append a fix (routes to the owning shard).

@@ -64,17 +64,44 @@ where
     })
 }
 
+/// Group `items` into per-shard batches, preserving input order within
+/// each shard.
+///
+/// This is the dispatch half of shard-affine execution, shared by the
+/// ingest runner below and by the sharded event engine's
+/// `observe_batch` (which feeds each detector shard's run under one
+/// borrow). The returned vector always has exactly `shards` entries;
+/// shards that received nothing are empty.
+///
+/// `shard_of` must return values in `0..shards`.
+pub fn partition_by_shard<T>(
+    items: Vec<T>,
+    shards: usize,
+    shard_of: impl Fn(&T) -> usize,
+) -> Vec<Vec<T>> {
+    assert!(shards > 0);
+    let cap = items.len() / shards + 1;
+    let mut per_shard: Vec<Vec<T>> = (0..shards).map(|_| Vec::with_capacity(cap)).collect();
+    for item in items {
+        let s = shard_of(&item);
+        assert!(s < shards, "shard_of returned {s} for {shards} shards");
+        per_shard[s].push(item);
+    }
+    per_shard
+}
+
 /// Route `items` to workers by an *explicit* shard index rather than a
 /// key hash, so routing can line up with a sharded state store: worker
 /// `w` exclusively owns shards `{s : s % workers == w}`, and therefore
 /// two workers never touch the same store shard — shard-affine ingest
 /// never contends on shard locks.
 ///
-/// Items are pre-grouped per shard (input order preserved within a
-/// shard) and each worker's closure is invoked once per non-empty owned
-/// shard with that shard's whole batch, lowest shard index first —
-/// the natural shape for batch-ingest APIs. Outputs are concatenated in
-/// worker order, then the worker's shard-visit order.
+/// Items are pre-grouped per shard ([`partition_by_shard`]; input order
+/// preserved within a shard) and each worker's closure is invoked once
+/// per non-empty owned shard with that shard's whole batch, lowest
+/// shard index first — the natural shape for batch-ingest APIs.
+/// Outputs are concatenated in worker order, then the worker's
+/// shard-visit order.
 ///
 /// `shard_of` must return values in `0..shards`.
 pub fn run_shard_affine<T, O, F>(
@@ -89,30 +116,48 @@ where
     O: Send,
     F: FnMut(Vec<T>) -> Vec<O> + Send,
 {
-    assert!(workers > 0 && shards > 0);
-    let cap = items.len() / shards + 1;
-    let mut per_shard: Vec<Vec<T>> = (0..shards).map(|_| Vec::with_capacity(cap)).collect();
-    for item in items {
-        let s = shard_of(&item);
-        assert!(s < shards, "shard_of returned {s} for {shards} shards");
-        per_shard[s].push(item);
-    }
+    let make_indexed = |_w: usize| {
+        let mut work = make_worker();
+        move |_s: usize, batch: Vec<T>| work(batch)
+    };
+    run_shard_affine_indexed(items, workers, shards, shard_of, make_indexed)
+}
+
+/// [`run_shard_affine`], but the worker closure also receives the shard
+/// index of each batch (and `make_worker` the worker index), so workers
+/// that own *stateful shard slots* — a sharded event engine, per-shard
+/// metrics — can address the right slot without re-deriving the hash.
+pub fn run_shard_affine_indexed<T, O, F>(
+    items: Vec<T>,
+    workers: usize,
+    shards: usize,
+    shard_of: impl Fn(&T) -> usize,
+    make_worker: impl Fn(usize) -> F,
+) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: FnMut(usize, Vec<T>) -> Vec<O> + Send,
+{
+    assert!(workers > 0);
+    let per_shard = partition_by_shard(items, shards, shard_of);
     // Hand each worker its owned shards' batches (shard index ascending).
-    let mut per_worker: Vec<Vec<Vec<T>>> = (0..workers).map(|_| Vec::new()).collect();
+    let mut per_worker: Vec<Vec<(usize, Vec<T>)>> = (0..workers).map(|_| Vec::new()).collect();
     for (s, batch) in per_shard.into_iter().enumerate() {
         if !batch.is_empty() {
-            per_worker[s % workers].push(batch);
+            per_worker[s % workers].push((s, batch));
         }
     }
     thread::scope(|scope| {
         let handles: Vec<_> = per_worker
             .into_iter()
-            .map(|batches| {
-                let mut work = make_worker();
+            .enumerate()
+            .map(|(w, batches)| {
+                let mut work = make_worker(w);
                 scope.spawn(move || {
                     let mut out = Vec::new();
-                    for batch in batches {
-                        out.extend(work(batch));
+                    for (s, batch) in batches {
+                        out.extend(work(s, batch));
                     }
                     out
                 })
@@ -271,6 +316,36 @@ mod tests {
                 assert_eq!(s % 4, shards[0] % 4, "worker crossed its shard class");
             }
         }
+    }
+
+    #[test]
+    fn partition_by_shard_groups_in_order() {
+        let items: Vec<u32> = (0..40).collect();
+        let parts = partition_by_shard(items, 4, |v| (*v as usize) % 4);
+        assert_eq!(parts.len(), 4);
+        for (s, batch) in parts.iter().enumerate() {
+            assert_eq!(batch.len(), 10);
+            assert!(batch.windows(2).all(|w| w[0] < w[1]), "shard {s} lost input order");
+            assert!(batch.iter().all(|v| (*v as usize) % 4 == s));
+        }
+        // Empty shards are still present.
+        let sparse = partition_by_shard(vec![0u32], 3, |_| 2);
+        assert_eq!(sparse.iter().map(Vec::len).collect::<Vec<_>>(), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn shard_affine_indexed_reports_true_shard() {
+        let items: Vec<usize> = (0..60).map(|i| i % 6).collect();
+        let out: Vec<(usize, usize)> = run_shard_affine_indexed(
+            items,
+            3,
+            6,
+            |s| *s,
+            |_w| |shard: usize, batch: Vec<usize>| vec![(shard, batch.len())],
+        );
+        let mut seen: Vec<(usize, usize)> = out;
+        seen.sort_unstable();
+        assert_eq!(seen, (0..6).map(|s| (s, 10)).collect::<Vec<_>>());
     }
 
     #[test]

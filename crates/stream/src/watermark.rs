@@ -128,6 +128,105 @@ impl SealSchedule {
     }
 }
 
+/// The canonical event-time tick discipline for watermark-driven live
+/// checks (sweeps, evictions).
+///
+/// Boundaries are aligned to a fixed interval, anchored one boundary
+/// before the stream's first observation, and a boundary `T` fires
+/// after exactly the observations with `t <= T`:
+///
+/// - while walking released observations in event-time order, drain
+///   [`TickSchedule::before_observation`] before processing each one —
+///   boundaries strictly before its timestamp fire first;
+/// - once a release is exhausted, drain [`TickSchedule::at_watermark`]
+///   — boundaries at or before the aligned watermark are complete
+///   (nothing at or before them can still be accepted) and fire now.
+///
+/// Both the pipeline and the event-engine benches drive ticks through
+/// this one type, so the tick placement — and therefore everything
+/// derived from it (dark-vessel sweeps, pairwise sampling, TTL
+/// eviction) — is a single pure function of the event-time stream:
+/// arrival jitter within the watermark delay cannot move a tick
+/// relative to the data it sees.
+///
+/// ```
+/// use mda_geo::time::MINUTE;
+/// use mda_geo::Timestamp;
+/// use mda_stream::watermark::TickSchedule;
+///
+/// let mut ticks = TickSchedule::new(MINUTE);
+/// // First observation at t=90s anchors the grid; the boundary at
+/// // t=60s (covering the — empty — prefix before it) fires first.
+/// assert_eq!(ticks.before_observation(Timestamp::from_secs(90)), Some(Timestamp::from_secs(60)));
+/// assert_eq!(ticks.before_observation(Timestamp::from_secs(90)), None);
+/// // A fix at t=150s first flushes the boundary at t=120s.
+/// assert_eq!(
+///     ticks.before_observation(Timestamp::from_secs(150)),
+///     Some(Timestamp::from_secs(120)),
+/// );
+/// assert_eq!(ticks.before_observation(Timestamp::from_secs(150)), None);
+/// // The watermark completes boundaries no more data can precede.
+/// assert_eq!(ticks.at_watermark(Timestamp::from_secs(185)), Some(Timestamp::from_secs(180)));
+/// assert_eq!(ticks.at_watermark(Timestamp::from_secs(185)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TickSchedule {
+    every: DurationMs,
+    last: Timestamp,
+}
+
+impl TickSchedule {
+    /// A schedule firing every `every` of event time.
+    pub fn new(every: DurationMs) -> Self {
+        assert!(every > 0, "tick interval must be positive");
+        Self { every, last: Timestamp::MIN }
+    }
+
+    /// Next boundary due strictly before observation time `t` (an
+    /// observation at exactly a boundary belongs *before* that
+    /// boundary's tick). Anchors the grid on the first observation.
+    /// Call in a loop until `None` before processing the observation.
+    pub fn before_observation(&mut self, t: Timestamp) -> Option<Timestamp> {
+        if self.last == Timestamp::MIN {
+            self.last = t.window_start(self.every) - self.every;
+        }
+        let next = self.last + self.every;
+        if next < t {
+            self.last = next;
+            Some(next)
+        } else {
+            None
+        }
+    }
+
+    /// Next boundary due at watermark `wm`: at most `wm` aligned down.
+    /// Returns `None` until the grid is anchored by an observation.
+    /// Call in a loop until `None` after a release is exhausted.
+    pub fn at_watermark(&mut self, wm: Timestamp) -> Option<Timestamp> {
+        if self.last == Timestamp::MIN || wm == Timestamp::MIN {
+            return None;
+        }
+        let next = self.last + self.every;
+        if next <= wm.window_start(self.every) {
+            self.last = next;
+            Some(next)
+        } else {
+            None
+        }
+    }
+
+    /// True once the first observation anchored the grid.
+    pub fn anchored(&self) -> bool {
+        self.last != Timestamp::MIN
+    }
+
+    /// The newest boundary handed out (the grid anchor before any
+    /// fires).
+    pub fn last_boundary(&self) -> Timestamp {
+        self.last
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +252,39 @@ mod tests {
             }
         }
         assert_eq!(s.last(), Some(last));
+    }
+
+    #[test]
+    fn tick_schedule_fires_each_boundary_once_in_order() {
+        let mut s = TickSchedule::new(MINUTE);
+        assert!(!s.anchored());
+        assert_eq!(s.at_watermark(Timestamp::from_mins(10)), None, "unanchored: no ticks");
+        // Observations at minutes 0.5, 3.2: boundary 0 covers the
+        // empty prefix; 1, 2, 3 fire before the second observation.
+        assert_eq!(s.before_observation(Timestamp(30_000)), Some(Timestamp::from_mins(0)));
+        assert_eq!(s.before_observation(Timestamp(30_000)), None);
+        assert!(s.anchored());
+        let mut fired = Vec::new();
+        while let Some(b) = s.before_observation(Timestamp(192_000)) {
+            fired.push(b.millis() / MINUTE);
+        }
+        assert_eq!(fired, vec![1, 2, 3]);
+        // Watermark at 4.5 min completes boundary 4 only.
+        assert_eq!(s.at_watermark(Timestamp(270_000)), Some(Timestamp::from_mins(4)));
+        assert_eq!(s.at_watermark(Timestamp(270_000)), None);
+        assert_eq!(s.last_boundary(), Timestamp::from_mins(4));
+    }
+
+    #[test]
+    fn tick_schedule_boundary_observation_goes_first() {
+        // An observation exactly on a boundary is covered by that
+        // boundary's tick: the tick waits for the observation and then
+        // fires via the watermark path.
+        let mut s = TickSchedule::new(MINUTE);
+        assert_eq!(s.before_observation(Timestamp::from_mins(1)), None, "aligned first fix");
+        assert_eq!(s.before_observation(Timestamp::from_mins(2)), Some(Timestamp::from_mins(1)));
+        assert_eq!(s.before_observation(Timestamp::from_mins(2)), None, "boundary 2 waits");
+        assert_eq!(s.at_watermark(Timestamp::from_mins(2)), Some(Timestamp::from_mins(2)));
     }
 
     #[test]

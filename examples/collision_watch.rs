@@ -36,19 +36,23 @@ fn main() {
     );
 
     // --- streaming screening -------------------------------------------
+    // Pairwise analytics are watermark-swept: feed each minute's fixes
+    // as a batch, then tick the engine at that minute boundary.
     let mut engine = EventEngine::new(EngineConfig::default());
     let mut alerts = Vec::new();
     for minute in 0..30 {
         let t = Timestamp::from_mins(minute);
-        for base in [&ferry0, &tanker0] {
-            let fix = Fix { t, pos: base.dead_reckon(t), ..*base };
-            alerts.extend(
-                engine
-                    .observe(&fix)
-                    .into_iter()
-                    .filter(|e| matches!(e.kind, EventKind::CollisionRisk { .. })),
-            );
-        }
+        let batch: Vec<Fix> = [&ferry0, &tanker0]
+            .into_iter()
+            .map(|base| Fix { t, pos: base.dead_reckon(t), ..*base })
+            .collect();
+        engine.observe_batch(&batch);
+        alerts.extend(
+            engine
+                .tick(t)
+                .into_iter()
+                .filter(|e| matches!(e.kind, EventKind::CollisionRisk { .. })),
+        );
     }
     println!("\nstreaming screening raised {} collision alert(s):", alerts.len());
     for a in &alerts {

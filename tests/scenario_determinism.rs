@@ -1,10 +1,12 @@
 //! End-to-end determinism: the simulator → streaming pipeline → event
 //! engine chain must be a pure function of the scenario seed.
 //!
-//! This locks the concurrency refactor (sharded store, shard-affine
-//! ingest) down against nondeterminism: two identical runs must produce
-//! identical event sets, identical archives, and parallel backfill must
-//! be agnostic to the worker count.
+//! This locks the concurrency refactors (sharded store, shard-affine
+//! ingest, sharded event engine) down against nondeterminism: two
+//! identical runs must produce identical event sets, identical
+//! archives, parallel backfill must be agnostic to the worker count,
+//! and the event layer must emit identically for any detector shard
+//! count.
 
 use maritime::core::{MaritimePipeline, PipelineConfig};
 use maritime::events::event::MaritimeEvent;
@@ -60,6 +62,48 @@ fn scenario_generation_is_seed_pure() {
         .iter()
         .zip(&b.ais)
         .all(|(x, y)| x.t_sent == y.t_sent && x.t_received == y.t_received));
+}
+
+#[test]
+fn event_layer_is_shard_count_invariant() {
+    // The sharded engine merges per-shard emission with a stable
+    // (t, vessel, kind) sort, so the *exact* event sequence — not just
+    // the multiset — must be independent of the detector shard count.
+    let sim = Scenario::generate(ScenarioConfig::regional(23, 20, 2 * HOUR));
+    let run = |shards: usize| {
+        let mut config = PipelineConfig::regional(sim.world.bounds);
+        config.events.zones = maritime::zones_of_world(&sim.world);
+        config.events.shards = shards;
+        let mut pipeline = MaritimePipeline::new(config).with_weather(sim.weather.clone());
+        pipeline.run_scenario(&sim)
+    };
+    let reference = run(1);
+    assert!(!reference.is_empty(), "scenario must produce events");
+    for shards in [2usize, 4, 8] {
+        assert_eq!(run(shards), reference, "{shards} detector shards diverged");
+    }
+}
+
+#[test]
+fn detector_ttl_evicts_dead_vessel_state() {
+    // A dark-heavy scenario with an aggressive TTL: vessels that stay
+    // silent past the TTL must be dropped from live detector state
+    // (and counted), while the archive keeps their history.
+    let sim = Scenario::generate(ScenarioConfig::regional(29, 20, 3 * HOUR));
+    let mut config = PipelineConfig::regional(sim.world.bounds);
+    config.events.zones = maritime::zones_of_world(&sim.world);
+    config.retention.detector_ttl = 20 * maritime::geo::time::MINUTE;
+    let mut pipeline = MaritimePipeline::new(config).with_weather(sim.weather.clone());
+    pipeline.run_scenario(&sim);
+    let report = pipeline.report();
+    assert!(report.evicted_vessels > 0, "27% dark ships over 3 h must trip a 20-min TTL");
+    let stats = pipeline.engine().state_stats();
+    assert!(
+        stats.live_vessels as u64 + report.evicted_vessels >= 20,
+        "every vessel is either live or was evicted at least once"
+    );
+    // Eviction is about *live* state only: archived trajectories stay.
+    assert!(!pipeline.store().is_empty());
 }
 
 #[test]
