@@ -1,0 +1,27 @@
+//! Criterion bench: mixed query serving under live ingest (C13).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mda_bench::c13_query::{drive, scenario};
+use mda_geo::time::HOUR;
+
+fn bench(c: &mut Criterion) {
+    // A CI-sized slice of the standard workload: 40 vessels, 1 h.
+    let sim = scenario(31, 40, HOUR);
+    let observations = (sim.ais.len() + sim.radar.len() + sim.vms.len()) as u64;
+    let mut group = c.benchmark_group("c13_query");
+    group.throughput(Throughput::Elements(observations));
+    group.sample_size(10);
+    for readers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("mixed", readers), &readers, |b, &r| {
+            b.iter(|| std::hint::black_box(drive(&sim, r)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -27,6 +27,7 @@ fn main() {
         ("c10", mda_bench::c10_ingest::run),
         ("c11", mda_bench::c11_tiered::run),
         ("c12", mda_bench::c12_events::run),
+        ("c13", mda_bench::c13_query::run),
     ];
     let selected: Vec<&Experiment> = if args.is_empty() {
         all.iter().collect()
@@ -34,7 +35,7 @@ fn main() {
         all.iter().filter(|(name, _)| args.iter().any(|a| a == name)).collect()
     };
     if selected.is_empty() {
-        eprintln!("unknown experiment; available: fig1 fig2 c1..c12");
+        eprintln!("unknown experiment; available: fig1 fig2 c1..c13");
         std::process::exit(2);
     }
     let start = Instant::now();

@@ -48,7 +48,8 @@ pub fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
 }
 
 /// Drive event-time-ordered fixes through an engine with the
-/// pipeline's [`TickSchedule`] discipline: fixes accumulate into
+/// pipeline's [`TickSchedule`](mda_stream::watermark::TickSchedule)
+/// discipline: fixes accumulate into
 /// per-aligned-minute batches for `observe_batch`, and each boundary's
 /// tick fires after exactly the fixes it covers. Returns the events
 /// emitted. Trailing sweeps (e.g. ageing out the final generation of

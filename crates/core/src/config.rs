@@ -63,6 +63,42 @@ impl Default for RetentionPolicy {
     }
 }
 
+/// Configuration of the serving layer
+/// ([`QueryService`](crate::query::QueryService)).
+///
+/// The pipeline publishes a consistent, watermark-stamped
+/// [`SystemSnapshot`](crate::query::SystemSnapshot) at every event-time
+/// tick boundary; these knobs bound what a snapshot carries and how
+/// often the (comparatively expensive) predictor state refreshes.
+///
+/// ```
+/// use mda_core::config::QueryConfig;
+///
+/// let q = QueryConfig::default();
+/// assert!(q.event_capacity > 0);
+/// assert!(q.predictor_refresh_ticks > 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct QueryConfig {
+    /// Events retained for [`poll_since`](crate::query::QueryService::poll_since)
+    /// consumers. A consumer lagging further than this is told how many
+    /// events it missed rather than silently skipping them.
+    pub event_capacity: usize,
+    /// Refresh the published route-network predictor every this many
+    /// ticks (1 = every tick). The network copy is the one snapshot
+    /// component whose cost grows with the learned region rather than
+    /// the live fleet, so it amortises over a few ticks by default;
+    /// predictive answers may be based on flow statistics up to
+    /// `predictor_refresh_ticks × tick_interval` of event time old.
+    pub predictor_refresh_ticks: u32,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        Self { event_capacity: 65_536, predictor_refresh_ticks: 4 }
+    }
+}
+
 /// Configuration of the integrated pipeline.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
@@ -92,6 +128,10 @@ pub struct PipelineConfig {
     /// advances, fixes older than the hot horizon are sealed into
     /// compressed cold segments.
     pub retention: RetentionPolicy,
+    /// Serving-layer knobs: event-log retention and predictor refresh
+    /// cadence for the snapshots published to
+    /// [`QueryService`](crate::query::QueryService) readers.
+    pub query: QueryConfig,
 }
 
 impl PipelineConfig {
@@ -113,6 +153,7 @@ impl PipelineConfig {
             raster_shape: (64, 64),
             store_shards,
             retention: RetentionPolicy::default(),
+            query: QueryConfig::default(),
         }
     }
 }

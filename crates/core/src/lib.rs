@@ -19,6 +19,10 @@
 //! - [`config`] — one configuration struct for the whole pipeline.
 //! - [`pipeline`] — [`pipeline::MaritimePipeline`]: push observations
 //!   in arrival order, get events and an updated picture out.
+//! - [`query`] — the serving layer: [`query::QueryService`], a
+//!   cloneable read front-end answering point/window/kNN/predictive
+//!   queries and event subscriptions from consistent watermark-stamped
+//!   snapshots while ingest runs.
 //! - [`decision`] — decision support (paper §4): severity filtering,
 //!   explanation strings, interval-valued confidence, and the
 //!   [`decision::OperatorPicture`].
@@ -27,9 +31,11 @@
 pub mod config;
 pub mod decision;
 pub mod pipeline;
+pub mod query;
 pub mod report;
 
-pub use config::{PipelineConfig, RetentionPolicy};
+pub use config::{PipelineConfig, QueryConfig, RetentionPolicy};
 pub use decision::{Alert, DecisionSupport, OperatorPicture};
 pub use pipeline::MaritimePipeline;
+pub use query::{FleetSummary, PredictedPosition, QueryService, Stamped, SystemSnapshot};
 pub use report::PipelineReport;

@@ -2,6 +2,7 @@
 //! ordered analytics out.
 
 use crate::config::PipelineConfig;
+use crate::query::{QueryService, QueryShared, SystemSnapshot};
 use crate::report::{PipelineReport, StageTimer};
 use mda_ais::messages::AisMessage;
 use mda_ais::quality;
@@ -27,6 +28,7 @@ use mda_track::fusion::Fuser;
 use mda_track::sensor::{SensorKind, SensorReport};
 use mda_viz::raster::DensityRaster;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// An observation entering the reorder stage.
 #[derive(Debug, Clone)]
@@ -57,6 +59,23 @@ pub struct MaritimePipeline {
     report: PipelineReport,
     ticks: TickSchedule,
     seals: SealSchedule,
+    /// Serving-layer state shared with every [`QueryService`] handle.
+    query: Arc<QueryShared>,
+    /// Cache of the last published store snapshot: `snapshot(Some(prev))`
+    /// re-clones only shards whose version moved since.
+    store_snapshot: mda_store::StoreSnapshot,
+    /// The route-network predictor currently published to readers.
+    published_route: Arc<RouteNetPredictor>,
+    /// Ticks since the published predictor was last rebuilt.
+    ticks_since_refresh: u32,
+    /// Stamp of the last published snapshot: each watermark is
+    /// published at most once, so equal stamps always mean the same
+    /// state (the `Stamped` contract).
+    last_published: Timestamp,
+    /// True while `finish` drains the stream: every publication
+    /// refreshes the predictor, so each final stamp carries the route
+    /// state exactly as of that stamp.
+    draining: bool,
 }
 
 impl MaritimePipeline {
@@ -81,31 +100,47 @@ impl MaritimePipeline {
         };
         let events_config =
             mda_events::engine::EngineConfig { vessel_ttl, ..config.events.clone() };
+        // The archive is lock-striped by vessel hash; its per-shard
+        // grid index is maintained at ingest time so window queries
+        // never rebuild anything. Fixes older than the retention
+        // hot horizon are sealed into compressed cold segments as
+        // the watermark advances.
+        let store = SharedTrajectoryStore::with_config(StoreConfig {
+            shards: config.store_shards,
+            st_index: Some(StIndexConfig {
+                bounds: config.bounds,
+                cell_deg: 0.1,
+                slice: 30 * mda_geo::time::MINUTE,
+            }),
+            knn: None,
+            seal: SegmentConfig {
+                tolerance_m: config.retention.cold_tolerance_m,
+                max_silence: config.synopsis.max_silence,
+                ..SegmentConfig::default()
+            },
+        });
+        let route_net = RouteNetwork::new(config.bounds, config.model_cell_deg);
+        // The serving layer starts on an empty snapshot at the MIN
+        // watermark; the first tick publishes real state.
+        let published_route = Arc::new(RouteNetPredictor::new(route_net.clone()));
+        let store_snapshot = store.snapshot(None);
+        let query = Arc::new(QueryShared::new(
+            config.query.event_capacity,
+            SystemSnapshot::new(
+                Timestamp::MIN,
+                store_snapshot.clone(),
+                Arc::clone(&published_route),
+                0,
+                0,
+            ),
+        ));
         Self {
             watermark: BoundedOutOfOrderness::new(config.watermark_delay),
             reorder: ReorderBuffer::new(),
             fuser: Fuser::new(config.fusion),
             engine: EventEngine::new(events_config),
             compressors: HashMap::new(),
-            // The archive is lock-striped by vessel hash; its per-shard
-            // grid index is maintained at ingest time so window queries
-            // never rebuild anything. Fixes older than the retention
-            // hot horizon are sealed into compressed cold segments as
-            // the watermark advances.
-            store: SharedTrajectoryStore::with_config(StoreConfig {
-                shards: config.store_shards,
-                st_index: Some(StIndexConfig {
-                    bounds: config.bounds,
-                    cell_deg: 0.1,
-                    slice: 30 * mda_geo::time::MINUTE,
-                }),
-                knn: None,
-                seal: SegmentConfig {
-                    tolerance_m: config.retention.cold_tolerance_m,
-                    max_silence: config.synopsis.max_silence,
-                    ..SegmentConfig::default()
-                },
-            }),
+            store,
             // The kNN horizon covers the watermark lag plus a coasting
             // margin, so snapshot queries anywhere in the freshness band
             // still see the fleet.
@@ -115,12 +150,18 @@ impl MaritimePipeline {
             enricher,
             vessel_terms: HashMap::new(),
             weather: None,
-            route_net: RouteNetwork::new(config.bounds, config.model_cell_deg),
+            route_net,
             normalcy: NormalcyModel::new(config.bounds, config.model_cell_deg),
             raster: DensityRaster::new(config.bounds, rows, cols),
             report: PipelineReport::default(),
             ticks: TickSchedule::new(config.tick_interval),
             seals: SealSchedule::new(config.retention.seal_every, config.retention.hot_horizon),
+            query,
+            store_snapshot,
+            published_route,
+            ticks_since_refresh: 0,
+            last_published: Timestamp::MIN,
+            draining: false,
             config,
         }
     }
@@ -157,6 +198,27 @@ impl MaritimePipeline {
         }
     }
 
+    /// Push one already-decoded AIS position fix (arrival order) — the
+    /// raw-fix ingest path for feeds that bypass AIVDM decoding.
+    /// Returns the events whose event time became final.
+    ///
+    /// ```
+    /// use mda_core::{MaritimePipeline, PipelineConfig};
+    /// use mda_geo::{BoundingBox, Fix, Position, Timestamp};
+    ///
+    /// let bounds = BoundingBox::new(42.0, 3.0, 44.0, 6.0);
+    /// let mut pipeline = MaritimePipeline::new(PipelineConfig::regional(bounds));
+    /// for i in 0..60i64 {
+    ///     let pos = Position::new(43.0, 5.0 + 0.002 * i as f64);
+    ///     pipeline.push_fix(Fix::new(1, Timestamp::from_mins(i), pos, 10.0, 90.0));
+    /// }
+    /// pipeline.finish();
+    /// assert_eq!(pipeline.store().vessel_count(), 1);
+    /// ```
+    pub fn push_fix(&mut self, fix: Fix) -> Vec<MaritimeEvent> {
+        self.enqueue(fix.t, StreamItem::Ais(fix))
+    }
+
     /// Push a radar plot.
     pub fn push_radar(&mut self, plot: &RadarPlot) -> Vec<MaritimeEvent> {
         self.report.radar_plots += 1;
@@ -182,6 +244,11 @@ impl MaritimePipeline {
             self.reorder.release(wm)
         };
         let events = self.advance(released, wm);
+        // Finalised events feed the serving layer's bounded ring, so
+        // `poll_since` consumers see them without touching the caller's
+        // return path. (The ring may trail the published snapshot by
+        // one ingest call; cursors make that harmless.)
+        self.query.append_events(&events);
         // Watermark-driven retention: rotate fixes older than the hot
         // horizon into sealed cold segments. The schedule quantizes
         // cuts to aligned boundaries — a pure function of event time,
@@ -248,7 +315,55 @@ impl MaritimePipeline {
         self.fuser.sweep(t);
         self.report.record_detectors(self.engine.counts());
         self.report.live_vessels = self.engine.live_vessel_count() as u64;
+        // Publish the serving snapshot for this boundary: ticks fire
+        // after exactly the data with event time ≤ t, so the snapshot
+        // a reader sees at watermark t is a pure function of the
+        // event-time stream up to t.
+        self.publish(t);
         events
+    }
+
+    /// Publish a consistent snapshot at watermark `wm` to every
+    /// [`QueryService`] handle. The store side reuses unchanged shards
+    /// from the previous publication; the route-network predictor is
+    /// rebuilt every `query.predictor_refresh_ticks` ticks (every
+    /// publication while `finish` drains). Each stamp is published at
+    /// most once — equal stamps always mean identical state.
+    fn publish(&mut self, wm: Timestamp) {
+        // Stamps are monotone and unique: a boundary at or behind the
+        // last published stamp (possible when ingest continues after a
+        // `finish`, whose stamp runs ahead of the tick grid) is not
+        // re-published — readers must never observe a regressing or
+        // mutating stamp.
+        if wm <= self.last_published {
+            return;
+        }
+        // A write-only pipeline (no outstanding QueryService handle —
+        // ours is the only reference) skips the publication work
+        // entirely: nobody can observe a snapshot, so cloning changed
+        // hot shards and refreshing the predictor would be pure ingest
+        // tax. The first boundary after a handle appears publishes as
+        // usual. (The event ring is still fed — it is cheap relative
+        // to event rates, and a late subscriber may replay retention.)
+        if Arc::strong_count(&self.query) == 1 {
+            return;
+        }
+        self.last_published = wm;
+        let cadence = self.config.query.predictor_refresh_ticks.max(1);
+        self.ticks_since_refresh += 1;
+        if self.draining || self.ticks_since_refresh >= cadence {
+            self.published_route = Arc::new(RouteNetPredictor::new(self.route_net.clone()));
+            self.ticks_since_refresh = 0;
+        }
+        let snap = self.store.snapshot(Some(&self.store_snapshot));
+        self.store_snapshot = snap.clone();
+        self.query.publish(SystemSnapshot::new(
+            wm,
+            snap,
+            Arc::clone(&self.published_route),
+            self.engine.live_vessel_count() as u64,
+            self.report.events_emitted,
+        ));
     }
 
     /// Process a watermark release segment: consecutive AIS fixes are
@@ -370,11 +485,21 @@ impl MaritimePipeline {
 
     /// Drain everything buffered (end of stream); returns the remaining
     /// events.
+    ///
+    /// `finish` is terminal for the data plane: it releases the reorder
+    /// buffer up to `Timestamp::MAX`, so observations pushed afterwards
+    /// are dropped as late (counted in `dropped_late`) — they can no
+    /// longer be emitted in order. The published serving stamp runs
+    /// ahead of the tick grid to the final watermark and never
+    /// regresses.
     pub fn finish(&mut self) -> Vec<MaritimeEvent> {
         let remaining = self.reorder.drain_all();
         // `now` is the maximum event time seen (watermark + delay):
         // independent of arrival order, so the final sweeps are too.
         let now = self.watermark.current().saturating_add(self.config.watermark_delay);
+        // Every publication in this drain refreshes the predictor, so
+        // the final stamps carry route state exactly as of each stamp.
+        self.draining = true;
         let mut events = self.advance(remaining, now);
         if self.ticks.anchored() && now > self.ticks.last_boundary() {
             events.extend(self.run_tick(now));
@@ -383,6 +508,11 @@ impl MaritimePipeline {
         // Leave the tier counters fresh for whoever reads the report.
         let stats = self.store.tier_stats();
         self.report.record_tiers(&stats);
+        self.query.append_events(&events);
+        // End-of-stream publication; `publish` itself dedupes if the
+        // trailing tick already published this stamp.
+        self.publish(now);
+        self.draining = false;
         events
     }
 
@@ -414,6 +544,47 @@ impl MaritimePipeline {
     }
 
     // ---- accessors for decision support, experiments and examples ----
+
+    /// A cloneable, thread-safe read front-end over this pipeline.
+    ///
+    /// Hand clones to as many reader threads as you like: they serve
+    /// point/window/kNN/predictive queries and event subscriptions
+    /// against consistent watermark-stamped snapshots, published at
+    /// every tick boundary, while this pipeline keeps ingesting. See
+    /// [`QueryService`] for the vocabulary and the isolation contract.
+    ///
+    /// ```
+    /// use mda_core::{MaritimePipeline, PipelineConfig};
+    /// use mda_geo::{BoundingBox, Fix, Position, Timestamp};
+    ///
+    /// let bounds = BoundingBox::new(42.0, 3.0, 44.0, 6.0);
+    /// let mut pipeline = MaritimePipeline::new(PipelineConfig::regional(bounds));
+    /// let service = pipeline.query_service();
+    /// let reader = std::thread::spawn({
+    ///     let service = service.clone();
+    ///     move || service.fleet().watermark
+    /// });
+    /// reader.join().unwrap();
+    /// for i in 0..60i64 {
+    ///     let pos = Position::new(43.0, 5.0 + 0.002 * i as f64);
+    ///     pipeline.push_fix(Fix::new(1, Timestamp::from_mins(i), pos, 10.0, 90.0));
+    /// }
+    /// pipeline.finish();
+    /// assert!(service.latest(1).value.is_some());
+    /// ```
+    pub fn query_service(&mut self) -> QueryService {
+        let service = QueryService::new(Arc::clone(&self.query));
+        // Publication is skipped while no handle exists (write-only
+        // pipelines pay nothing), so catch a newly created handle up
+        // to the current frontier: everything released so far has
+        // event time ≤ the watermark, making `wm` a content-correct
+        // stamp even off the tick grid.
+        let wm = self.watermark.current();
+        if wm > self.last_published {
+            self.publish(wm);
+        }
+        service
+    }
 
     /// Per-stage metrics.
     pub fn report(&self) -> &PipelineReport {
@@ -681,6 +852,41 @@ mod tests {
         let id = *p.store().vessels().first().unwrap();
         let traj = p.store().trajectory(id).unwrap();
         assert!(traj.windows(2).all(|w| w[0].t <= w[1].t));
+    }
+
+    #[test]
+    fn published_stamps_never_regress_across_reingest() {
+        // `finish` stamps ahead of the tick grid (watermark + delay);
+        // continued ingest afterwards fires tick boundaries *behind*
+        // that stamp, which must not be re-published: readers hold the
+        // monotone-stamp contract.
+        let bounds = BoundingBox::new(42.0, 3.0, 44.0, 6.0);
+        let mut p = MaritimePipeline::new(PipelineConfig::regional(bounds));
+        let svc = p.query_service();
+        let fix_at = |i: i64| {
+            Fix::new(
+                1,
+                Timestamp::from_mins(i),
+                Position::new(43.0, 3.2 + 0.001 * i as f64),
+                10.0,
+                90.0,
+            )
+        };
+        for i in 0..60 {
+            p.push_fix(fix_at(i));
+        }
+        p.finish();
+        let after_finish = svc.watermark();
+        assert!(after_finish > Timestamp::MIN);
+        let mut wm = after_finish;
+        for i in 60..240 {
+            p.push_fix(fix_at(i));
+            let now = svc.watermark();
+            assert!(now >= wm, "stamp regressed after finish: {now} < {wm}");
+            wm = now;
+        }
+        p.finish();
+        assert!(svc.watermark() >= after_finish);
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   collision risk (CPA/TCPA), evaluated by watermark sweeps.
 //! - [`pattern`] — sequence patterns with time bounds and negation over
 //!   per-key event streams (the "formalization of events" challenge).
+//! - [`ring`] — bounded event-log retention with cursor-based
+//!   subscriptions ([`ring::EventRing::poll_since`]): the hand-off
+//!   point between the engine's emission and concurrent consumers.
 //! - [`engine`] — the sharded [`engine::EventEngine`]: per-vessel
 //!   detectors behind `observe_batch` (vessel-hash shards, shard-count
 //!   invariant emission), pairwise sweeps plus TTL eviction behind
@@ -51,10 +54,12 @@ pub mod gap;
 pub mod loiter;
 pub mod pattern;
 pub mod proximity;
+pub mod ring;
 pub mod veracity;
 pub mod zone;
 
 pub use engine::{EngineConfig, EngineStateStats, EventEngine};
 pub use event::{EventKind, MaritimeEvent, Severity};
 pub use proximity::{FleetIndex, LiveIndex};
+pub use ring::{EventCursor, EventPoll, EventRing, SharedEventPoll};
 pub use zone::NamedZone;

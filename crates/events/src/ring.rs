@@ -1,0 +1,269 @@
+//! Bounded event-log retention with cursor-based subscriptions.
+//!
+//! Recognised events are transient: the engine emits them once and the
+//! caller decides what to keep. A serving layer needs more — several
+//! independent consumers, each reading at its own pace, none able to
+//! block ingest. The [`EventRing`] provides that: a bounded,
+//! sequence-numbered log of the most recent events, polled with
+//! [`EventRing::poll_since`] cursors. Every appended event gets a
+//! monotonically increasing sequence number; when the ring is full the
+//! oldest events are dropped and a lagging consumer's next poll reports
+//! exactly how many it missed instead of silently skipping them.
+//!
+//! The ring itself is single-writer plain data — the serving layer
+//! wraps it in its own lock and readers never mutate it (polling is
+//! `&self`; the cursor lives with the consumer). Events are stored
+//! behind `Arc`s so a consumer that must hold that lock while polling
+//! can take the cheap pointer-clone path ([`EventRing::poll_shared`])
+//! and deep-copy outside the critical section — even a cold-start
+//! consumer replaying the whole retention blocks the writer only for
+//! O(returned) pointer copies, not O(returned) event clones.
+
+use crate::event::MaritimeEvent;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A consumer's position in the event log: the sequence number of the
+/// next event it has not seen. Obtained from [`EventRing::poll_since`]
+/// (or `EventCursor::default()` to start from the oldest retained
+/// event) and passed back on the next poll.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventCursor(u64);
+
+impl EventCursor {
+    /// The sequence number of the next unseen event.
+    pub fn next_seq(&self) -> u64 {
+        self.0
+    }
+}
+
+/// What one [`EventRing::poll_since`] returned.
+#[derive(Debug, Clone, Default)]
+pub struct EventPoll {
+    /// Events since the cursor, oldest first (emission order).
+    pub events: Vec<MaritimeEvent>,
+    /// Pass this cursor to the next poll.
+    pub cursor: EventCursor,
+    /// Events that aged out of the ring before this consumer polled
+    /// them (0 for a consumer keeping up with retention).
+    pub missed: u64,
+}
+
+/// The cheap-path poll result of [`EventRing::poll_shared`]: events as
+/// shared pointers, for consumers that poll under a lock and
+/// materialize afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct SharedEventPoll {
+    /// Events since the cursor, oldest first, `Arc`-shared with the
+    /// ring.
+    pub events: Vec<Arc<MaritimeEvent>>,
+    /// Pass this cursor to the next poll.
+    pub cursor: EventCursor,
+    /// Events that aged out of the ring before this consumer polled
+    /// them.
+    pub missed: u64,
+}
+
+impl SharedEventPoll {
+    /// Deep-copy into an owned [`EventPoll`] (do this *outside* any
+    /// lock guarding the ring).
+    pub fn materialize(self) -> EventPoll {
+        EventPoll {
+            events: self.events.iter().map(|e| (**e).clone()).collect(),
+            cursor: self.cursor,
+            missed: self.missed,
+        }
+    }
+}
+
+/// A bounded, sequence-numbered ring of recognised events.
+///
+/// ```
+/// use mda_events::event::{EventKind, MaritimeEvent};
+/// use mda_events::ring::{EventCursor, EventRing};
+/// use mda_geo::{Position, Timestamp};
+///
+/// let mut ring = EventRing::new(2);
+/// let ev = |v: u32| MaritimeEvent {
+///     t: Timestamp::from_mins(v as i64),
+///     vessel: v,
+///     pos: Position::new(43.0, 5.0),
+///     kind: EventKind::GapStart,
+/// };
+/// ring.extend([ev(1), ev(2)]);
+/// let poll = ring.poll_since(EventCursor::default());
+/// assert_eq!(poll.events.len(), 2);
+/// assert_eq!(poll.missed, 0);
+/// // Capacity 2: a third event evicts the oldest; a stale consumer is
+/// // told what it lost.
+/// ring.extend([ev(3)]);
+/// let late = ring.poll_since(EventCursor::default());
+/// assert_eq!(late.missed, 1);
+/// assert_eq!(late.events[0].vessel, 2);
+/// // The returned cursor resumes exactly where the last poll stopped.
+/// assert!(ring.poll_since(poll.cursor).events.len() == 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: VecDeque<Arc<MaritimeEvent>>,
+    /// Sequence number of `buf[0]`.
+    first_seq: u64,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring retaining at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { buf: VecDeque::with_capacity(capacity), first_seq: 0, capacity, dropped: 0 }
+    }
+
+    /// Append events in emission order, evicting the oldest beyond
+    /// capacity.
+    pub fn extend(&mut self, events: impl IntoIterator<Item = MaritimeEvent>) {
+        for e in events {
+            if self.buf.len() == self.capacity {
+                self.buf.pop_front();
+                self.first_seq += 1;
+                self.dropped += 1;
+            }
+            self.buf.push_back(Arc::new(e));
+        }
+    }
+
+    /// Events retained right now.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever appended.
+    pub fn total_appended(&self) -> u64 {
+        self.first_seq + self.buf.len() as u64
+    }
+
+    /// Events evicted by capacity so far (a sizing signal: non-zero
+    /// means the slowest consumer cannot rely on completeness).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The cursor a brand-new consumer should start from to skip
+    /// history and follow only future events.
+    pub fn live_cursor(&self) -> EventCursor {
+        EventCursor(self.total_appended())
+    }
+
+    /// Everything appended since `cursor` (oldest first), the cursor to
+    /// resume from, and how many events aged out unseen.
+    pub fn poll_since(&self, cursor: EventCursor) -> EventPoll {
+        self.poll_shared(cursor).materialize()
+    }
+
+    /// The cheap-path poll: like [`EventRing::poll_since`] but the
+    /// returned events are `Arc`-shared with the ring — O(returned)
+    /// pointer clones, no event deep-copies. Consumers that poll while
+    /// holding a lock on the ring should use this and
+    /// [`SharedEventPoll::materialize`] after releasing it.
+    pub fn poll_shared(&self, cursor: EventCursor) -> SharedEventPoll {
+        let end = self.total_appended();
+        let from = cursor.0.min(end);
+        let missed = self.first_seq.saturating_sub(from);
+        let start = from.max(self.first_seq);
+        let events =
+            self.buf.iter().skip((start - self.first_seq) as usize).cloned().collect::<Vec<_>>();
+        SharedEventPoll { events, cursor: EventCursor(end), missed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use mda_geo::{Position, Timestamp};
+
+    fn ev(v: u32) -> MaritimeEvent {
+        MaritimeEvent {
+            t: Timestamp::from_mins(i64::from(v)),
+            vessel: v,
+            pos: Position::new(43.0, 5.0),
+            kind: EventKind::GapStart,
+        }
+    }
+
+    #[test]
+    fn poll_is_incremental_and_ordered() {
+        let mut ring = EventRing::new(100);
+        ring.extend((1..=5).map(ev));
+        let a = ring.poll_since(EventCursor::default());
+        assert_eq!(a.events.iter().map(|e| e.vessel).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(a.missed, 0);
+        // Nothing new: empty poll, same cursor.
+        let b = ring.poll_since(a.cursor);
+        assert!(b.events.is_empty());
+        assert_eq!(b.cursor, a.cursor);
+        ring.extend([ev(6)]);
+        let c = ring.poll_since(b.cursor);
+        assert_eq!(c.events.len(), 1);
+        assert_eq!(c.events[0].vessel, 6);
+    }
+
+    #[test]
+    fn capacity_eviction_reports_missed() {
+        let mut ring = EventRing::new(3);
+        ring.extend((1..=10).map(ev));
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 7);
+        assert_eq!(ring.total_appended(), 10);
+        let p = ring.poll_since(EventCursor::default());
+        assert_eq!(p.missed, 7);
+        assert_eq!(p.events.iter().map(|e| e.vessel).collect::<Vec<_>>(), vec![8, 9, 10]);
+        // A caught-up consumer misses nothing even as eviction continues.
+        ring.extend([ev(11)]);
+        let q = ring.poll_since(p.cursor);
+        assert_eq!(q.missed, 0);
+        assert_eq!(q.events.len(), 1);
+    }
+
+    #[test]
+    fn live_cursor_skips_history() {
+        let mut ring = EventRing::new(10);
+        ring.extend((1..=4).map(ev));
+        let live = ring.live_cursor();
+        ring.extend([ev(5)]);
+        let p = ring.poll_since(live);
+        assert_eq!(p.events.len(), 1);
+        assert_eq!(p.events[0].vessel, 5);
+    }
+
+    #[test]
+    fn cursor_beyond_end_is_clamped() {
+        let mut ring = EventRing::new(10);
+        ring.extend((1..=2).map(ev));
+        // A cursor from a different ring (or a bug) past the end must
+        // not underflow or replay.
+        let p = ring.poll_since(EventCursor(99));
+        assert!(p.events.is_empty());
+        assert_eq!(p.missed, 0);
+        assert_eq!(p.cursor.next_seq(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut ring = EventRing::new(0);
+        ring.extend([ev(1), ev(2)]);
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.poll_since(EventCursor::default()).events[0].vessel, 2);
+    }
+}

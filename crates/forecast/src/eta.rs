@@ -9,6 +9,56 @@ use mda_geo::distance::{destination, haversine_m, initial_bearing_deg};
 use mda_geo::units::knots_to_mps;
 use mda_geo::{DurationMs, Fix, Position};
 
+/// Both ETA answers for one (vessel, destination) question — the shape
+/// the serving layer returns, so operators see the crow-flies bound
+/// next to the flow-aware estimate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EtaEstimate {
+    /// Straight-line great-circle ETA ([`eta_direct`]); `None` for a
+    /// (near-)stationary vessel.
+    pub direct: Option<DurationMs>,
+    /// Flow-following ETA along the learned route network
+    /// ([`eta_via_network`]); `None` when the vessel is stationary or
+    /// the walk does not arrive within the step budget.
+    pub via_network: Option<DurationMs>,
+}
+
+impl EtaEstimate {
+    /// The better-informed answer: the network walk when it arrived,
+    /// the straight line otherwise.
+    pub fn best(&self) -> Option<DurationMs> {
+        self.via_network.or(self.direct)
+    }
+}
+
+/// Estimate both ETAs from the vessel's freshest fix against `dest`.
+///
+/// ```
+/// use mda_forecast::eta::estimate;
+/// use mda_forecast::RouteNetwork;
+/// use mda_geo::{BoundingBox, Fix, Position, Timestamp};
+///
+/// let net = RouteNetwork::new(BoundingBox::new(42.0, 4.0, 44.0, 6.0), 0.05);
+/// let fix = Fix::new(1, Timestamp::from_mins(0), Position::new(43.0, 4.5), 12.0, 90.0);
+/// let eta = estimate(&fix, Position::new(43.0, 4.8), &net, 1_000.0, 600);
+/// // An empty network still yields the direct bound, and the walk
+/// // degenerates to the straight line.
+/// assert!(eta.direct.is_some());
+/// assert!(eta.best().is_some());
+/// ```
+pub fn estimate(
+    fix: &Fix,
+    dest: Position,
+    network: &RouteNetwork,
+    arrival_radius_m: f64,
+    max_steps: usize,
+) -> EtaEstimate {
+    EtaEstimate {
+        direct: eta_direct(fix, dest),
+        via_network: eta_via_network(fix, dest, network, arrival_radius_m, max_steps),
+    }
+}
+
 /// Straight-line ETA in milliseconds, `None` for a (near-)stationary
 /// vessel.
 pub fn eta_direct(fix: &Fix, dest: Position) -> Option<DurationMs> {

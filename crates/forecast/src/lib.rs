@@ -39,6 +39,7 @@ pub mod kinematic;
 pub mod normalcy;
 pub mod routenet;
 
+pub use eta::EtaEstimate;
 pub use kinematic::{ConstantTurnPredictor, DeadReckoningPredictor};
 pub use normalcy::{AnomalyScore, NormalcyModel};
 pub use routenet::{RouteNetPredictor, RouteNetwork};

@@ -23,6 +23,10 @@
 //!   [`ShardedTrajectoryStore::seal_before`] rotates old fixes out of
 //!   the hot shards; every read path merges hot + cold
 //!   deterministically.
+//! - [`snapshot`] — immutable, versioned [`StoreSnapshot`] handles:
+//!   point-in-time views over both tiers that serve lock-free
+//!   concurrent reads while ingest keeps writing; unchanged shards and
+//!   all sealed segments are shared, not copied.
 //! - [`shared`] — the pipeline-facing handle name
 //!   ([`SharedTrajectoryStore`], now an alias of the sharded store).
 //!
@@ -65,6 +69,7 @@ pub mod knn;
 pub mod segment;
 pub mod shards;
 pub mod shared;
+pub mod snapshot;
 pub mod stindex;
 pub mod tier;
 pub mod trajstore;
@@ -73,6 +78,7 @@ pub use knn::{merge_candidates, KnnEngine, KnnResult};
 pub use segment::{SegmentConfig, TrajectorySegment};
 pub use shards::{KnnConfig, SealOutcome, ShardedTrajectoryStore, StIndexConfig, StoreConfig};
 pub use shared::SharedTrajectoryStore;
+pub use snapshot::{ShardSnapshot, StoreSnapshot};
 pub use stindex::StGrid;
 pub use tier::{ColdTier, TierStats};
 pub use trajstore::TrajectoryStore;

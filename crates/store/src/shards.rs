@@ -61,6 +61,7 @@
 
 use crate::knn::{merge_candidates, rank, KnnEngine, KnnResult};
 use crate::segment::SegmentConfig;
+use crate::snapshot::StoreSnapshot;
 use crate::stindex::StGrid;
 use crate::tier::{ColdTier, TierStats};
 use crate::trajstore::TrajectoryStore;
@@ -125,6 +126,12 @@ struct Shard {
     /// the same (aligned) cut early-out instead of re-scanning every
     /// vessel under the write lock.
     sealed_to: Timestamp,
+    /// Bumped on every content mutation (append, seal, compact). The
+    /// snapshot path compares versions to reuse a previously published
+    /// [`crate::snapshot::ShardSnapshot`] wholesale when nothing
+    /// changed — the versioned-reuse pattern the event engine's
+    /// `LiveIndex` sweeps introduced.
+    version: u64,
 }
 
 impl Shard {
@@ -135,10 +142,12 @@ impl Shard {
             grid: config.st_index.as_ref().map(|c| StGrid::new(c.bounds, c.cell_deg, c.slice)),
             knn: config.knn.as_ref().map(|c| KnnEngine::new(c.cell_deg, c.max_extrapolation)),
             sealed_to: Timestamp::MIN,
+            version: 0,
         }
     }
 
     fn append(&mut self, fix: Fix) {
+        self.version += 1;
         self.archive.append(fix);
         if let Some(grid) = &mut self.grid {
             grid.insert(fix);
@@ -149,6 +158,7 @@ impl Shard {
     }
 
     fn append_batch(&mut self, fixes: Vec<Fix>) {
+        self.version += 1;
         // The index updates don't need the per-vessel grouping the
         // archive does, so run them over the batch first and keep the
         // archive's amortised bulk path.
@@ -166,6 +176,7 @@ impl Shard {
     }
 
     fn compact(&mut self, id: VesselId, keep: &dyn Fn(&[Fix]) -> Vec<Fix>) -> usize {
+        self.version += 1;
         let old: Option<Vec<Fix>> =
             self.grid.is_some().then(|| self.archive.trajectory(id).map(<[Fix]>::to_vec)).flatten();
         let removed = self.archive.compact(id, keep);
@@ -212,6 +223,11 @@ impl Shard {
         }
         self.sealed_to = cut;
         let runs = self.archive.take_before(cut);
+        if !runs.is_empty() {
+            // A no-op sweep (nothing old enough here) leaves the version
+            // alone, so published snapshots of idle shards stay shared.
+            self.version += 1;
+        }
         let (mut fixes, mut segments) = (0, 0);
         for (id, run) in runs {
             fixes += run.len();
@@ -235,12 +251,48 @@ impl Shard {
         (fixes, segments)
     }
 
+    /// All vessel ids present in either tier, ascending and deduped.
+    fn merged_vessels(&self) -> impl Iterator<Item = VesselId> + '_ {
+        tiers::merged_vessels(&self.archive, &self.cold)
+    }
+
+    /// All vessel ids present in either tier, ascending and deduped.
+    fn vessels(&self) -> Vec<VesselId> {
+        self.merged_vessels().collect()
+    }
+
+    /// Number of distinct vessels across tiers, without materializing
+    /// the id list.
+    fn vessel_count(&self) -> usize {
+        self.merged_vessels().count()
+    }
+
+    /// The freshest fix of a vessel across tiers.
+    fn latest(&self, id: VesselId) -> Option<Fix> {
+        tiers::latest(&self.archive, &self.cold, id)
+    }
+
+    /// The last fix of a vessel at or before `t`, across tiers.
+    fn latest_at(&self, id: VesselId, t: Timestamp) -> Option<Fix> {
+        tiers::latest_at(&self.archive, &self.cold, id, t)
+    }
+}
+
+/// Cross-tier read primitives shared by the live (locked) shards and
+/// the immutable [`crate::snapshot::ShardSnapshot`]s, so both fronts
+/// answer with identical merge semantics by construction.
+pub(crate) mod tiers {
+    use super::*;
+
     /// All vessel ids present in either tier, ascending and deduped —
     /// a two-pointer merge of the tiers' already-sorted key iterators
     /// (no sort, no intermediate allocation).
-    fn merged_vessels(&self) -> impl Iterator<Item = VesselId> + '_ {
-        let mut hot = self.archive.vessels().peekable();
-        let mut cold = self.cold.vessels().peekable();
+    pub(crate) fn merged_vessels<'a>(
+        hot: &'a TrajectoryStore,
+        cold: &'a ColdTier,
+    ) -> impl Iterator<Item = VesselId> + 'a {
+        let mut hot = hot.vessels().peekable();
+        let mut cold = cold.vessels().peekable();
         std::iter::from_fn(move || match (hot.peek(), cold.peek()) {
             (Some(&h), Some(&c)) => {
                 if h <= c {
@@ -260,25 +312,14 @@ impl Shard {
         })
     }
 
-    /// All vessel ids present in either tier, ascending and deduped.
-    fn vessels(&self) -> Vec<VesselId> {
-        self.merged_vessels().collect()
-    }
-
-    /// Number of distinct vessels across tiers, without materializing
-    /// the id list.
-    fn vessel_count(&self) -> usize {
-        self.merged_vessels().count()
-    }
-
     /// The freshest fix of a vessel across tiers (hot wins timestamp
     /// ties — it arrived after anything sealed). O(1) on the cold side
     /// via the per-vessel latest cache, unlike `latest_at`, which scans
     /// segment fences — the kNN fallback calls this per vessel.
-    fn latest(&self, id: VesselId) -> Option<Fix> {
-        let hot = self.archive.trajectory(id).and_then(<[Fix]>::last).copied();
-        let cold = self.cold.latest(id).copied();
-        match (hot, cold) {
+    pub(crate) fn latest(hot: &TrajectoryStore, cold: &ColdTier, id: VesselId) -> Option<Fix> {
+        let h = hot.trajectory(id).and_then(<[Fix]>::last).copied();
+        let c = cold.latest(id).copied();
+        match (h, c) {
             (Some(h), Some(c)) => Some(if h.t >= c.t { h } else { c }),
             (h, c) => h.or(c),
         }
@@ -286,10 +327,15 @@ impl Shard {
 
     /// The last fix of a vessel at or before `t`, across tiers (hot
     /// wins ties — it arrived after anything sealed).
-    fn latest_at(&self, id: VesselId, t: Timestamp) -> Option<Fix> {
-        let hot = self.archive.latest_at(id, t).copied();
-        let cold = self.cold.latest_at(id, t);
-        match (hot, cold) {
+    pub(crate) fn latest_at(
+        hot: &TrajectoryStore,
+        cold: &ColdTier,
+        id: VesselId,
+        t: Timestamp,
+    ) -> Option<Fix> {
+        let h = hot.latest_at(id, t).copied();
+        let c = cold.latest_at(id, t);
+        match (h, c) {
             (Some(h), Some(c)) => Some(if h.t >= c.t { h } else { c }),
             (h, c) => h.or(c),
         }
@@ -297,13 +343,75 @@ impl Shard {
 
     /// The first fix of a vessel strictly after `t`, across tiers
     /// (cold wins ties — it sorts first in merged order).
-    fn first_after(&self, id: VesselId, t: Timestamp) -> Option<Fix> {
-        let hot = self.archive.first_after(id, t).copied();
-        let cold = self.cold.first_after(id, t);
-        match (hot, cold) {
+    pub(crate) fn first_after(
+        hot: &TrajectoryStore,
+        cold: &ColdTier,
+        id: VesselId,
+        t: Timestamp,
+    ) -> Option<Fix> {
+        let h = hot.first_after(id, t).copied();
+        let c = cold.first_after(id, t);
+        match (h, c) {
             (Some(h), Some(c)) => Some(if c.t <= h.t { c } else { h }),
             (h, c) => h.or(c),
         }
+    }
+
+    /// Interpolated position at `t`, bracketing the instant across
+    /// tiers (clamped at the trajectory ends, like the hot store).
+    pub(crate) fn position_at(
+        hot: &TrajectoryStore,
+        cold: &ColdTier,
+        id: VesselId,
+        t: Timestamp,
+    ) -> Option<Position> {
+        let before = latest_at(hot, cold, id, t);
+        let after = first_after(hot, cold, id, t);
+        match (before, after) {
+            (None, None) => None,
+            (None, Some(a)) => Some(a.pos),
+            (Some(b), None) => Some(b.pos),
+            (Some(b), Some(a)) => Some(interpolate_fixes(&b, &a, t)),
+        }
+    }
+
+    /// The index-less snapshot-kNN path: dead-reckon each vessel's
+    /// freshest cross-tier fix to `t`, rank by (distance, id), keep the
+    /// best `k`. Shared verbatim between the sharded store's fallback
+    /// and the snapshot front, so the two answer identically.
+    pub(crate) fn scan_knn(
+        hot: &TrajectoryStore,
+        cold: &ColdTier,
+        query: Position,
+        t: Timestamp,
+        k: usize,
+    ) -> Vec<KnnResult> {
+        let mut cands: Vec<KnnResult> = merged_vessels(hot, cold)
+            .filter_map(|id| {
+                let latest = latest(hot, cold, id)?;
+                let pos = latest.dead_reckon(t);
+                Some(KnnResult { id, pos, dist_m: equirectangular_m(query, pos) })
+            })
+            .collect();
+        cands.sort_by(rank);
+        cands.truncate(k);
+        cands
+    }
+
+    /// Apply the canonical window order: (vessel, time), with the
+    /// remaining fix fields as bit-pattern tiebreaks so equal contents
+    /// always serialize identically, sealed or not.
+    pub(crate) fn canonical_window_sort(out: &mut [Fix]) {
+        out.sort_unstable_by_key(|f| {
+            (
+                f.id,
+                f.t,
+                f.pos.lat.to_bits(),
+                f.pos.lon.to_bits(),
+                f.sog_kn.to_bits(),
+                f.cog_deg.to_bits(),
+            )
+        });
     }
 }
 
@@ -324,7 +432,7 @@ pub struct SealOutcome {
 /// time. Ties go to the cold side: sealed fixes arrived before
 /// anything still hot, so this reproduces the arrival order the hot
 /// store's sort-insert maintains.
-fn merge_tiers(cold: Vec<Fix>, hot: &[Fix]) -> Vec<Fix> {
+pub(crate) fn merge_tiers(cold: Vec<Fix>, hot: &[Fix]) -> Vec<Fix> {
     if cold.is_empty() {
         return hot.to_vec();
     }
@@ -353,6 +461,12 @@ fn merge_tiers(cold: Vec<Fix>, hot: &[Fix]) -> Vec<Fix> {
 pub struct ShardedTrajectoryStore {
     shards: Arc<[RwLock<Shard>]>,
     seal: SegmentConfig,
+    /// Process-unique store identity, shared by handle clones. Stamped
+    /// onto published snapshots so `snapshot(prev)` can never reuse a
+    /// shard from a *different* store whose version counters happen to
+    /// collide (they start at 0 everywhere, so collisions would be the
+    /// common case, not the rare one).
+    id: u64,
 }
 
 impl Default for ShardedTrajectoryStore {
@@ -378,9 +492,14 @@ impl ShardedTrajectoryStore {
     pub fn with_config(config: StoreConfig) -> Self {
         assert!(config.shards > 0, "need at least one shard");
         assert!(config.seal.max_span > 0, "seal slabs need a positive span");
+        static NEXT_STORE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let shards: Vec<RwLock<Shard>> =
             (0..config.shards).map(|_| RwLock::new(Shard::new(&config))).collect();
-        Self { shards: shards.into(), seal: config.seal }
+        Self {
+            shards: shards.into(),
+            seal: config.seal,
+            id: NEXT_STORE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        }
     }
 
     /// Number of lock stripes.
@@ -548,14 +667,7 @@ impl ShardedTrajectoryStore {
     /// tiers (clamped at the trajectory ends, like the hot store).
     pub fn position_at(&self, id: VesselId, t: Timestamp) -> Option<Position> {
         let s = self.shards[self.shard_of(id)].read();
-        let before = s.latest_at(id, t);
-        let after = s.first_after(id, t);
-        match (before, after) {
-            (None, None) => None,
-            (None, Some(a)) => Some(a.pos),
-            (Some(b), None) => Some(b.pos),
-            (Some(b), Some(a)) => Some(interpolate_fixes(&b, &a, t)),
-        }
+        tiers::position_at(&s.archive, &s.cold, id, t)
     }
 
     /// Compact one vessel's *hot* trajectory (e.g. down to its
@@ -586,19 +698,7 @@ impl ShardedTrajectoryStore {
             }
             s.cold.window_into(area, from, to, &mut out);
         }
-        // (vessel, time) is the canonical order; the remaining key
-        // components only pin down duplicates so equal contents always
-        // serialize identically, sealed or not.
-        out.sort_unstable_by_key(|f| {
-            (
-                f.id,
-                f.t,
-                f.pos.lat.to_bits(),
-                f.pos.lon.to_bits(),
-                f.sog_kn.to_bits(),
-                f.cog_deg.to_bits(),
-            )
-        });
+        tiers::canonical_window_sort(&mut out);
         out
     }
 
@@ -618,23 +718,63 @@ impl ShardedTrajectoryStore {
                 let s = shard.read();
                 match s.knn.as_ref() {
                     Some(knn) => knn.knn(query, t, k),
-                    None => {
-                        let mut cands: Vec<KnnResult> = s
-                            .merged_vessels()
-                            .filter_map(|id| {
-                                let latest = s.latest(id)?;
-                                let pos = latest.dead_reckon(t);
-                                Some(KnnResult { id, pos, dist_m: equirectangular_m(query, pos) })
-                            })
-                            .collect();
-                        cands.sort_by(rank);
-                        cands.truncate(k);
-                        cands
-                    }
+                    None => tiers::scan_knn(&s.archive, &s.cold, query, t, k),
                 }
             })
             .collect();
         merge_candidates(parts, k)
+    }
+
+    /// Publish an immutable [`StoreSnapshot`]
+    /// of every shard's two tiers.
+    ///
+    /// Pass the previously published snapshot to enable versioned
+    /// reuse: shards whose version counter did not move since `prev`
+    /// was built are shared (`Arc` clone) instead of re-cloned, so the
+    /// cost of a publication is proportional to what actually changed.
+    /// Sealed segments are `Arc`-shared either way.
+    ///
+    /// Each shard is captured under its read lock. When one thread
+    /// both writes and snapshots (the pipeline's publication
+    /// discipline), the snapshot is globally consistent; with
+    /// concurrent writers (e.g. a parallel backfill) it is per-shard
+    /// consistent.
+    ///
+    /// ```
+    /// use mda_geo::{Fix, Position, Timestamp};
+    /// use mda_store::ShardedTrajectoryStore;
+    ///
+    /// let store = ShardedTrajectoryStore::new();
+    /// store.append(Fix::new(1, Timestamp::from_mins(0), Position::new(43.0, 5.0), 10.0, 90.0));
+    /// let snap = store.snapshot(None);
+    /// store.append(Fix::new(1, Timestamp::from_mins(1), Position::new(43.0, 5.1), 10.0, 90.0));
+    /// assert_eq!(snap.trajectory(1).unwrap().len(), 1, "snapshot is frozen");
+    /// assert_eq!(store.snapshot(Some(&snap)).trajectory(1).unwrap().len(), 2);
+    /// ```
+    pub fn snapshot(&self, prev: Option<&crate::snapshot::StoreSnapshot>) -> StoreSnapshot {
+        // Only this store's own snapshots are reusable: version
+        // counters are per-store sequences, so a foreign snapshot with
+        // colliding versions must be ignored, not trusted.
+        let prev = prev.filter(|p| p.store_id() == self.id && p.shard_count() == self.shards.len());
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(idx, lock)| {
+                let s = lock.read();
+                if let Some(reusable) =
+                    prev.and_then(|p| p.shard(idx)).filter(|shard| shard.version() == s.version)
+                {
+                    return Arc::clone(reusable);
+                }
+                Arc::new(crate::snapshot::ShardSnapshot::new(
+                    s.version,
+                    s.archive.clone(),
+                    s.cold.clone(),
+                ))
+            })
+            .collect();
+        StoreSnapshot::from_shards(self.id, shards)
     }
 
     /// Run a closure over each shard's *hot* archive (read-locked one

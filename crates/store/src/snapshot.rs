@@ -1,0 +1,365 @@
+//! Immutable, versioned snapshot handles over the sharded store.
+//!
+//! A [`StoreSnapshot`] is a point-in-time, read-only view of every
+//! shard's two tiers, built by
+//! [`ShardedTrajectoryStore::snapshot`](crate::shards::ShardedTrajectoryStore::snapshot).
+//! It answers the same query vocabulary as the live store — point
+//! lookups, ranges, windows, kNN — with the **same deterministic
+//! cross-tier merge semantics** (both fronts call the one shared
+//! implementation in `shards::tiers`), but without taking any lock:
+//! once built, a snapshot is plain immutable data that any number of
+//! reader threads can query while ingest keeps writing to the live
+//! shards.
+//!
+//! ## Cost model
+//!
+//! Snapshots are cheap through two layers of sharing:
+//!
+//! - **Sealed segments are `Arc`-shared** — the cold tier clone copies
+//!   per-vessel pointer lists, never encoded columns, so a snapshot's
+//!   cold side costs O(segments), not O(history).
+//! - **Unchanged shards are reused wholesale** — every shard carries a
+//!   version counter bumped on content mutation; `snapshot(prev)`
+//!   re-clones only shards whose version moved since `prev` was built
+//!   and shares the previous [`ShardSnapshot`] `Arc` for the rest (the
+//!   versioned-reuse pattern the event engine's `LiveIndex` sweeps
+//!   established). Under shard-affine ingest, idle shards cost nothing
+//!   per publication.
+//!
+//! The remaining per-publication cost is cloning the *hot* tier of
+//! changed shards, which retention bounds: fixes older than the hot
+//! horizon rotate into (shared) sealed segments.
+
+use crate::knn::{merge_candidates, KnnResult};
+use crate::shards::tiers;
+use crate::tier::{ColdTier, TierStats};
+use crate::trajstore::TrajectoryStore;
+use mda_geo::{BoundingBox, Fix, Position, Timestamp, VesselId};
+use std::sync::Arc;
+
+/// A frozen copy of one shard's two tiers, tagged with the shard
+/// version it was built from.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    version: u64,
+    archive: TrajectoryStore,
+    cold: ColdTier,
+}
+
+impl ShardSnapshot {
+    /// Build from a shard's current state (called under its read lock).
+    pub(crate) fn new(version: u64, archive: TrajectoryStore, cold: ColdTier) -> Self {
+        Self { version, archive, cold }
+    }
+
+    /// The shard version this snapshot captured.
+    pub(crate) fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// An immutable point-in-time view of a whole sharded store.
+///
+/// Obtained from
+/// [`ShardedTrajectoryStore::snapshot`](crate::shards::ShardedTrajectoryStore::snapshot);
+/// cloning the snapshot itself is O(shards) `Arc` clones.
+///
+/// ```
+/// use mda_geo::{BoundingBox, Fix, Position, Timestamp};
+/// use mda_store::ShardedTrajectoryStore;
+///
+/// let store = ShardedTrajectoryStore::new();
+/// for i in 0..10i64 {
+///     let t = Timestamp::from_mins(i);
+///     store.append(Fix::new(1, t, Position::new(43.0, 5.0 + 0.01 * i as f64), 10.0, 90.0));
+/// }
+/// let snap = store.snapshot(None);
+/// // Writes after the snapshot are invisible to it: readers see a
+/// // stable picture while ingest keeps going.
+/// store.append(Fix::new(2, Timestamp::from_mins(3), Position::new(43.5, 5.0), 10.0, 90.0));
+/// assert_eq!(snap.len(), 10);
+/// assert_eq!(snap.vessels(), vec![1]);
+/// assert_eq!(store.len(), 11);
+/// // Rebuilding against the previous snapshot re-clones only shards
+/// // that changed.
+/// let snap2 = store.snapshot(Some(&snap));
+/// assert_eq!(snap2.vessels(), vec![1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    store_id: u64,
+    shards: Vec<Arc<ShardSnapshot>>,
+}
+
+impl StoreSnapshot {
+    pub(crate) fn from_shards(store_id: u64, shards: Vec<Arc<ShardSnapshot>>) -> Self {
+        Self { store_id, shards }
+    }
+
+    pub(crate) fn shard(&self, idx: usize) -> Option<&Arc<ShardSnapshot>> {
+        self.shards.get(idx)
+    }
+
+    /// Identity of the store this snapshot was taken from (versioned
+    /// reuse is only valid against the same store's counters).
+    pub(crate) fn store_id(&self) -> u64 {
+        self.store_id
+    }
+
+    /// Number of shards captured.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, id: VesselId) -> &ShardSnapshot {
+        &self.shards[mda_geo::vessel_shard(id, self.shards.len())]
+    }
+
+    /// Total fixes across both tiers of every shard.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.archive.len() + s.cold.len()).sum()
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.archive.is_empty() && s.cold.is_empty())
+    }
+
+    /// Number of distinct vessels across both tiers.
+    pub fn vessel_count(&self) -> usize {
+        self.shards.iter().map(|s| tiers::merged_vessels(&s.archive, &s.cold).count()).sum()
+    }
+
+    /// All vessel ids across both tiers, ascending.
+    pub fn vessels(&self) -> Vec<VesselId> {
+        let mut ids: Vec<VesselId> =
+            self.shards.iter().flat_map(|s| tiers::merged_vessels(&s.archive, &s.cold)).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Copy of a vessel's whole trajectory, merged across tiers (time
+    /// order; arrival order on ties) — the same answer the live store
+    /// gives at the instant the snapshot was taken.
+    pub fn trajectory(&self, id: VesselId) -> Option<Vec<Fix>> {
+        let s = self.shard_of(id);
+        let cold = s.cold.trajectory(id);
+        let hot = s.archive.trajectory(id);
+        if cold.is_empty() && hot.is_none() {
+            return None;
+        }
+        Some(crate::shards::merge_tiers(cold, hot.unwrap_or(&[])))
+    }
+
+    /// Copy of a vessel's fixes in `[from, to]`, merged across tiers.
+    pub fn range(&self, id: VesselId, from: Timestamp, to: Timestamp) -> Vec<Fix> {
+        let s = self.shard_of(id);
+        crate::shards::merge_tiers(s.cold.range(id, from, to), s.archive.range(id, from, to))
+    }
+
+    /// The freshest fix of a vessel across tiers.
+    pub fn latest(&self, id: VesselId) -> Option<Fix> {
+        let s = self.shard_of(id);
+        tiers::latest(&s.archive, &s.cold, id)
+    }
+
+    /// The latest fix of a vessel at or before `t`, across tiers.
+    pub fn latest_at(&self, id: VesselId, t: Timestamp) -> Option<Fix> {
+        let s = self.shard_of(id);
+        tiers::latest_at(&s.archive, &s.cold, id, t)
+    }
+
+    /// Interpolated position at `t`, bracketing the instant across
+    /// tiers (clamped at the trajectory ends).
+    pub fn position_at(&self, id: VesselId, t: Timestamp) -> Option<Position> {
+        let s = self.shard_of(id);
+        tiers::position_at(&s.archive, &s.cold, id, t)
+    }
+
+    /// All fixes inside the spatial window and time range, sorted by
+    /// the canonical (vessel, time) order — identical to the live
+    /// store's [`window`](crate::shards::ShardedTrajectoryStore::window)
+    /// answer over equal contents. The hot side is a scan (snapshots
+    /// carry no grid index; the hot tier is retention-bounded), the
+    /// cold side decodes only fence-intersecting segments.
+    pub fn window(&self, area: &BoundingBox, from: Timestamp, to: Timestamp) -> Vec<Fix> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(
+                s.archive
+                    .iter()
+                    .filter(|f| f.t >= from && f.t <= to && area.contains(f.pos))
+                    .copied(),
+            );
+            s.cold.window_into(area, from, to, &mut out);
+        }
+        tiers::canonical_window_sort(&mut out);
+        out
+    }
+
+    /// Snapshot kNN at `t`: each vessel's freshest cross-tier fix is
+    /// dead-reckoned to `t` and the per-shard candidates are heap-merged
+    /// into the global top `k`, ranked (distance, vessel id) — the same
+    /// scan path the index-less live store uses, so answers match it
+    /// exactly over equal contents.
+    pub fn knn(&self, query: Position, t: Timestamp, k: usize) -> Vec<KnnResult> {
+        let parts: Vec<Vec<KnnResult>> =
+            self.shards.iter().map(|s| tiers::scan_knn(&s.archive, &s.cold, query, t, k)).collect();
+        merge_candidates(parts, k)
+    }
+
+    /// Per-tier size accounting of the captured state.
+    pub fn tier_stats(&self) -> TierStats {
+        self.shards.iter().fold(TierStats::default(), |mut acc, s| {
+            acc.merge(&TierStats {
+                hot_fixes: s.archive.len(),
+                hot_bytes: s.archive.len() * std::mem::size_of::<Fix>(),
+                ..s.cold.stats()
+            });
+            acc
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::segment::SegmentConfig;
+    use crate::shards::{ShardedTrajectoryStore, StoreConfig};
+    use mda_geo::time::MINUTE;
+    use mda_geo::{BoundingBox, Fix, Position, Timestamp};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use std::sync::Arc;
+
+    fn fix(id: u32, t_min: i64, lat: f64, lon: f64) -> Fix {
+        Fix::new(id, Timestamp::from_mins(t_min), Position::new(lat, lon), 10.0, 90.0)
+    }
+
+    fn random_store(seed: u64, n: usize) -> (ShardedTrajectoryStore, Vec<Fix>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fixes: Vec<Fix> = (0..n)
+            .map(|i| {
+                fix(
+                    rng.gen_range(1..30u32),
+                    i as i64 / 3,
+                    rng.gen_range(42.0..44.0),
+                    rng.gen_range(3.0..6.0),
+                )
+            })
+            .collect();
+        let store = ShardedTrajectoryStore::with_shards(4);
+        store.append_batch(fixes.clone());
+        (store, fixes)
+    }
+
+    #[test]
+    fn snapshot_matches_live_store_on_every_read_path() {
+        let (store, _) = random_store(1, 900);
+        store.seal_before(Timestamp::from_mins(200));
+        let snap = store.snapshot(None);
+        assert_eq!(snap.len(), store.len());
+        assert_eq!(snap.vessels(), store.vessels());
+        assert_eq!(snap.vessel_count(), store.vessel_count());
+        assert_eq!(snap.tier_stats(), store.tier_stats());
+        for id in store.vessels() {
+            assert_eq!(snap.trajectory(id), store.trajectory(id), "trajectory {id}");
+            let (a, b) = (Timestamp::from_mins(50), Timestamp::from_mins(250));
+            assert_eq!(snap.range(id, a, b), store.range(id, a, b), "range {id}");
+            for t in [0i64, 100, 299, 400] {
+                let t = Timestamp::from_mins(t);
+                assert_eq!(snap.latest_at(id, t), store.latest_at(id, t), "latest_at {id}");
+                assert_eq!(snap.position_at(id, t), store.position_at(id, t), "pos {id}");
+            }
+        }
+        let area = BoundingBox::new(42.3, 3.3, 43.7, 5.7);
+        let (from, to) = (Timestamp::from_mins(20), Timestamp::from_mins(280));
+        assert_eq!(snap.window(&area, from, to), store.window(&area, from, to));
+        let q = Position::new(43.1, 4.6);
+        let t = Timestamp::from_mins(310);
+        assert_eq!(snap.knn(q, t, 8), store.knn(q, t, 8));
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let (store, _) = random_store(2, 300);
+        let snap = store.snapshot(None);
+        let before_len = snap.len();
+        let before_traj = snap.trajectory(5);
+        store.append_batch((0..200).map(|i| fix(5, 200 + i, 43.0, 5.0)).collect::<Vec<_>>());
+        store.seal_before(Timestamp::from_mins(150));
+        store.compact(7, |_| Vec::new());
+        assert_eq!(snap.len(), before_len, "snapshot must not see later writes");
+        assert_eq!(snap.trajectory(5), before_traj);
+    }
+
+    #[test]
+    fn unchanged_shards_are_reused_changed_shards_recloned() {
+        let store = ShardedTrajectoryStore::with_shards(4);
+        for v in 1..=16u32 {
+            store.append(fix(v, 0, 43.0, 5.0));
+        }
+        let first = store.snapshot(None);
+        // Touch exactly one vessel → exactly one shard changes.
+        store.append(fix(3, 1, 43.1, 5.1));
+        let touched = store.shard_of(3);
+        let second = store.snapshot(Some(&first));
+        for idx in 0..store.shard_count() {
+            let (a, b) = (first.shard(idx).unwrap(), second.shard(idx).unwrap());
+            if idx == touched {
+                assert!(!Arc::ptr_eq(a, b), "written shard must re-clone");
+            } else {
+                assert!(Arc::ptr_eq(a, b), "idle shard {idx} must be shared");
+            }
+        }
+        // A no-op seal sweep (nothing old enough) keeps everything shared.
+        store.seal_before(Timestamp::from_mins(-100));
+        let third = store.snapshot(Some(&second));
+        for idx in 0..store.shard_count() {
+            assert!(Arc::ptr_eq(second.shard(idx).unwrap(), third.shard(idx).unwrap()));
+        }
+    }
+
+    #[test]
+    fn snapshot_shares_sealed_segments_with_live_tier() {
+        let config = StoreConfig {
+            shards: 2,
+            seal: SegmentConfig { max_span: 30 * MINUTE, ..SegmentConfig::lossless() },
+            ..StoreConfig::default()
+        };
+        let store = ShardedTrajectoryStore::with_config(config);
+        for i in 0..240i64 {
+            store.append(fix(1, i, 43.0, 5.0 + 0.001 * i as f64));
+        }
+        store.seal_before(Timestamp::from_mins(240));
+        let stats = store.tier_stats();
+        assert!(stats.cold_segments >= 8);
+        let snap = store.snapshot(None);
+        // The snapshot sees the full sealed history without copying it:
+        // equal stats, and the cold side answers identically.
+        assert_eq!(snap.tier_stats(), stats);
+        assert_eq!(snap.trajectory(1), store.trajectory(1));
+    }
+
+    #[test]
+    fn foreign_prev_snapshots_are_ignored() {
+        // Different shard count.
+        let (a, _) = random_store(3, 100);
+        let other = ShardedTrajectoryStore::with_shards(2);
+        other.append(fix(1, 0, 43.0, 5.0));
+        let foreign = other.snapshot(None);
+        let snap = a.snapshot(Some(&foreign));
+        assert_eq!(snap.len(), a.len());
+        assert_eq!(snap.shard_count(), a.shard_count());
+
+        // Same shard count AND colliding version counters (both stores
+        // wrote the same shard once, so every version matches): the
+        // foreign shards must still never be reused — versions are
+        // per-store sequences, not global ones.
+        let b = ShardedTrajectoryStore::with_shards(4);
+        let c = ShardedTrajectoryStore::with_shards(4);
+        b.append(fix(1, 0, 43.0, 5.0));
+        c.append(fix(1, 0, 44.9, 5.9)); // same vessel → same shard index
+        let c_snap = c.snapshot(None);
+        let b_snap = b.snapshot(Some(&c_snap));
+        assert_eq!(b_snap.latest(1).unwrap().pos.lat, 43.0, "b must serve b's data, not c's");
+    }
+}

@@ -21,6 +21,7 @@
 use crate::segment::TrajectorySegment;
 use mda_geo::{BoundingBox, Fix, Timestamp, VesselId};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Per-tier size accounting of one store (or one shard).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -68,16 +69,23 @@ impl TierStats {
 }
 
 /// One vessel's sealed history.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct VesselCold {
     /// Segments in seal order (mostly time-ascending; overlaps allowed).
-    segments: Vec<TrajectorySegment>,
+    /// `Arc`-shared: cloning a tier (the snapshot path) copies pointers,
+    /// never the encoded columns.
+    segments: Vec<Arc<TrajectorySegment>>,
     /// The freshest sealed fix (ties resolved to the later seal).
     latest: Option<Fix>,
 }
 
 /// The sealed, compressed side of one shard.
-#[derive(Debug, Default)]
+///
+/// Cloning is cheap by construction — segments are immutable and
+/// `Arc`-shared, so a clone copies the per-vessel pointer lists only.
+/// This is what makes the store's snapshot handles affordable: a
+/// published snapshot shares every sealed byte with the live tier.
+#[derive(Debug, Default, Clone)]
 pub struct ColdTier {
     by_vessel: BTreeMap<VesselId, VesselCold>,
     fixes: usize,
@@ -101,7 +109,7 @@ impl ColdTier {
         if entry.latest.is_none_or(|cur| last.t >= cur.t) {
             entry.latest = Some(last);
         }
-        entry.segments.push(segment);
+        entry.segments.push(Arc::new(segment));
     }
 
     /// Total sealed fixes.
@@ -125,14 +133,14 @@ impl ColdTier {
     }
 
     /// The sealed segments of one vessel, in seal order.
-    pub fn segments(&self, id: VesselId) -> &[TrajectorySegment] {
-        self.by_vessel.get(&id).map_or(&[], |v| v.segments.as_slice())
+    pub fn segments(&self, id: VesselId) -> impl Iterator<Item = &TrajectorySegment> {
+        self.by_vessel.get(&id).into_iter().flat_map(|v| v.segments.iter().map(Arc::as_ref))
     }
 
     /// Iterate over every sealed segment (vessels ascending, then seal
     /// order).
     pub fn iter_segments(&self) -> impl Iterator<Item = &TrajectorySegment> {
-        self.by_vessel.values().flat_map(|v| v.segments.iter())
+        self.by_vessel.values().flat_map(|v| v.segments.iter().map(Arc::as_ref))
     }
 
     /// The freshest sealed fix of a vessel.

@@ -206,6 +206,78 @@ where
     })
 }
 
+/// Run one writer to completion while `readers` concurrent reader
+/// loops poll shared state — the query-vs-ingest execution shape of a
+/// serving layer (1 ingest thread × N `QueryService` readers).
+///
+/// `writer` runs once on its own thread. Each reader closure receives
+/// its index and an `ingest_running` flag; it should loop while the
+/// flag is `true` (issuing queries against whatever shared handle it
+/// captured) and may take one final look after the flag drops — the
+/// flag flips *after* the writer returns, so a last iteration observes
+/// the writer's final published state. Returns the writer's output and
+/// every reader's, in reader-index order.
+///
+/// ```
+/// use mda_stream::runner::run_with_readers;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let counter = AtomicU64::new(0);
+/// let (total, reads) = run_with_readers(
+///     || {
+///         for _ in 0..1_000 {
+///             counter.fetch_add(1, Ordering::Relaxed);
+///         }
+///         counter.load(Ordering::Relaxed)
+///     },
+///     2,
+///     |_reader, running| {
+///         let mut last = 0;
+///         while running.load(Ordering::Acquire) {
+///             last = counter.load(Ordering::Relaxed);
+///         }
+///         last
+///     },
+/// );
+/// assert_eq!(total, 1_000);
+/// assert_eq!(reads.len(), 2);
+/// ```
+pub fn run_with_readers<W, R>(
+    writer: impl FnOnce() -> W + Send,
+    readers: usize,
+    reader: impl Fn(usize, &std::sync::atomic::AtomicBool) -> R + Sync,
+) -> (W, Vec<R>)
+where
+    W: Send,
+    R: Send,
+{
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Clears the flag on drop, so a panicking writer still releases
+    /// the readers (otherwise `thread::scope` would join the spinning
+    /// reader loops forever and the panic would never surface).
+    struct StopOnDrop<'a>(&'a AtomicBool);
+    impl Drop for StopOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.store(false, Ordering::Release);
+        }
+    }
+
+    let running = AtomicBool::new(true);
+    thread::scope(|scope| {
+        let running = &running;
+        let reader = &reader;
+        let reader_handles: Vec<_> =
+            (0..readers).map(|i| scope.spawn(move || reader(i, running))).collect();
+        let wrote = {
+            let _stop = StopOnDrop(running);
+            writer()
+        };
+        let read = reader_handles.into_iter().map(|h| h.join().expect("reader panicked")).collect();
+        (wrote, read)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,24 +1,64 @@
-//! Port surveillance: zone analytics, flows, kNN and semantic queries
-//! around Marseille.
+//! Port surveillance: zone analytics, flows, kNN, predictive and
+//! semantic queries around Marseille — with the live queries served by
+//! a `QueryService` *while the pipeline ingests*.
 //!
 //! ```sh
 //! cargo run --release --example port_surveillance
 //! ```
 
 use maritime::core::{MaritimePipeline, PipelineConfig};
-use maritime::events::EventKind;
-use maritime::geo::time::HOUR;
-use maritime::geo::Position;
+use maritime::events::{EventCursor, EventKind, Severity};
+use maritime::geo::time::{HOUR, MINUTE};
+use maritime::geo::{Position, Timestamp};
 use maritime::semantics::query::{Pattern, QueryTerm};
 use maritime::sim::{Scenario, ScenarioConfig};
+use maritime::stream::runner::run_with_readers;
 use maritime::viz::FlowMatrix;
+use std::sync::atomic::Ordering;
 
 fn main() {
     let sim = Scenario::generate(ScenarioConfig::regional(11, 40, 5 * HOUR));
     let mut config = PipelineConfig::regional(sim.world.bounds);
     config.events.zones = maritime::zones_of_world(&sim.world);
     let mut pipeline = MaritimePipeline::new(config).with_weather(sim.weather.clone());
-    let events = pipeline.run_scenario(&sim);
+
+    // Ingest runs on the writer thread while a watch console follows
+    // along live on a reader thread: the QueryService serves
+    // watermark-stamped snapshots and event cursors during ingest.
+    let service = pipeline.query_service();
+    let (events, watch) = run_with_readers(
+        || pipeline.run_scenario(&sim),
+        1,
+        |_, running| {
+            let service = service.clone();
+            let mut cursor = EventCursor::default();
+            let (mut stamps, mut alerts) = (0u64, 0u64);
+            let mut last = Timestamp::MIN;
+            loop {
+                let done = !running.load(Ordering::Acquire);
+                let wm = service.watermark();
+                if wm > last {
+                    last = wm;
+                    stamps += 1;
+                }
+                let poll = service.poll_since(cursor);
+                cursor = poll.cursor;
+                alerts +=
+                    poll.events.iter().filter(|e| e.severity() == Severity::Alert).count() as u64;
+                if done {
+                    return (stamps, alerts);
+                }
+                std::thread::yield_now();
+            }
+        },
+    );
+    let (stamps, live_alerts) = watch[0];
+    // The alert total is deterministic (the final poll drains the
+    // ring); how many snapshot generations the reader happened to
+    // observe is scheduling-dependent, so it goes to stderr to keep
+    // stdout byte-identical across runs.
+    println!("live watch during ingest: {live_alerts} alert-severity events streamed by cursor");
+    eprintln!("(watch thread observed {stamps} snapshot generations while ingest ran)");
 
     // --- zone activity -------------------------------------------------
     println!("zone activity around Marseille:");
@@ -55,12 +95,28 @@ fn main() {
         println!("  {from} -> {to}: {n} voyages");
     }
 
-    // --- who is near the approach right now? ----------------------------
+    // --- who is near the approach right now, and where next? ------------
+    // Served from one pinned snapshot: every answer below is consistent
+    // at the same watermark.
     let marseille = Position::new(43.28, 5.33);
-    let now = pipeline.watermark();
+    let snap = service.snapshot();
+    let now = snap.watermark();
     println!("\nclosest 5 vessels to Marseille at {now}:");
-    for r in pipeline.knn(marseille, now, 5) {
+    let near = snap.knn(marseille, now, 5).value;
+    for r in &near {
         println!("  vessel {} at {:.1} km", r.id, r.dist_m / 1_000.0);
+    }
+    if let Some(nearest) = near.first() {
+        if let Some(next) = snap.where_at(nearest.id, now + 20 * MINUTE).value {
+            println!("  vessel {} in 20 min ({}): {}", nearest.id, next.predictor, next.pos);
+        }
+        if let Some(eta) = snap.eta(nearest.id, marseille).value.and_then(|e| e.best()) {
+            println!(
+                "  eta of vessel {} to the approach: {:.0} min",
+                nearest.id,
+                eta as f64 / 60_000.0
+            );
+        }
     }
 
     // --- a semantic query over the knowledge graph ----------------------

@@ -22,18 +22,37 @@
 //! | [`viz`] | `mda-viz` | density rasters, pyramids, flows |
 //! | [`core`] | `mda-core` | the integrated Figure-2 pipeline |
 //!
-//! ## Quickstart
+//! ## Quickstart: ingest *and* query
+//!
+//! The pipeline is a single-writer ingest loop; its
+//! [`query_service`](mda_core::MaritimePipeline::query_service) hands
+//! out cloneable, thread-safe read handles that answer from consistent
+//! watermark-stamped snapshots — during ingest or after it.
 //!
 //! ```
 //! use maritime::core::{MaritimePipeline, PipelineConfig};
+//! use maritime::geo::{time::MINUTE, Position};
 //! use maritime::sim::{Scenario, ScenarioConfig};
 //!
-//! // Simulate 30 minutes of a small fleet and run the full pipeline.
-//! let sim = Scenario::generate(ScenarioConfig::regional(1, 5, 30 * maritime::geo::time::MINUTE));
+//! // Simulate an hour of a small fleet and run the full pipeline.
+//! let sim = Scenario::generate(ScenarioConfig::regional(1, 5, 60 * MINUTE));
 //! let mut pipeline = MaritimePipeline::new(PipelineConfig::regional(sim.world.bounds))
 //!     .with_weather(sim.weather.clone());
+//! let service = pipeline.query_service(); // Clone + Send + Sync
 //! let events = pipeline.run_scenario(&sim);
-//! println!("{} events from {} AIS messages", events.len(), sim.ais.len());
+//!
+//! // Query the served picture: all answers are watermark-stamped.
+//! let snap = service.snapshot();
+//! let wm = snap.watermark();
+//! let near = snap.knn(Position::new(43.0, 5.0), wm, 3).value;
+//! let fleet = snap.fleet();
+//! println!(
+//!     "{} events, {} archived vessels, {} vessels near Marseille",
+//!     events.len(),
+//!     fleet.archived_vessels,
+//!     near.len()
+//! );
+//! # assert!(fleet.archived_vessels > 0);
 //! ```
 
 pub use mda_ais as ais;
