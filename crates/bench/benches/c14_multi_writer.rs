@@ -1,0 +1,26 @@
+//! Criterion bench: multi-writer shard-owned ingest (C14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mda_bench::c12_events::churn_fixes;
+use mda_bench::c14_multi::drive_multi;
+
+fn bench(c: &mut Criterion) {
+    // A CI-sized slice of the standard workload: 300 vessels, 2 h.
+    let fixes = churn_fixes(300, 2, 14);
+    let mut group = c.benchmark_group("c14_multi_writer");
+    group.throughput(Throughput::Elements(fixes.len() as u64));
+    group.sample_size(10);
+    for writers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("churn", writers), &writers, |b, &w| {
+            b.iter(|| std::hint::black_box(drive_multi(&fixes, w)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -19,6 +19,9 @@
 //! - [`config`] — one configuration struct for the whole pipeline.
 //! - [`pipeline`] — [`pipeline::MaritimePipeline`]: push observations
 //!   in arrival order, get events and an updated picture out.
+//! - [`multi`] — [`multi::MultiWriterPipeline`]: the same contract
+//!   over N shard-owning writer lanes synchronised by a tick-boundary
+//!   barrier; everything observable is writer-count invariant.
 //! - [`query`] — the serving layer: [`query::QueryService`], a
 //!   cloneable read front-end answering point/window/kNN/predictive
 //!   queries and event subscriptions from consistent watermark-stamped
@@ -30,12 +33,14 @@
 
 pub mod config;
 pub mod decision;
+pub mod multi;
 pub mod pipeline;
 pub mod query;
 pub mod report;
 
 pub use config::{PipelineConfig, QueryConfig, RetentionPolicy};
 pub use decision::{Alert, DecisionSupport, OperatorPicture};
+pub use multi::MultiWriterPipeline;
 pub use pipeline::MaritimePipeline;
 pub use query::{FleetSummary, PredictedPosition, QueryService, Stamped, SystemSnapshot};
 pub use report::PipelineReport;

@@ -1,0 +1,994 @@
+//! Multi-writer shard-owned ingest: N writer lanes, one tick barrier.
+//!
+//! [`MultiWriterPipeline`] decomposes the single-writer
+//! [`MaritimePipeline`](crate::pipeline::MaritimePipeline) ingest loop
+//! into `writers` lanes that each own a **disjoint shard set
+//! end-to-end** — reorder buffer → fuser → engine shards
+//! ([`mda_events::EngineLane`]) → store shards
+//! ([`mda_store::shards::StoreLane`]) — routed by the same
+//! [`mda_geo::vessel_shard`] hash every layer already uses (lane `w` of
+//! `n` owns the shards `s` with `s % n == w`). Lane state is touched by
+//! exactly one thread, so lanes never contend on a lock for their own
+//! data.
+//!
+//! ## The barrier protocol
+//!
+//! Per-vessel work parallelises trivially; the cross-shard points do
+//! not. Exactly two operations need the whole fleet at one event time:
+//! the pairwise sweeps (rendezvous/collision read a merged
+//! [`FleetIndex`]) and the publication of a [`SystemSnapshot`] stamp.
+//! Both happen only at aligned tick boundaries `T`, so the lanes run an
+//! explicit two-phase barrier ([`mda_stream::barrier::TickBarrier`],
+//! panic-safe like `run_with_readers`) at every boundary:
+//!
+//! 1. every lane processes exactly its accepted data with `t <= T`,
+//!    deposits its per-shard detector events and live-index clones,
+//!    then quiesces; the elected leader merges the deposits in global
+//!    shard order (the engine's canonical event sort) and builds the
+//!    fleet view;
+//! 2. every lane sweeps its own shards against the shared fleet view
+//!    and deposits tick events and evictions; the leader merges,
+//!    seals, and publishes the stamp `T`, then the lanes fan the
+//!    eviction union out to their pair state and resume.
+//!
+//! Because the router accepts/drops arrivals and fires boundaries
+//! exactly like the single-writer pipeline, everything observable —
+//! emitted event sets, archive contents, published stamps and their
+//! snapshot answers, report counters — is a pure function of the
+//! arrival stream and **invariant under the writer count**
+//! (`tests/scenario_determinism.rs`, `tests/query_consistency.rs` and
+//! `tests/multi_writer.rs` hold it to that for 1/2/4/8 writers).
+//!
+//! ## Scope
+//!
+//! The lanes carry the serving-relevant stages: reorder, fusion, event
+//! recognition, synopsis compression, archive appends and
+//! route-network learning (lane parts merge exactly; see
+//! [`RouteNetwork::merge_from`]). The single-writer pipeline's
+//! console-only extras (density raster, live kNN engine, normalcy
+//! model, semantic graph, weather enrichment) stay on
+//! [`MaritimePipeline`](crate::pipeline::MaritimePipeline).
+
+use crate::config::PipelineConfig;
+use crate::query::{QueryService, QueryShared, SystemSnapshot};
+use crate::report::{PipelineReport, StageMetric, StageTimer};
+use mda_ais::messages::AisMessage;
+use mda_ais::quality;
+use mda_events::engine::{canonical_sort, EngineLane};
+use mda_events::event::MaritimeEvent;
+use mda_events::proximity::{FleetIndex, LiveIndex};
+use mda_forecast::routenet::{RouteNetPredictor, RouteNetwork};
+use mda_geo::{vessel_shard, Fix, Timestamp, VesselId};
+use mda_sim::receivers::{RadarPlot, VmsReport};
+use mda_sim::scenario::{AisObservation, SimOutput};
+use mda_store::segment::SegmentConfig;
+use mda_store::shards::{StIndexConfig, StoreConfig, StoreLane};
+use mda_store::shared::SharedTrajectoryStore;
+use mda_stream::barrier::{run_lanes, LaneRole};
+use mda_stream::reorder::ReorderBuffer;
+use mda_stream::watermark::{BoundedOutOfOrderness, SealSchedule, TickSchedule};
+use mda_synopses::compress::ThresholdCompressor;
+use mda_track::fusion::Fuser;
+use mda_track::sensor::{SensorKind, SensorReport};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// An observation routed to a writer lane's reorder buffer.
+#[derive(Debug, Clone)]
+enum LaneItem {
+    Ais(Fix),
+    Radar(RadarPlot),
+    Vms(VmsReport),
+}
+
+/// Per-lane stage timings, summed into the aggregate report.
+#[derive(Debug, Default)]
+struct LaneMetrics {
+    reorder: StageMetric,
+    fusion: StageMetric,
+    events: StageMetric,
+    synopses: StageMetric,
+    analytics: StageMetric,
+    storage: StageMetric,
+}
+
+/// One writer lane: the full per-shard pipeline for a disjoint shard
+/// set, owned by exactly one thread during an epoch.
+struct WriterLane {
+    reorder: ReorderBuffer<LaneItem>,
+    fuser: Fuser,
+    engine: EngineLane,
+    compressors: HashMap<VesselId, ThresholdCompressor>,
+    /// This lane's additive slice of the learned route network; the
+    /// published predictor merges all slices (exact under the cell
+    /// statistics' integer quantization).
+    route_part: RouteNetwork,
+    store: StoreLane,
+    metrics: LaneMetrics,
+    /// Tick boundaries this lane has crossed (fault-injection seam).
+    boundaries_crossed: u64,
+}
+
+/// Deposit area for one epoch, reused across boundaries: each slot is
+/// written by exactly one lane before a barrier and consumed by the
+/// leader behind it.
+struct EpochScratch {
+    /// Per global shard: detector events from the interval batches.
+    batch_events: Vec<Vec<MaritimeEvent>>,
+    /// Per global shard: detector events from the boundary sweep.
+    tick_events: Vec<Vec<MaritimeEvent>>,
+    /// Per global shard: live-index clone at the boundary.
+    indexes: Vec<Option<LiveIndex>>,
+    /// Leader-built fleet view the lanes sweep against.
+    fleet: Option<Arc<FleetIndex>>,
+    /// Per lane: vessels TTL-evicted by this boundary's sweep.
+    gone: Vec<Vec<VesselId>>,
+    /// Leader-built union of `gone`, fanned out to every lane's pair
+    /// state.
+    gone_all: Arc<HashSet<VesselId>>,
+    /// Per lane: live vessels after the sweep.
+    live_counts: Vec<usize>,
+    /// Per lane: route-network slice clone (only when a predictor
+    /// refresh is due).
+    route_parts: Vec<Option<RouteNetwork>>,
+    /// Leader decision: publish a snapshot at this boundary?
+    publish: bool,
+    /// Leader decision: rebuild the published predictor at this
+    /// boundary?
+    want_route: bool,
+}
+
+/// Serving/publication state shared between the lanes (under one
+/// mutex; held only for deposits and leader sections while every other
+/// lane is parked at the barrier).
+struct SharedState {
+    seals: SealSchedule,
+    store_snapshot: mda_store::StoreSnapshot,
+    published_route: Arc<RouteNetPredictor>,
+    ticks_since_refresh: u32,
+    last_published: Timestamp,
+    draining: bool,
+    /// Snapshot of `Arc::strong_count(&query) > 1`, taken once per
+    /// epoch on the router thread (handles are created through
+    /// `&mut self`, so the count cannot change mid-epoch).
+    has_readers: bool,
+    emitted: u64,
+    evicted: u64,
+    live: u64,
+    seal_sweeps: u64,
+    detector_counts: HashMap<&'static str, u64>,
+    /// Events finalised this epoch, in emission order (flush's return).
+    out: Vec<MaritimeEvent>,
+    scratch: EpochScratch,
+}
+
+fn lock(shared: &Mutex<SharedState>) -> MutexGuard<'_, SharedState> {
+    shared.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Concatenate per-shard deposits in global shard order and stable-sort
+/// by the canonical event key — byte-for-byte the single engine's
+/// emission order.
+fn merge_deposits(lists: &mut [Vec<MaritimeEvent>]) -> Vec<MaritimeEvent> {
+    let mut all = Vec::new();
+    for list in lists {
+        all.append(list);
+    }
+    all.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    all
+}
+
+impl SharedState {
+    /// Account merged events (tally, gauge, ring, epoch output).
+    fn emit(&mut self, events: Vec<MaritimeEvent>, query: &QueryShared) {
+        if events.is_empty() {
+            return;
+        }
+        for e in &events {
+            *self.detector_counts.entry(e.kind.label()).or_insert(0) += 1;
+        }
+        self.emitted += events.len() as u64;
+        query.append_events(&events);
+        self.out.extend(events);
+    }
+}
+
+/// The multi-writer counterpart of
+/// [`MaritimePipeline`](crate::pipeline::MaritimePipeline): same push
+/// API, same event-time semantics, `writers` shard-owning lanes doing
+/// the work.
+///
+/// Arrivals are routed to lanes by vessel shard, buffered per lane, and
+/// processed in **epochs**: every `ingest_batch` arrivals the router
+/// computes the due tick boundaries and runs all lanes to the current
+/// watermark under the barrier protocol described in the
+/// [module docs](self). Everything observable is writer-count
+/// invariant.
+///
+/// ```
+/// use mda_core::multi::MultiWriterPipeline;
+/// use mda_core::PipelineConfig;
+/// use mda_geo::{BoundingBox, Fix, Position, Timestamp};
+///
+/// let bounds = BoundingBox::new(42.0, 3.0, 44.0, 6.0);
+/// let mut pipeline = MultiWriterPipeline::new(PipelineConfig::regional(bounds), 4);
+/// let service = pipeline.query_service();
+/// for i in 0..120i64 {
+///     for v in 1..=8u32 {
+///         let pos = Position::new(42.5 + 0.1 * f64::from(v), 5.0 + 0.002 * i as f64);
+///         pipeline.push_fix(Fix::new(v, Timestamp::from_mins(i), pos, 10.0, 90.0));
+///     }
+/// }
+/// pipeline.finish();
+/// assert_eq!(service.fleet().value.archived_vessels, 8);
+/// ```
+pub struct MultiWriterPipeline {
+    config: PipelineConfig,
+    writers: usize,
+    total_shards: usize,
+    ingest_batch: usize,
+    arrivals_since_flush: usize,
+    watermark: BoundedOutOfOrderness,
+    /// Mirror of the single-writer reorder frontier: arrivals at or
+    /// behind it are dropped as late, exactly as `ReorderBuffer::push`
+    /// would after a release at every arrival.
+    drop_frontier: Timestamp,
+    /// Watermark of the last epoch: every accepted observation with
+    /// `t <=` this has been fully processed, so it is the
+    /// content-correct stamp for catch-up publications.
+    released_frontier: Timestamp,
+    /// Event times of accepted, not-yet-processed observations — the
+    /// router's mirror of the lane buffers, driving the tick schedule
+    /// with the same globally sorted stream the single writer sees.
+    pending_ts: BinaryHeap<Reverse<Timestamp>>,
+    ticks: TickSchedule,
+    lanes: Vec<WriterLane>,
+    store: SharedTrajectoryStore,
+    query: Arc<QueryShared>,
+    shared: Mutex<SharedState>,
+    /// Router-side counters (ingest/validation/routing); lane metrics
+    /// and shared gauges are folded in by [`MultiWriterPipeline::report`].
+    report: PipelineReport,
+    /// Test seam: `(lane, crossing)` at which that lane panics.
+    inject: Option<(usize, u64)>,
+}
+
+impl MultiWriterPipeline {
+    /// Build a pipeline with `writers` lanes (clamped to
+    /// `1..=store_shards`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.events.shards != config.store_shards` — lane
+    /// ownership is defined over the one shared shard space
+    /// ([`PipelineConfig::regional`] guarantees this).
+    pub fn new(config: PipelineConfig, writers: usize) -> Self {
+        assert_eq!(
+            config.events.shards.max(1),
+            config.store_shards.max(1),
+            "writer lanes need engine and store sharding aligned"
+        );
+        let total_shards = config.store_shards.max(1);
+        let writers = writers.clamp(1, total_shards);
+        // Same TTL resolution as the single-writer pipeline: the
+        // retention policy owns the live-state TTL unless the engine
+        // config was explicitly customised.
+        let default_ttl = mda_events::engine::EngineConfig::default().vessel_ttl;
+        let vessel_ttl = if config.events.vessel_ttl == default_ttl {
+            config.retention.detector_ttl
+        } else {
+            config.events.vessel_ttl
+        };
+        let events_config =
+            mda_events::engine::EngineConfig { vessel_ttl, ..config.events.clone() };
+        let store = SharedTrajectoryStore::with_config(StoreConfig {
+            shards: config.store_shards,
+            st_index: Some(StIndexConfig {
+                bounds: config.bounds,
+                cell_deg: 0.1,
+                slice: 30 * mda_geo::time::MINUTE,
+            }),
+            knn: None,
+            seal: SegmentConfig {
+                tolerance_m: config.retention.cold_tolerance_m,
+                max_silence: config.synopsis.max_silence,
+                ..SegmentConfig::default()
+            },
+        });
+        let route_net = RouteNetwork::new(config.bounds, config.model_cell_deg);
+        let published_route = Arc::new(RouteNetPredictor::new(route_net.clone()));
+        let store_snapshot = store.snapshot(None);
+        let query = Arc::new(QueryShared::new(
+            config.query.event_capacity,
+            SystemSnapshot::new(
+                Timestamp::MIN,
+                store_snapshot.clone(),
+                Arc::clone(&published_route),
+                0,
+                0,
+            ),
+        ));
+        let lanes = (0..writers)
+            .map(|w| WriterLane {
+                reorder: ReorderBuffer::new(),
+                fuser: Fuser::new(config.fusion),
+                engine: EngineLane::new(&events_config, w, writers),
+                compressors: HashMap::new(),
+                route_part: route_net.clone(),
+                store: store.lane(w, writers),
+                metrics: LaneMetrics::default(),
+                boundaries_crossed: 0,
+            })
+            .collect();
+        let shared = Mutex::new(SharedState {
+            seals: SealSchedule::new(config.retention.seal_every, config.retention.hot_horizon),
+            store_snapshot,
+            published_route,
+            ticks_since_refresh: 0,
+            last_published: Timestamp::MIN,
+            draining: false,
+            has_readers: false,
+            emitted: 0,
+            evicted: 0,
+            live: 0,
+            seal_sweeps: 0,
+            detector_counts: HashMap::new(),
+            out: Vec::new(),
+            scratch: EpochScratch {
+                batch_events: (0..total_shards).map(|_| Vec::new()).collect(),
+                tick_events: (0..total_shards).map(|_| Vec::new()).collect(),
+                indexes: (0..total_shards).map(|_| None).collect(),
+                fleet: None,
+                gone: (0..writers).map(|_| Vec::new()).collect(),
+                gone_all: Arc::new(HashSet::new()),
+                live_counts: vec![0; writers],
+                route_parts: (0..writers).map(|_| None).collect(),
+                publish: false,
+                want_route: false,
+            },
+        });
+        Self {
+            writers,
+            total_shards,
+            ingest_batch: 256,
+            arrivals_since_flush: 0,
+            watermark: BoundedOutOfOrderness::new(config.watermark_delay),
+            drop_frontier: Timestamp::MIN,
+            released_frontier: Timestamp::MIN,
+            pending_ts: BinaryHeap::new(),
+            ticks: TickSchedule::new(config.tick_interval),
+            lanes,
+            store,
+            query,
+            shared,
+            report: PipelineReport::default(),
+            inject: None,
+            config,
+        }
+    }
+
+    /// Set how many arrivals the router buffers between epochs (min 1;
+    /// default 256). Smaller batches publish stamps with less arrival
+    /// lag; larger batches amortise the barrier.
+    pub fn with_ingest_batch(mut self, arrivals: usize) -> Self {
+        self.ingest_batch = arrivals.max(1);
+        self
+    }
+
+    /// Number of writer lanes.
+    pub fn writers(&self) -> usize {
+        self.writers
+    }
+
+    /// The archival store (shared with all lane handles).
+    pub fn store(&self) -> &SharedTrajectoryStore {
+        &self.store
+    }
+
+    /// Test seam: make lane `lane` panic just before it arrives at its
+    /// `crossing`-th tick boundary (1-based). Exercises the barrier's
+    /// abandon path; see `tests/multi_writer.rs`.
+    pub fn inject_lane_panic(&mut self, lane: usize, crossing: u64) {
+        self.inject = Some((lane, crossing));
+    }
+
+    /// Push one received AIS observation (arrival order). Returns the
+    /// events finalised by the epoch this arrival completed (usually
+    /// empty — epochs run every `ingest_batch` arrivals).
+    pub fn push_ais(&mut self, obs: &AisObservation) -> Vec<MaritimeEvent> {
+        let _t = StageTimer::new(&mut self.report.ingest);
+        self.report.ais_messages += 1;
+        match &obs.msg {
+            AisMessage::StaticVoyage(sv) => {
+                self.report.static_messages += 1;
+                if !quality::validate_static(sv).is_clean() {
+                    self.report.static_flagged += 1;
+                }
+                drop(_t);
+                Vec::new()
+            }
+            msg => {
+                let Some(fix) = msg.to_fix(obs.t_sent) else {
+                    self.report.invalid_messages += 1;
+                    drop(_t);
+                    return Vec::new();
+                };
+                drop(_t);
+                self.enqueue(fix.t, LaneItem::Ais(fix))
+            }
+        }
+    }
+
+    /// Push one already-decoded AIS position fix (arrival order).
+    pub fn push_fix(&mut self, fix: Fix) -> Vec<MaritimeEvent> {
+        self.enqueue(fix.t, LaneItem::Ais(fix))
+    }
+
+    /// Push a radar plot.
+    pub fn push_radar(&mut self, plot: &RadarPlot) -> Vec<MaritimeEvent> {
+        self.report.radar_plots += 1;
+        self.enqueue(plot.t, LaneItem::Radar(*plot))
+    }
+
+    /// Push a VMS report.
+    pub fn push_vms(&mut self, report: &VmsReport) -> Vec<MaritimeEvent> {
+        self.report.vms_reports += 1;
+        self.enqueue(report.t, LaneItem::Vms(*report))
+    }
+
+    /// Which lane an item belongs to. Identity-bearing items go by
+    /// vessel shard (ownership); anonymous radar plots have no shard,
+    /// so any deterministic function of their content will do — they
+    /// only feed the owning lane's fuser.
+    fn route(&self, item: &LaneItem) -> usize {
+        match item {
+            LaneItem::Ais(fix) => vessel_shard(fix.id, self.total_shards) % self.writers,
+            LaneItem::Vms(v) => vessel_shard(v.id, self.total_shards) % self.writers,
+            LaneItem::Radar(plot) => {
+                let mut h = plot.t.millis() as u64;
+                h ^= plot.pos.lat.to_bits().rotate_left(17);
+                h ^= plot.pos.lon.to_bits().rotate_left(43);
+                (h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.writers
+            }
+        }
+    }
+
+    fn enqueue(&mut self, t: Timestamp, item: LaneItem) -> Vec<MaritimeEvent> {
+        let lane = self.route(&item);
+        {
+            let _t = StageTimer::new(&mut self.report.reorder);
+            // Same acceptance rule as the single writer, which releases
+            // its buffer at every arrival: at or behind the running
+            // watermark frontier means late.
+            if t <= self.drop_frontier && self.drop_frontier != Timestamp::MIN {
+                self.report.dropped_late += 1;
+                self.watermark.observe(t);
+            } else {
+                let wm = self.watermark.observe(t);
+                self.drop_frontier = self.drop_frontier.max(wm);
+                self.pending_ts.push(Reverse(t));
+                let accepted = self.lanes[lane].reorder.push(t, item);
+                debug_assert!(accepted, "router accepted an item its lane rejected");
+            }
+        }
+        self.arrivals_since_flush += 1;
+        if self.arrivals_since_flush >= self.ingest_batch {
+            self.flush()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Run one epoch to the current watermark and return the events it
+    /// finalised.
+    fn flush(&mut self) -> Vec<MaritimeEvent> {
+        self.arrivals_since_flush = 0;
+        let wm = self.watermark.current();
+        self.run_epoch(wm, false)
+    }
+
+    /// Pop the mirror heap up to `wm` and fire the tick schedule with
+    /// the released stream, exactly as the single writer's interleaved
+    /// releases would.
+    fn due_boundaries(&mut self, wm: Timestamp, draining: bool) -> (Vec<Timestamp>, bool) {
+        let mut any_released = false;
+        let mut boundaries = Vec::new();
+        while self.pending_ts.peek().is_some_and(|r| r.0 <= wm) {
+            let Reverse(t) = self.pending_ts.pop().expect("peeked");
+            any_released = true;
+            while let Some(b) = self.ticks.before_observation(t) {
+                boundaries.push(b);
+            }
+        }
+        while let Some(b) = self.ticks.at_watermark(wm) {
+            boundaries.push(b);
+        }
+        // End-of-stream: one trailing sweep at the final (unaligned)
+        // watermark, like the single writer's drain.
+        if draining
+            && self.ticks.anchored()
+            && wm > self.ticks.last_boundary()
+            && boundaries.last() != Some(&wm)
+        {
+            boundaries.push(wm);
+        }
+        (boundaries, any_released)
+    }
+
+    fn run_epoch(&mut self, wm: Timestamp, draining: bool) -> Vec<MaritimeEvent> {
+        let (boundaries, any_released) = self.due_boundaries(wm, draining);
+        if boundaries.is_empty() && !any_released {
+            self.released_frontier = self.released_frontier.max(wm);
+            return Vec::new();
+        }
+        {
+            let mut s = lock(&self.shared);
+            s.has_readers = Arc::strong_count(&self.query) > 1;
+        }
+        let shared = &self.shared;
+        let store = &self.store;
+        let query: &QueryShared = &self.query;
+        let config = &self.config;
+        let total_shards = self.total_shards;
+        let inject = self.inject;
+        let boundaries = &boundaries[..];
+        run_lanes(&mut self.lanes, move |w, lane, barrier| {
+            let released = {
+                let _t = StageTimer::new(&mut lane.metrics.reorder);
+                lane.reorder.release(wm)
+            };
+            let mut cursor = 0usize;
+            for &b in boundaries {
+                let end = cursor + released[cursor..].partition_point(|(t, _)| *t <= b);
+                process_interval(lane, &released[cursor..end], shared, config);
+                cursor = end;
+                {
+                    let mut s = lock(shared);
+                    for (shard, idx) in lane.engine.index_clones() {
+                        s.scratch.indexes[shard] = Some(idx);
+                    }
+                }
+                lane.boundaries_crossed += 1;
+                if inject == Some((w, lane.boundaries_crossed)) {
+                    panic!("injected lane fault");
+                }
+                // Phase 1: the leader merges interval events and builds
+                // the fleet view while every other lane stays parked.
+                if barrier.wait() == LaneRole::Leader {
+                    let mut s = lock(shared);
+                    let events = merge_deposits(&mut s.scratch.batch_events);
+                    s.emit(events, query);
+                    let indexes: Vec<LiveIndex> = (0..total_shards)
+                        .map(|shard| s.scratch.indexes[shard].take().unwrap_or_default())
+                        .collect();
+                    s.scratch.fleet = Some(Arc::new(FleetIndex::snapshot(&indexes)));
+                    s.scratch.publish = s.has_readers && b > s.last_published;
+                    s.scratch.want_route = false;
+                    if s.scratch.publish {
+                        s.ticks_since_refresh += 1;
+                        let cadence = config.query.predictor_refresh_ticks.max(1);
+                        if s.draining || s.ticks_since_refresh >= cadence {
+                            s.scratch.want_route = true;
+                            s.ticks_since_refresh = 0;
+                        }
+                    }
+                    drop(s);
+                    barrier.release();
+                }
+                let (fleet, want_route) = {
+                    let s = lock(shared);
+                    let fleet = Arc::clone(s.scratch.fleet.as_ref().expect("leader built fleet"));
+                    (fleet, s.scratch.want_route)
+                };
+                let (per_shard, gone) = {
+                    let _t = StageTimer::new(&mut lane.metrics.events);
+                    lane.engine.sweep(b, &fleet)
+                };
+                // Dead vessels must not pin lane compressors (the
+                // single writer's `drop_evicted_state`).
+                for id in &gone {
+                    lane.compressors.remove(id);
+                }
+                {
+                    let mut s = lock(shared);
+                    for (shard, events) in per_shard {
+                        s.scratch.tick_events[shard] = events;
+                    }
+                    s.scratch.gone[w] = gone;
+                    s.scratch.live_counts[w] = lane.engine.live_count();
+                    if want_route {
+                        s.scratch.route_parts[w] = Some(lane.route_part.clone());
+                    }
+                }
+                // Phase 2: the leader merges sweep results, seals and
+                // publishes the stamp `b`, all lanes parked.
+                if barrier.wait() == LaneRole::Leader {
+                    let mut s = lock(shared);
+                    let events = merge_deposits(&mut s.scratch.tick_events);
+                    s.emit(events, query);
+                    let mut union = HashSet::new();
+                    let mut total_gone = 0usize;
+                    for g in s.scratch.gone.iter_mut() {
+                        total_gone += g.len();
+                        union.extend(g.drain(..));
+                    }
+                    s.evicted += total_gone as u64;
+                    s.scratch.gone_all = Arc::new(union);
+                    s.live = s.scratch.live_counts.iter().sum::<usize>() as u64;
+                    if let Some(cut) = s.seals.due(b) {
+                        store.seal_before(cut);
+                        s.seal_sweeps += 1;
+                    }
+                    if s.scratch.publish {
+                        s.last_published = b;
+                        if s.scratch.want_route {
+                            let mut net = RouteNetwork::new(config.bounds, config.model_cell_deg);
+                            for part in s.scratch.route_parts.iter_mut() {
+                                if let Some(part) = part.take() {
+                                    net.merge_from(&part);
+                                }
+                            }
+                            s.published_route = Arc::new(RouteNetPredictor::new(net));
+                        }
+                        let snap = store.snapshot(Some(&s.store_snapshot));
+                        s.store_snapshot = snap.clone();
+                        let snapshot = SystemSnapshot::new(
+                            b,
+                            snap,
+                            Arc::clone(&s.published_route),
+                            s.live,
+                            s.emitted,
+                        );
+                        query.publish(snapshot);
+                    }
+                    drop(s);
+                    barrier.release();
+                }
+                let gone_all = Arc::clone(&lock(shared).scratch.gone_all);
+                lane.engine.evict_pairs(&gone_all);
+                lane.fuser.sweep(b);
+            }
+            // Tail interval: released data past the last boundary.
+            process_interval(lane, &released[cursor..], shared, config);
+            if barrier.wait() == LaneRole::Leader {
+                let mut s = lock(shared);
+                let events = merge_deposits(&mut s.scratch.batch_events);
+                s.emit(events, query);
+                drop(s);
+                barrier.release();
+            }
+        });
+        self.released_frontier = self.released_frontier.max(wm);
+        std::mem::take(&mut lock(&self.shared).out)
+    }
+
+    /// Publish a catch-up snapshot at `wm` from the router thread
+    /// (lanes idle): the single writer's off-grid `publish`, with the
+    /// lane route slices merged inline.
+    fn publish_inline(&mut self, wm: Timestamp) {
+        if Arc::strong_count(&self.query) == 1 {
+            return;
+        }
+        let mut s = lock(&self.shared);
+        if wm <= s.last_published {
+            return;
+        }
+        s.last_published = wm;
+        s.ticks_since_refresh += 1;
+        let cadence = self.config.query.predictor_refresh_ticks.max(1);
+        if s.draining || s.ticks_since_refresh >= cadence {
+            let mut net = RouteNetwork::new(self.config.bounds, self.config.model_cell_deg);
+            for lane in &self.lanes {
+                net.merge_from(&lane.route_part);
+            }
+            s.published_route = Arc::new(RouteNetPredictor::new(net));
+            s.ticks_since_refresh = 0;
+        }
+        let snap = self.store.snapshot(Some(&s.store_snapshot));
+        s.store_snapshot = snap.clone();
+        let snapshot =
+            SystemSnapshot::new(wm, snap, Arc::clone(&s.published_route), s.live, s.emitted);
+        self.query.publish(snapshot);
+    }
+
+    /// Drain everything buffered (end of stream); returns the remaining
+    /// events. Terminal like the single writer's `finish`: later
+    /// arrivals are dropped as late.
+    pub fn finish(&mut self) -> Vec<MaritimeEvent> {
+        let now = self.watermark.current().saturating_add(self.config.watermark_delay);
+        self.drop_frontier = Timestamp::MAX;
+        lock(&self.shared).draining = true;
+        let events = self.run_epoch(now, true);
+        // End-of-stream publication (dedupes against a trailing tick).
+        self.publish_inline(now);
+        lock(&self.shared).draining = false;
+        self.arrivals_since_flush = 0;
+        events
+    }
+
+    /// Run a whole simulated scenario (AIS + radar + VMS merged by
+    /// arrival time). Returns all recognised events.
+    pub fn run_scenario(&mut self, sim: &SimOutput) -> Vec<MaritimeEvent> {
+        enum Arrival<'a> {
+            Ais(&'a AisObservation),
+            Radar(&'a RadarPlot),
+            Vms(&'a VmsReport),
+        }
+        let mut merged: Vec<(Timestamp, Arrival)> =
+            Vec::with_capacity(sim.ais.len() + sim.radar.len() + sim.vms.len());
+        merged.extend(sim.ais.iter().map(|o| (o.t_received, Arrival::Ais(o))));
+        merged.extend(sim.radar.iter().map(|p| (p.t, Arrival::Radar(p))));
+        merged.extend(sim.vms.iter().map(|v| (v.t, Arrival::Vms(v))));
+        merged.sort_by_key(|(t, _)| *t);
+
+        let mut events = Vec::new();
+        for (_, item) in merged {
+            match item {
+                Arrival::Ais(o) => events.extend(self.push_ais(o)),
+                Arrival::Radar(p) => events.extend(self.push_radar(p)),
+                Arrival::Vms(v) => events.extend(self.push_vms(v)),
+            }
+        }
+        events.extend(self.finish());
+        events
+    }
+
+    /// A cloneable, thread-safe read front-end over this pipeline —
+    /// same contract as the single writer's `query_service`. A new
+    /// handle is caught up to the released frontier (the stamp at
+    /// which every accepted observation has been processed).
+    pub fn query_service(&mut self) -> QueryService {
+        let service = QueryService::new(Arc::clone(&self.query));
+        self.publish_inline(self.released_frontier);
+        service
+    }
+
+    /// Aggregate report: router counters plus shared gauges plus the
+    /// per-lane stage timings summed across lanes. Counters and gauges
+    /// are writer-count invariant; timing sums are not (they add busy
+    /// time across lanes).
+    pub fn report(&self) -> PipelineReport {
+        let mut r = self.report.clone();
+        {
+            let s = lock(&self.shared);
+            r.events_emitted = s.emitted;
+            r.evicted_vessels = s.evicted;
+            r.live_vessels = s.live;
+            r.seal_sweeps = s.seal_sweeps;
+            r.record_detectors(&s.detector_counts);
+        }
+        r.record_tiers(&self.store.tier_stats());
+        for lane in &self.lanes {
+            r.reorder.absorb(&lane.metrics.reorder);
+            r.fusion.absorb(&lane.metrics.fusion);
+            r.events.absorb(&lane.metrics.events);
+            r.synopses.absorb(&lane.metrics.synopses);
+            r.analytics.absorb(&lane.metrics.analytics);
+            r.storage.absorb(&lane.metrics.storage);
+        }
+        r
+    }
+}
+
+/// Process one lane's released items up to a boundary: fuse, recognise,
+/// compress, archive, learn — the single writer's `process_released` +
+/// `process_fix_batch` restricted to the lane's shards. Per-shard
+/// detector events are deposited into the epoch scratch.
+fn process_interval(
+    lane: &mut WriterLane,
+    items: &[(Timestamp, LaneItem)],
+    shared: &Mutex<SharedState>,
+    config: &PipelineConfig,
+) {
+    let mut batch: Vec<Fix> = Vec::new();
+    for (_, item) in items {
+        match item {
+            LaneItem::Ais(fix) => batch.push(*fix),
+            LaneItem::Radar(plot) => {
+                flush_fix_batch(lane, &mut batch, shared, config);
+                let _t = StageTimer::new(&mut lane.metrics.fusion);
+                lane.fuser.ingest(&SensorReport {
+                    kind: SensorKind::Radar,
+                    t: plot.t,
+                    pos: plot.pos,
+                    claimed_id: None,
+                    sog_kn: None,
+                    cog_deg: None,
+                    accuracy_m: None,
+                });
+            }
+            LaneItem::Vms(v) => {
+                flush_fix_batch(lane, &mut batch, shared, config);
+                let _t = StageTimer::new(&mut lane.metrics.fusion);
+                lane.fuser.ingest(&SensorReport {
+                    kind: SensorKind::Vms,
+                    t: v.t,
+                    pos: v.pos,
+                    claimed_id: Some(v.id),
+                    sog_kn: None,
+                    cog_deg: None,
+                    accuracy_m: None,
+                });
+            }
+        }
+    }
+    flush_fix_batch(lane, &mut batch, shared, config);
+}
+
+/// One canonical fix batch through a lane's stages.
+fn flush_fix_batch(
+    lane: &mut WriterLane,
+    batch: &mut Vec<Fix>,
+    shared: &Mutex<SharedState>,
+    config: &PipelineConfig,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let mut fixes = std::mem::take(batch);
+    // Same canonical content order as the single writer's batches: a
+    // lane subset sorted by the same total order yields the same
+    // per-shard subsequences a global sort would.
+    canonical_sort(&mut fixes);
+    {
+        let _t = StageTimer::new(&mut lane.metrics.fusion);
+        for fix in &fixes {
+            lane.fuser.ingest(&SensorReport::from_fix(SensorKind::AisTerrestrial, fix));
+        }
+    }
+    let per_shard = {
+        let _t = StageTimer::new(&mut lane.metrics.events);
+        lane.engine.observe_sorted(&fixes)
+    };
+    for fix in fixes {
+        let kept = {
+            let _t = StageTimer::new(&mut lane.metrics.synopses);
+            lane.compressors
+                .entry(fix.id)
+                .or_insert_with(|| ThresholdCompressor::new(config.synopsis))
+                .observe(fix)
+        };
+        {
+            let _t = StageTimer::new(&mut lane.metrics.analytics);
+            lane.route_part.learn(&fix);
+        }
+        if let Some(kept) = kept {
+            let _t = StageTimer::new(&mut lane.metrics.storage);
+            lane.store.append(kept);
+        }
+    }
+    if per_shard.iter().any(|(_, events)| !events.is_empty()) {
+        let mut s = lock(shared);
+        for (shard, events) in per_shard {
+            s.scratch.batch_events[shard].extend(events);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_geo::{BoundingBox, Position};
+
+    fn bounds() -> BoundingBox {
+        BoundingBox::new(42.0, 3.0, 44.0, 6.5)
+    }
+
+    /// A small mixed fleet with enough structure to light up several
+    /// detectors and the seal schedule.
+    fn drive(pipeline: &mut MultiWriterPipeline) -> Vec<MaritimeEvent> {
+        let mut events = Vec::new();
+        for i in 0..240i64 {
+            let t = Timestamp::from_mins(i);
+            for v in 1..=12u32 {
+                // Every 4th vessel goes dark after 2 h.
+                if v % 4 == 0 && i >= 120 {
+                    continue;
+                }
+                let lat = 42.3 + 0.12 * f64::from(v);
+                let pos = Position::new(lat, 4.0 + 0.004 * i as f64);
+                events.extend(pipeline.push_fix(Fix::new(v, t, pos, 11.0, 90.0)));
+            }
+        }
+        events.extend(pipeline.finish());
+        events
+    }
+
+    #[test]
+    fn writer_count_is_clamped_to_shards() {
+        let config = PipelineConfig::regional(bounds());
+        let shards = config.store_shards;
+        let p = MultiWriterPipeline::new(config, 64);
+        assert_eq!(p.writers(), shards);
+        let p = MultiWriterPipeline::new(PipelineConfig::regional(bounds()), 0);
+        assert_eq!(p.writers(), 1);
+    }
+
+    #[test]
+    fn single_and_multi_writer_reports_agree() {
+        let mut one =
+            MultiWriterPipeline::new(PipelineConfig::regional(bounds()), 1).with_ingest_batch(64);
+        let mut four =
+            MultiWriterPipeline::new(PipelineConfig::regional(bounds()), 4).with_ingest_batch(64);
+        let e1 = drive(&mut one);
+        let e4 = drive(&mut four);
+        assert_eq!(e1, e4, "event streams must be writer-count invariant");
+        let (r1, r4) = (one.report(), four.report());
+        assert_eq!(r1.events_emitted, r4.events_emitted);
+        assert!(r1.events_emitted > 0, "scenario should emit events");
+        assert_eq!(r1.detector_counts, r4.detector_counts);
+        assert_eq!(r1.live_vessels, r4.live_vessels);
+        assert_eq!(r1.evicted_vessels, r4.evicted_vessels);
+        assert!(r1.evicted_vessels > 0, "dark vessels should age out");
+        assert_eq!(r1.seal_sweeps, r4.seal_sweeps);
+        assert!(r1.seal_sweeps > 0, "4 h of data crosses seal boundaries");
+        assert_eq!(r1.hot_fixes, r4.hot_fixes);
+        assert_eq!(r1.cold_fixes, r4.cold_fixes);
+        assert_eq!(r1.cold_segments, r4.cold_segments);
+        assert_eq!(r1.dropped_late, r4.dropped_late);
+        assert_eq!(r1.ais_messages, r4.ais_messages);
+        // Stage timings aggregate across lanes: every stage that ran
+        // shows up with calls.
+        assert!(r4.events.calls > 0 && r4.synopses.calls > 0 && r4.storage.calls > 0);
+    }
+
+    #[test]
+    fn archives_match_across_writer_counts() {
+        let mut one =
+            MultiWriterPipeline::new(PipelineConfig::regional(bounds()), 1).with_ingest_batch(32);
+        let mut eight =
+            MultiWriterPipeline::new(PipelineConfig::regional(bounds()), 8).with_ingest_batch(32);
+        drive(&mut one);
+        drive(&mut eight);
+        assert_eq!(one.store().len(), eight.store().len());
+        for v in 1..=12u32 {
+            assert_eq!(
+                one.store().trajectory(v),
+                eight.store().trajectory(v),
+                "vessel {v} archive must be writer-count invariant"
+            );
+        }
+    }
+
+    #[test]
+    fn late_arrivals_drop_like_the_single_writer() {
+        let mut p =
+            MultiWriterPipeline::new(PipelineConfig::regional(bounds()), 2).with_ingest_batch(8);
+        let delay = p.config.watermark_delay;
+        for i in 0..60i64 {
+            p.push_fix(Fix::new(1, Timestamp::from_mins(i), Position::new(43.0, 5.0), 9.0, 90.0));
+        }
+        // Far behind the watermark: must be counted, not processed.
+        let stale = Timestamp::from_mins(59).saturating_add(-delay - 1);
+        p.push_fix(Fix::new(2, stale, Position::new(43.0, 5.0), 9.0, 90.0));
+        p.finish();
+        assert_eq!(p.report().dropped_late, 1);
+        assert!(p.store().trajectory(2).is_none(), "late vessel never archived");
+    }
+
+    #[test]
+    fn catch_up_publication_stamps_the_released_frontier() {
+        let mut p =
+            MultiWriterPipeline::new(PipelineConfig::regional(bounds()), 4).with_ingest_batch(16);
+        for i in 0..120i64 {
+            for v in 1..=4u32 {
+                let pos = Position::new(42.5 + 0.2 * f64::from(v), 5.0 + 0.002 * i as f64);
+                p.push_fix(Fix::new(v, Timestamp::from_mins(i), pos, 10.0, 90.0));
+            }
+        }
+        // Handle created mid-stream: stamped at the released frontier,
+        // where snapshot contents are complete.
+        let service = p.query_service();
+        let stamp = service.watermark();
+        assert_eq!(stamp, p.released_frontier);
+        let snap = service.snapshot();
+        for v in 1..=4u32 {
+            if let Some(traj) = snap.trajectory(v).value {
+                assert!(traj.iter().all(|f| f.t <= stamp), "no future data behind the stamp");
+            }
+        }
+        p.finish();
+        assert!(service.watermark() > stamp, "finish publishes the final stamp");
+    }
+}

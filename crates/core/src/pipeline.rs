@@ -414,7 +414,12 @@ impl MaritimePipeline {
         events
     }
 
-    fn process_fix_batch(&mut self, batch: Vec<Fix>) -> Vec<MaritimeEvent> {
+    fn process_fix_batch(&mut self, mut batch: Vec<Fix>) -> Vec<MaritimeEvent> {
+        // Canonicalise here, not just inside the engine: the synopsis
+        // and archive paths below must also see same-timestamp
+        // duplicates in a content order, or an upstream shuffle within
+        // the watermark delay could change which fix a compressor keeps.
+        mda_events::canonical_sort(&mut batch);
         // Fusion.
         {
             let _t = StageTimer::new(&mut self.report.fusion);

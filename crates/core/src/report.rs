@@ -27,6 +27,13 @@ impl StageMetric {
         }
         self.calls as f64 / (self.busy_nanos as f64 / 1e9)
     }
+
+    /// Fold another metric into this one (multi-writer lane
+    /// aggregation: per-lane stage timings sum into one report row).
+    pub fn absorb(&mut self, other: &StageMetric) {
+        self.calls += other.calls;
+        self.busy_nanos += other.busy_nanos;
+    }
 }
 
 /// RAII timer adding its elapsed time to a [`StageMetric`].

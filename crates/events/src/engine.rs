@@ -91,6 +91,32 @@ impl Default for EngineConfig {
     }
 }
 
+/// Sort a batch of fixes into the engine's canonical total order.
+///
+/// The order is over fix *content*, not just `(t, id)`: two fixes of
+/// one vessel with the same timestamp but different payloads (cloned
+/// identities, dual-receiver feeds) must still sort the same way under
+/// any arrival order, or the duplicate pair would be the one place
+/// processing depends on arrival. Bit patterns give a cheap
+/// arbitrary-but-fixed tiebreak. The sort is stable, so equal keys
+/// (true duplicates) keep arrival order.
+///
+/// Exposed so every consumer of watermark-released batches — the
+/// engine itself, writer lanes, the pipeline's synopsis loop — agrees
+/// on one canonical processing order.
+pub fn canonical_sort(fixes: &mut [Fix]) {
+    fixes.sort_by_key(|f| {
+        (
+            f.t,
+            f.id,
+            f.pos.lat.to_bits(),
+            f.pos.lon.to_bits(),
+            f.sog_kn.to_bits(),
+            f.cog_deg.to_bits(),
+        )
+    });
+}
+
 /// One detector shard: the per-vessel detectors for the vessels hashing
 /// here, plus the pairwise state owned by this shard (pairs whose
 /// smaller id lives here).
@@ -127,6 +153,65 @@ impl DetectorShard {
             out.extend(self.zones.observe(fix));
         }
         out
+    }
+
+    /// Pairwise (rendezvous/collision) sweep of this shard's vessels
+    /// against the fleet-wide view.
+    fn sweep_pairs(
+        &mut self,
+        wm: Timestamp,
+        own: &LiveIndex,
+        fleet: &FleetIndex,
+    ) -> Vec<MaritimeEvent> {
+        let order = own.vessels_sorted();
+        let mut out = self.rendezvous.sweep(wm, &order, own, fleet);
+        out.extend(self.collision.sweep(wm, &order, own, fleet));
+        out
+    }
+
+    /// Dark-vessel check plus TTL eviction for this shard: returns the
+    /// gap events and the ids evicted from this shard's per-vessel
+    /// state and index. Pair state is *not* touched here — pairs may
+    /// reference partners in other shards, so pair eviction fans the
+    /// union of evicted ids out via [`DetectorShard::evict_pairs`].
+    fn check_silent_and_evict(
+        &mut self,
+        index: &mut LiveIndex,
+        wm: Timestamp,
+        cut: Timestamp,
+    ) -> (Vec<MaritimeEvent>, Vec<VesselId>) {
+        let events = self.gap.check_silent(wm);
+        let gone = self.gap.evict_idle(cut);
+        if !gone.is_empty() {
+            // Zone state is keyed (vessel, zone): evict all ids in one
+            // retain pass. The per-vessel maps are O(1) removals.
+            let gone_set: HashSet<VesselId> = gone.iter().copied().collect();
+            self.zones.evict(&gone_set);
+            for &id in &gone {
+                self.veracity.evict(id);
+                self.loiter.evict(id);
+                index.remove(id);
+            }
+        }
+        (events, gone)
+    }
+
+    /// Drop pair state referencing any vessel in `gone` (the fan-out
+    /// step of eviction).
+    fn evict_pairs(&mut self, gone: &HashSet<VesselId>) {
+        self.rendezvous.evict(gone);
+        self.collision.evict(gone);
+    }
+
+    /// Accumulate this shard's resident-state counters into `s`.
+    fn accumulate_stats(&self, s: &mut EngineStateStats) {
+        s.gap_tracked += self.gap.known_vessels();
+        s.gap_heap += self.gap.heap_len();
+        s.veracity_identities += self.veracity.known_identities();
+        s.loiter_points += self.loiter.buffered_points();
+        s.zone_visits += self.zones.open_visits();
+        s.rendezvous_pairs += self.rendezvous.open_pairs();
+        s.collision_pairs += self.collision.armed_pairs();
     }
 }
 
@@ -227,22 +312,7 @@ impl EventEngine {
         }
         self.fixes_seen += batch.len() as u64;
         let mut fixes = batch.to_vec();
-        // A TOTAL order over fix content, not just (t, id): two fixes
-        // of one vessel with the same timestamp but different payloads
-        // (cloned identities, dual-receiver feeds) must still sort the
-        // same way under any arrival order, or the duplicate pair
-        // would be the one place emission depends on arrival. Bit
-        // patterns give a cheap arbitrary-but-fixed tiebreak.
-        fixes.sort_by_key(|f| {
-            (
-                f.t,
-                f.id,
-                f.pos.lat.to_bits(),
-                f.pos.lon.to_bits(),
-                f.sog_kn.to_bits(),
-                f.cog_deg.to_bits(),
-            )
-        });
+        canonical_sort(&mut fixes);
         let n = self.shards.len();
         let per_shard = partition_by_shard(fixes, n, |f| vessel_shard(f.id, n));
         let lanes = self
@@ -284,20 +354,8 @@ impl EventEngine {
         let cut = Timestamp(wm.millis().saturating_sub(self.vessel_ttl));
         let mut gone_all: Vec<VesselId> = Vec::new();
         for (shard, index) in self.shards.iter_mut().zip(self.indexes.iter_mut()) {
-            events.extend(shard.gap.check_silent(wm));
-            let gone = shard.gap.evict_idle(cut);
-            if gone.is_empty() {
-                continue;
-            }
-            // Zone state is keyed (vessel, zone): evict all ids in one
-            // retain pass. The per-vessel maps are O(1) removals.
-            let gone_set: HashSet<VesselId> = gone.iter().copied().collect();
-            shard.zones.evict(&gone_set);
-            for &id in &gone {
-                shard.veracity.evict(id);
-                shard.loiter.evict(id);
-                index.remove(id);
-            }
+            let (shard_events, gone) = shard.check_silent_and_evict(index, wm, cut);
+            events.extend(shard_events);
             gone_all.extend(gone);
         }
         // Pair state may reference an evicted partner from *another*
@@ -306,8 +364,7 @@ impl EventEngine {
         if !gone_all.is_empty() {
             let gone_set: HashSet<VesselId> = gone_all.iter().copied().collect();
             for shard in &mut self.shards {
-                shard.rendezvous.evict(&gone_set);
-                shard.collision.evict(&gone_set);
+                shard.evict_pairs(&gone_set);
             }
             gone_all.sort_unstable();
             self.evicted.extend(gone_all);
@@ -331,12 +388,7 @@ impl EventEngine {
                     .enumerate()
                     .map(|(s, shard)| {
                         let own = &indexes[s];
-                        scope.spawn(move || {
-                            let order = own.vessels_sorted();
-                            let mut out = shard.rendezvous.sweep(wm, &order, own, fleet);
-                            out.extend(shard.collision.sweep(wm, &order, own, fleet));
-                            out
-                        })
+                        scope.spawn(move || shard.sweep_pairs(wm, own, fleet))
                     })
                     .collect();
                 handles.into_iter().flat_map(|h| h.join().expect("sweep shard panicked")).collect()
@@ -344,10 +396,7 @@ impl EventEngine {
         } else {
             let mut out = Vec::new();
             for (s, shard) in shards.iter_mut().enumerate() {
-                let own = &indexes[s];
-                let order = own.vessels_sorted();
-                out.extend(shard.rendezvous.sweep(wm, &order, own, &fleet));
-                out.extend(shard.collision.sweep(wm, &order, own, &fleet));
+                out.extend(shard.sweep_pairs(wm, &indexes[s], &fleet));
             }
             out
         }
@@ -396,13 +445,7 @@ impl EventEngine {
             ..Default::default()
         };
         for shard in &self.shards {
-            s.gap_tracked += shard.gap.known_vessels();
-            s.gap_heap += shard.gap.heap_len();
-            s.veracity_identities += shard.veracity.known_identities();
-            s.loiter_points += shard.loiter.buffered_points();
-            s.zone_visits += shard.zones.open_visits();
-            s.rendezvous_pairs += shard.rendezvous.open_pairs();
-            s.collision_pairs += shard.collision.armed_pairs();
+            shard.accumulate_stats(&mut s);
         }
         s
     }
@@ -411,6 +454,171 @@ impl EventEngine {
         for e in events {
             *self.counts.entry(e.kind.label()).or_insert(0) += 1;
         }
+    }
+}
+
+/// One owned shard slot inside an [`EngineLane`].
+struct LaneSlot {
+    /// Global shard index in `0..total_shards`.
+    shard: usize,
+    detectors: DetectorShard,
+    index: LiveIndex,
+}
+
+/// A writer lane's slice of the sharded event engine.
+///
+/// Where [`EventEngine`] owns *every* detector shard, an `EngineLane`
+/// owns exactly the shards `{s : s % lanes == lane}` out of the same
+/// global shard space — the ownership convention of
+/// [`mda_stream::runner::run_shard_affine_indexed`] — and runs the
+/// identical per-shard code paths (the internal `DetectorShard` type
+/// is shared), so N lanes together emit exactly what one engine does.
+///
+/// The cross-shard steps stay with the caller's barrier protocol:
+///
+/// - per-vessel detection over a **canonically sorted** batch
+///   ([`EngineLane::observe_sorted`], see [`canonical_sort`]) returns
+///   per-shard event lists for the leader to merge;
+/// - at a tick boundary the lane deposits
+///   [`EngineLane::index_clones`], the leader builds the fleet-wide
+///   [`FleetIndex`], every lane sweeps its own shards against it
+///   ([`EngineLane::sweep`]), and the leader unions the evicted ids
+///   for the [`EngineLane::evict_pairs`] fan-out.
+pub struct EngineLane {
+    total_shards: usize,
+    slots: Vec<LaneSlot>,
+    vessel_ttl: DurationMs,
+    fixes_seen: u64,
+}
+
+impl EngineLane {
+    /// Build lane `lane` of `lanes` over `config`'s global shard space
+    /// (`config.shards` clamped to at least 1). Lanes beyond the shard
+    /// count own nothing; callers normally clamp `lanes <= shards`.
+    pub fn new(config: &EngineConfig, lane: usize, lanes: usize) -> Self {
+        assert!(lanes >= 1 && lane < lanes, "lane {lane} of {lanes}");
+        let total = config.shards.max(1);
+        let slots = (lane..total)
+            .step_by(lanes)
+            .map(|shard| LaneSlot {
+                shard,
+                detectors: DetectorShard::new(config),
+                index: LiveIndex::new(),
+            })
+            .collect();
+        Self { total_shards: total, slots, vessel_ttl: config.vessel_ttl, fixes_seen: 0 }
+    }
+
+    /// Global shard count of the engine this lane is a slice of.
+    pub fn total_shards(&self) -> usize {
+        self.total_shards
+    }
+
+    /// Global shard indexes this lane owns, ascending.
+    pub fn owned_shards(&self) -> Vec<usize> {
+        self.slots.iter().map(|s| s.shard).collect()
+    }
+
+    /// True if this lane owns `id`'s shard.
+    pub fn owns(&self, id: VesselId) -> bool {
+        let shard = vessel_shard(id, self.total_shards);
+        self.slots.iter().any(|s| s.shard == shard)
+    }
+
+    /// Per-vessel detector run over a batch already in
+    /// [`canonical_sort`] order (sorting a lane's subset with the same
+    /// total order yields the same per-shard subsequences a global sort
+    /// would). Every fix must belong to an owned shard. Returns
+    /// `(global shard, events)` per owned shard, ascending, each list
+    /// in this shard's processing order — the leader concatenates the
+    /// deposits in global shard order and applies the engine's stable
+    /// `(t, vessel, kind)` merge sort.
+    pub fn observe_sorted(&mut self, batch: &[Fix]) -> Vec<(usize, Vec<MaritimeEvent>)> {
+        self.fixes_seen += batch.len() as u64;
+        let mut per_slot: Vec<Vec<Fix>> = vec![Vec::new(); self.slots.len()];
+        for fix in batch {
+            let shard = vessel_shard(fix.id, self.total_shards);
+            let slot = self
+                .slots
+                .iter()
+                .position(|s| s.shard == shard)
+                .expect("fix routed to a shard this lane does not own");
+            per_slot[slot].push(*fix);
+        }
+        self.slots
+            .iter_mut()
+            .zip(per_slot)
+            .map(|(slot, fixes)| (slot.shard, slot.detectors.run(&mut slot.index, &fixes)))
+            .collect()
+    }
+
+    /// Clones of the owned shards' live indexes, `(global shard,
+    /// index)` ascending — the lane's deposit for the leader's
+    /// [`FleetIndex::snapshot`] merge at a tick boundary.
+    pub fn index_clones(&self) -> Vec<(usize, LiveIndex)> {
+        self.slots.iter().map(|s| (s.shard, s.index.clone())).collect()
+    }
+
+    /// Boundary sweep of the owned shards at watermark `wm` against
+    /// the merged fleet view: pairwise (rendezvous/collision) sweeps,
+    /// the dark-vessel check and TTL eviction — the same per-shard
+    /// steps as [`EventEngine::tick`]. Returns `(global shard,
+    /// events)` per owned shard plus the ids evicted from this lane's
+    /// per-vessel state; the caller unions the latter across lanes and
+    /// fans the union back through [`EngineLane::evict_pairs`].
+    pub fn sweep(
+        &mut self,
+        wm: Timestamp,
+        fleet: &FleetIndex,
+    ) -> (Vec<(usize, Vec<MaritimeEvent>)>, Vec<VesselId>) {
+        let cut = Timestamp(wm.millis().saturating_sub(self.vessel_ttl));
+        let mut gone_all = Vec::new();
+        let per_shard = self
+            .slots
+            .iter_mut()
+            .map(|slot| {
+                let mut events = slot.detectors.sweep_pairs(wm, &slot.index, fleet);
+                let (gap_events, gone) =
+                    slot.detectors.check_silent_and_evict(&mut slot.index, wm, cut);
+                events.extend(gap_events);
+                gone_all.extend(gone);
+                (slot.shard, events)
+            })
+            .collect();
+        (per_shard, gone_all)
+    }
+
+    /// Drop pair state referencing any vessel in `gone` — the fan-out
+    /// step after the leader unioned every lane's evictions (a pair
+    /// may span lanes).
+    pub fn evict_pairs(&mut self, gone: &HashSet<VesselId>) {
+        if gone.is_empty() {
+            return;
+        }
+        for slot in &mut self.slots {
+            slot.detectors.evict_pairs(gone);
+        }
+    }
+
+    /// Vessels currently tracked in the owned shards' live indexes.
+    pub fn live_count(&self) -> usize {
+        self.slots.iter().map(|s| s.index.len()).sum()
+    }
+
+    /// Fixes processed by this lane.
+    pub fn fixes_seen(&self) -> u64 {
+        self.fixes_seen
+    }
+
+    /// Resident detector state of the owned shards. Summing lane stats
+    /// across all lanes equals the single-engine
+    /// [`EventEngine::state_stats`] on the same stream.
+    pub fn state_stats(&self) -> EngineStateStats {
+        let mut s = EngineStateStats { live_vessels: self.live_count(), ..Default::default() };
+        for slot in &self.slots {
+            slot.detectors.accumulate_stats(&mut s);
+        }
+        s
     }
 }
 
@@ -631,6 +839,107 @@ mod tests {
         assert_eq!(e.live_index().len(), 1);
         assert!(e.live_index().latest(1).is_some());
         assert_eq!(e.shard_count(), 1);
+    }
+
+    /// Drive `lanes` [`EngineLane`]s through the same observe/tick
+    /// cadence as one [`EventEngine`], merging exactly the way the
+    /// multi-writer leader does, and return the merged emission.
+    fn run_lanes_merged(
+        config: &EngineConfig,
+        lanes: usize,
+        rounds: &[Vec<Fix>],
+    ) -> Vec<MaritimeEvent> {
+        let total = config.shards.max(1);
+        let mut lane_engines: Vec<EngineLane> =
+            (0..lanes).map(|w| EngineLane::new(config, w, lanes)).collect();
+        let merge = |per_shard: &mut Vec<Vec<MaritimeEvent>>| {
+            let mut all: Vec<MaritimeEvent> = Vec::new();
+            for list in per_shard.iter_mut() {
+                all.append(list);
+            }
+            all.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+            all
+        };
+        let mut out = Vec::new();
+        for (round, batch) in rounds.iter().enumerate() {
+            let mut sorted = batch.clone();
+            canonical_sort(&mut sorted);
+            // Observe: each lane takes its own vessels, deposits per shard.
+            let mut per_shard: Vec<Vec<MaritimeEvent>> = vec![Vec::new(); total];
+            for lane in &mut lane_engines {
+                let own: Vec<Fix> = sorted.iter().filter(|f| lane.owns(f.id)).copied().collect();
+                for (shard, events) in lane.observe_sorted(&own) {
+                    per_shard[shard] = events;
+                }
+            }
+            out.extend(merge(&mut per_shard));
+            // Tick: fleet merge, per-lane sweeps, union eviction fan-out.
+            let wm = Timestamp::from_mins(round as i64 + 1);
+            let mut indexes: Vec<LiveIndex> = vec![LiveIndex::new(); total];
+            for lane in &lane_engines {
+                for (shard, index) in lane.index_clones() {
+                    indexes[shard] = index;
+                }
+            }
+            let fleet = FleetIndex::snapshot(&indexes);
+            let mut per_shard: Vec<Vec<MaritimeEvent>> = vec![Vec::new(); total];
+            let mut gone_all: HashSet<VesselId> = HashSet::new();
+            for lane in &mut lane_engines {
+                let (shard_events, gone) = lane.sweep(wm, &fleet);
+                for (shard, events) in shard_events {
+                    per_shard[shard] = events;
+                }
+                gone_all.extend(gone);
+            }
+            for lane in &mut lane_engines {
+                lane.evict_pairs(&gone_all);
+            }
+            out.extend(merge(&mut per_shard));
+        }
+        out
+    }
+
+    #[test]
+    fn lane_decomposition_matches_single_engine() {
+        // Dense traffic with head-on pairs, dark vessels and zone
+        // transits, driven through observe+tick rounds: the lane
+        // decomposition (any lane count) must reproduce the single
+        // engine's emission event for event.
+        let zones = vec![NamedZone {
+            name: "RESERVE".into(),
+            area: mda_geo::Polygon::rectangle(BoundingBox::new(42.5, 4.5, 42.7, 4.8)),
+            protected: true,
+        }];
+        let config = EngineConfig { zones, shards: 8, vessel_ttl: HOUR, ..Default::default() };
+        let rounds: Vec<Vec<Fix>> = (0..90i64)
+            .map(|i| {
+                (1..=16u32)
+                    .filter(|v| i < 20 || v % 5 != 0) // every 5th vessel goes dark
+                    .map(|v| {
+                        let lane_lat = 42.4 + f64::from(v / 2) * 0.02;
+                        if v % 2 == 0 {
+                            fix(v, i, lane_lat, 4.4 + i as f64 * 0.004, 9.0, 90.0)
+                        } else {
+                            fix(v, i, lane_lat, 5.0 - i as f64 * 0.004, 9.0, 270.0)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut single = EventEngine::new(config.clone());
+        let mut reference = Vec::new();
+        for (round, batch) in rounds.iter().enumerate() {
+            reference.extend(single.observe_batch(batch));
+            reference.extend(single.tick(Timestamp::from_mins(round as i64 + 1)));
+        }
+        assert!(!reference.is_empty(), "scenario must emit events");
+        for lanes in [1usize, 2, 3, 8] {
+            assert_eq!(
+                run_lanes_merged(&config, lanes, &rounds),
+                reference,
+                "{lanes} lanes diverged from the single engine"
+            );
+        }
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod ring;
 pub mod veracity;
 pub mod zone;
 
-pub use engine::{EngineConfig, EngineStateStats, EventEngine};
+pub use engine::{canonical_sort, EngineConfig, EngineLane, EngineStateStats, EventEngine};
 pub use event::{EventKind, MaritimeEvent, Severity};
 pub use proximity::{FleetIndex, LiveIndex};
 pub use ring::{EventCursor, EventPoll, EventRing, SharedEventPoll};

@@ -59,7 +59,11 @@ struct Entry {
 /// this to skip re-computing unchanged pair geometry). Updates are
 /// stale-guarded: a late, out-of-order fix can never regress the
 /// snapshot (see [`LiveIndex::update`]).
-#[derive(Debug, Default)]
+///
+/// The index is `Clone` so a writer lane can deposit a cheap
+/// copy-on-quiesce view of its shards for the cross-lane
+/// [`FleetIndex`] merge at a tick barrier.
+#[derive(Debug, Clone, Default)]
 pub struct LiveIndex {
     latest: HashMap<VesselId, Entry>,
     cells: HashMap<(i32, i32), HashSet<VesselId>>,

@@ -19,23 +19,49 @@ use std::collections::HashMap;
 /// from cancelling in the mean.
 pub const SECTORS: usize = 8;
 
+/// Fixed-point scale for unit-range accumulators (course sines and
+/// cosines): 2³², leaving 2³¹ fixes of headroom per cell in an `i64`.
+const TRIG_SCALE: f64 = 4_294_967_296.0;
+/// Fixed-point scale for speed sums (knots): 2²⁰ ≈ a micro-knot,
+/// leaving tens of billions of ~100 kn fixes of headroom per cell.
+const SPEED_SCALE: f64 = 1_048_576.0;
+
+fn trig_q(v: f64) -> i64 {
+    (v * TRIG_SCALE).round() as i64
+}
+
+fn speed_q(kn: f64) -> i64 {
+    (kn * SPEED_SCALE).round() as i64
+}
+
 /// Per-cell traffic statistics, separated into course sectors.
+///
+/// All accumulators are **integer fixed-point** (courses quantized to
+/// 2⁻³² of a unit vector, speeds to 2⁻²⁰ kn). Integer addition is
+/// exact, associative and commutative, so a cell's sums are a pure
+/// function of the fix *multiset* — independent of learn order, of how
+/// the stream was partitioned across writer lanes, and of the order
+/// lane parts are [merged](RouteNetwork::merge_from). That is what
+/// lets a multi-writer pipeline publish bit-identical predictors to a
+/// single-writer run; the quantization error (≪ 1e-9 per fix) is far
+/// below the physical meaning of a course-over-ground reading.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct CellStats {
     /// Number of fixes observed in the cell.
     pub count: u64,
-    /// Sum of course sines/cosines (for the aggregate circular mean).
-    sin_sum: f64,
-    cos_sum: f64,
-    /// Sum of speeds (knots).
-    speed_sum: f64,
+    /// Sum of course sines/cosines (for the aggregate circular mean),
+    /// fixed-point at [`TRIG_SCALE`].
+    sin_sum: i64,
+    cos_sum: i64,
+    /// Sum of speeds, fixed-point at [`SPEED_SCALE`] (knots).
+    speed_sum: i64,
     /// Per-sector fix counts.
     sector_count: [u64; SECTORS],
-    /// Per-sector course sine/cosine sums.
-    sector_sin: [f64; SECTORS],
-    sector_cos: [f64; SECTORS],
-    /// Per-sector speed sums (knots).
-    sector_speed: [f64; SECTORS],
+    /// Per-sector course sine/cosine sums, fixed-point.
+    sector_sin: [i64; SECTORS],
+    sector_cos: [i64; SECTORS],
+    /// Per-sector speed sums, fixed-point (knots).
+    sector_speed: [i64; SECTORS],
 }
 
 fn sector_of(cog_deg: f64) -> usize {
@@ -45,15 +71,33 @@ fn sector_of(cog_deg: f64) -> usize {
 
 impl CellStats {
     fn add(&mut self, cog_deg: f64, sog_kn: f64) {
+        let (sin, cos) = (trig_q(cog_deg.to_radians().sin()), trig_q(cog_deg.to_radians().cos()));
+        let speed = speed_q(sog_kn);
         self.count += 1;
-        self.sin_sum += cog_deg.to_radians().sin();
-        self.cos_sum += cog_deg.to_radians().cos();
-        self.speed_sum += sog_kn;
+        self.sin_sum += sin;
+        self.cos_sum += cos;
+        self.speed_sum += speed;
         let s = sector_of(cog_deg);
         self.sector_count[s] += 1;
-        self.sector_sin[s] += cog_deg.to_radians().sin();
-        self.sector_cos[s] += cog_deg.to_radians().cos();
-        self.sector_speed[s] += sog_kn;
+        self.sector_sin[s] += sin;
+        self.sector_cos[s] += cos;
+        self.sector_speed[s] += speed;
+    }
+
+    /// Fold another cell's sums into this one. Exact (integer adds):
+    /// merging per-lane partial cells in any order equals having
+    /// learned every fix in one cell.
+    fn merge(&mut self, other: &CellStats) {
+        self.count += other.count;
+        self.sin_sum += other.sin_sum;
+        self.cos_sum += other.cos_sum;
+        self.speed_sum += other.speed_sum;
+        for s in 0..SECTORS {
+            self.sector_count[s] += other.sector_count[s];
+            self.sector_sin[s] += other.sector_sin[s];
+            self.sector_cos[s] += other.sector_cos[s];
+            self.sector_speed[s] += other.sector_speed[s];
+        }
     }
 
     /// The directional flow compatible with a vessel on course
@@ -66,9 +110,9 @@ impl CellStats {
         for centre in 0..SECTORS {
             // Pool the sector with its neighbours to smooth boundaries.
             let mut n = 0u64;
-            let mut sin = 0.0;
-            let mut cos = 0.0;
-            let mut speed = 0.0;
+            let mut sin = 0i64;
+            let mut cos = 0i64;
+            let mut speed = 0i64;
             for d in [SECTORS - 1, 0, 1] {
                 let s = (centre + d) % SECTORS;
                 n += self.sector_count[s];
@@ -79,7 +123,7 @@ impl CellStats {
             if n == 0 {
                 continue;
             }
-            let mean = norm_deg_360(sin.atan2(cos).to_degrees());
+            let mean = norm_deg_360((sin as f64).atan2(cos as f64).to_degrees());
             if mda_geo::units::heading_delta(mean, cog_deg) > 90.0 {
                 continue;
             }
@@ -88,7 +132,7 @@ impl CellStats {
             let centre_bias = if centre == own { 2 } else { 0 };
             let score = n + centre_bias;
             if best.map(|(_, _, bn)| score > bn).unwrap_or(true) {
-                best = Some((mean, speed / n as f64, score));
+                best = Some((mean, speed as f64 / SPEED_SCALE / n as f64, score));
             }
         }
         best
@@ -96,7 +140,7 @@ impl CellStats {
 
     /// Circular mean course, degrees.
     pub fn mean_course_deg(&self) -> f64 {
-        norm_deg_360(self.sin_sum.atan2(self.cos_sum).to_degrees())
+        norm_deg_360((self.sin_sum as f64).atan2(self.cos_sum as f64).to_degrees())
     }
 
     /// Mean speed, knots.
@@ -104,7 +148,7 @@ impl CellStats {
         if self.count == 0 {
             0.0
         } else {
-            self.speed_sum / self.count as f64
+            self.speed_sum as f64 / SPEED_SCALE / self.count as f64
         }
     }
 
@@ -115,7 +159,7 @@ impl CellStats {
         if self.count == 0 {
             return 0.0;
         }
-        (self.sin_sum.hypot(self.cos_sum)) / self.count as f64
+        (self.sin_sum as f64).hypot(self.cos_sum as f64) / TRIG_SCALE / self.count as f64
     }
 }
 
@@ -157,6 +201,27 @@ impl RouteNetwork {
         for f in fixes {
             self.learn(f);
         }
+    }
+
+    /// Fold another network (same bounds and cell size) into this one.
+    ///
+    /// Cell sums are integer fixed-point, so the merge is **exact**:
+    /// merging per-writer-lane partial networks in any order produces
+    /// the same cells, bit for bit, as learning the whole stream into
+    /// one network in any order. This is the cross-lane reduction the
+    /// multi-writer pipeline's tick leader runs before publishing a
+    /// predictor.
+    pub fn merge_from(&mut self, other: &RouteNetwork) {
+        assert!(
+            self.cell_deg == other.cell_deg
+                && self.bounds.min_lat == other.bounds.min_lat
+                && self.bounds.min_lon == other.bounds.min_lon,
+            "merging route networks with different grids"
+        );
+        for (cell, stats) in &other.cells {
+            self.cells.entry(*cell).or_default().merge(stats);
+        }
+        self.total_fixes += other.total_fixes;
     }
 
     /// Statistics of the cell containing `p`, if any traffic crossed it.
@@ -318,6 +383,46 @@ mod tests {
         s.add(0.0, 10.0);
         s.add(180.0, 10.0);
         assert!(s.course_concentration() < 0.05);
+    }
+
+    #[test]
+    fn partitioned_learning_merges_exactly() {
+        // Learn the same history (a) whole, in order; (b) whole, in
+        // reverse; (c) split across 4 partial networks by vessel id and
+        // merged in a scrambled order. All three must agree bit-for-bit
+        // in every derived statistic — the invariant the multi-writer
+        // pipeline's predictor publication rests on.
+        let history = l_lane_history(6);
+        let mut whole = RouteNetwork::new(bounds(), 0.05);
+        whole.learn_all(&history);
+        let mut reversed = RouteNetwork::new(bounds(), 0.05);
+        reversed.learn_all(history.iter().rev());
+        let mut parts: Vec<RouteNetwork> =
+            (0..4).map(|_| RouteNetwork::new(bounds(), 0.05)).collect();
+        for f in &history {
+            parts[f.id as usize % 4].learn(f);
+        }
+        let mut merged = RouteNetwork::new(bounds(), 0.05);
+        for p in [2usize, 0, 3, 1] {
+            merged.merge_from(&parts[p]);
+        }
+        assert_eq!(whole.total_fixes(), merged.total_fixes());
+        assert_eq!(whole.cell_count(), merged.cell_count());
+        for probe in &history {
+            let a = whole.stats_at(probe.pos).expect("learned cell");
+            let b = merged.stats_at(probe.pos).expect("merged cell");
+            let c = reversed.stats_at(probe.pos).expect("reversed cell");
+            assert_eq!(a.count, b.count);
+            for s in [a, c] {
+                assert_eq!(s.mean_course_deg().to_bits(), b.mean_course_deg().to_bits());
+                assert_eq!(s.mean_speed_kn().to_bits(), b.mean_speed_kn().to_bits());
+                assert_eq!(s.course_concentration().to_bits(), b.course_concentration().to_bits());
+                assert_eq!(
+                    s.directional_flow(90.0).map(|(c, v, n)| (c.to_bits(), v.to_bits(), n)),
+                    b.directional_flow(90.0).map(|(c, v, n)| (c.to_bits(), v.to_bits(), n))
+                );
+            }
+        }
     }
 
     #[test]

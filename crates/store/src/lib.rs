@@ -76,7 +76,9 @@ pub mod trajstore;
 
 pub use knn::{merge_candidates, KnnEngine, KnnResult};
 pub use segment::{SegmentConfig, TrajectorySegment};
-pub use shards::{KnnConfig, SealOutcome, ShardedTrajectoryStore, StIndexConfig, StoreConfig};
+pub use shards::{
+    KnnConfig, SealOutcome, ShardedTrajectoryStore, StIndexConfig, StoreConfig, StoreLane,
+};
 pub use shared::SharedTrajectoryStore;
 pub use snapshot::{ShardSnapshot, StoreSnapshot};
 pub use stindex::StGrid;

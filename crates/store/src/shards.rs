@@ -804,6 +804,62 @@ impl ShardedTrajectoryStore {
         }
         acc
     }
+
+    /// A shard-set-scoped ingest handle for writer lane `lane` of
+    /// `lanes`: the lane owns store shards `{s : s % lanes == lane}`
+    /// (the `mda_stream::runner::run_shard_affine_indexed` ownership
+    /// convention — the same one the event engine's lanes use, so an
+    /// engine lane and a store lane with matching counts own the same
+    /// vessels). See [`StoreLane`].
+    pub fn lane(&self, lane: usize, lanes: usize) -> StoreLane {
+        assert!(lanes >= 1 && lane < lanes, "lane {lane} of {lanes}");
+        StoreLane { store: self.clone(), lane, lanes }
+    }
+}
+
+/// A writer lane's scoped handle onto a [`ShardedTrajectoryStore`].
+///
+/// Appends assert (debug builds) that the fix belongs to one of the
+/// lane's owned shards, turning an ingest-routing bug — two lanes
+/// silently interleaving writes into one shard, destroying per-vessel
+/// arrival order — into an immediate failure instead of a
+/// nondeterministic archive. Reads are unrestricted: snapshots and
+/// queries stay whole-store operations on the underlying handle.
+#[derive(Debug, Clone)]
+pub struct StoreLane {
+    store: ShardedTrajectoryStore,
+    lane: usize,
+    lanes: usize,
+}
+
+impl StoreLane {
+    /// True if this lane owns `id`'s store shard.
+    pub fn owns(&self, id: VesselId) -> bool {
+        self.store.shard_of(id) % self.lanes == self.lane
+    }
+
+    /// This lane's index.
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// Append a fix to an owned shard.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `fix.id` hashes to a shard another lane
+    /// owns.
+    pub fn append(&self, fix: Fix) {
+        debug_assert!(
+            self.owns(fix.id),
+            "lane {} of {} appended vessel {} owned by lane {}",
+            self.lane,
+            self.lanes,
+            fix.id,
+            self.store.shard_of(fix.id) % self.lanes
+        );
+        self.store.append(fix);
+    }
 }
 
 #[cfg(test)]

@@ -20,6 +20,8 @@
 //!   the Figure-2 architecture.
 //! - **Parallel execution** ([`runner`]) — hash-partitioned worker pool
 //!   over crossbeam channels, the stand-in for a distributed cluster.
+//! - **Barrier protocol** ([`barrier`]) — leader-electing, panic-safe
+//!   tick-boundary barrier for multi-writer shard-affine ingest.
 //!
 //! ## Example
 //!
@@ -38,6 +40,7 @@
 //! assert_eq!(released, vec![1_000, 2_000]);
 //! ```
 
+pub mod barrier;
 pub mod join;
 pub mod pipeline;
 pub mod reorder;
@@ -45,6 +48,7 @@ pub mod runner;
 pub mod watermark;
 pub mod window;
 
+pub use barrier::{run_lanes, LaneRole, TickBarrier};
 pub use join::IntervalJoin;
 pub use pipeline::{Pipeline, Stage};
 pub use reorder::ReorderBuffer;

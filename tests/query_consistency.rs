@@ -16,9 +16,15 @@
 //!    watermarks are monotone, recorded answers match the oracle at
 //!    their stamp, and a cursor-polling subscriber reassembles exactly
 //!    the event stream the writer emitted.
+//!
+//! Both are also enforced for the multi-writer frontend: at 1/2/4/8
+//! writer lanes the published stamp sequence is identical and the
+//! answers at each stamp equal the same oracle (see
+//! `tests/multi_writer.rs` for the barrier fault and adversarial
+//! lateness batteries).
 
 use maritime::core::query::{PredictedPosition, SystemSnapshot};
-use maritime::core::{MaritimePipeline, PipelineConfig};
+use maritime::core::{MaritimePipeline, MultiWriterPipeline, PipelineConfig};
 use maritime::forecast::{DeadReckoningPredictor, Predictor};
 use maritime::geo::time::MINUTE;
 use maritime::geo::{Fix, Position, Timestamp, VesselId};
@@ -182,6 +188,61 @@ fn run_and_capture(sim: &SimOutput) -> (MaritimePipeline, Vec<(Timestamp, Arc<Sy
     (pipeline, recorded)
 }
 
+fn multi_push(pipeline: &mut MultiWriterPipeline, item: &Arrival<'_>) {
+    match item {
+        Arrival::Ais(o) => drop(pipeline.push_ais(o)),
+        Arrival::Radar(p) => drop(pipeline.push_radar(p)),
+        Arrival::Vms(v) => drop(pipeline.push_vms(v)),
+    }
+}
+
+/// [`run_and_capture`] for the multi-writer frontend: serially feed
+/// the arrival stream to a `writers`-lane pipeline (small ingest batch,
+/// so stamps publish densely) and record the stamped snapshot whenever
+/// the published stamp moves.
+fn multi_run_and_capture(
+    sim: &SimOutput,
+    writers: usize,
+) -> (MultiWriterPipeline, Vec<(Timestamp, Arc<SystemSnapshot>)>) {
+    let mut pipeline = MultiWriterPipeline::new(serving_config(sim), writers).with_ingest_batch(16);
+    let service = pipeline.query_service();
+    let mut recorded: Vec<(Timestamp, Arc<SystemSnapshot>)> = Vec::new();
+    for (_, _, item) in arrivals(sim) {
+        multi_push(&mut pipeline, &item);
+        let snap = service.snapshot();
+        if snap.watermark() != Timestamp::MIN
+            && recorded.last().map(|(w, _)| *w) != Some(snap.watermark())
+        {
+            recorded.push((snap.watermark(), snap));
+        }
+    }
+    pipeline.finish();
+    let last = service.snapshot();
+    recorded.push((last.watermark(), last));
+    assert_eq!(pipeline.report().dropped_late, 0, "config must prevent late drops");
+    (pipeline, recorded)
+}
+
+/// The multi-writer analogue of [`oracle_at`]: a fresh *single-lane*
+/// multi-writer run over the stream truncated to event time ≤ `w`.
+/// The oracle stays on the same frontend so batch granularity is
+/// identical on both sides and the comparison is exact; classic-vs-
+/// multi agreement (exact events, archives equal up to same-timestamp
+/// duplicate resolution) is enforced separately in
+/// `tests/scenario_determinism.rs`.
+fn multi_oracle_at(sim: &SimOutput, w: Timestamp) -> Arc<SystemSnapshot> {
+    let mut pipeline = MultiWriterPipeline::new(serving_config(sim), 1).with_ingest_batch(16);
+    let service = pipeline.query_service();
+    for (_, event_t, item) in arrivals(sim) {
+        if event_t <= w {
+            multi_push(&mut pipeline, &item);
+        }
+    }
+    pipeline.finish();
+    assert_eq!(pipeline.report().dropped_late, 0, "oracle must not drop");
+    service.snapshot()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 
@@ -199,6 +260,58 @@ proptest! {
         // Monotone stamps even serially.
         prop_assert!(recorded.windows(2).all(|w| w[0].0 < w[1].0));
         check_oracle_equivalence(&sim, &recorded, 4);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// Writer-count invariance of the serving layer: at 1/2/4/8 writer
+    /// lanes the multi-writer pipeline publishes exactly the same
+    /// stamp sequence, and the answers at each sampled stamp equal the
+    /// classic single-threaded oracle at that watermark.
+    #[test]
+    fn multi_writer_answers_equal_the_oracle_at_every_writer_count(
+        seed in 0u64..500,
+        vessels in 8usize..14,
+        mins in 90i64..120,
+    ) {
+        let sim = Scenario::generate(ScenarioConfig::regional(seed, vessels, mins * MINUTE));
+        let writer_counts = [1usize, 2, 4, 8];
+        let runs: Vec<_> =
+            writer_counts.iter().map(|&w| multi_run_and_capture(&sim, w).1).collect();
+        let reference: Vec<Timestamp> = runs[0].iter().map(|(w, _)| *w).collect();
+        prop_assert!(reference.len() > 3, "expected several published snapshots");
+        prop_assert!(reference.windows(2).all(|w| w[0] < w[1]), "stamps must be monotone");
+        for (writers, recorded) in writer_counts.iter().zip(&runs) {
+            let stamps: Vec<Timestamp> = recorded.iter().map(|(w, _)| *w).collect();
+            prop_assert_eq!(
+                &stamps, &reference,
+                "{} writer lanes published a different stamp sequence", writers
+            );
+        }
+        // One oracle run per sampled stamp, held against every writer
+        // count's snapshot at that stamp.
+        for w in sample_stamps(&reference, 3) {
+            let oracle_snap = multi_oracle_at(&sim, w);
+            for (writers, recorded) in writer_counts.iter().zip(&runs) {
+                let (_, snap) = recorded.iter().find(|(s, _)| *s == w).unwrap();
+                let ids: Vec<VesselId> = snap.store().vessels().into_iter().take(5).collect();
+                let got = battery(snap, &sim, w, &ids);
+                prop_assert_eq!(
+                    &got,
+                    &battery(&oracle_snap, &sim, w, &ids),
+                    "{} writer lanes diverged from the oracle at watermark {}", writers, w
+                );
+                for p in got.where_future.iter().flatten() {
+                    prop_assert!(
+                        p.predictor == "route-network"
+                            || p.predictor == DeadReckoningPredictor.name(),
+                        "future instants must use a forecast predictor, got {}", p.predictor
+                    );
+                }
+            }
+        }
     }
 }
 

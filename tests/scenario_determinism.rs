@@ -2,13 +2,15 @@
 //! engine chain must be a pure function of the scenario seed.
 //!
 //! This locks the concurrency refactors (sharded store, shard-affine
-//! ingest, sharded event engine) down against nondeterminism: two
-//! identical runs must produce identical event sets, identical
-//! archives, parallel backfill must be agnostic to the worker count,
-//! and the event layer must emit identically for any detector shard
-//! count.
+//! ingest, sharded event engine, multi-writer lanes) down against
+//! nondeterminism: two identical runs must produce identical event
+//! sets, identical archives, parallel backfill must be agnostic to the
+//! worker count, the event layer must emit identically for any
+//! detector shard count, and the multi-writer pipeline must be exactly
+//! invariant in the writer count (and agree with the classic
+//! single-writer frontend).
 
-use maritime::core::{MaritimePipeline, PipelineConfig};
+use maritime::core::{MaritimePipeline, MultiWriterPipeline, PipelineConfig};
 use maritime::events::event::MaritimeEvent;
 use maritime::geo::time::HOUR;
 use maritime::geo::Fix;
@@ -81,6 +83,81 @@ fn event_layer_is_shard_count_invariant() {
     assert!(!reference.is_empty(), "scenario must produce events");
     for shards in [2usize, 4, 8] {
         assert_eq!(run(shards), reference, "{shards} detector shards diverged");
+    }
+}
+
+#[test]
+fn multi_writer_ingest_is_writer_count_invariant() {
+    // Writer lanes + tick barrier: the whole observable output of the
+    // multi-writer pipeline — event sequence, archive, counters — must
+    // be *exactly* invariant in the writer count, and must agree with
+    // the classic single-writer pipeline (event multiset + archive;
+    // only release batching, and therefore emission order, differs
+    // between the two frontends).
+    let sim = Scenario::generate(ScenarioConfig::regional(23, 20, 2 * HOUR));
+    let multi_config = || {
+        let mut config = PipelineConfig::regional(sim.world.bounds);
+        config.events.zones = maritime::zones_of_world(&sim.world);
+        config
+    };
+    let run = |writers: usize| {
+        let mut pipeline = MultiWriterPipeline::new(multi_config(), writers).with_ingest_batch(128);
+        let events = pipeline.run_scenario(&sim);
+        let store = pipeline.store();
+        let per_vessel: Vec<(u32, Option<Vec<Fix>>)> =
+            store.vessels().iter().map(|&id| (id, store.trajectory(id))).collect();
+        let report = pipeline.report();
+        (
+            events,
+            store.len(),
+            per_vessel,
+            report.events_emitted,
+            report.detector_counts,
+            report.evicted_vessels,
+            report.seal_sweeps,
+            report.dropped_late,
+        )
+    };
+    let reference = run(1);
+    assert!(!reference.0.is_empty(), "scenario must produce events");
+    for writers in [2usize, 4, 8] {
+        assert_eq!(run(writers), reference, "{writers} writer lanes diverged");
+    }
+
+    // Cross-check the classic frontend over the same scenario.
+    let mut classic = build_pipeline(&sim);
+    let classic_events = classic.run_scenario(&sim);
+    let canon = |mut events: Vec<MaritimeEvent>| {
+        events.sort_by(|a, b| {
+            a.sort_key().cmp(&b.sort_key()).then_with(|| format!("{a:?}").cmp(&format!("{b:?}")))
+        });
+        events
+    };
+    assert_eq!(
+        canon(reference.0.clone()),
+        canon(classic_events),
+        "multi-writer event multiset diverged from the classic pipeline"
+    );
+    let classic_store = classic.store();
+    assert_eq!(reference.1, classic_store.len(), "archive size diverged from classic");
+    // Archives agree up to same-timestamp duplicate resolution: the
+    // classic frontend batches per push, the lanes per boundary, so
+    // when dual-receiver feeds clone a fix the two keep (possibly)
+    // different members of the duplicate pair — metres apart, same
+    // vessel, same instant. Structure must be exact; positions within
+    // receiver jitter.
+    for (id, trajectory) in &reference.2 {
+        let multi = trajectory.as_ref().unwrap();
+        let classic = classic_store.trajectory(*id).unwrap();
+        assert_eq!(multi.len(), classic.len(), "vessel {id} archive length diverged");
+        for (m, c) in multi.iter().zip(&classic) {
+            assert_eq!((m.id, m.t), (c.id, c.t), "vessel {id} archive structure diverged");
+            assert!(
+                (m.pos.lat - c.pos.lat).abs() < 1e-3 && (m.pos.lon - c.pos.lon).abs() < 1e-3,
+                "vessel {id} at {:?}: archived positions beyond duplicate jitter",
+                m.t
+            );
+        }
     }
 }
 
