@@ -1,0 +1,88 @@
+//! Criterion bench: durable cold tier — WAL-logged ingest, seal-to-
+//! disk, crash recovery, and cold queries from a recovered store (C16).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mda_bench::c11_tiered::{smooth_fleet, window_queries, WORKLOAD};
+use mda_bench::c16_durability::{archive_config, scratch_dir};
+use mda_core::config::RetentionPolicy;
+use mda_geo::time::HOUR;
+use mda_geo::Position;
+use mda_store::{DurabilityConfig, DurableStore};
+
+fn bench(c: &mut Criterion) {
+    let tolerance = RetentionPolicy::default().cold_tolerance_m;
+    let fixes = smooth_fleet(WORKLOAD, 200, 42);
+    let t_hi = fixes.iter().map(|f| f.t).max().unwrap();
+
+    // One crashed directory, reused (read-only) by the recovery and
+    // cold-query benches below.
+    let dir = scratch_dir("bench");
+    let durable =
+        DurableStore::open(archive_config(tolerance), &DurabilityConfig::new(&dir)).unwrap();
+    durable.append_batch(fixes.clone()).unwrap();
+    durable.mark(t_hi).unwrap();
+    durable.seal_before(t_hi + HOUR).unwrap();
+    eprintln!(
+        "c16_durability: {:.1} bytes/fix on disk ({} segments)",
+        durable.disk_bytes() as f64 / WORKLOAD as f64,
+        durable.tier_stats().cold_segments,
+    );
+    drop(durable);
+
+    let mut group = c.benchmark_group("c16_durability");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(WORKLOAD as u64));
+    // Seal-to-disk: the populated durable store is rebuilt in setup
+    // (fresh scratch directory each iteration), outside the timing.
+    group.bench_function("seal_to_disk_100k", |b| {
+        let mut n = 0u32;
+        b.iter_batched(
+            || {
+                n += 1;
+                let d = scratch_dir(&format!("seal-{n}"));
+                let store =
+                    DurableStore::open(archive_config(tolerance), &DurabilityConfig::new(&d))
+                        .unwrap();
+                store.append_batch(fixes.clone()).unwrap();
+                store.mark(t_hi).unwrap();
+                (store, d)
+            },
+            |(store, d)| {
+                std::hint::black_box(store.seal_before(t_hi + HOUR).unwrap());
+                drop(store);
+                let _ = std::fs::remove_dir_all(&d);
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("recover_100k", |b| {
+        b.iter(|| std::hint::black_box(DurableStore::recover(&dir, archive_config(tolerance))))
+    });
+    group.finish();
+
+    // Cold queries against a recovered store, next to c11's
+    // window_cold/knn_cold numbers.
+    let back = DurableStore::recover(&dir, archive_config(tolerance)).unwrap();
+    let queries = window_queries(t_hi);
+    let mut group = c.benchmark_group("c16_recovered_queries");
+    group.bench_function("window_recovered", |b| {
+        b.iter(|| {
+            for (area, from, to) in &queries {
+                std::hint::black_box(back.store().window(area, *from, *to));
+            }
+        })
+    });
+    group.bench_function("knn_recovered", |b| {
+        b.iter(|| std::hint::black_box(back.store().knn(Position::new(43.0, 4.5), t_hi, 10)))
+    });
+    group.finish();
+    drop(back);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

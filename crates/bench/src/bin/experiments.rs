@@ -29,6 +29,7 @@ fn main() {
         ("c12", mda_bench::c12_events::run),
         ("c13", mda_bench::c13_query::run),
         ("c14", mda_bench::c14_multi::run),
+        ("c16", mda_bench::c16_durability::run),
     ];
     let selected: Vec<&Experiment> = if args.is_empty() {
         all.iter().collect()
@@ -36,7 +37,7 @@ fn main() {
         all.iter().filter(|(name, _)| args.iter().any(|a| a == name)).collect()
     };
     if selected.is_empty() {
-        eprintln!("unknown experiment; available: fig1 fig2 c1..c14");
+        eprintln!("unknown experiment; available: fig1 fig2 c1..c14 c16");
         std::process::exit(2);
     }
     let start = Instant::now();

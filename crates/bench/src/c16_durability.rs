@@ -1,0 +1,219 @@
+//! C16 — durability: what the durable cold tier costs over the
+//! in-memory archive, and what crash recovery buys back.
+//!
+//! Reuses the C11 workload and archive shape so every number is an
+//! apples-to-apples comparison against the in-memory tiered store:
+//!
+//! - **ingest overhead** — fixes/s appended with write-ahead logging
+//!   vs straight into the hot tier.
+//! - **seal-to-disk throughput** — fixes/s moved hot→cold when the
+//!   sweep also persists segment frames, rotates the WAL and commits
+//!   the manifest, vs C11's purely in-memory sweep.
+//! - **recovery time** — opening the crashed directory cold: manifest
+//!   read, segment adoption, WAL replay to the pre-crash watermark.
+//! - **cold query latency from disk** — the C11 window/knn mix against
+//!   the recovered store vs the never-crashed in-memory sealed store
+//!   (the acceptance bar: within 2x).
+//! - **bytes per fix on disk** — segment files + WAL + manifest vs the
+//!   in-memory cold tier's resident bytes.
+
+use crate::c11_tiered::{bounds, smooth_fleet, window_queries, WORKLOAD};
+use crate::util::{f, table, timed};
+use mda_core::config::RetentionPolicy;
+use mda_geo::time::{HOUR, MINUTE};
+use mda_geo::{Fix, Position};
+use mda_store::segment::SegmentConfig;
+use mda_store::shards::{ShardedTrajectoryStore, StIndexConfig, StoreConfig};
+use mda_store::{DurabilityConfig, DurableStore};
+use std::path::PathBuf;
+
+/// The C11 archive configuration (grid-indexed, 8 shards), shared by
+/// the in-memory baseline and the durable store so the comparison is
+/// config-identical.
+pub fn archive_config(tolerance_m: f64) -> StoreConfig {
+    StoreConfig {
+        shards: 8,
+        st_index: Some(StIndexConfig { bounds: bounds(), cell_deg: 0.1, slice: 30 * MINUTE }),
+        knn: None,
+        seal: SegmentConfig { tolerance_m, max_silence: 30 * MINUTE, max_span: 30 * MINUTE },
+    }
+}
+
+/// A fresh scratch data directory under the system temp dir.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mda-c16-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Append the workload in per-reporting-round batches (200 vessels at
+/// 10 s cadence → 200-fix batches), as the pipeline's tick loop would.
+fn ingest_batched(fixes: &[Fix], mut push: impl FnMut(Vec<Fix>)) {
+    for chunk in fixes.chunks(200) {
+        push(chunk.to_vec());
+    }
+}
+
+/// Run the experiment and return the report text.
+pub fn run() -> String {
+    let tol = RetentionPolicy::default().cold_tolerance_m;
+    let fixes = smooth_fleet(WORKLOAD, 200, 42);
+    let t_hi = fixes.iter().map(|fx| fx.t).max().unwrap();
+
+    // In-memory baseline, C11's shape: batched ingest, one seal sweep.
+    let mem = ShardedTrajectoryStore::with_config(archive_config(tol));
+    let ((), mem_ingest_secs) = timed(|| {
+        ingest_batched(&fixes, |batch| {
+            mem.append_batch(batch);
+        });
+    });
+    let ((), mem_seal_secs) = timed(|| {
+        mem.seal_before(t_hi + HOUR);
+    });
+    let mem_stats = mem.tier_stats();
+
+    // Durable: identical workload write-ahead-logged batch by batch,
+    // marked at the final watermark, then sealed to disk.
+    let dir = scratch_dir("run");
+    let durable =
+        DurableStore::open(archive_config(tol), &DurabilityConfig::new(&dir)).expect("open");
+    let ((), wal_ingest_secs) = timed(|| {
+        ingest_batched(&fixes, |batch| {
+            durable.append_batch(batch).expect("logged append");
+        });
+        durable.mark(t_hi).expect("mark");
+    });
+    let (outcome, dur_seal_secs) = timed(|| durable.seal_before(t_hi + HOUR).expect("seal"));
+    let disk_bytes = durable.disk_bytes();
+    drop(durable); // the crash: no shutdown path
+
+    // Cold start: recover the directory into a fresh store.
+    let (back, recover_secs) =
+        timed(|| DurableStore::recover(&dir, archive_config(tol)).expect("recover"));
+    let report = back.recovery().clone();
+
+    // The C11 query mix against the in-memory sealed store and the
+    // disk-recovered one.
+    let queries = window_queries(t_hi);
+    let time_windows = |store: &ShardedTrajectoryStore| {
+        let (count, secs) = timed(|| {
+            let mut n = 0usize;
+            for _ in 0..5 {
+                for (area, from, to) in &queries {
+                    n += store.window(area, *from, *to).len();
+                }
+            }
+            n
+        });
+        (count, secs / (5.0 * queries.len() as f64) * 1e6)
+    };
+    let (mem_hits, mem_win_us) = time_windows(&mem);
+    let (disk_hits, disk_win_us) = time_windows(back.store());
+
+    let knn_probe = |store: &ShardedTrajectoryStore| {
+        let ((), secs) = timed(|| {
+            for i in 0..50 {
+                let q = Position::new(42.2 + 0.03 * f64::from(i), 3.2 + 0.05 * f64::from(i));
+                std::hint::black_box(store.knn(q, t_hi, 10));
+            }
+        });
+        secs / 50.0 * 1e6
+    };
+    let mem_knn_us = knn_probe(&mem);
+    let disk_knn_us = knn_probe(back.store());
+    drop(back);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let rate = |secs: f64| f(WORKLOAD as f64 / secs / 1e6, 2);
+    let mut out = String::new();
+    out.push_str(&table(
+        &format!("C16 — durable cold tier, {WORKLOAD} fixes / 200 vessels"),
+        &["metric", "in-memory", "durable", "ratio"],
+        &[
+            vec![
+                "ingest (Mfix/s)".into(),
+                rate(mem_ingest_secs),
+                rate(wal_ingest_secs),
+                format!("{}x", f(wal_ingest_secs / mem_ingest_secs, 2)),
+            ],
+            vec![
+                "seal sweep (Mfix/s)".into(),
+                rate(mem_seal_secs),
+                rate(dur_seal_secs),
+                format!("{}x", f(dur_seal_secs / mem_seal_secs, 2)),
+            ],
+            vec![
+                "window query (us)".into(),
+                f(mem_win_us, 1),
+                f(disk_win_us, 1),
+                format!("{}x", f(disk_win_us / mem_win_us, 2)),
+            ],
+            vec![
+                "knn query (us)".into(),
+                f(mem_knn_us, 1),
+                f(disk_knn_us, 1),
+                format!("{}x", f(disk_knn_us / mem_knn_us, 2)),
+            ],
+            vec![
+                "cold bytes/fix".into(),
+                f(mem_stats.cold_bytes as f64 / WORKLOAD as f64, 1),
+                f(disk_bytes as f64 / WORKLOAD as f64, 1),
+                format!("{}x", f(disk_bytes as f64 / mem_stats.cold_bytes as f64, 2)),
+            ],
+        ],
+    ));
+    out.push('\n');
+    out.push_str(&table(
+        "C16 — crash recovery (cold start of the crashed directory)",
+        &["metric", "value"],
+        &[
+            vec!["recovery time (ms)".into(), f(recover_secs * 1e3, 1)],
+            vec!["recovery rate (Mfix/s)".into(), rate(recover_secs)],
+            vec!["segments adopted".into(), report.segments.to_string()],
+            vec!["segments sealed at crash".into(), outcome.segments.to_string()],
+            vec!["sealed fixes on disk".into(), report.sealed_fixes.to_string()],
+            vec!["hot fixes replayed".into(), report.hot_fixes.to_string()],
+            vec!["window hits mem/disk".into(), format!("{mem_hits}/{disk_hits}")],
+        ],
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The recovered store answers the full C11 query mix exactly like
+    /// the never-crashed in-memory sealed store: durability changes
+    /// where bytes live, not what queries see.
+    #[test]
+    fn recovered_answers_match_the_in_memory_sealed_store() {
+        let tol = RetentionPolicy::default().cold_tolerance_m;
+        let fixes = smooth_fleet(20_000, 50, 7);
+        let t_hi = fixes.iter().map(|fx| fx.t).max().unwrap();
+
+        let mem = ShardedTrajectoryStore::with_config(archive_config(tol));
+        mem.append_batch(fixes.clone());
+        mem.seal_before(t_hi + HOUR);
+
+        let dir = scratch_dir("test");
+        let durable =
+            DurableStore::open(archive_config(tol), &DurabilityConfig::new(&dir)).unwrap();
+        durable.append_batch(fixes).unwrap();
+        durable.mark(t_hi).unwrap();
+        durable.seal_before(t_hi + HOUR).unwrap();
+        assert!(durable.disk_bytes() > 0);
+        drop(durable);
+
+        let back = DurableStore::recover(&dir, archive_config(tol)).unwrap();
+        assert_eq!(back.watermark(), t_hi);
+        assert_eq!(back.recovery().dropped_segments, 0);
+        for (area, from, to) in window_queries(t_hi) {
+            assert_eq!(back.store().window(&area, from, to), mem.window(&area, from, to));
+        }
+        for v in 1..=50u32 {
+            assert_eq!(back.store().trajectory(v), mem.trajectory(v), "vessel {v}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -3,6 +3,7 @@
 use mda_events::engine::EngineConfig;
 use mda_geo::time::{HOUR, MINUTE};
 use mda_geo::{BoundingBox, DurationMs};
+use mda_store::DurabilityConfig;
 use mda_synopses::compress::ThresholdConfig;
 use mda_track::fusion::FuserConfig;
 
@@ -132,6 +133,15 @@ pub struct PipelineConfig {
     /// cadence for the snapshots published to
     /// [`QueryService`](crate::query::QueryService) readers.
     pub query: QueryConfig,
+    /// Durable archive storage. `None` (the default) keeps the archive
+    /// purely in memory. With a [`DurabilityConfig`], the pipeline
+    /// opens a [`mda_store::DurableStore`] in the configured data
+    /// directory: accepted fixes are write-ahead-logged, seal sweeps
+    /// persist cold segments, every tick boundary records the
+    /// published watermark as the durability mark, and constructing a
+    /// pipeline over a directory holding a previous run recovers the
+    /// archive to that run's exact last published watermark.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl PipelineConfig {
@@ -154,7 +164,16 @@ impl PipelineConfig {
             store_shards,
             retention: RetentionPolicy::default(),
             query: QueryConfig::default(),
+            durability: None,
         }
+    }
+
+    /// Persist the archive into `dir` (and recover from it on
+    /// construction when it already holds a previous run). See
+    /// [`PipelineConfig::durability`].
+    pub fn with_durability(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.durability = Some(DurabilityConfig::new(dir));
+        self
     }
 }
 

@@ -64,6 +64,7 @@ use mda_sim::scenario::{AisObservation, SimOutput};
 use mda_store::segment::SegmentConfig;
 use mda_store::shards::{StIndexConfig, StoreConfig, StoreLane};
 use mda_store::shared::SharedTrajectoryStore;
+use mda_store::DurableStore;
 use mda_stream::barrier::{run_lanes, LaneRole};
 use mda_stream::reorder::ReorderBuffer;
 use mda_stream::watermark::{BoundedOutOfOrderness, SealSchedule, TickSchedule};
@@ -245,6 +246,11 @@ pub struct MultiWriterPipeline {
     ticks: TickSchedule,
     lanes: Vec<WriterLane>,
     store: SharedTrajectoryStore,
+    /// Durable backing of the archive, when configured. Lanes log
+    /// their fix batches through it; the phase-2 barrier leader seals
+    /// and marks through it (every other lane parked — exactly the
+    /// append quiescence a durable seal requires).
+    durable: Option<Arc<DurableStore>>,
     query: Arc<QueryShared>,
     shared: Mutex<SharedState>,
     /// Router-side counters (ingest/validation/routing); lane metrics
@@ -282,7 +288,7 @@ impl MultiWriterPipeline {
         };
         let events_config =
             mda_events::engine::EngineConfig { vessel_ttl, ..config.events.clone() };
-        let store = SharedTrajectoryStore::with_config(StoreConfig {
+        let store_config = StoreConfig {
             shards: config.store_shards,
             st_index: Some(StIndexConfig {
                 bounds: config.bounds,
@@ -295,14 +301,26 @@ impl MultiWriterPipeline {
                 max_silence: config.synopsis.max_silence,
                 ..SegmentConfig::default()
             },
-        });
+        };
+        // Same durable wiring as the single writer: a configured data
+        // directory is opened (or recovered) before any lane exists,
+        // and the lanes share the durable store's in-memory face.
+        let (store, durable) = match &config.durability {
+            Some(d) => {
+                let durable = DurableStore::open(store_config, d)
+                    .expect("open/recover the durable data directory");
+                (durable.store().clone(), Some(Arc::new(durable)))
+            }
+            None => (SharedTrajectoryStore::with_config(store_config), None),
+        };
+        let durable_floor = durable.as_ref().map_or(Timestamp::MIN, |d| d.watermark());
         let route_net = RouteNetwork::new(config.bounds, config.model_cell_deg);
         let published_route = Arc::new(RouteNetPredictor::new(route_net.clone()));
         let store_snapshot = store.snapshot(None);
         let query = Arc::new(QueryShared::new(
             config.query.event_capacity,
             SystemSnapshot::new(
-                Timestamp::MIN,
+                durable_floor,
                 store_snapshot.clone(),
                 Arc::clone(&published_route),
                 0,
@@ -326,7 +344,7 @@ impl MultiWriterPipeline {
             store_snapshot,
             published_route,
             ticks_since_refresh: 0,
-            last_published: Timestamp::MIN,
+            last_published: durable_floor,
             draining: false,
             has_readers: false,
             emitted: 0,
@@ -354,12 +372,16 @@ impl MultiWriterPipeline {
             ingest_batch: 256,
             arrivals_since_flush: 0,
             watermark: BoundedOutOfOrderness::new(config.watermark_delay),
-            drop_frontier: Timestamp::MIN,
-            released_frontier: Timestamp::MIN,
+            // A recovered run's published watermark is the late floor:
+            // replays of data it already holds are dropped, keeping the
+            // WAL mark discipline intact across restarts.
+            drop_frontier: durable_floor,
+            released_frontier: durable_floor,
             pending_ts: BinaryHeap::new(),
             ticks: TickSchedule::new(config.tick_interval),
             lanes,
             store,
+            durable,
             query,
             shared,
             report: PipelineReport::default(),
@@ -384,6 +406,13 @@ impl MultiWriterPipeline {
     /// The archival store (shared with all lane handles).
     pub fn store(&self) -> &SharedTrajectoryStore {
         &self.store
+    }
+
+    /// The durable backing store, when durability is configured — for
+    /// inspecting the [`mda_store::RecoveryReport`] or the durable
+    /// watermark.
+    pub fn durable(&self) -> Option<&DurableStore> {
+        self.durable.as_deref()
     }
 
     /// Test seam: make lane `lane` panic just before it arrives at its
@@ -528,6 +557,7 @@ impl MultiWriterPipeline {
         }
         let shared = &self.shared;
         let store = &self.store;
+        let durable = self.durable.as_deref();
         let query: &QueryShared = &self.query;
         let config = &self.config;
         let total_shards = self.total_shards;
@@ -541,7 +571,7 @@ impl MultiWriterPipeline {
             let mut cursor = 0usize;
             for &b in boundaries {
                 let end = cursor + released[cursor..].partition_point(|(t, _)| *t <= b);
-                process_interval(lane, &released[cursor..end], shared, config);
+                process_interval(lane, &released[cursor..end], shared, durable, config);
                 cursor = end;
                 {
                     let mut s = lock(shared);
@@ -617,8 +647,24 @@ impl MultiWriterPipeline {
                     s.scratch.gone_all = Arc::new(union);
                     s.live = s.scratch.live_counts.iter().sum::<usize>() as u64;
                     if let Some(cut) = s.seals.due(b) {
-                        store.seal_before(cut);
+                        // Durable seals persist the segments and rotate
+                        // the WAL; every other lane is parked at the
+                        // barrier, so the store is append-quiescent.
+                        match durable {
+                            Some(d) => {
+                                d.seal_before(cut).expect("persist seal sweep");
+                            }
+                            None => {
+                                store.seal_before(cut);
+                            }
+                        }
                         s.seal_sweeps += 1;
+                    }
+                    // Record the durability boundary whether or not a
+                    // snapshot is published: every lane has processed
+                    // (and logged) exactly its data with `t <= b`.
+                    if let Some(d) = durable {
+                        d.mark(b).expect("record durability mark");
                     }
                     if s.scratch.publish {
                         s.last_published = b;
@@ -650,7 +696,7 @@ impl MultiWriterPipeline {
                 lane.fuser.sweep(b);
             }
             // Tail interval: released data past the last boundary.
-            process_interval(lane, &released[cursor..], shared, config);
+            process_interval(lane, &released[cursor..], shared, durable, config);
             if barrier.wait() == LaneRole::Leader {
                 let mut s = lock(shared);
                 let events = merge_deposits(&mut s.scratch.batch_events);
@@ -758,7 +804,11 @@ impl MultiWriterPipeline {
             r.seal_sweeps = s.seal_sweeps;
             r.record_detectors(&s.detector_counts);
         }
-        r.record_tiers(&self.store.tier_stats());
+        let stats = match &self.durable {
+            Some(d) => d.tier_stats(),
+            None => self.store.tier_stats(),
+        };
+        r.record_tiers(&stats);
         for lane in &self.lanes {
             r.reorder.absorb(&lane.metrics.reorder);
             r.fusion.absorb(&lane.metrics.fusion);
@@ -779,6 +829,7 @@ fn process_interval(
     lane: &mut WriterLane,
     items: &[(Timestamp, LaneItem)],
     shared: &Mutex<SharedState>,
+    durable: Option<&DurableStore>,
     config: &PipelineConfig,
 ) {
     let mut batch: Vec<Fix> = Vec::new();
@@ -786,7 +837,7 @@ fn process_interval(
         match item {
             LaneItem::Ais(fix) => batch.push(*fix),
             LaneItem::Radar(plot) => {
-                flush_fix_batch(lane, &mut batch, shared, config);
+                flush_fix_batch(lane, &mut batch, shared, durable, config);
                 let _t = StageTimer::new(&mut lane.metrics.fusion);
                 lane.fuser.ingest(&SensorReport {
                     kind: SensorKind::Radar,
@@ -799,7 +850,7 @@ fn process_interval(
                 });
             }
             LaneItem::Vms(v) => {
-                flush_fix_batch(lane, &mut batch, shared, config);
+                flush_fix_batch(lane, &mut batch, shared, durable, config);
                 let _t = StageTimer::new(&mut lane.metrics.fusion);
                 lane.fuser.ingest(&SensorReport {
                     kind: SensorKind::Vms,
@@ -813,7 +864,7 @@ fn process_interval(
             }
         }
     }
-    flush_fix_batch(lane, &mut batch, shared, config);
+    flush_fix_batch(lane, &mut batch, shared, durable, config);
 }
 
 /// One canonical fix batch through a lane's stages.
@@ -821,6 +872,7 @@ fn flush_fix_batch(
     lane: &mut WriterLane,
     batch: &mut Vec<Fix>,
     shared: &Mutex<SharedState>,
+    durable: Option<&DurableStore>,
     config: &PipelineConfig,
 ) {
     if batch.is_empty() {
@@ -841,6 +893,7 @@ fn flush_fix_batch(
         let _t = StageTimer::new(&mut lane.metrics.events);
         lane.engine.observe_sorted(&fixes)
     };
+    let mut logged: Vec<Fix> = Vec::new();
     for fix in fixes {
         let kept = {
             let _t = StageTimer::new(&mut lane.metrics.synopses);
@@ -855,8 +908,19 @@ fn flush_fix_batch(
         }
         if let Some(kept) = kept {
             let _t = StageTimer::new(&mut lane.metrics.storage);
+            if durable.is_some() {
+                logged.push(kept);
+            }
             lane.store.append(kept);
         }
+    }
+    // One WAL record per lane batch, before the lane reaches the next
+    // barrier: the leader's mark for any boundary covering these fixes
+    // fires behind that barrier, so the log never trails a durable
+    // mark. (The WAL writer serializes concurrent lanes internally.)
+    if let Some(d) = durable {
+        let _t = StageTimer::new(&mut lane.metrics.storage);
+        d.log_batch(&logged).expect("write-ahead-log lane batch");
     }
     if per_shard.iter().any(|(_, events)| !events.is_empty()) {
         let mut s = lock(shared);

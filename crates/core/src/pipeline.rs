@@ -21,6 +21,7 @@ use mda_store::knn::KnnEngine;
 use mda_store::segment::SegmentConfig;
 use mda_store::shards::{StIndexConfig, StoreConfig};
 use mda_store::shared::SharedTrajectoryStore;
+use mda_store::DurableStore;
 use mda_stream::reorder::ReorderBuffer;
 use mda_stream::watermark::{BoundedOutOfOrderness, SealSchedule, TickSchedule};
 use mda_synopses::compress::ThresholdCompressor;
@@ -76,11 +77,32 @@ pub struct MaritimePipeline {
     /// refreshes the predictor, so each final stamp carries the route
     /// state exactly as of that stamp.
     draining: bool,
+    /// Durable backing of the archive, when configured: the store
+    /// handle above is this store's in-memory face.
+    durable: Option<Arc<DurableStore>>,
+    /// Event times at or below this were published durable by a
+    /// previous run; re-pushed observations there are dropped as late
+    /// (they are already in the archive, and accepting them would
+    /// break the mark discipline recovery relies on).
+    durable_floor: Timestamp,
 }
 
 impl MaritimePipeline {
     /// Build a pipeline from configuration. Zones for the event engine
     /// and the enricher come from `config.events.zones`.
+    ///
+    /// With [`PipelineConfig::durability`] set, the archive opens (or
+    /// recovers) a [`DurableStore`] in the configured directory: a
+    /// directory holding a previous run restores its cold segments,
+    /// hot tier and published watermark before any new observation is
+    /// accepted, and the first published stamp continues monotonically
+    /// from the recovered one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the durable data directory cannot be opened or
+    /// recovered (I/O error or corrupt manifest) — a pipeline asked
+    /// for durability must not silently run without it.
     pub fn new(config: PipelineConfig) -> Self {
         let mut interner = Interner::new();
         let enrich_zones =
@@ -105,7 +127,7 @@ impl MaritimePipeline {
         // never rebuild anything. Fixes older than the retention
         // hot horizon are sealed into compressed cold segments as
         // the watermark advances.
-        let store = SharedTrajectoryStore::with_config(StoreConfig {
+        let store_config = StoreConfig {
             shards: config.store_shards,
             st_index: Some(StIndexConfig {
                 bounds: config.bounds,
@@ -118,16 +140,31 @@ impl MaritimePipeline {
                 max_silence: config.synopsis.max_silence,
                 ..SegmentConfig::default()
             },
-        });
+        };
+        // With durability configured the durable store owns the data
+        // directory (recovering a previous run's archive if present)
+        // and the pipeline holds its in-memory face; without it the
+        // store is purely in memory, exactly as before.
+        let (store, durable) = match &config.durability {
+            Some(d) => {
+                let durable = DurableStore::open(store_config, d)
+                    .expect("open/recover the durable data directory");
+                (durable.store().clone(), Some(Arc::new(durable)))
+            }
+            None => (SharedTrajectoryStore::with_config(store_config), None),
+        };
+        let durable_floor = durable.as_ref().map_or(Timestamp::MIN, |d| d.watermark());
         let route_net = RouteNetwork::new(config.bounds, config.model_cell_deg);
-        // The serving layer starts on an empty snapshot at the MIN
-        // watermark; the first tick publishes real state.
+        // The serving layer starts on an empty snapshot; a fresh
+        // pipeline stamps it MIN (the first tick publishes real
+        // state), a recovered one stamps it with the recovered
+        // watermark so reader stamps continue monotonically.
         let published_route = Arc::new(RouteNetPredictor::new(route_net.clone()));
         let store_snapshot = store.snapshot(None);
         let query = Arc::new(QueryShared::new(
             config.query.event_capacity,
             SystemSnapshot::new(
-                Timestamp::MIN,
+                durable_floor,
                 store_snapshot.clone(),
                 Arc::clone(&published_route),
                 0,
@@ -160,8 +197,10 @@ impl MaritimePipeline {
             store_snapshot,
             published_route,
             ticks_since_refresh: 0,
-            last_published: Timestamp::MIN,
+            last_published: durable_floor,
             draining: false,
+            durable,
+            durable_floor,
             config,
         }
     }
@@ -232,6 +271,15 @@ impl MaritimePipeline {
     }
 
     fn enqueue(&mut self, t: Timestamp, item: StreamItem) -> Vec<MaritimeEvent> {
+        // Replays of data a previous run already published durable are
+        // late by definition: the recovered archive holds them, and the
+        // WAL mark discipline needs post-recovery appends to stay past
+        // the recovered watermark.
+        if t <= self.durable_floor && self.durable_floor != Timestamp::MIN {
+            self.report.dropped_late += 1;
+            self.watermark.observe(t);
+            return Vec::new();
+        }
         let wm = {
             let _t = StageTimer::new(&mut self.report.reorder);
             if !self.reorder.push(t, item) {
@@ -256,10 +304,20 @@ impl MaritimePipeline {
         if let Some(cut) = self.seals.due(wm) {
             {
                 let _t = StageTimer::new(&mut self.report.storage);
-                self.store.seal_before(cut);
+                // A durable seal persists the sealed segments and
+                // rotates the WAL in the same sweep; this thread is
+                // the only writer, so the seal sees a quiesced store.
+                match &self.durable {
+                    Some(d) => {
+                        d.seal_before(cut).expect("persist seal sweep");
+                    }
+                    None => {
+                        self.store.seal_before(cut);
+                    }
+                }
             }
             self.report.seal_sweeps += 1;
-            let stats = self.store.tier_stats();
+            let stats = self.tier_stats();
             self.report.record_tiers(&stats);
         }
         events
@@ -315,6 +373,14 @@ impl MaritimePipeline {
         self.fuser.sweep(t);
         self.report.record_detectors(self.engine.counts());
         self.report.live_vessels = self.engine.live_vessel_count() as u64;
+        // Record the durability boundary *whether or not* anything is
+        // published: ticks fire after exactly the data with event time
+        // ≤ t, so `t` is a correct mark even for a write-only pipeline
+        // whose publication is skipped below — durability must never
+        // starve because nobody is reading.
+        if let Some(d) = &self.durable {
+            d.mark(t).expect("record durability mark");
+        }
         // Publish the serving snapshot for this boundary: ticks fire
         // after exactly the data with event time ≤ t, so the snapshot
         // a reader sees at watermark t is a pure function of the
@@ -433,6 +499,7 @@ impl MaritimePipeline {
             self.engine.observe_batch(&batch)
         };
         // Synopses → archive, models, enrichment.
+        let mut logged: Vec<Fix> = Vec::new();
         for fix in batch {
             let kept = {
                 let _t = StageTimer::new(&mut self.report.synopses);
@@ -451,6 +518,9 @@ impl MaritimePipeline {
             }
             if let Some(kept) = kept {
                 let _t = StageTimer::new(&mut self.report.storage);
+                if self.durable.is_some() {
+                    logged.push(kept);
+                }
                 self.store.append(kept);
                 let wind = self
                     .weather
@@ -467,6 +537,13 @@ impl MaritimePipeline {
                 };
                 self.enricher.enrich(&mut self.graph, term, &kept, wind);
             }
+        }
+        // One WAL record per batch, before this call returns: the mark
+        // for any boundary covering these fixes fires strictly later
+        // (in `run_tick`), so the log can never trail a durable mark.
+        if let Some(d) = &self.durable {
+            let _t = StageTimer::new(&mut self.report.storage);
+            d.log_batch(&logged).expect("write-ahead-log fix batch");
         }
         self.report.events_emitted += events.len() as u64;
         events
@@ -511,7 +588,7 @@ impl MaritimePipeline {
         }
         self.report.dropped_late += self.reorder.dropped_late();
         // Leave the tier counters fresh for whoever reads the report.
-        let stats = self.store.tier_stats();
+        let stats = self.tier_stats();
         self.report.record_tiers(&stats);
         self.query.append_events(&events);
         // End-of-stream publication; `publish` itself dedupes if the
@@ -612,9 +689,21 @@ impl MaritimePipeline {
     }
 
     /// Per-tier archive accounting: hot/cold fix counts, approximate
-    /// bytes and segment count, fresh from the store.
+    /// bytes and segment count, fresh from the store. With durability
+    /// configured, `disk_bytes` reports the real on-disk footprint
+    /// (segment files + WAL + manifest); otherwise it is zero.
     pub fn tier_stats(&self) -> mda_store::TierStats {
-        self.store.tier_stats()
+        match &self.durable {
+            Some(d) => d.tier_stats(),
+            None => self.store.tier_stats(),
+        }
+    }
+
+    /// The durable backing store, when durability is configured — for
+    /// inspecting the [`mda_store::RecoveryReport`] or the durable
+    /// watermark.
+    pub fn durable(&self) -> Option<&DurableStore> {
+        self.durable.as_deref()
     }
 
     /// Archived fixes inside a spatial window and time range, served by
@@ -646,7 +735,11 @@ impl MaritimePipeline {
             |f: &Fix| self.store.shard_of(f.id),
             || {
                 let store = self.store.clone();
+                let durable = self.durable.clone();
                 move |batch: Vec<Fix>| {
+                    if let Some(d) = &durable {
+                        d.log_batch(&batch).expect("write-ahead-log backfill batch");
+                    }
                     store.append_batch(batch);
                     Vec::<()>::new()
                 }

@@ -94,6 +94,8 @@ pub struct PipelineReport {
     pub cold_bytes: u64,
     /// Sealed segments in the cold tier.
     pub cold_segments: u64,
+    /// Real on-disk bytes backing the store (0 when not durable).
+    pub disk_bytes: u64,
     /// Ingest/validation stage.
     pub ingest: StageMetric,
     /// Reordering stage.
@@ -155,6 +157,7 @@ impl PipelineReport {
         self.hot_bytes = stats.hot_bytes as u64;
         self.cold_bytes = stats.cold_bytes as u64;
         self.cold_segments = stats.cold_segments as u64;
+        self.disk_bytes = stats.disk_bytes as u64;
     }
 
     /// Rows for the tier table: `(tier, fixes, approx bytes, bytes/fix)`.
@@ -167,6 +170,7 @@ impl PipelineReport {
             hot_bytes: self.hot_bytes as usize,
             cold_bytes: self.cold_bytes as usize,
             cold_segments: self.cold_segments as usize,
+            disk_bytes: self.disk_bytes as usize,
         };
         vec![
             ("hot", self.hot_fixes, self.hot_bytes, stats.hot_bytes_per_fix()),
@@ -226,6 +230,7 @@ mod tests {
             hot_bytes: 4_800,
             cold_bytes: 800,
             cold_segments: 3,
+            disk_bytes: 0,
         });
         let rows = r.tier_rows();
         assert_eq!(rows[0], ("hot", 100, 4_800, 48.0));

@@ -1,0 +1,190 @@
+//! Pipeline-level kill-and-recover: a pipeline built over a data
+//! directory that holds a crashed run's state comes back at the exact
+//! pre-crash published watermark, with the archive answering queries
+//! exactly as the crashed pipeline's readers saw them at that stamp —
+//! for the single-writer pipeline, the multi-writer pipeline, and
+//! across the two (the on-disk format is pipeline-agnostic).
+
+use mda_core::multi::MultiWriterPipeline;
+use mda_core::{MaritimePipeline, PipelineConfig};
+use mda_geo::{BoundingBox, Fix, Position, Timestamp};
+use std::path::PathBuf;
+
+fn bounds() -> BoundingBox {
+    BoundingBox::new(42.0, 3.0, 44.0, 6.5)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mda-pipe-dur-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn fleet_fix(v: u32, minute: i64) -> Fix {
+    Fix::new(
+        v,
+        Timestamp::from_mins(minute),
+        Position::new(42.3 + 0.15 * f64::from(v), 3.5 + 0.004 * minute as f64),
+        10.0 + f64::from(v),
+        90.0,
+    )
+}
+
+/// Push a 4 h fleet (12 vessels, one fix a minute) — long enough to
+/// cross several seal sweeps under the regional retention defaults.
+fn drive_single(p: &mut MaritimePipeline, minutes: std::ops::Range<i64>) {
+    for minute in minutes {
+        for v in 1..=12u32 {
+            p.push_fix(fleet_fix(v, minute));
+        }
+    }
+}
+
+fn drive_multi(p: &mut MultiWriterPipeline, minutes: std::ops::Range<i64>) {
+    for minute in minutes {
+        for v in 1..=12u32 {
+            p.push_fix(fleet_fix(v, minute));
+        }
+    }
+}
+
+/// Oracle answers at the durable watermark: per-vessel trajectories and
+/// a window query, filtered to `t <= wm` (what a reader of the stamp-
+/// `wm` snapshot could observe).
+fn oracle_at(store: &mda_store::SharedTrajectoryStore, wm: Timestamp) -> (Vec<Vec<Fix>>, Vec<Fix>) {
+    let trajs = (1..=12)
+        .map(|v| {
+            let mut t = store.trajectory(v).unwrap_or_default();
+            t.retain(|f| f.t <= wm);
+            t
+        })
+        .collect();
+    let window =
+        store.window(&BoundingBox::new(42.0, 3.0, 43.5, 5.0), Timestamp::from_mins(10), wm);
+    (trajs, window)
+}
+
+#[test]
+fn single_writer_recovers_to_the_pre_crash_stamp() {
+    let dir = tmp_dir("single");
+    let config = PipelineConfig::regional(bounds()).with_durability(&dir);
+    let mut p = MaritimePipeline::new(config.clone());
+    let svc = p.query_service();
+    drive_single(&mut p, 0..240);
+    // No finish(): the pipeline "crashes" with the reorder buffer and
+    // the post-watermark tail unpublished.
+    let wm = p.durable().expect("durability configured").watermark();
+    assert!(wm > Timestamp::MIN, "the run must have marked boundaries");
+    assert_eq!(svc.watermark(), wm, "published stamp and durable mark agree");
+    assert!(p.report().seal_sweeps > 0, "4 h must cross seal sweeps");
+    assert!(p.tier_stats().disk_bytes > 0, "segments + WAL on disk");
+    let (oracle_trajs, oracle_window) = oracle_at(p.store(), wm);
+    drop(p);
+
+    let mut back = MaritimePipeline::new(config);
+    let recovery = back.durable().unwrap().recovery().clone();
+    assert_eq!(recovery.watermark, wm, "exact pre-crash published watermark");
+    assert!(recovery.segments > 0, "sealed segments came back from disk");
+    assert_eq!(recovery.dropped_segments, 0);
+    // A fresh reader of the recovered pipeline is stamped at the
+    // recovered watermark before any new data arrives.
+    let svc = back.query_service();
+    assert_eq!(svc.watermark(), wm);
+    let (trajs, window) = oracle_at(back.store(), wm);
+    assert_eq!(trajs, oracle_trajs, "recovered archive equals the oracle at the stamp");
+    assert_eq!(window, oracle_window);
+
+    // Replays of already-durable data are dropped as late; new data
+    // past the watermark is accepted and stamps continue monotonically.
+    back.push_fix(fleet_fix(1, 0));
+    assert_eq!(back.report().dropped_late, 1);
+    drive_single(&mut back, 240..300);
+    back.finish();
+    assert!(svc.watermark() > wm, "stamps continue past the recovered watermark");
+    assert!(back.durable().unwrap().watermark() > wm);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn multi_writer_recovers_to_the_pre_crash_stamp() {
+    let dir = tmp_dir("multi");
+    let config = PipelineConfig::regional(bounds()).with_durability(&dir);
+    let mut p = MultiWriterPipeline::new(config.clone(), 4).with_ingest_batch(64);
+    let svc = p.query_service();
+    drive_multi(&mut p, 0..240);
+    let wm = p.durable().expect("durability configured").watermark();
+    assert!(wm > Timestamp::MIN);
+    assert_eq!(svc.watermark(), wm, "published stamp and durable mark agree");
+    assert!(p.report().seal_sweeps > 0);
+    assert!(p.report().disk_bytes > 0, "report carries real on-disk bytes");
+    let (oracle_trajs, oracle_window) = oracle_at(p.store(), wm);
+    drop(p);
+
+    let mut back = MultiWriterPipeline::new(config, 4).with_ingest_batch(64);
+    assert_eq!(back.durable().unwrap().recovery().watermark, wm);
+    let svc = back.query_service();
+    assert_eq!(svc.watermark(), wm);
+    let (trajs, window) = oracle_at(back.store(), wm);
+    assert_eq!(trajs, oracle_trajs);
+    assert_eq!(window, oracle_window);
+
+    drive_multi(&mut back, 240..300);
+    back.finish();
+    assert!(svc.watermark() > wm);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn data_directories_are_pipeline_agnostic() {
+    // Crash a single-writer run, recover it with a 4-lane multi-writer
+    // (and vice versa): the durable format carries the archive, not the
+    // pipeline shape.
+    let dir = tmp_dir("agnostic");
+    let config = PipelineConfig::regional(bounds()).with_durability(&dir);
+    let mut single = MaritimePipeline::new(config.clone());
+    drive_single(&mut single, 0..240);
+    let wm = single.durable().unwrap().watermark();
+    let (oracle_trajs, _) = oracle_at(single.store(), wm);
+    drop(single);
+
+    let multi = MultiWriterPipeline::new(config.clone(), 4);
+    assert_eq!(multi.durable().unwrap().recovery().watermark, wm);
+    let (trajs, _) = oracle_at(multi.store(), wm);
+    assert_eq!(trajs, oracle_trajs);
+    drop(multi);
+
+    let single = MaritimePipeline::new(config);
+    assert_eq!(single.durable().unwrap().recovery().watermark, wm);
+    let (trajs, _) = oracle_at(single.store(), wm);
+    assert_eq!(trajs, oracle_trajs);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_recovers_to_the_previous_mark() {
+    let dir = tmp_dir("torn");
+    let config = PipelineConfig::regional(bounds()).with_durability(&dir);
+    let mut p = MaritimePipeline::new(config.clone());
+    drive_single(&mut p, 0..180);
+    let wm = p.durable().unwrap().watermark();
+    drop(p);
+
+    // Chop bytes off the live WAL generation: a crash mid-append.
+    let manifest = mda_store::Manifest::read(dir.as_path()).unwrap().unwrap();
+    let wal_path = dir.join(format!("wal-{}.log", manifest.wal_gen));
+    let bytes = std::fs::read(&wal_path).unwrap();
+    std::fs::write(&wal_path, &bytes[..bytes.len() - 5]).unwrap();
+
+    let back = MaritimePipeline::new(config);
+    let recovery = back.durable().unwrap().recovery().clone();
+    assert!(recovery.wal_torn, "the torn tail must be detected");
+    assert!(recovery.watermark <= wm, "never recover past what was durable");
+    assert!(recovery.watermark > Timestamp::MIN, "earlier marks survive the tear");
+    // Every recovered fix is at or behind the recovered watermark.
+    for v in 1..=12u32 {
+        if let Some(traj) = back.store().trajectory(v) {
+            assert!(traj.iter().all(|f| f.t <= recovery.watermark));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

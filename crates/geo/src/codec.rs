@@ -43,14 +43,22 @@ pub fn write_varint(buf: &mut Vec<u8>, mut value: u64) {
 }
 
 /// Read an LEB128 varint from `buf` at `*at`, advancing the cursor.
-/// Returns `None` on truncated or over-long (> 10 byte) input.
+///
+/// Returns `None` — never panics, never wraps — on any malformed
+/// input: truncation mid-value, more than 10 bytes (the longest
+/// encoding of a `u64`), or a 10th byte carrying payload bits past bit
+/// 63 (which would silently overflow a `u64`). At most 10 bytes are
+/// consumed even when rejecting.
 pub fn read_varint(buf: &[u8], at: &mut usize) -> Option<u64> {
     let mut value = 0u64;
     let mut shift = 0u32;
     loop {
         let byte = *buf.get(*at)?;
         *at += 1;
-        if shift >= 64 {
+        if shift == 63 && byte & 0xFE != 0 {
+            // 10th byte: only the lowest payload bit fits in a u64, and
+            // it must terminate — anything else is overflow or an 11th
+            // byte, both rejected rather than wrapped.
             return None;
         }
         value |= u64::from(byte & 0x7F) << shift;
@@ -77,9 +85,23 @@ pub const fn unzigzag(v: u64) -> i64 {
 /// Quantize a float onto the integer lattice of step `1 / scale`
 /// (round-to-nearest). The reconstruction error of [`dequantize`] is at
 /// most `0.5 / scale`.
+///
+/// Non-finite and out-of-range inputs saturate instead of producing
+/// undefined lattice points: `NaN` maps to 0, and anything beyond the
+/// `i64` range (including ±∞) clamps to `i64::MIN` / `i64::MAX`.
 #[inline]
 pub fn quantize(value: f64, scale: f64) -> i64 {
-    (value * scale).round() as i64
+    let scaled = value * scale;
+    if scaled.is_nan() {
+        return 0;
+    }
+    if scaled >= i64::MAX as f64 {
+        return i64::MAX;
+    }
+    if scaled <= i64::MIN as f64 {
+        return i64::MIN;
+    }
+    scaled.round() as i64
 }
 
 /// Inverse of [`quantize`] (up to the quantization error).
@@ -127,6 +149,36 @@ mod tests {
         let mut at = 0;
         assert_eq!(read_varint(&buf[..buf.len() - 1], &mut at), None);
         assert_eq!(read_varint(&[], &mut 0), None);
+    }
+
+    #[test]
+    fn varint_rejects_overlong_and_overflow() {
+        // 11 continuation bytes: must reject without consuming past 10.
+        let mut at = 0;
+        assert_eq!(read_varint(&[0x80; 11], &mut at), None);
+        assert!(at <= 10, "consumed {at} bytes");
+        // 10th byte with payload bits above bit 63 would wrap a u64.
+        let mut overflow = vec![0xFF; 9];
+        overflow.push(0x02);
+        assert_eq!(read_varint(&overflow, &mut 0), None);
+        // Adversarial all-0xFF stream: continuation forever, high bits set.
+        assert_eq!(read_varint(&[0xFF; 32], &mut 0), None);
+        // The canonical 10-byte encoding of u64::MAX still decodes.
+        let mut max = vec![0xFF; 9];
+        max.push(0x01);
+        assert_eq!(read_varint(&max, &mut 0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn quantize_saturates_non_finite() {
+        assert_eq!(quantize(f64::NAN, 1e5), 0);
+        assert_eq!(quantize(f64::INFINITY, 1e5), i64::MAX);
+        assert_eq!(quantize(f64::NEG_INFINITY, 1e5), i64::MIN);
+        assert_eq!(quantize(1e300, 1e5), i64::MAX);
+        assert_eq!(quantize(-1e300, 1e5), i64::MIN);
+        // NaN can also arise from the multiply itself (0 × ∞).
+        assert_eq!(quantize(0.0, f64::INFINITY), 0);
+        assert_eq!(quantize(1.0, f64::INFINITY), i64::MAX);
     }
 
     #[test]

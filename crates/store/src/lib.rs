@@ -23,6 +23,13 @@
 //!   [`ShardedTrajectoryStore::seal_before`] rotates old fixes out of
 //!   the hot shards; every read path merges hot + cold
 //!   deterministically.
+//! - [`durable`] / [`wal`] / [`manifest`] — the durable cold tier:
+//!   per-shard segment files of checksummed records, an append-only
+//!   write-ahead log for the hot tier (rotated at each seal), and an
+//!   atomically-replaced manifest tying both together.
+//!   [`DurableStore::recover`] replays all three back to the exact
+//!   pre-crash published watermark, truncating torn tails instead of
+//!   panicking.
 //! - [`snapshot`] — immutable, versioned [`StoreSnapshot`] handles:
 //!   point-in-time views over both tiers that serve lock-free
 //!   concurrent reads while ingest keeps writing; unchanged shards and
@@ -65,7 +72,10 @@
 //! assert!(store.position_at(1, Timestamp::from_secs(90)).is_some());
 //! ```
 
+pub mod durable;
+mod frame;
 pub mod knn;
+pub mod manifest;
 pub mod segment;
 pub mod shards;
 pub mod shared;
@@ -73,14 +83,17 @@ pub mod snapshot;
 pub mod stindex;
 pub mod tier;
 pub mod trajstore;
+pub mod wal;
 
+pub use durable::{DurabilityConfig, DurableStore, RecoveryReport};
 pub use knn::{merge_candidates, KnnEngine, KnnResult};
-pub use segment::{SegmentConfig, TrajectorySegment};
+pub use manifest::{Manifest, SegmentMeta};
+pub use segment::{CodecError, SegmentConfig, TrajectorySegment};
 pub use shards::{
     KnnConfig, SealOutcome, ShardedTrajectoryStore, StIndexConfig, StoreConfig, StoreLane,
 };
 pub use shared::SharedTrajectoryStore;
 pub use snapshot::{ShardSnapshot, StoreSnapshot};
 pub use stindex::StGrid;
-pub use tier::{ColdTier, TierStats};
+pub use tier::{ColdTier, FenceError, TierStats};
 pub use trajstore::TrajectoryStore;

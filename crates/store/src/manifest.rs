@@ -1,0 +1,271 @@
+//! The versioned manifest: the durable tier's single source of truth.
+//!
+//! `MANIFEST` is one small file — magic `MDAM`, format version, then
+//! one checksummed frame (the crate's shared framing) holding: the
+//! live WAL generation, the seal high-water cut, the published
+//! watermark at seal time, the *valid* byte length of every per-shard
+//! segment file, and one fence entry per sealed segment (file, offset
+//! order, vessel, time span, fix count).
+//!
+//! It is replaced atomically — written to `MANIFEST.tmp`, fsynced,
+//! then renamed — so a crash leaves either the old complete manifest
+//! or the new complete manifest, never a torn one. Everything *not*
+//! named by the manifest (segment-file bytes past the recorded
+//! lengths, WAL files of other generations) is an unacknowledged tail
+//! from a crashed seal, and recovery ignores and reclaims it.
+
+use crate::frame::{read_frame, write_frame, FrameRead};
+use mda_geo::{Timestamp, VesselId};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// File magic: "MDAM" followed by the format version.
+const MANIFEST_MAGIC: [u8; 8] = *b"MDAM\x01\0\0\0";
+
+/// Bounds-checked little-endian u32 read, advancing `*p`.
+fn take_u32(payload: &[u8], p: &mut usize) -> Option<u32> {
+    let v = payload.get(*p..p.checked_add(4)?)?;
+    *p += 4;
+    Some(u32::from_le_bytes(v.try_into().ok()?))
+}
+
+/// Bounds-checked little-endian u64 read, advancing `*p`.
+fn take_u64(payload: &[u8], p: &mut usize) -> Option<u64> {
+    let v = payload.get(*p..p.checked_add(8)?)?;
+    *p += 8;
+    Some(u64::from_le_bytes(v.try_into().ok()?))
+}
+
+/// The manifest file name.
+pub const FILE_NAME: &str = "MANIFEST";
+
+/// Fence entry of one sealed segment record, in file order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Index of the segment file (`shard-<file>.seg`) holding it.
+    pub file: u32,
+    /// Vessel the segment belongs to.
+    pub vessel: VesselId,
+    /// Inclusive time fence.
+    pub t_min: Timestamp,
+    /// Inclusive time fence.
+    pub t_max: Timestamp,
+    /// Stored fix count.
+    pub fixes: u64,
+}
+
+/// The decoded manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// The WAL generation recovery must replay.
+    pub wal_gen: u64,
+    /// Seal high-water cut already applied to the segment files.
+    pub sealed_to: Timestamp,
+    /// Published snapshot watermark at the time of the last seal.
+    pub watermark: Timestamp,
+    /// Valid byte length of each per-shard segment file; bytes past
+    /// these are unacknowledged tails to truncate on recovery.
+    pub file_lens: Vec<u64>,
+    /// One fence entry per sealed segment, grouped by file in record
+    /// order — recovery cross-checks every decoded segment against its
+    /// entry.
+    pub segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    /// A fresh manifest for an empty store with `files` segment files.
+    pub fn fresh(files: usize) -> Self {
+        Self {
+            wal_gen: 0,
+            sealed_to: Timestamp::MIN,
+            watermark: Timestamp::MIN,
+            file_lens: vec![0; files],
+            segments: Vec::new(),
+        }
+    }
+
+    /// Serialize to the on-disk layout.
+    fn encode(&self) -> Vec<u8> {
+        let mut payload =
+            Vec::with_capacity(32 + self.file_lens.len() * 8 + self.segments.len() * 32);
+        payload.extend_from_slice(&self.wal_gen.to_le_bytes());
+        payload.extend_from_slice(&self.sealed_to.0.to_le_bytes());
+        payload.extend_from_slice(&self.watermark.0.to_le_bytes());
+        payload.extend_from_slice(&(self.file_lens.len() as u32).to_le_bytes());
+        for l in &self.file_lens {
+            payload.extend_from_slice(&l.to_le_bytes());
+        }
+        payload.extend_from_slice(&(self.segments.len() as u64).to_le_bytes());
+        for s in &self.segments {
+            payload.extend_from_slice(&s.file.to_le_bytes());
+            payload.extend_from_slice(&s.vessel.to_le_bytes());
+            payload.extend_from_slice(&s.t_min.0.to_le_bytes());
+            payload.extend_from_slice(&s.t_max.0.to_le_bytes());
+            payload.extend_from_slice(&s.fixes.to_le_bytes());
+        }
+        let mut out = Vec::with_capacity(MANIFEST_MAGIC.len() + 8 + payload.len());
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        write_frame(&mut out, &payload);
+        out
+    }
+
+    /// Parse the on-disk layout. `None` on any structural problem —
+    /// magic, checksum, field bounds — never a panic.
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < MANIFEST_MAGIC.len() || bytes[..8] != MANIFEST_MAGIC {
+            return None;
+        }
+        let mut at = MANIFEST_MAGIC.len();
+        let FrameRead::Ok(payload) = read_frame(bytes, &mut at) else { return None };
+        if at != bytes.len() {
+            return None;
+        }
+        let mut p = 0usize;
+        let wal_gen = take_u64(payload, &mut p)?;
+        let sealed_to = Timestamp(take_u64(payload, &mut p)? as i64);
+        let watermark = Timestamp(take_u64(payload, &mut p)? as i64);
+        let files = take_u32(payload, &mut p)? as usize;
+        // Bounded by the payload itself: each file length is 8 bytes.
+        if files.checked_mul(8)? > payload.len().saturating_sub(p) {
+            return None;
+        }
+        let mut file_lens = Vec::with_capacity(files);
+        for _ in 0..files {
+            file_lens.push(take_u64(payload, &mut p)?);
+        }
+        let count = take_u64(payload, &mut p)?;
+        const ENTRY: usize = 4 + 4 + 8 + 8 + 8;
+        let count = usize::try_from(count).ok()?;
+        if count.checked_mul(ENTRY)? != payload.len() - p {
+            return None;
+        }
+        let mut segments = Vec::with_capacity(count);
+        for _ in 0..count {
+            let file = take_u32(payload, &mut p)?;
+            if file as usize >= files {
+                return None;
+            }
+            segments.push(SegmentMeta {
+                file,
+                vessel: take_u32(payload, &mut p)?,
+                t_min: Timestamp(take_u64(payload, &mut p)? as i64),
+                t_max: Timestamp(take_u64(payload, &mut p)? as i64),
+                fixes: take_u64(payload, &mut p)?,
+            });
+        }
+        Some(Self { wal_gen, sealed_to, watermark, file_lens, segments })
+    }
+
+    /// Atomically replace the manifest in `dir`: write `MANIFEST.tmp`,
+    /// fsync it, rename over `MANIFEST`. After this returns, a crash
+    /// at any point leaves a complete manifest on disk.
+    pub fn write(&self, dir: &Path) -> io::Result<()> {
+        let tmp = dir.join("MANIFEST.tmp");
+        let bytes = self.encode();
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, dir.join(FILE_NAME))?;
+        Ok(())
+    }
+
+    /// Read the manifest from `dir`. `Ok(None)` when no manifest
+    /// exists (a fresh data dir); an unparseable manifest is an error
+    /// — with atomic replacement it cannot be a torn write, so it is
+    /// real corruption the caller must not silently ignore.
+    pub fn read(dir: &Path) -> io::Result<Option<Self>> {
+        let mut bytes = Vec::new();
+        match std::fs::File::open(dir.join(FILE_NAME)) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        Self::decode(&bytes).map(Some).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "corrupt MANIFEST (bad magic or checksum)")
+        })
+    }
+
+    /// Serialized size in bytes (what the manifest costs on disk).
+    pub fn encoded_len(&self) -> u64 {
+        self.encode().len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            wal_gen: 7,
+            sealed_to: Timestamp(120_000),
+            watermark: Timestamp(150_000),
+            file_lens: vec![100, 0, 3_000, 42],
+            segments: vec![
+                SegmentMeta {
+                    file: 0,
+                    vessel: 12,
+                    t_min: Timestamp(0),
+                    t_max: Timestamp(60_000),
+                    fixes: 40,
+                },
+                SegmentMeta {
+                    file: 2,
+                    vessel: 9,
+                    t_min: Timestamp(-5),
+                    t_max: Timestamp(120_000),
+                    fixes: 1,
+                },
+            ],
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("mda-manifest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = tmp_dir("rt");
+        assert_eq!(Manifest::read(&dir).unwrap(), None);
+        let m = sample();
+        m.write(&dir).unwrap();
+        assert_eq!(Manifest::read(&dir).unwrap(), Some(m.clone()));
+        // Replacement is total, not incremental.
+        let m2 = Manifest { wal_gen: 8, segments: Vec::new(), ..m };
+        m2.write(&dir).unwrap();
+        assert_eq!(Manifest::read(&dir).unwrap(), Some(m2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_an_error_not_a_panic() {
+        let dir = tmp_dir("bad");
+        sample().write(&dir).unwrap();
+        let full = std::fs::read(dir.join(FILE_NAME)).unwrap();
+        for cut in 0..full.len() {
+            std::fs::write(dir.join(FILE_NAME), &full[..cut]).unwrap();
+            assert!(Manifest::read(&dir).is_err(), "truncated manifest accepted at {cut}");
+        }
+        for byte in 0..full.len() {
+            let mut bad = full.clone();
+            bad[byte] ^= 0x10;
+            std::fs::write(dir.join(FILE_NAME), &bad).unwrap();
+            match Manifest::read(&dir) {
+                Err(_) => {}
+                // A flipped bit inside the payload cannot survive the
+                // CRC; only magic-version bytes could alias (they
+                // don't, but never panicking is the contract).
+                Ok(m) => assert!(m.is_some()),
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -101,6 +101,42 @@ impl SegmentConfig {
     }
 }
 
+/// Why decoding or parsing a segment's stored bytes failed.
+///
+/// Produced only for bytes that arrived from *outside* the process
+/// (disk, network): in-process sealing always writes well-formed
+/// columns. The error pinpoints the segment (by vessel), the column,
+/// and the fix index at which the byte stream stopped making sense —
+/// and is returned instead of panicking, always.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecError {
+    /// Vessel of the segment that failed to decode.
+    pub vessel: VesselId,
+    /// Column name: `"t"`, `"lat"`, `"lon"`, `"sog"`, `"cog"` — or
+    /// `"header"` when the record structure around the columns is
+    /// malformed.
+    pub column: &'static str,
+    /// Fix index at which decoding failed (byte offset for `"header"`).
+    pub index: usize,
+    /// What was wrong with the bytes.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "segment codec error (vessel {}, column {:?}, index {}): {}",
+            self.vessel, self.column, self.index, self.reason
+        )
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Column names, in stored order, for [`CodecError::column`].
+const COLUMN_NAMES: [&str; 5] = ["t", "lat", "lon", "sog", "cog"];
+
 /// An immutable, sealed, compressed slab of one vessel's fixes.
 #[derive(Debug, Clone)]
 pub struct TrajectorySegment {
@@ -236,44 +272,97 @@ impl TrajectorySegment {
         config.tolerance_m + 2.0 * quant_err_m + drift_m
     }
 
-    /// Streaming decoder over the stored fixes, front to back (delta
-    /// coding forces sequential access, but consumers that stop early
-    /// never materialize the suffix). Exact-size, so `collect`
-    /// preallocates.
-    pub(crate) fn iter_decoded(&self) -> impl Iterator<Item = Fix> + '_ {
+    /// Decode the fix at logical index `i`, advancing the shared column
+    /// cursors. Every malformed byte pattern — truncation, over-long
+    /// varints, overflowing deltas — surfaces as a [`CodecError`];
+    /// nothing in this path can panic, whatever the bytes.
+    fn decode_one(
+        &self,
+        i: usize,
+        at: &mut [usize; 5],
+        t: &mut Timestamp,
+        prev: &mut [i64; 4],
+        prev_f: &mut [f64; 4],
+    ) -> Result<Fix, CodecError> {
+        let bad = |col: usize| CodecError {
+            vessel: self.id,
+            column: COLUMN_NAMES[col],
+            index: i,
+            reason: "truncated or malformed varint stream",
+        };
+        let dt = unzigzag(read_varint(&self.cols[0], &mut at[0]).ok_or_else(|| bad(0))?);
+        // Saturate rather than overflow: a bit-flipped delta must yield
+        // a wrong-but-harmless timestamp, not an arithmetic panic.
+        *t = if i == 0 { self.t_min } else { t.saturating_add(dt) };
+        let mut vals = [0f64; 4];
+        if self.pos_scale == 0.0 {
+            for (col, (p, v)) in prev_f.iter_mut().zip(vals.iter_mut()).enumerate() {
+                *v = read_f64_xor(&self.cols[col + 1], &mut at[col + 1], *p)
+                    .ok_or_else(|| bad(col + 1))?;
+                *p = *v;
+            }
+        } else {
+            for (col, (p, v)) in prev.iter_mut().zip(vals.iter_mut()).enumerate() {
+                let d = unzigzag(
+                    read_varint(&self.cols[col + 1], &mut at[col + 1])
+                        .ok_or_else(|| bad(col + 1))?,
+                );
+                *p = p.saturating_add(d);
+                let scale = match col {
+                    0 | 1 => self.pos_scale,
+                    2 => SOG_SCALE,
+                    _ => COG_SCALE,
+                };
+                *v = dequantize(*p, scale);
+            }
+        }
+        Ok(Fix::new(self.id, *t, mda_geo::Position::new(vals[0], vals[1]), vals[2], vals[3]))
+    }
+
+    /// Fallible streaming decoder over the stored fixes, front to back
+    /// (delta coding forces sequential access; consumers that stop
+    /// early never materialize the suffix). The iterator is fused at
+    /// the first error: malformed bytes yield exactly one `Err` and
+    /// then end.
+    pub fn try_iter_decoded(&self) -> impl Iterator<Item = Result<Fix, CodecError>> + '_ {
         let mut at = [0usize; 5];
         let mut t = self.t_min;
         let mut prev = [0i64; 4];
         let mut prev_f = [0f64; 4];
-        (0..self.len).map(move |i| {
-            let dt = unzigzag(read_varint(&self.cols[0], &mut at[0]).expect("t column"));
-            t = if i == 0 { self.t_min } else { t + dt };
-            let mut vals = [0f64; 4];
-            if self.pos_scale == 0.0 {
-                for (col, (p, v)) in prev_f.iter_mut().zip(vals.iter_mut()).enumerate() {
-                    *v = read_f64_xor(&self.cols[col + 1], &mut at[col + 1], *p)
-                        .expect("float column");
-                    *p = *v;
-                }
-            } else {
-                for (col, (p, v)) in prev.iter_mut().zip(vals.iter_mut()).enumerate() {
-                    let d =
-                        unzigzag(read_varint(&self.cols[col + 1], &mut at[col + 1]).expect("col"));
-                    *p += d;
-                    let scale = match col {
-                        0 | 1 => self.pos_scale,
-                        2 => SOG_SCALE,
-                        _ => COG_SCALE,
-                    };
-                    *v = dequantize(*p, scale);
-                }
+        let mut i = 0usize;
+        let mut failed = false;
+        std::iter::from_fn(move || {
+            if failed || i >= self.len {
+                return None;
             }
-            Fix::new(self.id, t, mda_geo::Position::new(vals[0], vals[1]), vals[2], vals[3])
+            let r = self.decode_one(i, &mut at, &mut t, &mut prev, &mut prev_f);
+            i += 1;
+            failed = r.is_err();
+            Some(r)
         })
     }
 
+    /// Infallible streaming decoder used by in-process query paths:
+    /// truncates at the first malformed byte instead of erroring.
+    /// Segments sealed in-process always decode fully; segments
+    /// reconstructed from external bytes are CRC-checked before they
+    /// get here, so truncation is defense-in-depth, not a data path.
+    pub(crate) fn iter_decoded(&self) -> impl Iterator<Item = Fix> + '_ {
+        self.try_iter_decoded().map_while(Result::ok)
+    }
+
+    /// Decode the stored fixes, time-sorted, or report exactly where
+    /// the byte stream is malformed. Bit-exact for lossless segments;
+    /// within [`Self::error_bound_m`] otherwise. Never panics,
+    /// whatever the column bytes contain.
+    pub fn try_decode(&self) -> Result<Vec<Fix>, CodecError> {
+        self.try_iter_decoded().collect()
+    }
+
     /// Decode the stored fixes, time-sorted. Bit-exact for lossless
-    /// segments; within [`Self::error_bound_m`] otherwise.
+    /// segments; within [`Self::error_bound_m`] otherwise. On malformed
+    /// column bytes this truncates at the first bad fix (see
+    /// [`Self::try_decode`] for the error-reporting variant).
     pub fn decode(&self) -> Vec<Fix> {
         self.iter_decoded().collect()
     }
@@ -332,6 +421,123 @@ impl TrajectorySegment {
         std::mem::size_of::<Self>() + self.cols.iter().map(Vec::len).sum::<usize>()
     }
 
+    /// Serialize the segment to a self-contained byte record: a
+    /// fixed-width little-endian header (identity, fences, cached
+    /// endpoints, column lengths) followed by the five encoded columns.
+    /// The inverse is [`Self::try_from_bytes`]. Framing (length prefix,
+    /// CRC) is the caller's job — see `mda_store::durable`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let col_bytes: usize = self.cols.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(HEADER_BYTES + col_bytes);
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        out.extend_from_slice(&self.t_min.0.to_le_bytes());
+        out.extend_from_slice(&self.t_max.0.to_le_bytes());
+        for v in [self.bbox.min_lat, self.bbox.min_lon, self.bbox.max_lat, self.bbox.max_lon] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.error_bound_m.to_le_bytes());
+        write_fix(&mut out, &self.first);
+        write_fix(&mut out, &self.last);
+        out.extend_from_slice(&self.pos_scale.to_le_bytes());
+        for c in &self.cols {
+            out.extend_from_slice(&(c.len() as u32).to_le_bytes());
+        }
+        for c in &self.cols {
+            out.extend_from_slice(c);
+        }
+        out
+    }
+
+    /// Reconstruct a segment from bytes written by [`Self::to_bytes`].
+    ///
+    /// This is the trust boundary for bytes read off disk: every
+    /// structural invariant is re-validated — exact record length,
+    /// fence ordering (`t_min <= t_max`, endpoints on the fences,
+    /// endpoint vessel ids matching), finite non-negative error bound
+    /// and scale, bbox containing both endpoints, and at least one
+    /// byte per column per fix. Malformed input returns a
+    /// [`CodecError`] naming the violated rule; nothing panics. Column
+    /// *contents* are not decoded here — framing CRCs catch bit rot,
+    /// and [`Self::try_decode`] fails softly if they don't.
+    pub fn try_from_bytes(buf: &[u8]) -> Result<Self, CodecError> {
+        let header = |at: usize, reason: &'static str| CodecError {
+            vessel: 0,
+            column: "header",
+            index: at,
+            reason,
+        };
+        let mut r = ByteReader { buf, at: 0 };
+        let id = r.u32().ok_or_else(|| header(r.at, "record shorter than header"))?;
+        let bad = |r: &ByteReader<'_>, reason: &'static str| CodecError {
+            vessel: id,
+            column: "header",
+            index: r.at,
+            reason,
+        };
+        let short = "record shorter than header";
+        let len = r.u64().ok_or_else(|| bad(&r, short))?;
+        let t_min = Timestamp(r.i64().ok_or_else(|| bad(&r, short))?);
+        let t_max = Timestamp(r.i64().ok_or_else(|| bad(&r, short))?);
+        let mut b = [0f64; 4];
+        for v in &mut b {
+            *v = r.f64().ok_or_else(|| bad(&r, short))?;
+        }
+        let bbox = BoundingBox { min_lat: b[0], min_lon: b[1], max_lat: b[2], max_lon: b[3] };
+        let error_bound_m = r.f64().ok_or_else(|| bad(&r, short))?;
+        let first = read_fix(&mut r).ok_or_else(|| bad(&r, short))?;
+        let last = read_fix(&mut r).ok_or_else(|| bad(&r, short))?;
+        let pos_scale = r.f64().ok_or_else(|| bad(&r, short))?;
+        let mut col_lens = [0usize; 5];
+        for l in &mut col_lens {
+            *l = r.u32().ok_or_else(|| bad(&r, short))? as usize;
+        }
+        let total: usize = col_lens
+            .iter()
+            .try_fold(HEADER_BYTES, |a, &l| a.checked_add(l))
+            .ok_or_else(|| bad(&r, "column lengths overflow"))?;
+        if total != buf.len() {
+            return Err(bad(&r, "record length disagrees with column lengths"));
+        }
+        let mut cols: [Vec<u8>; 5] = Default::default();
+        for (c, &l) in cols.iter_mut().zip(&col_lens) {
+            *c = r.take(l).expect("sized above").to_vec();
+        }
+
+        // Structural validation: everything a fence-trusting reader or
+        // the decoder relies on.
+        let len = usize::try_from(len).map_err(|_| bad(&r, "fix count out of range"))?;
+        if len == 0 {
+            return Err(bad(&r, "segment stores no fixes"));
+        }
+        if col_lens.iter().any(|&l| l < len) {
+            // Every fix costs at least one byte in every column.
+            return Err(bad(&r, "column too short for fix count"));
+        }
+        if t_min > t_max {
+            return Err(bad(&r, "inverted time fence"));
+        }
+        if first.t != t_min || last.t != t_max {
+            return Err(bad(&r, "endpoint fixes off the time fence"));
+        }
+        if first.id != id || last.id != id {
+            return Err(bad(&r, "endpoint vessel mismatch"));
+        }
+        if !(error_bound_m.is_finite() && error_bound_m >= 0.0) {
+            return Err(bad(&r, "error bound not finite and non-negative"));
+        }
+        if !(pos_scale.is_finite() && pos_scale >= 0.0) {
+            return Err(bad(&r, "position scale not finite and non-negative"));
+        }
+        if bbox.min_lat > bbox.max_lat || bbox.min_lon > bbox.max_lon {
+            return Err(bad(&r, "inverted bounding box"));
+        }
+        if !bbox.contains(first.pos) || !bbox.contains(last.pos) {
+            return Err(bad(&r, "endpoint outside spatial fence"));
+        }
+        Ok(Self { id, len, t_min, t_max, bbox, error_bound_m, first, last, pos_scale, cols })
+    }
+
     /// True if the segment's time fence intersects `[from, to]`.
     #[inline]
     pub fn overlaps_time(&self, from: Timestamp, to: Timestamp) -> bool {
@@ -343,6 +549,65 @@ impl TrajectorySegment {
     #[inline]
     pub fn overlaps(&self, area: &BoundingBox, from: Timestamp, to: Timestamp) -> bool {
         self.overlaps_time(from, to) && self.bbox.intersects(area)
+    }
+}
+
+/// Fixed header size of [`TrajectorySegment::to_bytes`]: id (4) +
+/// len (8) + t fences (16) + bbox (32) + error bound (8) + endpoint
+/// fixes (2 × 44) + pos scale (8) + five column lengths (20).
+const HEADER_BYTES: usize = 4 + 8 + 16 + 32 + 8 + 2 * FIX_BYTES + 8 + 20;
+
+/// Serialized size of one [`Fix`]: id (4) + t (8) + 4 × f64 (32).
+const FIX_BYTES: usize = 44;
+
+/// Append `f` in the fixed 44-byte little-endian layout.
+fn write_fix(out: &mut Vec<u8>, f: &Fix) {
+    out.extend_from_slice(&f.id.to_le_bytes());
+    out.extend_from_slice(&f.t.0.to_le_bytes());
+    for v in [f.pos.lat, f.pos.lon, f.sog_kn, f.cog_deg] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Read a fix written by [`write_fix`]; `None` on truncation.
+fn read_fix(r: &mut ByteReader<'_>) -> Option<Fix> {
+    let id = r.u32()?;
+    let t = Timestamp(r.i64()?);
+    let lat = r.f64()?;
+    let lon = r.f64()?;
+    let sog = r.f64()?;
+    let cog = r.f64()?;
+    Some(Fix::new(id, t, mda_geo::Position::new(lat, lon), sog, cog))
+}
+
+/// Bounds-checked little-endian cursor over an untrusted byte slice.
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let s = self.buf.get(self.at..end)?;
+        self.at = end;
+        Some(s)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_le_bytes(self.take(8)?.try_into().ok()?))
     }
 }
 
@@ -458,6 +723,74 @@ mod tests {
     #[test]
     fn empty_slab_seals_to_none() {
         assert!(TrajectorySegment::seal(1, &[], &SegmentConfig::default()).is_none());
+    }
+
+    #[test]
+    fn byte_round_trip_is_exact() {
+        for cfg in [SegmentConfig::lossless(), SegmentConfig::default()] {
+            let fixes = noisy_track(300, 11);
+            let seg = TrajectorySegment::seal(7, &fixes, &cfg).unwrap();
+            let back = TrajectorySegment::try_from_bytes(&seg.to_bytes()).unwrap();
+            assert_eq!(back.vessel(), seg.vessel());
+            assert_eq!(back.len(), seg.len());
+            assert_eq!(back.time_span(), seg.time_span());
+            assert_eq!(back.first(), seg.first());
+            assert_eq!(back.last(), seg.last());
+            assert_eq!(back.error_bound_m().to_bits(), seg.error_bound_m().to_bits());
+            let (a, b) = (seg.try_decode().unwrap(), back.try_decode().unwrap());
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.t, y.t);
+                assert_eq!(x.pos.lat.to_bits(), y.pos.lat.to_bits());
+                assert_eq!(x.pos.lon.to_bits(), y.pos.lon.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_an_error_not_a_panic() {
+        let fixes = noisy_track(64, 12);
+        let seg = TrajectorySegment::seal(7, &fixes, &SegmentConfig::lossless()).unwrap();
+        let bytes = seg.to_bytes();
+        for cut in 0..bytes.len() {
+            let r = TrajectorySegment::try_from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "prefix of {cut}/{} bytes parsed", bytes.len());
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_decodes_or_errors_never_panics() {
+        let fixes = noisy_track(48, 13);
+        let seg = TrajectorySegment::seal(7, &fixes, &SegmentConfig::lossless()).unwrap();
+        let bytes = seg.to_bytes();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut b = bytes.clone();
+                b[byte] ^= 1 << bit;
+                // Any outcome but a panic is acceptable here; framing
+                // CRCs reject flipped bytes before this layer in the
+                // durable path.
+                if let Ok(seg) = TrajectorySegment::try_from_bytes(&b) {
+                    let _ = seg.try_decode();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_columns_yield_codec_error() {
+        let fixes = noisy_track(100, 14);
+        let seg = TrajectorySegment::seal(7, &fixes, &SegmentConfig::lossless()).unwrap();
+        // Rebuild with a column cut mid-stream but a consistent header.
+        let mut crippled = seg.clone();
+        let keep = crippled.cols[0].len() / 2;
+        crippled.cols[0].truncate(keep);
+        let err = crippled.try_decode().unwrap_err();
+        assert_eq!(err.vessel, 7);
+        assert_eq!(err.column, "t");
+        assert!(err.index > 0 && err.index < 100);
+        // The infallible path truncates to the decodable prefix.
+        assert_eq!(crippled.decode().len(), err.index);
     }
 
     #[test]

@@ -63,7 +63,7 @@ use crate::knn::{merge_candidates, rank, KnnEngine, KnnResult};
 use crate::segment::SegmentConfig;
 use crate::snapshot::StoreSnapshot;
 use crate::stindex::StGrid;
-use crate::tier::{ColdTier, TierStats};
+use crate::tier::{ColdTier, FenceError, TierStats};
 use crate::trajstore::TrajectoryStore;
 use mda_geo::distance::equirectangular_m;
 use mda_geo::motion::interpolate_fixes;
@@ -214,12 +214,18 @@ impl Shard {
     /// shrinks with the hot tier; the kNN index is intentionally left
     /// alone — it tracks the latest fix per vessel *across* tiers, and
     /// sealing old fixes never changes which fix is latest. Returns
-    /// `(fixes sealed, segments created)`.
-    fn seal_before(&mut self, cut: Timestamp, config: &SegmentConfig) -> (usize, usize) {
+    /// the sealed fix count and the created segments (shared handles
+    /// to the same bytes the cold tier now serves — what the durable
+    /// tier persists).
+    fn seal_before(
+        &mut self,
+        cut: Timestamp,
+        config: &SegmentConfig,
+    ) -> (usize, Vec<Arc<crate::segment::TrajectorySegment>>) {
         // Repeat sweeps at a cut we already applied have nothing new to
         // rotate (late arrivals older than it wait for the next cut).
         if cut <= self.sealed_to {
-            return (0, 0);
+            return (0, Vec::new());
         }
         self.sealed_to = cut;
         let runs = self.archive.take_before(cut);
@@ -228,7 +234,8 @@ impl Shard {
             // alone, so published snapshots of idle shards stay shared.
             self.version += 1;
         }
-        let (mut fixes, mut segments) = (0, 0);
+        let mut fixes = 0;
+        let mut segments = Vec::new();
         for (id, run) in runs {
             fixes += run.len();
             if let Some(grid) = &mut self.grid {
@@ -243,12 +250,33 @@ impl Shard {
                 let (slab, tail) = rest.split_at(n);
                 rest = tail;
                 if let Some(seg) = crate::segment::TrajectorySegment::seal(id, slab, config) {
-                    segments += 1;
-                    self.cold.push(seg);
+                    let seg = Arc::new(seg);
+                    segments.push(Arc::clone(&seg));
+                    if let Err(e) = self.cold.try_push_shared(seg) {
+                        // Unreachable: `seal` always produces fenced
+                        // segments. Louder than silently losing data.
+                        panic!("in-process sealed segment violated its fences: {e}");
+                    }
                 }
             }
         }
         (fixes, segments)
+    }
+
+    /// Adopt a fence-validated recovered segment into the cold tier
+    /// and fold its endpoint into the kNN index — cold-only vessels
+    /// must stay visible to nearest-neighbour queries after a restart.
+    fn adopt_segment(
+        &mut self,
+        segment: crate::segment::TrajectorySegment,
+    ) -> Result<(), FenceError> {
+        let last = *segment.last();
+        self.cold.try_push(segment)?;
+        if let Some(knn) = &mut self.knn {
+            knn.update_if_newer(last);
+        }
+        self.version += 1;
+        Ok(())
     }
 
     /// All vessel ids present in either tier, ascending and deduped.
@@ -597,14 +625,30 @@ impl ShardedTrajectoryStore {
     /// assert_eq!(store.trajectory(1), before);
     /// ```
     pub fn seal_before(&self, watermark: Timestamp) -> SealOutcome {
-        let Some(cut) = self.seal_cut(watermark) else { return SealOutcome::default() };
+        self.seal_before_collect(watermark).0
+    }
+
+    /// Like [`Self::seal_before`], additionally returning the created
+    /// segments per shard (shared handles to the exact bytes the cold
+    /// tier now serves). This is the durable tier's hook: the same
+    /// seal that rotates fixes in memory hands back what must be
+    /// appended to the per-shard segment files.
+    pub fn seal_before_collect(
+        &self,
+        watermark: Timestamp,
+    ) -> (SealOutcome, Vec<Vec<Arc<crate::segment::TrajectorySegment>>>) {
+        let Some(cut) = self.seal_cut(watermark) else {
+            return (SealOutcome::default(), vec![Vec::new(); self.shards.len()]);
+        };
         let mut outcome = SealOutcome { cut, ..SealOutcome::default() };
+        let mut per_shard = Vec::with_capacity(self.shards.len());
         for shard in self.shards.iter() {
             let (fixes, segments) = shard.write().seal_before(cut, &self.seal);
             outcome.fixes += fixes;
-            outcome.segments += segments;
+            outcome.segments += segments.len();
+            per_shard.push(segments);
         }
-        outcome
+        (outcome, per_shard)
     }
 
     /// Shard-affine sealing: like [`Self::seal_before`] but for one
@@ -614,7 +658,29 @@ impl ShardedTrajectoryStore {
     pub fn seal_shard_before(&self, shard: usize, watermark: Timestamp) -> SealOutcome {
         let Some(cut) = self.seal_cut(watermark) else { return SealOutcome::default() };
         let (fixes, segments) = self.shards[shard].write().seal_before(cut, &self.seal);
-        SealOutcome { cut, fixes, segments }
+        SealOutcome { cut, fixes, segments: segments.len() }
+    }
+
+    /// Adopt a segment recovered from disk: fence-validate it into the
+    /// owning shard's cold tier and fold its endpoint into the kNN
+    /// index (a vessel whose entire history is cold would otherwise
+    /// vanish from nearest-neighbour answers after a restart). Routing
+    /// is by vessel hash, so recovery is correct even if the shard
+    /// count changed across the restart.
+    pub(crate) fn adopt_segment(
+        &self,
+        segment: crate::segment::TrajectorySegment,
+    ) -> Result<(), FenceError> {
+        self.shards[self.shard_of(segment.vessel())].write().adopt_segment(segment)
+    }
+
+    /// Restore the seal high-water mark on every shard after recovery,
+    /// so post-restart seal sweeps at already-applied cuts early-out
+    /// exactly as they would have without the crash.
+    pub(crate) fn restore_sealed_to(&self, cut: Timestamp) {
+        for shard in self.shards.iter() {
+            shard.write().sealed_to = cut;
+        }
     }
 
     /// The slab-aligned effective cut for a seal at `watermark`

@@ -36,6 +36,10 @@ pub struct TierStats {
     pub cold_bytes: usize,
     /// Number of sealed segments.
     pub cold_segments: usize,
+    /// Real bytes on disk backing this store (segment files + WAL +
+    /// manifest). 0 unless the store runs durable — see
+    /// [`DurableStore`](crate::durable::DurableStore).
+    pub disk_bytes: usize,
 }
 
 impl TierStats {
@@ -46,6 +50,7 @@ impl TierStats {
         self.hot_bytes += other.hot_bytes;
         self.cold_bytes += other.cold_bytes;
         self.cold_segments += other.cold_segments;
+        self.disk_bytes += other.disk_bytes;
     }
 
     /// Average bytes per hot fix (0 when the hot tier is empty).
@@ -67,6 +72,24 @@ impl TierStats {
         }
     }
 }
+
+/// A sealed segment's fences failed validation on cold-tier insert —
+/// it was rejected rather than merged into query results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FenceError {
+    /// Vessel the rejected segment claimed to belong to.
+    pub vessel: VesselId,
+    /// The violated fence rule.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for FenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "segment rejected (vessel {}): {}", self.vessel, self.reason)
+    }
+}
+
+impl std::error::Error for FenceError {}
 
 /// One vessel's sealed history.
 #[derive(Debug, Default, Clone)]
@@ -99,8 +122,33 @@ impl ColdTier {
         Self::default()
     }
 
-    /// Adopt a sealed segment.
-    pub fn push(&mut self, segment: TrajectorySegment) {
+    /// Adopt a sealed segment after validating its fences — the entry
+    /// point for segments that crossed a trust boundary (recovery from
+    /// disk, a corrupt manifest). A rejected segment leaves the tier
+    /// untouched, so bad records can never silently merge into query
+    /// results.
+    pub fn try_push(&mut self, segment: TrajectorySegment) -> Result<(), FenceError> {
+        self.try_push_shared(Arc::new(segment))
+    }
+
+    /// Like [`Self::try_push`] for a segment that is already shared —
+    /// the seal path hands the same `Arc` to the durable tier, so the
+    /// encoded columns exist once however many owners they have.
+    pub fn try_push_shared(&mut self, segment: Arc<TrajectorySegment>) -> Result<(), FenceError> {
+        let err = |reason| FenceError { vessel: segment.vessel(), reason };
+        if segment.is_empty() {
+            return Err(err("segment stores no fixes"));
+        }
+        let (t_min, t_max) = segment.time_span();
+        if t_min > t_max {
+            return Err(err("inverted time fence (first > last timestamp)"));
+        }
+        if segment.first().t != t_min || segment.last().t != t_max {
+            return Err(err("endpoint fixes disagree with the time fence"));
+        }
+        if segment.first().id != segment.vessel() || segment.last().id != segment.vessel() {
+            return Err(err("endpoint vessel ids disagree with the segment's"));
+        }
         let entry = self.by_vessel.entry(segment.vessel()).or_default();
         self.fixes += segment.len();
         self.bytes += segment.approx_bytes();
@@ -109,7 +157,22 @@ impl ColdTier {
         if entry.latest.is_none_or(|cur| last.t >= cur.t) {
             entry.latest = Some(last);
         }
-        entry.segments.push(Arc::new(segment));
+        entry.segments.push(segment);
+        Ok(())
+    }
+
+    /// Adopt a sealed segment produced in-process.
+    ///
+    /// # Panics
+    ///
+    /// If the segment violates its own fences — impossible for
+    /// segments out of [`TrajectorySegment::seal`], and a bug worth a
+    /// loud stop if it ever happens. Segments from disk or any other
+    /// external source must go through [`Self::try_push`] instead.
+    pub fn push(&mut self, segment: TrajectorySegment) {
+        if let Err(e) = self.try_push(segment) {
+            panic!("in-process sealed segment violated its fences: {e}");
+        }
     }
 
     /// Total sealed fixes.
@@ -246,6 +309,7 @@ impl ColdTier {
             hot_bytes: 0,
             cold_bytes: self.bytes,
             cold_segments: self.segments,
+            disk_bytes: 0,
         }
     }
 }
@@ -314,6 +378,31 @@ mod tests {
         cold.window_into(&area, Timestamp::from_mins(0), Timestamp::from_mins(4), &mut out);
         assert_eq!(out.len(), 5);
         assert!(out.iter().all(|f| f.id == 1));
+    }
+
+    #[test]
+    fn try_push_rejects_corrupt_fences() {
+        use crate::segment::TrajectorySegment as Seg;
+        let mut cold = ColdTier::new();
+        let good = seal(1, &(0..10).map(|i| fix(1, i, 43.0, 5.0)).collect::<Vec<_>>());
+        // Forge fence violations by rewriting the serialized header the
+        // way a corrupt manifest/segment file would present them.
+        let bytes = good.to_bytes();
+        // t_min lives at offset 12; swap it past t_max.
+        let mut inverted = bytes.clone();
+        inverted[12..20].copy_from_slice(&i64::MAX.to_le_bytes());
+        // A forged record is caught by either parse or fence layer.
+        let parsed = Seg::try_from_bytes(&inverted);
+        assert!(parsed.is_err() || cold.try_push(parsed.unwrap()).is_err());
+        // Endpoint vessel id (first fix id at offset 84) disagreeing
+        // with the segment's own must also be rejected.
+        let mut swapped = bytes.clone();
+        swapped[84..88].copy_from_slice(&99u32.to_le_bytes());
+        let parsed = Seg::try_from_bytes(&swapped);
+        assert!(parsed.is_err() || cold.try_push(parsed.unwrap()).is_err());
+        assert!(cold.is_empty(), "rejected segments must leave the tier untouched");
+        assert!(cold.try_push(good).is_ok());
+        assert_eq!(cold.len(), 10);
     }
 
     #[test]

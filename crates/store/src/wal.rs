@@ -1,0 +1,312 @@
+//! The hot tier's append-only write-ahead log.
+//!
+//! One WAL generation is one file, `wal-<gen>.log`: an 8-byte header
+//! (magic `MDAW`, format version) followed by checksummed frames (see
+//! the crate's framing module) carrying two record kinds:
+//!
+//! - **Batch** — a group of accepted fixes, logged *before* they are
+//!   applied to the in-memory hot tier.
+//! - **Mark** — a published snapshot watermark. A mark at `W` is the
+//!   durability boundary: recovery replays exactly the logged fixes
+//!   with event time `<= W` for the largest durable `W`, which under
+//!   the pipelines' tick discipline (appends after a boundary mark
+//!   always carry event times past it) reproduces the published store
+//!   contents at `W` precisely. Fixes beyond the last mark were never
+//!   published, and are discarded on replay just as their snapshots
+//!   were never observable.
+//!
+//! Each seal *rotates* the log: a fresh generation is written holding
+//! a snapshot batch of the post-seal hot tier plus the last mark, the
+//! manifest is atomically pointed at the new generation, and the old
+//! file is deleted — the WAL never grows past one hot tier plus one
+//! seal interval of traffic. A torn tail (crash mid-append) is
+//! detected by the frame CRC and truncated, never panicked over.
+
+use crate::frame::{read_frame, write_frame, FrameRead};
+use mda_geo::{Fix, Position, Timestamp};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic: "MDAW" followed by the format version.
+const WAL_MAGIC: [u8; 8] = *b"MDAW\x01\0\0\0";
+
+/// Frame payload tag: a batch of fixes.
+const TAG_BATCH: u8 = 1;
+/// Frame payload tag: a published watermark mark.
+const TAG_MARK: u8 = 2;
+
+/// Serialized size of one fix in a batch payload: id (4) + t (8) +
+/// 4 × f64 (32).
+const FIX_BYTES: usize = 44;
+
+/// The WAL file name of generation `gen`.
+pub fn file_name(gen: u64) -> String {
+    format!("wal-{gen}.log")
+}
+
+/// An open WAL generation accepting appends.
+///
+/// Appends are a single `write_all` per record — after the call
+/// returns, a process crash cannot lose the record (an OS crash can,
+/// unless [`WalWriter::sync`] was called; the durable tier exposes
+/// that as a policy knob).
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+}
+
+impl WalWriter {
+    /// Create (truncating any leftover) the WAL file for `gen` in
+    /// `dir` and write its header.
+    pub fn create(dir: &Path, gen: u64) -> io::Result<Self> {
+        let path = dir.join(file_name(gen));
+        let mut file = File::create(&path)?;
+        file.write_all(&WAL_MAGIC)?;
+        Ok(Self { file, path, bytes: WAL_MAGIC.len() as u64 })
+    }
+
+    /// Re-open an existing WAL file for appending after recovery,
+    /// truncated to its validated prefix `valid_len`.
+    pub fn reopen(dir: &Path, gen: u64, valid_len: u64) -> io::Result<Self> {
+        let path = dir.join(file_name(gen));
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(valid_len)?;
+        let mut s = Self { file, path, bytes: valid_len };
+        use std::io::Seek;
+        s.file.seek(io::SeekFrom::End(0))?;
+        Ok(s)
+    }
+
+    /// Append one batch record. No-op for an empty batch.
+    pub fn append_batch(&mut self, fixes: &[Fix]) -> io::Result<()> {
+        if fixes.is_empty() {
+            return Ok(());
+        }
+        let mut payload = Vec::with_capacity(5 + fixes.len() * FIX_BYTES);
+        payload.push(TAG_BATCH);
+        payload.extend_from_slice(&(fixes.len() as u32).to_le_bytes());
+        for f in fixes {
+            payload.extend_from_slice(&f.id.to_le_bytes());
+            payload.extend_from_slice(&f.t.0.to_le_bytes());
+            for v in [f.pos.lat, f.pos.lon, f.sog_kn, f.cog_deg] {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        self.write_record(&payload)
+    }
+
+    /// Append one mark record: `wm` is now a published watermark.
+    pub fn append_mark(&mut self, wm: Timestamp) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(9);
+        payload.push(TAG_MARK);
+        payload.extend_from_slice(&wm.0.to_le_bytes());
+        self.write_record(&payload)
+    }
+
+    fn write_record(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut framed = Vec::with_capacity(8 + payload.len());
+        write_frame(&mut framed, payload);
+        self.file.write_all(&framed)?;
+        self.bytes += framed.len() as u64;
+        Ok(())
+    }
+
+    /// Flush OS buffers to stable storage (fsync).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Bytes written to this generation so far (header included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The file this generation lives in.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// What a WAL generation replays to.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Every fix from valid batch records, in logged order (the
+    /// event-time `<= watermark` durability filter is the caller's —
+    /// it also knows the manifest watermark).
+    pub fixes: Vec<Fix>,
+    /// The largest watermark from valid mark records, if any.
+    pub watermark: Option<Timestamp>,
+    /// Byte length of the valid record prefix — what the file must be
+    /// truncated to before appending resumes.
+    pub valid_len: u64,
+    /// True when a torn tail (or mid-file corruption) was dropped.
+    pub torn: bool,
+}
+
+/// Replay the WAL file for `gen`, tolerating a torn tail: the first
+/// unreadable frame ends the replay, and everything before it counts.
+/// A missing file replays to empty (a crash can land between manifest
+/// write and the first append of a fresh generation only if the
+/// process also never wrote the header — treated as an empty log).
+pub fn replay(dir: &Path, gen: u64) -> io::Result<WalReplay> {
+    let path = dir.join(file_name(gen));
+    let bytes = match std::fs::File::open(&path) {
+        Ok(mut f) => {
+            let mut v = Vec::new();
+            f.read_to_end(&mut v)?;
+            v
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(WalReplay::default()),
+        Err(e) => return Err(e),
+    };
+    let mut out = WalReplay::default();
+    if bytes.len() < WAL_MAGIC.len() || bytes[..4] != WAL_MAGIC[..4] {
+        // No readable header: treat the whole file as a torn tail.
+        out.torn = true;
+        return Ok(out);
+    }
+    let mut at = WAL_MAGIC.len();
+    loop {
+        let frame_start = at;
+        match read_frame(&bytes, &mut at) {
+            FrameRead::End => break,
+            FrameRead::Torn => {
+                out.torn = true;
+                at = frame_start;
+                break;
+            }
+            FrameRead::Ok(payload) => {
+                if !apply_record(payload, &mut out) {
+                    // A CRC-valid frame with a malformed payload means
+                    // corruption beyond a torn tail; stop trusting the
+                    // file here, keep the prefix.
+                    out.torn = true;
+                    at = frame_start;
+                    break;
+                }
+            }
+        }
+    }
+    out.valid_len = at as u64;
+    Ok(out)
+}
+
+/// Decode one record payload into the replay; `false` if malformed.
+fn apply_record(payload: &[u8], out: &mut WalReplay) -> bool {
+    match payload.first() {
+        Some(&TAG_BATCH) => {
+            let Some(count) = payload.get(1..5) else { return false };
+            let count = u32::from_le_bytes(count.try_into().expect("sized")) as usize;
+            let body = &payload[5..];
+            if body.len() != count * FIX_BYTES {
+                return false;
+            }
+            out.fixes.reserve(count);
+            for rec in body.chunks_exact(FIX_BYTES) {
+                let le8 = |i: usize| -> [u8; 8] { rec[i..i + 8].try_into().expect("sized") };
+                let id = u32::from_le_bytes(rec[..4].try_into().expect("sized"));
+                let t = Timestamp(i64::from_le_bytes(le8(4)));
+                let lat = f64::from_le_bytes(le8(12));
+                let lon = f64::from_le_bytes(le8(20));
+                let sog = f64::from_le_bytes(le8(28));
+                let cog = f64::from_le_bytes(le8(36));
+                out.fixes.push(Fix::new(id, t, Position::new(lat, lon), sog, cog));
+            }
+            true
+        }
+        Some(&TAG_MARK) => {
+            let Some(wm) = payload.get(1..9) else { return false };
+            if payload.len() != 9 {
+                return false;
+            }
+            let wm = Timestamp(i64::from_le_bytes(wm.try_into().expect("sized")));
+            if out.watermark.is_none_or(|cur| wm > cur) {
+                out.watermark = Some(wm);
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fix(id: u32, t: i64) -> Fix {
+        Fix::new(id, Timestamp(t), Position::new(43.0, 5.0), 10.0, 90.0)
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mda-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn replay_reproduces_batches_and_marks() {
+        let dir = tmp_dir("replay");
+        let mut w = WalWriter::create(&dir, 3).unwrap();
+        w.append_batch(&[fix(1, 10), fix(2, 20)]).unwrap();
+        w.append_mark(Timestamp(20)).unwrap();
+        w.append_batch(&[fix(1, 30)]).unwrap();
+        w.append_mark(Timestamp(30)).unwrap();
+        w.append_batch(&[fix(2, 40)]).unwrap();
+        drop(w);
+        let r = replay(&dir, 3).unwrap();
+        assert_eq!(r.fixes.len(), 4);
+        assert_eq!(r.watermark, Some(Timestamp(30)));
+        assert!(!r.torn);
+        // Missing generation replays empty.
+        let empty = replay(&dir, 99).unwrap();
+        assert!(empty.fixes.is_empty() && empty.watermark.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_replays_a_valid_prefix() {
+        let dir = tmp_dir("torn");
+        let mut w = WalWriter::create(&dir, 0).unwrap();
+        for i in 0..20 {
+            w.append_batch(&[fix(1, i * 10), fix(2, i * 10 + 5)]).unwrap();
+            w.append_mark(Timestamp(i * 10 + 5)).unwrap();
+        }
+        let full = std::fs::read(w.path()).unwrap();
+        drop(w);
+        let whole = replay(&dir, 0).unwrap();
+        assert_eq!(whole.fixes.len(), 40);
+        for cut in 0..full.len() {
+            std::fs::write(dir.join(file_name(0)), &full[..cut]).unwrap();
+            let r = replay(&dir, 0).unwrap();
+            assert!(r.valid_len <= cut as u64);
+            assert!(r.fixes.len() <= whole.fixes.len());
+            if let Some(wm) = r.watermark {
+                assert!(wm <= Timestamp(195));
+            }
+            // Replayed prefix is a prefix of the full replay.
+            assert_eq!(r.fixes[..], whole.fixes[..r.fixes.len()]);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_bits_never_panic() {
+        let dir = tmp_dir("flip");
+        let mut w = WalWriter::create(&dir, 0).unwrap();
+        w.append_batch(&[fix(1, 10), fix(2, 20), fix(3, 30)]).unwrap();
+        w.append_mark(Timestamp(30)).unwrap();
+        let full = std::fs::read(w.path()).unwrap();
+        drop(w);
+        for byte in 0..full.len() {
+            let mut bad = full.clone();
+            bad[byte] ^= 0x40;
+            std::fs::write(dir.join(file_name(0)), &bad).unwrap();
+            let _ = replay(&dir, 0).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
