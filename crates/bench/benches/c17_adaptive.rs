@@ -1,0 +1,36 @@
+//! Criterion bench: adaptive control vs static knobs (C17).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mda_bench::c17_adaptive::{drive, wave_fixes};
+use mda_core::PipelineConfig;
+use mda_geo::time::MINUTE;
+use mda_geo::BoundingBox;
+
+fn bench(c: &mut Criterion) {
+    // A CI-sized slice of the standard workload: one quiet phase plus
+    // one full satellite wave (2 h).
+    let fixes = wave_fixes(2, 11);
+    let bounds = BoundingBox::new(42.0, 3.0, 44.0, 6.5);
+    let static_config = {
+        let mut config = PipelineConfig::regional(bounds);
+        config.watermark_delay = 40 * MINUTE;
+        config
+    };
+    let mut group = c.benchmark_group("c17_adaptive");
+    group.throughput(Throughput::Elements(fixes.len() as u64));
+    group.sample_size(10);
+    group.bench_function("static_40m", |b| {
+        b.iter(|| std::hint::black_box(drive(&fixes, static_config.clone(), 4)))
+    });
+    group.bench_function("adaptive", |b| {
+        b.iter(|| std::hint::black_box(drive(&fixes, PipelineConfig::adaptive(bounds), 4)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

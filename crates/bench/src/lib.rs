@@ -19,6 +19,7 @@ pub mod c12_events;
 pub mod c13_query;
 pub mod c14_multi;
 pub mod c16_durability;
+pub mod c17_adaptive;
 pub mod c1_synopses;
 pub mod c2_veracity;
 pub mod c3_godark;
@@ -30,4 +31,5 @@ pub mod c8_semantics;
 pub mod c9_viz;
 pub mod fig1_coverage;
 pub mod fig2_pipeline;
+pub mod snapshot;
 pub mod util;

@@ -1,0 +1,89 @@
+//! Machine-readable bench snapshot: headline medians of the hot-path
+//! experiments (C10 ingest, C12 events, C13 serving, C17 adaptive)
+//! written to `BENCH_PR8.json` for regression tracking across PRs.
+//!
+//! The experiment tables are for humans; this step re-runs each
+//! experiment's public driver on its CI-sized workload (median-of-3
+//! wall time here, the C17 grid's own interleaved fastest-of-rounds
+//! timing inside `grid_results`) and dumps one flat JSON object — no
+//! parsing of pretty-printed tables, no extra dependencies.
+
+use crate::util::timed;
+use mda_geo::time::{HOUR, MINUTE};
+
+fn median(mut runs: Vec<f64>) -> f64 {
+    runs.sort_by(f64::total_cmp);
+    runs[runs.len() / 2]
+}
+
+/// Run the snapshot, write `BENCH_PR8.json` into the working directory,
+/// and return the JSON text.
+pub fn run() -> String {
+    // C10 — sharded batch ingest, 4 workers over 8 stripes.
+    let fixes = crate::c10_ingest::fleet_fixes(50_000, 500, 42);
+    let c10_secs = median(
+        (0..3)
+            .map(|_| {
+                timed(|| {
+                    std::hint::black_box(crate::c10_ingest::ingest_sharded(fixes.clone(), 4, 8));
+                })
+                .1
+            })
+            .collect(),
+    );
+    let c10_per_s = fixes.len() as f64 / c10_secs;
+
+    // C12 — 8-shard event engine over a churn fleet.
+    let churn = crate::c12_events::churn_fixes(800, 3, 12);
+    let c12_secs = median(
+        (0..3)
+            .map(|_| {
+                timed(|| {
+                    std::hint::black_box(crate::c12_events::drive_sharded(&churn, 8, 30 * MINUTE))
+                })
+                .1
+            })
+            .collect(),
+    );
+    let c12_per_s = churn.len() as f64 / c12_secs;
+
+    // C13 — mixed-query serving, 2 readers beside 1 writer.
+    let sim = crate::c13_query::scenario(31, 60, HOUR);
+    let c13 = median(
+        (0..3)
+            .map(|_| {
+                let ((_, tallies), secs) = timed(|| crate::c13_query::drive(&sim, 2));
+                let queries: u64 = tallies.iter().map(crate::c13_query::ReaderTally::total).sum();
+                queries as f64 / secs
+            })
+            .collect(),
+    );
+
+    // C17 — the full adaptive-vs-static grid (median-of-3 inside).
+    let grid = crate::c17_adaptive::grid_results();
+    let (_, adaptive_goodput, adaptive) = grid.last().expect("grid non-empty");
+    let statics = &grid[..grid.len() - 1];
+    let best_static_goodput = statics.iter().map(|(_, g, _)| *g).fold(f64::MIN, f64::max);
+    let best_static_p99 = statics.iter().map(|(_, _, o)| o.p99_ms).min().expect("grid non-empty");
+
+    let json = format!(
+        "{{\n  \"c10_sharded_ingest_fixes_per_s\": {:.0},\n  \
+           \"c12_event_engine_fixes_per_s\": {:.0},\n  \
+           \"c13_mixed_queries_per_s\": {:.0},\n  \
+           \"c17_adaptive_goodput_per_s\": {:.0},\n  \
+           \"c17_adaptive_p99_staleness_min\": {:.1},\n  \
+           \"c17_adaptive_dropped\": {},\n  \
+           \"c17_best_static_goodput_per_s\": {:.0},\n  \
+           \"c17_best_static_p99_staleness_min\": {:.1}\n}}\n",
+        c10_per_s,
+        c12_per_s,
+        c13,
+        adaptive_goodput,
+        adaptive.p99_ms as f64 / MINUTE as f64,
+        adaptive.dropped,
+        best_static_goodput,
+        best_static_p99 as f64 / MINUTE as f64,
+    );
+    std::fs::write("BENCH_PR8.json", &json).expect("write BENCH_PR8.json");
+    json
+}

@@ -4,6 +4,7 @@ use mda_events::engine::EngineConfig;
 use mda_geo::time::{HOUR, MINUTE};
 use mda_geo::{BoundingBox, DurationMs};
 use mda_store::DurabilityConfig;
+use mda_stream::control::ControlConfig;
 use mda_synopses::compress::ThresholdConfig;
 use mda_track::fusion::FuserConfig;
 
@@ -142,6 +143,17 @@ pub struct PipelineConfig {
     /// pipeline over a directory holding a previous run recovers the
     /// archive to that run's exact last published watermark.
     pub durability: Option<DurabilityConfig>,
+    /// Adaptive control of the hot path. `None` (the default) runs the
+    /// static knobs above unchanged. With a [`ControlConfig`], a
+    /// deterministic EMA controller
+    /// ([`mda_stream::control::AdaptiveController`]) retunes the
+    /// watermark delay, seal cadence and event-ring capacity between
+    /// the configured clamp bounds, committing knob moves only at
+    /// aligned tick boundaries — the knob trajectory is a pure function
+    /// of the event-time stream and invariant under the writer count.
+    /// `watermark_delay`, `retention.seal_every` and
+    /// `query.event_capacity` become the *initial* knob values.
+    pub adaptive: Option<ControlConfig>,
 }
 
 impl PipelineConfig {
@@ -165,7 +177,26 @@ impl PipelineConfig {
             retention: RetentionPolicy::default(),
             query: QueryConfig::default(),
             durability: None,
+            adaptive: None,
         }
+    }
+
+    /// A regional configuration with self-tuning knobs: like
+    /// [`PipelineConfig::regional`], plus a default
+    /// [`ControlConfig`] driving the watermark delay, seal cadence and
+    /// event-ring capacity off the observed stream. The static knob
+    /// values become the controller's starting point.
+    pub fn adaptive(bounds: BoundingBox) -> Self {
+        let mut config = Self::regional(bounds);
+        config.adaptive = Some(ControlConfig::default());
+        config
+    }
+
+    /// Enable (or retune) adaptive control with an explicit
+    /// [`ControlConfig`]. See [`PipelineConfig::adaptive`].
+    pub fn with_adaptive(mut self, control: ControlConfig) -> Self {
+        self.adaptive = Some(control);
+        self
     }
 
     /// Persist the archive into `dir` (and recover from it on
@@ -195,5 +226,26 @@ mod tests {
         assert!(cfg.retention.cold_tolerance_m >= 0.0);
         assert!(cfg.retention.detector_ttl >= cfg.events.gap_threshold);
         assert_eq!(cfg.events.shards, cfg.store_shards, "event and store sharding aligned");
+        assert!(cfg.adaptive.is_none(), "regional defaults stay static");
+    }
+
+    #[test]
+    fn adaptive_defaults_bracket_the_static_knobs() {
+        let cfg = PipelineConfig::adaptive(BoundingBox::new(42.0, 3.0, 44.0, 6.5));
+        let ctl = cfg.adaptive.expect("adaptive config present");
+        assert!(
+            ctl.delay_bounds.0 <= cfg.watermark_delay && cfg.watermark_delay <= ctl.delay_bounds.1,
+            "the static delay must be a legal starting knob"
+        );
+        assert!(
+            ctl.seal_bounds.0 <= cfg.retention.seal_every
+                && cfg.retention.seal_every <= ctl.seal_bounds.1,
+            "the static seal cadence must be a legal starting knob"
+        );
+        assert!(
+            ctl.ring_bounds.0 <= cfg.query.event_capacity
+                && cfg.query.event_capacity <= ctl.ring_bounds.1,
+            "the static ring capacity must be a legal starting knob"
+        );
     }
 }

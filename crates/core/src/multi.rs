@@ -66,6 +66,7 @@ use mda_store::shards::{StIndexConfig, StoreConfig, StoreLane};
 use mda_store::shared::SharedTrajectoryStore;
 use mda_store::DurableStore;
 use mda_stream::barrier::{run_lanes, LaneRole};
+use mda_stream::control::{AdaptiveController, ArrivalWindow, Knobs};
 use mda_stream::reorder::ReorderBuffer;
 use mda_stream::watermark::{BoundedOutOfOrderness, SealSchedule, TickSchedule};
 use mda_synopses::compress::ThresholdCompressor;
@@ -158,6 +159,12 @@ struct SharedState {
     evicted: u64,
     live: u64,
     seal_sweeps: u64,
+    /// The adaptive controller, when configured. Lives behind the
+    /// shared mutex so the phase-2 barrier leader — whichever lane wins
+    /// the election — commits knob moves at each boundary, in the same
+    /// phase that seals and publishes. The router absorbs its arrival
+    /// window into it once per epoch, before any lane runs.
+    control: Option<AdaptiveController>,
     detector_counts: HashMap<&'static str, u64>,
     /// Events finalised this epoch, in emission order (flush's return).
     out: Vec<MaritimeEvent>,
@@ -256,6 +263,14 @@ pub struct MultiWriterPipeline {
     /// Router-side counters (ingest/validation/routing); lane metrics
     /// and shared gauges are folded in by [`MultiWriterPipeline::report`].
     report: PipelineReport,
+    /// Arrival-side observation window of the adaptive controller
+    /// (`None` when static). Lives on the router thread — the one
+    /// thread that sees every arrival — so observing never takes a
+    /// lock.
+    arrivals: Option<ArrivalWindow>,
+    /// The aligned frontier boundary of the last knob commit — the
+    /// gate keeping the commit schedule one-per-boundary.
+    last_control_commit: Timestamp,
     /// Test seam: `(lane, crossing)` at which that lane panics.
     inject: Option<(usize, u64)>,
 }
@@ -314,11 +329,36 @@ impl MultiWriterPipeline {
             None => (SharedTrajectoryStore::with_config(store_config), None),
         };
         let durable_floor = durable.as_ref().map_or(Timestamp::MIN, |d| d.watermark());
+        // Adaptive control: same construction as the single writer —
+        // static knobs seed the controller, clamped into bounds, and
+        // the clamped values are what actually gets applied.
+        let (arrivals, control) = match config.adaptive {
+            Some(ctl) => {
+                let initial = Knobs {
+                    delay: config.watermark_delay,
+                    seal_every: config.retention.seal_every,
+                    ring_capacity: config.query.event_capacity,
+                };
+                (
+                    Some(ArrivalWindow::new(total_shards, ctl.fast_alpha, ctl.slow_alpha)),
+                    Some(AdaptiveController::new(ctl, initial)),
+                )
+            }
+            None => (None, None),
+        };
+        let knobs0 = control.as_ref().map_or(
+            Knobs {
+                delay: config.watermark_delay,
+                seal_every: config.retention.seal_every,
+                ring_capacity: config.query.event_capacity,
+            },
+            |c| c.knobs(),
+        );
         let route_net = RouteNetwork::new(config.bounds, config.model_cell_deg);
         let published_route = Arc::new(RouteNetPredictor::new(route_net.clone()));
         let store_snapshot = store.snapshot(None);
         let query = Arc::new(QueryShared::new(
-            config.query.event_capacity,
+            knobs0.ring_capacity,
             SystemSnapshot::new(
                 durable_floor,
                 store_snapshot.clone(),
@@ -340,7 +380,7 @@ impl MultiWriterPipeline {
             })
             .collect();
         let shared = Mutex::new(SharedState {
-            seals: SealSchedule::new(config.retention.seal_every, config.retention.hot_horizon),
+            seals: SealSchedule::new(knobs0.seal_every, config.retention.hot_horizon),
             store_snapshot,
             published_route,
             ticks_since_refresh: 0,
@@ -351,6 +391,7 @@ impl MultiWriterPipeline {
             evicted: 0,
             live: 0,
             seal_sweeps: 0,
+            control,
             detector_counts: HashMap::new(),
             out: Vec::new(),
             scratch: EpochScratch {
@@ -371,7 +412,7 @@ impl MultiWriterPipeline {
             total_shards,
             ingest_batch: 256,
             arrivals_since_flush: 0,
-            watermark: BoundedOutOfOrderness::new(config.watermark_delay),
+            watermark: BoundedOutOfOrderness::new(knobs0.delay),
             // A recovered run's published watermark is the late floor:
             // replays of data it already holds are dropped, keeping the
             // WAL mark discipline intact across restarts.
@@ -385,6 +426,8 @@ impl MultiWriterPipeline {
             query,
             shared,
             report: PipelineReport::default(),
+            arrivals,
+            last_control_commit: Timestamp::MIN,
             inject: None,
             config,
         }
@@ -484,6 +527,14 @@ impl MultiWriterPipeline {
     }
 
     fn enqueue(&mut self, t: Timestamp, item: LaneItem) -> Vec<MaritimeEvent> {
+        // Same observation rule as the single writer: every AIS
+        // arrival — accepted or about to drop late — keyed by its
+        // *store* shard (writer-count invariant; lane indices are not).
+        // Radar/VMS are not observed: radar routing depends on the
+        // writer layout.
+        if let (Some(w), LaneItem::Ais(fix)) = (self.arrivals.as_mut(), &item) {
+            w.observe(t, vessel_shard(fix.id, self.total_shards));
+        }
         let lane = self.route(&item);
         {
             let _t = StageTimer::new(&mut self.report.reorder);
@@ -545,7 +596,50 @@ impl MultiWriterPipeline {
         (boundaries, any_released)
     }
 
+    /// Frontier-clocked knob commit at the epoch start, before any
+    /// lane runs. The single writer's `commit_control`, on the epoch
+    /// schedule: epochs fire every `ingest_batch` arrivals — a
+    /// writer-count-invariant schedule — and the arrival frontier,
+    /// the hot backlog and the emitted count at an epoch start are
+    /// all pure functions of the event-time stream, so the committed
+    /// trajectory is identical at any writer count. Clocking commits
+    /// off the watermark instead would self-throttle: widening the
+    /// delay by Δ stalls the watermark (and the leader's next
+    /// boundary) for exactly Δ of frontier time, blacking out control
+    /// precisely while lateness is ramping.
+    fn commit_control(&mut self) {
+        let Some(window) = self.arrivals.as_mut() else {
+            return;
+        };
+        let Some(frontier) = self.watermark.frontier() else {
+            return;
+        };
+        let tick = self.config.tick_interval.max(1);
+        let aligned = Timestamp(frontier.millis().div_euclid(tick) * tick);
+        if aligned <= self.last_control_commit {
+            return;
+        }
+        let knobs = {
+            let mut s = lock(&self.shared);
+            let emitted = s.emitted;
+            let Some(ctl) = s.control.as_mut() else {
+                return;
+            };
+            ctl.absorb(window);
+            let knobs = ctl.commit(aligned, self.store.hot_len() as u64, emitted);
+            s.seals.set_every(knobs.seal_every);
+            knobs
+        };
+        self.last_control_commit = aligned;
+        self.query.set_event_capacity(knobs.ring_capacity);
+        // The delay knob is applied here, on the router thread — the
+        // watermark's owner. The watermark floor keeps it monotone
+        // even when the delay contracts.
+        self.watermark.set_max_delay(knobs.delay);
+    }
+
     fn run_epoch(&mut self, wm: Timestamp, draining: bool) -> Vec<MaritimeEvent> {
+        self.commit_control();
         let (boundaries, any_released) = self.due_boundaries(wm, draining);
         if boundaries.is_empty() && !any_released {
             self.released_frontier = self.released_frontier.max(wm);
@@ -742,7 +836,9 @@ impl MultiWriterPipeline {
     /// events. Terminal like the single writer's `finish`: later
     /// arrivals are dropped as late.
     pub fn finish(&mut self) -> Vec<MaritimeEvent> {
-        let now = self.watermark.current().saturating_add(self.config.watermark_delay);
+        // The *current* delay, not the configured one — adaptive
+        // control may have retuned it.
+        let now = self.watermark.current().saturating_add(self.watermark.max_delay());
         self.drop_frontier = Timestamp::MAX;
         lock(&self.shared).draining = true;
         let events = self.run_epoch(now, true);
@@ -803,6 +899,9 @@ impl MultiWriterPipeline {
             r.live_vessels = s.live;
             r.seal_sweeps = s.seal_sweeps;
             r.record_detectors(&s.detector_counts);
+            if let Some(ctl) = &s.control {
+                r.record_control(ctl.gauges(), ctl.knobs());
+            }
         }
         let stats = match &self.durable {
             Some(d) => d.tier_stats(),
@@ -818,6 +917,15 @@ impl MultiWriterPipeline {
             r.storage.absorb(&lane.metrics.storage);
         }
         r
+    }
+
+    /// The adaptive controller's committed knob trajectory —
+    /// `(boundary, knobs)` per commit, in boundary order. Empty for a
+    /// pipeline running static knobs. Identical arrival streams produce
+    /// identical traces at any writer count: every controller input is
+    /// a writer-count-invariant function of the event-time stream.
+    pub fn control_trace(&self) -> Vec<(Timestamp, Knobs)> {
+        lock(&self.shared).control.as_ref().map_or_else(Vec::new, |c| c.trace().to_vec())
     }
 }
 
@@ -893,7 +1001,7 @@ fn flush_fix_batch(
         let _t = StageTimer::new(&mut lane.metrics.events);
         lane.engine.observe_sorted(&fixes)
     };
-    let mut logged: Vec<Fix> = Vec::new();
+    let mut kept_batch: Vec<Fix> = Vec::new();
     for fix in fixes {
         let kept = {
             let _t = StageTimer::new(&mut lane.metrics.synopses);
@@ -907,12 +1015,15 @@ fn flush_fix_batch(
             lane.route_part.learn(&fix);
         }
         if let Some(kept) = kept {
-            let _t = StageTimer::new(&mut lane.metrics.storage);
-            if durable.is_some() {
-                logged.push(kept);
-            }
-            lane.store.append(kept);
+            kept_batch.push(kept);
         }
+    }
+    // Batched store append: one writer-lock acquisition per touched
+    // shard and one amortised per-vessel merge, instead of a per-fix
+    // lock + sorted insert.
+    if !kept_batch.is_empty() {
+        let _t = StageTimer::new(&mut lane.metrics.storage);
+        lane.store.append_batch(kept_batch.iter().copied());
     }
     // One WAL record per lane batch, before the lane reaches the next
     // barrier: the leader's mark for any boundary covering these fixes
@@ -920,7 +1031,7 @@ fn flush_fix_batch(
     // mark. (The WAL writer serializes concurrent lanes internally.)
     if let Some(d) = durable {
         let _t = StageTimer::new(&mut lane.metrics.storage);
-        d.log_batch(&logged).expect("write-ahead-log lane batch");
+        d.log_batch(&kept_batch).expect("write-ahead-log lane batch");
     }
     if per_shard.iter().any(|(_, events)| !events.is_empty()) {
         let mut s = lock(shared);
@@ -1029,6 +1140,42 @@ mod tests {
         p.finish();
         assert_eq!(p.report().dropped_late, 1);
         assert!(p.store().trajectory(2).is_none(), "late vessel never archived");
+    }
+
+    #[test]
+    fn adaptive_knob_trajectory_is_writer_count_invariant() {
+        let traces: Vec<_> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&w| {
+                let mut p = MultiWriterPipeline::new(PipelineConfig::adaptive(bounds()), w)
+                    .with_ingest_batch(32);
+                drive(&mut p);
+                p.control_trace()
+            })
+            .collect();
+        assert!(!traces[0].is_empty(), "the scenario must commit knob moves");
+        for (i, t) in traces.iter().enumerate().skip(1) {
+            assert_eq!(
+                &traces[0],
+                t,
+                "knob trajectory at {} writers diverged from 1 writer",
+                [1, 2, 4, 8][i]
+            );
+        }
+        // Events, archive and reports stay writer-count invariant with
+        // the controller retuning live knobs mid-run.
+        let mut one =
+            MultiWriterPipeline::new(PipelineConfig::adaptive(bounds()), 1).with_ingest_batch(32);
+        let mut eight =
+            MultiWriterPipeline::new(PipelineConfig::adaptive(bounds()), 8).with_ingest_batch(32);
+        let e1 = drive(&mut one);
+        let e8 = drive(&mut eight);
+        assert_eq!(e1, e8, "adaptive event streams must be writer-count invariant");
+        assert_eq!(one.store().len(), eight.store().len());
+        let (r1, r8) = (one.report(), eight.report());
+        assert_eq!(r1.seal_sweeps, r8.seal_sweeps);
+        assert_eq!(r1.control, r8.control);
+        assert!(r1.control.is_some(), "adaptive run must record control status");
     }
 
     #[test]

@@ -22,6 +22,7 @@ use mda_store::segment::SegmentConfig;
 use mda_store::shards::{StIndexConfig, StoreConfig};
 use mda_store::shared::SharedTrajectoryStore;
 use mda_store::DurableStore;
+use mda_stream::control::{AdaptiveController, ArrivalWindow, Knobs};
 use mda_stream::reorder::ReorderBuffer;
 use mda_stream::watermark::{BoundedOutOfOrderness, SealSchedule, TickSchedule};
 use mda_synopses::compress::ThresholdCompressor;
@@ -85,6 +86,16 @@ pub struct MaritimePipeline {
     /// (they are already in the archive, and accepting them would
     /// break the mark discipline recovery relies on).
     durable_floor: Timestamp,
+    /// Arrival-side observation window of the adaptive controller
+    /// (`None` when the pipeline runs static knobs).
+    arrivals: Option<ArrivalWindow>,
+    /// The adaptive controller: absorbs the window and commits knob
+    /// moves (watermark delay, seal cadence, event-ring capacity) at
+    /// aligned tick boundaries of the arrival frontier.
+    control: Option<AdaptiveController>,
+    /// The aligned frontier boundary of the last knob commit — the
+    /// gate keeping the commit schedule one-per-boundary.
+    last_control_commit: Timestamp,
 }
 
 impl MaritimePipeline {
@@ -154,6 +165,34 @@ impl MaritimePipeline {
             None => (SharedTrajectoryStore::with_config(store_config), None),
         };
         let durable_floor = durable.as_ref().map_or(Timestamp::MIN, |d| d.watermark());
+        // Adaptive control: the static knobs become the initial values
+        // (clamped into the configured bounds); the controller commits
+        // moves only at aligned tick boundaries, so the knob trajectory
+        // is a pure function of the event-time stream.
+        let (arrivals, control) = match config.adaptive {
+            Some(ctl) => {
+                let initial = Knobs {
+                    delay: config.watermark_delay,
+                    seal_every: config.retention.seal_every,
+                    ring_capacity: config.query.event_capacity,
+                };
+                (
+                    Some(ArrivalWindow::new(config.store_shards, ctl.fast_alpha, ctl.slow_alpha)),
+                    Some(AdaptiveController::new(ctl, initial)),
+                )
+            }
+            None => (None, None),
+        };
+        // The knob values actually applied at construction: the static
+        // configuration, clamped by the controller when one is present.
+        let knobs0 = control.as_ref().map_or(
+            Knobs {
+                delay: config.watermark_delay,
+                seal_every: config.retention.seal_every,
+                ring_capacity: config.query.event_capacity,
+            },
+            |c| c.knobs(),
+        );
         let route_net = RouteNetwork::new(config.bounds, config.model_cell_deg);
         // The serving layer starts on an empty snapshot; a fresh
         // pipeline stamps it MIN (the first tick publishes real
@@ -162,7 +201,7 @@ impl MaritimePipeline {
         let published_route = Arc::new(RouteNetPredictor::new(route_net.clone()));
         let store_snapshot = store.snapshot(None);
         let query = Arc::new(QueryShared::new(
-            config.query.event_capacity,
+            knobs0.ring_capacity,
             SystemSnapshot::new(
                 durable_floor,
                 store_snapshot.clone(),
@@ -172,7 +211,7 @@ impl MaritimePipeline {
             ),
         ));
         Self {
-            watermark: BoundedOutOfOrderness::new(config.watermark_delay),
+            watermark: BoundedOutOfOrderness::new(knobs0.delay),
             reorder: ReorderBuffer::new(),
             fuser: Fuser::new(config.fusion),
             engine: EventEngine::new(events_config),
@@ -180,8 +219,14 @@ impl MaritimePipeline {
             store,
             // The kNN horizon covers the watermark lag plus a coasting
             // margin, so snapshot queries anywhere in the freshness band
-            // still see the fleet.
-            knn: KnnEngine::new(0.05, config.watermark_delay + 15 * mda_geo::time::MINUTE),
+            // still see the fleet. Under adaptive control the lag can
+            // grow to the delay clamp ceiling, so the horizon must
+            // cover that worst case.
+            knn: KnnEngine::new(
+                0.05,
+                config.adaptive.map_or(config.watermark_delay, |c| c.delay_bounds.1)
+                    + 15 * mda_geo::time::MINUTE,
+            ),
             interner,
             graph: TripleStore::new(),
             enricher,
@@ -192,7 +237,7 @@ impl MaritimePipeline {
             raster: DensityRaster::new(config.bounds, rows, cols),
             report: PipelineReport::default(),
             ticks: TickSchedule::new(config.tick_interval),
-            seals: SealSchedule::new(config.retention.seal_every, config.retention.hot_horizon),
+            seals: SealSchedule::new(knobs0.seal_every, config.retention.hot_horizon),
             query,
             store_snapshot,
             published_route,
@@ -201,6 +246,9 @@ impl MaritimePipeline {
             draining: false,
             durable,
             durable_floor,
+            arrivals,
+            control,
+            last_control_commit: Timestamp::MIN,
             config,
         }
     }
@@ -271,6 +319,16 @@ impl MaritimePipeline {
     }
 
     fn enqueue(&mut self, t: Timestamp, item: StreamItem) -> Vec<MaritimeEvent> {
+        // Adaptive control observes every AIS arrival — including ones
+        // about to be dropped as late, since lateness pressure is
+        // exactly the signal — keyed by the *store* shard of the
+        // vessel, which is writer-count invariant. Radar/VMS routing
+        // depends on the writer layout, so those streams are not
+        // observed: the controller's inputs must be a pure function of
+        // the event-time stream.
+        if let (Some(w), StreamItem::Ais(fix)) = (self.arrivals.as_mut(), &item) {
+            w.observe(t, mda_geo::vessel_shard(fix.id, self.config.store_shards));
+        }
         // Replays of data a previous run already published durable are
         // late by definition: the recovered archive holds them, and the
         // WAL mark discipline needs post-recovery appends to stay past
@@ -287,6 +345,7 @@ impl MaritimePipeline {
             }
             self.watermark.observe(t)
         };
+        self.commit_control();
         let released = {
             let _t = StageTimer::new(&mut self.report.reorder);
             self.reorder.release(wm)
@@ -321,6 +380,40 @@ impl MaritimePipeline {
             self.report.record_tiers(&stats);
         }
         events
+    }
+
+    /// Frontier-clocked knob commit: absorb the arrival window and
+    /// retune once per aligned `tick_interval` boundary *of the
+    /// arrival frontier*. The frontier — not the watermark — is the
+    /// controller's clock: a watermark-clocked commit schedule
+    /// self-throttles, because widening the delay by Δ stalls the
+    /// watermark (and with it the next watermark-aligned boundary)
+    /// for exactly Δ of frontier time, blacking out control precisely
+    /// while lateness is ramping. The frontier never stalls, and every
+    /// input (absorbed observations, hot backlog, events emitted) is a
+    /// pure function of the event-time stream, so identical streams
+    /// still retune identically — the multi-writer pipeline commits
+    /// the same function at its epoch starts.
+    fn commit_control(&mut self) {
+        let (Some(window), Some(ctl)) = (self.arrivals.as_mut(), self.control.as_mut()) else {
+            return;
+        };
+        let Some(frontier) = self.watermark.frontier() else {
+            return;
+        };
+        let tick = self.config.tick_interval.max(1);
+        let aligned = Timestamp(frontier.millis().div_euclid(tick) * tick);
+        if aligned <= self.last_control_commit {
+            return;
+        }
+        self.last_control_commit = aligned;
+        ctl.absorb(window);
+        let hot = self.store.hot_len() as u64;
+        let knobs = ctl.commit(aligned, hot, self.report.events_emitted);
+        self.watermark.set_max_delay(knobs.delay);
+        self.seals.set_every(knobs.seal_every);
+        self.query.set_event_capacity(knobs.ring_capacity);
+        self.report.record_control(ctl.gauges(), knobs);
     }
 
     /// Advance event time: interleave a watermark release with every
@@ -499,7 +592,7 @@ impl MaritimePipeline {
             self.engine.observe_batch(&batch)
         };
         // Synopses → archive, models, enrichment.
-        let mut logged: Vec<Fix> = Vec::new();
+        let mut kept_batch: Vec<Fix> = Vec::new();
         for fix in batch {
             let kept = {
                 let _t = StageTimer::new(&mut self.report.synopses);
@@ -518,10 +611,7 @@ impl MaritimePipeline {
             }
             if let Some(kept) = kept {
                 let _t = StageTimer::new(&mut self.report.storage);
-                if self.durable.is_some() {
-                    logged.push(kept);
-                }
-                self.store.append(kept);
+                kept_batch.push(kept);
                 let wind = self
                     .weather
                     .as_ref()
@@ -538,12 +628,21 @@ impl MaritimePipeline {
                 self.enricher.enrich(&mut self.graph, term, &kept, wind);
             }
         }
+        // One batched archive append (one shard lock + one merge per
+        // touched shard) instead of a per-fix trickle: the batch is
+        // already canonically sorted, so per-vessel order is what the
+        // per-fix appends would have produced, minus the repeated
+        // lookups and any O(n) sort-insert for residual disorder.
+        if !kept_batch.is_empty() {
+            let _t = StageTimer::new(&mut self.report.storage);
+            self.store.append_batch(kept_batch.iter().copied());
+        }
         // One WAL record per batch, before this call returns: the mark
         // for any boundary covering these fixes fires strictly later
         // (in `run_tick`), so the log can never trail a durable mark.
         if let Some(d) = &self.durable {
             let _t = StageTimer::new(&mut self.report.storage);
-            d.log_batch(&logged).expect("write-ahead-log fix batch");
+            d.log_batch(&kept_batch).expect("write-ahead-log fix batch");
         }
         self.report.events_emitted += events.len() as u64;
         events
@@ -578,7 +677,9 @@ impl MaritimePipeline {
         let remaining = self.reorder.drain_all();
         // `now` is the maximum event time seen (watermark + delay):
         // independent of arrival order, so the final sweeps are too.
-        let now = self.watermark.current().saturating_add(self.config.watermark_delay);
+        // The *current* delay, not the configured one — adaptive
+        // control may have retuned it.
+        let now = self.watermark.current().saturating_add(self.watermark.max_delay());
         // Every publication in this drain refreshes the predictor, so
         // the final stamps carry route state exactly as of each stamp.
         self.draining = true;
@@ -790,6 +891,15 @@ impl MaritimePipeline {
     pub fn watermark(&self) -> Timestamp {
         self.watermark.current()
     }
+
+    /// The adaptive controller's committed knob trajectory —
+    /// `(boundary, knobs)` per commit, in boundary order. Empty for a
+    /// pipeline running static knobs. Two runs over the same event-time
+    /// stream produce identical traces regardless of arrival jitter
+    /// within the watermark delay.
+    pub fn control_trace(&self) -> &[(Timestamp, Knobs)] {
+        self.control.as_ref().map_or(&[], |c| c.trace())
+    }
 }
 
 #[cfg(test)]
@@ -985,6 +1095,38 @@ mod tests {
         }
         p.finish();
         assert!(svc.watermark() >= after_finish);
+    }
+
+    #[test]
+    fn adaptive_pipeline_retunes_within_bounds_and_deterministically() {
+        use mda_stream::control::ControlConfig;
+        let sim = Scenario::generate(ScenarioConfig::regional(21, 20, 3 * HOUR));
+        let config = PipelineConfig::adaptive(sim.world.bounds);
+        let mut p = MaritimePipeline::new(config.clone());
+        p.run_scenario(&sim);
+
+        let trace = p.control_trace();
+        assert!(!trace.is_empty(), "a 3 h run must commit knob moves");
+        // Boundaries strictly increase; every knob stays clamped.
+        assert!(trace.windows(2).all(|w| w[0].0 < w[1].0));
+        let cfg = ControlConfig::default();
+        for (_, k) in trace {
+            assert!(cfg.delay_bounds.0 <= k.delay && k.delay <= cfg.delay_bounds.1);
+            assert!(cfg.seal_bounds.0 <= k.seal_every && k.seal_every <= cfg.seal_bounds.1);
+            assert!(cfg.ring_bounds.0 <= k.ring_capacity && k.ring_capacity <= cfg.ring_bounds.1);
+        }
+        // The report surfaces the controller's last commit.
+        let status = p.report().control.expect("control status recorded");
+        assert_eq!(status.knobs, trace.last().unwrap().1);
+        assert!(status.gauges.commits as usize == trace.len());
+        assert!(!p.report().control_rows().is_empty());
+
+        // Re-running the identical scenario reproduces the knob
+        // trajectory bit-for-bit: the controller sees only event-time
+        // observables.
+        let mut p2 = MaritimePipeline::new(config);
+        p2.run_scenario(&sim);
+        assert_eq!(p.control_trace(), p2.control_trace());
     }
 
     #[test]

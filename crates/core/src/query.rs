@@ -258,6 +258,16 @@ impl QueryShared {
             self.ring.write().extend(events.iter().cloned());
         }
     }
+
+    /// Resize the event-ring retention (writer side; the adaptive
+    /// controller's capacity knob). A no-op when the capacity is
+    /// unchanged, so steady-state commits never touch the ring lock.
+    pub(crate) fn set_event_capacity(&self, capacity: usize) {
+        let mut ring = self.ring.write();
+        if ring.capacity() != capacity.max(1) {
+            ring.set_capacity(capacity);
+        }
+    }
 }
 
 /// A cloneable, thread-safe read front-end over a running

@@ -1,6 +1,17 @@
 //! Pipeline metrics: the numbers behind the E2 experiment table.
 
+use mda_stream::control::{ControlGauges, Knobs};
 use std::time::Instant;
+
+/// Adaptive-control status as of the last knob commit: the smoothed
+/// observables and the knob values they produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlStatus {
+    /// Smoothed observable levels (lateness, skew, rates, backlog).
+    pub gauges: ControlGauges,
+    /// Current knob values (always inside the configured clamp bounds).
+    pub knobs: Knobs,
+}
 
 /// Cumulative busy time and invocation count of one pipeline stage.
 #[derive(Debug, Clone, Copy, Default)]
@@ -110,6 +121,9 @@ pub struct PipelineReport {
     pub analytics: StageMetric,
     /// Storage + enrichment stage.
     pub storage: StageMetric,
+    /// Adaptive-controller status (`None` when the pipeline runs with
+    /// static knobs). Refreshed at every knob commit.
+    pub control: Option<ControlStatus>,
 }
 
 impl PipelineReport {
@@ -158,6 +172,33 @@ impl PipelineReport {
         self.cold_bytes = stats.cold_bytes as u64;
         self.cold_segments = stats.cold_segments as u64;
         self.disk_bytes = stats.disk_bytes as u64;
+    }
+
+    /// Record the adaptive controller's smoothed observables and knob
+    /// values after a commit.
+    pub fn record_control(&mut self, gauges: ControlGauges, knobs: Knobs) {
+        self.control = Some(ControlStatus { gauges, knobs });
+    }
+
+    /// Rows for the adaptive-control table: `(signal, value)`. Empty
+    /// when the pipeline runs static knobs.
+    pub fn control_rows(&self) -> Vec<(&'static str, f64)> {
+        let Some(c) = &self.control else { return Vec::new() };
+        vec![
+            ("lateness_fast_ms", c.gauges.lateness_fast_ms),
+            ("lateness_slow_ms", c.gauges.lateness_slow_ms),
+            ("skew_fast", c.gauges.skew_fast),
+            ("skew_slow", c.gauges.skew_slow),
+            ("rate_fast", c.gauges.rate_fast),
+            ("rate_slow", c.gauges.rate_slow),
+            ("events_fast", c.gauges.events_fast),
+            ("events_slow", c.gauges.events_slow),
+            ("hot_backlog", c.gauges.hot_backlog as f64),
+            ("commits", c.gauges.commits as f64),
+            ("knob_delay_ms", c.knobs.delay as f64),
+            ("knob_seal_every_ms", c.knobs.seal_every as f64),
+            ("knob_ring_capacity", c.knobs.ring_capacity as f64),
+        ]
     }
 
     /// Rows for the tier table: `(tier, fixes, approx bytes, bytes/fix)`.
@@ -219,6 +260,22 @@ mod tests {
     fn static_error_rate_computed() {
         let r = PipelineReport { static_messages: 200, static_flagged: 10, ..Default::default() };
         assert!((r.static_error_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn control_rows_surface_gauges_and_knobs() {
+        let mut r = PipelineReport::default();
+        assert!(r.control_rows().is_empty(), "static pipelines report no control rows");
+        let gauges = ControlGauges { hot_backlog: 42, commits: 7, ..Default::default() };
+        let knobs = Knobs { delay: 1_200_000, seal_every: 1_800_000, ring_capacity: 4096 };
+        r.record_control(gauges, knobs);
+        let rows = r.control_rows();
+        assert_eq!(rows.len(), 13);
+        let get = |name| rows.iter().find(|(n, _)| *n == name).unwrap().1;
+        assert_eq!(get("hot_backlog"), 42.0);
+        assert_eq!(get("commits"), 7.0);
+        assert_eq!(get("knob_delay_ms"), 1_200_000.0);
+        assert_eq!(get("knob_ring_capacity"), 4096.0);
     }
 
     #[test]

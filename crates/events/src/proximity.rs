@@ -21,6 +21,7 @@
 use crate::event::{EventKind, MaritimeEvent};
 use mda_geo::distance::haversine_m;
 use mda_geo::motion::cpa;
+use mda_geo::units::EARTH_RADIUS_M;
 use mda_geo::{DurationMs, Fix, Polygon, Timestamp, VesselId};
 use std::collections::{HashMap, HashSet};
 
@@ -28,6 +29,15 @@ use std::collections::{HashMap, HashSet};
 const CELL_DEG: f64 = 0.1;
 /// Metres spanned by one cell of latitude.
 const LAT_CELL_M: f64 = CELL_DEG * 111_320.0;
+
+/// Metres of great-circle distance per degree of latitude difference,
+/// on the same sphere [`haversine_m`] uses. The haversine central angle
+/// is at least the latitude separation, so
+/// `|Δlat| * METERS_PER_LAT_DEG` is an exact *lower bound* on the
+/// haversine distance — candidates failing it can be pruned from a
+/// neighbourhood scan by comparing latitude columns alone, without
+/// computing any trigonometry, and no in-radius vessel is ever lost.
+const METERS_PER_LAT_DEG: f64 = EARTH_RADIUS_M * std::f64::consts::PI / 180.0;
 
 /// Cell-scan reach `(lat_cells, lon_cells)` for a radius around a
 /// latitude. Latitude cells are a fixed ~11 km, but longitude cells
@@ -60,13 +70,63 @@ struct Entry {
 /// stale-guarded: a late, out-of-order fix can never regress the
 /// snapshot (see [`LiveIndex::update`]).
 ///
+/// One cell's occupants as parallel columns: vessel ids plus their
+/// latitudes/longitudes, so a neighbourhood scan prunes on dense
+/// coordinate columns instead of chasing per-id hash lookups. Order
+/// within a cell is insertion-defined and irrelevant — every consumer
+/// sorts its result by vessel id.
+#[derive(Debug, Clone, Default)]
+struct CellVessels {
+    ids: Vec<VesselId>,
+    lat: Vec<f64>,
+    lon: Vec<f64>,
+}
+
+impl CellVessels {
+    fn push(&mut self, id: VesselId, pos: mda_geo::Position) {
+        self.ids.push(id);
+        self.lat.push(pos.lat);
+        self.lon.push(pos.lon);
+    }
+
+    /// Drop a vessel (swap-remove; order is irrelevant, see above).
+    fn remove(&mut self, id: VesselId) {
+        if let Some(i) = self.ids.iter().position(|&x| x == id) {
+            self.ids.swap_remove(i);
+            self.lat.swap_remove(i);
+            self.lon.swap_remove(i);
+        }
+    }
+
+    /// Update a vessel's position in place (same cell, new fix).
+    fn set_pos(&mut self, id: VesselId, pos: mda_geo::Position) {
+        if let Some(i) = self.ids.iter().position(|&x| x == id) {
+            self.lat[i] = pos.lat;
+            self.lon[i] = pos.lon;
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// A live latest-fix index with neighbourhood queries.
+///
+/// The index is *versioned*: every accepted update bumps a monotone
+/// counter and stamps the entry with it, so a reader can tell whether a
+/// vessel has transmitted since it last looked (the pairwise sweeps use
+/// this to skip re-computing unchanged pair geometry). Updates are
+/// stale-guarded: a late, out-of-order fix can never regress the
+/// snapshot (see [`LiveIndex::update`]).
+///
 /// The index is `Clone` so a writer lane can deposit a cheap
 /// copy-on-quiesce view of its shards for the cross-lane
 /// [`FleetIndex`] merge at a tick barrier.
 #[derive(Debug, Clone, Default)]
 pub struct LiveIndex {
     latest: HashMap<VesselId, Entry>,
-    cells: HashMap<(i32, i32), HashSet<VesselId>>,
+    cells: HashMap<(i32, i32), CellVessels>,
     version: u64,
 }
 
@@ -98,21 +158,27 @@ impl LiveIndex {
                 let new_cell = Self::cell_of(fix.pos);
                 self.version += 1;
                 *entry = Entry { fix: *fix, version: self.version };
-                if old_cell != new_cell {
-                    if let Some(set) = self.cells.get_mut(&old_cell) {
-                        set.remove(&fix.id);
-                        if set.is_empty() {
+                if old_cell == new_cell {
+                    // The cell's coordinate columns mirror the latest
+                    // positions; keep them exact even without a move.
+                    if let Some(bucket) = self.cells.get_mut(&new_cell) {
+                        bucket.set_pos(fix.id, fix.pos);
+                    }
+                } else {
+                    if let Some(bucket) = self.cells.get_mut(&old_cell) {
+                        bucket.remove(fix.id);
+                        if bucket.is_empty() {
                             self.cells.remove(&old_cell);
                         }
                     }
-                    self.cells.entry(new_cell).or_default().insert(fix.id);
+                    self.cells.entry(new_cell).or_default().push(fix.id, fix.pos);
                 }
                 true
             }
             None => {
                 self.version += 1;
                 self.latest.insert(fix.id, Entry { fix: *fix, version: self.version });
-                self.cells.entry(Self::cell_of(fix.pos)).or_default().insert(fix.id);
+                self.cells.entry(Self::cell_of(fix.pos)).or_default().push(fix.id, fix.pos);
                 true
             }
         }
@@ -123,9 +189,9 @@ impl LiveIndex {
     pub fn remove(&mut self, id: VesselId) -> bool {
         let Some(entry) = self.latest.remove(&id) else { return false };
         let cell = Self::cell_of(entry.fix.pos);
-        if let Some(set) = self.cells.get_mut(&cell) {
-            set.remove(&id);
-            if set.is_empty() {
+        if let Some(bucket) = self.cells.get_mut(&cell) {
+            bucket.remove(id);
+            if bucket.is_empty() {
                 self.cells.remove(&cell);
             }
         }
@@ -149,24 +215,32 @@ impl LiveIndex {
     pub fn neighbours_versioned(&self, fix: &Fix, radius_m: f64) -> Vec<(Fix, u64)> {
         let (r0, c0) = Self::cell_of(fix.pos);
         let (lat_reach, lon_reach) = scan_reach(radius_m, fix.pos.lat);
+        let lat_cut = radius_m / METERS_PER_LAT_DEG;
         let mut out = Vec::new();
         for dr in -lat_reach..=lat_reach {
             for dc in -lon_reach..=lon_reach {
-                if let Some(ids) = self.cells.get(&(r0 + dr, c0 + dc)) {
-                    for id in ids {
-                        if *id == fix.id {
-                            continue;
-                        }
-                        let entry = self.latest[id];
-                        if haversine_m(fix.pos, entry.fix.pos) <= radius_m {
-                            out.push((entry.fix, entry.version));
-                        }
+                let Some(bucket) = self.cells.get(&(r0 + dr, c0 + dc)) else { continue };
+                for (i, &lat) in bucket.lat.iter().enumerate() {
+                    // Meridional lower bound on the coordinate columns:
+                    // too far in latitude alone means out of radius,
+                    // with no trig and no entry lookup.
+                    if (lat - fix.pos.lat).abs() > lat_cut {
+                        continue;
+                    }
+                    let id = bucket.ids[i];
+                    if id == fix.id {
+                        continue;
+                    }
+                    let pos = mda_geo::Position::new(lat, bucket.lon[i]);
+                    if haversine_m(fix.pos, pos) <= radius_m {
+                        let entry = self.latest[&id];
+                        out.push((entry.fix, entry.version));
                     }
                 }
             }
         }
-        // Cell sets iterate in hash order; sort so downstream detectors
-        // emit deterministically for identical inputs.
+        // Cell buckets keep insertion order; sort so downstream
+        // detectors emit deterministically for identical inputs.
         out.sort_unstable_by_key(|(f, _)| f.id);
         out
     }
@@ -216,9 +290,19 @@ impl LiveIndex {
 /// shards *more* expensive on every query).
 #[derive(Debug, Default)]
 pub struct FleetIndex {
-    cells: HashMap<(i32, i32), Vec<(Fix, u64)>>,
+    cells: HashMap<(i32, i32), FleetCell>,
     count: usize,
     shards: usize,
+}
+
+/// One merged cell: full entries plus parallel coordinate columns, so
+/// the sweep's distance prune runs over dense `f64` columns and only
+/// surviving candidates touch the 56-byte entry rows.
+#[derive(Debug, Default)]
+struct FleetCell {
+    lat: Vec<f64>,
+    lon: Vec<f64>,
+    entries: Vec<(Fix, u64)>,
 }
 
 impl FleetIndex {
@@ -227,7 +311,7 @@ impl FleetIndex {
     /// equal snapshots answer identically whatever the shard count.
     pub fn snapshot(indexes: &[LiveIndex]) -> Self {
         assert!(!indexes.is_empty());
-        let mut cells: HashMap<(i32, i32), Vec<(Fix, u64)>> = HashMap::new();
+        let mut cells: HashMap<(i32, i32), FleetCell> = HashMap::new();
         let mut count = 0;
         for index in indexes {
             count += index.len();
@@ -235,11 +319,14 @@ impl FleetIndex {
                 cells
                     .entry(LiveIndex::cell_of(entry.fix.pos))
                     .or_default()
+                    .entries
                     .push((entry.fix, entry.version));
             }
         }
         for bucket in cells.values_mut() {
-            bucket.sort_unstable_by_key(|(f, _)| f.id);
+            bucket.entries.sort_unstable_by_key(|(f, _)| f.id);
+            bucket.lat.extend(bucket.entries.iter().map(|(f, _)| f.pos.lat));
+            bucket.lon.extend(bucket.entries.iter().map(|(f, _)| f.pos.lon));
         }
         Self { cells, count, shards: indexes.len() }
     }
@@ -259,14 +346,22 @@ impl FleetIndex {
     pub fn neighbours_versioned(&self, fix: &Fix, radius_m: f64) -> Vec<(Fix, u64)> {
         let (r0, c0) = LiveIndex::cell_of(fix.pos);
         let (lat_reach, lon_reach) = scan_reach(radius_m, fix.pos.lat);
+        let lat_cut = radius_m / METERS_PER_LAT_DEG;
         let mut out = Vec::new();
         for dr in -lat_reach..=lat_reach {
             for dc in -lon_reach..=lon_reach {
-                if let Some(bucket) = self.cells.get(&(r0 + dr, c0 + dc)) {
-                    for (f, v) in bucket {
-                        if f.id != fix.id && haversine_m(fix.pos, f.pos) <= radius_m {
-                            out.push((*f, *v));
-                        }
+                let Some(bucket) = self.cells.get(&(r0 + dr, c0 + dc)) else { continue };
+                for (i, &lat) in bucket.lat.iter().enumerate() {
+                    // Meridional lower bound on the latitude column: the
+                    // common reject costs one subtract/compare per
+                    // candidate and never touches the entry row.
+                    if (lat - fix.pos.lat).abs() > lat_cut {
+                        continue;
+                    }
+                    let pos = mda_geo::Position::new(lat, bucket.lon[i]);
+                    let (f, v) = &bucket.entries[i];
+                    if f.id != fix.id && haversine_m(fix.pos, pos) <= radius_m {
+                        out.push((*f, *v));
                     }
                 }
             }
@@ -281,7 +376,7 @@ impl FleetIndex {
     pub fn latest(&self, id: VesselId) -> Option<&Fix> {
         self.cells
             .values()
-            .flat_map(|bucket| bucket.iter())
+            .flat_map(|bucket| bucket.entries.iter())
             .find(|(f, _)| f.id == id)
             .map(|(f, _)| f)
     }

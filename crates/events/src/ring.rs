@@ -147,6 +147,20 @@ impl EventRing {
         self.capacity
     }
 
+    /// Resize the retention at runtime (clamped to at least 1). Growing
+    /// keeps everything; shrinking evicts the oldest events beyond the
+    /// new capacity, counted in [`EventRing::dropped`] like any other
+    /// eviction, so lagging cursors still learn exactly what they
+    /// missed.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.buf.len() > self.capacity {
+            self.buf.pop_front();
+            self.first_seq += 1;
+            self.dropped += 1;
+        }
+    }
+
     /// Total events ever appended.
     pub fn total_appended(&self) -> u64 {
         self.first_seq + self.buf.len() as u64
@@ -256,6 +270,29 @@ mod tests {
         assert!(p.events.is_empty());
         assert_eq!(p.missed, 0);
         assert_eq!(p.cursor.next_seq(), 2);
+    }
+
+    #[test]
+    fn resize_shrink_evicts_oldest_and_reports_missed() {
+        let mut ring = EventRing::new(8);
+        ring.extend((1..=6).map(ev));
+        ring.set_capacity(3);
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 3);
+        let p = ring.poll_since(EventCursor::default());
+        assert_eq!(p.missed, 3);
+        assert_eq!(p.events.iter().map(|e| e.vessel).collect::<Vec<_>>(), vec![4, 5, 6]);
+        // Growing keeps everything and sequence numbers stay intact.
+        ring.set_capacity(10);
+        ring.extend([ev(7)]);
+        let q = ring.poll_since(p.cursor);
+        assert_eq!(q.missed, 0);
+        assert_eq!(q.events[0].vessel, 7);
+        // Zero clamps to one.
+        ring.set_capacity(0);
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.len(), 1);
     }
 
     #[test]

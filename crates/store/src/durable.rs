@@ -455,7 +455,7 @@ impl DurableStore {
         let new_gen = inner.wal_gen + 1;
         let mut new_wal = WalWriter::create(&self.dir, new_gen)?;
         let hot: Vec<Fix> = self.store.fold_shards(Vec::new(), |mut acc, archive| {
-            acc.extend(archive.iter().copied());
+            acc.extend(archive.iter());
             acc
         });
         new_wal.append_batch(&hot)?;

@@ -43,6 +43,7 @@
 //! assert!(lossy.error_bound_m() > 0.0);
 //! ```
 
+use crate::trajstore::{Track, TrackView};
 use mda_geo::codec::{
     dequantize, quantize, read_f64_xor, read_varint, unzigzag, write_f64_xor, write_varint, zigzag,
 };
@@ -160,67 +161,60 @@ pub struct TrajectorySegment {
 }
 
 impl TrajectorySegment {
-    /// Seal a time-sorted slab of one vessel's fixes. Lossy
+    /// Seal a time-sorted slab of one vessel's fixes. Convenience
+    /// wrapper over [`Self::seal_track`] for row-shaped callers (WAL
+    /// replay, tests); the hot rotation path seals columnar
+    /// [`Track`]s drained from the store directly.
+    pub fn seal(id: VesselId, slab: &[Fix], config: &SegmentConfig) -> Option<Self> {
+        debug_assert!(slab.windows(2).all(|w| w[0].t <= w[1].t), "slab must be time-sorted");
+        let track = Track::from_fixes(slab);
+        Self::seal_track(&track.view(id), config)
+    }
+
+    /// Seal a time-sorted columnar slab of one vessel's fixes. Lossy
     /// configurations first reduce the slab to its threshold synopsis,
     /// then quantize; the combined error bound is recorded. Returns
     /// `None` for an empty slab (or one the compressor emptied, which
     /// cannot happen — the first fix is always kept).
-    pub fn seal(id: VesselId, slab: &[Fix], config: &SegmentConfig) -> Option<Self> {
-        debug_assert!(slab.windows(2).all(|w| w[0].t <= w[1].t), "slab must be time-sorted");
-        let kept: Vec<Fix>;
-        let fixes = if config.is_lossless() {
-            slab
+    ///
+    /// Each of the five encoded buffers is an independent byte stream,
+    /// so encoding column-by-column (one linear pass per column,
+    /// straight off the hot tier's storage layout — no row transpose)
+    /// produces byte-identical segments to the historical per-fix
+    /// interleaved encoder.
+    pub fn seal_track(view: &TrackView<'_>, config: &SegmentConfig) -> Option<Self> {
+        debug_assert!(view.t.windows(2).all(|w| w[0] <= w[1]), "slab must be time-sorted");
+        let id = view.id;
+        let slab_last_t = *view.t.last()?;
+        let kept;
+        let v: TrackView<'_> = if config.is_lossless() {
+            *view
         } else {
             let mut c = ThresholdCompressor::new(ThresholdConfig {
                 tolerance_m: config.tolerance_m,
                 max_silence: config.max_silence,
             });
-            kept = slab.iter().filter_map(|f| c.observe(*f)).collect();
-            &kept
+            let kept_fixes: Vec<Fix> = view.iter().filter_map(|f| c.observe(f)).collect();
+            kept = Track::from_fixes(&kept_fixes);
+            kept.view(id)
         };
-        let first = *fixes.first()?;
-        let last = *fixes.last()?;
+        let first = v.first()?;
+        let last = v.last()?;
         // Dropped observations after the last kept fix reconstruct by
         // dead-reckoning over this extra stretch; the error bound must
         // cover it (gaps *between* kept fixes are covered by the
         // decoded windows in `error_bound`).
-        let tail_gap_s = (slab.last()?.t - last.t) as f64 / 1_000.0;
-
-        let mut cols: [Vec<u8>; 5] = Default::default();
-        let mut prev_t = first.t;
+        let tail_gap_s = (slab_last_t - last.t) as f64 / 1_000.0;
         let pos_scale =
             if config.is_lossless() { 0.0 } else { 1.0 / config.quant_step_deg().max(1e-12) };
-        let mut prev = [0i64; 4];
-        let mut prev_f = [0f64; 4];
-        for f in fixes {
-            write_varint(&mut cols[0], zigzag(f.t - prev_t));
-            prev_t = f.t;
-            if pos_scale == 0.0 {
-                for (col, (p, v)) in
-                    prev_f.iter_mut().zip([f.pos.lat, f.pos.lon, f.sog_kn, f.cog_deg]).enumerate()
-                {
-                    *p = write_f64_xor(&mut cols[col + 1], *p, v);
-                }
-            } else {
-                let q = [
-                    quantize(f.pos.lat, pos_scale),
-                    quantize(f.pos.lon, pos_scale),
-                    quantize(f.sog_kn, SOG_SCALE),
-                    quantize(f.cog_deg, COG_SCALE),
-                ];
-                for (col, (p, v)) in prev.iter_mut().zip(q).enumerate() {
-                    write_varint(&mut cols[col + 1], zigzag(v - *p));
-                    *p = v;
-                }
-            }
-        }
+        let mut cols = encode_columns(&v, pos_scale);
         for c in &mut cols {
             c.shrink_to_fit();
         }
 
         let mut seg = Self {
             id,
-            len: fixes.len(),
+            len: v.len(),
             t_min: first.t,
             t_max: last.t,
             bbox: BoundingBox::empty(),
@@ -232,24 +226,25 @@ impl TrajectorySegment {
         };
         // Fences, cached endpoints and the error bound must describe
         // the *decoded* fixes — what readers see. Lossless round-trips
-        // are bit-exact, so the input slab serves directly; lossy
+        // are bit-exact, so the input columns serve directly; lossy
         // segments pay one decode to pick up the quantized values.
-        let decoded;
-        let visible: &[Fix] = if config.is_lossless() {
-            fixes
+        if config.is_lossless() {
+            let mut bbox = BoundingBox::empty();
+            for (&lat, &lon) in v.lat.iter().zip(v.lon) {
+                bbox.extend(mda_geo::Position::new(lat, lon));
+            }
+            seg.bbox = bbox;
         } else {
-            decoded = seg.decode();
-            &decoded
-        };
-        let mut bbox = BoundingBox::empty();
-        for f in visible {
-            bbox.extend(f.pos);
+            let decoded = seg.decode();
+            let mut bbox = BoundingBox::empty();
+            for f in &decoded {
+                bbox.extend(f.pos);
+            }
+            seg.bbox = bbox;
+            seg.first = decoded[0];
+            seg.last = decoded[decoded.len() - 1];
+            seg.error_bound_m = Self::error_bound(&decoded, tail_gap_s, config);
         }
-        seg.bbox = bbox;
-        seg.first = visible[0];
-        seg.last = visible[visible.len() - 1];
-        seg.error_bound_m =
-            if config.is_lossless() { 0.0 } else { Self::error_bound(visible, tail_gap_s, config) };
         Some(seg)
     }
 
@@ -550,6 +545,39 @@ impl TrajectorySegment {
     pub fn overlaps(&self, area: &BoundingBox, from: Timestamp, to: Timestamp) -> bool {
         self.overlaps_time(from, to) && self.bbox.intersects(area)
     }
+}
+
+/// Delta-encode the five columns of a time-sorted slab, one linear
+/// pass per column. `pos_scale == 0.0` selects the lossless XOR-chain
+/// float encoding; otherwise positions quantize at `pos_scale` and
+/// sog/cog at their fixed scales.
+fn encode_columns(v: &TrackView<'_>, pos_scale: f64) -> [Vec<u8>; 5] {
+    let mut cols: [Vec<u8>; 5] = Default::default();
+    let mut prev_t = *v.t.first().expect("caller checked non-empty");
+    for &t in v.t {
+        write_varint(&mut cols[0], zigzag(t - prev_t));
+        prev_t = t;
+    }
+    if pos_scale == 0.0 {
+        for (col, vals) in [v.lat, v.lon, v.sog, v.cog].into_iter().enumerate() {
+            let mut p = 0f64;
+            for &x in vals {
+                p = write_f64_xor(&mut cols[col + 1], p, x);
+            }
+        }
+    } else {
+        let scales = [pos_scale, pos_scale, SOG_SCALE, COG_SCALE];
+        for (col, (vals, scale)) in [v.lat, v.lon, v.sog, v.cog].into_iter().zip(scales).enumerate()
+        {
+            let mut p = 0i64;
+            for &x in vals {
+                let q = quantize(x, scale);
+                write_varint(&mut cols[col + 1], zigzag(q - p));
+                p = q;
+            }
+        }
+    }
+    cols
 }
 
 /// Fixed header size of [`TrajectorySegment::to_bytes`]: id (4) +

@@ -64,7 +64,7 @@ use crate::segment::SegmentConfig;
 use crate::snapshot::StoreSnapshot;
 use crate::stindex::StGrid;
 use crate::tier::{ColdTier, FenceError, TierStats};
-use crate::trajstore::TrajectoryStore;
+use crate::trajstore::{TrackView, TrajectoryStore};
 use mda_geo::distance::equirectangular_m;
 use mda_geo::motion::interpolate_fixes;
 use mda_geo::{BoundingBox, DurationMs, Fix, Position, Timestamp, VesselId};
@@ -178,15 +178,15 @@ impl Shard {
     fn compact(&mut self, id: VesselId, keep: &dyn Fn(&[Fix]) -> Vec<Fix>) -> usize {
         self.version += 1;
         let old: Option<Vec<Fix>> =
-            self.grid.is_some().then(|| self.archive.trajectory(id).map(<[Fix]>::to_vec)).flatten();
+            self.grid.is_some().then(|| self.archive.trajectory(id).map(|v| v.to_vec())).flatten();
         let removed = self.archive.compact(id, keep);
         if let (Some(grid), Some(old)) = (&mut self.grid, old) {
             for f in &old {
                 grid.remove(f);
             }
             if let Some(kept) = self.archive.trajectory(id) {
-                for f in kept {
-                    grid.insert(*f);
+                for f in kept.iter() {
+                    grid.insert(f);
                 }
             }
         }
@@ -236,20 +236,23 @@ impl Shard {
         }
         let mut fixes = 0;
         let mut segments = Vec::new();
-        for (id, run) in runs {
+        for (id, run) in &runs {
             fixes += run.len();
+            let view = run.view(*id);
             if let Some(grid) = &mut self.grid {
-                for f in &run {
-                    grid.remove(f);
+                for f in view.iter() {
+                    grid.remove(&f);
                 }
             }
-            let mut rest = run.as_slice();
-            while let Some(first) = rest.first() {
-                let slab_end = first.t.window_start(config.max_span) + config.max_span;
-                let n = rest.partition_point(|f| f.t < slab_end);
-                let (slab, tail) = rest.split_at(n);
-                rest = tail;
-                if let Some(seg) = crate::segment::TrajectorySegment::seal(id, slab, config) {
+            // Slab-split on the contiguous timestamp column, then seal
+            // each slab straight from the columns — no row transpose.
+            let mut rest = view;
+            while let Some(&first_t) = rest.t.first() {
+                let slab_end = first_t.window_start(config.max_span) + config.max_span;
+                let n = rest.t.partition_point(|&t| t < slab_end);
+                let slab = rest.slice(0, n);
+                rest = rest.slice(n, rest.len());
+                if let Some(seg) = crate::segment::TrajectorySegment::seal_track(&slab, config) {
                     let seg = Arc::new(seg);
                     segments.push(Arc::clone(&seg));
                     if let Err(e) = self.cold.try_push_shared(seg) {
@@ -345,7 +348,7 @@ pub(crate) mod tiers {
     /// via the per-vessel latest cache, unlike `latest_at`, which scans
     /// segment fences — the kNN fallback calls this per vessel.
     pub(crate) fn latest(hot: &TrajectoryStore, cold: &ColdTier, id: VesselId) -> Option<Fix> {
-        let h = hot.trajectory(id).and_then(<[Fix]>::last).copied();
+        let h = hot.trajectory(id).and_then(|v| v.last());
         let c = cold.latest(id).copied();
         match (h, c) {
             (Some(h), Some(c)) => Some(if h.t >= c.t { h } else { c }),
@@ -361,7 +364,7 @@ pub(crate) mod tiers {
         id: VesselId,
         t: Timestamp,
     ) -> Option<Fix> {
-        let h = hot.latest_at(id, t).copied();
+        let h = hot.latest_at(id, t);
         let c = cold.latest_at(id, t);
         match (h, c) {
             (Some(h), Some(c)) => Some(if h.t >= c.t { h } else { c }),
@@ -377,7 +380,7 @@ pub(crate) mod tiers {
         id: VesselId,
         t: Timestamp,
     ) -> Option<Fix> {
-        let h = hot.first_after(id, t).copied();
+        let h = hot.first_after(id, t);
         let c = cold.first_after(id, t);
         match (h, c) {
             (Some(h), Some(c)) => Some(if c.t <= h.t { c } else { h }),
@@ -456,11 +459,12 @@ pub struct SealOutcome {
     pub segments: usize,
 }
 
-/// Merge a vessel's cold and hot fixes (each time-sorted) by event
-/// time. Ties go to the cold side: sealed fixes arrived before
+/// Merge a vessel's cold fixes and hot columns (each time-sorted) by
+/// event time. Ties go to the cold side: sealed fixes arrived before
 /// anything still hot, so this reproduces the arrival order the hot
-/// store's sort-insert maintains.
-pub(crate) fn merge_tiers(cold: Vec<Fix>, hot: &[Fix]) -> Vec<Fix> {
+/// store's sort-insert maintains. The hot side is compared on its
+/// timestamp column and materialized only as rows are emitted.
+pub(crate) fn merge_tiers(cold: Vec<Fix>, hot: TrackView<'_>) -> Vec<Fix> {
     if cold.is_empty() {
         return hot.to_vec();
     }
@@ -470,16 +474,16 @@ pub(crate) fn merge_tiers(cold: Vec<Fix>, hot: &[Fix]) -> Vec<Fix> {
     let mut out = Vec::with_capacity(cold.len() + hot.len());
     let (mut ci, mut hi) = (0, 0);
     while ci < cold.len() && hi < hot.len() {
-        if cold[ci].t <= hot[hi].t {
+        if cold[ci].t <= hot.t[hi] {
             out.push(cold[ci]);
             ci += 1;
         } else {
-            out.push(hot[hi]);
+            out.push(hot.get(hi));
             hi += 1;
         }
     }
     out.extend_from_slice(&cold[ci..]);
-    out.extend_from_slice(&hot[hi..]);
+    out.extend(hot.slice(hi, hot.len()).iter());
     out
 }
 
@@ -553,12 +557,25 @@ impl ShardedTrajectoryStore {
     /// once. Per-vessel input order is preserved. Returns the number of
     /// fixes appended.
     pub fn append_batch(&self, fixes: impl IntoIterator<Item = Fix>) -> usize {
-        let fixes = fixes.into_iter();
-        let cap = fixes.size_hint().0 / self.shards.len() + 1;
+        let batch: Vec<Fix> = fixes.into_iter().collect();
+        let Some(first) = batch.first() else {
+            return 0;
+        };
+        // Shard-affine ingest workers hand over batches that land
+        // entirely in one shard; a key scan detects that and skips the
+        // re-partition copy (one hash per fix instead of a 48-byte move
+        // each into freshly allocated per-shard buffers).
+        let s0 = self.shard_of(first.id);
+        if batch.iter().all(|f| self.shard_of(f.id) == s0) {
+            let n = batch.len();
+            self.shards[s0].write().append_batch(batch);
+            return n;
+        }
+        let cap = batch.len() / self.shards.len() + 1;
         let mut per_shard: Vec<Vec<Fix>> =
             (0..self.shards.len()).map(|_| Vec::with_capacity(cap)).collect();
         let mut n = 0;
-        for fix in fixes {
+        for fix in batch {
             per_shard[self.shard_of(fix.id)].push(fix);
             n += 1;
         }
@@ -579,6 +596,13 @@ impl ShardedTrajectoryStore {
                 s.archive.len() + s.cold.len()
             })
             .sum()
+    }
+
+    /// Fixes in the hot (mutable) tier only — the seal backlog the
+    /// adaptive controller watches. O(shards): per-shard counts are
+    /// maintained incrementally.
+    pub fn hot_len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().archive.len()).sum()
     }
 
     /// True when both tiers are empty.
@@ -699,7 +723,8 @@ impl ShardedTrajectoryStore {
             let s = shard.read();
             acc.merge(&TierStats {
                 hot_fixes: s.archive.len(),
-                hot_bytes: s.archive.len() * std::mem::size_of::<Fix>(),
+                // Five dense 8-byte columns per fix in the SoA hot tier.
+                hot_bytes: s.archive.len() * 5 * std::mem::size_of::<f64>(),
                 ..s.cold.stats()
             });
             acc
@@ -721,7 +746,7 @@ impl ShardedTrajectoryStore {
         if cold.is_empty() && hot.is_none() {
             return None;
         }
-        Some(merge_tiers(cold, hot.unwrap_or(&[])))
+        Some(merge_tiers(cold, hot.unwrap_or_else(|| TrackView::empty(id))))
     }
 
     /// The latest fix of a vessel at or before `t`, across tiers.
@@ -755,12 +780,7 @@ impl ShardedTrajectoryStore {
             let s = shard.read();
             match &s.grid {
                 Some(grid) => out.extend(grid.query(area, from, to)),
-                None => out.extend(
-                    s.archive
-                        .iter()
-                        .filter(|f| f.t >= from && f.t <= to && area.contains(f.pos))
-                        .copied(),
-                ),
+                None => s.archive.window_into(area, from, to, &mut out),
             }
             s.cold.window_into(area, from, to, &mut out);
         }
@@ -925,6 +945,26 @@ impl StoreLane {
             self.store.shard_of(fix.id) % self.lanes
         );
         self.store.append(fix);
+    }
+
+    /// Append a batch of fixes to owned shards, taking each shard's
+    /// writer lock once instead of once per fix.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if any fix hashes to a shard another lane
+    /// owns.
+    pub fn append_batch(&self, fixes: impl IntoIterator<Item = Fix>) -> usize {
+        self.store.append_batch(fixes.into_iter().inspect(|fix| {
+            debug_assert!(
+                self.owns(fix.id),
+                "lane {} of {} appended vessel {} owned by lane {}",
+                self.lane,
+                self.lanes,
+                fix.id,
+                self.store.shard_of(fix.id) % self.lanes
+            );
+        }))
     }
 }
 

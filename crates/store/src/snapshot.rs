@@ -148,7 +148,10 @@ impl StoreSnapshot {
         if cold.is_empty() && hot.is_none() {
             return None;
         }
-        Some(crate::shards::merge_tiers(cold, hot.unwrap_or(&[])))
+        Some(crate::shards::merge_tiers(
+            cold,
+            hot.unwrap_or_else(|| crate::trajstore::TrackView::empty(id)),
+        ))
     }
 
     /// Copy of a vessel's fixes in `[from, to]`, merged across tiers.
@@ -185,12 +188,7 @@ impl StoreSnapshot {
     pub fn window(&self, area: &BoundingBox, from: Timestamp, to: Timestamp) -> Vec<Fix> {
         let mut out = Vec::new();
         for s in &self.shards {
-            out.extend(
-                s.archive
-                    .iter()
-                    .filter(|f| f.t >= from && f.t <= to && area.contains(f.pos))
-                    .copied(),
-            );
+            s.archive.window_into(area, from, to, &mut out);
             s.cold.window_into(area, from, to, &mut out);
         }
         tiers::canonical_window_sort(&mut out);
@@ -213,7 +211,8 @@ impl StoreSnapshot {
         self.shards.iter().fold(TierStats::default(), |mut acc, s| {
             acc.merge(&TierStats {
                 hot_fixes: s.archive.len(),
-                hot_bytes: s.archive.len() * std::mem::size_of::<Fix>(),
+                // Five dense 8-byte columns per fix in the SoA hot tier.
+                hot_bytes: s.archive.len() * 5 * std::mem::size_of::<f64>(),
                 ..s.cold.stats()
             });
             acc

@@ -1,15 +1,222 @@
-//! The per-vessel trajectory archive.
+//! The per-vessel trajectory archive, stored struct-of-arrays.
+//!
+//! Each vessel's history is a [`Track`]: five parallel, time-sorted
+//! columns (`t`, `lat`, `lon`, `sog`, `cog`) instead of one
+//! `Vec<Fix>`. Read paths that touch one or two fields — time-range
+//! binary searches, spatial window filters, seal encoding — become
+//! branch-light linear passes over dense `f64`/`i64` slices the
+//! compiler can vectorize, and sealing encodes straight from the
+//! columns without an array-of-structs transpose. Borrowed reads hand
+//! out a [`TrackView`] (column slices); owned reads materialize
+//! [`Fix`]es only at the boundary.
 
 use mda_geo::motion::interpolate_fixes;
-use mda_geo::{Fix, Position, Timestamp, VesselId};
+use mda_geo::{BoundingBox, Fix, Position, Timestamp, VesselId};
 use std::collections::BTreeMap;
 
-/// Append-mostly archive of trajectories, one time-sorted fix vector per
+/// One vessel's time-sorted history as five parallel columns.
+///
+/// Invariant: all columns have equal length and `t` is non-decreasing.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Track {
+    t: Vec<Timestamp>,
+    lat: Vec<f64>,
+    lon: Vec<f64>,
+    sog: Vec<f64>,
+    cog: Vec<f64>,
+}
+
+impl Track {
+    /// Build a track from time-sorted fixes.
+    pub fn from_fixes(fixes: &[Fix]) -> Self {
+        debug_assert!(fixes.windows(2).all(|w| w[0].t <= w[1].t), "track must be time-sorted");
+        let mut tr = Self::with_capacity(fixes.len());
+        for f in fixes {
+            tr.push(f);
+        }
+        tr
+    }
+
+    fn with_capacity(n: usize) -> Self {
+        Self {
+            t: Vec::with_capacity(n),
+            lat: Vec::with_capacity(n),
+            lon: Vec::with_capacity(n),
+            sog: Vec::with_capacity(n),
+            cog: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of stored fixes.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// True when no fix is stored.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Borrow the columns as a [`TrackView`] for vessel `id`.
+    pub fn view(&self, id: VesselId) -> TrackView<'_> {
+        TrackView { id, t: &self.t, lat: &self.lat, lon: &self.lon, sog: &self.sog, cog: &self.cog }
+    }
+
+    fn push(&mut self, f: &Fix) {
+        self.t.push(f.t);
+        self.lat.push(f.pos.lat);
+        self.lon.push(f.pos.lon);
+        self.sog.push(f.sog_kn);
+        self.cog.push(f.cog_deg);
+    }
+
+    fn insert(&mut self, i: usize, f: &Fix) {
+        self.t.insert(i, f.t);
+        self.lat.insert(i, f.pos.lat);
+        self.lon.insert(i, f.pos.lon);
+        self.sog.insert(i, f.sog_kn);
+        self.cog.insert(i, f.cog_deg);
+    }
+
+    fn push_row_of(&mut self, other: &Track, i: usize) {
+        self.t.push(other.t[i]);
+        self.lat.push(other.lat[i]);
+        self.lon.push(other.lon[i]);
+        self.sog.push(other.sog[i]);
+        self.cog.push(other.cog[i]);
+    }
+
+    /// Bulk-append a time-ordered slice of fixes, one columnar pass per
+    /// field: a single reserve and a tight copy loop per column, instead
+    /// of five capacity-checked pushes per fix.
+    fn extend_fixes(&mut self, fixes: &[Fix]) {
+        self.t.extend(fixes.iter().map(|f| f.t));
+        self.lat.extend(fixes.iter().map(|f| f.pos.lat));
+        self.lon.extend(fixes.iter().map(|f| f.pos.lon));
+        self.sog.extend(fixes.iter().map(|f| f.sog_kn));
+        self.cog.extend(fixes.iter().map(|f| f.cog_deg));
+    }
+
+    fn extend_rows(&mut self, other: &Track, from: usize) {
+        self.t.extend_from_slice(&other.t[from..]);
+        self.lat.extend_from_slice(&other.lat[from..]);
+        self.lon.extend_from_slice(&other.lon[from..]);
+        self.sog.extend_from_slice(&other.sog[from..]);
+        self.cog.extend_from_slice(&other.cog[from..]);
+    }
+
+    /// Split off and return rows `at..`, like `Vec::split_off`.
+    fn split_off(&mut self, at: usize) -> Track {
+        Track {
+            t: self.t.split_off(at),
+            lat: self.lat.split_off(at),
+            lon: self.lon.split_off(at),
+            sog: self.sog.split_off(at),
+            cog: self.cog.split_off(at),
+        }
+    }
+
+    /// Remove and return the first `n` rows in order.
+    fn drain_front(&mut self, n: usize) -> Track {
+        let rest = self.split_off(n);
+        std::mem::replace(self, rest)
+    }
+}
+
+/// A borrowed, time-sorted columnar slice of one vessel's fixes.
+///
+/// The columnar twin of `&[Fix]`: cheap to sub-slice, iterate, and
+/// scan per field. Equality compares the vessel id and the column
+/// contents (bit-wise for the float columns via `==` on `f64`, which
+/// matches the store's no-NaN data discipline).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackView<'a> {
+    /// The vessel these columns belong to.
+    pub id: VesselId,
+    /// Event times, non-decreasing.
+    pub t: &'a [Timestamp],
+    /// Latitudes, degrees.
+    pub lat: &'a [f64],
+    /// Longitudes, degrees.
+    pub lon: &'a [f64],
+    /// Speeds over ground, knots.
+    pub sog: &'a [f64],
+    /// Courses over ground, degrees.
+    pub cog: &'a [f64],
+}
+
+impl<'a> TrackView<'a> {
+    /// An empty view for vessel `id`.
+    pub fn empty(id: VesselId) -> Self {
+        Self { id, t: &[], lat: &[], lon: &[], sog: &[], cog: &[] }
+    }
+
+    /// Number of fixes in the view.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// True when the view spans no fixes.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Materialize the fix at index `i`.
+    pub fn get(&self, i: usize) -> Fix {
+        Fix::new(
+            self.id,
+            self.t[i],
+            Position::new(self.lat[i], self.lon[i]),
+            self.sog[i],
+            self.cog[i],
+        )
+    }
+
+    /// The first fix, if any.
+    pub fn first(&self) -> Option<Fix> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.get(0))
+        }
+    }
+
+    /// The last fix, if any.
+    pub fn last(&self) -> Option<Fix> {
+        self.len().checked_sub(1).map(|i| self.get(i))
+    }
+
+    /// Sub-view of rows `lo..hi`.
+    pub fn slice(&self, lo: usize, hi: usize) -> TrackView<'a> {
+        TrackView {
+            id: self.id,
+            t: &self.t[lo..hi],
+            lat: &self.lat[lo..hi],
+            lon: &self.lon[lo..hi],
+            sog: &self.sog[lo..hi],
+            cog: &self.cog[lo..hi],
+        }
+    }
+
+    /// Iterate the fixes in time order (materialized on the fly).
+    pub fn iter(&self) -> impl Iterator<Item = Fix> + 'a {
+        let v = *self;
+        (0..v.len()).map(move |i| v.get(i))
+    }
+
+    /// Materialize the whole view.
+    pub fn to_vec(&self) -> Vec<Fix> {
+        self.iter().collect()
+    }
+}
+
+/// Append-mostly archive of trajectories, one columnar [`Track`] per
 /// vessel.
 #[derive(Debug, Default, Clone)]
 pub struct TrajectoryStore {
-    by_vessel: BTreeMap<VesselId, Vec<Fix>>,
+    by_vessel: BTreeMap<VesselId, Track>,
     len: usize,
+    disordered: u64,
 }
 
 impl TrajectoryStore {
@@ -18,18 +225,20 @@ impl TrajectoryStore {
         Self::default()
     }
 
-    /// Append a fix. Appending in time order is O(1); out-of-order
-    /// fixes are inserted at their sorted position (O(n) worst case —
-    /// the ingest pipeline reorders upstream, so this is the rare
-    /// path).
+    /// Append a fix. Appending in time order is O(1); an out-of-order
+    /// fix is sort-inserted (an O(n) column memmove — the regression
+    /// guard counter [`TrajectoryStore::disordered_merges`] tracks this
+    /// path; pipelines batch through [`TrajectoryStore::append_batch`]
+    /// so a disordered trickle cannot go quadratic).
     pub fn append(&mut self, fix: Fix) {
         let v = self.by_vessel.entry(fix.id).or_default();
-        match v.last() {
-            Some(last) if last.t > fix.t => {
-                let pos = v.partition_point(|f| f.t <= fix.t);
-                v.insert(pos, fix);
+        match v.t.last() {
+            Some(&last) if last > fix.t => {
+                let pos = v.t.partition_point(|&t| t <= fix.t);
+                v.insert(pos, &fix);
+                self.disordered += 1;
             }
-            _ => v.push(fix),
+            _ => v.push(&fix),
         }
         self.len += 1;
     }
@@ -45,47 +254,54 @@ impl TrajectoryStore {
     /// out-of-order batch costs O(n log n) instead of the per-fix
     /// path's O(n) insert each.
     pub fn append_batch(&mut self, fixes: impl IntoIterator<Item = Fix>) -> usize {
-        // Stable-sort the batch by vessel: fixes of one vessel become a
-        // contiguous run in their original relative order, so each run
-        // costs one map lookup + one bulk merge instead of a lookup
-        // per fix.
-        let mut batch: Vec<Fix> = fixes.into_iter().collect();
-        batch.sort_by_key(|f| f.id);
+        // Group the batch by vessel without moving whole fixes: sort
+        // lightweight `(id, position)` pairs. Including the position
+        // makes the allocation-free unstable sort equivalent to a
+        // stable sort by id — each vessel's run keeps arrival order —
+        // while the sort shuffles 8-byte keys instead of 48-byte fixes.
+        // (`u32` positions are safe: a batch of 2^32 fixes cannot fit
+        // in memory.)
+        let batch: Vec<Fix> = fixes.into_iter().collect();
         let n = batch.len();
+        let mut idx: Vec<(VesselId, u32)> = Vec::with_capacity(n);
+        idx.extend(batch.iter().enumerate().map(|(i, f)| (f.id, i as u32)));
+        idx.sort_unstable();
+        let mut run: Vec<Fix> = Vec::new();
         let mut lo = 0;
-        while lo < batch.len() {
-            let id = batch[lo].id;
-            let hi = lo + batch[lo..].partition_point(|f| f.id == id);
-            let run = &mut batch[lo..hi];
+        while lo < idx.len() {
+            let id = idx[lo].0;
+            let hi = lo + idx[lo..].partition_point(|p| p.0 == id);
+            run.clear();
+            run.extend(idx[lo..hi].iter().map(|&(_, p)| batch[p as usize]));
             lo = hi;
             // Stable by time: equal timestamps stay in arrival order,
             // matching what sequential `append` would have produced.
             run.sort_by_key(|f| f.t);
             let v = self.by_vessel.entry(id).or_default();
-            match v.last() {
+            match v.t.last() {
                 // Slow path: the run starts behind the stored tail.
                 // Existing fixes with equal timestamps sort before
                 // batch fixes (they arrived earlier), so split after
                 // them and merge the tails.
-                Some(last) if last.t > run[0].t => {
-                    let split = v.partition_point(|f| f.t <= run[0].t);
+                Some(&last) if last > run[0].t => {
+                    self.disordered += 1;
+                    let split = v.t.partition_point(|&t| t <= run[0].t);
                     let tail = v.split_off(split);
-                    v.reserve(tail.len() + run.len());
                     let (mut ti, mut ri) = (0, 0);
                     while ti < tail.len() && ri < run.len() {
-                        if tail[ti].t <= run[ri].t {
-                            v.push(tail[ti]);
+                        if tail.t[ti] <= run[ri].t {
+                            v.push_row_of(&tail, ti);
                             ti += 1;
                         } else {
-                            v.push(run[ri]);
+                            v.push(&run[ri]);
                             ri += 1;
                         }
                     }
-                    v.extend_from_slice(&tail[ti..]);
-                    v.extend_from_slice(&run[ri..]);
+                    v.extend_rows(&tail, ti);
+                    v.extend_fixes(&run[ri..]);
                 }
                 // Fast path: the run extends the trajectory wholesale.
-                _ => v.extend_from_slice(run),
+                _ => v.extend_fixes(&run),
             }
         }
         self.len += n;
@@ -107,50 +323,64 @@ impl TrajectoryStore {
         self.by_vessel.len()
     }
 
+    /// How many appends took the out-of-order merge path (single-fix
+    /// sort-inserts and behind-the-tail batch splices). The ingest
+    /// pipelines reorder upstream and batch their appends, so this
+    /// staying near zero is the "no quadratic disordered trickle"
+    /// regression guard.
+    pub fn disordered_merges(&self) -> u64 {
+        self.disordered
+    }
+
     /// All vessel ids.
     pub fn vessels(&self) -> impl Iterator<Item = VesselId> + '_ {
         self.by_vessel.keys().copied()
     }
 
-    /// Full trajectory of one vessel.
-    pub fn trajectory(&self, id: VesselId) -> Option<&[Fix]> {
-        self.by_vessel.get(&id).map(Vec::as_slice)
+    /// Full trajectory of one vessel as a borrowed columnar view.
+    pub fn trajectory(&self, id: VesselId) -> Option<TrackView<'_>> {
+        self.by_vessel.get(&id).map(|tr| tr.view(id))
     }
 
-    /// Fixes of one vessel in `[from, to]`.
-    pub fn range(&self, id: VesselId, from: Timestamp, to: Timestamp) -> &[Fix] {
-        let Some(v) = self.by_vessel.get(&id) else { return &[] };
-        let lo = v.partition_point(|f| f.t < from);
-        let hi = v.partition_point(|f| f.t <= to);
-        &v[lo..hi]
+    /// Fixes of one vessel in `[from, to]` (an empty view for unknown
+    /// vessels — the columns are contiguous, so a range is two binary
+    /// searches plus a sub-slice).
+    pub fn range(&self, id: VesselId, from: Timestamp, to: Timestamp) -> TrackView<'_> {
+        let Some(tr) = self.by_vessel.get(&id) else { return TrackView::empty(id) };
+        let lo = tr.t.partition_point(|&t| t < from);
+        let hi = tr.t.partition_point(|&t| t <= to);
+        tr.view(id).slice(lo, hi)
     }
 
     /// The latest fix of a vessel at or before `t`.
-    pub fn latest_at(&self, id: VesselId, t: Timestamp) -> Option<&Fix> {
-        let v = self.by_vessel.get(&id)?;
-        let idx = v.partition_point(|f| f.t <= t);
-        idx.checked_sub(1).map(|i| &v[i])
+    pub fn latest_at(&self, id: VesselId, t: Timestamp) -> Option<Fix> {
+        let tr = self.by_vessel.get(&id)?;
+        let idx = tr.t.partition_point(|&x| x <= t);
+        idx.checked_sub(1).map(|i| tr.view(id).get(i))
     }
 
     /// The earliest fix of a vessel strictly after `t`.
-    pub fn first_after(&self, id: VesselId, t: Timestamp) -> Option<&Fix> {
-        let v = self.by_vessel.get(&id)?;
-        v.get(v.partition_point(|f| f.t <= t))
+    pub fn first_after(&self, id: VesselId, t: Timestamp) -> Option<Fix> {
+        let tr = self.by_vessel.get(&id)?;
+        let i = tr.t.partition_point(|&x| x <= t);
+        (i < tr.len()).then(|| tr.view(id).get(i))
     }
 
     /// Drain every fix older than `cut` (strictly) out of the store,
     /// grouped per vessel in time order. Vessels left empty are
     /// removed. This is the hot→cold rotation primitive behind
-    /// [`seal_before`](crate::shards::ShardedTrajectoryStore::seal_before).
-    pub fn take_before(&mut self, cut: Timestamp) -> Vec<(VesselId, Vec<Fix>)> {
+    /// [`seal_before`](crate::shards::ShardedTrajectoryStore::seal_before);
+    /// the drained columns feed segment sealing directly, with no
+    /// row materialization in between.
+    pub fn take_before(&mut self, cut: Timestamp) -> Vec<(VesselId, Track)> {
         let mut out = Vec::new();
         let mut emptied = Vec::new();
         for (&id, v) in self.by_vessel.iter_mut() {
-            let n = v.partition_point(|f| f.t < cut);
+            let n = v.t.partition_point(|&t| t < cut);
             if n == 0 {
                 continue;
             }
-            let moved: Vec<Fix> = v.drain(..n).collect();
+            let moved = v.drain_front(n);
             self.len -= moved.len();
             if v.is_empty() {
                 emptied.push(id);
@@ -165,20 +395,50 @@ impl TrajectoryStore {
 
     /// Interpolated position of a vessel at `t` (between the bracketing
     /// fixes; clamped at the trajectory ends). `None` if the vessel is
-    /// unknown or `t` precedes its first fix by more than `max_extrap`.
+    /// unknown.
     pub fn position_at(&self, id: VesselId, t: Timestamp) -> Option<Position> {
-        let v = self.by_vessel.get(&id)?;
-        if v.is_empty() {
+        let tr = self.by_vessel.get(&id)?;
+        if tr.is_empty() {
             return None;
         }
-        let idx = v.partition_point(|f| f.t <= t);
+        let idx = tr.t.partition_point(|&x| x <= t);
         if idx == 0 {
-            return Some(v[0].pos);
+            return Some(Position::new(tr.lat[0], tr.lon[0]));
         }
-        if idx == v.len() {
-            return Some(v[v.len() - 1].pos);
+        if idx == tr.len() {
+            let i = tr.len() - 1;
+            return Some(Position::new(tr.lat[i], tr.lon[i]));
         }
-        Some(interpolate_fixes(&v[idx - 1], &v[idx], t))
+        let view = tr.view(id);
+        Some(interpolate_fixes(&view.get(idx - 1), &view.get(idx), t))
+    }
+
+    /// Append every fix inside the spatio-temporal window to `out`, in
+    /// (vessel, time) order: per vessel the time range is two binary
+    /// searches on the contiguous `t` column, then one linear lat/lon
+    /// pass materializing only the hits.
+    pub fn window_into(
+        &self,
+        area: &BoundingBox,
+        from: Timestamp,
+        to: Timestamp,
+        out: &mut Vec<Fix>,
+    ) {
+        for (&id, tr) in &self.by_vessel {
+            let lo = tr.t.partition_point(|&t| t < from);
+            let hi = tr.t.partition_point(|&t| t <= to);
+            let view = tr.view(id);
+            for i in lo..hi {
+                let (lat, lon) = (tr.lat[i], tr.lon[i]);
+                if lat >= area.min_lat
+                    && lat <= area.max_lat
+                    && lon >= area.min_lon
+                    && lon <= area.max_lon
+                {
+                    out.push(view.get(i));
+                }
+            }
+        }
     }
 
     /// Replace a vessel's trajectory with a compacted version (e.g. its
@@ -186,17 +446,18 @@ impl TrajectoryStore {
     pub fn compact(&mut self, id: VesselId, keep: impl Fn(&[Fix]) -> Vec<Fix>) -> usize {
         let Some(v) = self.by_vessel.get_mut(&id) else { return 0 };
         let before = v.len();
-        let kept = keep(v);
+        let kept = keep(&v.view(id).to_vec());
         debug_assert!(kept.windows(2).all(|w| w[0].t <= w[1].t), "compaction must stay sorted");
         let removed = before.saturating_sub(kept.len());
         self.len = self.len - before + kept.len();
-        *v = kept;
+        *v = Track::from_fixes(&kept);
         removed
     }
 
-    /// Iterate over all fixes of all vessels.
-    pub fn iter(&self) -> impl Iterator<Item = &Fix> {
-        self.by_vessel.values().flatten()
+    /// Iterate over all fixes of all vessels (materialized on the fly,
+    /// vessels in id order, time order within each).
+    pub fn iter(&self) -> impl Iterator<Item = Fix> + '_ {
+        self.by_vessel.iter().flat_map(|(&id, tr)| tr.view(id).iter())
     }
 }
 
@@ -219,7 +480,8 @@ mod tests {
         assert_eq!(s.vessel_count(), 1);
         let r = s.range(1, Timestamp::from_mins(3), Timestamp::from_mins(6));
         assert_eq!(r.len(), 4);
-        assert_eq!(r[0].t, Timestamp::from_mins(3));
+        assert_eq!(r.t[0], Timestamp::from_mins(3));
+        assert_eq!(s.disordered_merges(), 0);
     }
 
     #[test]
@@ -229,10 +491,11 @@ mod tests {
         s.append(fix(1, 1, 5.01));
         s.append(fix(1, 3, 5.03));
         let traj = s.trajectory(1).unwrap();
-        let times: Vec<i64> = traj.iter().map(|f| f.t.millis()).collect();
+        let times: Vec<i64> = traj.t.iter().map(|t| t.millis()).collect();
         let mut sorted = times.clone();
         sorted.sort_unstable();
         assert_eq!(times, sorted);
+        assert_eq!(s.disordered_merges(), 2);
     }
 
     #[test]
@@ -355,5 +618,50 @@ mod tests {
         s.append(fix(2, 0, 6.0));
         s.append(fix(1, 1, 5.1));
         assert_eq!(s.iter().count(), 3);
+    }
+
+    #[test]
+    fn window_into_matches_filtered_iter() {
+        let mut s = TrajectoryStore::new();
+        for v in 1..=4u32 {
+            for i in 0..40 {
+                s.append(Fix::new(
+                    v,
+                    Timestamp::from_mins(i),
+                    Position::new(42.0 + f64::from(v) * 0.3, 4.0 + i as f64 * 0.02),
+                    8.0,
+                    90.0,
+                ));
+            }
+        }
+        let area = BoundingBox::new(42.2, 4.1, 42.9, 4.5);
+        let (from, to) = (Timestamp::from_mins(5), Timestamp::from_mins(30));
+        let mut fast = Vec::new();
+        s.window_into(&area, from, to, &mut fast);
+        let slow: Vec<Fix> = s
+            .iter()
+            .filter(|f| {
+                f.t >= from
+                    && f.t <= to
+                    && f.pos.lat >= area.min_lat
+                    && f.pos.lat <= area.max_lat
+                    && f.pos.lon >= area.min_lon
+                    && f.pos.lon <= area.max_lon
+            })
+            .collect();
+        assert_eq!(fast, slow);
+        assert!(!fast.is_empty());
+    }
+
+    #[test]
+    fn track_view_slicing_and_materialization_agree() {
+        let fixes: Vec<Fix> = (0..10).map(|i| fix(7, i, 5.0 + i as f64 * 0.01)).collect();
+        let tr = Track::from_fixes(&fixes);
+        let view = tr.view(7);
+        assert_eq!(view.to_vec(), fixes);
+        assert_eq!(view.slice(2, 6).to_vec(), fixes[2..6].to_vec());
+        assert_eq!(view.first(), Some(fixes[0]));
+        assert_eq!(view.last(), Some(fixes[9]));
+        assert_eq!(TrackView::empty(7).last(), None);
     }
 }

@@ -128,3 +128,107 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// The struct-of-arrays hot tier is observationally equivalent to a
+    /// plain per-vessel `Vec<Fix>` oracle under arbitrary interleavings
+    /// of disordered appends and `take_before` seal sweeps: every query
+    /// surface — trajectory, range, latest_at, first_after,
+    /// position_at, window_into, iter — answers byte-identically.
+    #[test]
+    fn soa_store_matches_vec_oracle_under_interleaved_seals(
+        ops in prop::collection::vec((0u32..6, -300i64..600, -500i64..500, 0u8..12), 1..400),
+    ) {
+        use std::collections::BTreeMap;
+        use mda_geo::BoundingBox;
+
+        let mut store = TrajectoryStore::new();
+        let mut oracle: BTreeMap<u32, Vec<Fix>> = BTreeMap::new();
+        for &(v_raw, t_min, md, sel) in &ops {
+            if sel == 0 {
+                // Seal sweep at an arbitrary cut, interleaved with
+                // appends: both sides drain the strict-past prefix.
+                let cut = Timestamp::from_mins(t_min);
+                let drained: Vec<(u32, Vec<Fix>)> = store
+                    .take_before(cut)
+                    .into_iter()
+                    .map(|(id, tr)| (id, tr.view(id).to_vec()))
+                    .collect();
+                let mut expect: Vec<(u32, Vec<Fix>)> = Vec::new();
+                oracle.retain(|&id, fixes| {
+                    let n = fixes.iter().take_while(|f| f.t < cut).count();
+                    if n > 0 {
+                        expect.push((id, fixes.drain(..n).collect()));
+                    }
+                    !fixes.is_empty()
+                });
+                prop_assert_eq!(drained, expect, "seal sweep at {:?} diverged", cut);
+            } else {
+                let fix = batch_of(&[(v_raw, t_min, md)])[0];
+                store.append(fix);
+                let fixes = oracle.entry(fix.id).or_default();
+                // Same insertion rule as the store: equal timestamps
+                // keep arrival order.
+                let at = fixes.partition_point(|f| f.t <= fix.t);
+                fixes.insert(at, fix);
+            }
+        }
+
+        // Content equivalence, per vessel and globally.
+        prop_assert_eq!(store.len(), oracle.values().map(Vec::len).sum::<usize>());
+        prop_assert_eq!(store.vessel_count(), oracle.len());
+        let flat: Vec<Fix> = store.iter().collect();
+        let expect_flat: Vec<Fix> = oracle.values().flatten().copied().collect();
+        prop_assert_eq!(flat, expect_flat);
+
+        // Query equivalence at probe points straddling the data.
+        let probes: Vec<Timestamp> =
+            (-2i64..=6).map(|k| Timestamp::from_mins(k * 100 - 50)).collect();
+        for id in 1..=6u32 {
+            let traj = store.trajectory(id).map(|v| v.to_vec());
+            prop_assert_eq!(&traj, &oracle.get(&id).cloned(), "trajectory({})", id);
+            let fixes = oracle.get(&id).cloned().unwrap_or_default();
+            for (i, &a) in probes.iter().enumerate() {
+                prop_assert_eq!(
+                    store.latest_at(id, a),
+                    fixes.iter().rev().find(|f| f.t <= a).copied(),
+                    "latest_at({}, {:?})", id, a
+                );
+                prop_assert_eq!(
+                    store.first_after(id, a),
+                    fixes.iter().find(|f| f.t > a).copied(),
+                    "first_after({}, {:?})", id, a
+                );
+                for &b in &probes[i..] {
+                    let got = store.range(id, a, b).to_vec();
+                    let expect: Vec<Fix> =
+                        fixes.iter().filter(|f| a <= f.t && f.t <= b).copied().collect();
+                    prop_assert_eq!(got, expect, "range({}, {:?}, {:?})", id, a, b);
+                }
+            }
+        }
+
+        // position_at and window_into run identical code on a store
+        // rebuilt from the oracle's (already time-ordered) content:
+        // equality means the incrementally-built columns match the
+        // canonical ones exactly, interpolation arithmetic included.
+        let mut rebuilt = TrajectoryStore::new();
+        for fixes in oracle.values() {
+            for f in fixes {
+                rebuilt.append(*f);
+            }
+        }
+        let area = BoundingBox::new(42.8, 4.6, 43.3, 5.4);
+        for (i, &a) in probes.iter().enumerate() {
+            for id in 1..=6u32 {
+                prop_assert_eq!(store.position_at(id, a), rebuilt.position_at(id, a));
+            }
+            for &b in &probes[i..] {
+                let (mut got, mut expect) = (Vec::new(), Vec::new());
+                store.window_into(&area, a, b, &mut got);
+                rebuilt.window_into(&area, a, b, &mut expect);
+                prop_assert_eq!(got, expect, "window_into({:?}, {:?})", a, b);
+            }
+        }
+    }
+}

@@ -115,7 +115,7 @@ fn writers_and_readers_match_single_threaded_oracle() {
     for id in store.vessels() {
         let got = store.trajectory(id).unwrap();
         let want = oracle.trajectory(id).unwrap();
-        assert_eq!(got.as_slice(), want, "vessel {id} trajectory diverged");
+        assert_eq!(got, want.to_vec(), "vessel {id} trajectory diverged");
         assert!(got.windows(2).all(|w| w[0].t <= w[1].t), "vessel {id} unsorted");
     }
 

@@ -22,6 +22,10 @@
 //!   over crossbeam channels, the stand-in for a distributed cluster.
 //! - **Barrier protocol** ([`barrier`]) — leader-electing, panic-safe
 //!   tick-boundary barrier for multi-writer shard-affine ingest.
+//! - **Adaptive control** ([`control`]) — deterministic fast/slow-EMA
+//!   controller turning event-time observables (lateness, shard skew,
+//!   seal backlog, event rate) into clamped reorder-delay, seal-cadence
+//!   and ring-capacity knob moves at aligned tick boundaries.
 //!
 //! ## Example
 //!
@@ -41,6 +45,7 @@
 //! ```
 
 pub mod barrier;
+pub mod control;
 pub mod join;
 pub mod pipeline;
 pub mod reorder;
@@ -49,6 +54,7 @@ pub mod watermark;
 pub mod window;
 
 pub use barrier::{run_lanes, LaneRole, TickBarrier};
+pub use control::{AdaptiveController, ArrivalWindow, ControlConfig, ControlGauges, Knobs};
 pub use join::IntervalJoin;
 pub use pipeline::{Pipeline, Stage};
 pub use reorder::ReorderBuffer;

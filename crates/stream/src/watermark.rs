@@ -17,13 +17,28 @@ pub struct BoundedOutOfOrderness {
     max_delay: DurationMs,
     max_seen: Option<Timestamp>,
     late: u64,
+    /// Monotonicity floor: raising `max_delay` at runtime must not pull
+    /// the watermark backwards, so delay changes record the watermark
+    /// reached so far and `current()` never reports below it.
+    floor: Timestamp,
 }
 
 impl BoundedOutOfOrderness {
     /// Create a generator tolerating up to `max_delay` of disorder.
     pub fn new(max_delay: DurationMs) -> Self {
         assert!(max_delay >= 0, "delay must be non-negative");
-        Self { max_delay, max_seen: None, late: 0 }
+        Self { max_delay, max_seen: None, late: 0, floor: Timestamp::MIN }
+    }
+
+    /// Retune the disorder tolerance at runtime (the adaptive
+    /// controller's delay knob). The watermark stays monotone across
+    /// the change: a *larger* delay holds the watermark at its current
+    /// value until the event-time frontier catches up, a *smaller*
+    /// delay advances it immediately.
+    pub fn set_max_delay(&mut self, max_delay: DurationMs) {
+        assert!(max_delay >= 0, "delay must be non-negative");
+        self.floor = self.floor.max(self.current());
+        self.max_delay = max_delay;
     }
 
     /// Observe an element timestamp; returns the new watermark.
@@ -41,10 +56,24 @@ impl BoundedOutOfOrderness {
         self.current()
     }
 
+    /// The event-time frontier: the maximum timestamp observed so far
+    /// (`None` before any element).
+    ///
+    /// Unlike [`Self::current`] the frontier never stalls when the
+    /// delay is retuned, which makes it the clock adaptive control
+    /// must commit against: a watermark-clocked commit schedule
+    /// self-throttles, because widening the delay by Δ holds the
+    /// watermark — and therefore the next watermark-aligned boundary —
+    /// still for exactly Δ of frontier time, opening a control
+    /// blackout precisely while lateness is ramping.
+    pub fn frontier(&self) -> Option<Timestamp> {
+        self.max_seen
+    }
+
     /// The current watermark (`Timestamp::MIN` before any element).
     pub fn current(&self) -> Timestamp {
         match self.max_seen {
-            Some(m) => m - self.max_delay,
+            Some(m) => (m - self.max_delay).max(self.floor),
             None => Timestamp::MIN,
         }
     }
@@ -101,6 +130,20 @@ impl SealSchedule {
         assert!(every > 0, "seal cadence must be positive");
         assert!(hot_horizon >= 0, "hot horizon must be non-negative");
         Self { every, hot_horizon, last: None }
+    }
+
+    /// Retune the cadence at runtime (the adaptive controller's seal
+    /// knob). Cuts stay monotone — [`SealSchedule::due`] still refuses
+    /// any cut at or behind the last one handed out, whatever the new
+    /// alignment grid produces.
+    pub fn set_every(&mut self, every: DurationMs) {
+        assert!(every > 0, "seal cadence must be positive");
+        self.every = every;
+    }
+
+    /// The current cadence.
+    pub fn every(&self) -> DurationMs {
+        self.every
     }
 
     /// Observe the current watermark; returns `Some(cut)` when a new
@@ -322,6 +365,39 @@ mod tests {
         assert_eq!(w.late_count(), 0);
         w.observe(Timestamp::from_secs(80)); // older than watermark: late
         assert_eq!(w.late_count(), 1);
+    }
+
+    #[test]
+    fn raising_delay_never_regresses_watermark() {
+        let mut w = BoundedOutOfOrderness::new(5 * SECOND);
+        w.observe(Timestamp::from_secs(100));
+        assert_eq!(w.current(), Timestamp::from_secs(95));
+        // Widening the tolerance holds the watermark...
+        w.set_max_delay(60 * SECOND);
+        assert_eq!(w.current(), Timestamp::from_secs(95), "floored at the reached watermark");
+        // ...until the frontier catches up past the new lag.
+        w.observe(Timestamp::from_secs(150));
+        assert_eq!(w.current(), Timestamp::from_secs(95), "150 - 60 < floor");
+        w.observe(Timestamp::from_secs(200));
+        assert_eq!(w.current(), Timestamp::from_secs(140));
+        // Shrinking the tolerance advances immediately.
+        w.set_max_delay(10 * SECOND);
+        assert_eq!(w.current(), Timestamp::from_secs(190));
+        assert_eq!(w.max_delay(), 10 * SECOND);
+    }
+
+    #[test]
+    fn seal_cadence_retune_keeps_cuts_monotone() {
+        let mut s = SealSchedule::new(30 * MINUTE, 0);
+        assert_eq!(s.due(Timestamp::from_mins(65)), Some(Timestamp::from_mins(60)));
+        // A coarser grid whose aligned cut would regress is refused.
+        s.set_every(50 * MINUTE);
+        assert_eq!(s.every(), 50 * MINUTE);
+        assert_eq!(s.due(Timestamp::from_mins(70)), None, "cut 50 < last 60");
+        assert_eq!(s.due(Timestamp::from_mins(101)), Some(Timestamp::from_mins(100)));
+        // A finer grid fires at the next fine boundary past the last cut.
+        s.set_every(10 * MINUTE);
+        assert_eq!(s.due(Timestamp::from_mins(111)), Some(Timestamp::from_mins(110)));
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Property tests for the adaptive hot-path controller.
+//!
+//! The controller's contract is *determinism under concurrency*: its
+//! knob trajectory must be a pure function of the event-time arrival
+//! stream — invariant under the writer count, the absorb granularity,
+//! and arrival adversity (bursts, stalls, heavy lateness, per-shard
+//! skew). These properties drive generated adversarial streams through
+//! the real pipelines and the bare controller and hold them to that.
+
+use maritime::core::{MultiWriterPipeline, PipelineConfig};
+use maritime::geo::{BoundingBox, Fix, Position, Timestamp};
+use maritime::stream::control::{AdaptiveController, ArrivalWindow, ControlConfig, Knobs};
+use proptest::prelude::*;
+
+fn bounds() -> BoundingBox {
+    BoundingBox::new(42.0, 3.0, 44.0, 6.5)
+}
+
+/// Build an adversarial arrival stream from raw `(vessel, advance_ms,
+/// late_ms)` triples: event time walks forward by `advance_ms` per
+/// arrival (0 = a burst at one instant, large = a stall), and each
+/// arrival is reported `late_ms` behind the frontier (satellite-batch
+/// style disorder). Vessel ids are skewed: low raw values collapse onto
+/// vessel 1, modelling a port hotspot on one shard.
+fn arrivals(raw: &[(u32, i64, i64)]) -> Vec<Fix> {
+    let mut frontier = Timestamp::from_mins(0);
+    raw.iter()
+        .map(|&(v, advance_ms, late_ms)| {
+            frontier += advance_ms;
+            let id = if v < 8 { 1 } else { v % 24 + 1 };
+            let t = frontier.saturating_add(-late_ms);
+            let minutes = (t.millis() / 60_000) as f64;
+            let pos = Position::new(
+                42.2 + 0.07 * f64::from(id % 24),
+                3.2 + 0.002 * minutes.abs().min(1_500.0),
+            );
+            Fix::new(id, t, pos, 10.0, 90.0)
+        })
+        .collect()
+}
+
+fn run_writers(fixes: &[Fix], writers: usize) -> (Vec<(Timestamp, Knobs)>, usize, u64) {
+    let mut p =
+        MultiWriterPipeline::new(PipelineConfig::adaptive(bounds()), writers).with_ingest_batch(32);
+    for f in fixes {
+        p.push_fix(*f);
+    }
+    p.finish();
+    let report = p.report();
+    (p.control_trace(), p.store().len(), report.dropped_late)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The committed knob trajectory — and everything downstream of it
+    /// (archive size, late-drop count) — is invariant under the writer
+    /// count for arbitrary adversarial arrival streams.
+    #[test]
+    fn knob_trajectory_is_writer_count_invariant(
+        raw in prop::collection::vec((0u32..64, 0i64..180_000, 0i64..3_000_000), 64..500),
+    ) {
+        let fixes = arrivals(&raw);
+        let reference = run_writers(&fixes, 1);
+        for writers in [2usize, 4, 8] {
+            let got = run_writers(&fixes, writers);
+            prop_assert_eq!(&reference, &got, "{} writers diverged", writers);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every committed knob stays inside the configured clamp bounds,
+    /// and commit boundaries strictly increase, no matter how bursty,
+    /// stalled or late the stream gets (lateness here runs to ~2 h —
+    /// far past the delay clamp ceiling).
+    #[test]
+    fn knobs_stay_clamped_under_adversarial_bursts(
+        raw in prop::collection::vec((0u32..64, 0i64..600_000, 0i64..7_200_000), 32..400),
+    ) {
+        let fixes = arrivals(&raw);
+        let mut p = MultiWriterPipeline::new(PipelineConfig::adaptive(bounds()), 4)
+            .with_ingest_batch(16);
+        for f in &fixes {
+            p.push_fix(*f);
+        }
+        p.finish();
+        let trace = p.control_trace();
+        let cfg = ControlConfig::default();
+        prop_assert!(trace.windows(2).all(|w| w[0].0 < w[1].0), "boundaries must increase");
+        for (b, k) in &trace {
+            prop_assert!(
+                cfg.delay_bounds.0 <= k.delay && k.delay <= cfg.delay_bounds.1,
+                "delay {} out of bounds at {:?}", k.delay, b
+            );
+            prop_assert!(
+                cfg.seal_bounds.0 <= k.seal_every && k.seal_every <= cfg.seal_bounds.1,
+                "seal cadence {} out of bounds at {:?}", k.seal_every, b
+            );
+            prop_assert!(
+                cfg.ring_bounds.0 <= k.ring_capacity && k.ring_capacity <= cfg.ring_bounds.1,
+                "ring capacity {} out of bounds at {:?}", k.ring_capacity, b
+            );
+        }
+    }
+
+    /// Bare-controller purity: absorbing the same observation sequence
+    /// in arbitrarily different chunkings (absorb-per-arrival versus
+    /// absorb-at-commit versus anything between) commits the identical
+    /// knob trajectory. This is the property the two pipelines lean on:
+    /// the single writer absorbs at every boundary, the multi-writer
+    /// router once per epoch.
+    #[test]
+    fn absorb_granularity_never_changes_the_trajectory(
+        raw in prop::collection::vec((0u32..64, 0i64..120_000, 0i64..3_600_000), 16..300),
+        chunk in 1usize..64,
+    ) {
+        let fixes = arrivals(&raw);
+        let cfg = ControlConfig::default();
+        let initial = Knobs {
+            delay: 40 * maritime::geo::time::MINUTE,
+            seal_every: 30 * maritime::geo::time::MINUTE,
+            ring_capacity: 65_536,
+        };
+        let shards = 8;
+        let commit_every = 50usize;
+
+        let run = |absorb_chunk: usize| {
+            let mut ctl = AdaptiveController::new(cfg, initial);
+            let mut window = ArrivalWindow::new(shards, cfg.fast_alpha, cfg.slow_alpha);
+            let mut boundary = Timestamp::from_mins(0);
+            for (i, f) in fixes.iter().enumerate() {
+                window.observe(f.t, maritime::geo::vessel_shard(f.id, shards));
+                if (i + 1) % absorb_chunk == 0 {
+                    ctl.absorb(&mut window);
+                }
+                if (i + 1) % commit_every == 0 {
+                    boundary += maritime::geo::time::MINUTE;
+                    ctl.absorb(&mut window);
+                    ctl.commit(boundary, (i as u64) % 97, i as u64);
+                }
+            }
+            ctl.trace().to_vec()
+        };
+        prop_assert_eq!(run(1), run(chunk));
+    }
+}
