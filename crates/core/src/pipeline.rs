@@ -876,6 +876,8 @@ impl MaritimePipeline {
 
     /// Overall synopsis compression ratio across vessels.
     pub fn compression_ratio(&self) -> f64 {
+        // lint:allow(deterministic-iteration): commutative sum over
+        // per-vessel counters; the fold result is order-free.
         let (seen, kept) = self.compressors.values().fold((0u64, 0u64), |(s, k), c| {
             let (cs, ck) = c.counts();
             (s + cs, k + ck)

@@ -185,8 +185,12 @@ impl DetectorShard {
         if !gone.is_empty() {
             // Zone state is keyed (vessel, zone): evict all ids in one
             // retain pass. The per-vessel maps are O(1) removals.
+            // lint:allow(deterministic-iteration): `gone` is a Vec in
+            // eviction order; the collected set is order-free.
             let gone_set: HashSet<VesselId> = gone.iter().copied().collect();
             self.zones.evict(&gone_set);
+            // lint:allow(deterministic-iteration): per-id evictions
+            // commute; no emission happens in this loop.
             for &id in &gone {
                 self.veracity.evict(id);
                 self.loiter.evict(id);

@@ -315,6 +315,9 @@ impl FleetIndex {
         let mut count = 0;
         for index in indexes {
             count += index.len();
+            // lint:allow(deterministic-iteration): merge order is
+            // immaterial — every bucket is canonically sorted below
+            // before the snapshot is published.
             for entry in index.latest.values() {
                 cells
                     .entry(LiveIndex::cell_of(entry.fix.pos))

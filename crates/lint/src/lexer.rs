@@ -1,0 +1,434 @@
+//! Source scrubbing: the hand-rolled lexical front end of the linter.
+//!
+//! Rules never look at raw source. [`Scrub::new`] runs a single-pass
+//! state machine over the bytes that blanks out every comment, string
+//! literal (plain, raw with any `#` count, byte, and char literals —
+//! lifetimes are told apart from char literals) while preserving byte
+//! offsets and line structure exactly. On the way it:
+//!
+//! - collects `// lint:allow(<rule-id>): <reason>` escape directives
+//!   with their line numbers and whether a justification follows;
+//! - marks every line that belongs to a `#[cfg(test)]` or `#[test]`
+//!   item, so rules can skip test code (test batteries may `unwrap`
+//!   known-good data; the disciplines govern production paths).
+//!
+//! The scrubbed text is what the rules pattern-match against: inside
+//! it, a `[` is always a real bracket and `panic!` is always a real
+//! macro invocation, never part of a string or a doc comment.
+
+/// One `lint:allow` escape directive found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the directive's comment starts on.
+    pub line: usize,
+    /// The rule id named inside `lint:allow(...)`.
+    pub rule: String,
+    /// True when a non-empty `: <reason>` justification follows.
+    pub has_reason: bool,
+}
+
+/// A comment/string-blanked view of one source file (see module docs).
+#[derive(Debug)]
+pub struct Scrub {
+    /// The blanked source: same byte length and line structure as the
+    /// input, with every comment/string byte replaced by a space.
+    pub text: String,
+    /// Byte offset of the start of each (1-based) line.
+    line_starts: Vec<usize>,
+    /// Per (1-based) line: inside a `#[cfg(test)]` / `#[test]` item.
+    test_lines: Vec<bool>,
+    /// Every `lint:allow` directive found in the comments.
+    pub allows: Vec<Allow>,
+}
+
+/// True for bytes that can continue a Rust identifier.
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl Scrub {
+    /// Scrub `src` (see module docs for what gets blanked and what
+    /// gets collected).
+    pub fn new(src: &str) -> Self {
+        let bytes = src.as_bytes();
+        let mut out = bytes.to_vec();
+        let mut allows = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    let start = i;
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        out[i] = b' ';
+                        i += 1;
+                    }
+                    parse_allow(src, start, i, &mut allows);
+                }
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    let mut depth = 1usize;
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    i += 2;
+                    while i < bytes.len() && depth > 0 {
+                        if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                            depth += 1;
+                            out[i] = b' ';
+                            out[i + 1] = b' ';
+                            i += 2;
+                        } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                            depth -= 1;
+                            out[i] = b' ';
+                            out[i + 1] = b' ';
+                            i += 2;
+                        } else {
+                            if bytes[i] != b'\n' {
+                                out[i] = b' ';
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+                // Raw (and raw byte) strings: r"..", r#".."#, br##".."##.
+                b'r' | b'b' if !prev_is_ident(bytes, i) => {
+                    let mut j = i;
+                    if bytes[j] == b'b' && bytes.get(j + 1) == Some(&b'r') {
+                        j += 1;
+                    }
+                    if bytes[j] == b'r' {
+                        let mut hashes = 0usize;
+                        let mut k = j + 1;
+                        while bytes.get(k) == Some(&b'#') {
+                            hashes += 1;
+                            k += 1;
+                        }
+                        if bytes.get(k) == Some(&b'"') {
+                            i = blank_raw_string(bytes, &mut out, k + 1, hashes);
+                            continue;
+                        }
+                    }
+                    // `b"..."` byte string: normal escape rules.
+                    if bytes[i] == b'b' && bytes.get(i + 1) == Some(&b'"') {
+                        i = blank_string(bytes, &mut out, i + 2);
+                        continue;
+                    }
+                    i += 1;
+                }
+                b'"' => {
+                    i = blank_string(bytes, &mut out, i + 1);
+                }
+                b'\'' => {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let next = bytes.get(i + 1).copied().unwrap_or(b' ');
+                    let lifetime = (next.is_ascii_alphabetic() || next == b'_')
+                        && bytes.get(i + 2) != Some(&b'\'');
+                    if lifetime {
+                        i += 2;
+                        while i < bytes.len() && is_ident(bytes[i]) {
+                            i += 1;
+                        }
+                    } else {
+                        out[i] = b' ';
+                        i += 1;
+                        while i < bytes.len() {
+                            match bytes[i] {
+                                b'\\' => {
+                                    out[i] = b' ';
+                                    if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                                        out[i + 1] = b' ';
+                                    }
+                                    i += 2;
+                                }
+                                b'\'' => {
+                                    out[i] = b' ';
+                                    i += 1;
+                                    break;
+                                }
+                                b'\n' => break,
+                                _ => {
+                                    out[i] = b' ';
+                                    i += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+
+        // Any multi-byte characters left in code position (there are
+        // none in this workspace, but fixtures may) are blanked so the
+        // scrubbed buffer is valid single-byte ASCII for the rules.
+        for b in &mut out {
+            if !b.is_ascii() {
+                *b = b' ';
+            }
+        }
+        let text = String::from_utf8(out).unwrap_or_default();
+
+        let mut line_starts = vec![0usize];
+        for (at, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(at + 1);
+            }
+        }
+        let mut scrub = Self { text, line_starts, test_lines: Vec::new(), allows };
+        scrub.test_lines = scrub.mark_test_lines();
+        scrub
+    }
+
+    /// 1-based line number of a byte offset into the scrubbed text.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset)
+    }
+
+    /// True when the (1-based) line belongs to a `#[cfg(test)]` or
+    /// `#[test]` item.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.get(line.saturating_sub(1)).copied().unwrap_or(false)
+    }
+
+    /// True when an allow directive naming `rule` covers `line`: the
+    /// directive sits on the flagged line itself (trailing comment) or
+    /// in the comment directly above it — wrapped comment lines and
+    /// blank lines between the directive and the code are skipped, so
+    /// a multi-line justification still covers the next code line.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows.iter().any(|a| {
+            a.rule == rule
+                && (a.line == line
+                    || (a.line < line && self.first_code_line_after(a.line) == Some(line)))
+        })
+    }
+
+    /// The first line after `line` with any non-blank scrubbed content
+    /// (comments and strings are blanked, so comment-only lines are
+    /// skipped).
+    fn first_code_line_after(&self, line: usize) -> Option<usize> {
+        (line + 1..=self.line_starts.len()).find(|&l| {
+            let start = self.line_starts[l - 1];
+            let end = self.line_starts.get(l).copied().unwrap_or(self.text.len());
+            self.text[start..end].bytes().any(|b| !b.is_ascii_whitespace())
+        })
+    }
+
+    /// Mark the line span of every `#[cfg(test)]` / `#[test]` item.
+    fn mark_test_lines(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.line_starts.len()];
+        let b = self.text.as_bytes();
+        for attr in ["#[cfg(test)]", "#[test]"] {
+            let mut from = 0;
+            while let Some(rel) = self.text.get(from..).and_then(|t| t.find(attr)) {
+                let start = from + rel;
+                from = start + attr.len();
+                let end = self.item_end(start + attr.len());
+                let (l0, l1) = (self.line_of(start), self.line_of(end.min(b.len().max(1) - 1)));
+                for line in l0..=l1 {
+                    if let Some(m) = mask.get_mut(line - 1) {
+                        *m = true;
+                    }
+                }
+            }
+        }
+        mask
+    }
+
+    /// Byte offset of the end of the item that starts after an
+    /// attribute at `from`: further attributes are skipped, then the
+    /// item runs to its matching close brace (or to the `;` of a
+    /// braceless item).
+    fn item_end(&self, mut from: usize) -> usize {
+        let b = self.text.as_bytes();
+        loop {
+            while from < b.len() && (b[from] as char).is_whitespace() {
+                from += 1;
+            }
+            if from < b.len() && b[from] == b'#' {
+                // Another attribute: skip its bracketed body.
+                let mut depth = 0usize;
+                while from < b.len() {
+                    match b[from] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                from += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    from += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        // The item body: first `{` wins unless a `;` ends it earlier.
+        while from < b.len() && b[from] != b'{' && b[from] != b';' {
+            from += 1;
+        }
+        if from >= b.len() || b[from] == b';' {
+            return from.min(b.len().saturating_sub(1));
+        }
+        let mut depth = 0usize;
+        while from < b.len() {
+            match b[from] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return from;
+                    }
+                }
+                _ => {}
+            }
+            from += 1;
+        }
+        b.len().saturating_sub(1)
+    }
+}
+
+/// True when the byte before `i` can continue an identifier (so the
+/// byte at `i` is not the start of a token).
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && is_ident(bytes[i - 1])
+}
+
+/// Blank a plain/byte string starting just past its opening quote;
+/// returns the offset just past the closing quote.
+fn blank_string(bytes: &[u8], out: &mut [u8], mut i: usize) -> usize {
+    if let Some(q) = out.get_mut(i - 1) {
+        *q = b' ';
+    }
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                out[i] = b' ';
+                if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                    out[i + 1] = b' ';
+                }
+                i += 2;
+            }
+            b'"' => {
+                out[i] = b' ';
+                return i + 1;
+            }
+            b'\n' => i += 1,
+            _ => {
+                out[i] = b' ';
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Blank a raw string with `hashes` trailing `#`s starting just past
+/// its opening quote; returns the offset just past the terminator.
+fn blank_raw_string(bytes: &[u8], out: &mut [u8], mut i: usize, hashes: usize) -> usize {
+    if let Some(q) = out.get_mut(i - 1) {
+        *q = b' ';
+    }
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes[i + 1..].iter().take(hashes).filter(|&&b| b == b'#').count() == hashes
+        {
+            for o in out.iter_mut().skip(i).take(1 + hashes) {
+                *o = b' ';
+            }
+            return i + 1 + hashes;
+        }
+        if bytes[i] != b'\n' {
+            out[i] = b' ';
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse an allow directive — rule id in parens, `: reason` after —
+/// out of one comment.
+fn parse_allow(src: &str, start: usize, end: usize, allows: &mut Vec<Allow>) {
+    let comment = &src[start..end.min(src.len())];
+    let Some(at) = comment.find("lint:allow(") else { return };
+    let rest = &comment[at + "lint:allow(".len()..];
+    let Some(close) = rest.find(')') else { return };
+    let rule = rest[..close].trim().to_string();
+    // Only kebab-case ids are directives; prose like `lint:allow(...)`
+    // in documentation is not.
+    if rule.is_empty() || !rule.bytes().all(|b| b.is_ascii_lowercase() || b == b'-') {
+        return;
+    }
+    let tail = rest[close + 1..].trim_start();
+    let has_reason = tail.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
+    let line = src[..start].bytes().filter(|&b| b == b'\n').count() + 1;
+    allows.push(Allow { line, rule, has_reason });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let s = Scrub::new("let x = \"a.unwrap()\"; // c.unwrap()\nlet y = 1;");
+        assert!(!s.text.contains("unwrap"));
+        assert!(s.text.contains("let x ="));
+        assert!(s.text.contains("let y = 1;"));
+        assert_eq!(s.text.len(), "let x = \"a.unwrap()\"; // c.unwrap()\nlet y = 1;".len());
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked_lifetimes_survive() {
+        let s = Scrub::new("let r = r#\"x.unwrap()\"#; let c = '['; fn f<'a>(x: &'a u8) {}");
+        assert!(!s.text.contains("unwrap"));
+        assert!(!s.text.contains('['), "char literal content leaked: {}", s.text);
+        assert!(s.text.contains("<'a>"));
+    }
+
+    #[test]
+    fn nested_block_comments_end_correctly() {
+        let s = Scrub::new("/* outer /* inner */ still */ let z = 2;");
+        assert!(s.text.contains("let z = 2;"));
+        assert!(!s.text.contains("outer"));
+    }
+
+    #[test]
+    fn allows_are_collected_with_reasons() {
+        let src = "// lint:allow(panic-free-decode): provably sized\nlet a = 1;\n// lint:allow(wall-clock)\nlet b = 2;\n";
+        let s = Scrub::new(src);
+        assert_eq!(s.allows.len(), 2);
+        assert!(s.allows[0].has_reason && s.allows[0].rule == "panic-free-decode");
+        assert!(!s.allows[1].has_reason && s.allows[1].rule == "wall-clock");
+        assert!(s.allowed("panic-free-decode", 1));
+        assert!(s.allowed("panic-free-decode", 2), "directive covers the next line");
+        assert!(!s.allowed("panic-free-decode", 3));
+    }
+
+    #[test]
+    fn cfg_test_items_are_masked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}\n";
+        let s = Scrub::new(src);
+        assert!(!s.is_test_line(1));
+        assert!(s.is_test_line(2) && s.is_test_line(3) && s.is_test_line(4) && s.is_test_line(5));
+        assert!(!s.is_test_line(6));
+    }
+
+    #[test]
+    fn test_attribute_functions_are_masked() {
+        let src = "fn a() {}\n#[test]\nfn t() {\n    boom();\n}\nfn b() {}\n";
+        let s = Scrub::new(src);
+        assert!(!s.is_test_line(1));
+        assert!(s.is_test_line(3) && s.is_test_line(4));
+        assert!(!s.is_test_line(6));
+    }
+
+    #[test]
+    fn line_of_is_one_based() {
+        let s = Scrub::new("a\nb\nc\n");
+        assert_eq!(s.line_of(0), 1);
+        assert_eq!(s.line_of(2), 2);
+        assert_eq!(s.line_of(4), 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! CLI entry point for `mda-lint`.
+//!
+//! ```text
+//! cargo run -p mda-lint -- --workspace            # scan everything (default)
+//! cargo run -p mda-lint -- --crate mda-store      # one crate only
+//! cargo run -p mda-lint -- --format json          # machine-readable report
+//! cargo run -p mda-lint -- --list-rules           # rule table
+//! ```
+//!
+//! Exit status is 1 when findings exist, 2 on usage/IO errors, 0 when
+//! the scanned surface is clean.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "mda-lint: workspace-aware invariant-discipline linter\n\
+     \n\
+     USAGE: mda-lint [--workspace | --crate <name>] [--format human|json]\n\
+     \t[--root <dir>] [--list-rules]\n\
+     \n\
+     \t--workspace      scan every crate in the model (default)\n\
+     \t--crate <name>   scan a single crate (e.g. mda-store)\n\
+     \t--format <fmt>   human (default) or json (one object per line)\n\
+     \t--root <dir>     workspace root (default: walk up from cwd)\n\
+     \t--list-rules     print the rule table and exit\n\
+     \n\
+     Suppress one finding with `// lint:allow(<rule-id>): <reason>` on\n\
+     the offending line or the line above; reasons are mandatory (L0)."
+}
+
+fn main() -> ExitCode {
+    let mut format_json = false;
+    let mut only: Option<String> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => only = None,
+            "--crate" => match args.next() {
+                Some(name) => only = Some(name),
+                None => return fail("--crate needs a crate name"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("human") => format_json = false,
+                Some("json") => format_json = true,
+                _ => return fail("--format must be `human` or `json`"),
+            },
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return fail("--root needs a directory"),
+            },
+            "--list-rules" => {
+                for r in mda_lint::rules::RULES {
+                    println!("{}  {:<26} {}", r.code, r.id, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+
+    if let Some(name) = &only {
+        if mda_lint::model::crate_model(name).is_none() {
+            return fail(&format!("unknown crate `{name}` — not in the workspace model"));
+        }
+    }
+
+    let root = match root
+        .or_else(|| std::env::current_dir().ok().and_then(|d| mda_lint::find_workspace_root(&d)))
+    {
+        Some(r) => r,
+        None => return fail("could not locate the workspace root (try --root <dir>)"),
+    };
+
+    let outcome = match mda_lint::scan_workspace(&root, only.as_deref()) {
+        Ok(o) => o,
+        Err(e) => return fail(&format!("scan failed: {e}")),
+    };
+
+    for f in &outcome.findings {
+        if format_json {
+            println!("{}", f.json());
+        } else {
+            println!("{}", f.human());
+        }
+    }
+    if !format_json {
+        println!(
+            "mda-lint: {} finding(s) across {} file(s)",
+            outcome.findings.len(),
+            outcome.files_scanned
+        );
+    }
+    if outcome.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("mda-lint: {msg}");
+    ExitCode::from(2)
+}

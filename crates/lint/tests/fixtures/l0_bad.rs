@@ -1,0 +1,7 @@
+// Bad: escapes that break the escape discipline itself.
+
+// lint:allow(panic-free-decode)
+pub fn missing_reason() {}
+
+// lint:allow(no-such-rule): a reason does not save an unknown rule id
+pub fn unknown_rule() {}

@@ -1,0 +1,4 @@
+// Clean: a known rule id with a justification.
+
+// lint:allow(wall-clock): metrics-only timing, never event-time logic
+pub fn justified() {}

@@ -1,0 +1,8 @@
+// Bad: scanned as a file of mda-geo, which must stay leaf-side of
+// the store — importing upward inverts the crate DAG.
+
+use mda_store::tier::TieredStore;
+
+pub fn peek(store: &TieredStore) -> usize {
+    store.len()
+}

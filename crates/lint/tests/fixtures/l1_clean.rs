@@ -1,0 +1,7 @@
+// Clean: scanned as a file of mda-ais, whose model allows mda-geo.
+
+use mda_geo::Position;
+
+pub fn origin() -> Position {
+    Position::new(0.0, 0.0)
+}

@@ -1,0 +1,15 @@
+// Bad: scanned as a decode-surface file — every one of these can
+// panic on bytes read off disk.
+
+pub fn decode(buf: &[u8]) -> u32 {
+    let len = usize::from(buf[0]);
+    let body = &buf[1..len];
+    if body.is_empty() {
+        panic!("empty body");
+    }
+    u32::from_le_bytes(body.try_into().unwrap())
+}
+
+pub fn header(buf: &[u8]) -> u32 {
+    u32::from_le_bytes(buf[..4].try_into().expect("sized"))
+}

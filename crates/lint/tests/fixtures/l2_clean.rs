@@ -1,0 +1,12 @@
+// Clean: the same reads, every one fallible — truncation is `None`,
+// never a panic.
+
+pub fn decode(buf: &[u8]) -> Option<u32> {
+    let len = usize::from(*buf.first()?);
+    let body = buf.get(1..len)?;
+    Some(u32::from_le_bytes(body.try_into().ok()?))
+}
+
+pub fn header(buf: &[u8]) -> Option<u32> {
+    Some(u32::from_le_bytes(*buf.first_chunk::<4>()?))
+}

@@ -1,0 +1,16 @@
+// Bad: scanned as an emission-surface file — the emitted order is
+// whatever the hash seed gives this run.
+
+use std::collections::HashMap;
+
+pub struct Emitter {
+    latest: HashMap<u32, u64>,
+}
+
+impl Emitter {
+    pub fn emit(&self, out: &mut Vec<u64>) {
+        for v in self.latest.values() {
+            out.push(*v);
+        }
+    }
+}

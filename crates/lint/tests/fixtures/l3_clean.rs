@@ -1,0 +1,16 @@
+// Clean: the iteration is immediately sorted, so the emitted order
+// is a pure function of the map's contents.
+
+use std::collections::HashMap;
+
+pub struct Emitter {
+    latest: HashMap<u32, u64>,
+}
+
+impl Emitter {
+    pub fn emit(&self, out: &mut Vec<u64>) {
+        let mut vals: Vec<u64> = self.latest.values().copied().collect();
+        vals.sort_unstable();
+        out.extend(vals);
+    }
+}

@@ -1,0 +1,8 @@
+// Bad: a wall-clock read outside mda-bench — replaying the same
+// stream twice gives two different answers.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

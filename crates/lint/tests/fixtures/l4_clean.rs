@@ -1,0 +1,5 @@
+// Clean: time comes from the event stream, never from the host.
+
+pub fn stamp(event_ms: i64) -> i64 {
+    event_ms
+}

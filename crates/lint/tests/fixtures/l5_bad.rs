@@ -1,0 +1,17 @@
+// Bad: the second lock is taken while the first guard is still held
+// — two threads doing this in opposite order deadlock.
+
+use std::sync::Mutex;
+
+pub struct Two {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Two {
+    pub fn sum(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+}

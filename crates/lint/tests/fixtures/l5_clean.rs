@@ -1,0 +1,17 @@
+// Clean: each guard is dropped inside its own scope before the next
+// lock is taken.
+
+use std::sync::Mutex;
+
+pub struct Two {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Two {
+    pub fn sum(&self) -> u32 {
+        let a = { *self.a.lock().unwrap() };
+        let b = { *self.b.lock().unwrap() };
+        a + b
+    }
+}

@@ -1,0 +1,84 @@
+//! Shared bounds-checked byte cursor for every decode path in the
+//! crate.
+//!
+//! Segments, WAL records and the manifest all decode untrusted disk
+//! bytes; each used to carry its own cursor helpers. This module is
+//! the single fallible primitive they share: every read is an
+//! `Option`, truncation is `None`, and nothing here can panic
+//! whatever the bytes (rule L2, `panic-free-decode`).
+
+/// Bounds-checked little-endian cursor over an untrusted byte slice.
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Cursor at the start of `buf`.
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, at: 0 }
+    }
+
+    /// Current byte offset — for error reports and framing checks.
+    pub(crate) fn pos(&self) -> usize {
+        self.at
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.at)
+    }
+
+    /// The next `n` bytes, advancing the cursor; `None` on truncation.
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let s = self.buf.get(self.at..end)?;
+        self.at = end;
+        Some(s)
+    }
+
+    /// Little-endian `u32`; `None` on truncation.
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    /// Little-endian `u64`; `None` on truncation.
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Little-endian `i64`; `None` on truncation.
+    pub(crate) fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Little-endian IEEE-754 `f64`; `None` on truncation.
+    pub(crate) fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_advance_and_truncation_is_none() {
+        let mut bytes = 7u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&(-3i64).to_le_bytes());
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u32(), Some(7));
+        assert_eq!(r.pos(), 4);
+        assert_eq!(r.i64(), Some(-3));
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.u32(), None, "reading past the end must be None, not a panic");
+    }
+
+    #[test]
+    fn take_checks_overflowing_lengths() {
+        let bytes = [1u8, 2, 3];
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.take(usize::MAX).is_none());
+        assert_eq!(r.take(3).map(<[u8]>::len), Some(3));
+    }
+}

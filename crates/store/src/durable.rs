@@ -254,6 +254,8 @@ impl DurableStore {
             let mut good = 0usize;
             for meta in &expected {
                 let frame_start = at;
+                // lint:allow(panic-free-decode): acked is clamped to
+                // bytes.len() where it is computed above.
                 match crate::frame::read_frame(&bytes[..acked], &mut at) {
                     crate::frame::FrameRead::Ok(payload) => {
                         let ok = TrajectorySegment::try_from_bytes(payload)
@@ -441,10 +443,14 @@ impl DurableStore {
                     fixes: seg.len() as u64,
                 });
             }
-            inner.seg_files[file].write_all(&buf)?;
+            // lint:allow(panic-free-decode): file = shard % len is in
+            // bounds by construction; this is the append path.
             inner.file_lens[file] += buf.len() as u64;
+            // lint:allow(panic-free-decode): same modulo bound as above.
+            let seg_file = &mut inner.seg_files[file];
+            seg_file.write_all(&buf)?;
             if self.sync {
-                inner.seg_files[file].sync_data()?;
+                seg_file.sync_data()?;
             }
         }
 

@@ -21,6 +21,9 @@ const fn crc_table() -> [u32; 256] {
             c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
             k += 1;
         }
+        // lint:allow(panic-free-decode): i < 256 is the loop bound and
+        // the table length; this is a const-eval table build, not a
+        // byte-dependent decode.
         table[i] = c;
         i += 1;
     }
@@ -31,6 +34,8 @@ const fn crc_table() -> [u32; 256] {
 pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     let mut c = !0u32;
     for &b in bytes {
+        // lint:allow(panic-free-decode): the index is masked to 0xFF
+        // and CRC_TABLE has 256 entries.
         c = (c >> 8) ^ CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize];
     }
     !c
@@ -64,8 +69,11 @@ pub(crate) fn read_frame<'a>(buf: &'a [u8], at: &mut usize) -> FrameRead<'a> {
         return FrameRead::End;
     }
     let Some(header) = buf.get(*at..*at + 8) else { return FrameRead::Torn };
-    let len = u32::from_le_bytes(header[..4].try_into().expect("sized")) as usize;
-    let crc = u32::from_le_bytes(header[4..8].try_into().expect("sized"));
+    let (Some(len4), Some(crc4)) = (header.first_chunk::<4>(), header.last_chunk::<4>()) else {
+        return FrameRead::Torn;
+    };
+    let len = u32::from_le_bytes(*len4) as usize;
+    let crc = u32::from_le_bytes(*crc4);
     let Some(end) = (*at + 8).checked_add(len) else { return FrameRead::Torn };
     let Some(payload) = buf.get(*at + 8..end) else { return FrameRead::Torn };
     if crc32(payload) != crc {

@@ -72,6 +72,7 @@
 //! assert!(store.position_at(1, Timestamp::from_secs(90)).is_some());
 //! ```
 
+mod bytes;
 pub mod durable;
 mod frame;
 pub mod knn;

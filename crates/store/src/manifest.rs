@@ -14,6 +14,7 @@
 //! lengths, WAL files of other generations) is an unacknowledged tail
 //! from a crashed seal, and recovery ignores and reclaims it.
 
+use crate::bytes::ByteReader;
 use crate::frame::{read_frame, write_frame, FrameRead};
 use mda_geo::{Timestamp, VesselId};
 use std::io::{self, Read, Write};
@@ -21,20 +22,6 @@ use std::path::Path;
 
 /// File magic: "MDAM" followed by the format version.
 const MANIFEST_MAGIC: [u8; 8] = *b"MDAM\x01\0\0\0";
-
-/// Bounds-checked little-endian u32 read, advancing `*p`.
-fn take_u32(payload: &[u8], p: &mut usize) -> Option<u32> {
-    let v = payload.get(*p..p.checked_add(4)?)?;
-    *p += 4;
-    Some(u32::from_le_bytes(v.try_into().ok()?))
-}
-
-/// Bounds-checked little-endian u64 read, advancing `*p`.
-fn take_u64(payload: &[u8], p: &mut usize) -> Option<u64> {
-    let v = payload.get(*p..p.checked_add(8)?)?;
-    *p += 8;
-    Some(u64::from_le_bytes(v.try_into().ok()?))
-}
 
 /// The manifest file name.
 pub const FILE_NAME: &str = "MANIFEST";
@@ -120,37 +107,37 @@ impl Manifest {
         if at != bytes.len() {
             return None;
         }
-        let mut p = 0usize;
-        let wal_gen = take_u64(payload, &mut p)?;
-        let sealed_to = Timestamp(take_u64(payload, &mut p)? as i64);
-        let watermark = Timestamp(take_u64(payload, &mut p)? as i64);
-        let files = take_u32(payload, &mut p)? as usize;
+        let mut r = ByteReader::new(payload);
+        let wal_gen = r.u64()?;
+        let sealed_to = Timestamp(r.u64()? as i64);
+        let watermark = Timestamp(r.u64()? as i64);
+        let files = r.u32()? as usize;
         // Bounded by the payload itself: each file length is 8 bytes.
-        if files.checked_mul(8)? > payload.len().saturating_sub(p) {
+        if files.checked_mul(8)? > r.remaining() {
             return None;
         }
         let mut file_lens = Vec::with_capacity(files);
         for _ in 0..files {
-            file_lens.push(take_u64(payload, &mut p)?);
+            file_lens.push(r.u64()?);
         }
-        let count = take_u64(payload, &mut p)?;
+        let count = r.u64()?;
         const ENTRY: usize = 4 + 4 + 8 + 8 + 8;
         let count = usize::try_from(count).ok()?;
-        if count.checked_mul(ENTRY)? != payload.len() - p {
+        if count.checked_mul(ENTRY)? != r.remaining() {
             return None;
         }
         let mut segments = Vec::with_capacity(count);
         for _ in 0..count {
-            let file = take_u32(payload, &mut p)?;
+            let file = r.u32()?;
             if file as usize >= files {
                 return None;
             }
             segments.push(SegmentMeta {
                 file,
-                vessel: take_u32(payload, &mut p)?,
-                t_min: Timestamp(take_u64(payload, &mut p)? as i64),
-                t_max: Timestamp(take_u64(payload, &mut p)? as i64),
-                fixes: take_u64(payload, &mut p)?,
+                vessel: r.u32()?,
+                t_min: Timestamp(r.u64()? as i64),
+                t_max: Timestamp(r.u64()? as i64),
+                fixes: r.u64()?,
             });
         }
         Some(Self { wal_gen, sealed_to, watermark, file_lens, segments })

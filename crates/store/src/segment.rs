@@ -43,6 +43,7 @@
 //! assert!(lossy.error_bound_m() > 0.0);
 //! ```
 
+use crate::bytes::ByteReader;
 use crate::trajstore::{Track, TrackView};
 use mda_geo::codec::{
     dequantize, quantize, read_f64_xor, read_varint, unzigzag, write_f64_xor, write_varint, zigzag,
@@ -241,8 +242,10 @@ impl TrajectorySegment {
                 bbox.extend(f.pos);
             }
             seg.bbox = bbox;
-            seg.first = decoded[0];
-            seg.last = decoded[decoded.len() - 1];
+            if let (Some(&first), Some(&last)) = (decoded.first(), decoded.last()) {
+                seg.first = first;
+                seg.last = last;
+            }
             seg.error_bound_m = Self::error_bound(&decoded, tail_gap_s, config);
         }
         Some(seg)
@@ -281,6 +284,8 @@ impl TrajectorySegment {
     ) -> Result<Fix, CodecError> {
         let bad = |col: usize| CodecError {
             vessel: self.id,
+            // lint:allow(panic-free-decode): col is 0..=4 at every call
+            // site below, within COLUMN_NAMES' fixed length of 5.
             column: COLUMN_NAMES[col],
             index: i,
             reason: "truncated or malformed varint stream",
@@ -290,24 +295,21 @@ impl TrajectorySegment {
         // a wrong-but-harmless timestamp, not an arithmetic panic.
         *t = if i == 0 { self.t_min } else { t.saturating_add(dt) };
         let mut vals = [0f64; 4];
+        let value_cols = self.cols[1..].iter().zip(at[1..].iter_mut());
         if self.pos_scale == 0.0 {
-            for (col, (p, v)) in prev_f.iter_mut().zip(vals.iter_mut()).enumerate() {
-                *v = read_f64_xor(&self.cols[col + 1], &mut at[col + 1], *p)
-                    .ok_or_else(|| bad(col + 1))?;
+            for (col, ((bytes, a), (p, v))) in
+                value_cols.zip(prev_f.iter_mut().zip(vals.iter_mut())).enumerate()
+            {
+                *v = read_f64_xor(bytes, a, *p).ok_or_else(|| bad(col + 1))?;
                 *p = *v;
             }
         } else {
-            for (col, (p, v)) in prev.iter_mut().zip(vals.iter_mut()).enumerate() {
-                let d = unzigzag(
-                    read_varint(&self.cols[col + 1], &mut at[col + 1])
-                        .ok_or_else(|| bad(col + 1))?,
-                );
+            let scales = [self.pos_scale, self.pos_scale, SOG_SCALE, COG_SCALE];
+            for (col, (((bytes, a), (p, v)), scale)) in
+                value_cols.zip(prev.iter_mut().zip(vals.iter_mut())).zip(scales).enumerate()
+            {
+                let d = unzigzag(read_varint(bytes, a).ok_or_else(|| bad(col + 1))?);
                 *p = p.saturating_add(d);
-                let scale = match col {
-                    0 | 1 => self.pos_scale,
-                    2 => SOG_SCALE,
-                    _ => COG_SCALE,
-                };
                 *v = dequantize(*p, scale);
             }
         }
@@ -462,12 +464,12 @@ impl TrajectorySegment {
             index: at,
             reason,
         };
-        let mut r = ByteReader { buf, at: 0 };
-        let id = r.u32().ok_or_else(|| header(r.at, "record shorter than header"))?;
+        let mut r = ByteReader::new(buf);
+        let id = r.u32().ok_or_else(|| header(r.pos(), "record shorter than header"))?;
         let bad = |r: &ByteReader<'_>, reason: &'static str| CodecError {
             vessel: id,
             column: "header",
-            index: r.at,
+            index: r.pos(),
             reason,
         };
         let short = "record shorter than header";
@@ -496,7 +498,7 @@ impl TrajectorySegment {
         }
         let mut cols: [Vec<u8>; 5] = Default::default();
         for (c, &l) in cols.iter_mut().zip(&col_lens) {
-            *c = r.take(l).expect("sized above").to_vec();
+            *c = r.take(l).ok_or_else(|| bad(&r, short))?.to_vec();
         }
 
         // Structural validation: everything a fence-trusting reader or
@@ -553,26 +555,27 @@ impl TrajectorySegment {
 /// sog/cog at their fixed scales.
 fn encode_columns(v: &TrackView<'_>, pos_scale: f64) -> [Vec<u8>; 5] {
     let mut cols: [Vec<u8>; 5] = Default::default();
-    let mut prev_t = *v.t.first().expect("caller checked non-empty");
+    let Some(&first_t) = v.t.first() else { return cols };
+    let mut prev_t = first_t;
     for &t in v.t {
         write_varint(&mut cols[0], zigzag(t - prev_t));
         prev_t = t;
     }
+    let value_views = [v.lat, v.lon, v.sog, v.cog];
     if pos_scale == 0.0 {
-        for (col, vals) in [v.lat, v.lon, v.sog, v.cog].into_iter().enumerate() {
+        for (out, vals) in cols[1..].iter_mut().zip(value_views) {
             let mut p = 0f64;
             for &x in vals {
-                p = write_f64_xor(&mut cols[col + 1], p, x);
+                p = write_f64_xor(out, p, x);
             }
         }
     } else {
         let scales = [pos_scale, pos_scale, SOG_SCALE, COG_SCALE];
-        for (col, (vals, scale)) in [v.lat, v.lon, v.sog, v.cog].into_iter().zip(scales).enumerate()
-        {
+        for ((out, vals), scale) in cols[1..].iter_mut().zip(value_views).zip(scales) {
             let mut p = 0i64;
             for &x in vals {
                 let q = quantize(x, scale);
-                write_varint(&mut cols[col + 1], zigzag(q - p));
+                write_varint(out, zigzag(q - p));
                 p = q;
             }
         }
@@ -606,37 +609,6 @@ fn read_fix(r: &mut ByteReader<'_>) -> Option<Fix> {
     let sog = r.f64()?;
     let cog = r.f64()?;
     Some(Fix::new(id, t, mda_geo::Position::new(lat, lon), sog, cog))
-}
-
-/// Bounds-checked little-endian cursor over an untrusted byte slice.
-struct ByteReader<'a> {
-    buf: &'a [u8],
-    at: usize,
-}
-
-impl<'a> ByteReader<'a> {
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-        let end = self.at.checked_add(n)?;
-        let s = self.buf.get(self.at..end)?;
-        self.at = end;
-        Some(s)
-    }
-
-    fn u32(&mut self) -> Option<u32> {
-        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
-    }
-
-    fn u64(&mut self) -> Option<u64> {
-        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
-    }
-
-    fn i64(&mut self) -> Option<i64> {
-        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
-    }
-
-    fn f64(&mut self) -> Option<f64> {
-        Some(f64::from_le_bytes(self.take(8)?.try_into().ok()?))
-    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@
 //! seal interval of traffic. A torn tail (crash mid-append) is
 //! detected by the frame CRC and truncated, never panicked over.
 
+use crate::bytes::ByteReader;
 use crate::frame::{read_frame, write_frame, FrameRead};
 use mda_geo::{Fix, Position, Timestamp};
 use std::fs::{File, OpenOptions};
@@ -195,34 +196,35 @@ pub fn replay(dir: &Path, gen: u64) -> io::Result<WalReplay> {
 }
 
 /// Decode one record payload into the replay; `false` if malformed.
+/// Every read goes through the shared fallible [`ByteReader`]: a
+/// truncated or overlong record is a clean `false`, never a panic.
 fn apply_record(payload: &[u8], out: &mut WalReplay) -> bool {
-    match payload.first() {
-        Some(&TAG_BATCH) => {
-            let Some(count) = payload.get(1..5) else { return false };
-            let count = u32::from_le_bytes(count.try_into().expect("sized")) as usize;
-            let body = &payload[5..];
-            if body.len() != count * FIX_BYTES {
+    let mut r = ByteReader::new(payload);
+    match r.take(1) {
+        Some([TAG_BATCH]) => {
+            let Some(count) = r.u32() else { return false };
+            let count = count as usize;
+            if count.checked_mul(FIX_BYTES) != Some(r.remaining()) {
                 return false;
             }
             out.fixes.reserve(count);
-            for rec in body.chunks_exact(FIX_BYTES) {
-                let le8 = |i: usize| -> [u8; 8] { rec[i..i + 8].try_into().expect("sized") };
-                let id = u32::from_le_bytes(rec[..4].try_into().expect("sized"));
-                let t = Timestamp(i64::from_le_bytes(le8(4)));
-                let lat = f64::from_le_bytes(le8(12));
-                let lon = f64::from_le_bytes(le8(20));
-                let sog = f64::from_le_bytes(le8(28));
-                let cog = f64::from_le_bytes(le8(36));
-                out.fixes.push(Fix::new(id, t, Position::new(lat, lon), sog, cog));
+            for _ in 0..count {
+                let (Some(id), Some(t)) = (r.u32(), r.i64()) else { return false };
+                let (Some(lat), Some(lon), Some(sog), Some(cog)) =
+                    (r.f64(), r.f64(), r.f64(), r.f64())
+                else {
+                    return false;
+                };
+                out.fixes.push(Fix::new(id, Timestamp(t), Position::new(lat, lon), sog, cog));
             }
             true
         }
-        Some(&TAG_MARK) => {
-            let Some(wm) = payload.get(1..9) else { return false };
-            if payload.len() != 9 {
+        Some([TAG_MARK]) => {
+            let Some(wm) = r.i64() else { return false };
+            if r.remaining() != 0 {
                 return false;
             }
-            let wm = Timestamp(i64::from_le_bytes(wm.try_into().expect("sized")));
+            let wm = Timestamp(wm);
             if out.watermark.is_none_or(|cur| wm > cur) {
                 out.watermark = Some(wm);
             }
