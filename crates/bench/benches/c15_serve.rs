@@ -1,0 +1,21 @@
+//! Criterion bench: filtered subscription fan-out (C15).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mda_bench::c15_serve::drive;
+
+fn bench(c: &mut Criterion) {
+    // A CI-sized slice of the standard workload: 2k subscribers (2%
+    // stalled) over 40 minutes of fleet time on one pump.
+    let mut group = c.benchmark_group("c15_serve");
+    group.throughput(Throughput::Elements(2_000));
+    group.sample_size(10);
+    group.bench_function("fanout_2k", |b| b.iter(|| std::hint::black_box(drive(2_000, 40, 40))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

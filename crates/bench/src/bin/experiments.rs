@@ -29,6 +29,7 @@ fn main() {
         ("c12", mda_bench::c12_events::run),
         ("c13", mda_bench::c13_query::run),
         ("c14", mda_bench::c14_multi::run),
+        ("c15", mda_bench::c15_serve::run),
         ("c16", mda_bench::c16_durability::run),
         ("c17", mda_bench::c17_adaptive::run),
         ("snapshot", mda_bench::snapshot::run),
@@ -39,7 +40,7 @@ fn main() {
         all.iter().filter(|(name, _)| args.iter().any(|a| a == name)).collect()
     };
     if selected.is_empty() {
-        eprintln!("unknown experiment; available: fig1 fig2 c1..c14 c16 c17 snapshot");
+        eprintln!("unknown experiment; available: fig1 fig2 c1..c17 snapshot");
         std::process::exit(2);
     }
     let start = Instant::now();

@@ -18,6 +18,7 @@ pub mod c11_tiered;
 pub mod c12_events;
 pub mod c13_query;
 pub mod c14_multi;
+pub mod c15_serve;
 pub mod c16_durability;
 pub mod c17_adaptive;
 pub mod c1_synopses;

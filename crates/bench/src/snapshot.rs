@@ -1,6 +1,7 @@
 //! Machine-readable bench snapshot: headline medians of the hot-path
-//! experiments (C10 ingest, C12 events, C13 serving, C17 adaptive)
-//! written to `BENCH_PR8.json` for regression tracking across PRs.
+//! experiments (C10 ingest, C12 events, C13 queries, C15 serving
+//! fan-out, C17 adaptive) written to `BENCH_PR10.json` for regression
+//! tracking across PRs.
 //!
 //! The experiment tables are for humans; this step re-runs each
 //! experiment's public driver on its CI-sized workload (median-of-3
@@ -16,8 +17,8 @@ fn median(mut runs: Vec<f64>) -> f64 {
     runs[runs.len() / 2]
 }
 
-/// Run the snapshot, write `BENCH_PR8.json` into the working directory,
-/// and return the JSON text.
+/// Run the snapshot, write `BENCH_PR10.json` into the working
+/// directory, and return the JSON text.
 pub fn run() -> String {
     // C10 — sharded batch ingest, 4 workers over 8 stripes.
     let fixes = crate::c10_ingest::fleet_fixes(50_000, 500, 42);
@@ -59,6 +60,17 @@ pub fn run() -> String {
             .collect(),
     );
 
+    // C15 — filtered subscription fan-out, CI-sized: 2k subscribers
+    // (2% stalled) over 120 minutes of fleet time on one pump — long
+    // enough that the stalled cohort crosses the evict bound, so the
+    // dropped-cursor accounting lands in the regression record.
+    let c15_runs: Vec<(crate::c15_serve::ServeOutcome, f64)> =
+        (0..3).map(|_| timed(|| crate::c15_serve::drive(2_000, 40, 120))).collect();
+    let c15_push_per_s =
+        median(c15_runs.iter().map(|(o, secs)| o.delivered as f64 / secs).collect());
+    let c15_p99_ms = median(c15_runs.iter().map(|(o, _)| o.p99_push_ms).collect());
+    let c15_dropped = c15_runs[0].0.dropped;
+
     // C17 — the full adaptive-vs-static grid (median-of-3 inside).
     let grid = crate::c17_adaptive::grid_results();
     let (_, adaptive_goodput, adaptive) = grid.last().expect("grid non-empty");
@@ -70,6 +82,9 @@ pub fn run() -> String {
         "{{\n  \"c10_sharded_ingest_fixes_per_s\": {:.0},\n  \
            \"c12_event_engine_fixes_per_s\": {:.0},\n  \
            \"c13_mixed_queries_per_s\": {:.0},\n  \
+           \"c15_serve_pushes_per_s\": {:.0},\n  \
+           \"c15_serve_p99_push_ms\": {:.2},\n  \
+           \"c15_serve_evicted_dropped\": {},\n  \
            \"c17_adaptive_goodput_per_s\": {:.0},\n  \
            \"c17_adaptive_p99_staleness_min\": {:.1},\n  \
            \"c17_adaptive_dropped\": {},\n  \
@@ -78,12 +93,15 @@ pub fn run() -> String {
         c10_per_s,
         c12_per_s,
         c13,
+        c15_push_per_s,
+        c15_p99_ms,
+        c15_dropped,
         adaptive_goodput,
         adaptive.p99_ms as f64 / MINUTE as f64,
         adaptive.dropped,
         best_static_goodput,
         best_static_p99 as f64 / MINUTE as f64,
     );
-    std::fs::write("BENCH_PR8.json", &json).expect("write BENCH_PR8.json");
+    std::fs::write("BENCH_PR10.json", &json).expect("write BENCH_PR10.json");
     json
 }

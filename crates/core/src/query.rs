@@ -40,7 +40,7 @@
 //!   [`QueryService::where_at`] (dead-reckoning / route-network) and
 //!   [`QueryService::eta`]
 
-use mda_events::ring::{EventCursor, EventPoll, EventRing};
+use mda_events::ring::{EventCursor, EventFilter, EventPoll, EventRing, FilteredEventPoll};
 use mda_forecast::eta::{estimate, EtaEstimate};
 use mda_forecast::{DeadReckoningPredictor, Predictor, RouteNetPredictor};
 use mda_geo::{BoundingBox, Fix, Position, Timestamp, VesselId};
@@ -570,6 +570,58 @@ impl QueryService {
         // ingest thread's appends only for O(returned) `Arc` bumps.
         let shared = self.shared.ring.read().poll_shared(cursor);
         shared.materialize()
+    }
+
+    /// Filter-pushdown variant of [`QueryService::poll_since`]: only
+    /// events matching `filter` are returned (with their ring sequence
+    /// numbers), and the loss counters are split — `missed` counts
+    /// events that aged out of retention unseen (match unknowable),
+    /// `filtered` counts events examined and excluded by the filter.
+    /// This is what a serving front's subscription sessions run on.
+    ///
+    /// ```
+    /// use mda_core::{MaritimePipeline, PipelineConfig};
+    /// use mda_events::ring::{EventCursor, EventFilter};
+    /// use mda_geo::{BoundingBox, Fix, Position, Timestamp};
+    ///
+    /// let bounds = BoundingBox::new(42.0, 3.0, 44.0, 6.0);
+    /// let mut pipeline = MaritimePipeline::new(PipelineConfig::regional(bounds));
+    /// let service = pipeline.query_service();
+    /// // Two vessels go silent for hours: gap events for both.
+    /// pipeline.push_fix(Fix::new(1, Timestamp::from_mins(0), Position::new(43.0, 5.0), 10.0, 90.0));
+    /// pipeline.push_fix(Fix::new(2, Timestamp::from_mins(1), Position::new(43.2, 5.2), 10.0, 90.0));
+    /// pipeline.push_fix(Fix::new(3, Timestamp::from_mins(240), Position::new(43.5, 5.5), 10.0, 90.0));
+    /// pipeline.finish();
+    /// let filter = EventFilter::for_vessels([1]);
+    /// let poll = service.poll_filtered(EventCursor::default(), &filter);
+    /// assert!(poll.events.iter().all(|(_, e)| e.vessel == 1));
+    /// assert!(poll.filtered > 0, "vessel 2's events were examined and excluded");
+    /// assert_eq!(poll.missed, 0, "nothing aged out of the default ring");
+    /// ```
+    pub fn poll_filtered(&self, cursor: EventCursor, filter: &EventFilter) -> FilteredEventPoll {
+        let shared = self.shared.ring.read().poll_shared_filtered(cursor, Some(filter));
+        shared.materialize()
+    }
+
+    /// Run `f` against the live event ring under its read lock — the
+    /// bulk-pump entry point for a serving front that must poll many
+    /// subscription cursors in one lock acquisition. Keep `f` cheap
+    /// (pointer clones, not deep copies): the ingest thread's event
+    /// appends wait while it runs.
+    ///
+    /// ```
+    /// use mda_core::{MaritimePipeline, PipelineConfig};
+    /// use mda_geo::BoundingBox;
+    ///
+    /// let bounds = BoundingBox::new(42.0, 3.0, 44.0, 6.0);
+    /// let mut pipeline = MaritimePipeline::new(PipelineConfig::regional(bounds));
+    /// let service = pipeline.query_service();
+    /// let total = service.with_event_ring(|ring| ring.total_appended());
+    /// assert_eq!(total, 0);
+    /// ```
+    pub fn with_event_ring<R>(&self, f: impl FnOnce(&EventRing) -> R) -> R {
+        let ring = self.shared.ring.read();
+        f(&ring)
     }
 
     /// The cursor a new consumer should start from to skip retained

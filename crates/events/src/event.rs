@@ -94,6 +94,18 @@ impl EventKind {
         }
     }
 
+    /// The zone this event is scoped to, for the zone-shaped kinds
+    /// (entry, exit, illegal fishing); `None` for every other kind.
+    /// Subscription zone filters match on this.
+    pub fn zone_name(&self) -> Option<&str> {
+        match self {
+            EventKind::ZoneEntry { zone }
+            | EventKind::ZoneExit { zone, .. }
+            | EventKind::IllegalFishing { zone } => Some(zone.as_str()),
+            _ => None,
+        }
+    }
+
     /// Short machine-readable label (used as grouping key in reports).
     pub fn label(&self) -> &'static str {
         match self {

@@ -61,5 +61,8 @@ pub mod zone;
 pub use engine::{canonical_sort, EngineConfig, EngineLane, EngineStateStats, EventEngine};
 pub use event::{EventKind, MaritimeEvent, Severity};
 pub use proximity::{FleetIndex, LiveIndex};
-pub use ring::{EventCursor, EventPoll, EventRing, SharedEventPoll};
+pub use ring::{
+    EventCursor, EventFilter, EventPoll, EventRing, FilteredEventPoll, FilteredPoll,
+    SharedEventPoll,
+};
 pub use zone::NamedZone;

@@ -20,8 +20,84 @@
 //! O(returned) pointer copies, not O(returned) event clones.
 
 use crate::event::MaritimeEvent;
-use std::collections::VecDeque;
+use mda_geo::VesselId;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
+
+/// A per-session event filter, pushed down into the ring so a
+/// subscription only pays (and only receives) what it asked for.
+///
+/// All three dimensions are conjunctive, and each is optional: `None`
+/// means "no constraint". An all-`None` filter matches everything —
+/// [`EventFilter::default`] is exactly that.
+///
+/// Filtering happens inside [`EventRing::poll_shared_filtered`], which
+/// splits the two loss-shaped counters a filtered consumer must not
+/// confuse: `missed` (events that aged out of retention before this
+/// cursor polled them — the consumer cannot know whether they would
+/// have matched) versus `filtered` (events the ring *did* examine and
+/// excluded on the session's behalf).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventFilter {
+    /// Only events whose primary vessel is in this set (`None`: all
+    /// vessels).
+    pub vessels: Option<BTreeSet<VesselId>>,
+    /// Only events whose [`kind.label()`](crate::event::EventKind::label)
+    /// is in this set (`None`: all kinds).
+    pub kinds: Option<BTreeSet<String>>,
+    /// Only zone-scoped events (entry/exit/illegal-fishing) naming this
+    /// zone (`None`: no zone constraint; `Some` excludes events that
+    /// carry no zone at all).
+    pub zone: Option<String>,
+}
+
+impl EventFilter {
+    /// The match-everything filter.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Restrict to a vessel set.
+    pub fn for_vessels(ids: impl IntoIterator<Item = VesselId>) -> Self {
+        Self { vessels: Some(ids.into_iter().collect()), ..Self::default() }
+    }
+
+    /// Restrict to event-kind labels (see
+    /// [`EventKind::label`](crate::event::EventKind::label)).
+    pub fn for_kinds(labels: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Self { kinds: Some(labels.into_iter().map(Into::into).collect()), ..Self::default() }
+    }
+
+    /// Restrict to events scoped to one named zone.
+    pub fn for_zone(zone: impl Into<String>) -> Self {
+        Self { zone: Some(zone.into()), ..Self::default() }
+    }
+
+    /// True when no constraint is set (every event matches).
+    pub fn is_all(&self) -> bool {
+        self.vessels.is_none() && self.kinds.is_none() && self.zone.is_none()
+    }
+
+    /// Does `event` pass every set constraint?
+    pub fn matches(&self, event: &MaritimeEvent) -> bool {
+        if let Some(vessels) = &self.vessels {
+            if !vessels.contains(&event.vessel) {
+                return false;
+            }
+        }
+        if let Some(kinds) = &self.kinds {
+            if !kinds.contains(event.kind.label()) {
+                return false;
+            }
+        }
+        if let Some(zone) = &self.zone {
+            if event.kind.zone_name() != Some(zone.as_str()) {
+                return false;
+            }
+        }
+        true
+    }
+}
 
 /// A consumer's position in the event log: the sequence number of the
 /// next event it has not seen. Obtained from [`EventRing::poll_since`]
@@ -31,6 +107,14 @@ use std::sync::Arc;
 pub struct EventCursor(u64);
 
 impl EventCursor {
+    /// A cursor positioned at a raw sequence number — how a serving
+    /// front reconstructs a consumer's position from a wire-carried
+    /// resume point. Sequences past the end of the log are clamped at
+    /// poll time, so any `u64` is safe here.
+    pub fn at_seq(seq: u64) -> Self {
+        Self(seq)
+    }
+
     /// The sequence number of the next unseen event.
     pub fn next_seq(&self) -> u64 {
         self.0
@@ -74,6 +158,54 @@ impl SharedEventPoll {
             missed: self.missed,
         }
     }
+}
+
+/// The result of one [`EventRing::poll_shared_filtered`]: matching
+/// events with their ring sequence numbers, plus the *split* loss
+/// counters a filtered consumer needs — `missed` (aged out unseen;
+/// match unknown) and `filtered` (examined, excluded by the filter).
+#[derive(Debug, Clone, Default)]
+pub struct FilteredPoll {
+    /// Matching events since the cursor, oldest first, each with its
+    /// ring sequence number, `Arc`-shared with the ring.
+    pub events: Vec<(u64, Arc<MaritimeEvent>)>,
+    /// Pass this cursor to the next poll (it advances over filtered
+    /// events too — they are consumed, just not delivered).
+    pub cursor: EventCursor,
+    /// Events that aged out of the ring before this cursor polled them.
+    /// Whether they would have matched the filter is unknowable — they
+    /// are a *loss*, not a filtering decision.
+    pub missed: u64,
+    /// Events the ring examined on this poll and excluded because the
+    /// filter rejected them. Not a loss: the session asked for this.
+    pub filtered: u64,
+}
+
+impl FilteredPoll {
+    /// Deep-copy into an owned [`FilteredEventPoll`] (do this *outside*
+    /// any lock guarding the ring).
+    pub fn materialize(self) -> FilteredEventPoll {
+        FilteredEventPoll {
+            events: self.events.iter().map(|(seq, e)| (*seq, (**e).clone())).collect(),
+            cursor: self.cursor,
+            missed: self.missed,
+            filtered: self.filtered,
+        }
+    }
+}
+
+/// Owned counterpart of [`FilteredPoll`].
+#[derive(Debug, Clone, Default)]
+pub struct FilteredEventPoll {
+    /// Matching events since the cursor, oldest first, with ring
+    /// sequence numbers.
+    pub events: Vec<(u64, MaritimeEvent)>,
+    /// Pass this cursor to the next poll.
+    pub cursor: EventCursor,
+    /// Events that aged out unseen (loss; match unknown).
+    pub missed: u64,
+    /// Events examined and excluded by the filter (not a loss).
+    pub filtered: u64,
 }
 
 /// A bounded, sequence-numbered ring of recognised events.
@@ -190,13 +322,66 @@ impl EventRing {
     /// holding a lock on the ring should use this and
     /// [`SharedEventPoll::materialize`] after releasing it.
     pub fn poll_shared(&self, cursor: EventCursor) -> SharedEventPoll {
+        let poll = self.poll_shared_filtered(cursor, None);
+        SharedEventPoll {
+            events: poll.events.into_iter().map(|(_, e)| e).collect(),
+            cursor: poll.cursor,
+            missed: poll.missed,
+        }
+    }
+
+    /// The filter-pushdown poll: everything appended since `cursor`
+    /// that passes `filter` (all events when `filter` is `None`), each
+    /// with its ring sequence number, `Arc`-shared with the ring.
+    ///
+    /// The two loss-shaped counters are *split* (they used to be
+    /// conflated into one per-cursor lag number, which filtered
+    /// consumers could not interpret): `missed` counts events that aged
+    /// out of retention before this cursor saw them — a real loss whose
+    /// filter match is unknowable — while `filtered` counts events the
+    /// ring examined on this poll and excluded on the session's behalf.
+    /// `missed + filtered + events.len()` always equals the cursor
+    /// distance covered by the poll.
+    ///
+    /// ```
+    /// use mda_events::event::{EventKind, MaritimeEvent};
+    /// use mda_events::ring::{EventCursor, EventFilter, EventRing};
+    /// use mda_geo::{Position, Timestamp};
+    ///
+    /// let mut ring = EventRing::new(8);
+    /// let ev = |v: u32| MaritimeEvent {
+    ///     t: Timestamp::from_mins(v as i64),
+    ///     vessel: v,
+    ///     pos: Position::new(43.0, 5.0),
+    ///     kind: EventKind::GapStart,
+    /// };
+    /// ring.extend((1..=6).map(ev));
+    /// let filter = EventFilter::for_vessels([2, 4]);
+    /// let poll = ring.poll_shared_filtered(EventCursor::default(), Some(&filter));
+    /// let got: Vec<u32> = poll.events.iter().map(|(_, e)| e.vessel).collect();
+    /// assert_eq!(got, vec![2, 4]);
+    /// assert_eq!(poll.missed, 0, "nothing aged out");
+    /// assert_eq!(poll.filtered, 4, "four events examined and excluded");
+    /// ```
+    pub fn poll_shared_filtered(
+        &self,
+        cursor: EventCursor,
+        filter: Option<&EventFilter>,
+    ) -> FilteredPoll {
         let end = self.total_appended();
         let from = cursor.0.min(end);
         let missed = self.first_seq.saturating_sub(from);
         let start = from.max(self.first_seq);
-        let events =
-            self.buf.iter().skip((start - self.first_seq) as usize).cloned().collect::<Vec<_>>();
-        SharedEventPoll { events, cursor: EventCursor(end), missed }
+        let skip = (start - self.first_seq) as usize;
+        let mut events = Vec::new();
+        let mut filtered = 0u64;
+        for (i, e) in self.buf.iter().enumerate().skip(skip) {
+            match filter {
+                Some(f) if !f.matches(e) => filtered += 1,
+                _ => events.push((self.first_seq + i as u64, Arc::clone(e))),
+            }
+        }
+        FilteredPoll { events, cursor: EventCursor(end), missed, filtered }
     }
 }
 
@@ -293,6 +478,80 @@ mod tests {
         ring.set_capacity(0);
         assert_eq!(ring.capacity(), 1);
         assert_eq!(ring.len(), 1);
+    }
+
+    fn zoned(v: u32, zone: &str) -> MaritimeEvent {
+        MaritimeEvent {
+            t: Timestamp::from_mins(i64::from(v)),
+            vessel: v,
+            pos: Position::new(43.0, 5.0),
+            kind: EventKind::ZoneEntry { zone: zone.into() },
+        }
+    }
+
+    /// The regression the counter split exists for: a filtered lagging
+    /// consumer must be able to tell "N events are *gone*" (aged out,
+    /// match unknowable) from "N events were excluded *for me*".
+    #[test]
+    fn filtered_poll_splits_missed_from_filtered() {
+        let mut ring = EventRing::new(4);
+        ring.extend((1..=10).map(ev)); // 1..=6 aged out, 7..=10 retained
+        let filter = EventFilter::for_vessels([8, 10, 1]); // 1 is long gone
+        let poll = ring.poll_shared_filtered(EventCursor::default(), Some(&filter));
+        assert_eq!(poll.missed, 6, "aged-out events are missed, not filtered");
+        assert_eq!(poll.filtered, 2, "vessels 7 and 9 were examined and excluded");
+        let got: Vec<u32> = poll.events.iter().map(|(_, e)| e.vessel).collect();
+        assert_eq!(got, vec![8, 10]);
+        // Sequence numbers are the ring's, not renumbered post-filter.
+        let seqs: Vec<u64> = poll.events.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![7, 9], "vessel v sits at seq v-1");
+        // Accounting closes: cursor distance = missed + filtered + delivered.
+        assert_eq!(poll.cursor.next_seq(), poll.missed + poll.filtered + poll.events.len() as u64);
+        // An unfiltered poll over the same cursor reports the same loss
+        // and zero filtered.
+        let plain = ring.poll_shared_filtered(EventCursor::default(), None);
+        assert_eq!(plain.missed, 6);
+        assert_eq!(plain.filtered, 0);
+        assert_eq!(plain.events.len(), 4);
+    }
+
+    /// A caught-up filtered consumer accrues `filtered` but never
+    /// `missed`; a lagging unfiltered one accrues `missed` but never
+    /// `filtered`.
+    #[test]
+    fn filtered_and_missed_accrue_independently() {
+        let mut ring = EventRing::new(100);
+        let filter = EventFilter::for_vessels([2]);
+        let mut cursor = EventCursor::default();
+        let mut total_filtered = 0;
+        for round in 1..=5u32 {
+            ring.extend((1..=3).map(|v| ev(10 * round + v)));
+            let poll = ring.poll_shared_filtered(cursor, Some(&filter));
+            cursor = poll.cursor;
+            assert_eq!(poll.missed, 0, "capacity 100: nothing can age out");
+            total_filtered += poll.filtered;
+        }
+        assert_eq!(total_filtered, 15, "3 per round, none matching vessel 2");
+    }
+
+    #[test]
+    fn filter_dimensions_conjoin() {
+        let mut ring = EventRing::new(16);
+        ring.extend([ev(1), zoned(1, "natura"), zoned(2, "natura"), zoned(2, "port")]);
+        // Kind + zone + vessel all at once.
+        let filter = EventFilter {
+            vessels: Some([2].into_iter().collect()),
+            kinds: Some(["zone-entry".to_string()].into_iter().collect()),
+            zone: Some("natura".into()),
+        };
+        let poll = ring.poll_shared_filtered(EventCursor::default(), Some(&filter));
+        assert_eq!(poll.events.len(), 1);
+        assert_eq!(poll.filtered, 3);
+        assert!(EventFilter::all().is_all());
+        assert!(!EventFilter::for_zone("x").is_all());
+        // Zone filters exclude events that carry no zone at all.
+        assert!(!EventFilter::for_zone("natura").matches(&ev(1)));
+        assert!(EventFilter::for_kinds(["gap-start"]).matches(&ev(1)));
     }
 
     #[test]

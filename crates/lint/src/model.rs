@@ -55,6 +55,11 @@ pub const CRATES: &[CrateModel] = &[
         ],
     },
     CrateModel {
+        name: "mda-serve",
+        dir: "crates/serve",
+        deps: &["mda-geo", "mda-sim", "mda-events", "mda-store", "mda-forecast", "mda-core"],
+    },
+    CrateModel {
         name: "mda-bench",
         dir: "crates/bench",
         deps: &[
@@ -71,6 +76,7 @@ pub const CRATES: &[CrateModel] = &[
             "mda-forecast",
             "mda-viz",
             "mda-core",
+            "mda-serve",
         ],
     },
     CrateModel { name: "mda-lint", dir: "crates/lint", deps: &[] },
@@ -91,6 +97,7 @@ pub const CRATES: &[CrateModel] = &[
             "mda-forecast",
             "mda-viz",
             "mda-core",
+            "mda-serve",
         ],
     },
 ];
@@ -101,9 +108,10 @@ pub fn crate_model(name: &str) -> Option<&'static CrateModel> {
 }
 
 /// The fallible decode surface of rule L2 (`panic-free-decode`):
-/// every module whose input can be raw bytes off disk. PR 7's
-/// corruption battery promises no panic is reachable from disk bytes;
-/// these are the files that promise rests on.
+/// every module whose input can be raw bytes off disk or off a
+/// socket. The corruption batteries (PR 7 for disk, PR 10 for the
+/// wire) promise no panic is reachable from untrusted bytes; these are
+/// the files those promises rest on.
 pub const DECODE_SURFACE: &[&str] = &[
     "crates/store/src/segment.rs",
     "crates/store/src/frame.rs",
@@ -112,6 +120,8 @@ pub const DECODE_SURFACE: &[&str] = &[
     "crates/store/src/manifest.rs",
     "crates/store/src/durable.rs",
     "crates/geo/src/codec.rs",
+    "crates/serve/src/frame.rs",
+    "crates/serve/src/wire.rs",
 ];
 
 /// The emission/merge surface of rule L3 (`deterministic-iteration`):

@@ -1,0 +1,149 @@
+//! The watermark-keyed answer cache.
+//!
+//! Correctness rests on two published invariants of the core:
+//! snapshots are immutable, and a given watermark is published **at
+//! most once** (stamps never regress, and one tick boundary produces
+//! one snapshot). An answer is a pure function of
+//! `(request, snapshot)`, so `(watermark, request bytes)` keys exactly
+//! one answer for all time — entries never need invalidation, only
+//! eviction for space.
+//!
+//! The cache stores *encoded response payloads*, not decoded values:
+//! a hit is the byte-for-byte payload a recomputation would produce
+//! (wire encoding is deterministic), which `tests/serve_oracle.rs`
+//! verifies against a cache-disabled server.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+/// A cache key: the watermark the answer was computed at plus the
+/// encoded request.
+type Key = (i64, Vec<u8>);
+
+/// Hit/miss/eviction gauges of one [`AnswerCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to recomputation.
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evicted: u64,
+}
+
+/// A bounded FIFO cache of encoded answers keyed by
+/// `(watermark, request bytes)`.
+///
+/// FIFO (not LRU) is deliberate: the watermark advances monotonically,
+/// so old entries age out in insertion order anyway — tracking recency
+/// would buy nothing for a strictly forward-moving key space.
+#[derive(Debug, Default)]
+pub struct AnswerCache {
+    map: HashMap<Key, Vec<u8>>,
+    order: VecDeque<Key>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl AnswerCache {
+    /// A cache holding at most `capacity` answers (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self { map: HashMap::new(), order: VecDeque::new(), capacity, stats: CacheStats::default() }
+    }
+
+    /// Look up the encoded answer for `request` at `watermark`.
+    pub fn get(&mut self, watermark: i64, request: &[u8]) -> Option<Vec<u8>> {
+        // Borrow-free probe: build the key once only on insert.
+        let found = self.map.get(&(watermark, request.to_vec())).cloned();
+        match found {
+            Some(bytes) => {
+                self.stats.hits += 1;
+                Some(bytes)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert the encoded answer for `request` at `watermark`,
+    /// evicting the oldest entries if over capacity.
+    pub fn put(&mut self, watermark: i64, request: &[u8], answer: Vec<u8>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = (watermark, request.to_vec());
+        if let Entry::Vacant(slot) = self.map.entry(key.clone()) {
+            slot.insert(answer);
+            self.order.push_back(key);
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                    self.stats.evicted += 1;
+                }
+            }
+        }
+    }
+
+    /// Current gauges.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_are_the_inserted_bytes() {
+        let mut cache = AnswerCache::new(8);
+        assert_eq!(cache.get(5, b"req"), None);
+        cache.put(5, b"req", vec![1, 2, 3]);
+        assert_eq!(cache.get(5, b"req"), Some(vec![1, 2, 3]));
+        // Same request at a different watermark is a different answer.
+        assert_eq!(cache.get(6, b"req"), None);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2, evicted: 0 });
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_residency() {
+        let mut cache = AnswerCache::new(2);
+        cache.put(1, b"a", vec![1]);
+        cache.put(1, b"b", vec![2]);
+        cache.put(2, b"a", vec![3]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(1, b"a"), None, "oldest entry evicted");
+        assert_eq!(cache.get(2, b"a"), Some(vec![3]));
+        assert_eq!(cache.stats().evicted, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = AnswerCache::new(0);
+        cache.put(1, b"a", vec![1]);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(1, b"a"), None);
+    }
+
+    #[test]
+    fn duplicate_puts_keep_the_first_answer() {
+        // A given (watermark, request) has exactly one correct answer;
+        // a racing second computation must not churn the FIFO order.
+        let mut cache = AnswerCache::new(2);
+        cache.put(1, b"a", vec![1]);
+        cache.put(1, b"a", vec![9]);
+        assert_eq!(cache.get(1, b"a"), Some(vec![1]));
+    }
+}

@@ -1,0 +1,167 @@
+//! A blocking client over any [`Transport`]: framed requests in,
+//! framed answers out, with pushed subscription traffic buffered so a
+//! request's answer and a push never get confused.
+//!
+//! The server may interleave pushed [`Response::Events`] /
+//! [`Response::Evicted`] frames between a request and its answer.
+//! [`ServeClient::request`] parks those in an internal queue and
+//! returns the first *non-push* frame; [`ServeClient::next_push`]
+//! surfaces the queue (reading more from the wire if asked to wait).
+
+use crate::frame::{read_frame, write_frame, FrameStatus};
+use crate::transport::Transport;
+use crate::wire::{decode_response, encode_request, Request, Response, WireError};
+use mda_events::ring::EventFilter;
+use std::collections::VecDeque;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed or the peer closed the stream.
+    Io(std::io::Error),
+    /// The server sent bytes that fail frame CRC or wire decode — the
+    /// stream is unusable past this point.
+    Corrupt(WireError),
+    /// No answer arrived within the client's wait budget.
+    TimedOut,
+    /// The server answered with [`Response::Error`] (or an answer of
+    /// an unexpected shape).
+    Refused(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Corrupt(e) => write!(f, "corrupt server stream: {e}"),
+            ClientError::TimedOut => write!(f, "timed out waiting for answer"),
+            ClientError::Refused(msg) => write!(f, "server refused: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking request/subscribe client.
+#[derive(Debug)]
+pub struct ServeClient<T> {
+    transport: T,
+    inbuf: Vec<u8>,
+    parsed: usize,
+    pushed: VecDeque<Response>,
+    /// Most read polls (each [`crate::transport::READ_POLL`] long) one
+    /// call waits for an answer before giving up.
+    max_waits: usize,
+}
+
+impl<T: Transport> ServeClient<T> {
+    /// A client over a connected transport.
+    pub fn new(transport: T) -> Self {
+        Self { transport, inbuf: Vec::new(), parsed: 0, pushed: VecDeque::new(), max_waits: 500 }
+    }
+
+    /// Send one request and return its answer. Pushed event frames
+    /// that arrive first are buffered for [`ServeClient::next_push`].
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &encode_request(request));
+        self.transport.send(&frame)?;
+        let mut waits = 0usize;
+        loop {
+            if let Some(response) = self.read_frame_budgeted(&mut waits)? {
+                match response {
+                    Response::Events(_) | Response::Evicted { .. } => {
+                        self.pushed.push_back(response)
+                    }
+                    answer => return Ok(answer),
+                }
+            }
+        }
+    }
+
+    /// The next pushed [`Response::Events`] or [`Response::Evicted`]
+    /// frame. With `wait` false, only already-received frames are
+    /// returned (`Ok(None)` when there are none); with `wait` true the
+    /// wire is read until a push arrives or the wait budget runs out.
+    pub fn next_push(&mut self, wait: bool) -> Result<Option<Response>, ClientError> {
+        if let Some(push) = self.pushed.pop_front() {
+            return Ok(Some(push));
+        }
+        if !wait {
+            // One non-blocking-ish sweep to pick up anything queued.
+            let mut waits = self.max_waits; // budget exhausted → single poll
+            match self.read_frame_budgeted(&mut waits) {
+                Ok(Some(response)) => return Ok(Some(response)),
+                Ok(None) | Err(ClientError::TimedOut) => return Ok(None),
+                Err(e) => return Err(e),
+            }
+        }
+        let mut waits = 0usize;
+        loop {
+            if let Some(response) = self.read_frame_budgeted(&mut waits)? {
+                return Ok(Some(response));
+            }
+        }
+    }
+
+    /// Open a subscription; returns `(session, start cursor)`.
+    pub fn subscribe(
+        &mut self,
+        filter: EventFilter,
+        resume_at: Option<u64>,
+    ) -> Result<(u64, u64), ClientError> {
+        match self.request(&Request::Subscribe { filter, resume_at })? {
+            Response::Subscribed { session, cursor } => Ok((session, cursor)),
+            Response::Error { message } => Err(ClientError::Refused(message)),
+            other => Err(ClientError::Refused(format!("unexpected answer {other:?}"))),
+        }
+    }
+
+    /// Close a subscription.
+    pub fn unsubscribe(&mut self, session: u64) -> Result<(), ClientError> {
+        self.request(&Request::Unsubscribe { session })?;
+        Ok(())
+    }
+
+    /// Read and decode at most one frame, charging timeouts against
+    /// `waits`. `Ok(None)` means "nothing complete yet".
+    fn read_frame_budgeted(&mut self, waits: &mut usize) -> Result<Option<Response>, ClientError> {
+        loop {
+            match read_frame(&self.inbuf, &mut self.parsed) {
+                FrameStatus::Ready(payload) => {
+                    let response = decode_response(payload).map_err(ClientError::Corrupt)?;
+                    if self.parsed > 0 {
+                        self.inbuf.drain(..self.parsed);
+                        self.parsed = 0;
+                    }
+                    return Ok(Some(response));
+                }
+                FrameStatus::Corrupt => return Err(ClientError::Corrupt(WireError::Malformed)),
+                FrameStatus::Incomplete => {}
+            }
+            let mut scratch = [0u8; 4096];
+            match self.transport.read_some(&mut scratch)? {
+                Some(0) => {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the stream",
+                    )))
+                }
+                Some(n) => self.inbuf.extend_from_slice(&scratch[..n]),
+                None => {
+                    *waits += 1;
+                    if *waits >= self.max_waits {
+                        return Err(ClientError::TimedOut);
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The per-connection serving loop, shared by every transport.
+//!
+//! One connection interleaves two duties per iteration:
+//!
+//! 1. **Requests** — read bytes, extract complete frames, answer each
+//!    through [`ServeCore::handle`]. A corrupt frame (CRC mismatch or
+//!    oversized length) ends the connection: a byte stream cannot be
+//!    resynchronised past it.
+//! 2. **Push** — drain every subscription session opened *on this
+//!    connection* and push non-empty event batches (and eviction
+//!    notices) to the peer.
+//!
+//! Teardown is unconditional: whether the peer closed cleanly, died
+//! mid-frame, or the server is shutting down, every session the
+//! connection owns is closed so the registry cannot leak. The
+//! fault-injection battery kills connections at arbitrary byte
+//! boundaries and asserts the server keeps serving others.
+
+use crate::frame::{read_frame, write_frame, FrameStatus};
+use crate::server::ServeCore;
+use crate::transport::Transport;
+use crate::wire::{decode_request, encode_response, Request, Response};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Why a connection loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnExit {
+    /// The peer closed the stream (or the transport errored).
+    PeerGone,
+    /// The peer sent an unrecoverable frame (CRC mismatch / oversized
+    /// length).
+    CorruptFrame,
+    /// The server's shutdown flag was raised.
+    Shutdown,
+}
+
+/// Serve one connection until the peer goes away, corrupts the stream,
+/// or `shutdown` is raised. Sessions opened on the connection are
+/// closed on every exit path.
+pub fn serve_connection<T: Transport>(
+    core: &ServeCore,
+    transport: &mut T,
+    shutdown: &AtomicBool,
+) -> ConnExit {
+    let mut inbuf: Vec<u8> = Vec::new();
+    let mut parsed = 0usize;
+    let mut scratch = [0u8; 4096];
+    let mut owned: Vec<u64> = Vec::new();
+    let exit = loop {
+        if shutdown.load(Ordering::Relaxed) {
+            break ConnExit::Shutdown;
+        }
+        // 1. Requests.
+        let eof = match transport.read_some(&mut scratch) {
+            Ok(Some(0)) => true,
+            Ok(Some(n)) => {
+                inbuf.extend_from_slice(&scratch[..n]);
+                false
+            }
+            Ok(None) => false,
+            Err(_) => break ConnExit::PeerGone,
+        };
+        let mut corrupt = false;
+        loop {
+            match read_frame(&inbuf, &mut parsed) {
+                FrameStatus::Ready(payload) => {
+                    let response = match decode_request(payload) {
+                        Ok(request) => {
+                            let response = core.handle(&request);
+                            track_sessions(&request, &response, &mut owned);
+                            response
+                        }
+                        Err(err) => Response::Error { message: format!("bad request: {err}") },
+                    };
+                    let mut frame = Vec::new();
+                    write_frame(&mut frame, &encode_response(&response));
+                    if transport.send(&frame).is_err() {
+                        break;
+                    }
+                }
+                FrameStatus::Incomplete => break,
+                FrameStatus::Corrupt => {
+                    corrupt = true;
+                    break;
+                }
+            }
+        }
+        if corrupt {
+            break ConnExit::CorruptFrame;
+        }
+        // Reclaim consumed bytes once parsing has moved past them.
+        if parsed > 0 {
+            inbuf.drain(..parsed);
+            parsed = 0;
+        }
+        // 2. Push.
+        let mut gone = false;
+        owned.retain(|&session| match core.drain_session(session) {
+            Some(Ok(batch)) => {
+                if batch.events.is_empty() {
+                    return true;
+                }
+                let mut frame = Vec::new();
+                write_frame(&mut frame, &encode_response(&Response::Events(batch)));
+                if transport.send(&frame).is_err() {
+                    gone = true;
+                }
+                !gone
+            }
+            Some(Err(dropped)) => {
+                let notice = Response::Evicted { session, dropped };
+                let mut frame = Vec::new();
+                write_frame(&mut frame, &encode_response(&notice));
+                if transport.send(&frame).is_err() {
+                    gone = true;
+                }
+                false
+            }
+            None => false,
+        });
+        if gone || eof {
+            break ConnExit::PeerGone;
+        }
+    };
+    for session in owned {
+        core.close_session(session);
+    }
+    exit
+}
+
+/// Keep the connection's owned-session list in sync with the
+/// subscribe/unsubscribe traffic that flowed through it.
+fn track_sessions(request: &Request, response: &Response, owned: &mut Vec<u64>) {
+    match (request, response) {
+        (Request::Subscribe { .. }, Response::Subscribed { session, .. }) => {
+            owned.push(*session);
+        }
+        (Request::Unsubscribe { session }, Response::Unsubscribed { .. }) => {
+            owned.retain(|s| s != session);
+        }
+        _ => {}
+    }
+}
+
+/// Spawn a server-side connection thread over an in-process pipe,
+/// returning the client end. The thread exits when the client end is
+/// dropped or `shutdown` is raised.
+pub fn spawn_pipe_connection(
+    core: Arc<ServeCore>,
+    shutdown: Arc<AtomicBool>,
+) -> (crate::transport::PipeEnd, std::thread::JoinHandle<ConnExit>) {
+    let (client_end, mut server_end) = crate::transport::pipe();
+    let handle = std::thread::spawn(move || serve_connection(&core, &mut server_end, &shutdown));
+    (client_end, handle)
+}

@@ -1,0 +1,337 @@
+//! The transport-independent server core: decode a request, answer it
+//! against the [`QueryService`], encode the response — plus the
+//! subscription pump that fans events out to every session.
+//!
+//! One [`ServeCore`] is shared (via `Arc`) by every connection of
+//! every transport. It owns no threads; transports call
+//! [`ServeCore::handle_bytes`] per request and some driver calls
+//! [`ServeCore::pump`] after ingest ticks (or on a cadence).
+//!
+//! ## Lock discipline (lint rule L5)
+//!
+//! The core holds three locks — answer cache, session registry, and
+//! (inside `QueryService`) the event ring — and never more than one at
+//! a time. The pump is three phases: snapshot cursors under the
+//! registry lock, poll the ring under the ring lock, apply results
+//! under the registry lock again. A slow consumer can therefore never
+//! wedge ingest: nothing the pump does blocks on a socket, and nothing
+//! holding the ring lock waits on the registry.
+
+use crate::cache::{AnswerCache, CacheStats};
+use crate::session::{RegistryStats, SessionConfig, SessionRegistry};
+use crate::wire::{decode_request, encode_request, encode_response, Request, Response};
+use mda_core::QueryService;
+use mda_events::ring::EventCursor;
+use parking_lot::Mutex;
+
+/// Serving knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Answer-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Session admission bounds.
+    pub session: SessionConfig,
+    /// Most events delivered per [`Request::PollSession`] batch or
+    /// push-mode pump drain.
+    pub batch_size: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { cache_capacity: 1024, session: SessionConfig::default(), batch_size: 256 }
+    }
+}
+
+/// The shared server state. Cheap to share (`Arc<ServeCore>`); all
+/// methods take `&self`.
+pub struct ServeCore {
+    service: QueryService,
+    cache: Mutex<AnswerCache>,
+    sessions: Mutex<SessionRegistry>,
+    config: ServeConfig,
+}
+
+impl ServeCore {
+    /// A server core over a query service.
+    pub fn new(service: QueryService, config: ServeConfig) -> Self {
+        Self {
+            service,
+            cache: Mutex::new(AnswerCache::new(config.cache_capacity)),
+            sessions: Mutex::new(SessionRegistry::new(config.session)),
+            config,
+        }
+    }
+
+    /// The underlying query service (the in-process oracle the wire
+    /// answers are tested against).
+    pub fn service(&self) -> &QueryService {
+        &self.service
+    }
+
+    /// Handle one framed request payload, returning the encoded
+    /// response payload. Never panics: undecodable requests get an
+    /// encoded [`Response::Error`].
+    pub fn handle_bytes(&self, payload: &[u8]) -> Vec<u8> {
+        match decode_request(payload) {
+            Ok(request) => self.answer_bytes(&request, payload),
+            Err(err) => {
+                encode_response(&Response::Error { message: format!("bad request: {err}") })
+            }
+        }
+    }
+
+    /// Handle one decoded request (in-process callers; encodes the
+    /// request itself for the cache key).
+    pub fn handle(&self, request: &Request) -> Response {
+        let bytes = self.answer_bytes(request, &encode_request(request));
+        // The payload was produced by `encode_response`, so this decode
+        // cannot fail; the fallback keeps the path total anyway.
+        crate::wire::decode_response(&bytes)
+            .unwrap_or(Response::Error { message: "internal: answer did not decode".to_owned() })
+    }
+
+    /// Answer a request, serving cacheable queries from the
+    /// watermark-keyed cache. `request_bytes` must be the canonical
+    /// encoding of `request` (it is the cache key).
+    fn answer_bytes(&self, request: &Request, request_bytes: &[u8]) -> Vec<u8> {
+        if !request.cacheable() {
+            return encode_response(&self.session_op(request));
+        }
+        // Pin one snapshot: its watermark keys the cache, and on a miss
+        // the answer is computed against that same snapshot, so the
+        // cached bytes are exactly what this watermark always answers.
+        let snap = self.service.snapshot();
+        let watermark = snap.watermark().0;
+        // Each cache touch is a self-contained block: the guard never
+        // outlives the probe or the insert (lock-order rule L5).
+        let hit = { self.cache.lock().get(watermark, request_bytes) };
+        if let Some(hit) = hit {
+            return hit;
+        }
+        let answer = encode_response(&answer_on(&snap, request));
+        self.cache.lock().put(watermark, request_bytes, answer.clone());
+        answer
+    }
+
+    /// Session operations (stateful; never cached).
+    fn session_op(&self, request: &Request) -> Response {
+        match request {
+            Request::Subscribe { filter, resume_at } => {
+                let cursor = match resume_at {
+                    Some(at) => *at,
+                    None => self.service.live_cursor().next_seq(),
+                };
+                match self.sessions.lock().subscribe(filter.clone(), cursor) {
+                    Some(session) => Response::Subscribed { session, cursor },
+                    None => {
+                        Response::Error { message: "subscription refused: at capacity".to_owned() }
+                    }
+                }
+            }
+            Request::PollSession { session } => {
+                let mut sessions = self.sessions.lock();
+                if let Some(dropped) = sessions.take_eviction(*session) {
+                    return Response::Evicted { session: *session, dropped };
+                }
+                match sessions.drain(*session, self.config.batch_size) {
+                    Some(batch) => Response::Events(batch),
+                    None => Response::Error { message: format!("unknown session {session}") },
+                }
+            }
+            Request::Unsubscribe { session } => {
+                if self.sessions.lock().unsubscribe(*session) {
+                    Response::Unsubscribed { session: *session }
+                } else {
+                    Response::Error { message: format!("unknown session {session}") }
+                }
+            }
+            // `cacheable()` routed every query away from here.
+            _ => Response::Error { message: "internal: query routed to session path".to_owned() },
+        }
+    }
+
+    /// Fan new events out to every session's queue. Three phases so no
+    /// two locks are ever held together (see the module docs); safe to
+    /// call from any thread, on any cadence.
+    ///
+    /// Returns the number of sessions pumped.
+    pub fn pump(&self) -> usize {
+        // Phase 1 is a self-contained block: the registry guard is
+        // gone before the ring lock in phase 2 (lock-order rule L5).
+        let cursors = { self.sessions.lock().pump_cursors() };
+        if cursors.is_empty() {
+            return 0;
+        }
+        let pumped = cursors.len();
+        let polls: Vec<_> = self.service.with_event_ring(|ring| {
+            cursors
+                .iter()
+                .map(|pc| {
+                    (
+                        pc.session,
+                        ring.poll_shared_filtered(EventCursor::at_seq(pc.cursor), Some(&pc.filter)),
+                    )
+                })
+                .collect()
+        });
+        let mut sessions = self.sessions.lock();
+        for (session, poll) in polls {
+            sessions.apply(session, poll);
+        }
+        pumped
+    }
+
+    /// Drain up to `batch_size` events for one session (push-mode
+    /// transports call this per connection loop). `Some(Err(dropped))`
+    /// is a pending eviction notice; `None` means the session is
+    /// unknown.
+    pub fn drain_session(&self, session: u64) -> Option<Result<crate::wire::EventBatch, u64>> {
+        let mut sessions = self.sessions.lock();
+        if let Some(dropped) = sessions.take_eviction(session) {
+            return Some(Err(dropped));
+        }
+        sessions.drain(session, self.config.batch_size).map(Ok)
+    }
+
+    /// Close a session (connection teardown).
+    pub fn close_session(&self, session: u64) {
+        self.sessions.lock().unsubscribe(session);
+    }
+
+    /// Whether a session is live (not evicted, not closed).
+    pub fn session_live(&self, session: u64) -> bool {
+        self.sessions.lock().is_live(session)
+    }
+
+    /// Answer-cache gauges.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().stats()
+    }
+
+    /// Session-registry gauges.
+    pub fn session_stats(&self) -> RegistryStats {
+        self.sessions.lock().stats()
+    }
+
+    /// The serving knobs this core runs with.
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+}
+
+impl std::fmt::Debug for ServeCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeCore")
+            .field("cache", &self.cache_stats())
+            .field("sessions", &self.session_stats())
+            .finish()
+    }
+}
+
+/// Compute the uncached answer to a query against one pinned snapshot.
+fn answer_on(snap: &mda_core::SystemSnapshot, request: &Request) -> Response {
+    match request {
+        Request::Watermark => Response::Watermark { watermark: snap.watermark() },
+        Request::Latest { id } => Response::Latest(snap.latest(*id)),
+        Request::PositionAt { id, t } => Response::PositionAt(snap.position_at(*id, *t)),
+        Request::Trajectory { id } => Response::Trajectory(snap.trajectory(*id)),
+        Request::Window { area, from, to } => Response::Window(snap.window(area, *from, *to)),
+        Request::Knn { query, t, k } => Response::Knn(snap.knn(*query, *t, *k)),
+        Request::Fleet => {
+            Response::Fleet(mda_core::Stamped { watermark: snap.watermark(), value: snap.fleet() })
+        }
+        Request::WhereAt { id, t } => Response::WhereAt(snap.where_at(*id, *t)),
+        Request::Eta { id, dest } => Response::Eta(snap.eta(*id, *dest)),
+        // Unreachable by construction (`cacheable()` gates this path),
+        // but kept total.
+        _ => Response::Error { message: "internal: session op routed to query path".to_owned() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_core::{MaritimePipeline, PipelineConfig};
+    use mda_events::ring::EventFilter;
+    use mda_geo::{BoundingBox, Fix, Position, Timestamp};
+
+    fn pipeline_with_data() -> MaritimePipeline {
+        let bounds = BoundingBox::new(42.0, 3.0, 44.0, 6.0);
+        let mut pipeline = MaritimePipeline::new(PipelineConfig::regional(bounds));
+        // Vessels 8 and 9 report once then go silent → gap events for
+        // both once the watermark sails past the silence threshold.
+        pipeline.push_fix(Fix::new(
+            8,
+            Timestamp::from_mins(0),
+            Position::new(43.2, 4.2),
+            10.0,
+            90.0,
+        ));
+        pipeline.push_fix(Fix::new(
+            9,
+            Timestamp::from_mins(0),
+            Position::new(43.0, 4.0),
+            10.0,
+            90.0,
+        ));
+        for i in 0..120i64 {
+            for v in 1..=3u32 {
+                let pos = Position::new(42.5 + 0.1 * f64::from(v), 5.0 + 0.002 * i as f64);
+                pipeline.push_fix(Fix::new(v, Timestamp::from_mins(i), pos, 10.0, 90.0));
+            }
+        }
+        pipeline
+    }
+
+    #[test]
+    fn cache_hits_are_byte_identical_to_recomputation() {
+        let mut pipeline = pipeline_with_data();
+        pipeline.finish();
+        let cached = ServeCore::new(pipeline.query_service(), ServeConfig::default());
+        let uncached = ServeCore::new(
+            pipeline.query_service(),
+            ServeConfig { cache_capacity: 0, ..ServeConfig::default() },
+        );
+        let req = encode_request(&Request::Trajectory { id: 2 });
+        let cold = cached.handle_bytes(&req);
+        let warm = cached.handle_bytes(&req);
+        let oracle = uncached.handle_bytes(&req);
+        assert_eq!(cold, warm);
+        assert_eq!(warm, oracle);
+        let stats = cached.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn bad_request_bytes_answer_an_error_frame() {
+        let mut pipeline = pipeline_with_data();
+        pipeline.finish();
+        let core = ServeCore::new(pipeline.query_service(), ServeConfig::default());
+        let resp = crate::wire::decode_response(&core.handle_bytes(&[0xFF, 0x00, 0x01])).unwrap();
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    #[test]
+    fn subscribe_pump_poll_delivers_filtered_events() {
+        let mut pipeline = pipeline_with_data();
+        let core = ServeCore::new(pipeline.query_service(), ServeConfig::default());
+        let Response::Subscribed { session, .. } = core.handle(&Request::Subscribe {
+            filter: EventFilter::for_vessels([9]),
+            resume_at: Some(0),
+        }) else {
+            panic!("subscribe failed")
+        };
+        pipeline.finish();
+        core.pump();
+        let Response::Events(batch) = core.handle(&Request::PollSession { session }) else {
+            panic!("poll failed")
+        };
+        assert!(!batch.events.is_empty(), "gap events for the silent vessel");
+        assert!(batch.events.iter().all(|(_, e)| e.vessel == 9));
+        assert!(batch.filtered > 0, "other vessels' events were filtered, not delivered");
+        let Response::Unsubscribed { .. } = core.handle(&Request::Unsubscribe { session }) else {
+            panic!("unsubscribe failed")
+        };
+        assert!(matches!(core.handle(&Request::PollSession { session }), Response::Error { .. }));
+    }
+}

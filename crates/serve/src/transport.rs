@@ -1,0 +1,204 @@
+//! Byte transports under the framed protocol: a trait small enough to
+//! implement over anything, an in-process duplex pipe for tests and
+//! benches, and the TCP adapter.
+//!
+//! The trait's one non-obvious choice is **timed reads**:
+//! [`Transport::read_some`] returns `Ok(None)` on timeout rather than
+//! blocking forever. Connection loops interleave "read the next
+//! request" with "drain subscription queues", so a reader that parked
+//! indefinitely would stall event push for its sessions.
+
+use std::collections::VecDeque;
+use std::io;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How long one [`Transport::read_some`] call waits before reporting
+/// "no bytes yet".
+pub const READ_POLL: Duration = Duration::from_millis(20);
+
+/// A bidirectional byte stream carrying framed payloads.
+pub trait Transport {
+    /// Queue bytes to the peer. `Err` means the peer is gone.
+    fn send(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Read some bytes into `buf`: `Ok(Some(n))` for `n > 0` bytes,
+    /// `Ok(Some(0))` for end-of-stream (peer closed), `Ok(None)` when
+    /// nothing arrived within the poll interval.
+    fn read_some(&mut self, buf: &mut [u8]) -> io::Result<Option<usize>>;
+}
+
+// ---------------------------------------------------------------------------
+// In-process duplex pipe.
+
+/// One direction of a pipe: a byte queue plus a closed flag.
+///
+/// Uses `std::sync` primitives rather than `parking_lot` because the
+/// reader parks on a [`Condvar`] with a timeout.
+#[derive(Debug, Default)]
+struct Lane {
+    state: Mutex<LaneState>,
+    readable: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct LaneState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+impl Lane {
+    fn push(&self, bytes: &[u8]) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe peer closed"));
+        }
+        state.buf.extend(bytes);
+        self.readable.notify_all();
+        Ok(())
+    }
+
+    fn pull(&self, out: &mut [u8], wait: Duration) -> io::Result<Option<usize>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.buf.is_empty() && !state.closed {
+            let (next, _timeout) =
+                self.readable.wait_timeout(state, wait).unwrap_or_else(|e| e.into_inner());
+            state = next;
+        }
+        if state.buf.is_empty() {
+            return if state.closed { Ok(Some(0)) } else { Ok(None) };
+        }
+        let n = state.buf.len().min(out.len());
+        for slot in out.iter_mut().take(n) {
+            // The queue holds ≥ n bytes; `pop_front` cannot fail here,
+            // but stay total anyway.
+            *slot = state.buf.pop_front().unwrap_or_default();
+        }
+        Ok(Some(n))
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        self.readable.notify_all();
+    }
+}
+
+/// One end of an in-process duplex byte pipe.
+///
+/// Dropping an end closes **both** directions, so the peer observes
+/// end-of-stream on read and `BrokenPipe` on send — the same teardown
+/// shape a TCP reset gives, which is what the fault-injection tests
+/// lean on.
+#[derive(Debug)]
+pub struct PipeEnd {
+    /// The lane this end reads from.
+    rx: Arc<Lane>,
+    /// The lane this end writes to.
+    tx: Arc<Lane>,
+}
+
+/// A connected pair of pipe ends (client half, server half).
+pub fn pipe() -> (PipeEnd, PipeEnd) {
+    let a = Arc::new(Lane::default());
+    let b = Arc::new(Lane::default());
+    (PipeEnd { rx: Arc::clone(&a), tx: Arc::clone(&b) }, PipeEnd { rx: b, tx: a })
+}
+
+impl Transport for PipeEnd {
+    fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.tx.push(bytes)
+    }
+
+    fn read_some(&mut self, buf: &mut [u8]) -> io::Result<Option<usize>> {
+        self.rx.pull(buf, READ_POLL)
+    }
+}
+
+impl Drop for PipeEnd {
+    fn drop(&mut self) {
+        self.rx.close();
+        self.tx.close();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP adapter.
+
+/// [`Transport`] over a `std::net::TcpStream` with a poll-interval
+/// read timeout.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: std::net::TcpStream,
+}
+
+impl TcpTransport {
+    /// Wrap a connected stream, configuring the read timeout and
+    /// disabling Nagle (answer frames are small and latency-bound).
+    pub fn new(stream: std::net::TcpStream) -> io::Result<Self> {
+        stream.set_read_timeout(Some(READ_POLL))?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        self.stream.write_all(bytes)
+    }
+
+    fn read_some(&mut self, buf: &mut [u8]) -> io::Result<Option<usize>> {
+        use std::io::Read;
+        match self.stream.read(buf) {
+            Ok(n) => Ok(Some(n)),
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_carries_bytes_both_ways() {
+        let (mut client, mut server) = pipe();
+        client.send(b"ping").unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(server.read_some(&mut buf).unwrap(), Some(4));
+        assert_eq!(&buf[..4], b"ping");
+        server.send(b"pong!").unwrap();
+        assert_eq!(client.read_some(&mut buf).unwrap(), Some(5));
+        assert_eq!(&buf[..5], b"pong!");
+        // Nothing queued: a read times out as None, not EOF.
+        assert_eq!(client.read_some(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn dropping_one_end_tears_down_both_directions() {
+        let (mut client, server) = pipe();
+        drop(server);
+        assert!(client.send(b"x").is_err(), "send into a dropped peer fails");
+        let mut buf = [0u8; 4];
+        assert_eq!(client.read_some(&mut buf).unwrap(), Some(0), "EOF, not hang");
+    }
+
+    #[test]
+    fn short_reads_drain_the_queue_in_order() {
+        let (mut client, mut server) = pipe();
+        client.send(&(0..=99u8).collect::<Vec<_>>()).unwrap();
+        let mut seen = Vec::new();
+        let mut buf = [0u8; 7];
+        while seen.len() < 100 {
+            match server.read_some(&mut buf).unwrap() {
+                Some(n) if n > 0 => seen.extend_from_slice(&buf[..n]),
+                _ => break,
+            }
+        }
+        assert_eq!(seen, (0..=99u8).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,1020 @@
+//! The serving wire vocabulary: every request a client can put on the
+//! wire and every answer the server sends back, with total (panic-free)
+//! encode/decode in the varint/zigzag dialect of `mda-geo::codec`.
+//!
+//! ## Encoding discipline
+//!
+//! - unsigned integers are LEB128 varints ([`mda_geo::codec::write_varint`]);
+//! - signed integers (timestamps, durations) are zigzag-mapped varints;
+//! - `f64` is its IEEE bit pattern, 8 bytes little-endian — encode is a
+//!   bijection on bit patterns, so answers round-trip *byte-identical*,
+//!   which the watermark-keyed answer cache depends on;
+//! - `Option<T>` is a `0`/`1` byte then the payload;
+//! - sequences and strings are a varint length then the elements, with
+//!   the length validated against the bytes actually remaining before
+//!   any allocation — wire bytes never size our memory.
+//!
+//! Encoding is deterministic (set-valued filter fields are
+//! `BTreeSet`s), so equal values encode to equal bytes.
+//!
+//! This module is part of the registered `panic-free-decode` surface
+//! (lint rule L2): [`decode_request`] and [`decode_response`] are total
+//! over arbitrary bytes — corrupt input is a [`WireError`], never a
+//! panic and never an allocation proportional to a length prefix.
+
+use mda_core::{FleetSummary, PredictedPosition, Stamped};
+use mda_events::ring::EventFilter;
+use mda_events::{EventKind, MaritimeEvent};
+use mda_forecast::eta::EtaEstimate;
+use mda_geo::codec::{read_varint, unzigzag, write_varint, zigzag};
+use mda_geo::{BoundingBox, Fix, Position, Timestamp, VesselId};
+use mda_store::{KnnResult, TierStats};
+use std::collections::BTreeSet;
+
+/// Upper bound on one decoded string (zone names, event labels, error
+/// messages). Anything longer is [`WireError::Malformed`].
+pub const MAX_WIRE_STR: usize = 1024;
+
+/// Why a wire payload failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the value did.
+    Truncated,
+    /// A tag byte named no known request/response/event variant.
+    UnknownTag(u8),
+    /// A field was structurally invalid (length prefix larger than the
+    /// remaining bytes, non-UTF-8 string, unknown predictor name, …).
+    Malformed,
+    /// The value decoded but bytes were left over — one payload is
+    /// exactly one value.
+    Trailing,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::UnknownTag(t) => write!(f, "unknown wire tag {t}"),
+            WireError::Malformed => write!(f, "malformed wire field"),
+            WireError::Trailing => write!(f, "trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Fallible reader.
+
+/// Cursor over a payload; every read is bounds-checked.
+struct Rd<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, at: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.at)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.at).ok_or(WireError::Truncated)?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        read_varint(self.buf, &mut self.at).ok_or(WireError::Truncated)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        u32::try_from(self.u64()?).map_err(|_| WireError::Malformed)
+    }
+
+    fn usize(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.u64()?).map_err(|_| WireError::Malformed)
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(unzigzag(self.u64()?))
+    }
+
+    fn ts(&mut self) -> Result<Timestamp, WireError> {
+        Ok(Timestamp(self.i64()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        let end = self.at.checked_add(8).ok_or(WireError::Truncated)?;
+        let bytes = self.buf.get(self.at..end).ok_or(WireError::Truncated)?;
+        let arr = bytes.first_chunk::<8>().ok_or(WireError::Truncated)?;
+        self.at = end;
+        Ok(f64::from_bits(u64::from_le_bytes(*arr)))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed),
+        }
+    }
+
+    /// A sequence length, validated against the bytes remaining: every
+    /// element occupies at least `min_elem` bytes, so a prefix claiming
+    /// more elements than could possibly follow is malformed — checked
+    /// *before* any allocation.
+    fn seq_len(&mut self, min_elem: usize) -> Result<usize, WireError> {
+        let len = self.usize()?;
+        if len > self.remaining() / min_elem.max(1) {
+            return Err(WireError::Malformed);
+        }
+        Ok(len)
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.seq_len(1)?;
+        if len > MAX_WIRE_STR {
+            return Err(WireError::Malformed);
+        }
+        let end = self.at.checked_add(len).ok_or(WireError::Truncated)?;
+        let bytes = self.buf.get(self.at..end).ok_or(WireError::Truncated)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| WireError::Malformed)?;
+        self.at = end;
+        Ok(s.to_owned())
+    }
+
+    fn option<T>(
+        &mut self,
+        read: impl FnOnce(&mut Self) -> Result<T, WireError>,
+    ) -> Result<Option<T>, WireError> {
+        if self.bool()? {
+            Ok(Some(read(self)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Trailing)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer helpers (infallible; `Vec` grows).
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    write_varint(out, v);
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    write_varint(out, zigzag(v));
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt<T>(out: &mut Vec<u8>, v: &Option<T>, write: impl FnOnce(&mut Vec<u8>, &T)) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            write(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_pos(out: &mut Vec<u8>, p: &Position) {
+    put_f64(out, p.lat);
+    put_f64(out, p.lon);
+}
+
+fn read_pos(rd: &mut Rd<'_>) -> Result<Position, WireError> {
+    Ok(Position::new(rd.f64()?, rd.f64()?))
+}
+
+fn put_fix(out: &mut Vec<u8>, fix: &Fix) {
+    put_u64(out, u64::from(fix.id));
+    put_i64(out, fix.t.0);
+    put_pos(out, &fix.pos);
+    put_f64(out, fix.sog_kn);
+    put_f64(out, fix.cog_deg);
+}
+
+/// Minimum encoded size of one [`Fix`]: two 1-byte varints + four f64s.
+const MIN_FIX: usize = 34;
+
+fn read_fix(rd: &mut Rd<'_>) -> Result<Fix, WireError> {
+    Ok(Fix {
+        id: rd.u32()?,
+        t: rd.ts()?,
+        pos: read_pos(rd)?,
+        sog_kn: rd.f64()?,
+        cog_deg: rd.f64()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Event filters and events.
+
+fn put_filter(out: &mut Vec<u8>, f: &EventFilter) {
+    put_opt(out, &f.vessels, |out, set| {
+        put_u64(out, set.len() as u64);
+        for &id in set {
+            put_u64(out, u64::from(id));
+        }
+    });
+    put_opt(out, &f.kinds, |out, set| {
+        put_u64(out, set.len() as u64);
+        for label in set {
+            put_str(out, label);
+        }
+    });
+    put_opt(out, &f.zone, |out, zone| put_str(out, zone));
+}
+
+fn read_filter(rd: &mut Rd<'_>) -> Result<EventFilter, WireError> {
+    let vessels = rd.option(|rd| {
+        let len = rd.seq_len(1)?;
+        let mut set = BTreeSet::new();
+        for _ in 0..len {
+            set.insert(rd.u32()?);
+        }
+        Ok::<BTreeSet<VesselId>, WireError>(set)
+    })?;
+    let kinds = rd.option(|rd| {
+        let len = rd.seq_len(2)?;
+        let mut set = BTreeSet::new();
+        for _ in 0..len {
+            set.insert(rd.string()?);
+        }
+        Ok::<BTreeSet<String>, WireError>(set)
+    })?;
+    let zone = rd.option(|rd| rd.string())?;
+    Ok(EventFilter { vessels, kinds, zone })
+}
+
+fn put_event(out: &mut Vec<u8>, e: &MaritimeEvent) {
+    put_i64(out, e.t.0);
+    put_u64(out, u64::from(e.vessel));
+    put_pos(out, &e.pos);
+    match &e.kind {
+        EventKind::GapStart => out.push(0),
+        EventKind::GapEnd { minutes } => {
+            out.push(1);
+            put_f64(out, *minutes);
+        }
+        EventKind::KinematicSpoofing { implied_speed_kn } => {
+            out.push(2);
+            put_f64(out, *implied_speed_kn);
+        }
+        EventKind::IdentityConflict { separation_km } => {
+            out.push(3);
+            put_f64(out, *separation_km);
+        }
+        EventKind::ZoneEntry { zone } => {
+            out.push(4);
+            put_str(out, zone);
+        }
+        EventKind::ZoneExit { zone, dwell_min } => {
+            out.push(5);
+            put_str(out, zone);
+            put_f64(out, *dwell_min);
+        }
+        EventKind::IllegalFishing { zone } => {
+            out.push(6);
+            put_str(out, zone);
+        }
+        EventKind::Loitering { radius_m, minutes } => {
+            out.push(7);
+            put_f64(out, *radius_m);
+            put_f64(out, *minutes);
+        }
+        EventKind::Rendezvous { other, distance_m, minutes } => {
+            out.push(8);
+            put_u64(out, u64::from(*other));
+            put_f64(out, *distance_m);
+            put_f64(out, *minutes);
+        }
+        EventKind::CollisionRisk { other, dcpa_m, tcpa_s } => {
+            out.push(9);
+            put_u64(out, u64::from(*other));
+            put_f64(out, *dcpa_m);
+            put_f64(out, *tcpa_s);
+        }
+    }
+}
+
+fn read_event(rd: &mut Rd<'_>) -> Result<MaritimeEvent, WireError> {
+    let t = rd.ts()?;
+    let vessel = rd.u32()?;
+    let pos = read_pos(rd)?;
+    let kind = match rd.u8()? {
+        0 => EventKind::GapStart,
+        1 => EventKind::GapEnd { minutes: rd.f64()? },
+        2 => EventKind::KinematicSpoofing { implied_speed_kn: rd.f64()? },
+        3 => EventKind::IdentityConflict { separation_km: rd.f64()? },
+        4 => EventKind::ZoneEntry { zone: rd.string()? },
+        5 => EventKind::ZoneExit { zone: rd.string()?, dwell_min: rd.f64()? },
+        6 => EventKind::IllegalFishing { zone: rd.string()? },
+        7 => EventKind::Loitering { radius_m: rd.f64()?, minutes: rd.f64()? },
+        8 => EventKind::Rendezvous { other: rd.u32()?, distance_m: rd.f64()?, minutes: rd.f64()? },
+        9 => EventKind::CollisionRisk { other: rd.u32()?, dcpa_m: rd.f64()?, tcpa_s: rd.f64()? },
+        tag => return Err(WireError::UnknownTag(tag)),
+    };
+    Ok(MaritimeEvent { t, vessel, pos, kind })
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+
+/// Everything a client can ask over the wire.
+///
+/// Tags 1–9 are the stateless query vocabulary (mirroring
+/// [`mda_core::QueryService`] method-for-method); 10–12 manage
+/// subscription sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// The current published watermark.
+    Watermark,
+    /// Freshest archived fix of a vessel.
+    Latest {
+        /// The vessel.
+        id: VesselId,
+    },
+    /// Interpolated archived position at an instant.
+    PositionAt {
+        /// The vessel.
+        id: VesselId,
+        /// The instant.
+        t: Timestamp,
+    },
+    /// Full archived trajectory of a vessel.
+    Trajectory {
+        /// The vessel.
+        id: VesselId,
+    },
+    /// All archived fixes in a spatio-temporal window.
+    Window {
+        /// Spatial bounds.
+        area: BoundingBox,
+        /// Start of the time range (inclusive).
+        from: Timestamp,
+        /// End of the time range (inclusive).
+        to: Timestamp,
+    },
+    /// k nearest vessels to a point at an instant.
+    Knn {
+        /// The query point.
+        query: Position,
+        /// The instant.
+        t: Timestamp,
+        /// How many neighbours.
+        k: usize,
+    },
+    /// Live-fleet summary.
+    Fleet,
+    /// Where is (or will be) a vessel at an instant.
+    WhereAt {
+        /// The vessel.
+        id: VesselId,
+        /// The instant (future instants route through the forecast layer).
+        t: Timestamp,
+    },
+    /// Estimated time of arrival at a destination.
+    Eta {
+        /// The vessel.
+        id: VesselId,
+        /// The destination.
+        dest: Position,
+    },
+    /// Open a subscription session with a pushed-down event filter.
+    Subscribe {
+        /// Which events this session wants.
+        filter: EventFilter,
+        /// Resume from this ring sequence number (a reconnecting
+        /// client passes `last seen seq + 1`); `None` starts live,
+        /// following only events recognised after the subscribe.
+        resume_at: Option<u64>,
+    },
+    /// Drain a session's queued events (pull-mode transports).
+    PollSession {
+        /// The session to drain.
+        session: u64,
+    },
+    /// Close a subscription session.
+    Unsubscribe {
+        /// The session to close.
+        session: u64,
+    },
+}
+
+impl Request {
+    /// Whether the answer to this request is a pure function of the
+    /// snapshot watermark — i.e. whether the answer cache may serve it.
+    /// Session operations are stateful and never cached.
+    pub fn cacheable(&self) -> bool {
+        !matches!(
+            self,
+            Request::Subscribe { .. } | Request::PollSession { .. } | Request::Unsubscribe { .. }
+        )
+    }
+}
+
+/// Encode a request to its wire payload (to be framed by
+/// [`crate::frame::write_frame`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Watermark => out.push(1),
+        Request::Latest { id } => {
+            out.push(2);
+            put_u64(&mut out, u64::from(*id));
+        }
+        Request::PositionAt { id, t } => {
+            out.push(3);
+            put_u64(&mut out, u64::from(*id));
+            put_i64(&mut out, t.0);
+        }
+        Request::Trajectory { id } => {
+            out.push(4);
+            put_u64(&mut out, u64::from(*id));
+        }
+        Request::Window { area, from, to } => {
+            out.push(5);
+            put_f64(&mut out, area.min_lat);
+            put_f64(&mut out, area.min_lon);
+            put_f64(&mut out, area.max_lat);
+            put_f64(&mut out, area.max_lon);
+            put_i64(&mut out, from.0);
+            put_i64(&mut out, to.0);
+        }
+        Request::Knn { query, t, k } => {
+            out.push(6);
+            put_pos(&mut out, query);
+            put_i64(&mut out, t.0);
+            put_u64(&mut out, *k as u64);
+        }
+        Request::Fleet => out.push(7),
+        Request::WhereAt { id, t } => {
+            out.push(8);
+            put_u64(&mut out, u64::from(*id));
+            put_i64(&mut out, t.0);
+        }
+        Request::Eta { id, dest } => {
+            out.push(9);
+            put_u64(&mut out, u64::from(*id));
+            put_pos(&mut out, dest);
+        }
+        Request::Subscribe { filter, resume_at } => {
+            out.push(10);
+            put_filter(&mut out, filter);
+            put_opt(&mut out, resume_at, |out, at| put_u64(out, *at));
+        }
+        Request::PollSession { session } => {
+            out.push(11);
+            put_u64(&mut out, *session);
+        }
+        Request::Unsubscribe { session } => {
+            out.push(12);
+            put_u64(&mut out, *session);
+        }
+    }
+    out
+}
+
+/// Decode one request payload. Total over arbitrary bytes; strict —
+/// trailing bytes are an error.
+pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
+    let mut rd = Rd::new(buf);
+    let req = match rd.u8()? {
+        1 => Request::Watermark,
+        2 => Request::Latest { id: rd.u32()? },
+        3 => Request::PositionAt { id: rd.u32()?, t: rd.ts()? },
+        4 => Request::Trajectory { id: rd.u32()? },
+        5 => {
+            let (min_lat, min_lon) = (rd.f64()?, rd.f64()?);
+            let (max_lat, max_lon) = (rd.f64()?, rd.f64()?);
+            Request::Window {
+                area: BoundingBox { min_lat, min_lon, max_lat, max_lon },
+                from: rd.ts()?,
+                to: rd.ts()?,
+            }
+        }
+        6 => Request::Knn { query: read_pos(&mut rd)?, t: rd.ts()?, k: rd.usize()? },
+        7 => Request::Fleet,
+        8 => Request::WhereAt { id: rd.u32()?, t: rd.ts()? },
+        9 => Request::Eta { id: rd.u32()?, dest: read_pos(&mut rd)? },
+        10 => Request::Subscribe {
+            filter: read_filter(&mut rd)?,
+            resume_at: rd.option(|rd| rd.u64())?,
+        },
+        11 => Request::PollSession { session: rd.u64()? },
+        12 => Request::Unsubscribe { session: rd.u64()? },
+        tag => return Err(WireError::UnknownTag(tag)),
+    };
+    rd.done()?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------------
+// Responses.
+
+/// One batch of events pushed (or pulled) to a subscription session.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EventBatch {
+    /// The session this batch belongs to.
+    pub session: u64,
+    /// `(ring sequence, event)` pairs, oldest first. The client's
+    /// resume cursor after this batch is `last seq + 1`.
+    pub events: Vec<(u64, MaritimeEvent)>,
+    /// Events that aged out of server retention before this session
+    /// saw them — real loss; whether they matched is unknowable.
+    pub missed: u64,
+    /// Events examined and excluded by the session's filter — not a
+    /// loss, reported so accounting closes.
+    pub filtered: u64,
+    /// Matching events dropped from this session's bounded send queue
+    /// because the consumer lagged (cumulative for the session).
+    pub dropped: u64,
+}
+
+/// Everything the server can put on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The current published watermark.
+    Watermark {
+        /// Event-time watermark of the published snapshot.
+        watermark: Timestamp,
+    },
+    /// Answer to [`Request::Latest`].
+    Latest(Stamped<Option<Fix>>),
+    /// Answer to [`Request::PositionAt`].
+    PositionAt(Stamped<Option<Position>>),
+    /// Answer to [`Request::Trajectory`].
+    Trajectory(Stamped<Option<Vec<Fix>>>),
+    /// Answer to [`Request::Window`].
+    Window(Stamped<Vec<Fix>>),
+    /// Answer to [`Request::Knn`].
+    Knn(Stamped<Vec<KnnResult>>),
+    /// Answer to [`Request::Fleet`].
+    Fleet(Stamped<FleetSummary>),
+    /// Answer to [`Request::WhereAt`].
+    WhereAt(Stamped<Option<PredictedPosition>>),
+    /// Answer to [`Request::Eta`].
+    Eta(Stamped<Option<EtaEstimate>>),
+    /// A subscription session opened.
+    Subscribed {
+        /// Server-assigned session id.
+        session: u64,
+        /// The ring sequence the session starts from.
+        cursor: u64,
+    },
+    /// Events for a session.
+    Events(EventBatch),
+    /// The session was evicted as a slow consumer; it no longer exists
+    /// server-side. A client may re-subscribe with `resume_at`.
+    Evicted {
+        /// The evicted session.
+        session: u64,
+        /// Matching events dropped from its queue over its lifetime.
+        dropped: u64,
+    },
+    /// A session closed by request.
+    Unsubscribed {
+        /// The closed session.
+        session: u64,
+    },
+    /// The request could not be served.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+fn put_stamp(out: &mut Vec<u8>, watermark: Timestamp) {
+    put_i64(out, watermark.0);
+}
+
+fn put_predicted(out: &mut Vec<u8>, p: &PredictedPosition) {
+    put_pos(out, &p.pos);
+    put_str(out, p.predictor);
+}
+
+fn read_predicted(rd: &mut Rd<'_>) -> Result<PredictedPosition, WireError> {
+    let pos = read_pos(rd)?;
+    // The wire carries the predictor name; decode maps it back onto the
+    // workspace's static predictor names so the round trip is exact.
+    let predictor = match rd.string()?.as_str() {
+        "archive" => "archive",
+        "route-network" => "route-network",
+        "dead-reckoning" => "dead-reckoning",
+        "constant-turn" => "constant-turn",
+        _ => return Err(WireError::Malformed),
+    };
+    Ok(PredictedPosition { pos, predictor })
+}
+
+fn put_tiers(out: &mut Vec<u8>, t: &TierStats) {
+    put_u64(out, t.hot_fixes as u64);
+    put_u64(out, t.cold_fixes as u64);
+    put_u64(out, t.hot_bytes as u64);
+    put_u64(out, t.cold_bytes as u64);
+    put_u64(out, t.cold_segments as u64);
+    put_u64(out, t.disk_bytes as u64);
+}
+
+fn read_tiers(rd: &mut Rd<'_>) -> Result<TierStats, WireError> {
+    Ok(TierStats {
+        hot_fixes: rd.usize()?,
+        cold_fixes: rd.usize()?,
+        hot_bytes: rd.usize()?,
+        cold_bytes: rd.usize()?,
+        cold_segments: rd.usize()?,
+        disk_bytes: rd.usize()?,
+    })
+}
+
+/// Encode a response to its wire payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Watermark { watermark } => {
+            out.push(128);
+            put_stamp(&mut out, *watermark);
+        }
+        Response::Latest(s) => {
+            out.push(129);
+            put_stamp(&mut out, s.watermark);
+            put_opt(&mut out, &s.value, put_fix);
+        }
+        Response::PositionAt(s) => {
+            out.push(130);
+            put_stamp(&mut out, s.watermark);
+            put_opt(&mut out, &s.value, put_pos);
+        }
+        Response::Trajectory(s) => {
+            out.push(131);
+            put_stamp(&mut out, s.watermark);
+            put_opt(&mut out, &s.value, |out, fixes| {
+                put_u64(out, fixes.len() as u64);
+                for fix in fixes {
+                    put_fix(out, fix);
+                }
+            });
+        }
+        Response::Window(s) => {
+            out.push(132);
+            put_stamp(&mut out, s.watermark);
+            put_u64(&mut out, s.value.len() as u64);
+            for fix in &s.value {
+                put_fix(&mut out, fix);
+            }
+        }
+        Response::Knn(s) => {
+            out.push(133);
+            put_stamp(&mut out, s.watermark);
+            put_u64(&mut out, s.value.len() as u64);
+            for hit in &s.value {
+                put_u64(&mut out, u64::from(hit.id));
+                put_pos(&mut out, &hit.pos);
+                put_f64(&mut out, hit.dist_m);
+            }
+        }
+        Response::Fleet(s) => {
+            out.push(134);
+            put_stamp(&mut out, s.watermark);
+            put_u64(&mut out, s.value.live_vessels);
+            put_u64(&mut out, s.value.archived_vessels as u64);
+            put_u64(&mut out, s.value.archived_fixes as u64);
+            put_tiers(&mut out, &s.value.tiers);
+            put_u64(&mut out, s.value.events_emitted);
+        }
+        Response::WhereAt(s) => {
+            out.push(135);
+            put_stamp(&mut out, s.watermark);
+            put_opt(&mut out, &s.value, put_predicted);
+        }
+        Response::Eta(s) => {
+            out.push(136);
+            put_stamp(&mut out, s.watermark);
+            put_opt(&mut out, &s.value, |out, eta| {
+                put_opt(out, &eta.direct, |out, ms| put_i64(out, *ms));
+                put_opt(out, &eta.via_network, |out, ms| put_i64(out, *ms));
+            });
+        }
+        Response::Subscribed { session, cursor } => {
+            out.push(137);
+            put_u64(&mut out, *session);
+            put_u64(&mut out, *cursor);
+        }
+        Response::Events(batch) => {
+            out.push(138);
+            put_u64(&mut out, batch.session);
+            put_u64(&mut out, batch.events.len() as u64);
+            for (seq, event) in &batch.events {
+                put_u64(&mut out, *seq);
+                put_event(&mut out, event);
+            }
+            put_u64(&mut out, batch.missed);
+            put_u64(&mut out, batch.filtered);
+            put_u64(&mut out, batch.dropped);
+        }
+        Response::Evicted { session, dropped } => {
+            out.push(139);
+            put_u64(&mut out, *session);
+            put_u64(&mut out, *dropped);
+        }
+        Response::Unsubscribed { session } => {
+            out.push(140);
+            put_u64(&mut out, *session);
+        }
+        Response::Error { message } => {
+            out.push(141);
+            put_str(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Decode one response payload. Total over arbitrary bytes; strict —
+/// trailing bytes are an error.
+pub fn decode_response(buf: &[u8]) -> Result<Response, WireError> {
+    let mut rd = Rd::new(buf);
+    let resp = match rd.u8()? {
+        128 => Response::Watermark { watermark: rd.ts()? },
+        129 => {
+            let watermark = rd.ts()?;
+            let value = rd.option(|rd| read_fix(rd))?;
+            Response::Latest(Stamped { watermark, value })
+        }
+        130 => {
+            let watermark = rd.ts()?;
+            let value = rd.option(read_pos)?;
+            Response::PositionAt(Stamped { watermark, value })
+        }
+        131 => {
+            let watermark = rd.ts()?;
+            let value = rd.option(|rd| {
+                let len = rd.seq_len(MIN_FIX)?;
+                let mut fixes = Vec::with_capacity(len);
+                for _ in 0..len {
+                    fixes.push(read_fix(rd)?);
+                }
+                Ok::<Vec<Fix>, WireError>(fixes)
+            })?;
+            Response::Trajectory(Stamped { watermark, value })
+        }
+        132 => {
+            let watermark = rd.ts()?;
+            let len = rd.seq_len(MIN_FIX)?;
+            let mut value = Vec::with_capacity(len);
+            for _ in 0..len {
+                value.push(read_fix(&mut rd)?);
+            }
+            Response::Window(Stamped { watermark, value })
+        }
+        133 => {
+            let watermark = rd.ts()?;
+            // id varint + two f64 + dist f64 ≥ 25 bytes per hit.
+            let len = rd.seq_len(25)?;
+            let mut value = Vec::with_capacity(len);
+            for _ in 0..len {
+                value.push(KnnResult { id: rd.u32()?, pos: read_pos(&mut rd)?, dist_m: rd.f64()? });
+            }
+            Response::Knn(Stamped { watermark, value })
+        }
+        134 => {
+            let watermark = rd.ts()?;
+            let value = FleetSummary {
+                live_vessels: rd.u64()?,
+                archived_vessels: rd.usize()?,
+                archived_fixes: rd.usize()?,
+                tiers: read_tiers(&mut rd)?,
+                events_emitted: rd.u64()?,
+            };
+            Response::Fleet(Stamped { watermark, value })
+        }
+        135 => {
+            let watermark = rd.ts()?;
+            let value = rd.option(|rd| read_predicted(rd))?;
+            Response::WhereAt(Stamped { watermark, value })
+        }
+        136 => {
+            let watermark = rd.ts()?;
+            let value = rd.option(|rd| {
+                let direct = rd.option(|rd| rd.i64())?;
+                let via_network = rd.option(|rd| rd.i64())?;
+                Ok::<EtaEstimate, WireError>(EtaEstimate { direct, via_network })
+            })?;
+            Response::Eta(Stamped { watermark, value })
+        }
+        137 => Response::Subscribed { session: rd.u64()?, cursor: rd.u64()? },
+        138 => {
+            let session = rd.u64()?;
+            // seq varint + event (ts + vessel + pos + kind tag) ≥ 20.
+            let len = rd.seq_len(20)?;
+            let mut events = Vec::with_capacity(len);
+            for _ in 0..len {
+                let seq = rd.u64()?;
+                events.push((seq, read_event(&mut rd)?));
+            }
+            let (missed, filtered, dropped) = (rd.u64()?, rd.u64()?, rd.u64()?);
+            Response::Events(EventBatch { session, events, missed, filtered, dropped })
+        }
+        139 => Response::Evicted { session: rd.u64()?, dropped: rd.u64()? },
+        140 => Response::Unsubscribed { session: rd.u64()? },
+        141 => Response::Error { message: rd.string()? },
+        tag => return Err(WireError::UnknownTag(tag)),
+    };
+    rd.done()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn requests() -> Vec<Request> {
+        vec![
+            Request::Watermark,
+            Request::Latest { id: 7 },
+            Request::PositionAt { id: 9, t: Timestamp::from_mins(30) },
+            Request::Trajectory { id: u32::MAX },
+            Request::Window {
+                area: BoundingBox::new(42.0, 3.0, 44.0, 6.0),
+                from: Timestamp(-5),
+                to: Timestamp(i64::MAX),
+            },
+            Request::Knn { query: Position::new(43.0, 5.0), t: Timestamp(0), k: 12 },
+            Request::Fleet,
+            Request::WhereAt { id: 3, t: Timestamp::from_mins(999) },
+            Request::Eta { id: 4, dest: Position::new(-89.9, 179.9) },
+            Request::Subscribe { filter: EventFilter::all(), resume_at: None },
+            Request::Subscribe {
+                filter: EventFilter {
+                    vessels: Some([1, 2, 3].into_iter().collect()),
+                    kinds: Some(["loitering".to_owned()].into_iter().collect()),
+                    zone: Some("natura-west".to_owned()),
+                },
+                resume_at: Some(u64::MAX),
+            },
+            Request::PollSession { session: 42 },
+            Request::Unsubscribe { session: 0 },
+        ]
+    }
+
+    fn responses() -> Vec<Response> {
+        let fix = Fix::new(8, Timestamp::from_mins(5), Position::new(43.25, 5.125), 12.5, 270.0);
+        let stamp = Timestamp::from_mins(60);
+        vec![
+            Response::Watermark { watermark: Timestamp::MIN },
+            Response::Latest(Stamped { watermark: stamp, value: Some(fix) }),
+            Response::Latest(Stamped { watermark: stamp, value: None }),
+            Response::PositionAt(Stamped { watermark: stamp, value: Some(fix.pos) }),
+            Response::Trajectory(Stamped { watermark: stamp, value: Some(vec![fix; 3]) }),
+            Response::Trajectory(Stamped { watermark: stamp, value: None }),
+            Response::Window(Stamped { watermark: stamp, value: vec![fix; 2] }),
+            Response::Knn(Stamped {
+                watermark: stamp,
+                value: vec![KnnResult { id: 1, pos: fix.pos, dist_m: 1234.5 }],
+            }),
+            Response::Fleet(Stamped {
+                watermark: stamp,
+                value: FleetSummary {
+                    live_vessels: 10,
+                    archived_vessels: 11,
+                    archived_fixes: 12_000,
+                    tiers: TierStats {
+                        hot_fixes: 1,
+                        cold_fixes: 2,
+                        hot_bytes: 3,
+                        cold_bytes: 4,
+                        cold_segments: 5,
+                        disk_bytes: 6,
+                    },
+                    events_emitted: 99,
+                },
+            }),
+            Response::WhereAt(Stamped {
+                watermark: stamp,
+                value: Some(PredictedPosition { pos: fix.pos, predictor: "route-network" }),
+            }),
+            Response::Eta(Stamped {
+                watermark: stamp,
+                value: Some(EtaEstimate { direct: Some(3_600_000), via_network: None }),
+            }),
+            Response::Subscribed { session: 1, cursor: 0 },
+            Response::Events(EventBatch {
+                session: 1,
+                events: vec![
+                    (
+                        4,
+                        MaritimeEvent {
+                            t: stamp,
+                            vessel: 2,
+                            pos: fix.pos,
+                            kind: EventKind::ZoneExit { zone: "port".to_owned(), dwell_min: 12.0 },
+                        },
+                    ),
+                    (
+                        5,
+                        MaritimeEvent {
+                            t: stamp,
+                            vessel: 3,
+                            pos: fix.pos,
+                            kind: EventKind::Rendezvous {
+                                other: 2,
+                                distance_m: 80.0,
+                                minutes: 30.0,
+                            },
+                        },
+                    ),
+                ],
+                missed: 7,
+                filtered: 8,
+                dropped: 9,
+            }),
+            Response::Evicted { session: 5, dropped: 100 },
+            Response::Unsubscribed { session: 5 },
+            Response::Error { message: "unknown session 17".to_owned() },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in requests() {
+            let bytes = encode_request(&req);
+            assert_eq!(decode_request(&bytes).as_ref(), Ok(&req), "{req:?}");
+            // Determinism: re-encoding the decoded value is byte-identical.
+            assert_eq!(encode_request(&decode_request(&bytes).unwrap()), bytes);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in responses() {
+            let bytes = encode_response(&resp);
+            assert_eq!(decode_response(&bytes).as_ref(), Ok(&resp), "{resp:?}");
+            assert_eq!(encode_response(&decode_response(&bytes).unwrap()), bytes);
+        }
+    }
+
+    #[test]
+    fn every_truncation_errors_cleanly() {
+        for req in requests() {
+            let bytes = encode_request(&req);
+            for cut in 0..bytes.len() {
+                assert!(decode_request(&bytes[..cut]).is_err(), "{req:?} cut at {cut}");
+            }
+        }
+        for resp in responses() {
+            let bytes = encode_response(&resp);
+            for cut in 0..bytes.len() {
+                assert!(decode_response(&bytes[..cut]).is_err(), "{resp:?} cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_prefixes_cannot_size_memory() {
+        // A Window response claiming u64::MAX fixes in a 30-byte
+        // payload must be rejected before any allocation.
+        let mut buf = vec![132u8];
+        put_i64(&mut buf, 0);
+        put_u64(&mut buf, u64::MAX);
+        assert_eq!(decode_response(&buf), Err(WireError::Malformed));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_request(&Request::Fleet);
+        bytes.push(0);
+        assert_eq!(decode_request(&bytes), Err(WireError::Trailing));
+    }
+
+    #[test]
+    fn nan_payloads_round_trip_bit_exact() {
+        let weird = f64::from_bits(0x7FF8_0000_0000_0001);
+        let resp = Response::PositionAt(Stamped {
+            watermark: Timestamp(0),
+            value: Some(Position::new(weird, f64::NEG_INFINITY)),
+        });
+        let bytes = encode_response(&resp);
+        let back = decode_response(&bytes).unwrap();
+        assert_eq!(encode_response(&back), bytes, "bit patterns survive, not just values");
+    }
+}

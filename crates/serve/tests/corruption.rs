@@ -1,0 +1,256 @@
+//! Wire-decode corruption battery: every frame shape the protocol can
+//! carry, in both directions, under single-byte corruption and
+//! arbitrary truncation.
+//!
+//! Three properties, layered like the protocol:
+//!
+//! 1. **Payload decode is total** — `decode_request`/`decode_response`
+//!    on corrupted or truncated payload bytes return an error or a
+//!    (possibly different) valid value; they never panic and never
+//!    allocate from a hostile length prefix.
+//! 2. **The frame layer catches what decode cannot** — CRC-32 detects
+//!    every single-byte corruption, so a flipped framed stream never
+//!    yields a `Ready` frame with altered bytes: the "silently wrong
+//!    answer" a payload-level flip could smuggle through is
+//!    structurally unreachable from the socket.
+//! 3. **The server is unkillable by request bytes** — `handle_bytes`
+//!    on arbitrary corrupted payloads always returns an encodable
+//!    answer (worst case `Response::Error`).
+
+use mda_core::{MaritimePipeline, PipelineConfig, Stamped};
+use mda_events::ring::EventFilter;
+use mda_events::{EventKind, MaritimeEvent};
+use mda_forecast::eta::EtaEstimate;
+use mda_geo::{BoundingBox, Fix, Position, Timestamp};
+use mda_serve::frame::{read_frame, write_frame, FrameStatus};
+use mda_serve::server::{ServeConfig, ServeCore};
+use mda_serve::wire::{
+    decode_request, decode_response, encode_request, encode_response, EventBatch, Request, Response,
+};
+use mda_store::KnnResult;
+use proptest::prelude::*;
+
+const ZONES: [&str; 3] = ["natura-west", "port-approach", "fishing-box"];
+
+/// Every request shape, parameterized by the sampled scalars.
+fn request_corpus(id: u32, t_ms: i64, lat: f64, lon: f64, k: usize, zone: usize) -> Vec<Vec<u8>> {
+    let t = Timestamp(t_ms);
+    let pos = Position::new(lat, lon);
+    let zone_name = ZONES[zone % ZONES.len()].to_owned();
+    let filter = EventFilter {
+        vessels: Some([id, id.wrapping_add(1)].into_iter().collect()),
+        kinds: Some(["loitering".to_owned(), "rendezvous".to_owned()].into_iter().collect()),
+        zone: Some(zone_name),
+    };
+    [
+        Request::Watermark,
+        Request::Latest { id },
+        Request::PositionAt { id, t },
+        Request::Trajectory { id },
+        Request::Window {
+            area: BoundingBox {
+                min_lat: lat,
+                min_lon: lon,
+                max_lat: lat + 1.0,
+                max_lon: lon + 1.0,
+            },
+            from: t,
+            to: t,
+        },
+        Request::Knn { query: pos, t, k },
+        Request::Fleet,
+        Request::WhereAt { id, t },
+        Request::Eta { id, dest: pos },
+        Request::Subscribe { filter, resume_at: Some(t_ms as u64) },
+        Request::PollSession { session: u64::from(id) },
+        Request::Unsubscribe { session: u64::from(id) },
+    ]
+    .iter()
+    .map(encode_request)
+    .collect()
+}
+
+/// Every response shape, parameterized by the sampled scalars.
+fn response_corpus(id: u32, t_ms: i64, lat: f64, lon: f64, zone: usize) -> Vec<Vec<u8>> {
+    let watermark = Timestamp(t_ms);
+    let pos = Position::new(lat, lon);
+    let fix = Fix::new(id, watermark, pos, lat.abs() % 40.0, lon.abs() % 360.0);
+    let zone_name = ZONES[zone % ZONES.len()].to_owned();
+    let events = vec![
+        (0u64, MaritimeEvent { t: watermark, vessel: id, pos, kind: EventKind::GapStart }),
+        (
+            1,
+            MaritimeEvent {
+                t: watermark,
+                vessel: id,
+                pos,
+                kind: EventKind::ZoneExit { zone: zone_name.clone(), dwell_min: lat.abs() },
+            },
+        ),
+        (
+            2,
+            MaritimeEvent {
+                t: watermark,
+                vessel: id,
+                pos,
+                kind: EventKind::CollisionRisk { other: id ^ 1, dcpa_m: 50.0, tcpa_s: 120.0 },
+            },
+        ),
+    ];
+    [
+        Response::Watermark { watermark },
+        Response::Latest(Stamped { watermark, value: Some(fix) }),
+        Response::PositionAt(Stamped { watermark, value: Some(pos) }),
+        Response::Trajectory(Stamped { watermark, value: Some(vec![fix; 3]) }),
+        Response::Window(Stamped { watermark, value: vec![fix; 2] }),
+        Response::Knn(Stamped { watermark, value: vec![KnnResult { id, pos, dist_m: 77.5 }] }),
+        Response::WhereAt(Stamped {
+            watermark,
+            value: Some(mda_core::PredictedPosition { pos, predictor: "route-network" }),
+        }),
+        Response::Eta(Stamped {
+            watermark,
+            value: Some(EtaEstimate { direct: Some(t_ms.abs()), via_network: None }),
+        }),
+        Response::Subscribed { session: u64::from(id), cursor: t_ms as u64 },
+        Response::Events(EventBatch {
+            session: u64::from(id),
+            events,
+            missed: 1,
+            filtered: 2,
+            dropped: 3,
+        }),
+        Response::Evicted { session: u64::from(id), dropped: 9 },
+        Response::Unsubscribed { session: u64::from(id) },
+        Response::Error { message: zone_name },
+    ]
+    .iter()
+    .map(encode_response)
+    .collect()
+}
+
+proptest! {
+    /// Property 1, client→server: single-byte corruption of any request
+    /// payload decodes to an error or a valid request — never a panic.
+    #[test]
+    fn flipped_request_payloads_never_panic(
+        id in 0u32..u32::MAX,
+        t_ms in -1_000_000_000i64..4_000_000_000,
+        lat in -89.0f64..89.0,
+        lon in -179.0f64..179.0,
+        k in 0usize..64,
+        zone in 0usize..3,
+        which in 0usize..12,
+        byte_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let corpus = request_corpus(id, t_ms, lat, lon, k, zone);
+        let mut bytes = corpus[which % corpus.len()].clone();
+        let at = ((bytes.len() - 1) as f64 * byte_frac) as usize;
+        bytes[at] ^= flip;
+        if let Ok(req) = decode_request(&bytes) {
+            // Whatever it decoded to, it is a well-formed request whose
+            // canonical encoding round-trips.
+            prop_assert_eq!(decode_request(&encode_request(&req)).as_ref(), Ok(&req));
+        }
+    }
+
+    /// Property 1, server→client: same for every response payload.
+    #[test]
+    fn flipped_response_payloads_never_panic(
+        id in 0u32..u32::MAX,
+        t_ms in -1_000_000_000i64..4_000_000_000,
+        lat in -89.0f64..89.0,
+        lon in -179.0f64..179.0,
+        zone in 0usize..3,
+        which in 0usize..13,
+        byte_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let corpus = response_corpus(id, t_ms, lat, lon, zone);
+        let mut bytes = corpus[which % corpus.len()].clone();
+        let at = ((bytes.len() - 1) as f64 * byte_frac) as usize;
+        bytes[at] ^= flip;
+        if let Ok(resp) = decode_response(&bytes) {
+            prop_assert_eq!(decode_response(&encode_response(&resp)).as_ref(), Ok(&resp));
+        }
+    }
+
+    /// Property 1, truncation: every strict prefix of every payload in
+    /// both directions errors cleanly.
+    #[test]
+    fn truncated_payloads_always_error(
+        id in 0u32..u32::MAX,
+        t_ms in -1_000_000_000i64..4_000_000_000,
+        lat in -89.0f64..89.0,
+        lon in -179.0f64..179.0,
+        k in 0usize..64,
+        zone in 0usize..3,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        for bytes in request_corpus(id, t_ms, lat, lon, k, zone) {
+            let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+            prop_assert!(decode_request(&bytes[..cut]).is_err());
+        }
+        for bytes in response_corpus(id, t_ms, lat, lon, zone) {
+            let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+            prop_assert!(decode_response(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Property 2: a single-byte flip anywhere in a *framed* stream is
+    /// never silently accepted — the frame either fails (Corrupt, or
+    /// Incomplete when the flip inflates the length prefix) or, if
+    /// Ready, carries exactly the original payload. CRC-32 detects all
+    /// single-byte errors, so "Ready with altered bytes" is unreachable.
+    #[test]
+    fn flipped_frames_are_never_silently_wrong(
+        id in 0u32..u32::MAX,
+        t_ms in -1_000_000_000i64..4_000_000_000,
+        lat in -89.0f64..89.0,
+        lon in -179.0f64..179.0,
+        zone in 0usize..3,
+        which in 0usize..13,
+        byte_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let corpus = response_corpus(id, t_ms, lat, lon, zone);
+        let payload = &corpus[which % corpus.len()];
+        let mut framed = Vec::new();
+        write_frame(&mut framed, payload);
+        let at = ((framed.len() - 1) as f64 * byte_frac) as usize;
+        framed[at] ^= flip;
+        let mut cursor = 0usize;
+        match read_frame(&framed, &mut cursor) {
+            FrameStatus::Ready(got) => prop_assert_eq!(got, payload.as_slice()),
+            FrameStatus::Incomplete | FrameStatus::Corrupt => {}
+        }
+    }
+}
+
+/// Property 3: the server answers arbitrary corrupted request payloads
+/// with a decodable response, never a panic — including payloads that
+/// decode to structurally valid but nonsensical requests.
+#[test]
+fn server_survives_corrupted_request_payloads() {
+    let bounds = BoundingBox::new(42.0, 3.0, 44.0, 6.0);
+    let mut pipeline = MaritimePipeline::new(PipelineConfig::regional(bounds));
+    for i in 0..60i64 {
+        let pos = Position::new(43.0, 5.0 + 0.002 * i as f64);
+        pipeline.push_fix(Fix::new(1, Timestamp::from_mins(i), pos, 10.0, 90.0));
+    }
+    pipeline.finish();
+    let core = ServeCore::new(pipeline.query_service(), ServeConfig::default());
+    // Deterministic sweep: every corpus payload, every byte position,
+    // three flip patterns.
+    for bytes in request_corpus(7, 3_600_000, 43.0, 5.0, 8, 0) {
+        for at in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut corrupted = bytes.clone();
+                corrupted[at] ^= flip;
+                let answer = core.handle_bytes(&corrupted);
+                assert!(decode_response(&answer).is_ok(), "server answer must decode");
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Oracle equivalence: every answer that crosses the wire is
+//! *byte-identical* to what the in-process [`QueryService`] answers at
+//! the same watermark — cold cache, warm cache, and across a
+//! mid-stream reconnect, with ingest running concurrently.
+//!
+//! "Byte-identical" is checkable because the wire encoding is
+//! deterministic and round-trip exact: re-encoding a decoded answer
+//! reproduces the payload bytes the server sent, so comparing
+//! `encode(wire answer)` with `encode(oracle answer)` compares the
+//! actual wire bytes.
+
+use mda_core::{MaritimePipeline, PipelineConfig, QueryService, Stamped};
+use mda_events::ring::{EventCursor, EventFilter};
+use mda_geo::{BoundingBox, Fix, Position, Timestamp};
+use mda_serve::client::ServeClient;
+use mda_serve::conn::spawn_pipe_connection;
+use mda_serve::server::{ServeConfig, ServeCore};
+use mda_serve::session::SessionConfig;
+use mda_serve::wire::{encode_response, Request, Response};
+use std::sync::atomic::AtomicBool;
+use std::sync::{mpsc, Arc};
+
+const BOUNDS: BoundingBox =
+    BoundingBox { min_lat: 42.0, min_lon: 3.0, max_lat: 44.0, max_lon: 6.0 };
+
+/// One fix of the steady eastbound fleet.
+fn fleet_fix(v: u32, minute: i64) -> Fix {
+    Fix::new(
+        v,
+        Timestamp::from_mins(minute),
+        Position::new(42.3 + 0.05 * f64::from(v), 3.5 + 0.004 * minute as f64),
+        10.0 + f64::from(v % 7),
+        90.0,
+    )
+}
+
+/// The query battery, exercising every cacheable request shape.
+fn battery(watermark: Timestamp) -> Vec<Request> {
+    vec![
+        Request::Watermark,
+        Request::Latest { id: 1 },
+        Request::Latest { id: 9999 },
+        Request::PositionAt { id: 2, t: Timestamp::from_mins(30) },
+        Request::Trajectory { id: 3 },
+        Request::Window {
+            area: BoundingBox { min_lat: 42.0, min_lon: 3.4, max_lat: 43.0, max_lon: 4.0 },
+            from: Timestamp::from_mins(0),
+            to: watermark,
+        },
+        Request::Knn { query: Position::new(42.5, 3.7), t: watermark, k: 5 },
+        Request::Fleet,
+        Request::WhereAt { id: 1, t: Timestamp::from_mins(10) },
+        Request::WhereAt { id: 1, t: watermark + 30 * mda_geo::time::MINUTE },
+        Request::Eta { id: 2, dest: Position::new(43.5, 5.5) },
+    ]
+}
+
+/// What the in-process service answers — the oracle the wire bytes
+/// must match exactly.
+fn oracle_answer(service: &QueryService, request: &Request) -> Response {
+    let snap = service.snapshot();
+    match request {
+        Request::Watermark => Response::Watermark { watermark: snap.watermark() },
+        Request::Latest { id } => Response::Latest(snap.latest(*id)),
+        Request::PositionAt { id, t } => Response::PositionAt(snap.position_at(*id, *t)),
+        Request::Trajectory { id } => Response::Trajectory(snap.trajectory(*id)),
+        Request::Window { area, from, to } => Response::Window(snap.window(area, *from, *to)),
+        Request::Knn { query, t, k } => Response::Knn(snap.knn(*query, *t, *k)),
+        Request::Fleet => {
+            Response::Fleet(Stamped { watermark: snap.watermark(), value: snap.fleet() })
+        }
+        Request::WhereAt { id, t } => Response::WhereAt(snap.where_at(*id, *t)),
+        Request::Eta { id, dest } => Response::Eta(snap.eta(*id, *dest)),
+        other => panic!("not a query: {other:?}"),
+    }
+}
+
+#[test]
+fn cold_and_warm_answers_are_byte_identical_to_the_oracle() {
+    let mut pipeline = MaritimePipeline::new(PipelineConfig::regional(BOUNDS));
+    for minute in 0..90 {
+        for v in 1..=6u32 {
+            pipeline.push_fix(fleet_fix(v, minute));
+        }
+    }
+    pipeline.finish();
+    let service = pipeline.query_service();
+    let core = Arc::new(ServeCore::new(service.clone(), ServeConfig::default()));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (end, conn) = spawn_pipe_connection(Arc::clone(&core), Arc::clone(&shutdown));
+    let mut client = ServeClient::new(end);
+
+    for request in battery(service.watermark()) {
+        let expected = encode_response(&oracle_answer(&service, &request));
+        let cold = encode_response(&client.request(&request).expect("cold answer"));
+        let warm = encode_response(&client.request(&request).expect("warm answer"));
+        assert_eq!(cold, expected, "cold-cache bytes != oracle for {request:?}");
+        assert_eq!(warm, expected, "warm-cache bytes != oracle for {request:?}");
+    }
+    let stats = core.cache_stats();
+    assert!(stats.hits >= battery(service.watermark()).len() as u64, "warm pass hit the cache");
+    drop(client);
+    conn.join().expect("connection thread");
+}
+
+#[test]
+fn equivalence_holds_under_concurrent_ingest() {
+    let mut pipeline = MaritimePipeline::new(PipelineConfig::regional(BOUNDS));
+    let service = pipeline.query_service();
+    let core = Arc::new(ServeCore::new(service.clone(), ServeConfig::default()));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (end, conn) = spawn_pipe_connection(Arc::clone(&core), Arc::clone(&shutdown));
+    let mut client = ServeClient::new(end);
+
+    let (paused_tx, paused_rx) = mpsc::channel::<()>();
+    let (resume_tx, resume_rx) = mpsc::channel::<()>();
+    let ingest = std::thread::spawn(move || {
+        for minute in 0..120 {
+            for v in 1..=6u32 {
+                pipeline.push_fix(fleet_fix(v, minute));
+            }
+            if minute == 60 {
+                // Hold the watermark still so the main thread can
+                // compare wire and oracle at one guaranteed-equal stamp.
+                paused_tx.send(()).expect("pause signal");
+                resume_rx.recv().expect("resume signal");
+            }
+        }
+        pipeline.finish();
+        paused_tx.send(()).expect("final signal");
+        pipeline
+    });
+
+    // While ingest runs: answers decode and stamps never regress.
+    let mut last_stamp = Timestamp::MIN;
+    for _ in 0..50 {
+        let Response::Watermark { watermark } =
+            client.request(&Request::Watermark).expect("watermark answer")
+        else {
+            panic!("wrong answer shape")
+        };
+        assert!(watermark >= last_stamp, "stamps regressed under concurrent ingest");
+        last_stamp = watermark;
+    }
+
+    // Mid-stream pause: watermark frozen, full battery must be
+    // byte-identical, twice (cold then cached).
+    paused_rx.recv().expect("ingest reached the pause");
+    for request in battery(service.watermark()) {
+        let expected = encode_response(&oracle_answer(&service, &request));
+        for pass in ["cold", "warm"] {
+            let got = encode_response(&client.request(&request).expect("mid-stream answer"));
+            assert_eq!(got, expected, "{pass} bytes != oracle mid-stream for {request:?}");
+        }
+    }
+    resume_tx.send(()).expect("resume");
+
+    // After ingest finishes: same equivalence at the final watermark.
+    paused_rx.recv().expect("ingest finished");
+    let pipeline = ingest.join().expect("ingest thread");
+    for request in battery(service.watermark()) {
+        let expected = encode_response(&oracle_answer(&service, &request));
+        let got = encode_response(&client.request(&request).expect("final answer"));
+        assert_eq!(got, expected, "final bytes != oracle for {request:?}");
+    }
+    drop(pipeline);
+    drop(client);
+    conn.join().expect("connection thread");
+}
+
+/// Fleet whose silent vessels generate a long, deterministic event
+/// stream: vessels 1..=N report once and go dark; two steady vessels
+/// advance the watermark so the gap detector fires for each.
+fn event_heavy_pipeline(silent: u32) -> MaritimePipeline {
+    let mut pipeline = MaritimePipeline::new(PipelineConfig::regional(BOUNDS));
+    for minute in 0..240 {
+        for v in [200u32, 201] {
+            pipeline.push_fix(fleet_fix(v, minute));
+        }
+        if minute < i64::from(silent) {
+            pipeline.push_fix(Fix::new(
+                minute as u32 + 1,
+                Timestamp::from_mins(minute),
+                Position::new(43.0, 4.0),
+                8.0,
+                45.0,
+            ));
+        }
+    }
+    pipeline.finish();
+    pipeline
+}
+
+#[test]
+fn mid_stream_reconnect_resumes_the_exact_event_stream() {
+    let mut pipeline = event_heavy_pipeline(40);
+    let service = pipeline.query_service();
+    // Small batches force the stream across many frames.
+    let config = ServeConfig {
+        batch_size: 4,
+        session: SessionConfig { queue_capacity: 4096, ..SessionConfig::default() },
+        ..ServeConfig::default()
+    };
+    let core = Arc::new(ServeCore::new(service.clone(), config));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let filter = EventFilter::all();
+
+    // The oracle stream: everything retained, with sequence numbers.
+    let oracle = service.poll_filtered(EventCursor::default(), &filter);
+    assert!(oracle.events.len() >= 20, "need a real stream, got {}", oracle.events.len());
+
+    // Phase 1: subscribe from the start, consume a strict prefix, then
+    // kill the connection without unsubscribing.
+    let (end, conn) = spawn_pipe_connection(Arc::clone(&core), Arc::clone(&shutdown));
+    let mut client = ServeClient::new(end);
+    let (_session, cursor) = client.subscribe(filter.clone(), Some(0)).expect("subscribe");
+    assert_eq!(cursor, 0);
+    core.pump();
+    let mut collected: Vec<(u64, mda_events::MaritimeEvent)> = Vec::new();
+    while collected.len() < 10 {
+        match client.next_push(true).expect("pushed batch") {
+            Some(Response::Events(batch)) => collected.extend(batch.events),
+            Some(other) => panic!("unexpected push {other:?}"),
+            None => {}
+        }
+    }
+    let resume_at = collected.last().expect("collected events").0 + 1;
+    drop(client); // killed mid-stream: no unsubscribe, pipe torn down
+    conn.join().expect("connection thread exits on teardown");
+
+    // Phase 2: reconnect and resume exactly after the last seen event.
+    let (end, conn) = spawn_pipe_connection(Arc::clone(&core), Arc::clone(&shutdown));
+    let mut client = ServeClient::new(end);
+    let (_session, cursor) = client.subscribe(filter, Some(resume_at)).expect("resubscribe");
+    assert_eq!(cursor, resume_at);
+    core.pump();
+    while collected.len() < oracle.events.len() {
+        match client.next_push(true).expect("pushed batch") {
+            Some(Response::Events(batch)) => collected.extend(batch.events),
+            Some(other) => panic!("unexpected push {other:?}"),
+            None => {}
+        }
+    }
+    drop(client);
+    conn.join().expect("connection thread");
+
+    // The stitched stream is the oracle stream: no duplicates, no
+    // holes, no reordering across the reconnect.
+    assert_eq!(collected, oracle.events, "reconnected stream != oracle stream");
+}

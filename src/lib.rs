@@ -21,6 +21,7 @@
 //! | [`forecast`] | `mda-forecast` | trajectory prediction & normalcy |
 //! | [`viz`] | `mda-viz` | density rasters, pyramids, flows |
 //! | [`core`] | `mda-core` | the integrated Figure-2 pipeline |
+//! | [`serve`] | `mda-serve` | network serving front over the query service |
 //!
 //! ## Quickstart: ingest *and* query
 //!
@@ -61,6 +62,7 @@ pub use mda_events as events;
 pub use mda_forecast as forecast;
 pub use mda_geo as geo;
 pub use mda_semantics as semantics;
+pub use mda_serve as serve;
 pub use mda_sim as sim;
 pub use mda_store as store;
 pub use mda_stream as stream;
